@@ -1,0 +1,80 @@
+// Ablation D: Pregel-style fault-tolerance cost. The paper's hand-rolled
+// BSP layer had no checkpointing; real Pregel/Giraph deployments persist
+// vertex state and in-flight messages every few supersteps. This bench
+// sweeps the checkpoint interval and reports the overhead against the
+// checkpoint-free baseline for connected components and BFS.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Ablation D: checkpoint-interval sweep for BSP CC and "
+                       "BFS.\nOptions: --scale N --edgefactor N --seed N "
+                       "--processors N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/14);
+  const auto processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  const auto cfg = exp::sim_config(args, processors);
+  std::printf("== Ablation D: checkpointing cost ==\n");
+  std::printf("workload: %s, %u processors\n\n", wl.describe().c_str(),
+              processors);
+
+  xmt::Engine e(cfg);
+  const auto cc_base = bsp::connected_components(e, wl.graph);
+  e.reset();
+  const auto bfs_base = bsp::bfs(e, wl.graph, wl.bfs_source);
+
+  exp::Table table({"interval", "CC time", "CC overhead", "CC checkpoints",
+                    "BFS time", "BFS overhead"});
+  table.add_row({"off",
+                 exp::Table::seconds(cfg.seconds(cc_base.totals.cycles)),
+                 "-", "0",
+                 exp::Table::seconds(cfg.seconds(bfs_base.totals.cycles)),
+                 "-"});
+  for (const std::uint32_t interval : {1u, 2u, 4u, 8u}) {
+    bsp::BspOptions opt;
+    opt.checkpoint_interval = interval;
+    e.reset();
+    const auto cc = bsp::connected_components(e, wl.graph, opt);
+    e.reset();
+    const auto bfs_r = bsp::bfs(e, wl.graph, wl.bfs_source, opt);
+
+    std::uint64_t checkpoints = 0;
+    for (const auto& ss : cc.supersteps) checkpoints += ss.checkpointed ? 1 : 0;
+
+    auto overhead = [](xmt::Cycles with, xmt::Cycles base) {
+      return exp::Table::fixed(
+                 100.0 * (static_cast<double>(with) - static_cast<double>(base)) /
+                     static_cast<double>(base),
+                 1) + " %";
+    };
+    table.add_row({std::to_string(interval),
+                   exp::Table::seconds(cfg.seconds(cc.totals.cycles)),
+                   overhead(cc.totals.cycles, cc_base.totals.cycles),
+                   std::to_string(checkpoints),
+                   exp::Table::seconds(cfg.seconds(bfs_r.totals.cycles)),
+                   overhead(bfs_r.totals.cycles, bfs_base.totals.cycles)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nshape check: overhead falls roughly linearly with the interval; "
+      "results are identical in every configuration (checkpoints only add "
+      "stores). This quantifies what the paper's no-fault-tolerance C "
+      "implementation saved versus a production Pregel.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,90 @@
+// Ablation C (paper §V-VI): the BSP kernels drown in messages — CC/BFS
+// resend to every neighbor, most of which discard the message. Pregel's
+// answer is combiners: fold all messages to one destination into a single
+// slot at send time. This bench measures how much of the BSP overhead a
+// min-combiner recovers for CC and BFS (the paper's implementation had
+// none, which is part of why it pays ~4-10x).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Ablation C: BSP with and without a min-combiner.\n"
+                       "Options: --scale N --edgefactor N --seed N "
+                       "--processors N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/15);
+  const auto processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  const auto cfg = exp::sim_config(args, processors);
+  std::printf("== Ablation C: message combining ==\n");
+  std::printf("workload: %s, %u processors\n\n", wl.describe().c_str(),
+              processors);
+
+  bsp::BspOptions plain;
+  bsp::BspOptions combined;
+  combined.combiner = bsp::Combiner::kMin;
+
+  xmt::Engine e(cfg);
+  const auto cc_plain = bsp::connected_components(e, wl.graph, plain);
+  e.reset();
+  const auto cc_comb = bsp::connected_components(e, wl.graph, combined);
+  e.reset();
+  const auto bfs_plain = bsp::bfs(e, wl.graph, wl.bfs_source, plain);
+  e.reset();
+  const auto bfs_comb = bsp::bfs(e, wl.graph, wl.bfs_source, combined);
+  e.reset();
+  const auto cc_ct = graphct::connected_components(e, wl.graph);
+  e.reset();
+  const auto bfs_ct = graphct::bfs(e, wl.graph, wl.bfs_source);
+
+  auto row = [&](const char* name, xmt::Cycles cycles, std::uint64_t messages,
+                 xmt::Cycles baseline) {
+    return std::vector<std::string>{
+        name, exp::Table::seconds(cfg.seconds(cycles)),
+        exp::Table::si(static_cast<double>(messages)),
+        exp::Table::fixed(static_cast<double>(cycles) /
+                              static_cast<double>(baseline), 2) + ":1"};
+  };
+
+  exp::Table table({"variant", "time", "messages crossing", "vs GraphCT"});
+  table.add_row(row("CC BSP plain", cc_plain.totals.cycles,
+                    cc_plain.totals.messages, cc_ct.totals.cycles));
+  table.add_row(row("CC BSP + min-combiner", cc_comb.totals.cycles,
+                    cc_comb.totals.messages, cc_ct.totals.cycles));
+  table.add_row(row("CC GraphCT", cc_ct.totals.cycles, 0,
+                    cc_ct.totals.cycles));
+  table.add_row(row("BFS BSP plain", bfs_plain.totals.cycles,
+                    bfs_plain.totals.messages, bfs_ct.totals.cycles));
+  table.add_row(row("BFS BSP + min-combiner", bfs_comb.totals.cycles,
+                    bfs_comb.totals.messages, bfs_ct.totals.cycles));
+  table.add_row(row("BFS GraphCT", bfs_ct.totals.cycles, 0,
+                    bfs_ct.totals.cycles));
+  table.print(std::cout);
+
+  std::printf("\ncorrectness: CC components %u/%u/%u agree; BFS reached "
+              "%u/%u/%u agree\n",
+              cc_plain.num_components, cc_comb.num_components,
+              cc_ct.num_components, bfs_plain.reached, bfs_comb.reached,
+              bfs_ct.reached);
+  std::printf(
+      "shape check: combining cuts crossing messages (receive-side work and "
+      "inbox fetch-and-adds) and narrows, but does not close, the gap to "
+      "the shared-memory kernels.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

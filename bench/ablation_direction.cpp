@@ -1,0 +1,83 @@
+// Ablation E: direction-optimizing BFS (Beamer et al., SC'12 — the
+// technique behind the fastest Graph500 entries the paper's §IV points
+// at). The paper observes that at the frontier's apex both GraphCT and BSP
+// burn most of their traffic on already-discovered vertices; bottom-up
+// parent hunting is the shared-memory fix. This bench compares classic
+// top-down, direction-optimizing, and BSP BFS per level.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/bfs_diropt.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Ablation E: top-down vs direction-optimizing vs BSP "
+                       "BFS.\nOptions: --scale N --edgefactor N --seed N "
+                       "--processors N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/15);
+  const auto cfg = exp::sim_config(
+      args, static_cast<std::uint32_t>(args.get_int("processors", 128)));
+  std::printf("== Ablation E: BFS direction optimization ==\n");
+  std::printf("workload: %s, source %u\n\n", wl.describe().c_str(),
+              wl.bfs_source);
+
+  xmt::Engine e(cfg);
+  const auto plain = graphct::bfs(e, wl.graph, wl.bfs_source);
+  e.reset();
+  const auto diropt =
+      graphct::bfs_direction_optimizing(e, wl.graph, wl.bfs_source);
+  e.reset();
+  const auto bspr = bsp::bfs(e, wl.graph, wl.bfs_source);
+
+  exp::Table table({"level", "frontier", "top-down edges", "dir-opt edges",
+                    "top-down time", "dir-opt time"});
+  for (std::size_t lvl = 0; lvl < plain.levels.size(); ++lvl) {
+    const auto& p = plain.levels[lvl];
+    const bool have = lvl < diropt.levels.size();
+    table.add_row(
+        {std::to_string(lvl), exp::Table::si(static_cast<double>(p.active)),
+         exp::Table::si(static_cast<double>(p.edges_scanned)),
+         have ? exp::Table::si(
+                    static_cast<double>(diropt.levels[lvl].edges_scanned))
+              : "-",
+         exp::Table::seconds(cfg.seconds(p.cycles())),
+         have ? exp::Table::seconds(cfg.seconds(diropt.levels[lvl].cycles()))
+              : "-"});
+  }
+  table.print(std::cout);
+
+  std::uint64_t plain_edges = 0;
+  std::uint64_t diropt_edges = 0;
+  for (const auto& l : plain.levels) plain_edges += l.edges_scanned;
+  for (const auto& l : diropt.levels) diropt_edges += l.edges_scanned;
+  std::printf(
+      "\ntotals: top-down %s (%s edges), direction-optimizing %s (%s "
+      "edges, %.1fx fewer), BSP %s — results identical: %s\n",
+      exp::Table::seconds(cfg.seconds(plain.totals.cycles)).c_str(),
+      exp::Table::si(static_cast<double>(plain_edges)).c_str(),
+      exp::Table::seconds(cfg.seconds(diropt.totals.cycles)).c_str(),
+      exp::Table::si(static_cast<double>(diropt_edges)).c_str(),
+      static_cast<double>(plain_edges) / static_cast<double>(diropt_edges),
+      exp::Table::seconds(cfg.seconds(bspr.totals.cycles)).c_str(),
+      (plain.distance == diropt.distance && plain.distance == bspr.distance)
+          ? "yes"
+          : "NO");
+  std::printf(
+      "shape check: the apex levels' edge traffic collapses under "
+      "bottom-up search; the BSP variant, which must message blindly, "
+      "cannot make this optimization — widening the Table I gap on BFS.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

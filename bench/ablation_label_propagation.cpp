@@ -1,0 +1,76 @@
+// Ablation B (paper §III/§VI): why does BSP connected components need at
+// least twice the iterations of the shared-memory version?
+//
+// In the shared-memory model a newly written label is immediately visible,
+// so labels can hop several vertices within one iteration. Forcing the
+// GraphCT kernel to read only the *previous* iteration's labels (the
+// staleness the BSP model imposes) should push its iteration count up to
+// BSP-like values — isolating the programming-model effect from every other
+// implementation difference.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/connected_components.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graphct/connected_components.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Ablation B: in-iteration label propagation vs "
+                       "stale (previous-iteration) reads in CC.\nOptions: "
+                       "--scale N --edgefactor N --seed N --processors N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/15);
+  const auto processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  const auto cfg = exp::sim_config(args, processors);
+  std::printf("== Ablation B: label propagation freshness ==\n");
+  std::printf("workload: %s, %u processors\n\n", wl.describe().c_str(),
+              processors);
+
+  xmt::Engine e(cfg);
+  graphct::CCOptions fresh;
+  const auto with_prop = graphct::connected_components(e, wl.graph, fresh);
+  e.reset();
+  graphct::CCOptions stale;
+  stale.in_iteration_propagation = false;
+  const auto without_prop = graphct::connected_components(e, wl.graph, stale);
+  e.reset();
+  const auto bsp_cc = bsp::connected_components(e, wl.graph);
+
+  exp::Table table({"variant", "iterations", "time", "label writes"});
+  table.add_row({"GraphCT, in-iteration propagation",
+                 std::to_string(with_prop.iterations.size()),
+                 exp::Table::seconds(cfg.seconds(with_prop.totals.cycles)),
+                 exp::Table::si(static_cast<double>(with_prop.totals.writes))});
+  table.add_row({"GraphCT, stale reads (BSP-style)",
+                 std::to_string(without_prop.iterations.size()),
+                 exp::Table::seconds(cfg.seconds(without_prop.totals.cycles)),
+                 exp::Table::si(static_cast<double>(without_prop.totals.writes))});
+  table.add_row({"BSP (Algorithm 1)",
+                 std::to_string(bsp_cc.supersteps.size()),
+                 exp::Table::seconds(cfg.seconds(bsp_cc.totals.cycles)),
+                 exp::Table::si(static_cast<double>(bsp_cc.totals.messages))});
+  table.print(std::cout);
+
+  std::printf(
+      "\nall variants agree on %u components: %s\n", with_prop.num_components,
+      (with_prop.num_components == without_prop.num_components &&
+       with_prop.num_components == bsp_cc.num_components)
+          ? "yes"
+          : "NO");
+  std::printf(
+      "shape check: stale reads raise the GraphCT iteration count toward "
+      "the BSP superstep count (paper: 6 -> 13), at constant per-iteration "
+      "cost.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,94 @@
+// Shared memory vs. distributed cluster — the comparison the paper's
+// Background motivates: the same BSP vertex programs priced on (a) the
+// simulated 128-processor XMT and (b) a Giraph-style commodity cluster
+// with hash-partitioned vertices (paper §II), against the §III citation
+// (Giraph CC on a 6-node cluster: ~4 s on 6M vertices / 200M edges,
+// where the 128P XMT ran the paper's graph in 5.40 s BSP / 1.31 s GraphCT).
+//
+// Also quantifies §II's skew warning: hash placement of a scale-free graph
+// concentrates messaging on the machines that drew the hubs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "cluster/engine.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graph/generators.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "The same BSP programs on the XMT model vs a "
+                       "Giraph-style cluster model.\nOptions: --scale N "
+                       "--edgefactor N --seed N --machines a,b,c");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/14);
+  const auto machine_counts =
+      args.get_list("machines", {2, 6, 16, 32, 64});
+  std::printf("== Cluster vs XMT (same vertex programs) ==\n");
+  std::printf("workload: %s\n\n", wl.describe().c_str());
+
+  // XMT reference points.
+  xmt::SimConfig xcfg;
+  xcfg.processors = 128;
+  xmt::Engine machine(xcfg);
+  const auto xmt_cc = bsp::connected_components(machine, wl.graph);
+  machine.reset();
+  const auto xmt_bfs = bsp::bfs(machine, wl.graph, wl.bfs_source);
+
+  exp::Table table({"machines", "CC time", "CC skew", "BFS time",
+                    "remote msgs"});
+  for (const auto m : machine_counts) {
+    cluster::ClusterConfig cfg;
+    cfg.machines = m;
+    const auto cc = cluster::run(cfg, wl.graph, bsp::CCProgram{});
+    const auto bfs_r =
+        cluster::run(cfg, wl.graph, bsp::BfsProgram{wl.bfs_source});
+    std::uint64_t remote = 0;
+    for (const auto& ss : bfs_r.supersteps) remote += ss.remote_messages;
+    table.add_row({std::to_string(m),
+                   exp::Table::seconds(cc.totals.seconds),
+                   exp::Table::fixed(cc.total_message_imbalance, 2) + "x",
+                   exp::Table::seconds(bfs_r.totals.seconds),
+                   exp::Table::si(static_cast<double>(remote))});
+  }
+  table.print(std::cout);
+
+  std::printf("\nXMT (128P, same programs): CC %s, BFS %s\n",
+              exp::Table::seconds(xcfg.seconds(xmt_cc.totals.cycles)).c_str(),
+              exp::Table::seconds(xcfg.seconds(xmt_bfs.totals.cycles)).c_str());
+
+  // The §II skew contrast: scale-free vs uniform workload. Skew emerges
+  // once the per-machine share is comparable to a hub's degree, so measure
+  // on a larger cluster.
+  cluster::ClusterConfig wide;
+  wide.machines = 48;
+  const auto er = graph::CSRGraph::build(graph::erdos_renyi(
+      wl.graph.num_vertices(), wl.graph.num_arcs() / 2, wl.seed));
+  const auto skew_rmat = cluster::run(wide, wl.graph, bsp::CCProgram{});
+  const auto skew_er = cluster::run(wide, er, bsp::CCProgram{});
+  std::printf(
+      "\nhash-partition skew on %u machines (peak outbound max/mean): "
+      "R-MAT %.2fx vs Erdos-Renyi %.2fx\n",
+      wide.machines, skew_rmat.total_message_imbalance,
+      skew_er.total_message_imbalance);
+  std::printf(
+      "paper SS II: random hash placement of a scale-free graph leaves "
+      "\"one or several machines acquiring high-degree vertices, and "
+      "therefore a disproportionate share of the messaging activity\" — "
+      "the XMT's hashed flat memory has no such unit of imbalance.\n");
+  std::printf(
+      "paper SS III-IV context: Giraph CC ~4 s on 6 nodes; Giraph SSSP "
+      "scalability flat from 30 to 85 machines — the cluster curve above "
+      "flattens the same way once barriers and NIC skew dominate.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

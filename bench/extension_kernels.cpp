@@ -1,0 +1,97 @@
+// Beyond Table I: the paper's conclusion calls BSP graph algorithms on
+// large shared-memory machines "a promising area of study". This bench
+// extends the comparison to two kernels the paper did not measure —
+// k-core decomposition and (sampled) Brandes betweenness centrality — in
+// both programming models, with the same ratio analysis as Table I.
+
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+
+#include "bsp/algorithms/betweenness.hpp"
+#include "bsp/algorithms/kcore.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graphct/betweenness.hpp"
+#include "graphct/kcore.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Extension kernels: k-core and betweenness in both "
+                       "models.\nOptions: --scale N --edgefactor N --seed N "
+                       "--processors N --k N --sources N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/13);
+  const auto cfg = exp::sim_config(
+      args, static_cast<std::uint32_t>(args.get_int("processors", 128)));
+  const auto k = static_cast<std::uint32_t>(args.get_int("k", 8));
+  const auto num_sources =
+      static_cast<std::uint32_t>(args.get_int("sources", 4));
+  std::printf("== Extension kernels: beyond the paper's Table I ==\n");
+  std::printf("workload: %s\n\n", wl.describe().c_str());
+
+  xmt::Engine e(cfg);
+
+  // -- k-core.
+  const auto kc_ct = graphct::kcore(e, wl.graph, k);
+  e.reset();
+  const auto kc_bsp = bsp::kcore(e, wl.graph, k);
+  e.reset();
+
+  // -- Sampled betweenness.
+  std::vector<graph::vid_t> sources;
+  for (graph::vid_t s = 0;
+       s < wl.graph.num_vertices() && sources.size() < num_sources;
+       s += wl.graph.num_vertices() / num_sources + 1) {
+    sources.push_back(s);
+  }
+  const auto bc_ct = graphct::betweenness_centrality(e, wl.graph, sources);
+  e.reset();
+  const auto bc_bsp = bsp::betweenness_centrality(e, wl.graph, sources);
+
+  exp::Table table({"kernel", "BSP", "GraphCT", "ratio", "agreement"});
+  table.add_row(
+      {std::to_string(k) + "-core",
+       exp::Table::seconds(cfg.seconds(kc_bsp.totals.cycles)),
+       exp::Table::seconds(cfg.seconds(kc_ct.totals.cycles)),
+       exp::Table::fixed(static_cast<double>(kc_bsp.totals.cycles) /
+                             static_cast<double>(kc_ct.totals.cycles),
+                         1) + ":1",
+       kc_bsp.members == kc_ct.members
+           ? std::to_string(kc_ct.members.size()) + " members identical"
+           : "MISMATCH"});
+  double worst = 0.0;
+  for (graph::vid_t v = 0; v < wl.graph.num_vertices(); ++v) {
+    worst = std::max(worst, std::abs(bc_bsp.scores[v] - bc_ct.scores[v]));
+  }
+  table.add_row(
+      {"betweenness (" + std::to_string(sources.size()) + " src)",
+       exp::Table::seconds(cfg.seconds(bc_bsp.totals.cycles)),
+       exp::Table::seconds(cfg.seconds(bc_ct.totals.cycles)),
+       exp::Table::fixed(static_cast<double>(bc_bsp.totals.cycles) /
+                             static_cast<double>(bc_ct.totals.cycles),
+                         1) + ":1",
+       worst < 1e-6 ? "scores identical" : "MISMATCH"});
+  table.print(std::cout);
+
+  std::printf(
+      "\nnotes: betweenness repeats the Table I pattern — the BSP program "
+      "pays ~2x depth supersteps per source (%llu total) plus per-message "
+      "software costs against the shared-memory kernel's in-place frontier "
+      "state. k-core flips it: the message formulation is *event-driven* "
+      "(one notification per removed edge end, %zu supersteps) while the "
+      "shared-memory peel rescans every live adjacency each round (%zu "
+      "rounds) — when messages are sparser than edges, vertex-centric wins. "
+      "Both directions are consistent with the paper's cost analysis: BSP "
+      "time follows message volume.\n",
+      static_cast<unsigned long long>(bc_bsp.supersteps),
+      kc_bsp.supersteps.size(), kc_ct.rounds.size());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,107 @@
+// Reproduces Figure 4: scalability of triangle counting, BSP vs GraphCT,
+// plus the §V message/write-volume accounting.
+//
+// Paper (scale 24): both implementations scale near-linearly to 128
+// processors; BSP emits 5.5 G possible-triangle messages that yield only
+// 30.9 M triangles (181x the shared-memory write volume) and lands at
+// 444 s vs GraphCT's 47.4 s (9.4x).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/triangles.hpp"
+#include "exp/args.hpp"
+#include "exp/paper.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+#include "graphct/triangles.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+namespace {
+
+struct Point {
+  graphct::TriangleResult graphct;
+  bsp::BspTriangleResult bsp;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Figure 4: triangle counting scalability, BSP vs "
+                       "GraphCT.\nOptions: --scale N --edgefactor N --seed N "
+                       "--procs a,b,c --csv");
+  args.handle_help();
+  // Default scale 13: the BSP variant really does enumerate every wedge as
+  // a message, which is the (intended) pain of Algorithm 3.
+  const auto wl = exp::make_workload(args, /*default_scale=*/13);
+  const auto procs = exp::processor_counts(args);
+  std::printf("== Figure 4: triangle counting scalability ==\n");
+  std::printf("workload: %s\n\n", wl.describe().c_str());
+
+  const auto points =
+      exp::sweep_processors(std::span(procs), [&](std::uint32_t p) {
+        xmt::Engine engine(exp::sim_config(args, p));
+        Point pt;
+        pt.graphct = graphct::count_triangles(engine, wl.graph);
+        engine.reset();
+        pt.bsp = bsp::count_triangles(engine, wl.graph);
+        return pt;
+      });
+  const auto cfg1 = exp::sim_config(args, 1);
+
+  exp::Table table({"procs", "BSP", "GraphCT", "ratio", "BSP speedup",
+                    "CT speedup"});
+  const double bsp0 = static_cast<double>(points[0].bsp.totals.cycles);
+  const double ct0 = static_cast<double>(points[0].graphct.totals.cycles);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const auto& pt = points[i];
+    table.add_row(
+        {std::to_string(procs[i]),
+         exp::Table::seconds(cfg1.seconds(pt.bsp.totals.cycles)),
+         exp::Table::seconds(cfg1.seconds(pt.graphct.totals.cycles)),
+         exp::Table::fixed(static_cast<double>(pt.bsp.totals.cycles) /
+                               static_cast<double>(pt.graphct.totals.cycles),
+                           2),
+         exp::Table::fixed(bsp0 / static_cast<double>(pt.bsp.totals.cycles), 2),
+         exp::Table::fixed(ct0 / static_cast<double>(pt.graphct.totals.cycles),
+                           2)});
+  }
+  if (args.get_flag("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  const auto& last = points.back();
+  std::printf("\ntriangles found: %llu (both models agree: %s)\n",
+              static_cast<unsigned long long>(last.bsp.triangles),
+              last.bsp.triangles == last.graphct.triangles ? "yes" : "NO");
+  std::printf("message volume (BSP): %s edge + %s possible-triangle + %s "
+              "confirmed = %s total\n",
+              exp::Table::si(static_cast<double>(last.bsp.edge_messages)).c_str(),
+              exp::Table::si(static_cast<double>(last.bsp.wedge_messages)).c_str(),
+              exp::Table::si(static_cast<double>(last.bsp.triangle_messages)).c_str(),
+              exp::Table::si(static_cast<double>(last.bsp.totals.messages)).c_str());
+  std::printf("write volume: BSP %s vs GraphCT %s -> %.0fx amplification\n",
+              exp::Table::si(static_cast<double>(last.bsp.totals.messages)).c_str(),
+              exp::Table::si(static_cast<double>(last.graphct.totals.writes)).c_str(),
+              static_cast<double>(last.bsp.totals.messages) /
+                  static_cast<double>(last.graphct.totals.writes));
+  std::printf(
+      "\npaper reference (scale %u, %uP): %.0f s BSP vs %.1f s GraphCT "
+      "(%.1fx); %.1f G possible-triangle messages -> %.1f M triangles "
+      "(%.0fx writes). The amplification tracks the wedge:triangle ratio, "
+      "which grows with scale.\n",
+      exp::paper::kScale, exp::paper::kProcessors, exp::paper::kTcBspSeconds,
+      exp::paper::kTcGraphctSeconds, exp::paper::kTcRatio,
+      exp::paper::kTcPossibleTriangleMessages / 1e9,
+      exp::paper::kTcActualTriangles / 1e6, exp::paper::kTcWriteRatio);
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

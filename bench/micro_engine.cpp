@@ -1,0 +1,89 @@
+// Microbenchmarks of the XMT simulator itself (host wall-clock throughput
+// and scaling of the event engine) — google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "xmt/cost_model.hpp"
+#include "xmt/engine.hpp"
+
+namespace {
+
+using namespace xg::xmt;
+
+void BM_ParallelForCompute(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.processors = static_cast<std::uint32_t>(state.range(0));
+  Engine e(cfg);
+  const std::uint64_t n = 1 << 16;
+  for (auto _ : state) {
+    const auto stats =
+        e.parallel_for(n, [](std::uint64_t, OpSink& s) { s.compute(4); });
+    benchmark::DoNotOptimize(stats.end);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ParallelForCompute)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ParallelForMemory(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.processors = 64;
+  Engine e(cfg);
+  const std::uint64_t n = 1 << 15;
+  std::vector<std::uint64_t> data(n);
+  for (auto _ : state) {
+    const auto stats = e.parallel_for(n, [&](std::uint64_t i, OpSink& s) {
+      s.load(&data[i]);
+      s.store(&data[i]);
+    });
+    benchmark::DoNotOptimize(stats.end);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_ParallelForMemory);
+
+void BM_HotspotFetchAdd(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.processors = 64;
+  Engine e(cfg);
+  std::uint64_t counter = 0;
+  const std::uint64_t n = 1 << 14;
+  for (auto _ : state) {
+    const auto stats = e.parallel_for(
+        n, [&](std::uint64_t, OpSink& s) { s.fetch_add(&counter); });
+    benchmark::DoNotOptimize(stats.end);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_HotspotFetchAdd);
+
+void BM_DynamicSchedule(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.processors = 64;
+  Engine e(cfg);
+  const std::uint64_t n = 1 << 15;
+  for (auto _ : state) {
+    const auto stats = e.parallel_for(
+        n, [](std::uint64_t, OpSink& s) { s.compute(2); },
+        {.dynamic_schedule = true, .chunk = 64});
+    benchmark::DoNotOptimize(stats.end);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_DynamicSchedule);
+
+void BM_CostModelPredict(benchmark::State& state) {
+  const SimConfig cfg;
+  const LoopProfile p = make_profile(cfg, 1 << 20, 6.0, 2.0, 1.0, 0);
+  for (auto _ : state) {
+    for (std::uint32_t procs : {8u, 16u, 32u, 64u, 128u}) {
+      benchmark::DoNotOptimize(predict_loop_cycles(cfg, p, procs));
+    }
+  }
+}
+BENCHMARK(BM_CostModelPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Microbenchmarks of the graph substrate and the native (host-parallel)
+// kernels — google-benchmark binary. These measure real wall-clock time,
+// demonstrating the library as an ordinary parallel graph-analytics
+// package (the "GraphCT on a commodity workstation" role).
+
+#include <benchmark/benchmark.h>
+
+#include "graph/csr.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graph/rmat.hpp"
+#include "native/algorithms.hpp"
+#include "native/thread_pool.hpp"
+
+namespace {
+
+using namespace xg;
+
+graph::CSRGraph test_graph(std::uint32_t scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 16;
+  p.seed = 7;
+  return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+void BM_RmatGenerate(benchmark::State& state) {
+  graph::RmatParams p;
+  p.scale = static_cast<std::uint32_t>(state.range(0));
+  p.seed = 7;
+  for (auto _ : state) {
+    auto edges = graph::rmat_edges(p);
+    benchmark::DoNotOptimize(edges.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.num_edges()));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(14)->Arg(16);
+
+void BM_CsrBuild(benchmark::State& state) {
+  graph::RmatParams p;
+  p.scale = static_cast<std::uint32_t>(state.range(0));
+  p.seed = 7;
+  const auto edges = graph::rmat_edges(p);
+  for (auto _ : state) {
+    auto g = graph::CSRGraph::build(edges);
+    benchmark::DoNotOptimize(g.num_arcs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(14)->Arg(16);
+
+void BM_ReferenceBfs(benchmark::State& state) {
+  const auto g = test_graph(16);
+  const auto src = g.max_degree_vertex();
+  for (auto _ : state) {
+    auto r = graph::ref::bfs(g, src);
+    benchmark::DoNotOptimize(r.reached);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_ReferenceBfs);
+
+void BM_NativeBfs(benchmark::State& state) {
+  const auto g = test_graph(16);
+  const auto src = g.max_degree_vertex();
+  native::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto r = native::bfs(pool, g, src);
+    benchmark::DoNotOptimize(r.reached);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_NativeBfs)->Arg(1)->Arg(4)->Arg(0);
+
+void BM_ReferenceComponents(benchmark::State& state) {
+  const auto g = test_graph(16);
+  for (auto _ : state) {
+    auto labels = graph::ref::connected_components(g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_ReferenceComponents);
+
+void BM_NativeComponents(benchmark::State& state) {
+  const auto g = test_graph(16);
+  native::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    auto labels = native::connected_components(pool, g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+}
+BENCHMARK(BM_NativeComponents)->Arg(1)->Arg(0);
+
+void BM_ReferenceTriangles(benchmark::State& state) {
+  const auto g = test_graph(14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ref::count_triangles(g));
+  }
+}
+BENCHMARK(BM_ReferenceTriangles);
+
+void BM_NativeTriangles(benchmark::State& state) {
+  const auto g = test_graph(14);
+  native::ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(native::count_triangles(pool, g));
+  }
+}
+BENCHMARK(BM_NativeTriangles)->Arg(1)->Arg(0);
+
+void BM_NativePageRank(benchmark::State& state) {
+  const auto g = test_graph(14);
+  native::ThreadPool pool;
+  for (auto _ : state) {
+    auto r = native::pagerank(pool, g, 10);
+    benchmark::DoNotOptimize(r.data());
+  }
+}
+BENCHMARK(BM_NativePageRank);
+
+}  // namespace
+
+BENCHMARK_MAIN();

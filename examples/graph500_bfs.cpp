@@ -1,0 +1,97 @@
+// Graph500-style BFS benchmark (the paper's §IV cites the Graph500 as the
+// home of breadth-first search): generate the Graph500 R-MAT graph, run
+// BFS from a sample of random roots in both programming models, validate
+// every search tree, and report simulated TEPS (traversed edges/second).
+//
+//   $ ./graph500_bfs [--scale N] [--roots N] [--processors N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rng.hpp"
+#include "graphct/bfs.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Graph500-style BFS in both models with tree "
+                       "validation and simulated TEPS.\nOptions: --scale N "
+                       "--roots N --seed N --processors N");
+  args.handle_help();
+
+  graph::RmatParams params;
+  params.scale = static_cast<std::uint32_t>(args.get_int("scale", 14));
+  params.edgefactor = 16;  // Graph500 setting
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto g = graph::CSRGraph::build(graph::rmat_edges(params));
+  const auto roots_wanted =
+      static_cast<std::uint32_t>(args.get_int("roots", 8));
+
+  xmt::SimConfig cfg;
+  cfg.processors = static_cast<std::uint32_t>(args.get_int("processors", 128));
+  xmt::Engine machine(cfg);
+
+  std::printf("== Graph500-style BFS ==\n");
+  std::printf("graph: scale %u, %u vertices, %llu arcs; %u roots; "
+              "%u processors\n\n",
+              params.scale, g.num_vertices(),
+              static_cast<unsigned long long>(g.num_arcs()), roots_wanted,
+              cfg.processors);
+
+  // Root sample: random vertices with at least one edge (Graph500 rule).
+  graph::Rng rng(params.seed ^ 0x9e3779b9);
+  std::vector<graph::vid_t> roots;
+  while (roots.size() < roots_wanted) {
+    const auto v = static_cast<graph::vid_t>(rng.below(g.num_vertices()));
+    if (g.degree(v) > 0) roots.push_back(v);
+  }
+
+  exp::Table table({"root", "reached", "levels", "GraphCT", "CT GTEPS",
+                    "BSP", "BSP GTEPS", "valid"});
+  double ct_total = 0.0;
+  double bsp_total = 0.0;
+  for (const auto root : roots) {
+    machine.reset();
+    const auto ct = graphct::bfs(machine, g, root);
+    machine.reset();
+    const auto bs = bsp::bfs(machine, g, root);
+
+    // Graph500 counts traversed edges = sum of degrees of reached vertices.
+    std::uint64_t traversed = 0;
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (ct.distance[v] != graph::kInfDist) traversed += g.degree(v);
+    }
+    const double ct_s = cfg.seconds(ct.totals.cycles);
+    const double bsp_s = cfg.seconds(bs.totals.cycles);
+    ct_total += ct_s;
+    bsp_total += bsp_s;
+
+    const auto err = graph::ref::validate_bfs_tree(g, root, ct.distance,
+                                                   ct.parent);
+    const bool same = ct.distance == bs.distance;
+    table.add_row({std::to_string(root), std::to_string(ct.reached),
+                   std::to_string(ct.levels.size()),
+                   exp::Table::seconds(ct_s),
+                   exp::Table::fixed(traversed / ct_s / 1e9, 3),
+                   exp::Table::seconds(bsp_s),
+                   exp::Table::fixed(traversed / bsp_s / 1e9, 3),
+                   err.empty() && same ? "yes" : ("NO: " + err)});
+  }
+  table.print(std::cout);
+  std::printf("\nmean BSP:GraphCT ratio over %zu roots: %.1f:1 "
+              "(paper: 10.1:1 for one root at scale 24)\n",
+              roots.size(), bsp_total / ct_total);
+  std::printf("note: GTEPS are simulated-time TEPS on the modeled XMT, not "
+              "host wall-clock.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,121 @@
+// Write one vertex program, price it on two machines.
+//
+// The library's vertex programs are templates over their context, so the
+// exact same algorithm object runs (a) on the simulated Cray XMT — a flat
+// shared memory where messaging costs fetch-and-adds — and (b) on a
+// Giraph-style commodity cluster — hash-partitioned vertices, NIC limits,
+// barriers. This example defines a small custom program (distributed
+// bipartiteness check by 2-coloring) and compares where its time goes on
+// each machine.
+//
+//   $ ./machine_shootout [--scale N] [--machines N]
+
+#include <cstdio>
+#include <span>
+
+#include "bsp/engine.hpp"
+#include "cluster/engine.hpp"
+#include "exp/args.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+namespace {
+
+/// 2-coloring flood: vertex 0 takes color 0; every message proposes the
+/// opposite of the sender's color. A vertex receiving a proposal that
+/// conflicts with its existing color proves an odd cycle (not bipartite).
+/// State: 0/1 = color, 2 = uncolored, 3 = conflict seen.
+struct BipartitenessProgram {
+  using VertexState = std::uint8_t;
+  using Message = std::uint8_t;  // proposed color
+  static constexpr const char* kName = "bsp/bipartite";
+
+  void init(VertexState& s, graph::vid_t v) const { s = v == 0 ? 0 : 2; }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t /*v*/, VertexState& s,
+               std::span<const Message> msgs) const {
+    bool newly_colored = ctx.superstep() == 0 && s == 0;
+    for (const Message proposed : msgs) {
+      ctx.charge(1);
+      if (s == 2) {
+        s = proposed;
+        newly_colored = true;
+      } else if (s != 3 && s != proposed) {
+        s = 3;  // odd cycle through this vertex
+      }
+    }
+    if (newly_colored && s <= 1) {
+      ctx.send_to_all_neighbors(static_cast<Message>(1 - s));
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+const char* verdict(std::span<const std::uint8_t> state) {
+  for (const auto s : state) {
+    if (s == 3) return "NOT bipartite (odd cycle found)";
+  }
+  return "bipartite (within the colored component)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "One vertex program, two machines: bipartiteness "
+                       "2-coloring on the XMT and on a cluster.\nOptions: "
+                       "--scale N --seed N --machines N");
+  args.handle_help();
+
+  // Two inputs: a grid (bipartite) and an R-MAT graph (full of triangles).
+  const auto grid = graph::CSRGraph::build(graph::grid_graph(64, 64));
+  graph::RmatParams p;
+  p.scale = static_cast<std::uint32_t>(args.get_int("scale", 12));
+  p.edgefactor = 8;
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto rmat = graph::CSRGraph::build(graph::rmat_edges(p));
+
+  cluster::ClusterConfig ccfg;
+  ccfg.machines = static_cast<std::uint32_t>(args.get_int("machines", 6));
+  xmt::SimConfig xcfg;
+  xcfg.processors = 128;
+
+  for (const auto& [name, g] :
+       {std::pair<const char*, const graph::CSRGraph*>{"64x64 grid", &grid},
+        {"R-MAT", &rmat}}) {
+    std::printf("== %s: %u vertices, %llu edges ==\n", name,
+                g->num_vertices(),
+                static_cast<unsigned long long>(g->num_undirected_edges()));
+
+    xmt::Engine machine(xcfg);
+    const auto on_xmt = bsp::run(machine, *g, BipartitenessProgram{});
+    std::printf("  XMT (128P):      %8.3f ms simulated, %zu supersteps, "
+                "%llu messages -> %s\n",
+                1e3 * xcfg.seconds(on_xmt.totals.cycles),
+                on_xmt.supersteps.size(),
+                static_cast<unsigned long long>(on_xmt.totals.messages),
+                verdict(on_xmt.state));
+
+    const auto on_cluster = cluster::run(ccfg, *g, BipartitenessProgram{});
+    std::uint64_t remote = 0;
+    for (const auto& ss : on_cluster.supersteps) remote += ss.remote_messages;
+    std::printf("  cluster (%u mc):  %8.3f ms simulated, %llu supersteps, "
+                "%llu remote msgs, skew %.2fx -> %s\n\n",
+                ccfg.machines, 1e3 * on_cluster.totals.seconds,
+                static_cast<unsigned long long>(on_cluster.totals.supersteps),
+                static_cast<unsigned long long>(remote),
+                on_cluster.total_message_imbalance, verdict(on_cluster.state));
+  }
+
+  std::printf("Same program object, same answers, different bottlenecks: "
+              "the XMT pays fetch-and-adds per message, the cluster pays "
+              "its NIC and a per-superstep barrier.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

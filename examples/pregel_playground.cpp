@@ -1,0 +1,150 @@
+// Writing your own vertex program: the BSP engine is not limited to the
+// paper's three kernels. This example implements a custom program inline —
+// "influence spread": every vertex learns the highest-degree vertex it can
+// reach (a max-propagation flood) — and also runs the bundled SSSP and
+// PageRank extensions on a weighted graph.
+//
+//   $ ./pregel_playground [--scale N]
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <span>
+
+#include "bsp/algorithms/kcore.hpp"
+#include "bsp/algorithms/pagerank.hpp"
+#include "bsp/algorithms/sssp.hpp"
+#include "bsp/engine.hpp"
+#include "exp/args.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/sssp.hpp"
+#include "graph/rmat.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+namespace {
+
+/// Custom vertex program: flood the id of the highest-degree reachable
+/// vertex through each component. State is (best degree, best id); a vertex
+/// that learns of a better candidate re-broadcasts it.
+struct InfluenceProgram {
+  struct Candidate {
+    std::uint64_t degree = 0;
+    graph::vid_t id = graph::kNoVertex;
+    bool operator>(const Candidate& o) const {
+      return degree != o.degree ? degree > o.degree : id < o.id;
+    }
+  };
+  using VertexState = Candidate;
+  using Message = Candidate;
+  static constexpr const char* kName = "bsp/influence";
+
+  const graph::CSRGraph* graph = nullptr;
+
+  void init(VertexState& s, graph::vid_t v) const {
+    s = {graph->degree(v), v};
+  }
+
+  void compute(bsp::Context<Message>& ctx, graph::vid_t /*v*/,
+               VertexState& s, std::span<const Message> msgs) const {
+    bool improved = ctx.superstep() == 0;  // everyone introduces themselves
+    for (const Message& m : msgs) {
+      ctx.charge(2);
+      if (m > s) {
+        s = m;
+        improved = true;
+      }
+    }
+    if (improved) ctx.send_to_all_neighbors(s);
+    ctx.vote_to_halt();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Custom BSP vertex programs: influence spread, "
+                       "weighted SSSP, PageRank.\nOptions: --scale N --seed N");
+  args.handle_help();
+
+  graph::RmatParams params;
+  params.scale = static_cast<std::uint32_t>(args.get_int("scale", 12));
+  params.edgefactor = 8;
+  params.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  auto edges = graph::rmat_edges(params);
+  graph::randomize_weights(edges, 1.0, 10.0, params.seed);
+  const auto g = graph::CSRGraph::build(edges, {}, /*keep_weights=*/true);
+
+  xmt::SimConfig cfg;
+  cfg.processors = 64;
+  xmt::Engine machine(cfg);
+  std::printf("graph: %u vertices, %llu weighted edges\n\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_undirected_edges()));
+
+  // -- 1. The custom program.
+  InfluenceProgram prog;
+  prog.graph = &g;
+  const auto influence = bsp::run(machine, g, prog);
+  const auto& hub = influence.state[g.max_degree_vertex()];
+  std::printf("influence spread: converged in %llu supersteps, %llu "
+              "messages;\n  the giant component's influencer is vertex %u "
+              "(degree %llu)\n",
+              static_cast<unsigned long long>(influence.totals.supersteps),
+              static_cast<unsigned long long>(influence.totals.messages),
+              hub.id, static_cast<unsigned long long>(hub.degree));
+
+  // -- 2. Weighted SSSP from the influencer, checked against Dijkstra.
+  const auto source = hub.id;
+  const auto sp = bsp::sssp(machine, g, source);
+  const auto oracle = graph::ref::dijkstra(g, source);
+  double worst = 0.0;
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (oracle[v] != graph::ref::unreachable_distance()) {
+      worst = std::max(worst, std::abs(sp.distance[v] - oracle[v]));
+    }
+  }
+  std::printf("\nweighted SSSP from %u: %zu supersteps, max deviation from "
+              "Dijkstra %.2e (%s)\n",
+              source, sp.supersteps.size(), worst,
+              worst < 1e-9 ? "exact" : "MISMATCH");
+
+  // -- 3. PageRank: who matters?
+  const auto pr = bsp::pagerank(machine, g, /*iterations=*/20);
+  std::vector<graph::vid_t> order(g.num_vertices());
+  for (graph::vid_t v = 0; v < order.size(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](graph::vid_t a, graph::vid_t b) {
+    return pr.rank[a] > pr.rank[b];
+  });
+  std::printf("\nPageRank top 5 after %zu supersteps:\n", pr.supersteps.size());
+  for (std::size_t i = 0; i < 5 && i < order.size(); ++i) {
+    std::printf("  %zu. vertex %u  rank %.5f  degree %llu\n", i + 1, order[i],
+                pr.rank[order[i]],
+                static_cast<unsigned long long>(g.degree(order[i])));
+  }
+  // -- 4. Aggregator-driven adaptive PageRank: same answer, fewer rounds.
+  const auto apr = bsp::pagerank_adaptive(machine, g, 1e-7, 200);
+  double worst_pr = 0.0;
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    worst_pr = std::max(worst_pr, std::abs(apr.rank[v] - pr.rank[v]));
+  }
+  std::printf("\nadaptive PageRank: stopped itself after %zu supersteps "
+              "(fixed run used %zu); final aggregated L1 delta %.2e, max "
+              "rank deviation %.2e\n",
+              apr.supersteps.size(), pr.supersteps.size(), apr.final_delta,
+              worst_pr);
+
+  // -- 5. Cohesion as a vertex program: the 4-core via peeling cascades.
+  const auto core = bsp::kcore(machine, g, 4);
+  std::printf("4-core: %zu members after a %zu-superstep removal cascade, "
+              "%llu notification messages\n",
+              core.members.size(), core.supersteps.size(),
+              static_cast<unsigned long long>(core.totals.messages));
+
+  std::printf("\ntotal simulated time: %.3f ms\n", 1e3 * machine.now_seconds());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "xmt/op.hpp"
+
+namespace xg::bsp {
+
+/// Pregel-style aggregators: global values every vertex can contribute to
+/// during a superstep and read during the *next* superstep (the same
+/// crossing rule as messages).
+///
+/// On the XMT an aggregator is a shared word updated with fetch-and-add
+/// style atomics, so heavy aggregation from every vertex is itself a
+/// hotspot — each accumulate charges a serializing atomic on the slot.
+class Aggregator {
+ public:
+  enum class Op : std::uint8_t { kSum, kMin, kMax };
+
+  explicit Aggregator(Op op) : op_(op) { reset_current(); }
+
+  /// Contribute `v` this superstep; charges the shared-word update to `s`.
+  void accumulate(xmt::OpSink& s, double v) {
+    s.fetch_add(&current_);
+    accumulate_value(v);
+  }
+
+  /// Contribute without charging (for cost models that meter differently,
+  /// e.g. the cluster backend's worker-local aggregation trees).
+  void accumulate_value(double v) {
+    switch (op_) {
+      case Op::kSum:
+        current_ += v;
+        break;
+      case Op::kMin:
+        current_ = std::min(current_, v);
+        break;
+      case Op::kMax:
+        current_ = std::max(current_, v);
+        break;
+    }
+  }
+
+  /// Value aggregated during the *previous* superstep.
+  double value() const { return visible_; }
+
+  /// Superstep boundary: publish and reset.
+  void flip() {
+    visible_ = current_;
+    reset_current();
+  }
+
+  Op op() const { return op_; }
+
+ private:
+  void reset_current() {
+    switch (op_) {
+      case Op::kSum:
+        current_ = 0.0;
+        break;
+      case Op::kMin:
+        current_ = std::numeric_limits<double>::infinity();
+        break;
+      case Op::kMax:
+        current_ = -std::numeric_limits<double>::infinity();
+        break;
+    }
+  }
+
+  Op op_;
+  double current_ = 0.0;
+  double visible_ = 0.0;
+};
+
+/// The named slots available to a program during a run.
+class AggregatorSet {
+ public:
+  explicit AggregatorSet(const std::vector<Aggregator::Op>& ops) {
+    slots_.reserve(ops.size());
+    for (const auto op : ops) slots_.emplace_back(op);
+  }
+
+  Aggregator& slot(std::size_t i) {
+    if (i >= slots_.size()) {
+      throw std::out_of_range("AggregatorSet: no such aggregator slot");
+    }
+    return slots_[i];
+  }
+  const Aggregator& slot(std::size_t i) const {
+    if (i >= slots_.size()) {
+      throw std::out_of_range("AggregatorSet: no such aggregator slot");
+    }
+    return slots_[i];
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+  void flip() {
+    for (auto& a : slots_) a.flip();
+  }
+
+ private:
+  std::vector<Aggregator> slots_;
+};
+
+}  // namespace xg::bsp

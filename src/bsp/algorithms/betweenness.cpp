@@ -1,0 +1,40 @@
+#include "bsp/algorithms/betweenness.hpp"
+
+#include <stdexcept>
+
+namespace xg::bsp {
+
+BspBetweennessResult betweenness_centrality(
+    xmt::Engine& machine, const graph::CSRGraph& g,
+    std::span<const graph::vid_t> sources, BspOptions opt) {
+  BspBetweennessResult r;
+  r.scores.assign(g.num_vertices(), 0.0);
+  opt.aggregators = {Aggregator::Op::kMax, Aggregator::Op::kSum};
+
+  std::uint64_t valid_sources = 0;
+  for (const graph::vid_t s : sources) {
+    if (s < g.num_vertices()) ++valid_sources;
+  }
+  if (valid_sources == 0) return r;
+  const double scale = static_cast<double>(g.num_vertices()) /
+                       static_cast<double>(valid_sources);
+
+  for (const graph::vid_t s : sources) {
+    if (s >= g.num_vertices()) continue;
+    BetweennessProgram prog;
+    prog.source = s;
+    auto run_result = run(machine, g, prog, opt);
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (v != s && run_result.state[v].dist >= 0) {
+        r.scores[v] += scale * run_result.state[v].delta;
+      }
+    }
+    r.totals.messages += run_result.totals.messages;
+    r.totals.cycles += run_result.totals.cycles;
+    r.supersteps += run_result.totals.supersteps;
+    ++r.sources_processed;
+  }
+  return r;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::bsp {
+
+/// Brandes betweenness centrality as a vertex program — the hardest of the
+/// GraphCT kernels to express in the BSP model, because it needs two
+/// *globally coordinated* phases per source:
+///
+///  * a forward BFS wave accumulating shortest-path counts (sigma): all of
+///    a vertex's predecessor contributions arrive together in the
+///    superstep equal to its depth;
+///  * a backward dependency wave, deepest level first: a vertex at depth d
+///    broadcasts (1 + delta)/sigma when the backward schedule reaches d,
+///    and predecessors fold it into their delta.
+///
+/// The phase switch and the backward schedule are driven by two Pregel
+/// aggregators (max depth reached; vertices discovered this superstep) —
+/// exactly the kind of global coordination the Pregel paper introduced
+/// aggregators for. Per-source cost is ~2 x depth supersteps.
+struct BetweennessProgram {
+  graph::vid_t source = 0;
+
+  struct State {
+    std::int32_t dist = -1;
+    std::int64_t sigma = 0;
+    double delta = 0.0;
+    std::int32_t backward_start = -1;  ///< superstep the backward wave began
+    std::int32_t max_depth = 0;        ///< latched from the depth aggregator
+  };
+  struct Msg {
+    std::int32_t dist = 0;  ///< sender's depth
+    double value = 0.0;     ///< forward: sigma; backward: (1+delta)/sigma
+  };
+  using VertexState = State;
+  using Message = Msg;
+  static constexpr const char* kName = "bsp/betweenness";
+  static constexpr std::size_t kMaxDepthSlot = 0;
+  static constexpr std::size_t kDiscoveredSlot = 1;
+
+  void init(VertexState& s, graph::vid_t v) const {
+    s = State{};
+    if (v == source) {
+      s.dist = 0;
+      s.sigma = 1;
+    }
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t /*v*/, VertexState& s,
+               std::span<const Message> msgs) const {
+    const auto ss = static_cast<std::int32_t>(ctx.superstep());
+
+    if (ss == 0) {
+      if (s.dist == 0) {
+        ctx.aggregate(kMaxDepthSlot, 0.0);
+        ctx.aggregate(kDiscoveredSlot, 1.0);
+        ctx.send_to_all_neighbors({0, 1.0});
+      }
+      return;  // everyone stays active to watch the aggregators
+    }
+
+    if (s.backward_start < 0 && ctx.aggregated(kDiscoveredSlot) > 0.0) {
+      // Forward phase. Aggregator values last one superstep, so every
+      // discovered vertex re-contributes its depth each round; the value
+      // visible when the wave dies is therefore the global maximum.
+      if (s.dist >= 0) {
+        ctx.aggregate(kMaxDepthSlot, static_cast<double>(s.dist));
+        return;
+      }
+      // Undiscovered vertices hit by the wave join it; all predecessor
+      // sigmas arrive together (predecessors sit exactly one level up).
+      if (!msgs.empty()) {
+        s.dist = ss;
+        for (const Msg& m : msgs) {
+          ctx.charge(2);
+          s.sigma += static_cast<std::int64_t>(m.value);
+        }
+        ctx.sink().store(&s);
+        ctx.aggregate(kMaxDepthSlot, static_cast<double>(s.dist));
+        ctx.aggregate(kDiscoveredSlot, 1.0);
+        ctx.send_to_all_neighbors({s.dist, static_cast<double>(s.sigma)});
+      }
+      return;
+    }
+
+    // Backward phase. Record when it began (the same superstep for
+    // everyone, since the aggregator value is global) and latch the depth —
+    // the aggregator resets next superstep.
+    if (s.backward_start < 0) {
+      s.backward_start = ss;
+      s.max_depth = static_cast<std::int32_t>(ctx.aggregated(kMaxDepthSlot));
+      if (s.dist < 0) {
+        ctx.vote_to_halt();  // unreached: no role in the dependency wave
+        return;
+      }
+    }
+
+    // Fold dependency contributions from successors (depth d+1).
+    for (const Msg& m : msgs) {
+      ctx.charge(2);
+      if (s.dist >= 0 && m.dist == s.dist + 1) {
+        s.delta += static_cast<double>(s.sigma) * m.value;
+        ctx.charge(3);
+      }
+    }
+
+    const std::int32_t sending_level = s.max_depth - (ss - s.backward_start);
+    if (s.dist >= 1 && s.dist == sending_level) {
+      ctx.sink().store(&s);
+      ctx.charge(4);
+      ctx.send_to_all_neighbors(
+          {s.dist, (1.0 + s.delta) / static_cast<double>(s.sigma)});
+    }
+    if (sending_level <= s.dist) {
+      // This vertex's slot in the schedule has passed; nothing left to do
+      // unless a stray message reactivates it (it will be ignored).
+      ctx.vote_to_halt();
+    }
+  }
+};
+
+struct BspBetweennessResult {
+  std::vector<double> scores;
+  BspTotals totals;
+  std::uint64_t sources_processed = 0;
+  std::uint64_t supersteps = 0;
+};
+
+/// Betweenness from the given source set, scaled by n/|sources| (the same
+/// k-sources estimator as graphct::betweenness_centrality). Runs one BSP
+/// program per source.
+BspBetweennessResult betweenness_centrality(xmt::Engine& machine,
+                                            const graph::CSRGraph& g,
+                                            std::span<const graph::vid_t> sources,
+                                            BspOptions opt = {});
+
+}  // namespace xg::bsp

@@ -1,0 +1,23 @@
+#include "bsp/algorithms/bfs.hpp"
+
+#include <stdexcept>
+
+namespace xg::bsp {
+
+BspBfsResult bfs(xmt::Engine& machine, const graph::CSRGraph& g,
+                 graph::vid_t source, const BspOptions& opt) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("bsp::bfs: source out of range");
+  }
+  auto run_result = run(machine, g, BfsProgram{source}, opt);
+  BspBfsResult r;
+  r.distance = std::move(run_result.state);
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  for (const std::uint32_t d : r.distance) {
+    if (d != graph::kInfDist) ++r.reached;
+  }
+  return r;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,20 @@
+#include "bsp/algorithms/connected_components.hpp"
+
+#include "graph/reference/components.hpp"
+
+namespace xg::bsp {
+
+BspCCResult connected_components(xmt::Engine& machine,
+                                 const graph::CSRGraph& g,
+                                 const BspOptions& opt) {
+  auto run_result = run(machine, g, CCProgram{}, opt);
+  BspCCResult r;
+  r.labels = std::move(run_result.state);
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  graph::ref::canonicalize_labels(r.labels);
+  r.num_components = graph::ref::count_components(r.labels);
+  return r;
+}
+
+}  // namespace xg::bsp

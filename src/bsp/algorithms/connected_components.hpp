@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::bsp {
+
+/// Paper Algorithm 1: connected components in the BSP model.
+///
+/// Vertex state is the component label L. In superstep 0 every vertex
+/// labels itself with its own id (as in the Shiloach-Vishkin approach) and
+/// sends the label to all neighbors. Afterwards, a vertex that receives a
+/// smaller label adopts it and re-broadcasts; everyone votes to halt every
+/// superstep, so only message arrival reactivates a vertex. Messages cross
+/// superstep boundaries, so labels propagate on *stale* data — the reason
+/// this needs at least twice the iterations of the shared-memory variant
+/// (paper §VI).
+struct CCProgram {
+  using VertexState = graph::vid_t;
+  using Message = graph::vid_t;
+  static constexpr const char* kName = "bsp/cc";
+
+  void init(VertexState& label, graph::vid_t v) const { label = v; }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t /*v*/, VertexState& label,
+               std::span<const Message> msgs) const {
+    bool improved = false;  // the paper's Vote flag
+    for (const Message m : msgs) {
+      ctx.charge(1);  // compare + branch (Alg 1 lines 3-5)
+      if (m < label) {
+        label = m;
+        improved = true;
+      }
+    }
+    if (improved) ctx.sink().store(&label);
+
+    if (ctx.superstep() == 0) {
+      ctx.send_to_all_neighbors(label);  // Alg 1 lines 6-9
+    } else if (improved) {
+      ctx.send_to_all_neighbors(label);  // Alg 1 lines 10-13
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+/// Convenience result mirroring graphct::CCResult.
+struct BspCCResult {
+  std::vector<graph::vid_t> labels;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+  graph::vid_t num_components = 0;
+};
+
+BspCCResult connected_components(xmt::Engine& machine,
+                                 const graph::CSRGraph& g,
+                                 const BspOptions& opt = {});
+
+}  // namespace xg::bsp

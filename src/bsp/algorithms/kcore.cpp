@@ -1,0 +1,25 @@
+#include "bsp/algorithms/kcore.hpp"
+
+namespace xg::bsp {
+
+BspKCoreResult kcore(xmt::Engine& machine, const graph::CSRGraph& g,
+                     std::uint32_t k, const BspOptions& opt) {
+  KCoreProgram prog;
+  prog.k = k;
+  prog.graph = &g;
+  auto run_result = run(machine, g, prog, opt);
+
+  BspKCoreResult r;
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  r.survivors.resize(g.num_vertices(), 0);
+  for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (run_result.state[v].alive) {
+      r.survivors[v] = 1;
+      r.members.push_back(v);
+    }
+  }
+  return r;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::bsp {
+
+/// k-core extraction as a vertex program (an extension beyond the paper's
+/// three kernels): every vertex tracks its live degree; when it drops below
+/// k the vertex removes itself and notifies its neighbors, whose arriving
+/// messages decrement their own counts — a cascade that mirrors the
+/// peeling rounds of the shared-memory kernel. Works unchanged with a
+/// sum-combiner (the messages are just increments of one).
+struct KCoreProgram {
+  std::uint32_t k = 2;
+  const graph::CSRGraph* graph = nullptr;
+
+  struct State {
+    std::int64_t live_degree = 0;
+    bool alive = true;
+  };
+  using VertexState = State;
+  using Message = std::uint32_t;  ///< count of newly removed neighbors
+  static constexpr const char* kName = "bsp/kcore";
+
+  void init(VertexState& s, graph::vid_t v) const {
+    s.live_degree = static_cast<std::int64_t>(graph->degree(v));
+    s.alive = true;
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t /*v*/, VertexState& s,
+               std::span<const Message> msgs) const {
+    if (s.alive) {
+      for (const Message m : msgs) {
+        ctx.charge(1);
+        s.live_degree -= m;
+      }
+      if (s.live_degree < static_cast<std::int64_t>(k)) {
+        s.alive = false;
+        ctx.sink().store(&s);
+        ctx.send_to_all_neighbors(1);
+      }
+    }
+    // Dead vertices may still receive (and discard) stale notifications.
+    ctx.vote_to_halt();
+  }
+};
+
+struct BspKCoreResult {
+  std::vector<std::uint8_t> survivors;  ///< 1 when in the k-core
+  std::vector<graph::vid_t> members;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+};
+
+BspKCoreResult kcore(xmt::Engine& machine, const graph::CSRGraph& g,
+                     std::uint32_t k, const BspOptions& opt = {});
+
+}  // namespace xg::bsp

@@ -1,0 +1,56 @@
+#include "bsp/algorithms/pagerank.hpp"
+
+#include <stdexcept>
+
+namespace xg::bsp {
+
+BspPageRankResult pagerank(xmt::Engine& machine, const graph::CSRGraph& g,
+                           std::uint32_t iterations, double damping,
+                           const BspOptions& opt) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("bsp::pagerank: empty graph");
+  }
+  if (damping < 0.0 || damping >= 1.0) {
+    throw std::invalid_argument("bsp::pagerank: damping must be in [0, 1)");
+  }
+  PageRankProgram prog;
+  prog.num_vertices = g.num_vertices();
+  prog.iterations = iterations;
+  prog.damping = damping;
+  auto run_result = run(machine, g, prog, opt);
+  BspPageRankResult r;
+  r.rank = std::move(run_result.state);
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  return r;
+}
+
+BspAdaptivePageRankResult pagerank_adaptive(xmt::Engine& machine,
+                                            const graph::CSRGraph& g,
+                                            double tolerance,
+                                            std::uint32_t max_iterations,
+                                            double damping, BspOptions opt) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("bsp::pagerank_adaptive: empty graph");
+  }
+  if (tolerance <= 0.0) {
+    throw std::invalid_argument("bsp::pagerank_adaptive: tolerance must be > 0");
+  }
+  PageRankAdaptiveProgram prog;
+  prog.num_vertices = g.num_vertices();
+  prog.damping = damping;
+  prog.tolerance = tolerance;
+  prog.max_iterations = max_iterations;
+  opt.aggregators = {Aggregator::Op::kSum};
+  auto run_result = run(machine, g, prog, opt);
+  BspAdaptivePageRankResult r;
+  r.rank = std::move(run_result.state);
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  r.final_delta = run_result.final_aggregates.empty()
+                      ? 0.0
+                      : run_result.final_aggregates.front();
+  return r;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::bsp {
+
+/// PageRank in the BSP model (the canonical Pregel example; a future-work
+/// style extension beyond the paper's three kernels). Runs a fixed number
+/// of power iterations; each vertex scatters rank/degree to its neighbors
+/// and sums what arrives. Rank mass leaking through degree-0 vertices is
+/// not redistributed (the usual vertex-centric simplification).
+struct PageRankProgram {
+  graph::vid_t num_vertices = 0;  ///< set by the runner
+  std::uint32_t iterations = 20;
+  double damping = 0.85;
+
+  using VertexState = double;  // current rank
+  using Message = double;      // rank contribution
+  static constexpr const char* kName = "bsp/pagerank";
+
+  void init(VertexState& rank, graph::vid_t /*v*/) const {
+    rank = 1.0 / static_cast<double>(num_vertices);
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t v, VertexState& rank,
+               std::span<const Message> msgs) const {
+    if (ctx.superstep() > 0) {
+      double sum = 0.0;
+      for (const Message m : msgs) {
+        ctx.charge(1);
+        sum += m;
+      }
+      rank = (1.0 - damping) / static_cast<double>(num_vertices) +
+             damping * sum;
+      ctx.charge(3);
+      ctx.sink().store(&rank);
+    }
+    if (ctx.superstep() < iterations) {
+      const auto deg = ctx.graph().degree(v);
+      if (deg > 0) {
+        ctx.charge(2);  // the divide
+        ctx.send_to_all_neighbors(rank / static_cast<double>(deg));
+      }
+      // No vote: stay active so the next power iteration runs even if no
+      // message arrives (isolated vertices still refresh their rank).
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+};
+
+struct BspPageRankResult {
+  std::vector<double> rank;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+};
+
+BspPageRankResult pagerank(xmt::Engine& machine, const graph::CSRGraph& g,
+                           std::uint32_t iterations = 20,
+                           double damping = 0.85, const BspOptions& opt = {});
+
+/// PageRank with aggregator-driven termination: every vertex contributes
+/// its |Δrank| to a sum aggregator; once the aggregated L1 delta (visible
+/// one superstep later, per Pregel's aggregator rule) drops below
+/// `tolerance`, everyone halts. Demonstrates the aggregator mechanism and
+/// usually converges well before a fixed iteration budget.
+struct PageRankAdaptiveProgram {
+  graph::vid_t num_vertices = 0;
+  double damping = 0.85;
+  double tolerance = 1e-6;
+  std::uint32_t max_iterations = 200;
+
+  using VertexState = double;
+  using Message = double;
+  static constexpr const char* kName = "bsp/pagerank-adaptive";
+  static constexpr std::size_t kDeltaSlot = 0;
+
+  void init(VertexState& rank, graph::vid_t /*v*/) const {
+    rank = 1.0 / static_cast<double>(num_vertices);
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t v, VertexState& rank,
+               std::span<const Message> msgs) const {
+    if (ctx.superstep() > 0) {
+      double sum = 0.0;
+      for (const Message m : msgs) {
+        ctx.charge(1);
+        sum += m;
+      }
+      const double next = (1.0 - damping) / num_vertices + damping * sum;
+      ctx.aggregate(kDeltaSlot, next > rank ? next - rank : rank - next);
+      rank = next;
+      ctx.charge(4);
+      ctx.sink().store(&rank);
+    }
+    // The delta aggregated in superstep s-1 becomes visible in s, so the
+    // convergence check starts at superstep 2.
+    const bool converged =
+        ctx.superstep() >= 2 && ctx.aggregated(kDeltaSlot) < tolerance;
+    if (ctx.superstep() < max_iterations && !converged) {
+      const auto deg = ctx.graph().degree(v);
+      if (deg > 0) {
+        ctx.charge(2);
+        ctx.send_to_all_neighbors(rank / static_cast<double>(deg));
+      }
+    } else {
+      ctx.vote_to_halt();
+    }
+  }
+};
+
+struct BspAdaptivePageRankResult {
+  std::vector<double> rank;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+  double final_delta = 0.0;  ///< last aggregated L1 rank change
+};
+
+BspAdaptivePageRankResult pagerank_adaptive(xmt::Engine& machine,
+                                            const graph::CSRGraph& g,
+                                            double tolerance = 1e-6,
+                                            std::uint32_t max_iterations = 200,
+                                            double damping = 0.85,
+                                            BspOptions opt = {});
+
+}  // namespace xg::bsp

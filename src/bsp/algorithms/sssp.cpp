@@ -1,0 +1,20 @@
+#include "bsp/algorithms/sssp.hpp"
+
+#include <stdexcept>
+
+namespace xg::bsp {
+
+BspSsspResult sssp(xmt::Engine& machine, const graph::CSRGraph& g,
+                   graph::vid_t source, const BspOptions& opt) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("bsp::sssp: source out of range");
+  }
+  auto run_result = run(machine, g, SsspProgram{source}, opt);
+  BspSsspResult r;
+  r.distance = std::move(run_result.state);
+  r.supersteps = std::move(run_result.supersteps);
+  r.totals = run_result.totals;
+  return r;
+}
+
+}  // namespace xg::bsp

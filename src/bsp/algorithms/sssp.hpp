@@ -1,0 +1,69 @@
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::bsp {
+
+/// Single-source shortest paths in the BSP model (the Pregel flagship
+/// example, and the workload of the Kajdanowicz et al. Giraph comparison
+/// the paper cites). Vertex state is the tentative distance; an improved
+/// vertex relaxes all its out-edges by sending `dist + w(v,u)` to each
+/// neighbor. Unweighted graphs degrade to BFS with unit weights.
+struct SsspProgram {
+  graph::vid_t source = 0;
+
+  using VertexState = double;
+  using Message = double;
+  static constexpr const char* kName = "bsp/sssp";
+
+  void init(VertexState& d, graph::vid_t v) const {
+    d = (v == source) ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t v, VertexState& d,
+               std::span<const Message> msgs) const {
+    bool improved = false;
+    for (const Message m : msgs) {
+      ctx.charge(1);
+      if (m < d) {
+        d = m;
+        improved = true;
+      }
+    }
+    if (improved) ctx.sink().store(&d);
+
+    const bool relax = (ctx.superstep() == 0) ? (v == source) : improved;
+    if (relax) {
+      const auto& g = ctx.graph();
+      const auto nbrs = g.neighbors(v);
+      const auto wts = g.weights(v);
+      ctx.sink().load_n(g.adjacency_ptr(v),
+                        static_cast<std::uint32_t>(nbrs.size()));
+      if (!wts.empty()) {
+        ctx.sink().load_n(wts.data(), static_cast<std::uint32_t>(wts.size()));
+      }
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        ctx.charge(1);  // the add
+        ctx.send(nbrs[i], d + (wts.empty() ? 1.0 : wts[i]));
+      }
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+struct BspSsspResult {
+  std::vector<double> distance;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+};
+
+BspSsspResult sssp(xmt::Engine& machine, const graph::CSRGraph& g,
+                   graph::vid_t source, const BspOptions& opt = {});
+
+}  // namespace xg::bsp

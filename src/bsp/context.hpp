@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "bsp/aggregator.hpp"
+#include "bsp/message_buffer.hpp"
+#include "graph/csr.hpp"
+#include "xmt/op.hpp"
+
+namespace xg::bsp {
+
+/// Per-vertex view of the BSP runtime handed to Program::compute — the
+/// paper's "vertex as a first-class citizen and independent actor".
+///
+/// All communication and cost accounting flows through here: sends charge
+/// the simulated machine (payload store + slot fetch-and-add), adjacency
+/// scans charge their reads, and extra per-message computation is charged
+/// with charge().
+template <typename M>
+class Context {
+ public:
+  Context(xmt::OpSink& sink, const graph::CSRGraph& g, MessageBuffer<M>& buf,
+          std::uint32_t superstep, graph::vid_t vertex,
+          AggregatorSet* aggregators = nullptr)
+      : sink_(sink),
+        g_(g),
+        buf_(buf),
+        aggregators_(aggregators),
+        superstep_(superstep),
+        vertex_(vertex) {}
+
+  std::uint32_t superstep() const { return superstep_; }
+  graph::vid_t vertex() const { return vertex_; }
+  graph::vid_t num_vertices() const { return g_.num_vertices(); }
+  const graph::CSRGraph& graph() const { return g_; }
+
+  /// Send to an arbitrary vertex the sender knows (e.g. learned from a
+  /// message), visible next superstep.
+  void send(graph::vid_t dst, const M& m) { buf_.send(sink_, dst, m); }
+
+  /// Send the same message to every neighbor; charges the adjacency scan
+  /// plus one send per neighbor.
+  void send_to_all_neighbors(const M& m) {
+    const auto nbrs = g_.neighbors(vertex_);
+    sink_.load_n(g_.adjacency_ptr(vertex_),
+                 static_cast<std::uint32_t>(nbrs.size()));
+    for (graph::vid_t u : nbrs) buf_.send(sink_, u, m);
+  }
+
+  /// Declare this vertex done; it will not be scheduled again until a
+  /// message arrives for it.
+  void vote_to_halt() { voted_halt_ = true; }
+  bool voted_halt() const { return voted_halt_; }
+
+  /// Charge `n` local-computation instructions.
+  void charge(std::uint32_t n) { sink_.compute(n); }
+
+  /// Contribute to aggregator `slot` (visible next superstep). Requires the
+  /// slot to have been declared in BspOptions::aggregators.
+  void aggregate(std::size_t slot, double v) {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("Context::aggregate: no aggregators declared");
+    }
+    aggregators_->slot(slot).accumulate(sink_, v);
+  }
+
+  /// Value aggregator `slot` accumulated during the previous superstep.
+  double aggregated(std::size_t slot) const {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("Context::aggregated: no aggregators declared");
+    }
+    sink_.load(&aggregators_->slot(slot));
+    return aggregators_->slot(slot).value();
+  }
+
+  /// Raw access for kernels with bespoke charging (weighted scans, ...).
+  xmt::OpSink& sink() { return sink_; }
+
+ private:
+  xmt::OpSink& sink_;
+  const graph::CSRGraph& g_;
+  MessageBuffer<M>& buf_;
+  AggregatorSet* aggregators_ = nullptr;
+  std::uint32_t superstep_;
+  graph::vid_t vertex_;
+  bool voted_halt_ = false;
+};
+
+}  // namespace xg::bsp

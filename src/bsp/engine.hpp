@@ -1,0 +1,149 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsp/context.hpp"
+#include "bsp/message_buffer.hpp"
+#include "bsp/types.hpp"
+#include "graph/csr.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+
+/// Result of a BSP program run.
+template <typename Program>
+struct Result {
+  std::vector<typename Program::VertexState> state;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+  /// Final values of the declared aggregator slots (from the last flip).
+  std::vector<double> final_aggregates;
+  /// Checkpoints taken (BspOptions::checkpoint_interval).
+  std::uint64_t checkpoints = 0;
+};
+
+/// Requirements on a vertex program (mirrors the paper's Algorithms 1-3):
+///
+///   struct Program {
+///     using VertexState = ...;   // per-vertex state kept across supersteps
+///     using Message     = ...;   // message payload
+///     static constexpr const char* kName = "bsp/...";
+///     void init(VertexState&, graph::vid_t v) const;
+///     void compute(Context<Message>&, graph::vid_t v, VertexState&,
+///                  std::span<const Message>) const;
+///   };
+///
+/// compute() runs each superstep for every vertex that has incoming
+/// messages or has not voted to halt. The run terminates when every vertex
+/// has halted and no messages crossed the last superstep boundary.
+template <typename Program>
+Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
+                    const Program& prog, const BspOptions& opt = {}) {
+  using Message = typename Program::Message;
+  const graph::vid_t n = g.num_vertices();
+
+  Result<Program> res;
+  res.state.resize(n);
+  MessageBuffer<Message> buf(n, opt.single_queue, opt.message_send_overhead,
+                             opt.message_receive_overhead, opt.combiner);
+  AggregatorSet aggregators(opt.aggregators);
+  AggregatorSet* aggs = opt.aggregators.empty() ? nullptr : &aggregators;
+  std::vector<std::uint8_t> halted(n, 0);
+
+  const xmt::Cycles t0 = machine.now();
+
+  // State initialization sweep (one store per vertex).
+  machine.parallel_for(
+      n,
+      [&](std::uint64_t i, xmt::OpSink& s) {
+        prog.init(res.state[i], static_cast<graph::vid_t>(i));
+        s.store(&res.state[i]);
+      },
+      {.name = "bsp/init"});
+
+  std::vector<graph::vid_t> schedule;  // active-list mode only
+  for (std::uint32_t ss = 0; ss < opt.max_supersteps; ++ss) {
+    SuperstepRecord rec;
+    rec.superstep = ss;
+
+    // One vertex's turn within the superstep.
+    auto run_vertex = [&](graph::vid_t v, xmt::OpSink& s) {
+      const bool has_msgs = buf.has_incoming(v);
+      buf.charge_inbox_check(s, v);
+      s.compute(1);  // halted/inbox status branch
+      if (halted[v] && !has_msgs) return;
+
+      rec.messages_received += buf.charge_receive(s, v);
+      halted[v] = 0;
+      Context<Message> ctx(s, g, buf, ss, v, aggs);
+      prog.compute(ctx, v, res.state[v], buf.incoming(v));
+      if (ctx.voted_halt()) halted[v] = 1;
+      ++rec.computed_vertices;
+    };
+
+    if (opt.scan_all_vertices) {
+      // Paper-faithful: the XMT loop covers every vertex every superstep.
+      rec.region = machine.parallel_for(
+          n,
+          [&](std::uint64_t i, xmt::OpSink& s) {
+            run_vertex(static_cast<graph::vid_t>(i), s);
+          },
+          {.name = Program::kName});
+    } else {
+      schedule.clear();
+      for (graph::vid_t v = 0; v < n; ++v) {
+        if (!halted[v] || buf.has_incoming(v)) schedule.push_back(v);
+      }
+      rec.region = machine.parallel_for(
+          schedule.size(),
+          [&](std::uint64_t i, xmt::OpSink& s) {
+            s.load(&schedule[i]);
+            run_vertex(schedule[i], s);
+          },
+          {.name = Program::kName});
+    }
+
+    rec.messages_sent = buf.sent_this_superstep();
+    rec.messages_combined = buf.combined_this_superstep();
+    const std::uint64_t crossed = buf.flip();
+    aggregators.flip();
+
+    // Pregel fault tolerance: persist vertex state and in-flight messages.
+    if (opt.checkpoint_interval != 0 &&
+        (ss + 1) % opt.checkpoint_interval == 0) {
+      machine.parallel_for(
+          n,
+          [&](std::uint64_t i, xmt::OpSink& s) {
+            s.store(&res.state[i]);
+            const auto pending = static_cast<std::uint32_t>(
+                buf.incoming(static_cast<graph::vid_t>(i)).size());
+            if (pending > 0) s.store_n(&res.state[i], pending);
+          },
+          {.name = "bsp/checkpoint"});
+      rec.checkpointed = true;
+      ++res.checkpoints;
+    }
+
+    res.supersteps.push_back(rec);
+    res.totals.messages += rec.messages_sent;
+    ++res.totals.supersteps;
+
+    if (crossed == 0 &&
+        std::all_of(halted.begin(), halted.end(),
+                    [](std::uint8_t h) { return h != 0; })) {
+      break;
+    }
+  }
+
+  res.final_aggregates.reserve(aggregators.size());
+  for (std::size_t i = 0; i < aggregators.size(); ++i) {
+    res.final_aggregates.push_back(aggregators.slot(i).value());
+  }
+  res.totals.cycles = machine.now() - t0;
+  return res;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "bsp/types.hpp"
+#include "graph/types.hpp"
+#include "xmt/op.hpp"
+
+namespace xg::bsp {
+
+/// Double-buffered per-vertex message store.
+///
+/// Messages sent during superstep s land in the outgoing buffer and become
+/// visible in superstep s+1 after flip() — the BSP rule that messages cross
+/// superstep boundaries. Sending charges the simulated machine one payload
+/// store plus one fetch-and-add that claims a slot: on the destination
+/// vertex's inbox tail normally, or on a single shared tail in single-queue
+/// mode (the hotspot ablation). Delivery semantics are identical either way.
+template <typename M>
+class MessageBuffer {
+ public:
+  /// `send_overhead` / `receive_overhead` are the per-message software
+  /// costs in instructions (see BspOptions); the XMT has no native message
+  /// queues, so enqueue/dequeue are real code.
+  explicit MessageBuffer(graph::vid_t n, bool single_queue = false,
+                         std::uint32_t send_overhead = 8,
+                         std::uint32_t receive_overhead = 4,
+                         Combiner combiner = Combiner::kNone)
+      : in_(n),
+        out_(n),
+        tails_(n, 0),
+        send_overhead_(send_overhead),
+        receive_overhead_(receive_overhead),
+        combiner_(combiner),
+        single_queue_(single_queue) {}
+
+  /// Send `m` to `dst`, visible next superstep. Charges the send to `s`.
+  /// With a combiner active, only the first message to a destination claims
+  /// a slot; later ones fold into it (read-modify-write, no fetch-and-add).
+  void send(xmt::OpSink& s, graph::vid_t dst, const M& m) {
+    if (combiner_ != Combiner::kNone && !out_[dst].empty()) {
+      s.compute(send_overhead_ / 2 + 1);
+      s.load(&tails_[dst]);
+      s.store(&tails_[dst]);
+      M& slot = out_[dst].front();
+      if constexpr (std::is_arithmetic_v<M>) {
+        slot = combiner_ == Combiner::kMin ? std::min(slot, m)
+                                           : static_cast<M>(slot + m);
+      }
+      ++combined_this_superstep_;
+      return;
+    }
+    charge_send(s, dst);
+    out_[dst].push_back(m);
+  }
+
+  /// Record (and charge) a send without buffering the payload — used by
+  /// kernels that regenerate their messages, e.g. triangle counting's
+  /// wedge streams.
+  void charge_send(xmt::OpSink& s, graph::vid_t dst) {
+    s.compute(send_overhead_);
+    s.fetch_add(single_queue_ ? static_cast<const void*>(&global_tail_)
+                              : static_cast<const void*>(&tails_[dst]));
+    s.store(&tails_[dst]);  // payload write; plain stores do not contend
+    ++sent_this_superstep_;
+  }
+
+  /// Messages delivered to `v` this superstep.
+  std::span<const M> incoming(graph::vid_t v) const {
+    return {in_[v].data(), in_[v].size()};
+  }
+
+  bool has_incoming(graph::vid_t v) const { return !in_[v].empty(); }
+
+  /// Charge the inbox-length check every scheduled vertex performs.
+  void charge_inbox_check(xmt::OpSink& s, graph::vid_t v) const {
+    s.load(&tails_[v]);
+  }
+
+  /// Charge the reads of v's waiting messages to `s`; returns the count.
+  std::uint64_t charge_receive(xmt::OpSink& s, graph::vid_t v) const {
+    const auto count = static_cast<std::uint32_t>(in_[v].size());
+    if (count > 0) {
+      s.load_n(in_[v].data(), count);
+      s.compute(receive_overhead_ * count);
+    }
+    return count;
+  }
+
+  /// Charge the dequeue/dispatch of `count` regenerated messages whose
+  /// payloads live at `addr` (streamed kernels).
+  void charge_receive_n(xmt::OpSink& s, const void* addr,
+                        std::uint32_t count) const {
+    if (count == 0) return;
+    s.load_n(addr, count);
+    s.compute(receive_overhead_ * count);
+  }
+
+  /// End of superstep: outgoing buffers become next superstep's inboxes.
+  /// Returns the number of messages that crossed the boundary.
+  std::uint64_t flip() {
+    const std::uint64_t crossed = sent_this_superstep_;
+    sent_this_superstep_ = 0;
+    combined_this_superstep_ = 0;
+    in_.swap(out_);
+    for (auto& q : out_) q.clear();
+    return crossed;
+  }
+
+  /// Messages materialized this superstep (post-combining).
+  std::uint64_t sent_this_superstep() const { return sent_this_superstep_; }
+
+  /// Sends absorbed by the combiner this superstep.
+  std::uint64_t combined_this_superstep() const {
+    return combined_this_superstep_;
+  }
+
+  bool single_queue() const { return single_queue_; }
+
+ private:
+  std::vector<std::vector<M>> in_;
+  std::vector<std::vector<M>> out_;
+  /// Charge-target words: tails_[v] stands for v's inbox tail counter,
+  /// global_tail_ for the shared queue tail.
+  std::vector<std::uint64_t> tails_;
+  std::uint64_t global_tail_ = 0;
+  std::uint64_t sent_this_superstep_ = 0;
+  std::uint64_t combined_this_superstep_ = 0;
+  std::uint32_t send_overhead_ = 8;
+  std::uint32_t receive_overhead_ = 4;
+  Combiner combiner_ = Combiner::kNone;
+  bool single_queue_ = false;
+};
+
+}  // namespace xg::bsp

@@ -1,0 +1,170 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsp/aggregator.hpp"
+#include "bsp/message_buffer.hpp"
+#include "bsp/mutable_graph.hpp"
+#include "bsp/types.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+
+/// Context for topology-mutating vertex programs. Mirrors Context's API on
+/// a MutableGraph and adds Pregel's mutation requests, which take effect at
+/// the next superstep boundary (the same crossing rule as messages).
+template <typename M>
+class MutableContext {
+ public:
+  MutableContext(xmt::OpSink& sink, MutableGraph& g, MessageBuffer<M>& buf,
+                 std::uint32_t superstep, graph::vid_t vertex,
+                 AggregatorSet* aggregators)
+      : sink_(sink),
+        g_(g),
+        buf_(buf),
+        aggregators_(aggregators),
+        superstep_(superstep),
+        vertex_(vertex) {}
+
+  std::uint32_t superstep() const { return superstep_; }
+  graph::vid_t vertex() const { return vertex_; }
+  graph::vid_t num_vertices() const { return g_.num_vertices(); }
+  const MutableGraph& graph() const { return g_; }
+
+  void send(graph::vid_t dst, const M& m) { buf_.send(sink_, dst, m); }
+
+  void send_to_all_neighbors(const M& m) {
+    const auto nbrs = g_.neighbors(vertex_);
+    sink_.load_n(g_.adjacency_ptr(vertex_),
+                 static_cast<std::uint32_t>(nbrs.size()));
+    for (const graph::vid_t u : nbrs) buf_.send(sink_, u, m);
+  }
+
+  /// Request an undirected edge insertion, applied between supersteps.
+  void add_edge(graph::vid_t u, graph::vid_t v) {
+    sink_.compute(2);
+    g_.queue_add_edge(u, v);
+  }
+
+  /// Request an undirected edge removal, applied between supersteps.
+  void remove_edge(graph::vid_t u, graph::vid_t v) {
+    sink_.compute(2);
+    g_.queue_remove_edge(u, v);
+  }
+
+  void vote_to_halt() { voted_halt_ = true; }
+  bool voted_halt() const { return voted_halt_; }
+
+  void charge(std::uint32_t n) { sink_.compute(n); }
+
+  void aggregate(std::size_t slot, double v) {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("MutableContext::aggregate: none declared");
+    }
+    aggregators_->slot(slot).accumulate(sink_, v);
+  }
+  double aggregated(std::size_t slot) const {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("MutableContext::aggregated: none declared");
+    }
+    sink_.load(&aggregators_->slot(slot));
+    return aggregators_->slot(slot).value();
+  }
+
+  xmt::OpSink& sink() { return sink_; }
+
+ private:
+  xmt::OpSink& sink_;
+  MutableGraph& g_;
+  MessageBuffer<M>& buf_;
+  AggregatorSet* aggregators_;
+  std::uint32_t superstep_;
+  graph::vid_t vertex_;
+  bool voted_halt_ = false;
+};
+
+/// Result of a mutating BSP run: per-vertex state plus mutation counts
+/// (the final graph lives in the MutableGraph passed in).
+template <typename Program>
+struct MutableResult {
+  std::vector<typename Program::VertexState> state;
+  std::vector<SuperstepRecord> supersteps;
+  BspTotals totals;
+  std::uint64_t mutations_applied = 0;
+};
+
+/// Superstep loop for topology-mutating programs (a Program as in run(),
+/// but whose compute takes MutableContext<Message>&). Queued mutations are
+/// applied after each superstep's messages flip — a vertex therefore never
+/// observes the graph changing mid-superstep.
+template <typename Program>
+MutableResult<Program> run_mutable(xmt::Engine& machine, MutableGraph& g,
+                                   const Program& prog,
+                                   const BspOptions& opt = {}) {
+  using Message = typename Program::Message;
+  const graph::vid_t n = g.num_vertices();
+
+  MutableResult<Program> res;
+  res.state.resize(n);
+  MessageBuffer<Message> buf(n, opt.single_queue, opt.message_send_overhead,
+                             opt.message_receive_overhead, opt.combiner);
+  AggregatorSet aggregators(opt.aggregators);
+  AggregatorSet* aggs = opt.aggregators.empty() ? nullptr : &aggregators;
+  std::vector<std::uint8_t> halted(n, 0);
+
+  const xmt::Cycles t0 = machine.now();
+  machine.parallel_for(
+      n,
+      [&](std::uint64_t i, xmt::OpSink& s) {
+        prog.init(res.state[i], static_cast<graph::vid_t>(i));
+        s.store(&res.state[i]);
+      },
+      {.name = "bsp/init"});
+
+  for (std::uint32_t ss = 0; ss < opt.max_supersteps; ++ss) {
+    SuperstepRecord rec;
+    rec.superstep = ss;
+
+    rec.region = machine.parallel_for(
+        n,
+        [&](std::uint64_t i, xmt::OpSink& s) {
+          const auto v = static_cast<graph::vid_t>(i);
+          const bool has_msgs = buf.has_incoming(v);
+          buf.charge_inbox_check(s, v);
+          s.compute(1);
+          if (halted[v] && !has_msgs) return;
+          rec.messages_received += buf.charge_receive(s, v);
+          halted[v] = 0;
+          MutableContext<Message> ctx(s, g, buf, ss, v, aggs);
+          prog.compute(ctx, v, res.state[v], buf.incoming(v));
+          if (ctx.voted_halt()) halted[v] = 1;
+          ++rec.computed_vertices;
+        },
+        {.name = Program::kName});
+
+    rec.messages_sent = buf.sent_this_superstep();
+    rec.messages_combined = buf.combined_this_superstep();
+    const std::uint64_t crossed = buf.flip();
+    aggregators.flip();
+    const std::uint64_t pending = g.pending_mutations();
+    res.mutations_applied += g.apply_mutations(machine);
+
+    res.supersteps.push_back(rec);
+    res.totals.messages += rec.messages_sent;
+    ++res.totals.supersteps;
+
+    if (crossed == 0 && pending == 0 &&
+        std::all_of(halted.begin(), halted.end(),
+                    [](std::uint8_t h) { return h != 0; })) {
+      break;
+    }
+  }
+
+  res.totals.cycles = machine.now() - t0;
+  return res;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,93 @@
+#include "bsp/mutable_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xg::bsp {
+
+using graph::vid_t;
+
+MutableGraph::MutableGraph(const graph::CSRGraph& base)
+    : adj_(base.num_vertices()), arcs_(base.num_arcs()) {
+  for (vid_t v = 0; v < base.num_vertices(); ++v) {
+    const auto nbrs = base.neighbors(v);
+    adj_[v].assign(nbrs.begin(), nbrs.end());
+  }
+}
+
+bool MutableGraph::has_edge(vid_t u, vid_t v) const {
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+void MutableGraph::queue_add_edge(vid_t u, vid_t v) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::out_of_range("MutableGraph::queue_add_edge: vertex id");
+  }
+  if (u == v) return;  // self loops stay excluded, as in the CSR builder
+  queue_.push_back({u, v, true});
+}
+
+void MutableGraph::queue_remove_edge(vid_t u, vid_t v) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    throw std::out_of_range("MutableGraph::queue_remove_edge: vertex id");
+  }
+  queue_.push_back({u, v, false});
+}
+
+bool MutableGraph::insert_arc(vid_t from, vid_t to) {
+  auto& list = adj_[from];
+  const auto it = std::lower_bound(list.begin(), list.end(), to);
+  if (it != list.end() && *it == to) return false;
+  list.insert(it, to);
+  ++arcs_;
+  return true;
+}
+
+bool MutableGraph::erase_arc(vid_t from, vid_t to) {
+  auto& list = adj_[from];
+  const auto it = std::lower_bound(list.begin(), list.end(), to);
+  if (it == list.end() || *it != to) return false;
+  list.erase(it);
+  --arcs_;
+  return true;
+}
+
+graph::CSRGraph MutableGraph::to_csr() const {
+  graph::EdgeList edges(num_vertices());
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    for (const vid_t u : adj_[v]) {
+      if (u > v) edges.add(v, u);  // once per undirected edge
+    }
+  }
+  return graph::CSRGraph::build(edges);
+}
+
+std::uint64_t MutableGraph::apply_mutations(xmt::Engine& machine) {
+  if (queue_.empty()) return 0;
+  std::uint64_t applied = 0;
+  machine.parallel_for(
+      queue_.size(),
+      [&](std::uint64_t i, xmt::OpSink& s) {
+        const Mutation& m = queue_[i];
+        s.load(&queue_[i]);
+        bool changed;
+        if (m.add) {
+          changed = insert_arc(m.u, m.v);
+          if (changed) insert_arc(m.v, m.u);
+        } else {
+          changed = erase_arc(m.u, m.v);
+          if (changed) erase_arc(m.v, m.u);
+        }
+        if (changed) {
+          // Two list splices, one per endpoint.
+          s.store(adj_[m.u].data());
+          s.store(adj_[m.v].data());
+          ++applied;
+        }
+      },
+      {.name = "bsp/mutations"});
+  queue_.clear();
+  return applied;
+}
+
+}  // namespace xg::bsp

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+
+/// Mutable adjacency built from a CSR snapshot, for BSP programs that
+/// modify the graph (Pregel's topology mutations; paper §II: a vertex may
+/// "do local computation or modify the graph").
+///
+/// Mutations are *queued* during a superstep and applied at the superstep
+/// boundary — the same crossing rule as messages, which is how Pregel
+/// avoids mutation races. The graph is undirected: every mutation touches
+/// both endpoint lists. Duplicate requests collapse; removing a missing
+/// edge or adding an existing one is a no-op (Pregel's default conflict
+/// resolution).
+class MutableGraph {
+ public:
+  explicit MutableGraph(const graph::CSRGraph& base);
+
+  graph::vid_t num_vertices() const {
+    return static_cast<graph::vid_t>(adj_.size());
+  }
+  graph::eid_t num_arcs() const { return arcs_; }
+  graph::eid_t degree(graph::vid_t v) const { return adj_[v].size(); }
+  std::span<const graph::vid_t> neighbors(graph::vid_t v) const {
+    return adj_[v];
+  }
+  /// Charge-target address of v's adjacency storage.
+  const graph::vid_t* adjacency_ptr(graph::vid_t v) const {
+    return adj_[v].data();
+  }
+  bool has_edge(graph::vid_t u, graph::vid_t v) const;
+
+  /// Queue an undirected edge insertion/removal, visible next superstep.
+  void queue_add_edge(graph::vid_t u, graph::vid_t v);
+  void queue_remove_edge(graph::vid_t u, graph::vid_t v);
+
+  std::uint64_t pending_mutations() const { return queue_.size(); }
+
+  /// Snapshot the current (mutated) topology back into an immutable CSR
+  /// graph so the analysis kernels can run on it — the mutate-then-analyze
+  /// pipeline. Pending (unapplied) mutations are not included.
+  graph::CSRGraph to_csr() const;
+
+  /// Apply queued mutations as a parallel region on `machine` (one
+  /// iteration per mutation; list splice costs are charged as stores).
+  /// Returns the number of mutations that changed the graph.
+  std::uint64_t apply_mutations(xmt::Engine& machine);
+
+ private:
+  struct Mutation {
+    graph::vid_t u;
+    graph::vid_t v;
+    bool add;
+  };
+
+  bool insert_arc(graph::vid_t from, graph::vid_t to);
+  bool erase_arc(graph::vid_t from, graph::vid_t to);
+
+  std::vector<std::vector<graph::vid_t>> adj_;  // sorted lists
+  std::vector<Mutation> queue_;
+  graph::eid_t arcs_ = 0;
+};
+
+}  // namespace xg::bsp

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/aggregator.hpp"
+#include "xmt/sim_config.hpp"
+#include "xmt/stats.hpp"
+
+namespace xg::bsp {
+
+/// Message combining strategy (Pregel's "combiners"). When enabled, all
+/// messages sent to the same destination within a superstep are folded into
+/// one slot at send time: only the first send to a destination pays the
+/// fetch-and-add slot claim; later sends read-modify-write the slot.
+/// Requires the program's semantics to be combine-compatible (min for
+/// CC/BFS/SSSP, sum for PageRank).
+enum class Combiner : std::uint8_t {
+  kNone,  ///< paper-faithful: one message per send
+  kMin,
+  kSum,
+};
+
+/// Execution knobs for the BSP engine.
+struct BspOptions {
+  /// Paper-faithful XMT execution: every superstep is a parallel loop over
+  /// ALL vertices, each checking its inbox (the XMT compiler parallelizes
+  /// the per-vertex loop; there is no distributed active-vertex bookkeeping).
+  /// This is what makes the early/late BSP supersteps so much more
+  /// expensive than the equivalent GraphCT iterations (paper §IV).
+  /// When false, each superstep iterates only over scheduled vertices
+  /// (those with messages or not yet halted) — the Pregel optimization.
+  bool scan_all_vertices = true;
+
+  /// When true, every message allocation fetch-and-adds one shared queue
+  /// tail instead of the destination vertex's inbox tail. This is the
+  /// "serialization around a single atomic fetch-and-add" the paper's
+  /// conclusion warns about (ablation A); semantics are unchanged.
+  bool single_queue = false;
+
+  /// Safety valve for non-converging programs.
+  std::uint32_t max_supersteps = 100000;
+
+  /// Software cost, in instructions, of composing and enqueueing one
+  /// message (buffer management, index arithmetic, bounds checks). The XMT
+  /// has no native message support — "without native support for message
+  /// features such as enqueueing and dequeueing" (paper §VII) — so every
+  /// send costs real instructions beyond the payload store and the
+  /// fetch-and-add that claims a slot.
+  std::uint32_t message_send_overhead = 8;
+
+  /// Software cost, in instructions, of dequeueing and dispatching one
+  /// received message.
+  std::uint32_t message_receive_overhead = 4;
+
+  /// Message combining (ablation C); kNone reproduces the paper.
+  Combiner combiner = Combiner::kNone;
+
+  /// Aggregator slots available to the program via Context::aggregate /
+  /// Context::aggregated (Pregel's global-value mechanism). Values
+  /// contributed in superstep s are visible in superstep s+1.
+  std::vector<Aggregator::Op> aggregators;
+
+  /// Pregel fault tolerance: every `checkpoint_interval` supersteps the
+  /// runtime persists all vertex state and in-flight messages (charged as
+  /// stores). 0 disables checkpointing (the paper's setting — its C
+  /// implementation had no fault tolerance).
+  std::uint32_t checkpoint_interval = 0;
+};
+
+/// Statistics for one superstep — the per-iteration series of Figures 1-3.
+struct SuperstepRecord {
+  std::uint32_t superstep = 0;
+  std::uint64_t computed_vertices = 0;   ///< vertices whose compute() ran
+  std::uint64_t messages_received = 0;
+  std::uint64_t messages_sent = 0;      ///< materialized (post-combining)
+  std::uint64_t messages_combined = 0;  ///< sends absorbed by the combiner
+  bool checkpointed = false;            ///< a checkpoint followed this superstep
+  xmt::RegionStats region;
+
+  xmt::Cycles cycles() const { return region.cycles(); }
+};
+
+/// Whole-run totals.
+struct BspTotals {
+  xmt::Cycles cycles = 0;
+  std::uint64_t messages = 0;  ///< total messages sent across all supersteps
+  std::uint64_t supersteps = 0;
+  double seconds(const xmt::SimConfig& cfg) const { return cfg.seconds(cycles); }
+};
+
+}  // namespace xg::bsp

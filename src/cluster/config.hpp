@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace xg::cluster {
+
+/// Parameters for the distributed-cluster cost model — the Giraph/Pregel
+/// deployment the paper contrasts the XMT with (§II-III). Defaults
+/// approximate the 6-node commodity cluster of the Schelter citation: two
+/// quad-core Opterons per node, gigabit Ethernet.
+struct ClusterConfig {
+  /// Compute nodes; vertices are assigned by random hash (Pregel's
+  /// default partitioning, paper §II).
+  std::uint32_t machines = 6;
+
+  /// Worker threads per machine.
+  std::uint32_t workers_per_machine = 8;
+
+  /// Instructions per second each worker retires.
+  double worker_instr_per_sec = 2.0e9;
+
+  /// Per-superstep synchronization cost (barrier + bookkeeping RPCs).
+  double barrier_seconds = 2.0e-3;
+
+  /// Messages per second a machine's NIC can move in each direction
+  /// (~1 GbE at ~50 B/message).
+  double nic_messages_per_sec = 2.5e6;
+
+  /// Instructions to enqueue a message for a vertex on the same machine.
+  std::uint32_t local_message_instr = 30;
+
+  /// Instructions to serialize/deserialize a remote message (both sides
+  /// combined, attributed to the sender's machine).
+  std::uint32_t remote_message_instr = 150;
+
+  /// Fixed per-computed-vertex bookkeeping instructions.
+  std::uint32_t vertex_overhead_instr = 25;
+
+  void validate() const {
+    auto fail = [](const char* what) {
+      throw std::invalid_argument(std::string("ClusterConfig: ") + what);
+    };
+    if (machines == 0) fail("machines must be >= 1");
+    if (workers_per_machine == 0) fail("workers_per_machine must be >= 1");
+    if (worker_instr_per_sec <= 0) fail("worker_instr_per_sec must be > 0");
+    if (nic_messages_per_sec <= 0) fail("nic_messages_per_sec must be > 0");
+    if (barrier_seconds < 0) fail("barrier_seconds must be >= 0");
+  }
+};
+
+/// Pregel's random hash assignment of vertices to machines (paper §II:
+/// "the assignment of vertex to machine is based on a random hash function
+/// yielding a uniform distribution of the vertices").
+inline std::uint32_t machine_of(std::uint64_t v, std::uint32_t machines) {
+  std::uint64_t z = (v + 0x9E3779B97F4A7C15ull) * 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % machines);
+}
+
+}  // namespace xg::cluster

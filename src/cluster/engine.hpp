@@ -1,0 +1,266 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsp/aggregator.hpp"
+#include "cluster/config.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::cluster {
+
+/// Instruction meter with OpSink's surface so unmodified vertex programs
+/// run on the cluster model: abstract memory operations become worker
+/// instructions (a commodity core's cache hides the latency structure the
+/// XMT model tracks; here only instruction throughput and the network
+/// matter).
+class OpCounter {
+ public:
+  void compute(std::uint32_t n = 1) { instructions_ += n; }
+  void load(const void*) { ++instructions_; }
+  void load_n(const void*, std::uint32_t n) { instructions_ += n; }
+  void store(const void*) { ++instructions_; }
+  void store_n(const void*, std::uint32_t n) { instructions_ += n; }
+  void fetch_add(const void*) { ++instructions_; }
+  void sync(const void*) { instructions_ += 4; }
+
+  std::uint64_t instructions() const { return instructions_; }
+  void reset() { instructions_ = 0; }
+
+ private:
+  std::uint64_t instructions_ = 0;
+};
+
+/// Per-superstep record of the cluster run.
+struct ClusterSuperstepRecord {
+  std::uint32_t superstep = 0;
+  std::uint64_t computed_vertices = 0;
+  std::uint64_t local_messages = 0;
+  std::uint64_t remote_messages = 0;
+  double seconds = 0.0;  ///< simulated superstep wall time
+  /// Messaging skew across machines: max / mean outbound messages. The
+  /// paper's §II point — random hash placement of a scale-free graph lands
+  /// hub vertices on a few machines, which then carry "a disproportionate
+  /// share of the messaging activity".
+  double message_imbalance = 1.0;
+};
+
+struct ClusterTotals {
+  double seconds = 0.0;
+  std::uint64_t messages = 0;
+  std::uint64_t supersteps = 0;
+};
+
+template <typename Program>
+struct ClusterResult {
+  std::vector<typename Program::VertexState> state;
+  std::vector<ClusterSuperstepRecord> supersteps;
+  ClusterTotals totals;
+  /// Worst per-superstep outbound-message imbalance observed. Inflated by
+  /// sparse supersteps (one active vertex puts everything on one machine);
+  /// prefer total_message_imbalance for the §II skew claim.
+  double peak_message_imbalance = 1.0;
+  /// Whole-run outbound imbalance: max over machines of total remote
+  /// messages sent, divided by the mean — the "disproportionate share of
+  /// the messaging activity" a hub-holding machine carries.
+  double total_message_imbalance = 1.0;
+};
+
+/// Context handed to vertex programs on the cluster model; mirrors
+/// bsp::Context's API (programs are templates over the context type).
+template <typename M>
+class ClusterContext {
+ public:
+  ClusterContext(const ClusterConfig& cfg, const graph::CSRGraph& g,
+                 std::uint32_t superstep, graph::vid_t vertex,
+                 OpCounter& counter,
+                 std::vector<std::vector<M>>& outboxes,
+                 std::vector<std::uint64_t>& out_per_machine,
+                 std::uint64_t& local, std::uint64_t& remote,
+                 bsp::AggregatorSet* aggregators)
+      : cfg_(cfg),
+        g_(g),
+        counter_(counter),
+        outboxes_(outboxes),
+        out_per_machine_(out_per_machine),
+        local_(local),
+        remote_(remote),
+        aggregators_(aggregators),
+        superstep_(superstep),
+        vertex_(vertex),
+        home_(machine_of(vertex, cfg.machines)) {}
+
+  std::uint32_t superstep() const { return superstep_; }
+  graph::vid_t vertex() const { return vertex_; }
+  graph::vid_t num_vertices() const { return g_.num_vertices(); }
+  const graph::CSRGraph& graph() const { return g_; }
+
+  void send(graph::vid_t dst, const M& m) {
+    const auto target = machine_of(dst, cfg_.machines);
+    if (target == home_) {
+      counter_.compute(cfg_.local_message_instr);
+      ++local_;
+    } else {
+      counter_.compute(cfg_.remote_message_instr);
+      ++remote_;
+      ++out_per_machine_[home_];
+    }
+    outboxes_[dst].push_back(m);
+  }
+
+  void send_to_all_neighbors(const M& m) {
+    const auto nbrs = g_.neighbors(vertex_);
+    counter_.compute(static_cast<std::uint32_t>(nbrs.size()));
+    for (const graph::vid_t u : nbrs) send(u, m);
+  }
+
+  void vote_to_halt() { voted_halt_ = true; }
+  bool voted_halt() const { return voted_halt_; }
+
+  void charge(std::uint32_t n) { counter_.compute(n); }
+
+  void aggregate(std::size_t slot, double v) {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("ClusterContext::aggregate: none declared");
+    }
+    counter_.compute(4);  // contribution folded into the worker-local tree
+    aggregators_->slot(slot).accumulate_value(v);
+  }
+  double aggregated(std::size_t slot) const {
+    if (aggregators_ == nullptr) {
+      throw std::logic_error("ClusterContext::aggregated: none declared");
+    }
+    return aggregators_->slot(slot).value();
+  }
+
+  OpCounter& sink() { return counter_; }
+
+ private:
+  const ClusterConfig& cfg_;
+  const graph::CSRGraph& g_;
+  OpCounter& counter_;
+  std::vector<std::vector<M>>& outboxes_;
+  std::vector<std::uint64_t>& out_per_machine_;
+  std::uint64_t& local_;
+  std::uint64_t& remote_;
+  bsp::AggregatorSet* aggregators_;
+  std::uint32_t superstep_;
+  graph::vid_t vertex_;
+  std::uint32_t home_;
+  bool voted_halt_ = false;
+};
+
+/// Run a vertex program under the cluster cost model. Semantics are
+/// identical to bsp::run (same deterministic vertex order, so the same
+/// results); only the *pricing* differs:
+///
+///   t_superstep = max over machines of compute_instr / (workers x rate)
+///               + max over machines of outbound_remote / NIC rate
+///               + barrier
+///
+/// Hash partitioning concentrates hub traffic on a few machines; the
+/// per-superstep `message_imbalance` quantifies it.
+template <typename Program>
+ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
+                           const Program& prog,
+                           std::uint32_t max_supersteps = 100000,
+                           const std::vector<bsp::Aggregator::Op>& aggs = {}) {
+  cfg.validate();
+  const graph::vid_t n = g.num_vertices();
+  ClusterResult<Program> res;
+  res.state.resize(n);
+  for (graph::vid_t v = 0; v < n; ++v) prog.init(res.state[v], v);
+
+  std::vector<std::vector<typename Program::Message>> in(n);
+  std::vector<std::vector<typename Program::Message>> out(n);
+  std::vector<std::uint8_t> halted(n, 0);
+  std::vector<OpCounter> per_machine(cfg.machines);
+  std::vector<std::uint64_t> out_per_machine(cfg.machines, 0);
+  std::vector<std::uint64_t> total_out_per_machine(cfg.machines, 0);
+  bsp::AggregatorSet aggregators(aggs);
+  bsp::AggregatorSet* agg_ptr = aggs.empty() ? nullptr : &aggregators;
+
+  for (std::uint32_t ss = 0; ss < max_supersteps; ++ss) {
+    ClusterSuperstepRecord rec;
+    rec.superstep = ss;
+    for (auto& c : per_machine) c.reset();
+    std::fill(out_per_machine.begin(), out_per_machine.end(), 0);
+
+    std::uint64_t crossed = 0;
+    for (graph::vid_t v = 0; v < n; ++v) {
+      const bool has_msgs = !in[v].empty();
+      if (halted[v] && !has_msgs) continue;
+      halted[v] = 0;
+      OpCounter& counter = per_machine[machine_of(v, cfg.machines)];
+      counter.compute(cfg.vertex_overhead_instr +
+                      static_cast<std::uint32_t>(in[v].size()));
+      ClusterContext<typename Program::Message> ctx(
+          cfg, g, ss, v, counter, out, out_per_machine, rec.local_messages,
+          rec.remote_messages, agg_ptr);
+      prog.compute(ctx, v, res.state[v],
+                   std::span<const typename Program::Message>(in[v]));
+      if (ctx.voted_halt()) halted[v] = 1;
+      ++rec.computed_vertices;
+    }
+
+    // Price the superstep.
+    std::uint64_t max_instr = 0;
+    std::uint64_t max_out = 0;
+    std::uint64_t sum_out = 0;
+    for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+      max_instr = std::max(max_instr, per_machine[m].instructions());
+      max_out = std::max(max_out, out_per_machine[m]);
+      sum_out += out_per_machine[m];
+    }
+    const double mean_out =
+        static_cast<double>(sum_out) / static_cast<double>(cfg.machines);
+    rec.message_imbalance =
+        mean_out > 0 ? static_cast<double>(max_out) / mean_out : 1.0;
+    for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+      total_out_per_machine[m] += out_per_machine[m];
+    }
+    rec.seconds =
+        static_cast<double>(max_instr) /
+            (cfg.worker_instr_per_sec * cfg.workers_per_machine) +
+        static_cast<double>(max_out) / cfg.nic_messages_per_sec +
+        cfg.barrier_seconds;
+
+    // Deliver.
+    for (graph::vid_t v = 0; v < n; ++v) {
+      in[v].swap(out[v]);
+      out[v].clear();
+      crossed += in[v].size();
+    }
+    aggregators.flip();
+
+    res.totals.seconds += rec.seconds;
+    res.totals.messages += rec.local_messages + rec.remote_messages;
+    ++res.totals.supersteps;
+    res.peak_message_imbalance =
+        std::max(res.peak_message_imbalance, rec.message_imbalance);
+    res.supersteps.push_back(rec);
+
+    if (crossed == 0 &&
+        std::all_of(halted.begin(), halted.end(),
+                    [](std::uint8_t h) { return h != 0; })) {
+      break;
+    }
+  }
+
+  std::uint64_t grand_max = 0;
+  std::uint64_t grand_sum = 0;
+  for (const auto out_total : total_out_per_machine) {
+    grand_max = std::max(grand_max, out_total);
+    grand_sum += out_total;
+  }
+  if (grand_sum > 0) {
+    res.total_message_imbalance =
+        static_cast<double>(grand_max) * cfg.machines /
+        static_cast<double>(grand_sum);
+  }
+  return res;
+}
+
+}  // namespace xg::cluster

@@ -1,0 +1,74 @@
+#include "exp/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace xg::exp {
+
+Args::Args(int argc, char** argv, std::string description)
+    : program_(argc > 0 ? argv[0] : "bench"),
+      description_(std::move(description)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare flag
+    }
+  }
+}
+
+void Args::handle_help() const {
+  if (!has("help")) return;
+  std::printf("%s\n\n%s\n", program_.c_str(), description_.c_str());
+  std::exit(0);
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::stod(it->second);
+}
+
+std::vector<std::uint32_t> Args::get_list(
+    const std::string& key, std::vector<std::uint32_t> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<std::uint32_t> out;
+  std::string cur;
+  for (const char c : it->second + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(static_cast<std::uint32_t>(std::stoul(cur)));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("empty list for --" + key);
+  }
+  return out;
+}
+
+}  // namespace xg::exp

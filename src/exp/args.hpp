@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xg::exp {
+
+/// Tiny command-line parser shared by every bench and example binary.
+///
+/// Accepts `--key value`, `--key=value` and bare `--flag` forms. Unknown
+/// keys throw, so typos fail fast. Every bench supports at least:
+///   --scale N      R-MAT scale (default per bench)
+///   --edgefactor N edges per vertex (default 16)
+///   --seed N       generator seed (default 1)
+///   --procs a,b,c  processor counts to sweep (default 8,16,32,64,128)
+class Args {
+ public:
+  Args(int argc, char** argv, std::string description);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_flag(const std::string& key) const { return has(key); }
+
+  /// Comma-separated integer list, e.g. --procs 8,16,32.
+  std::vector<std::uint32_t> get_list(const std::string& key,
+                                      std::vector<std::uint32_t> def) const;
+
+  /// Prints usage and exits when --help was passed; call after declaring
+  /// options via the getters' defaults (usage text is the description).
+  void handle_help() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::string description_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace xg::exp

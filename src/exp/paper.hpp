@@ -1,0 +1,42 @@
+#pragma once
+
+namespace xg::exp::paper {
+
+/// Reference numbers from Ediger & Bader, IPDPSW 2013 — the 128-processor
+/// Cray XMT results the benches print next to their simulated measurements.
+/// All on an undirected scale-free R-MAT graph with 16 M vertices and
+/// 268 M edges (SCALE 24, edgefactor 16).
+
+inline constexpr unsigned kScale = 24;
+inline constexpr unsigned kEdgefactor = 16;
+inline constexpr unsigned kProcessors = 128;
+
+// Table I: total execution times (seconds) and ratios.
+inline constexpr double kCcBspSeconds = 5.40;
+inline constexpr double kCcGraphctSeconds = 1.31;
+inline constexpr double kCcRatio = 4.1;
+
+inline constexpr double kBfsBspSeconds = 3.12;
+inline constexpr double kBfsGraphctSeconds = 0.310;
+inline constexpr double kBfsRatio = 10.1;
+
+inline constexpr double kTcBspSeconds = 444.0;
+inline constexpr double kTcGraphctSeconds = 47.4;
+inline constexpr double kTcRatio = 9.4;
+
+// Figure 1: iteration counts to convergence for connected components.
+inline constexpr unsigned kCcBspSupersteps = 13;
+inline constexpr unsigned kCcGraphctIterations = 6;
+
+// Section V: triangle-counting message/write volumes.
+inline constexpr double kTcPossibleTriangleMessages = 5.5e9;
+inline constexpr double kTcActualTriangles = 30.9e6;
+inline constexpr double kTcBspWrites = 5.6e9;
+inline constexpr double kTcSharedWrites = 30.9e6;
+inline constexpr double kTcWriteRatio = 181.0;
+
+// Section IV / Figure 2: BSP BFS messages exceed the true frontier by
+// about an order of magnitude once the bulk of the graph is discovered.
+inline constexpr double kBfsMessageInflation = 10.0;
+
+}  // namespace xg::exp::paper

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace xg::exp {
+
+/// Run `fn(processors)` for every processor count, each sweep point on its
+/// own host thread. Simulated runs are completely independent (each builds
+/// its own Engine and result buffers), so the sweep parallelizes trivially;
+/// results come back in input order regardless of completion order.
+template <typename F>
+auto sweep_processors(std::span<const std::uint32_t> procs, F&& fn)
+    -> std::vector<decltype(fn(procs[0]))> {
+  using R = decltype(fn(procs[0]));
+  std::vector<R> results(procs.size());
+  std::vector<std::thread> threads;
+  threads.reserve(procs.size());
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        results[i] = fn(procs[i]);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+}  // namespace xg::exp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xg::exp {
+
+/// Column-aligned plain-text table used by every bench to print the rows
+/// and series the paper's tables/figures report. Also emits CSV so results
+/// can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for the common cell types.
+  static std::string num(std::uint64_t v);
+  static std::string fixed(double v, int precision = 3);
+  /// Seconds with an adaptive unit (s / ms / us).
+  static std::string seconds(double s);
+  /// Engineering notation with K/M/G suffix (message counts etc.).
+  static std::string si(double v);
+
+  void print(std::ostream& out) const;
+  void print_csv(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xg::exp

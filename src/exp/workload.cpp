@@ -1,0 +1,53 @@
+#include "exp/workload.hpp"
+
+#include <cstdio>
+
+#include "graph/rmat.hpp"
+
+namespace xg::exp {
+
+std::string Workload::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "undirected R-MAT scale=%u edgefactor=%u seed=%llu: "
+                "%u vertices, %llu undirected edges (%llu arcs)",
+                scale, edgefactor, static_cast<unsigned long long>(seed),
+                graph.num_vertices(),
+                static_cast<unsigned long long>(graph.num_undirected_edges()),
+                static_cast<unsigned long long>(graph.num_arcs()));
+  return buf;
+}
+
+Workload make_workload(const Args& args, std::uint32_t default_scale) {
+  Workload w;
+  w.scale = static_cast<std::uint32_t>(args.get_int("scale", default_scale));
+  w.edgefactor = static_cast<std::uint32_t>(args.get_int("edgefactor", 16));
+  w.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  graph::RmatParams params;
+  params.scale = w.scale;
+  params.edgefactor = w.edgefactor;
+  params.seed = w.seed;
+  w.graph = graph::CSRGraph::build(graph::rmat_edges(params));
+  w.bfs_source = w.graph.max_degree_vertex();
+  return w;
+}
+
+std::vector<std::uint32_t> processor_counts(const Args& args) {
+  return args.get_list("procs", {8, 16, 32, 64, 128});
+}
+
+xmt::SimConfig sim_config(const Args& args, std::uint32_t processors) {
+  xmt::SimConfig cfg;
+  cfg.processors = processors;
+  cfg.streams_per_processor = static_cast<std::uint32_t>(
+      args.get_int("streams", cfg.streams_per_processor));
+  cfg.memory_latency = static_cast<std::uint32_t>(
+      args.get_int("latency", cfg.memory_latency));
+  cfg.faa_service_interval = static_cast<std::uint32_t>(
+      args.get_int("faa-interval", cfg.faa_service_interval));
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace xg::exp

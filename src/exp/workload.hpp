@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/args.hpp"
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "xmt/sim_config.hpp"
+
+namespace xg::exp {
+
+/// The standard experiment workload: an undirected, scale-free R-MAT graph
+/// built from the common CLI knobs, matching the paper's input family.
+struct Workload {
+  graph::CSRGraph graph;
+  std::uint32_t scale = 0;
+  std::uint32_t edgefactor = 0;
+  std::uint64_t seed = 0;
+  graph::vid_t bfs_source = 0;  ///< a vertex inside the giant component
+
+  std::string describe() const;
+};
+
+/// Build the workload from --scale/--edgefactor/--seed (defaults supplied
+/// by the caller). The BFS source is the highest-degree vertex, which is
+/// guaranteed to sit in the giant component of an R-MAT graph — the
+/// deterministic stand-in for the paper's "from the same vertex".
+Workload make_workload(const Args& args, std::uint32_t default_scale);
+
+/// Processor counts to sweep: --procs, default {8,16,32,64,128} (capped to
+/// the paper's machine size).
+std::vector<std::uint32_t> processor_counts(const Args& args);
+
+/// SimConfig built from the CLI (allows overriding machine parameters:
+/// --streams, --latency, --faa-interval).
+xmt::SimConfig sim_config(const Args& args, std::uint32_t processors);
+
+}  // namespace xg::exp

@@ -1,0 +1,106 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xg::graph {
+
+CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
+                         bool keep_weights) {
+  const vid_t n = edges.num_vertices();
+  CSRGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  auto keep = [&](const Edge& e) {
+    return !(opt.remove_self_loops && e.src == e.dst);
+  };
+
+  // Counting pass.
+  for (const Edge& e : edges) {
+    if (!keep(e)) continue;
+    ++g.offsets_[e.src + 1];
+    if (opt.make_undirected) ++g.offsets_[e.dst + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  // Fill pass.
+  const eid_t arcs = g.offsets_[n];
+  g.adj_.resize(arcs);
+  if (keep_weights) g.weights_.resize(arcs);
+  std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  auto put = [&](vid_t s, vid_t d, double w) {
+    const eid_t at = cursor[s]++;
+    g.adj_[at] = d;
+    if (keep_weights) g.weights_[at] = w;
+  };
+  for (const Edge& e : edges) {
+    if (!keep(e)) continue;
+    put(e.src, e.dst, e.weight);
+    if (opt.make_undirected) put(e.dst, e.src, e.weight);
+  }
+
+  if (!opt.sort_adjacency && !opt.dedup) return g;
+
+  // Per-vertex sort (+ dedup, merging duplicate weights).
+  std::vector<eid_t> new_offsets(g.offsets_.size(), 0);
+  eid_t write = 0;
+  std::vector<std::pair<vid_t, double>> scratch;
+  for (vid_t v = 0; v < n; ++v) {
+    const eid_t lo = g.offsets_[v];
+    const eid_t hi = g.offsets_[v + 1];
+    scratch.clear();
+    for (eid_t i = lo; i < hi; ++i) {
+      scratch.emplace_back(g.adj_[i], keep_weights ? g.weights_[i] : 1.0);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const eid_t row_start = write;
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      if (opt.dedup && write > row_start &&
+          g.adj_[write - 1] == scratch[i].first) {
+        if (keep_weights) g.weights_[write - 1] += scratch[i].second;
+        continue;
+      }
+      g.adj_[write] = scratch[i].first;
+      if (keep_weights) g.weights_[write] = scratch[i].second;
+      ++write;
+    }
+    new_offsets[v + 1] = write;
+  }
+  g.offsets_ = std::move(new_offsets);
+  g.adj_.resize(write);
+  g.adj_.shrink_to_fit();
+  if (keep_weights) {
+    g.weights_.resize(write);
+    g.weights_.shrink_to_fit();
+  }
+  return g;
+}
+
+bool CSRGraph::has_edge(vid_t u, vid_t v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool CSRGraph::is_symmetric() const {
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    for (vid_t u : neighbors(v)) {
+      if (!has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+vid_t CSRGraph::max_degree_vertex() const {
+  vid_t best = 0;
+  eid_t best_deg = 0;
+  for (vid_t v = 0; v < num_vertices(); ++v) {
+    if (degree(v) > best_deg) {
+      best_deg = degree(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace xg::graph

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace xg::graph {
+
+/// Options for building a CSRGraph from an EdgeList.
+struct BuildOptions {
+  /// Insert the reverse arc for every input edge (undirected graph).
+  bool make_undirected = true;
+  /// Drop self loops.
+  bool remove_self_loops = true;
+  /// Collapse parallel edges (weights of duplicates are summed).
+  bool dedup = true;
+  /// Sort each adjacency list ascending (required by has_edge and by the
+  /// intersection-based triangle kernels).
+  bool sort_adjacency = true;
+};
+
+/// Immutable compressed-sparse-row graph.
+///
+/// This is the single in-memory representation served read-only to every
+/// analysis kernel, mirroring GraphCT's design. Adjacency lists are sorted
+/// when built with BuildOptions::sort_adjacency (the default).
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Build from an edge list. Weights are kept only when `keep_weights`.
+  static CSRGraph build(const EdgeList& edges, const BuildOptions& opt = {},
+                        bool keep_weights = false);
+
+  vid_t num_vertices() const { return static_cast<vid_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+
+  /// Number of stored arcs (an undirected edge counts twice).
+  eid_t num_arcs() const { return adj_.size(); }
+
+  /// Number of undirected edges if the graph is symmetric (arcs / 2).
+  eid_t num_undirected_edges() const { return adj_.size() / 2; }
+
+  eid_t degree(vid_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  std::span<const double> weights(vid_t v) const {
+    if (weights_.empty()) return {};
+    return {weights_.data() + offsets_[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  bool has_weights() const { return !weights_.empty(); }
+
+  /// True when (u, v) is an arc. Requires sorted adjacency.
+  bool has_edge(vid_t u, vid_t v) const;
+
+  /// True when every arc has a matching reverse arc.
+  bool is_symmetric() const;
+
+  vid_t max_degree_vertex() const;
+
+  const std::vector<eid_t>& offsets() const { return offsets_; }
+  const std::vector<vid_t>& adjacency() const { return adj_; }
+
+  /// Address of the first adjacency word of `v` — used by kernels to charge
+  /// their simulated memory traffic against real addresses.
+  const vid_t* adjacency_ptr(vid_t v) const { return adj_.data() + offsets_[v]; }
+
+ private:
+  std::vector<eid_t> offsets_;  // size n+1
+  std::vector<vid_t> adj_;
+  std::vector<double> weights_;  // empty, or parallel to adj_
+};
+
+}  // namespace xg::graph

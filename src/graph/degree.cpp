@@ -1,0 +1,49 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace xg::graph {
+
+DegreeStats degree_stats(const CSRGraph& g) {
+  DegreeStats s;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return s;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (vid_t v = 0; v < n; ++v) {
+    const eid_t d = g.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+
+    const std::size_t bin = d <= 1 ? 0 : std::bit_width(d) - 1;
+    if (s.log2_histogram.size() <= bin) s.log2_histogram.resize(bin + 1, 0);
+    ++s.log2_histogram[bin];
+  }
+  s.mean_degree = sum / n;
+  s.variance = sum_sq / n - s.mean_degree * s.mean_degree;
+  return s;
+}
+
+double degree_gini(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  std::vector<eid_t> deg(n);
+  for (vid_t v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::sort(deg.begin(), deg.end());
+
+  double cum = 0.0;
+  double weighted = 0.0;
+  for (vid_t i = 0; i < n; ++i) {
+    cum += static_cast<double>(deg[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(deg[i]);
+  }
+  if (cum == 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (static_cast<double>(n) + 1.0) / n;
+}
+
+}  // namespace xg::graph

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph {
+
+/// Degree-distribution summary of a graph (the small-world / skew checks
+/// the paper's Background section motivates).
+struct DegreeStats {
+  eid_t max_degree = 0;
+  double mean_degree = 0.0;
+  double variance = 0.0;
+  vid_t isolated_vertices = 0;
+  /// histogram[k] = number of vertices whose degree falls in
+  /// [2^k, 2^(k+1)) — log-binned, as usual for scale-free plots; bin 0 also
+  /// holds degree-0 and degree-1 vertices.
+  std::vector<vid_t> log2_histogram;
+};
+
+DegreeStats degree_stats(const CSRGraph& g);
+
+/// Gini coefficient of the degree distribution in [0, 1]; ~0 for regular
+/// graphs, large for skewed (scale-free) ones. A compact skew measure used
+/// by tests to confirm R-MAT skew vs. Erdos-Renyi.
+double degree_gini(const CSRGraph& g);
+
+}  // namespace xg::graph

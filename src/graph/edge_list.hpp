@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xg::graph {
+
+/// One directed edge (arc) with an optional weight.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A bag of directed edges plus a vertex-count bound; the exchange format
+/// between generators, I/O, and the CSR builder.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(vid_t num_vertices) : num_vertices_(num_vertices) {}
+  EdgeList(vid_t num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  vid_t num_vertices() const { return num_vertices_; }
+  std::size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  void add(vid_t src, vid_t dst, double weight = 1.0) {
+    edges_.push_back({src, dst, weight});
+    grow_to_fit(src, dst);
+  }
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Raise the vertex count (never shrinks).
+  void set_num_vertices(vid_t n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  std::vector<Edge>& edges() { return edges_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  auto begin() const { return edges_.begin(); }
+  auto end() const { return edges_.end(); }
+
+ private:
+  void grow_to_fit(vid_t a, vid_t b) {
+    const vid_t hi = (a > b ? a : b);
+    if (hi >= num_vertices_) num_vertices_ = hi + 1;
+  }
+
+  vid_t num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace xg::graph

@@ -1,0 +1,91 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+
+#include "graph/rng.hpp"
+
+namespace xg::graph {
+
+EdgeList path_graph(vid_t n) {
+  EdgeList list(n);
+  for (vid_t v = 0; v + 1 < n; ++v) list.add(v, v + 1);
+  return list;
+}
+
+EdgeList cycle_graph(vid_t n) {
+  EdgeList list = path_graph(n);
+  if (n >= 3) list.add(n - 1, 0);
+  return list;
+}
+
+EdgeList star_graph(vid_t n) {
+  EdgeList list(n);
+  for (vid_t v = 1; v < n; ++v) list.add(0, v);
+  return list;
+}
+
+EdgeList complete_graph(vid_t n) {
+  EdgeList list(n);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) list.add(u, v);
+  }
+  return list;
+}
+
+EdgeList grid_graph(vid_t rows, vid_t cols) {
+  EdgeList list(rows * cols);
+  auto id = [cols](vid_t r, vid_t c) { return r * cols + c; };
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) list.add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) list.add(id(r, c), id(r + 1, c));
+    }
+  }
+  return list;
+}
+
+EdgeList binary_tree(vid_t n) {
+  EdgeList list(n);
+  for (vid_t v = 0; v < n; ++v) {
+    const std::uint64_t left = 2ull * v + 1;
+    const std::uint64_t right = 2ull * v + 2;
+    if (left < n) list.add(v, static_cast<vid_t>(left));
+    if (right < n) list.add(v, static_cast<vid_t>(right));
+  }
+  return list;
+}
+
+EdgeList erdos_renyi(vid_t n, std::uint64_t m, std::uint64_t seed) {
+  if (n == 0 && m > 0) {
+    throw std::invalid_argument("erdos_renyi: edges on an empty graph");
+  }
+  EdgeList list(n);
+  list.reserve(m);
+  Rng rng(seed);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    list.add(static_cast<vid_t>(rng.below(n)), static_cast<vid_t>(rng.below(n)));
+  }
+  return list;
+}
+
+EdgeList clique_chain(vid_t k, vid_t size) {
+  EdgeList list(k * size);
+  for (vid_t c = 0; c < k; ++c) {
+    const vid_t base = c * size;
+    for (vid_t u = 0; u < size; ++u) {
+      for (vid_t v = u + 1; v < size; ++v) list.add(base + u, base + v);
+    }
+  }
+  return list;
+}
+
+EdgeList& randomize_weights(EdgeList& list, double lo, double hi,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  for (Edge& e : list.edges()) {
+    e.weight = lo + (hi - lo) * rng.uniform01();
+  }
+  return list;
+}
+
+}  // namespace xg::graph

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace xg::graph {
+
+/// Deterministic and random graph families used by tests, examples and
+/// microbenchmarks. All outputs are directed edge lists; pass them through
+/// CSRGraph::build (which symmetrizes by default) for undirected graphs.
+
+/// Path 0-1-2-...-(n-1).
+EdgeList path_graph(vid_t n);
+
+/// Cycle through all n vertices.
+EdgeList cycle_graph(vid_t n);
+
+/// Star with center 0 and n-1 leaves.
+EdgeList star_graph(vid_t n);
+
+/// Complete graph on n vertices.
+EdgeList complete_graph(vid_t n);
+
+/// rows x cols 4-neighbor grid.
+EdgeList grid_graph(vid_t rows, vid_t cols);
+
+/// Perfect binary tree with n vertices (parent i has children 2i+1, 2i+2).
+EdgeList binary_tree(vid_t n);
+
+/// Erdos-Renyi G(n, m): m edges drawn uniformly with replacement.
+EdgeList erdos_renyi(vid_t n, std::uint64_t m, std::uint64_t seed);
+
+/// Disjoint union of `k` cliques of `size` vertices each (k components).
+EdgeList clique_chain(vid_t k, vid_t size);
+
+/// Uniform random weights in [lo, hi) applied in place; returns the list.
+EdgeList& randomize_weights(EdgeList& list, double lo, double hi,
+                            std::uint64_t seed);
+
+}  // namespace xg::graph

@@ -1,0 +1,59 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xg::graph {
+
+EdgeList read_edge_list(std::istream& in) {
+  EdgeList list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ss(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    double w = 1.0;
+    if (!(ss >> src >> dst)) {
+      throw std::runtime_error("read_edge_list: malformed line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    ss >> w;  // optional
+    list.add(static_cast<vid_t>(src), static_cast<vid_t>(dst), w);
+  }
+  return list;
+}
+
+EdgeList read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_edge_list_file: cannot open " + path);
+  }
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& list,
+                     bool with_weights) {
+  out << "# vertices " << list.num_vertices() << " edges " << list.size()
+      << "\n";
+  for (const Edge& e : list) {
+    out << e.src << ' ' << e.dst;
+    if (with_weights) out << ' ' << e.weight;
+    out << '\n';
+  }
+}
+
+void write_edge_list_file(const std::string& path, const EdgeList& list,
+                          bool with_weights) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_edge_list_file: cannot open " + path);
+  }
+  write_edge_list(out, list, with_weights);
+}
+
+}  // namespace xg::graph

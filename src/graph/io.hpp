@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace xg::graph {
+
+/// Plain-text edge list I/O.
+///
+/// Format: one `src dst [weight]` triple per line; `#` starts a comment.
+/// Compatible with SNAP-style edge lists and what GraphCT's text loader
+/// accepted.
+
+EdgeList read_edge_list(std::istream& in);
+EdgeList read_edge_list_file(const std::string& path);
+
+void write_edge_list(std::ostream& out, const EdgeList& list,
+                     bool with_weights = false);
+void write_edge_list_file(const std::string& path, const EdgeList& list,
+                          bool with_weights = false);
+
+}  // namespace xg::graph

@@ -1,0 +1,71 @@
+#include "graph/reference/betweenness.hpp"
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace xg::graph::ref {
+
+namespace {
+
+/// One Brandes source accumulation into `bc`.
+void accumulate_source(const CSRGraph& g, vid_t s, std::vector<double>& bc,
+                       double scale) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::int64_t> sigma(n, 0);
+  std::vector<std::int32_t> dist(n, -1);
+  std::vector<double> delta(n, 0.0);
+  std::vector<vid_t> stack;
+  stack.reserve(n);
+
+  sigma[s] = 1;
+  dist[s] = 0;
+  std::vector<vid_t> queue;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const vid_t v = queue[head];
+    stack.push_back(v);
+    for (vid_t w : g.neighbors(v)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+      if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+    }
+  }
+
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    const vid_t w = *it;
+    for (vid_t v : g.neighbors(w)) {
+      if (dist[v] == dist[w] - 1 && sigma[w] != 0) {
+        delta[v] += static_cast<double>(sigma[v]) /
+                    static_cast<double>(sigma[w]) * (1.0 + delta[w]);
+      }
+    }
+    if (w != s) bc[w] += scale * delta[w];
+  }
+}
+
+}  // namespace
+
+std::vector<double> betweenness_centrality(const CSRGraph& g) {
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  for (vid_t s = 0; s < g.num_vertices(); ++s) {
+    accumulate_source(g, s, bc, 1.0);
+  }
+  return bc;
+}
+
+std::vector<double> betweenness_centrality_sampled(
+    const CSRGraph& g, std::span<const vid_t> sources) {
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  if (sources.empty()) return bc;
+  const double scale = static_cast<double>(g.num_vertices()) /
+                       static_cast<double>(sources.size());
+  for (vid_t s : sources) {
+    accumulate_source(g, s, bc, scale);
+  }
+  return bc;
+}
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Exact betweenness centrality (Brandes 2001) on an unweighted graph.
+/// Scores are not normalized; on undirected graphs every pair is counted in
+/// both directions (divide by 2 for the undirected convention).
+/// One of the flagship GraphCT kernels.
+std::vector<double> betweenness_centrality(const CSRGraph& g);
+
+/// Approximate betweenness from the given source sample, scaled by
+/// n / |sources| (the k-sources estimator GraphCT exposes).
+std::vector<double> betweenness_centrality_sampled(
+    const CSRGraph& g, std::span<const vid_t> sources);
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,100 @@
+#include "graph/reference/bfs.hpp"
+
+#include <cstdlib>
+#include <deque>
+#include <string>
+
+namespace xg::graph::ref {
+
+BfsResult bfs(const CSRGraph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  BfsResult r;
+  r.distance.assign(n, kInfDist);
+  r.parent.assign(n, kNoVertex);
+  if (source >= n) return r;
+
+  std::deque<vid_t> queue;
+  r.distance[source] = 0;
+  queue.push_back(source);
+  r.reached = 1;
+  r.level_sizes.push_back(1);
+
+  std::uint32_t level = 0;
+  std::size_t level_remaining = 1;
+  vid_t next_level_count = 0;
+  while (!queue.empty()) {
+    const vid_t v = queue.front();
+    queue.pop_front();
+    for (vid_t u : g.neighbors(v)) {
+      if (r.distance[u] == kInfDist) {
+        r.distance[u] = r.distance[v] + 1;
+        r.parent[u] = v;
+        queue.push_back(u);
+        ++next_level_count;
+        ++r.reached;
+      }
+    }
+    if (--level_remaining == 0) {
+      if (next_level_count > 0) r.level_sizes.push_back(next_level_count);
+      level_remaining = next_level_count;
+      next_level_count = 0;
+      ++level;
+    }
+  }
+  return r;
+}
+
+std::string validate_bfs_tree(const CSRGraph& g, vid_t source,
+                              const std::vector<std::uint32_t>& distance,
+                              const std::vector<vid_t>& parent) {
+  const vid_t n = g.num_vertices();
+  if (distance.size() != n || parent.size() != n) {
+    return "distance/parent size mismatch";
+  }
+  if (source >= n) return "source out of range";
+  if (distance[source] != 0) return "source distance not zero";
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (v == source) continue;
+    if (distance[v] == kInfDist) {
+      if (parent[v] != kNoVertex) {
+        return "unreached vertex " + std::to_string(v) + " has a parent";
+      }
+      continue;
+    }
+    const vid_t p = parent[v];
+    if (p == kNoVertex || p >= n) {
+      return "reached vertex " + std::to_string(v) + " lacks a valid parent";
+    }
+    if (!g.has_edge(p, v)) {
+      return "tree edge (" + std::to_string(p) + "," + std::to_string(v) +
+             ") not in graph";
+    }
+    if (distance[v] != distance[p] + 1) {
+      return "vertex " + std::to_string(v) + " distance not parent+1";
+    }
+  }
+  // Every edge spans at most one level, and no edge connects reached to
+  // unreached vertices.
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t u : g.neighbors(v)) {
+      const bool vr = distance[v] != kInfDist;
+      const bool ur = distance[u] != kInfDist;
+      if (vr != ur) {
+        return "edge (" + std::to_string(v) + "," + std::to_string(u) +
+               ") crosses the reached boundary";
+      }
+      if (vr && ur) {
+        const auto dv = static_cast<std::int64_t>(distance[v]);
+        const auto du = static_cast<std::int64_t>(distance[u]);
+        if (std::llabs(dv - du) > 1) {
+          return "edge (" + std::to_string(v) + "," + std::to_string(u) +
+                 ") spans more than one level";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Result of a sequential breadth-first search.
+struct BfsResult {
+  std::vector<std::uint32_t> distance;  ///< kInfDist when unreached
+  std::vector<vid_t> parent;            ///< kNoVertex for source/unreached
+  std::vector<vid_t> level_sizes;       ///< frontier size per level
+  vid_t reached = 0;                    ///< vertices reached (incl. source)
+};
+
+/// Textbook queue-based BFS; the oracle for every parallel BFS variant.
+BfsResult bfs(const CSRGraph& g, vid_t source);
+
+/// Validate a (distance, parent) pair against Graph500-style rules:
+/// tree edges exist, distances increase by one along parents, and every
+/// graph edge spans at most one level. Returns an empty string when valid,
+/// else a description of the first violation.
+std::string validate_bfs_tree(const CSRGraph& g, vid_t source,
+                              const std::vector<std::uint32_t>& distance,
+                              const std::vector<vid_t>& parent);
+
+}  // namespace xg::graph::ref

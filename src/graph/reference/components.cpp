@@ -1,0 +1,74 @@
+#include "graph/reference/components.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xg::graph::ref {
+
+DisjointSets::DisjointSets(vid_t n)
+    : parent_(n), rank_(n, 0), num_sets_(n) {
+  for (vid_t v = 0; v < n; ++v) parent_[v] = v;
+}
+
+vid_t DisjointSets::find(vid_t v) {
+  vid_t root = v;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[v] != root) {  // path compression
+    const vid_t next = parent_[v];
+    parent_[v] = root;
+    v = next;
+  }
+  return root;
+}
+
+bool DisjointSets::unite(vid_t a, vid_t b) {
+  vid_t ra = find(a);
+  vid_t rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+std::vector<vid_t> connected_components(const CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  DisjointSets dsu(n);
+  for (vid_t v = 0; v < n; ++v) {
+    for (vid_t u : g.neighbors(v)) dsu.unite(v, u);
+  }
+  std::vector<vid_t> labels(n);
+  for (vid_t v = 0; v < n; ++v) labels[v] = dsu.find(v);
+  canonicalize_labels(labels);
+  return labels;
+}
+
+void canonicalize_labels(std::span<vid_t> labels) {
+  // min_member[r] = smallest vertex whose label is r.
+  std::vector<vid_t> min_member(labels.size(), kNoVertex);
+  for (vid_t v = 0; v < labels.size(); ++v) {
+    vid_t& m = min_member[labels[v]];
+    if (m == kNoVertex) m = v;  // first visit is the minimum (ascending scan)
+  }
+  for (vid_t v = 0; v < labels.size(); ++v) {
+    labels[v] = min_member[labels[v]];
+  }
+}
+
+vid_t count_components(std::span<const vid_t> labels) {
+  std::unordered_set<vid_t> distinct(labels.begin(), labels.end());
+  return static_cast<vid_t>(distinct.size());
+}
+
+vid_t largest_component_size(std::span<const vid_t> labels) {
+  if (labels.empty()) return 0;
+  std::vector<vid_t> count(labels.size(), 0);
+  vid_t best = 0;
+  for (vid_t l : labels) {
+    best = std::max(best, ++count[l]);
+  }
+  return best;
+}
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Union-find connected components. Labels are canonicalized so every
+/// vertex's label is the minimum vertex id in its component — the same
+/// fixed point both the paper's algorithms converge to, making label maps
+/// directly comparable across implementations.
+std::vector<vid_t> connected_components(const CSRGraph& g);
+
+/// Number of distinct labels in a component map.
+vid_t count_components(std::span<const vid_t> labels);
+
+/// Size of the largest component.
+vid_t largest_component_size(std::span<const vid_t> labels);
+
+/// Rewrite labels so each equals the minimum vertex id of its class;
+/// lets tests compare maps that use different representatives.
+void canonicalize_labels(std::span<vid_t> labels);
+
+/// Disjoint-set union used by the reference implementation; exposed for
+/// tests and for streaming use cases.
+class DisjointSets {
+ public:
+  explicit DisjointSets(vid_t n);
+  vid_t find(vid_t v);
+  /// Returns true when the union merged two distinct sets.
+  bool unite(vid_t a, vid_t b);
+  vid_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  vid_t num_sets_;
+};
+
+}  // namespace xg::graph::ref

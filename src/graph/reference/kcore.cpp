@@ -1,0 +1,71 @@
+#include "graph/reference/kcore.hpp"
+
+#include <algorithm>
+
+namespace xg::graph::ref {
+
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g) {
+  // Matula-Beck peeling with bucket sort by current degree.
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = static_cast<std::uint32_t>(g.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // bucket-sorted vertex order.
+  std::vector<vid_t> bin(max_deg + 2, 0);
+  for (vid_t v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (std::size_t i = 1; i < bin.size(); ++i) bin[i] += bin[i - 1];
+  std::vector<vid_t> order(n);
+  std::vector<vid_t> pos(n);
+  {
+    std::vector<vid_t> cursor(bin.begin(), bin.end() - 1);
+    for (vid_t v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  std::vector<std::uint32_t> core(deg);
+  // bin[d] = index in `order` of the first vertex with current degree d.
+  for (vid_t idx = 0; idx < n; ++idx) {
+    const vid_t v = order[idx];
+    core[v] = deg[v];
+    for (vid_t u : g.neighbors(v)) {
+      if (deg[u] <= deg[v]) continue;
+      // Move u to the front of its bucket, then shrink its degree.
+      const vid_t du = deg[u];
+      const vid_t pu = pos[u];
+      const vid_t pw = bin[du];
+      const vid_t w = order[pw];
+      if (u != w) {
+        std::swap(order[pu], order[pw]);
+        pos[u] = pw;
+        pos[w] = pu;
+      }
+      ++bin[du];
+      --deg[u];
+    }
+  }
+  return core;
+}
+
+std::vector<vid_t> kcore_vertices(const CSRGraph& g, std::uint32_t k) {
+  const auto core = core_numbers(g);
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+std::uint32_t degeneracy(const CSRGraph& g) {
+  const auto core = core_numbers(g);
+  std::uint32_t best = 0;
+  for (std::uint32_t c : core) best = std::max(best, c);
+  return best;
+}
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Core number of every vertex (largest k such that the vertex survives in
+/// the k-core), via the standard linear-time peeling algorithm. One of the
+/// GraphCT workflow kernels.
+std::vector<std::uint32_t> core_numbers(const CSRGraph& g);
+
+/// Vertices of the k-core (core number >= k).
+std::vector<vid_t> kcore_vertices(const CSRGraph& g, std::uint32_t k);
+
+/// Largest k with a non-empty k-core (the graph's degeneracy).
+std::uint32_t degeneracy(const CSRGraph& g);
+
+}  // namespace xg::graph::ref

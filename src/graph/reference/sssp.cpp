@@ -1,0 +1,37 @@
+#include "graph/reference/sssp.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace xg::graph::ref {
+
+double unreachable_distance() { return std::numeric_limits<double>::infinity(); }
+
+std::vector<double> dijkstra(const CSRGraph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  std::vector<double> dist(n, unreachable_distance());
+  if (source >= n) return dist;
+
+  using Entry = std::pair<double, vid_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      const double nd = d + w;
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        pq.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace xg::graph::ref

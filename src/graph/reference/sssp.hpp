@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Dijkstra single-source shortest paths on a weighted CSR graph (weights
+/// must be non-negative; unweighted graphs use weight 1 per arc). Oracle
+/// for the BSP SSSP extension (the Kajdanowicz et al. comparison workload
+/// the paper cites).
+std::vector<double> dijkstra(const CSRGraph& g, vid_t source);
+
+/// Distance value for unreachable vertices.
+double unreachable_distance();
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+/// Exact global triangle count on an undirected simple graph with sorted
+/// adjacency. Each triangle {i, j, k}, i<j<k, is counted exactly once via
+/// merge intersection of sorted neighbor lists.
+std::uint64_t count_triangles(const CSRGraph& g);
+
+/// Per-vertex triangle counts (each vertex's count includes every triangle
+/// it belongs to). The sum equals 3 x count_triangles.
+std::vector<std::uint64_t> per_vertex_triangles(const CSRGraph& g);
+
+/// O(n^3) brute force for tiny graphs; the oracle for the oracle.
+std::uint64_t count_triangles_brute_force(const CSRGraph& g);
+
+/// Local clustering coefficients: tri(v) / (deg(v) choose 2); zero for
+/// degree < 2. The per-vertex statistic GraphCT computes from triangles.
+std::vector<double> clustering_coefficients(const CSRGraph& g);
+
+/// Global clustering coefficient: 3 x triangles / open+closed wedges.
+double global_clustering_coefficient(const CSRGraph& g);
+
+/// Number of wedges (paths of length 2 through ordered endpoints) that the
+/// BSP triangle algorithm would emit as "possible triangle" messages:
+/// for every i < j < k with edges (i,j) and (j,k), one message. This is the
+/// paper's 5.5-billion-messages quantity.
+std::uint64_t ordered_wedge_count(const CSRGraph& g);
+
+}  // namespace xg::graph::ref

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace xg::graph {
+
+/// Parameters for the R-MAT recursive matrix generator (Chakrabarti, Zhan,
+/// Faloutsos 2004), the paper's workload. Defaults are the Graph500 /
+/// paper settings: 2^scale vertices, edgefactor x 2^scale edges, quadrant
+/// probabilities (0.57, 0.19, 0.19, 0.05) — a skewed, small-world graph.
+struct RmatParams {
+  std::uint32_t scale = 16;
+  std::uint32_t edgefactor = 16;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  std::uint64_t seed = 1;
+
+  std::uint64_t num_vertices() const { return 1ull << scale; }
+  std::uint64_t num_edges() const { return edgefactor * num_vertices(); }
+};
+
+/// Generate a directed R-MAT edge list (self loops and duplicates included,
+/// exactly as the generator emits them; the CSR builder cleans them up).
+EdgeList rmat_edges(const RmatParams& p);
+
+}  // namespace xg::graph

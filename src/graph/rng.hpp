@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace xg::graph {
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Tiny, fast, and — unlike `std::uniform_*_distribution` — fully specified,
+/// so every generated graph is bit-identical on every platform and standard
+/// library. All randomness in the library flows through explicit seeds.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift; bias is < 2^-64 * bound, irrelevant here.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Derive an independent stream (e.g. one per edge block).
+  Rng fork(std::uint64_t salt) {
+    return Rng(next() ^ (0xD1B54A32D192ED03ull * (salt + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xg::graph

@@ -1,0 +1,44 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+namespace xg::graph {
+
+Subgraph induced_subgraph(const CSRGraph& g, std::span<const vid_t> vertices) {
+  std::vector<vid_t> to_new(g.num_vertices(), kNoVertex);
+  Subgraph out;
+  for (vid_t v : vertices) {
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("induced_subgraph: vertex id out of range");
+    }
+    if (to_new[v] == kNoVertex) {
+      to_new[v] = static_cast<vid_t>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+
+  EdgeList edges(static_cast<vid_t>(out.to_original.size()));
+  for (vid_t nv = 0; nv < out.to_original.size(); ++nv) {
+    const vid_t ov = out.to_original[nv];
+    for (vid_t u : g.neighbors(ov)) {
+      // Keep each undirected edge once; the builder re-symmetrizes.
+      if (to_new[u] != kNoVertex && u > ov) edges.add(nv, to_new[u]);
+    }
+  }
+  out.graph = CSRGraph::build(edges);
+  return out;
+}
+
+Subgraph extract_component(const CSRGraph& g, std::span<const vid_t> labels,
+                           vid_t label) {
+  if (labels.size() != g.num_vertices()) {
+    throw std::invalid_argument("extract_component: label map size mismatch");
+  }
+  std::vector<vid_t> members;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (labels[v] == label) members.push_back(v);
+  }
+  return induced_subgraph(g, members);
+}
+
+}  // namespace xg::graph

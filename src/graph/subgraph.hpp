@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph {
+
+/// Result of an induced-subgraph extraction: the subgraph plus the mapping
+/// from new vertex ids back to the originals.
+struct Subgraph {
+  CSRGraph graph;
+  std::vector<vid_t> to_original;  // new id -> old id
+};
+
+/// Extract the subgraph induced by `vertices` (a GraphCT utility; used by
+/// the examples to pull out one connected component). Duplicate ids are
+/// collapsed; ids must be < g.num_vertices().
+Subgraph induced_subgraph(const CSRGraph& g, std::span<const vid_t> vertices);
+
+/// Extract all vertices whose `labels` entry equals `label` (e.g. one
+/// connected component from a component map).
+Subgraph extract_component(const CSRGraph& g, std::span<const vid_t> labels,
+                           vid_t label);
+
+}  // namespace xg::graph

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace xg::graph {
+
+/// Vertex identifier. 32 bits covers graphs to 4 G vertices — well past the
+/// paper's SCALE-24 inputs — while halving adjacency memory traffic.
+using vid_t = std::uint32_t;
+
+/// Edge (arc) index / count type.
+using eid_t = std::uint64_t;
+
+/// Sentinel for "no vertex" (BFS parents, unreached distances, ...).
+inline constexpr vid_t kNoVertex = std::numeric_limits<vid_t>::max();
+
+/// Sentinel for an unreached / infinite BFS distance.
+inline constexpr std::uint32_t kInfDist = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace xg::graph

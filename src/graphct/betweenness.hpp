@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct BetweennessResult {
+  std::vector<double> scores;
+  KernelTotals totals;
+  std::uint64_t sources_processed = 0;
+};
+
+/// Level-synchronous Brandes betweenness centrality on the simulated
+/// machine (after Madduri, Ediger et al., MTAAP'09 — one of GraphCT's
+/// flagship kernels). Path counts are accumulated with fetch-and-adds on
+/// the successor's sigma word, so high-in-degree frontier vertices become
+/// mild natural hotspots. Pass a subset of sources for the k-sources
+/// approximation; scores are scaled by n/|sources| in that case.
+BetweennessResult betweenness_centrality(xmt::Engine& engine,
+                                         const graph::CSRGraph& g,
+                                         std::span<const graph::vid_t> sources);
+
+}  // namespace xg::graphct

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct BfsOptions {
+  /// Also record parent pointers (Graph500 convention); costs one extra
+  /// store per discovered vertex.
+  bool record_parents = true;
+};
+
+struct BfsResult {
+  std::vector<std::uint32_t> distance;  ///< kInfDist when unreached
+  std::vector<graph::vid_t> parent;     ///< empty unless record_parents
+  std::vector<IterationRecord> levels;  ///< one record per frontier level
+  KernelTotals totals;
+  graph::vid_t reached = 0;
+};
+
+/// Level-synchronous parallel breadth-first search in the GraphCT /
+/// Bader-Madduri style: the frontier is an explicit queue; each frontier
+/// vertex scans its adjacency, claims undiscovered neighbors, and appends
+/// them to the next queue through a fetch-and-add on the shared queue tail.
+/// Only definitively undiscovered vertices are enqueued, and exactly once —
+/// the key contrast with the BSP variant (paper §IV).
+BfsResult bfs(xmt::Engine& engine, const graph::CSRGraph& g,
+              graph::vid_t source, const BfsOptions& opt = {});
+
+}  // namespace xg::graphct

@@ -1,0 +1,131 @@
+#include "graphct/bfs_diropt.hpp"
+
+#include <stdexcept>
+
+#include "graphct/charge.hpp"
+
+namespace xg::graphct {
+
+using graph::vid_t;
+
+BfsResult bfs_direction_optimizing(xmt::Engine& engine,
+                                   const graph::CSRGraph& g, vid_t source,
+                                   const DirOptBfsOptions& opt) {
+  const vid_t n = g.num_vertices();
+  if (source >= n) {
+    throw std::out_of_range("graphct::bfs_direction_optimizing: source");
+  }
+
+  BfsResult r;
+  r.distance.assign(n, graph::kInfDist);
+  if (opt.record_parents) r.parent.assign(n, graph::kNoVertex);
+
+  const xmt::Cycles t0 = engine.now();
+  engine.serial_region(
+      [&](xmt::OpSink& s) {
+        r.distance[source] = 0;
+        s.store(&r.distance[source]);
+      },
+      {.name = "bfs/init"});
+  r.reached = 1;
+
+  std::vector<vid_t> frontier{source};
+  std::vector<vid_t> next;
+  std::uint64_t queue_tail = 0;
+  std::uint64_t explored_edges = 0;
+  const std::uint64_t total_arcs = g.num_arcs();
+  std::uint32_t level = 0;
+
+  while (!frontier.empty()) {
+    // Direction heuristic: compare the frontier's outgoing edge volume
+    // against the edges not yet explored.
+    std::uint64_t frontier_edges = 0;
+    for (const vid_t v : frontier) frontier_edges += g.degree(v);
+    const bool bottom_up =
+        static_cast<double>(frontier_edges) * opt.alpha >
+            static_cast<double>(total_arcs - explored_edges) &&
+        frontier.size() > n / static_cast<vid_t>(opt.beta);
+
+    IterationRecord rec;
+    rec.index = level;
+    rec.active = frontier.size();
+    next.clear();
+
+    if (!bottom_up) {
+      // Top-down level, as in graphct::bfs.
+      auto body = [&](std::uint64_t i, xmt::OpSink& s) {
+        const vid_t v = frontier[i];
+        s.load(&frontier[i]);
+        const auto nbrs = g.neighbors(v);
+        s.load_n(g.adjacency_ptr(v), static_cast<std::uint32_t>(nbrs.size()));
+        rec.edges_scanned += nbrs.size();
+        charge_gather(s, r.distance.data(), nbrs.size());
+        s.compute(static_cast<std::uint32_t>(nbrs.size()));
+        std::uint32_t discovered = 0;
+        for (const vid_t u : nbrs) {
+          if (r.distance[u] == graph::kInfDist) {
+            r.distance[u] = level + 1;
+            s.store(&r.distance[u]);
+            if (opt.record_parents) {
+              r.parent[u] = v;
+              s.store(&r.parent[u]);
+            }
+            next.push_back(u);
+            ++discovered;
+            ++r.totals.writes;
+          }
+        }
+        if (discovered > 0) {
+          s.fetch_add(&queue_tail);
+          s.store_n(next.data() + (next.size() - discovered), discovered);
+        }
+      };
+      rec.region =
+          engine.parallel_for(frontier.size(), body, {.name = "bfs/level-down"});
+    } else {
+      // Bottom-up level: every undiscovered vertex hunts for a parent on
+      // the frontier and stops at the first hit.
+      auto body = [&](std::uint64_t vi, xmt::OpSink& s) {
+        const vid_t v = static_cast<vid_t>(vi);
+        s.load(&r.distance[v]);
+        if (r.distance[v] != graph::kInfDist) return;
+        const auto nbrs = g.neighbors(v);
+        std::uint32_t examined = 0;
+        vid_t found = graph::kNoVertex;
+        for (const vid_t u : nbrs) {
+          ++examined;
+          if (r.distance[u] == level) {
+            found = u;
+            break;  // early exit: the bottom-up advantage
+          }
+        }
+        s.load_n(g.adjacency_ptr(v), examined);
+        charge_gather(s, r.distance.data(), examined);
+        s.compute(examined);
+        rec.edges_scanned += examined;
+        if (found != graph::kNoVertex) {
+          r.distance[v] = level + 1;
+          s.store(&r.distance[v]);
+          if (opt.record_parents) {
+            r.parent[v] = found;
+            s.store(&r.parent[v]);
+          }
+          next.push_back(v);
+          ++r.totals.writes;
+        }
+      };
+      rec.region = engine.parallel_for(n, body, {.name = "bfs/level-up"});
+    }
+
+    explored_edges += frontier_edges;
+    r.reached += static_cast<vid_t>(next.size());
+    r.levels.push_back(rec);
+    frontier.swap(next);
+    ++level;
+  }
+
+  r.totals.cycles = engine.now() - t0;
+  return r;
+}
+
+}  // namespace xg::graphct

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "graphct/bfs.hpp"
+
+namespace xg::graphct {
+
+struct DirOptBfsOptions {
+  /// Switch top-down -> bottom-up when the frontier's outgoing edges exceed
+  /// the unexplored edges divided by alpha (Beamer's heuristic).
+  double alpha = 14.0;
+  /// Switch back to top-down when the frontier shrinks below n / beta.
+  double beta = 24.0;
+  bool record_parents = true;
+};
+
+/// Direction-optimizing breadth-first search (Beamer, Asanović, Patterson,
+/// SC'12 — the technique behind the fastest Graph500 entries the paper's
+/// §IV alludes to). Top-down levels expand the frontier queue as in
+/// graphct::bfs; once the frontier covers most remaining edges, the search
+/// flips bottom-up: every undiscovered vertex scans its own neighbors for
+/// a parent on the frontier and stops at the first hit, skipping the
+/// redundant edge traffic that dominates the apex levels — the
+/// shared-memory counterpart of the BSP variant's wasted messages
+/// (paper Figure 2).
+///
+/// Returns the same distances as graphct::bfs (the parent tree may differ
+/// but always validates). Region names record the direction per level:
+/// "bfs/level-down" vs "bfs/level-up".
+BfsResult bfs_direction_optimizing(xmt::Engine& engine,
+                                   const graph::CSRGraph& g,
+                                   graph::vid_t source,
+                                   const DirOptBfsOptions& opt = {});
+
+}  // namespace xg::graphct

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "xmt/op.hpp"
+
+namespace xg::graphct {
+
+/// Threadstorm streams keep up to 8 memory references in flight
+/// (hardware lookahead), so a loop gathering independent scattered words —
+/// dist[] / label[] reads indexed by an adjacency list — overlaps its
+/// latencies in groups of 8. Charge such a gather accordingly: one issue
+/// slot per reference, one latency stall per group.
+inline constexpr std::uint32_t kStreamLookahead = 8;
+
+inline void charge_gather(xmt::OpSink& s, const void* addr,
+                          std::uint64_t count,
+                          std::uint32_t lookahead = kStreamLookahead) {
+  while (count > 0) {
+    const auto group = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count, lookahead));
+    s.load_n(addr, group);
+    count -= group;
+  }
+}
+
+}  // namespace xg::graphct

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct CCOptions {
+  /// In the shared-memory model a newly written label is immediately
+  /// visible to every other thread, so labels propagate *within* an
+  /// iteration (paper §III). Turning this off makes every iteration read
+  /// the previous iteration's labels — the staleness the BSP model imposes —
+  /// and roughly doubles the iteration count (ablation B).
+  bool in_iteration_propagation = true;
+
+  /// Safety valve; the algorithm converges long before this.
+  std::uint32_t max_iterations = 10000;
+};
+
+struct CCResult {
+  std::vector<graph::vid_t> labels;          ///< min vertex id per component
+  std::vector<IterationRecord> iterations;   ///< Figure 1's GraphCT series
+  KernelTotals totals;
+  graph::vid_t num_components = 0;
+};
+
+/// Shared-memory connected components in the GraphCT style (after
+/// Shiloach-Vishkin): every iteration sweeps all edges, adopting the
+/// smaller neighbor label; new labels are visible immediately, which cuts
+/// the iteration count roughly in half versus BSP. Work per iteration is
+/// constant (all edges), which is why the paper's Figure 1 GraphCT curves
+/// are flat.
+CCResult connected_components(xmt::Engine& engine, const graph::CSRGraph& g,
+                              const CCOptions& opt = {});
+
+}  // namespace xg::graphct

@@ -1,0 +1,43 @@
+#include "graphct/diameter.hpp"
+
+#include <stdexcept>
+
+namespace xg::graphct {
+
+using graph::vid_t;
+
+DiameterResult pseudo_diameter(xmt::Engine& engine, const graph::CSRGraph& g,
+                               vid_t start, std::uint32_t max_sweeps) {
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("graphct::pseudo_diameter: start out of range");
+  }
+  DiameterResult r;
+  r.endpoint_a = start;
+  r.endpoint_b = start;
+  const xmt::Cycles t0 = engine.now();
+
+  vid_t from = start;
+  while (r.sweeps < max_sweeps) {
+    const auto b = bfs(engine, g, from, {.record_parents = false});
+    ++r.sweeps;
+    // Farthest reached vertex (ties to the smallest id, deterministically).
+    vid_t far = from;
+    std::uint32_t ecc = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (b.distance[v] != graph::kInfDist && b.distance[v] > ecc) {
+        ecc = b.distance[v];
+        far = v;
+      }
+    }
+    if (ecc <= r.estimate) break;  // no improvement: done
+    r.estimate = ecc;
+    r.endpoint_a = from;
+    r.endpoint_b = far;
+    from = far;
+  }
+
+  r.totals.cycles = engine.now() - t0;
+  return r;
+}
+
+}  // namespace xg::graphct

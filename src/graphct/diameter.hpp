@@ -1,0 +1,25 @@
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graphct/bfs.hpp"
+
+namespace xg::graphct {
+
+struct DiameterResult {
+  /// Lower bound on the diameter of the start vertex's component (exact on
+  /// trees; usually exact or near-exact on small-world graphs).
+  std::uint32_t estimate = 0;
+  graph::vid_t endpoint_a = 0;
+  graph::vid_t endpoint_b = 0;
+  std::uint32_t sweeps = 0;  ///< BFS runs performed
+  KernelTotals totals;
+};
+
+/// Pseudo-diameter by iterated double sweep (a GraphCT workflow utility):
+/// BFS from `start`, hop to the farthest vertex found, and repeat until
+/// the eccentricity stops growing (bounded by `max_sweeps`).
+DiameterResult pseudo_diameter(xmt::Engine& engine, const graph::CSRGraph& g,
+                               graph::vid_t start,
+                               std::uint32_t max_sweeps = 8);
+
+}  // namespace xg::graphct

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+/// Record of one iteration (CC) or one frontier level (BFS) of a
+/// shared-memory kernel — the per-iteration series the paper's Figures 1-3
+/// plot.
+struct IterationRecord {
+  std::uint32_t index = 0;
+  /// Kernel-specific activity: frontier size (BFS), label changes (CC),
+  /// vertices peeled (k-core).
+  std::uint64_t active = 0;
+  /// Edges (arcs) examined during the iteration.
+  std::uint64_t edges_scanned = 0;
+  /// Simulated-machine statistics for the iteration's parallel regions.
+  xmt::RegionStats region;
+
+  xmt::Cycles cycles() const { return region.cycles(); }
+};
+
+/// Totals shared by every kernel result.
+struct KernelTotals {
+  xmt::Cycles cycles = 0;
+  std::uint64_t writes = 0;  ///< semantic result writes (paper §V compares)
+  double seconds(const xmt::SimConfig& cfg) const { return cfg.seconds(cycles); }
+};
+
+}  // namespace xg::graphct

@@ -1,0 +1,69 @@
+#include "graphct/kcore.hpp"
+
+#include "graphct/charge.hpp"
+
+namespace xg::graphct {
+
+using graph::vid_t;
+
+KCoreResult kcore(xmt::Engine& engine, const graph::CSRGraph& g,
+                  std::uint32_t k) {
+  const vid_t n = g.num_vertices();
+  KCoreResult r;
+  r.survivors.assign(n, 1);
+
+  const xmt::Cycles t0 = engine.now();
+  std::vector<vid_t> live;
+  for (vid_t v = 0; v < n; ++v) live.push_back(v);
+
+  bool removed_any = true;
+  std::uint32_t round = 0;
+  while (removed_any && !live.empty()) {
+    removed_any = false;
+    IterationRecord rec;
+    rec.index = round;
+    std::vector<vid_t> still_live;
+    std::vector<vid_t> doomed;
+
+    auto body = [&](std::uint64_t i, xmt::OpSink& s) {
+      const vid_t v = live[i];
+      s.load(&live[i]);
+      const auto nbrs = g.neighbors(v);
+      s.load_n(g.adjacency_ptr(v), static_cast<std::uint32_t>(nbrs.size()));
+      rec.edges_scanned += nbrs.size();
+      std::uint32_t live_degree = 0;
+      charge_gather(s, r.survivors.data(), nbrs.size());
+      s.compute(static_cast<std::uint32_t>(nbrs.size()));
+      for (vid_t u : nbrs) {
+        if (r.survivors[u]) ++live_degree;
+      }
+      if (live_degree < k) {
+        doomed.push_back(v);
+        s.store(&r.survivors[v]);
+      } else {
+        still_live.push_back(v);
+      }
+    };
+    rec.region = engine.parallel_for(live.size(), body, {.name = "kcore/round"});
+
+    // Removals apply *between* rounds so every round sees a consistent
+    // survivor set (a level-synchronous peel).
+    for (vid_t v : doomed) {
+      r.survivors[v] = 0;
+      ++r.totals.writes;
+    }
+    removed_any = !doomed.empty();
+    rec.active = doomed.size();
+    r.rounds.push_back(rec);
+    live.swap(still_live);
+    ++round;
+  }
+
+  for (vid_t v = 0; v < n; ++v) {
+    if (r.survivors[v]) r.members.push_back(v);
+  }
+  r.totals.cycles = engine.now() - t0;
+  return r;
+}
+
+}  // namespace xg::graphct

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct KCoreResult {
+  /// survivors[v] is true when v belongs to the k-core.
+  std::vector<std::uint8_t> survivors;
+  std::vector<graph::vid_t> members;
+  std::vector<IterationRecord> rounds;  ///< one per peeling round
+  KernelTotals totals;
+};
+
+/// k-core extraction by parallel iterative peeling, a GraphCT workflow
+/// kernel: every round re-counts each live vertex's live degree and removes
+/// those below k, until a fixed point. The active set shrinks round over
+/// round — another workload whose parallelism collapses over time.
+KCoreResult kcore(xmt::Engine& engine, const graph::CSRGraph& g,
+                  std::uint32_t k);
+
+}  // namespace xg::graphct

@@ -1,0 +1,100 @@
+#include "graphct/st_connectivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/types.hpp"
+#include "graphct/charge.hpp"
+
+namespace xg::graphct {
+
+using graph::vid_t;
+
+StConnectivityResult st_connectivity(xmt::Engine& engine,
+                                     const graph::CSRGraph& g, vid_t s,
+                                     vid_t t) {
+  const vid_t n = g.num_vertices();
+  if (s >= n || t >= n) {
+    throw std::out_of_range("graphct::st_connectivity: endpoint out of range");
+  }
+
+  StConnectivityResult r;
+  const xmt::Cycles t0 = engine.now();
+  if (s == t) {
+    r.connected = true;
+    r.vertices_visited = 1;
+    r.totals.cycles = engine.now() - t0;
+    return r;
+  }
+
+  // side[v]: 0 untouched, 1 reached from s, 2 reached from t.
+  std::vector<std::uint8_t> side(n, 0);
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<vid_t> frontier_s{s};
+  std::vector<vid_t> frontier_t{t};
+  engine.serial_region(
+      [&](xmt::OpSink& sink) {
+        side[s] = 1;
+        side[t] = 2;
+        sink.store(&side[s]);
+        sink.store(&side[t]);
+      },
+      {.name = "stcon/init"});
+  r.vertices_visited = 2;
+
+  std::uint32_t best = graph::kInfDist;
+  std::uint64_t queue_tail = 0;
+  std::uint32_t depth_s = 0;  // distance of the s-side frontier
+  std::uint32_t depth_t = 0;
+  while (!frontier_s.empty() && !frontier_t.empty()) {
+    // Any path found from here on crosses between the current frontiers,
+    // so it is at least depth_s + depth_t + 1 long: once the best known
+    // meeting beats that bound, it is exact.
+    if (best <= depth_s + depth_t + 1) break;
+    // Expand the smaller frontier (the Bader-Madduri balance heuristic).
+    const bool expand_s = frontier_s.size() <= frontier_t.size();
+    std::vector<vid_t>& frontier = expand_s ? frontier_s : frontier_t;
+    const std::uint8_t own = expand_s ? 1 : 2;
+    const std::uint8_t other = expand_s ? 2 : 1;
+    std::vector<vid_t> next;
+
+    auto body = [&](std::uint64_t i, xmt::OpSink& sink) {
+      const vid_t v = frontier[i];
+      sink.load(&frontier[i]);
+      const auto nbrs = g.neighbors(v);
+      sink.load_n(g.adjacency_ptr(v), static_cast<std::uint32_t>(nbrs.size()));
+      charge_gather(sink, side.data(), nbrs.size());
+      sink.compute(static_cast<std::uint32_t>(nbrs.size()));
+      std::uint32_t discovered = 0;
+      for (const vid_t u : nbrs) {
+        if (side[u] == 0) {
+          side[u] = own;
+          dist[u] = dist[v] + 1;
+          sink.store(&side[u]);
+          sink.store(&dist[u]);
+          next.push_back(u);
+          ++discovered;
+          ++r.vertices_visited;
+        } else if (side[u] == other) {
+          // Frontiers touched: a shortest path through this meeting edge.
+          best = std::min(best, dist[v] + 1 + dist[u]);
+        }
+      }
+      if (discovered > 0) {
+        sink.fetch_add(&queue_tail);
+        sink.store_n(next.data() + (next.size() - discovered), discovered);
+      }
+    };
+    engine.parallel_for(frontier.size(), body, {.name = "stcon/level"});
+    frontier.swap(next);
+    (expand_s ? depth_s : depth_t) += 1;
+    ++r.rounds;
+  }
+
+  r.connected = best != graph::kInfDist;
+  r.path_length = r.connected ? best : 0;
+  r.totals.cycles = engine.now() - t0;
+  return r;
+}
+
+}  // namespace xg::graphct

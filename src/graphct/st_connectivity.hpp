@@ -1,0 +1,28 @@
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct StConnectivityResult {
+  bool connected = false;
+  /// Length of a shortest s-t path when connected (0 when s == t).
+  std::uint32_t path_length = 0;
+  /// Vertices marked by either search before the frontiers met.
+  std::uint64_t vertices_visited = 0;
+  std::uint32_t rounds = 0;
+  KernelTotals totals;
+};
+
+/// st-connectivity by bidirectional level-synchronous BFS, after the
+/// Bader-Madduri MTA-2 work the paper cites [22]: grow a frontier from
+/// each endpoint, always expanding the smaller one, and stop as soon as
+/// they touch. Visits a small fraction of the graph compared to a full
+/// BFS on small-world inputs.
+StConnectivityResult st_connectivity(xmt::Engine& engine,
+                                     const graph::CSRGraph& g,
+                                     graph::vid_t s, graph::vid_t t);
+
+}  // namespace xg::graphct

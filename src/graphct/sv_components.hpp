@@ -1,0 +1,22 @@
+#pragma once
+
+#include "graphct/connected_components.hpp"
+
+namespace xg::graphct {
+
+/// Connected components by the classical Shiloach-Vishkin scheme the paper
+/// cites [18]: a parent forest where tree roots are repeatedly *hooked*
+/// onto smaller-labelled neighbors and paths are compressed by pointer
+/// jumping. Converges in O(log n) rounds regardless of diameter — the
+/// contrast to the label-propagation kernel, which needs O(diameter)
+/// iterations (dramatic on path-like graphs; see the sv tests and the
+/// ablation in bench/ablation_label_propagation).
+///
+/// Costs charged per round: the edge sweep (adjacency scan + parent reads +
+/// hook stores) and the pointer-jumping sweep (dependent parent-chain
+/// loads).
+CCResult connected_components_sv(xmt::Engine& engine,
+                                 const graph::CSRGraph& g,
+                                 std::uint32_t max_rounds = 10000);
+
+}  // namespace xg::graphct

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct TriangleResult {
+  std::uint64_t triangles = 0;
+  /// Per-vertex triangle counts (each triangle credited to all 3 corners).
+  std::vector<std::uint64_t> per_vertex;
+  /// Comparisons performed by the sorted-adjacency merges.
+  std::uint64_t comparisons = 0;
+  KernelTotals totals;  ///< totals.writes = one write per triangle (paper §V)
+};
+
+/// Shared-memory triangle counting as in GraphCT: the triply-nested loop
+/// over every vertex, its neighbors, and the sorted-adjacency intersection
+/// of the two endpoints. A write happens only when a triangle is detected —
+/// the 181x write-volume contrast with the BSP variant (paper §V).
+TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g);
+
+/// Local clustering coefficients computed from the triangle kernel,
+/// tri(v) / C(deg(v), 2); the paper's "clustering coefficients" workload.
+struct ClusteringResult {
+  std::vector<double> local;
+  double global = 0.0;
+  TriangleResult triangles;
+};
+ClusteringResult clustering_coefficients(xmt::Engine& engine,
+                                         const graph::CSRGraph& g);
+
+}  // namespace xg::graphct

@@ -1,0 +1,256 @@
+#include "native/algorithms.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "graph/reference/components.hpp"
+
+namespace xg::native {
+
+using graph::vid_t;
+
+NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
+                    vid_t source) {
+  const vid_t n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("native::bfs: bad source");
+
+  auto dist = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  for (vid_t v = 0; v < n; ++v) {
+    dist[v].store(graph::kInfDist, std::memory_order_relaxed);
+  }
+  dist[source].store(0, std::memory_order_relaxed);
+
+  NativeBfsResult r;
+  std::vector<vid_t> frontier{source};
+  std::vector<vid_t> next;
+  std::mutex next_mutex;
+  std::uint32_t level = 0;
+  r.reached = 1;
+
+  while (!frontier.empty()) {
+    r.level_sizes.push_back(static_cast<vid_t>(frontier.size()));
+    next.clear();
+    pool.parallel_for_ranges(
+        frontier.size(), 64,
+        [&](std::uint64_t b, std::uint64_t e) {
+          std::vector<vid_t> local;
+          for (std::uint64_t i = b; i < e; ++i) {
+            const vid_t v = frontier[i];
+            for (vid_t u : g.neighbors(v)) {
+              std::uint32_t expect = graph::kInfDist;
+              if (dist[u].load(std::memory_order_relaxed) == graph::kInfDist &&
+                  dist[u].compare_exchange_strong(expect, level + 1,
+                                                  std::memory_order_relaxed)) {
+                local.push_back(u);
+              }
+            }
+          }
+          if (!local.empty()) {
+            std::lock_guard lock(next_mutex);
+            next.insert(next.end(), local.begin(), local.end());
+          }
+        });
+    r.reached += static_cast<vid_t>(next.size());
+    frontier.swap(next);
+    ++level;
+  }
+
+  r.distance.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    r.distance[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  return r;
+}
+
+std::vector<vid_t> connected_components(ThreadPool& pool,
+                                        const graph::CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  auto label = std::make_unique<std::atomic<vid_t>[]>(n);
+  for (vid_t v = 0; v < n; ++v) label[v].store(v, std::memory_order_relaxed);
+
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+      bool any = false;
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        const vid_t v = static_cast<vid_t>(vi);
+        vid_t best = label[v].load(std::memory_order_relaxed);
+        for (vid_t u : g.neighbors(v)) {
+          best = std::min(best, label[u].load(std::memory_order_relaxed));
+        }
+        // atomic fetch-min by CAS loop
+        vid_t cur = label[v].load(std::memory_order_relaxed);
+        while (best < cur &&
+               !label[v].compare_exchange_weak(cur, best,
+                                               std::memory_order_relaxed)) {
+        }
+        if (best < cur) any = true;
+      }
+      if (any) changed.store(true, std::memory_order_relaxed);
+    });
+  }
+
+  std::vector<vid_t> out(n);
+  for (vid_t v = 0; v < n; ++v) out[v] = label[v].load(std::memory_order_relaxed);
+  graph::ref::canonicalize_labels(out);
+  return out;
+}
+
+std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for_ranges(n, 32, [&](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t local = 0;
+    for (std::uint64_t vi = b; vi < e; ++vi) {
+      const vid_t v = static_cast<vid_t>(vi);
+      const auto nv = g.neighbors(v);
+      for (vid_t u : nv) {
+        if (u <= v) continue;
+        const auto nu = g.neighbors(u);
+        auto iv = std::upper_bound(nv.begin(), nv.end(), u);
+        auto iu = std::upper_bound(nu.begin(), nu.end(), u);
+        while (iv != nv.end() && iu != nu.end()) {
+          if (*iv < *iu) {
+            ++iv;
+          } else if (*iu < *iv) {
+            ++iu;
+          } else {
+            ++local;
+            ++iv;
+            ++iu;
+          }
+        }
+      }
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load();
+}
+
+std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
+                             std::uint32_t iterations, double damping) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n, 0.0);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    // Pull formulation: no write contention.
+    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        const vid_t v = static_cast<vid_t>(vi);
+        double sum = 0.0;
+        for (vid_t u : g.neighbors(v)) {
+          const auto du = g.degree(u);
+          if (du > 0) sum += rank[u] / static_cast<double>(du);
+        }
+        next[v] = (1.0 - damping) / n + damping * sum;
+      }
+    });
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<vid_t> kcore_members(ThreadPool& pool, const graph::CSRGraph& g,
+                                 std::uint32_t k) {
+  const vid_t n = g.num_vertices();
+  std::vector<std::uint8_t> alive(n, 1);
+  std::atomic<bool> removed_any{true};
+  std::vector<std::uint8_t> doomed(n, 0);
+  while (removed_any.load(std::memory_order_relaxed)) {
+    removed_any.store(false, std::memory_order_relaxed);
+    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+      bool any = false;
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        const vid_t v = static_cast<vid_t>(vi);
+        if (!alive[v]) continue;
+        std::uint32_t live_degree = 0;
+        for (const vid_t u : g.neighbors(v)) live_degree += alive[u];
+        if (live_degree < k) {
+          doomed[v] = 1;
+          any = true;
+        }
+      }
+      if (any) removed_any.store(true, std::memory_order_relaxed);
+    });
+    if (!removed_any.load(std::memory_order_relaxed)) break;
+    // Apply removals between rounds (level-synchronous peel).
+    pool.parallel_for_ranges(n, 1024, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        if (doomed[vi]) {
+          alive[vi] = 0;
+          doomed[vi] = 0;
+        }
+      }
+    });
+  }
+  std::vector<vid_t> members;
+  for (vid_t v = 0; v < n; ++v) {
+    if (alive[v]) members.push_back(v);
+  }
+  return members;
+}
+
+std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
+                         vid_t source) {
+  const vid_t n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("native::sssp: bad source");
+  auto dist = std::make_unique<std::atomic<double>[]>(n);
+  for (vid_t v = 0; v < n; ++v) {
+    dist[v].store(std::numeric_limits<double>::infinity(),
+                  std::memory_order_relaxed);
+  }
+  dist[source].store(0.0, std::memory_order_relaxed);
+
+  std::vector<vid_t> frontier{source};
+  std::vector<vid_t> next;
+  std::vector<std::uint8_t> queued(n, 0);
+  std::mutex next_mutex;
+  while (!frontier.empty()) {
+    next.clear();
+    std::fill(queued.begin(), queued.end(), 0);
+    pool.parallel_for_ranges(
+        frontier.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
+          std::vector<vid_t> local;
+          for (std::uint64_t i = b; i < e; ++i) {
+            const vid_t v = frontier[i];
+            const double dv = dist[v].load(std::memory_order_relaxed);
+            const auto nbrs = g.neighbors(v);
+            const auto wts = g.weights(v);
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+              const vid_t u = nbrs[j];
+              const double nd = dv + (wts.empty() ? 1.0 : wts[j]);
+              double cur = dist[u].load(std::memory_order_relaxed);
+              bool improved = false;
+              while (nd < cur) {
+                if (dist[u].compare_exchange_weak(cur, nd,
+                                                  std::memory_order_relaxed)) {
+                  improved = true;
+                  break;
+                }
+              }
+              if (improved &&
+                  !__atomic_test_and_set(&queued[u], __ATOMIC_RELAXED)) {
+                local.push_back(u);
+              }
+            }
+          }
+          if (!local.empty()) {
+            const std::lock_guard lock(next_mutex);
+            next.insert(next.end(), local.begin(), local.end());
+          }
+        });
+    frontier.swap(next);
+  }
+
+  std::vector<double> out(n);
+  for (vid_t v = 0; v < n; ++v) out[v] = dist[v].load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace xg::native

@@ -1,0 +1,97 @@
+#include "native/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace xg::native {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads != 0 ? num_threads
+                                : std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(const RangeFn& fn) {
+  while (true) {
+    const std::uint64_t begin = next_.fetch_add(job_grain_);
+    if (begin >= job_n_) break;
+    const std::uint64_t end = std::min(job_n_, begin + job_grain_);
+    try {
+      fn(begin, end);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_ranges(std::uint64_t n, std::uint64_t grain,
+                                     const RangeFn& fn) {
+  if (n == 0) return;
+  grain = std::max<std::uint64_t>(1, grain);
+  if (workers_.empty() || n <= grain) {
+    fn(0, n);
+    return;
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    job_grain_ = grain;
+    next_.store(0, std::memory_order_relaxed);
+    active_.store(static_cast<unsigned>(workers_.size()),
+                  std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+
+  run_chunks(fn);  // the caller works too
+
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] {
+    return active_.load(std::memory_order_acquire) == 0;
+  });
+  job_ = nullptr;
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    const RangeFn* fn = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = job_;
+    }
+    if (fn != nullptr) run_chunks(*fn);
+    {
+      std::lock_guard lock(mutex_);
+      if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace xg::native

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xg::native {
+
+/// Minimal persistent fork-join pool for the native (host-parallel)
+/// execution paths — the analogue of building GraphCT with OpenMP on a
+/// commodity workstation. One pool instance is reused across loops; the
+/// calling thread participates in every loop. Work is handed out in
+/// dynamically grabbed chunks (a real fetch-and-add this time).
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  using RangeFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
+
+  /// Run `fn` over [0, n) split into chunks of at most `grain` iterations.
+  /// Blocks until complete. The first exception thrown by any chunk is
+  /// rethrown here after the loop drains.
+  void parallel_for_ranges(std::uint64_t n, std::uint64_t grain,
+                           const RangeFn& fn);
+
+  /// Element-wise convenience wrapper.
+  template <typename F>
+  void parallel_for(std::uint64_t n, F&& f, std::uint64_t grain = 1024) {
+    auto range = [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) f(i);
+    };
+    parallel_for_ranges(n, grain, range);
+  }
+
+ private:
+  void worker_loop();
+  void run_chunks(const RangeFn& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+
+  // Current job (guarded by mutex_ for publication; chunk grabbing is
+  // lock-free through next_).
+  const RangeFn* job_ = nullptr;
+  std::uint64_t job_n_ = 0;
+  std::uint64_t job_grain_ = 1;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<unsigned> active_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace xg::native

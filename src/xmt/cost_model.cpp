@@ -1,0 +1,50 @@
+#include "xmt/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xg::xmt {
+
+LoopProfile make_profile(const SimConfig& cfg, std::uint64_t iterations,
+                         double instructions, double mem_refs,
+                         double pipelined_groups, std::uint64_t hotspot_ops) {
+  LoopProfile p;
+  p.iterations = iterations;
+  p.instructions_per_iteration = instructions + cfg.iteration_overhead;
+  p.hotspot_ops = hotspot_ops;
+  // Alone on a stream, an iteration spends its issue slots plus one full
+  // memory latency per *batch* of pipelined references.
+  const double groups = std::max(pipelined_groups, mem_refs > 0 ? 1.0 : 0.0);
+  p.critical_path_cycles =
+      p.instructions_per_iteration + groups * cfg.memory_latency;
+  return p;
+}
+
+Cycles predict_loop_cycles(const SimConfig& cfg, const LoopProfile& p,
+                           std::uint32_t processors) {
+  if (p.iterations == 0) return 0;
+  const double n = static_cast<double>(p.iterations);
+  const double streams = std::min<double>(
+      n, static_cast<double>(processors) * cfg.streams_per_processor);
+
+  const double issue_bound =
+      n * p.instructions_per_iteration / processors;
+  const double waves = std::ceil(n / streams);
+  const double concurrency_bound = waves * p.critical_path_cycles;
+  const double hotspot_bound =
+      static_cast<double>(p.hotspot_ops) * cfg.faa_service_interval;
+
+  const double t = std::max({issue_bound, concurrency_bound, hotspot_bound}) +
+                   cfg.region_overhead;
+  return static_cast<Cycles>(std::llround(t));
+}
+
+double predict_speedup(const SimConfig& cfg, const LoopProfile& p,
+                       std::uint32_t p_from, std::uint32_t p_to) {
+  const auto t_from = predict_loop_cycles(cfg, p, p_from);
+  const auto t_to = predict_loop_cycles(cfg, p, p_to);
+  if (t_to == 0) return 1.0;
+  return static_cast<double>(t_from) / static_cast<double>(t_to);
+}
+
+}  // namespace xg::xmt

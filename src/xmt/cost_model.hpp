@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "xmt/sim_config.hpp"
+
+namespace xg::xmt {
+
+/// Aggregate description of a parallel loop, for the closed-form cost model.
+///
+/// The cost model predicts the simulated duration of a loop from first-order
+/// machine limits, without running the event engine. It exists for two
+/// reasons: (1) benches can extrapolate to paper-sized graphs (SCALE 24)
+/// that would be slow to event-simulate, and (2) tests cross-validate it
+/// against the engine, which documents *why* the engine produces the curves
+/// it does.
+struct LoopProfile {
+  /// Loop trip count.
+  std::uint64_t iterations = 0;
+
+  /// Issue slots per iteration, *including* one per memory operation and
+  /// the per-iteration bookkeeping overhead (SimConfig::iteration_overhead
+  /// is added by helpers below, not here).
+  double instructions_per_iteration = 1.0;
+
+  /// Serializing atomic ops (fetch-and-add / full-empty) against the single
+  /// hottest word, over the whole loop.
+  std::uint64_t hotspot_ops = 0;
+
+  /// Cycles one iteration takes executing alone on one stream, counting
+  /// memory stalls. Helpers compute this from per-iteration op counts.
+  double critical_path_cycles = 0.0;
+};
+
+/// Builds a LoopProfile from per-iteration op counts.
+///
+/// `mem_refs` of the instructions are memory references that each stall the
+/// issuing stream for the configured latency when executed alone;
+/// `pipelined_groups` is how many *batches* those references form (a batch
+/// of consecutive references — OpSink::load_n — overlaps its latencies).
+LoopProfile make_profile(const SimConfig& cfg, std::uint64_t iterations,
+                         double instructions, double mem_refs,
+                         double pipelined_groups, std::uint64_t hotspot_ops = 0);
+
+/// First-order predicted duration of the loop on `processors` processors:
+///
+///   T = max( issue bound        : total instructions / processors,
+///            concurrency bound  : waves-of-streams x critical path,
+///            hotspot bound      : serialized atomics on the hottest word )
+///       + region fork/join overhead.
+Cycles predict_loop_cycles(const SimConfig& cfg, const LoopProfile& p,
+                           std::uint32_t processors);
+
+/// Predicted speedup of the loop going from `p_from` to `p_to` processors.
+double predict_speedup(const SimConfig& cfg, const LoopProfile& p,
+                       std::uint32_t p_from, std::uint32_t p_to);
+
+}  // namespace xg::xmt

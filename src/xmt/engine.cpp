@@ -1,0 +1,187 @@
+#include "xmt/engine.hpp"
+
+#include <algorithm>
+
+namespace xg::xmt {
+
+namespace {
+
+/// Heap comparator: min-heap on (ready time, stream id). Deterministic
+/// tie-breaking by stream id keeps the whole simulation reproducible.
+struct Later {
+  bool operator()(const std::pair<Cycles, std::uint64_t>& a,
+                  const std::pair<Cycles, std::uint64_t>& b) const {
+    return a > b;
+  }
+};
+
+}  // namespace
+
+Engine::Engine(SimConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  proc_next_.assign(cfg_.processors, 0);
+}
+
+void Engine::reset() {
+  now_ = 0;
+  log_.clear();
+  std::fill(proc_next_.begin(), proc_next_.end(), 0);
+}
+
+Cycles Engine::execute_op(const Op& op, std::uint32_t proc, Cycles t,
+                          RegionStats& stats) {
+  Cycles issue = std::max(t, proc_next_[proc]);
+  switch (op.kind) {
+    case OpKind::kCompute:
+      proc_next_[proc] = issue + op.count;
+      stats.instructions += op.count;
+      return issue + op.count;
+
+    case OpKind::kLoad: {
+      // One issue slot per reference; consecutive references from the same
+      // stream pipeline, so the stream blocks only for the final reply.
+      proc_next_[proc] = issue + op.count;
+      stats.loads += op.count;
+      stats.instructions += op.count;
+      return issue + op.count + cfg_.memory_latency;
+    }
+
+    case OpKind::kStore: {
+      // Stores are fire-and-forget: the stream issues and moves on without
+      // waiting for the memory reply.
+      proc_next_[proc] = issue + op.count;
+      stats.stores += op.count;
+      stats.instructions += op.count;
+      return issue + op.count;
+    }
+
+    case OpKind::kFetchAdd:
+    case OpKind::kSync: {
+      proc_next_[proc] = issue + 1;
+      stats.instructions += 1;
+      const bool is_faa = op.kind == OpKind::kFetchAdd;
+      const Cycles interval =
+          is_faa ? cfg_.faa_service_interval : cfg_.sync_service_interval;
+      if (is_faa) {
+        ++stats.fetch_adds;
+      } else {
+        ++stats.syncs;
+      }
+      AddrState& a = addr_state_[op.addr];
+      // Request reaches the (hashed) memory after half the round trip,
+      // queues behind other updates of the same word, then the reply
+      // travels back.
+      const Cycles arrive = issue + 1 + cfg_.memory_latency / 2;
+      const Cycles begin = std::max(arrive, a.next_free);
+      a.next_free = begin + interval;
+      ++a.count;
+      return begin + interval + cfg_.memory_latency / 2;
+    }
+  }
+  return issue + 1;  // unreachable; keeps -Wreturn-type happy
+}
+
+RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
+                               const RegionOptions& opt) {
+  RegionStats stats;
+  stats.name = opt.name;
+  stats.start = now_;
+  stats.end = now_;
+  if (n == 0) {
+    if (cfg_.record_regions) log_.push_back(stats);
+    return stats;
+  }
+
+  const std::uint64_t nstreams = std::min<std::uint64_t>(n, cfg_.total_streams());
+  const std::uint32_t chunk = opt.chunk != 0 ? opt.chunk : cfg_.loop_chunk;
+
+  if (streams_.size() < nstreams) streams_.resize(nstreams);
+  addr_state_.clear();
+  heap_.clear();
+  heap_.reserve(nstreams);
+
+  // Synthetic address of the shared loop counter (dynamic scheduling only).
+  std::uint64_t next_dynamic_iter = 0;
+  const std::uintptr_t counter_addr =
+      reinterpret_cast<std::uintptr_t>(&next_dynamic_iter);
+
+  for (std::uint64_t s = 0; s < nstreams; ++s) {
+    Stream& st = streams_[s];
+    st.sink.clear();
+    st.op_pos = 0;
+    st.worked = false;
+    st.proc = static_cast<std::uint32_t>(s % cfg_.processors);
+    if (opt.dynamic_schedule) {
+      st.iter = st.iter_end = 0;  // must grab a chunk first
+    } else {
+      // Static block partition: as even as possible, contiguous ranges.
+      const std::uint64_t base = n / nstreams;
+      const std::uint64_t rem = n % nstreams;
+      st.iter = s * base + std::min<std::uint64_t>(s, rem);
+      st.iter_end = st.iter + base + (s < rem ? 1 : 0);
+    }
+    heap_.emplace_back(now_, s);
+  }
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+
+  Cycles last_completion = now_;
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const auto [t, sid] = heap_.back();
+    heap_.pop_back();
+    Stream& st = streams_[sid];
+
+    // Refill: advance to the next iteration (or chunk) that yields ops.
+    bool retired = false;
+    while (st.op_pos >= st.sink.ops().size()) {
+      if (st.iter < st.iter_end) {
+        st.sink.clear();
+        st.op_pos = 0;
+        if (cfg_.iteration_overhead != 0) st.sink.compute(cfg_.iteration_overhead);
+        body(st.iter, st.sink);
+        ++st.iter;
+        ++stats.iterations;
+        st.worked = true;
+      } else if (opt.dynamic_schedule && next_dynamic_iter < n) {
+        // Pay the grab: a fetch-and-add on the shared loop counter, then
+        // come back through the heap with the new chunk.
+        const Op grab{OpKind::kFetchAdd, 1, counter_addr};
+        const Cycles ready = execute_op(grab, st.proc, t, stats);
+        st.iter = next_dynamic_iter;
+        st.iter_end = std::min<std::uint64_t>(n, st.iter + chunk);
+        next_dynamic_iter = st.iter_end;
+        st.sink.clear();
+        st.op_pos = 0;
+        heap_.emplace_back(ready, sid);
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+        retired = true;  // not really retired; just re-enqueued
+        break;
+      } else {
+        last_completion = std::max(last_completion, t);
+        retired = true;
+        break;
+      }
+    }
+    if (retired) continue;
+
+    const Op& op = st.sink.ops()[st.op_pos++];
+    const Cycles ready = execute_op(op, st.proc, t, stats);
+    heap_.emplace_back(ready, sid);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  for (std::uint64_t s = 0; s < nstreams; ++s) {
+    if (streams_[s].worked) ++stats.streams_used;
+  }
+  for (const auto& [addr, a] : addr_state_) {
+    stats.max_addr_atomics = std::max(stats.max_addr_atomics, a.count);
+  }
+
+  stats.end = last_completion + cfg_.region_overhead;
+  now_ = stats.end;
+  if (cfg_.record_regions) log_.push_back(stats);
+  return stats;
+}
+
+}  // namespace xg::xmt

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "xmt/op.hpp"
+#include "xmt/sim_config.hpp"
+#include "xmt/stats.hpp"
+
+namespace xg::xmt {
+
+namespace detail {
+
+/// Minimal non-owning reference to a loop body `void(std::uint64_t, OpSink&)`.
+/// Avoids std::function allocation/indirection in the hot loop.
+class BodyRef {
+ public:
+  template <typename F>
+  BodyRef(F& f)  // NOLINT(google-explicit-constructor): intentional adaptor
+      : obj_(&f), call_([](void* o, std::uint64_t i, OpSink& s) {
+          (*static_cast<F*>(o))(i, s);
+        }) {}
+
+  void operator()(std::uint64_t i, OpSink& s) const { call_(obj_, i, s); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::uint64_t, OpSink&);
+};
+
+}  // namespace detail
+
+/// Per-region knobs for Engine::parallel_for.
+struct RegionOptions {
+  const char* name = "";
+  /// Dynamic scheduling grabs chunks of `chunk` iterations with a simulated
+  /// fetch-and-add on the shared loop counter. With thousands of streams the
+  /// counter is a hotspot, so — like the XMT compiler — the engine
+  /// block-partitions statically by default.
+  bool dynamic_schedule = false;
+  /// Chunk size for dynamic scheduling; 0 = SimConfig::loop_chunk.
+  std::uint32_t chunk = 0;
+};
+
+/// Event-driven simulator of an XMT-like multithreaded machine.
+///
+/// The engine executes "regions": parallel loops whose iterations run the
+/// caller's body natively (performing the real algorithm work) while
+/// emitting abstract operations (see OpKind) that are charged to simulated
+/// hardware streams. Scheduling rules:
+///
+///  * at most one instruction issues per processor per cycle, taken from the
+///    ready stream with the earliest ready time (FCFS, ties by stream id);
+///  * a plain memory operation occupies one issue slot and completes
+///    `memory_latency` cycles later; a stream scanning consecutive words
+///    (OpSink::load_n) pipelines its requests;
+///  * fetch-and-add and full/empty operations additionally serialize per
+///    target word at the configured service interval;
+///  * iterations are distributed over `min(total_streams, n)` streams,
+///    block-partitioned by default, or in dynamically grabbed chunks that
+///    pay fetch-and-adds on the loop counter.
+///
+/// Iteration bodies run natively in simulated-time order (the order in which
+/// streams reach them), which makes results deterministic while still
+/// reflecting a legal parallel interleaving. Simulated time never reads the
+/// wall clock.
+class Engine {
+ public:
+  explicit Engine(SimConfig cfg = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const SimConfig& config() const { return cfg_; }
+
+  /// Current simulated time.
+  Cycles now() const { return now_; }
+  double now_seconds() const { return cfg_.seconds(now_); }
+
+  /// Advance simulated time by `c` cycles (fixed overheads, barriers, ...).
+  void advance(Cycles c) { now_ += c; }
+
+  /// Reset simulated time and the region log; machine configuration stays.
+  void reset();
+
+  /// Run a parallel loop of `n` iterations. `body(i, sink)` performs the real
+  /// work for iteration `i` and records its abstract cost in `sink`.
+  /// Returns the region's statistics; simulated time advances past the
+  /// region's closing barrier.
+  template <typename F>
+  RegionStats parallel_for(std::uint64_t n, F&& body, RegionOptions opt = {}) {
+    auto& ref = body;  // keep an lvalue alive for BodyRef
+    return run_region(n, detail::BodyRef(ref), opt);
+  }
+
+  /// Run `body(sink)` on a single stream (serial section between loops).
+  template <typename F>
+  RegionStats serial_region(F&& body, RegionOptions opt = {}) {
+    auto wrapper = [&](std::uint64_t, OpSink& s) { body(s); };
+    return run_region(1, detail::BodyRef(wrapper), opt);
+  }
+
+  /// Per-region log (enabled via SimConfig::record_regions).
+  const std::vector<RegionStats>& regions() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  struct Stream {
+    OpSink sink;
+    std::uint64_t iter = 0;      ///< next iteration to run in current chunk
+    std::uint64_t iter_end = 0;  ///< one past the chunk's last iteration
+    std::size_t op_pos = 0;      ///< next op to execute in sink
+    std::uint32_t proc = 0;
+    bool worked = false;
+  };
+
+  /// Serialization state of one memory word targeted by atomics.
+  struct AddrState {
+    Cycles next_free = 0;
+    std::uint64_t count = 0;
+  };
+
+  RegionStats run_region(std::uint64_t n, detail::BodyRef body,
+                         const RegionOptions& opt);
+
+  /// Executes one op for stream on processor `proc` whose previous op
+  /// completed at `t`. Returns when the stream is ready for its next op.
+  Cycles execute_op(const Op& op, std::uint32_t proc, Cycles t,
+                    RegionStats& stats);
+
+  SimConfig cfg_;
+  Cycles now_ = 0;
+  std::vector<RegionStats> log_;
+
+  // Scratch state reused across regions (sized on demand).
+  std::vector<Cycles> proc_next_;                       // next free issue slot
+  std::vector<std::pair<Cycles, std::uint64_t>> heap_;  // (ready, stream)
+  std::vector<Stream> streams_;
+  std::unordered_map<std::uintptr_t, AddrState> addr_state_;
+};
+
+}  // namespace xg::xmt

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "xmt/op.hpp"
+
+namespace xg::xmt {
+
+/// A memory word with Cray XMT full/empty-bit semantics.
+///
+/// On the XMT every word carries a full/empty tag; `readfe` blocks until the
+/// word is full and atomically empties it, `writeef` blocks until empty and
+/// fills it. The pair forms the machine's fine-grained lock.
+///
+/// In this library the *semantic* execution of a region is a deterministic
+/// interleaving chosen by the simulator, so a correct program can never
+/// actually block here: a `readfe` that finds the cell empty means the
+/// algorithm would deadlock (or depends on an ordering the simulator did not
+/// choose), and throws. The *timing* of the access — serialization of all
+/// synchronized accesses to this word — is charged through OpSink::sync.
+template <typename T>
+class FullEmptyCell {
+ public:
+  FullEmptyCell() = default;
+  explicit FullEmptyCell(T v) : value_(v) {}
+
+  /// readfe: atomically read the value and mark the cell empty.
+  /// Charges a synchronized access to `s`.
+  T readfe(OpSink& s) {
+    s.sync(this);
+    if (!full_) {
+      throw std::logic_error(
+          "FullEmptyCell::readfe on empty cell: deadlock in simulated order");
+    }
+    full_ = false;
+    return value_;
+  }
+
+  /// writeef: atomically write the value and mark the cell full.
+  /// Charges a synchronized access to `s`.
+  void writeef(OpSink& s, T v) {
+    s.sync(this);
+    if (full_) {
+      throw std::logic_error(
+          "FullEmptyCell::writeef on full cell: deadlock in simulated order");
+    }
+    value_ = v;
+    full_ = true;
+  }
+
+  /// readff: read the value leaving the cell full (waits for full).
+  T readff(OpSink& s) const {
+    s.sync(this);
+    if (!full_) {
+      throw std::logic_error(
+          "FullEmptyCell::readff on empty cell: deadlock in simulated order");
+    }
+    return value_;
+  }
+
+  /// Unconditional write that sets the cell full (XMT `writexf`).
+  void writexf(OpSink& s, T v) {
+    s.sync(this);
+    value_ = v;
+    full_ = true;
+  }
+
+  /// Plain (unsynchronized) access for tests and initialization; no charge.
+  T peek() const { return value_; }
+  bool full() const { return full_; }
+  void reset(T v) {
+    value_ = v;
+    full_ = true;
+  }
+
+ private:
+  T value_{};
+  bool full_ = true;
+};
+
+}  // namespace xg::xmt

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xg::xmt {
+
+/// Abstract operation kinds charged to the simulated machine.
+///
+/// Algorithms perform their *semantic* work natively and emit these abstract
+/// operations to the engine, which charges them to streams, processors and
+/// memory and derives simulated time. See DESIGN.md §5.
+enum class OpKind : std::uint8_t {
+  kCompute,   ///< `count` back-to-back single-cycle instructions.
+  kLoad,      ///< one memory read (1 issue slot + memory latency).
+  kStore,     ///< one memory write (1 issue slot + memory latency).
+  kFetchAdd,  ///< atomic fetch-and-add; serializes per target address.
+  kSync,      ///< full/empty-bit access (readfe/writeef); serializes per word.
+};
+
+/// One abstract operation. `addr` identifies the target word for memory
+/// operations; only kFetchAdd and kSync contend per-address.
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  std::uint32_t count = 1;  ///< repeat count (kCompute aggregates cycles).
+  std::uintptr_t addr = 0;
+};
+
+/// Per-iteration operation recorder handed to loop bodies.
+///
+/// Consecutive kCompute ops merge, and loads/stores to *distinct* addresses
+/// are recorded individually so ordering relative to atomics is preserved.
+/// The buffer is reused across iterations by the engine.
+class OpSink {
+ public:
+  /// Charge `n` single-cycle instructions.
+  void compute(std::uint32_t n = 1) {
+    if (n == 0) return;
+    if (!ops_.empty() && ops_.back().kind == OpKind::kCompute) {
+      ops_.back().count += n;
+    } else {
+      ops_.push_back({OpKind::kCompute, n, 0});
+    }
+  }
+
+  /// Charge one memory read of the word at `a`.
+  void load(const void* a) {
+    ops_.push_back({OpKind::kLoad, 1, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  /// Charge `n` memory reads of consecutive words starting at `a`
+  /// (e.g. scanning an adjacency list). Contention is not modelled for
+  /// plain loads, so the engine may batch these.
+  void load_n(const void* a, std::uint32_t n) {
+    if (n == 0) return;
+    ops_.push_back({OpKind::kLoad, n, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  /// Charge one memory write of the word at `a`.
+  void store(const void* a) {
+    ops_.push_back({OpKind::kStore, 1, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  /// Charge `n` memory writes of consecutive words starting at `a`.
+  void store_n(const void* a, std::uint32_t n) {
+    if (n == 0) return;
+    ops_.push_back({OpKind::kStore, n, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  /// Charge one atomic fetch-and-add on the word at `a`. Successive
+  /// fetch-and-adds on the same word serialize at the memory.
+  void fetch_add(const void* a) {
+    ops_.push_back(
+        {OpKind::kFetchAdd, 1, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  /// Charge one full/empty-bit synchronized access (readfe/writeef) on the
+  /// word at `a`.
+  void sync(const void* a) {
+    ops_.push_back({OpKind::kSync, 1, reinterpret_cast<std::uintptr_t>(a)});
+  }
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace xg::xmt

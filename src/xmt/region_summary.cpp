@@ -1,0 +1,26 @@
+#include "xmt/region_summary.hpp"
+
+#include <unordered_map>
+
+namespace xg::xmt {
+
+std::vector<RegionSummary> summarize_regions(
+    std::span<const RegionStats> log) {
+  std::vector<RegionSummary> out;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const RegionStats& r : log) {
+    const auto [it, inserted] = index.emplace(r.name, out.size());
+    if (inserted) {
+      out.push_back({r.name, 0, 0, 0, 0, 0});
+    }
+    RegionSummary& s = out[it->second];
+    ++s.regions;
+    s.cycles += r.cycles();
+    s.iterations += r.iterations;
+    s.instructions += r.instructions;
+    s.memory_ops += r.memory_ops();
+  }
+  return out;
+}
+
+}  // namespace xg::xmt

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "xmt/stats.hpp"
+
+namespace xg::xmt {
+
+/// Aggregate view of an engine's region log grouped by region name —
+/// a profile of where simulated time went ("cc/iteration: 6 regions,
+/// 1.2 M cycles, ...").
+struct RegionSummary {
+  std::string name;
+  std::uint64_t regions = 0;
+  Cycles cycles = 0;
+  std::uint64_t iterations = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t memory_ops = 0;
+};
+
+/// Group `log` (Engine::regions()) by name, preserving first-appearance
+/// order.
+std::vector<RegionSummary> summarize_regions(std::span<const RegionStats> log);
+
+}  // namespace xg::xmt

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace xg::xmt {
+
+/// Simulated time in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Machine parameters for the simulated Cray XMT.
+///
+/// The model captures the mechanisms the paper's scalability arguments rest
+/// on, in the terms the XMT literature uses:
+///
+///  * Each Threadstorm processor issues at most one instruction per cycle,
+///    chosen from its hardware streams that have an instruction ready.
+///  * Memory requests have a long, uniform latency (the memory is hashed
+///    globally, so there is no locality and, to first order, no NUMA
+///    structure). Latency is tolerated by having many streams in flight.
+///  * Atomic fetch-and-add operations targeting the same word serialize at
+///    the memory: one update per `faa_service_interval` cycles. This is the
+///    "hotspot" effect the paper discusses for message queues.
+///  * Full/empty-bit synchronization (readfe/writeef) serializes the same
+///    way, with its own service interval.
+///
+/// Defaults approximate the 128-processor, 500 MHz machine at PNNL used in
+/// the paper. All values are tunable so experiments can sweep them.
+struct SimConfig {
+  /// Number of Threadstorm processors (the paper sweeps 8..128).
+  std::uint32_t processors = 128;
+
+  /// Hardware streams (thread contexts) per processor. The XMT has 128.
+  std::uint32_t streams_per_processor = 128;
+
+  /// Processor clock: 500 MHz on the XMT.
+  double clock_hz = 500e6;
+
+  /// Round-trip memory latency in cycles. The XMT tolerates on the order of
+  /// ~68 cycles to its hashed memory through multithreading.
+  std::uint32_t memory_latency = 68;
+
+  /// Minimum cycles between successive atomic fetch-and-adds retiring
+  /// against the same memory word (hotspot serialization). The XMT's
+  /// memory controllers retire one update per word per cycle at best; the
+  /// serialization is what makes a single shared counter a scaling hazard
+  /// once thousands of streams hit it.
+  std::uint32_t faa_service_interval = 1;
+
+  /// Minimum cycles between successive full/empty-bit synchronized accesses
+  /// retiring against the same word (lock acquire/release pairs are slower
+  /// than bare fetch-and-add).
+  std::uint32_t sync_service_interval = 4;
+
+
+  /// Iterations grabbed per dynamic-scheduling chunk. When a region opts in
+  /// to dynamic scheduling, each grab is an atomic fetch-and-add on the
+  /// shared loop counter, which the engine simulates (and which becomes a
+  /// hotspot with thousands of streams — the reason the XMT compiler
+  /// block-schedules by default, and the engine's default too).
+  std::uint32_t loop_chunk = 64;
+
+  /// Loop bookkeeping instructions (induction update, compare, branch)
+  /// charged to every iteration in addition to the body's explicit ops.
+  std::uint32_t iteration_overhead = 2;
+
+  /// One-time cost, in cycles, of forking/joining a parallel region
+  /// (thread team ramp-up plus the final barrier).
+  std::uint32_t region_overhead = 500;
+
+  /// Keep a per-region statistics log on the engine (cheap; benches use it).
+  bool record_regions = true;
+
+  /// Throws std::invalid_argument when a field is out of range.
+  void validate() const {
+    auto fail = [](const std::string& what) {
+      throw std::invalid_argument("xg::xmt::SimConfig: " + what);
+    };
+    if (processors == 0) fail("processors must be >= 1");
+    if (streams_per_processor == 0) fail("streams_per_processor must be >= 1");
+    if (clock_hz <= 0) fail("clock_hz must be positive");
+    if (loop_chunk == 0) fail("loop_chunk must be >= 1");
+    if (faa_service_interval == 0) fail("faa_service_interval must be >= 1");
+    if (sync_service_interval == 0) fail("sync_service_interval must be >= 1");
+  }
+
+  /// Total hardware streams on the machine.
+  std::uint64_t total_streams() const {
+    return static_cast<std::uint64_t>(processors) * streams_per_processor;
+  }
+
+  /// Convert a cycle count to seconds at this configuration's clock.
+  double seconds(Cycles c) const { return static_cast<double>(c) / clock_hz; }
+};
+
+}  // namespace xg::xmt

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xmt/sim_config.hpp"
+
+namespace xg::xmt {
+
+/// Statistics for one parallel (or serial) region executed on the engine.
+struct RegionStats {
+  std::string name;
+  Cycles start = 0;  ///< simulated time when the region began.
+  Cycles end = 0;    ///< simulated time when the region's barrier completed.
+
+  std::uint64_t iterations = 0;    ///< loop trips executed.
+  std::uint64_t instructions = 0;  ///< issue slots consumed (all op kinds).
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t fetch_adds = 0;
+  std::uint64_t syncs = 0;
+
+  /// Largest number of serializing ops (fetch-add or sync) retired against a
+  /// single address — the hotspot depth of this region.
+  std::uint64_t max_addr_atomics = 0;
+
+  /// Streams that executed at least one iteration.
+  std::uint64_t streams_used = 0;
+
+  Cycles cycles() const { return end - start; }
+  double seconds(const SimConfig& cfg) const { return cfg.seconds(cycles()); }
+
+  std::uint64_t memory_ops() const { return loads + stores + fetch_adds + syncs; }
+
+  /// Merge another region's counters into this one (times become the span).
+  void accumulate(const RegionStats& o) {
+    if (end == 0 && start == 0) {
+      start = o.start;
+    }
+    end = o.end > end ? o.end : end;
+    iterations += o.iterations;
+    instructions += o.instructions;
+    loads += o.loads;
+    stores += o.stores;
+    fetch_adds += o.fetch_adds;
+    syncs += o.syncs;
+    if (o.max_addr_atomics > max_addr_atomics) max_addr_atomics = o.max_addr_atomics;
+    if (o.streams_used > streams_used) streams_used = o.streams_used;
+  }
+};
+
+}  // namespace xg::xmt

@@ -1,0 +1,140 @@
+// Tests for Brandes betweenness centrality as a BSP vertex program —
+// correctness against the sequential Brandes oracle, phase-coordination
+// behavior, and agreement with the shared-memory kernel.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bsp/algorithms/betweenness.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/betweenness.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/betweenness.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_machine(std::uint32_t procs = 16) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  return xmt::Engine(cfg);
+}
+
+std::vector<vid_t> all_vertices(const CSRGraph& g) {
+  std::vector<vid_t> v(g.num_vertices());
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+struct Family {
+  const char* name;
+  CSRGraph (*make)();
+};
+
+CSRGraph fam_path() { return CSRGraph::build(graph::path_graph(16)); }
+CSRGraph fam_star() { return CSRGraph::build(graph::star_graph(12)); }
+CSRGraph fam_grid() { return CSRGraph::build(graph::grid_graph(4, 5)); }
+CSRGraph fam_cliques() { return CSRGraph::build(graph::clique_chain(3, 4)); }
+CSRGraph fam_tree() { return CSRGraph::build(graph::binary_tree(31)); }
+CSRGraph fam_er() { return CSRGraph::build(graph::erdos_renyi(60, 240, 9)); }
+
+const Family kFamilies[] = {
+    {"path", fam_path},       {"star", fam_star}, {"grid", fam_grid},
+    {"cliques", fam_cliques}, {"tree", fam_tree}, {"er", fam_er},
+};
+
+class BcFamily : public ::testing::TestWithParam<Family> {};
+INSTANTIATE_TEST_SUITE_P(Families, BcFamily, ::testing::ValuesIn(kFamilies),
+                         [](const auto& pinfo) { return pinfo.param.name; });
+
+TEST_P(BcFamily, AllSourcesMatchBrandesOracle) {
+  const auto g = GetParam().make();
+  auto m = make_machine();
+  const auto sources = all_vertices(g);
+  const auto r = betweenness_centrality(m, g, sources);
+  const auto oracle = graph::ref::betweenness_centrality(g);
+  ASSERT_EQ(r.scores.size(), oracle.size());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.scores[v], oracle[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST_P(BcFamily, MatchesGraphctKernelOnSampledSources) {
+  const auto g = GetParam().make();
+  const std::vector<vid_t> sources{0, static_cast<vid_t>(g.num_vertices() / 2)};
+  auto m = make_machine();
+  const auto bsp_r = betweenness_centrality(m, g, sources);
+  m.reset();
+  const auto ct_r = graphct::betweenness_centrality(m, g, sources);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(bsp_r.scores[v], ct_r.scores[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST(BspBetweenness, StarCenterCarriesEverything) {
+  const auto g = CSRGraph::build(graph::star_graph(7));
+  auto m = make_machine();
+  const auto r = betweenness_centrality(m, g, all_vertices(g));
+  EXPECT_NEAR(r.scores[0], 30.0, 1e-9);  // 6 leaves: 6*5 ordered pairs
+  for (vid_t v = 1; v < 7; ++v) EXPECT_NEAR(r.scores[v], 0.0, 1e-9);
+}
+
+TEST(BspBetweenness, SuperstepsTrackTwiceTheDepth) {
+  const auto g = CSRGraph::build(graph::path_graph(12));
+  auto m = make_machine();
+  const std::vector<vid_t> sources{0};  // depth 11 from the end
+  const auto r = betweenness_centrality(m, g, sources);
+  // forward ~12 supersteps + backward ~12, plus a few boundary rounds.
+  EXPECT_GE(r.supersteps, 22u);
+  EXPECT_LE(r.supersteps, 30u);
+}
+
+TEST(BspBetweenness, IsolatedSourceIsHarmless) {
+  graph::EdgeList list(4);
+  list.add(1, 2);
+  const auto g = CSRGraph::build(list);
+  auto m = make_machine();
+  const std::vector<vid_t> sources{0};  // degree 0
+  const auto r = betweenness_centrality(m, g, sources);
+  for (const double s : r.scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(BspBetweenness, InvalidSourcesSkipped) {
+  const auto g = fam_grid();
+  auto m = make_machine();
+  const std::vector<vid_t> sources{0, 100000};
+  const auto r = betweenness_centrality(m, g, sources);
+  EXPECT_EQ(r.sources_processed, 1u);
+}
+
+TEST(BspBetweenness, EmptySourceSetGivesZeros) {
+  const auto g = fam_grid();
+  auto m = make_machine();
+  const auto r = betweenness_centrality(m, g, {});
+  for (const double s : r.scores) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_EQ(r.sources_processed, 0u);
+}
+
+TEST(BspBetweenness, RmatSampledAgainstOracle) {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edgefactor = 8;
+  p.seed = 4;
+  const auto g = CSRGraph::build(graph::rmat_edges(p));
+  const std::vector<vid_t> sources{0, 17, 63, 200};
+  auto m = make_machine();
+  const auto r = betweenness_centrality(m, g, sources);
+  const auto oracle = graph::ref::betweenness_centrality_sampled(g, sources);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.scores[v], oracle[v], 1e-6) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace xg::bsp

@@ -1,0 +1,256 @@
+// Tests for the BSP framework extensions: aggregators, checkpointing,
+// adaptive PageRank, and the k-core vertex program.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bsp/aggregator.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/kcore.hpp"
+#include "bsp/algorithms/pagerank.hpp"
+#include "bsp/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/kcore.hpp"
+#include "graph/rmat.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_machine(std::uint32_t procs = 16) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  return xmt::Engine(cfg);
+}
+
+CSRGraph rmat_graph(std::uint32_t scale = 10) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = 13;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+// --- Aggregator units --------------------------------------------------------
+
+TEST(Aggregator, SumAccumulatesAndFlips) {
+  Aggregator a(Aggregator::Op::kSum);
+  xmt::OpSink s;
+  a.accumulate(s, 1.5);
+  a.accumulate(s, 2.5);
+  EXPECT_DOUBLE_EQ(a.value(), 0.0);  // not yet visible
+  a.flip();
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+  a.flip();
+  EXPECT_DOUBLE_EQ(a.value(), 0.0);  // empty round
+}
+
+TEST(Aggregator, MinAndMax) {
+  Aggregator mn(Aggregator::Op::kMin);
+  Aggregator mx(Aggregator::Op::kMax);
+  xmt::OpSink s;
+  for (const double v : {3.0, -1.0, 7.0}) {
+    mn.accumulate(s, v);
+    mx.accumulate(s, v);
+  }
+  mn.flip();
+  mx.flip();
+  EXPECT_DOUBLE_EQ(mn.value(), -1.0);
+  EXPECT_DOUBLE_EQ(mx.value(), 7.0);
+}
+
+TEST(Aggregator, AccumulateChargesSharedWordAtomics) {
+  Aggregator a(Aggregator::Op::kSum);
+  xmt::OpSink s;
+  a.accumulate(s, 1.0);
+  a.accumulate(s, 1.0);
+  std::uint64_t faas = 0;
+  for (const auto& op : s.ops()) {
+    faas += op.kind == xmt::OpKind::kFetchAdd ? 1 : 0;
+  }
+  EXPECT_EQ(faas, 2u);
+}
+
+TEST(AggregatorSet, OutOfRangeSlotThrows) {
+  AggregatorSet set({Aggregator::Op::kSum});
+  EXPECT_NO_THROW(set.slot(0));
+  EXPECT_THROW(set.slot(1), std::out_of_range);
+}
+
+// --- Aggregators in programs --------------------------------------------------
+
+/// Aggregates the maximum degree (superstep 0) and reads it back
+/// (superstep 1).
+struct MaxDegreeProgram {
+  const CSRGraph* graph = nullptr;
+  using VertexState = double;  // observed global max degree
+  using Message = std::uint8_t;
+  static constexpr const char* kName = "bsp/test-maxdeg";
+
+  void init(VertexState& s, vid_t) const { s = -1.0; }
+
+  void compute(Context<Message>& ctx, vid_t v, VertexState& s,
+               std::span<const Message>) const {
+    if (ctx.superstep() == 0) {
+      ctx.aggregate(0, static_cast<double>(graph->degree(v)));
+      ctx.send(v, 1);  // self-message keeps the vertex alive one round
+    } else {
+      s = ctx.aggregated(0);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+TEST(BspAggregators, ValuesVisibleNextSuperstep) {
+  const auto g = CSRGraph::build(graph::star_graph(33));
+  auto m = make_machine();
+  MaxDegreeProgram prog;
+  prog.graph = &g;
+  BspOptions opt;
+  opt.aggregators = {Aggregator::Op::kMax};
+  const auto r = run(m, g, prog, opt);
+  for (const double s : r.state) EXPECT_DOUBLE_EQ(s, 32.0);
+}
+
+TEST(BspAggregators, UndeclaredAggregatorThrows) {
+  const auto g = CSRGraph::build(graph::star_graph(4));
+  auto m = make_machine();
+  MaxDegreeProgram prog;
+  prog.graph = &g;
+  EXPECT_THROW(run(m, g, prog), std::logic_error);
+}
+
+// --- Checkpointing --------------------------------------------------------------
+
+TEST(BspCheckpoint, TakenAtTheConfiguredInterval) {
+  const auto g = rmat_graph();
+  auto m = make_machine();
+  BspOptions opt;
+  opt.checkpoint_interval = 2;
+  const auto r = connected_components(m, g, opt);
+  std::uint64_t flagged = 0;
+  for (std::size_t ss = 0; ss < r.supersteps.size(); ++ss) {
+    if (r.supersteps[ss].checkpointed) {
+      ++flagged;
+      EXPECT_EQ((ss + 1) % 2, 0u);
+    }
+  }
+  EXPECT_GT(flagged, 0u);
+}
+
+TEST(BspCheckpoint, CostsTimeButNotCorrectness) {
+  const auto g = rmat_graph();
+  auto m = make_machine();
+  const auto plain = connected_components(m, g);
+  m.reset();
+  BspOptions opt;
+  opt.checkpoint_interval = 1;
+  const auto ckpt = connected_components(m, g, opt);
+  EXPECT_EQ(plain.labels, ckpt.labels);
+  EXPECT_GT(ckpt.totals.cycles, plain.totals.cycles);
+}
+
+TEST(BspCheckpoint, WiderIntervalCostsLess) {
+  const auto g = rmat_graph();
+  auto cycles_at = [&](std::uint32_t interval) {
+    auto m = make_machine();
+    BspOptions opt;
+    opt.checkpoint_interval = interval;
+    return connected_components(m, g, opt).totals.cycles;
+  };
+  EXPECT_LT(cycles_at(4), cycles_at(1));
+}
+
+// --- Adaptive PageRank ------------------------------------------------------------
+
+TEST(BspAdaptivePageRank, ConvergesToFixedIterationResult) {
+  const auto g = CSRGraph::build(graph::grid_graph(12, 12));
+  auto m = make_machine();
+  const auto adaptive = pagerank_adaptive(m, g, 1e-10, 300);
+  m.reset();
+  const auto fixed = pagerank(m, g, 120);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(adaptive.rank[v], fixed.rank[v], 1e-7);
+  }
+}
+
+TEST(BspAdaptivePageRank, StopsEarlierThanBudget) {
+  const auto g = CSRGraph::build(graph::grid_graph(10, 10));
+  auto m = make_machine();
+  const auto r = pagerank_adaptive(m, g, 1e-4, 500);
+  EXPECT_LT(r.supersteps.size(), 100u);
+  EXPECT_LT(r.final_delta, 1e-4);
+}
+
+TEST(BspAdaptivePageRank, TighterToleranceRunsLonger) {
+  const auto g = rmat_graph();
+  auto rounds_at = [&](double tol) {
+    auto m = make_machine();
+    return pagerank_adaptive(m, g, tol, 500).supersteps.size();
+  };
+  EXPECT_LT(rounds_at(1e-3), rounds_at(1e-9));
+}
+
+TEST(BspAdaptivePageRank, RejectsBadTolerance) {
+  const auto g = rmat_graph();
+  auto m = make_machine();
+  EXPECT_THROW(pagerank_adaptive(m, g, 0.0), std::invalid_argument);
+}
+
+// --- BSP k-core ---------------------------------------------------------------------
+
+class KcoreK : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Ks, KcoreK, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST_P(KcoreK, MatchesOracleOnRmat) {
+  const auto g = rmat_graph();
+  auto m = make_machine();
+  const auto r = kcore(m, g, GetParam());
+  EXPECT_EQ(r.members, graph::ref::kcore_vertices(g, GetParam()));
+}
+
+TEST(BspKcore, SumCombinerGivesSameCore) {
+  const auto g = rmat_graph();
+  auto m = make_machine();
+  const auto plain = kcore(m, g, 3);
+  m.reset();
+  BspOptions opt;
+  opt.combiner = Combiner::kSum;
+  const auto combined = kcore(m, g, 3, opt);
+  EXPECT_EQ(plain.members, combined.members);
+  EXPECT_GE(plain.totals.messages, combined.totals.messages);
+}
+
+TEST(BspKcore, CliqueSurvivesItsOwnK) {
+  const auto g = CSRGraph::build(graph::clique_chain(1, 6));
+  auto m = make_machine();
+  EXPECT_EQ(kcore(m, g, 5).members.size(), 6u);
+  m.reset();
+  EXPECT_TRUE(kcore(m, g, 6).members.empty());
+}
+
+TEST(BspKcore, CascadeTakesMultipleSupersteps) {
+  // A path peels from both ends, one layer per superstep.
+  const auto g = CSRGraph::build(graph::path_graph(30));
+  auto m = make_machine();
+  const auto r = kcore(m, g, 2);
+  EXPECT_TRUE(r.members.empty());
+  EXPECT_GE(r.supersteps.size(), 14u);
+}
+
+TEST(BspKcore, AgreesWithGraphctKernel) {
+  const auto g = rmat_graph(11);
+  auto m = make_machine();
+  const auto b = kcore(m, g, 4);
+  // Compare against the oracle (the graphct kernel is itself
+  // oracle-checked in its own suite).
+  EXPECT_EQ(b.members, graph::ref::kcore_vertices(g, 4));
+}
+
+}  // namespace
+}  // namespace xg::bsp

@@ -1,0 +1,249 @@
+// Tests for Pregel-style topology mutation: the MutableGraph overlay and
+// the run_mutable superstep loop, demonstrated with a leaf-pruning program
+// that peels a graph down to its 2-core by *deleting edges*.
+
+#include <gtest/gtest.h>
+
+#include "bsp/mutable_engine.hpp"
+#include "bsp/mutable_graph.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/kcore.hpp"
+#include "graph/rmat.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::bsp {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_machine() {
+  xmt::SimConfig cfg;
+  cfg.processors = 16;
+  return xmt::Engine(cfg);
+}
+
+// --- MutableGraph units ---------------------------------------------------
+
+TEST(MutableGraph, CopiesTheBaseGraph) {
+  const auto base = CSRGraph::build(graph::path_graph(5));
+  MutableGraph g(base);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_arcs(), base.num_arcs());
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(MutableGraph, MutationsInvisibleUntilApplied) {
+  MutableGraph g(CSRGraph::build(graph::path_graph(4)));
+  g.queue_add_edge(0, 3);
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.pending_mutations(), 1u);
+  auto e = make_machine();
+  EXPECT_EQ(g.apply_mutations(e), 1u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(3, 0));  // undirected
+  EXPECT_EQ(g.pending_mutations(), 0u);
+}
+
+TEST(MutableGraph, RemovalDropsBothArcs) {
+  MutableGraph g(CSRGraph::build(graph::path_graph(4)));
+  const auto arcs_before = g.num_arcs();
+  g.queue_remove_edge(1, 2);
+  auto e = make_machine();
+  EXPECT_EQ(g.apply_mutations(e), 1u);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_arcs(), arcs_before - 2);
+}
+
+TEST(MutableGraph, DuplicateAndNoopMutationsCollapse) {
+  MutableGraph g(CSRGraph::build(graph::path_graph(4)));
+  g.queue_add_edge(0, 1);     // already present
+  g.queue_remove_edge(0, 3);  // absent
+  g.queue_add_edge(0, 2);
+  g.queue_add_edge(0, 2);  // duplicate request
+  auto e = make_machine();
+  EXPECT_EQ(g.apply_mutations(e), 1u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(MutableGraph, SelfLoopsIgnored) {
+  MutableGraph g(CSRGraph::build(graph::path_graph(3)));
+  g.queue_add_edge(1, 1);
+  EXPECT_EQ(g.pending_mutations(), 0u);
+}
+
+TEST(MutableGraph, OutOfRangeThrows) {
+  MutableGraph g(CSRGraph::build(graph::path_graph(3)));
+  EXPECT_THROW(g.queue_add_edge(0, 99), std::out_of_range);
+  EXPECT_THROW(g.queue_remove_edge(99, 0), std::out_of_range);
+}
+
+TEST(MutableGraph, AdjacencyStaysSorted) {
+  MutableGraph g(CSRGraph::build(graph::star_graph(6)));
+  g.queue_add_edge(3, 5);
+  g.queue_add_edge(3, 1);
+  auto e = make_machine();
+  g.apply_mutations(e);
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+// --- A mutating vertex program: peel to the 2-core by deleting edges -------
+
+struct PruneLeavesProgram {
+  using VertexState = std::uint8_t;  // 1 = not yet pruned
+  using Message = std::uint8_t;      // "your neighbor left" wake-up
+  static constexpr const char* kName = "bsp/prune-leaves";
+
+  void init(VertexState& s, vid_t) const { s = 1; }
+
+  void compute(MutableContext<Message>& ctx, vid_t v, VertexState& s,
+               std::span<const Message>) const {
+    const auto nbrs = ctx.graph().neighbors(v);
+    ctx.charge(2);
+    if (s == 1 && nbrs.size() <= 1) {
+      for (const vid_t u : nbrs) {
+        ctx.remove_edge(v, u);
+        ctx.send(u, 1);  // wake the other endpoint next superstep
+      }
+      s = 0;
+      ctx.sink().store(&s);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+std::vector<vid_t> surviving_vertices(const MutableGraph& g) {
+  std::vector<vid_t> out;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.degree(v) > 0) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(RunMutable, TreePrunesToNothing) {
+  const auto base = CSRGraph::build(graph::binary_tree(63));
+  MutableGraph g(base);
+  auto m = make_machine();
+  const auto r = run_mutable(m, g, PruneLeavesProgram{});
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_EQ(r.mutations_applied, base.num_undirected_edges());
+  EXPECT_TRUE(surviving_vertices(g).empty());
+}
+
+TEST(RunMutable, CycleSurvivesUntouched) {
+  const auto base = CSRGraph::build(graph::cycle_graph(10));
+  MutableGraph g(base);
+  auto m = make_machine();
+  const auto r = run_mutable(m, g, PruneLeavesProgram{});
+  EXPECT_EQ(g.num_arcs(), base.num_arcs());
+  EXPECT_EQ(r.mutations_applied, 0u);
+}
+
+TEST(RunMutable, LollipopKeepsOnlyTheCycle) {
+  // Cycle 0..5 plus a tail 5-6-7-8: the tail prunes away superstep by
+  // superstep; the cycle remains.
+  auto edges = graph::cycle_graph(6);
+  edges.add(5, 6);
+  edges.add(6, 7);
+  edges.add(7, 8);
+  const auto base = CSRGraph::build(edges);
+  MutableGraph g(base);
+  auto m = make_machine();
+  const auto r = run_mutable(m, g, PruneLeavesProgram{});
+  EXPECT_EQ(r.mutations_applied, 3u);
+  EXPECT_EQ(surviving_vertices(g).size(), 6u);
+  // The cascade needs one superstep per tail hop.
+  EXPECT_GE(r.supersteps.size(), 3u);
+}
+
+TEST(RunMutable, MatchesTwoCoreOracleOnRmat) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 4;  // sparse enough to have real tree fringes
+  p.seed = 11;
+  const auto base = CSRGraph::build(graph::rmat_edges(p));
+  MutableGraph g(base);
+  auto m = make_machine();
+  run_mutable(m, g, PruneLeavesProgram{});
+  EXPECT_EQ(surviving_vertices(g), graph::ref::kcore_vertices(base, 2));
+}
+
+TEST(RunMutable, GraphStaysSymmetricThroughMutation) {
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 4;
+  p.seed = 2;
+  const auto base = CSRGraph::build(graph::rmat_edges(p));
+  MutableGraph g(base);
+  auto m = make_machine();
+  run_mutable(m, g, PruneLeavesProgram{});
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t u : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(MutableGraph, ToCsrRoundTripsTopology) {
+  const auto base = CSRGraph::build(graph::grid_graph(4, 4));
+  MutableGraph g(base);
+  g.queue_add_edge(0, 15);
+  g.queue_remove_edge(0, 1);
+  auto e = make_machine();
+  g.apply_mutations(e);
+  const auto snap = g.to_csr();
+  EXPECT_EQ(snap.num_arcs(), g.num_arcs());
+  EXPECT_TRUE(snap.has_edge(0, 15));
+  EXPECT_FALSE(snap.has_edge(0, 1));
+  EXPECT_TRUE(snap.is_symmetric());
+}
+
+TEST(RunMutable, MutateThenAnalyzePipeline) {
+  // The full pipeline: peel to the 2-core with a mutating program, snapshot
+  // to CSR, and verify the snapshot equals the 2-core induced structure.
+  graph::RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 4;
+  p.seed = 21;
+  const auto base = CSRGraph::build(graph::rmat_edges(p));
+  MutableGraph g(base);
+  auto m = make_machine();
+  run_mutable(m, g, PruneLeavesProgram{});
+  const auto pruned = g.to_csr();
+
+  // Every surviving edge connects 2-core vertices, and all 2-core-internal
+  // base edges survive.
+  const auto core = graph::ref::core_numbers(base);
+  for (vid_t v = 0; v < pruned.num_vertices(); ++v) {
+    for (const vid_t u : pruned.neighbors(v)) {
+      EXPECT_GE(core[v], 2u);
+      EXPECT_GE(core[u], 2u);
+    }
+  }
+  for (vid_t v = 0; v < base.num_vertices(); ++v) {
+    for (const vid_t u : base.neighbors(v)) {
+      if (core[v] >= 2 && core[u] >= 2) {
+        EXPECT_TRUE(pruned.has_edge(v, u));
+      }
+    }
+  }
+}
+
+TEST(RunMutable, ChargesMutationRegions) {
+  const auto base = CSRGraph::build(graph::binary_tree(31));
+  MutableGraph g(base);
+  auto m = make_machine();
+  run_mutable(m, g, PruneLeavesProgram{});
+  bool saw_mutation_region = false;
+  for (const auto& region : m.regions()) {
+    if (region.name == "bsp/mutations") saw_mutation_region = true;
+  }
+  EXPECT_TRUE(saw_mutation_region);
+}
+
+}  // namespace
+}  // namespace xg::bsp

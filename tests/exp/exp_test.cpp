@@ -1,0 +1,195 @@
+// Tests for the experiment harness: CLI args, table formatting, workload
+// construction, and the parallel processor sweep.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/args.hpp"
+#include "exp/sweep.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+
+namespace xg::exp {
+namespace {
+
+Args make_args(std::vector<std::string> tokens) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  storage.insert(storage.begin(), "prog");
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return Args(static_cast<int>(argv.size()), argv.data(), "test");
+}
+
+// --- Args ----------------------------------------------------------------
+
+TEST(Args, ParsesSpaceSeparatedValues) {
+  const auto a = make_args({"--scale", "18"});
+  EXPECT_EQ(a.get_int("scale", 0), 18);
+}
+
+TEST(Args, ParsesEqualsForm) {
+  const auto a = make_args({"--seed=99"});
+  EXPECT_EQ(a.get_int("seed", 0), 99);
+}
+
+TEST(Args, BareFlags) {
+  const auto a = make_args({"--csv"});
+  EXPECT_TRUE(a.get_flag("csv"));
+  EXPECT_FALSE(a.get_flag("json"));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto a = make_args({});
+  EXPECT_EQ(a.get_int("scale", 14), 14);
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(a.get("name", "x"), "x");
+}
+
+TEST(Args, ParsesDoubles) {
+  const auto a = make_args({"--alpha", "0.25"});
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.0), 0.25);
+}
+
+TEST(Args, ParsesLists) {
+  const auto a = make_args({"--procs", "8,16,128"});
+  const auto list = a.get_list("procs", {1});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 8u);
+  EXPECT_EQ(list[2], 128u);
+}
+
+TEST(Args, ListDefault) {
+  const auto a = make_args({});
+  EXPECT_EQ(a.get_list("procs", {4, 5}).size(), 2u);
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  EXPECT_THROW(make_args({"positional"}), std::invalid_argument);
+}
+
+TEST(Args, FlagFollowedByFlag) {
+  const auto a = make_args({"--csv", "--scale", "9"});
+  EXPECT_TRUE(a.get_flag("csv"));
+  EXPECT_EQ(a.get_int("scale", 0), 9);
+}
+
+// --- Table ------------------------------------------------------------------
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.print_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, SecondsFormatting) {
+  EXPECT_EQ(Table::seconds(2.5), "2.500 s");
+  EXPECT_EQ(Table::seconds(0.0025), "2.500 ms");
+  EXPECT_EQ(Table::seconds(2.5e-6), "2.500 us");
+}
+
+TEST(Table, SiFormatting) {
+  EXPECT_EQ(Table::si(5.5e9), "5.50 G");
+  EXPECT_EQ(Table::si(30.9e6), "30.90 M");
+  EXPECT_EQ(Table::si(1234), "1.23 K");
+  EXPECT_EQ(Table::si(42), "42");
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fixed(10.0, 1), "10.0");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(0), "0");
+  EXPECT_EQ(Table::num(1234567890123ull), "1234567890123");
+}
+
+// --- Workload -----------------------------------------------------------------
+
+TEST(Workload, BuildsFromArgs) {
+  const auto a = make_args({"--scale", "8", "--edgefactor", "4", "--seed", "3"});
+  const auto w = make_workload(a, 14);
+  EXPECT_EQ(w.scale, 8u);
+  EXPECT_EQ(w.graph.num_vertices(), 256u);
+  EXPECT_TRUE(w.graph.is_symmetric());
+  EXPECT_GT(w.graph.degree(w.bfs_source), 0u);
+  EXPECT_NE(w.describe().find("scale=8"), std::string::npos);
+}
+
+TEST(Workload, UsesDefaultScale) {
+  const auto a = make_args({});
+  const auto w = make_workload(a, 8);
+  EXPECT_EQ(w.graph.num_vertices(), 256u);
+}
+
+TEST(Workload, SourceIsMaxDegreeVertex) {
+  const auto a = make_args({"--scale", "9"});
+  const auto w = make_workload(a, 9);
+  EXPECT_EQ(w.bfs_source, w.graph.max_degree_vertex());
+}
+
+TEST(Workload, SimConfigOverrides) {
+  const auto a = make_args({"--streams", "64", "--latency", "100",
+                            "--faa-interval", "3"});
+  const auto cfg = sim_config(a, 42);
+  EXPECT_EQ(cfg.processors, 42u);
+  EXPECT_EQ(cfg.streams_per_processor, 64u);
+  EXPECT_EQ(cfg.memory_latency, 100u);
+  EXPECT_EQ(cfg.faa_service_interval, 3u);
+}
+
+TEST(Workload, ProcessorCountsDefault) {
+  const auto a = make_args({});
+  const auto procs = processor_counts(a);
+  ASSERT_EQ(procs.size(), 5u);
+  EXPECT_EQ(procs.front(), 8u);
+  EXPECT_EQ(procs.back(), 128u);
+}
+
+// --- Sweep ---------------------------------------------------------------------
+
+TEST(Sweep, PreservesInputOrder) {
+  const std::vector<std::uint32_t> procs{8, 16, 32, 64};
+  const auto out =
+      sweep_processors(std::span(procs), [](std::uint32_t p) { return p * 2; });
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    EXPECT_EQ(out[i], procs[i] * 2);
+  }
+}
+
+TEST(Sweep, PropagatesExceptions) {
+  const std::vector<std::uint32_t> procs{8, 16};
+  EXPECT_THROW(sweep_processors(std::span(procs),
+                                [](std::uint32_t p) -> int {
+                                  if (p == 16) throw std::runtime_error("x");
+                                  return 0;
+                                }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xg::exp

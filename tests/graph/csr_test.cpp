@@ -1,0 +1,222 @@
+// Tests for EdgeList, the deterministic RNG, and the CSR builder.
+
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+#include "graph/rng.hpp"
+
+namespace xg::graph {
+namespace {
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 1000; ++i) ++seen[r.below(8)];
+  for (const int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng f = a.fork(1);
+  EXPECT_NE(a.next(), f.next());
+}
+
+// --- EdgeList ----------------------------------------------------------
+
+TEST(EdgeList, TracksVertexCount) {
+  EdgeList list;
+  list.add(3, 7);
+  EXPECT_EQ(list.num_vertices(), 8u);
+  list.add(10, 2);
+  EXPECT_EQ(list.num_vertices(), 11u);
+}
+
+TEST(EdgeList, ExplicitVertexCountNeverShrinks) {
+  EdgeList list(100);
+  list.add(1, 2);
+  EXPECT_EQ(list.num_vertices(), 100u);
+  list.set_num_vertices(50);
+  EXPECT_EQ(list.num_vertices(), 100u);
+}
+
+TEST(EdgeList, StoresWeights) {
+  EdgeList list;
+  list.add(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(list.edges()[0].weight, 2.5);
+}
+
+// --- CSR build ---------------------------------------------------------
+
+EdgeList triangle_plus_isolated() {
+  EdgeList list(5);  // vertices 0..4, vertex 3 and 4 isolated
+  list.add(0, 1);
+  list.add(1, 2);
+  list.add(2, 0);
+  return list;
+}
+
+TEST(Csr, EmptyGraph) {
+  const auto g = CSRGraph::build(EdgeList(0));
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+}
+
+TEST(Csr, VerticesWithoutEdges) {
+  const auto g = CSRGraph::build(EdgeList(4));
+  EXPECT_EQ(g.num_vertices(), 4u);
+  for (vid_t v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Csr, UndirectedBuildAddsReverseArcs) {
+  const auto g = CSRGraph::build(triangle_plus_isolated());
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Csr, DirectedBuildKeepsArcDirections) {
+  BuildOptions opt;
+  opt.make_undirected = false;
+  const auto g = CSRGraph::build(triangle_plus_isolated(), opt);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Csr, SelfLoopsRemovedByDefault) {
+  EdgeList list(3);
+  list.add(0, 0);
+  list.add(1, 1);
+  list.add(0, 1);
+  const auto g = CSRGraph::build(list);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Csr, SelfLoopsKeptOnRequest) {
+  EdgeList list(2);
+  list.add(0, 0);
+  BuildOptions opt;
+  opt.remove_self_loops = false;
+  opt.make_undirected = false;
+  const auto g = CSRGraph::build(list, opt);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Csr, DuplicateEdgesCollapse) {
+  EdgeList list(2);
+  list.add(0, 1);
+  list.add(0, 1);
+  list.add(1, 0);
+  const auto g = CSRGraph::build(list);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Csr, DuplicateWeightsSum) {
+  EdgeList list(2);
+  list.add(0, 1, 1.5);
+  list.add(0, 1, 2.5);
+  const auto g = CSRGraph::build(list, {}, /*keep_weights=*/true);
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_DOUBLE_EQ(g.weights(0)[0], 4.0);
+}
+
+TEST(Csr, AdjacencySorted) {
+  EdgeList list(6);
+  list.add(0, 5);
+  list.add(0, 2);
+  list.add(0, 4);
+  list.add(0, 1);
+  const auto g = CSRGraph::build(list);
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Csr, WeightsFollowAdjacencySort) {
+  EdgeList list(3);
+  BuildOptions opt;
+  opt.make_undirected = false;
+  list.add(0, 2, 20.0);
+  list.add(0, 1, 10.0);
+  const auto g = CSRGraph::build(list, opt, /*keep_weights=*/true);
+  const auto nbrs = g.neighbors(0);
+  const auto wts = g.weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_DOUBLE_EQ(wts[0], 10.0);
+  EXPECT_EQ(nbrs[1], 2u);
+  EXPECT_DOUBLE_EQ(wts[1], 20.0);
+}
+
+TEST(Csr, DegreeMatchesNeighborsSize) {
+  const auto g = CSRGraph::build(triangle_plus_isolated());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), g.neighbors(v).size());
+  }
+}
+
+TEST(Csr, MaxDegreeVertex) {
+  EdgeList list(5);
+  list.add(0, 1);
+  list.add(2, 0);
+  list.add(2, 3);
+  list.add(2, 4);
+  const auto g = CSRGraph::build(list);
+  EXPECT_EQ(g.max_degree_vertex(), 2u);
+}
+
+TEST(Csr, HasEdgeOnMissingEdge) {
+  const auto g = CSRGraph::build(triangle_plus_isolated());
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 4));
+}
+
+TEST(Csr, OffsetsAreMonotone) {
+  const auto g = CSRGraph::build(triangle_plus_isolated());
+  const auto& off = g.offsets();
+  ASSERT_EQ(off.size(), g.num_vertices() + 1u);
+  EXPECT_TRUE(std::is_sorted(off.begin(), off.end()));
+  EXPECT_EQ(off.back(), g.num_arcs());
+}
+
+TEST(Csr, NoWeightsUnlessRequested) {
+  const auto g = CSRGraph::build(triangle_plus_isolated());
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_TRUE(g.weights(0).empty());
+}
+
+}  // namespace
+}  // namespace xg::graph

@@ -1,0 +1,157 @@
+// Tests for the graph generators, including R-MAT structure properties.
+
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/degree.hpp"
+#include "graph/rmat.hpp"
+
+namespace xg::graph {
+namespace {
+
+TEST(Generators, PathHasNMinusOneEdges) {
+  const auto g = CSRGraph::build(path_graph(10));
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_undirected_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(Generators, CycleClosesTheLoop) {
+  const auto g = CSRGraph::build(cycle_graph(8));
+  for (vid_t v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, TinyCycleDegeneratesToPath) {
+  // A 2-cycle would be a duplicate edge; the generator skips closure below 3.
+  const auto g = CSRGraph::build(cycle_graph(2));
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+}
+
+TEST(Generators, StarCenterDegree) {
+  const auto g = CSRGraph::build(star_graph(17));
+  EXPECT_EQ(g.degree(0), 16u);
+  for (vid_t v = 1; v < 17; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const auto g = CSRGraph::build(complete_graph(7));
+  EXPECT_EQ(g.num_undirected_edges(), 21u);
+  for (vid_t v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 6u);
+}
+
+TEST(Generators, GridDegrees) {
+  const auto g = CSRGraph::build(grid_graph(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(1), 3u);   // edge
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+  EXPECT_EQ(g.num_undirected_edges(), 3u * 3u + 4u * 2u);
+}
+
+TEST(Generators, BinaryTreeEdges) {
+  const auto g = CSRGraph::build(binary_tree(15));
+  EXPECT_EQ(g.num_undirected_edges(), 14u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(14), 1u);  // leaf
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const auto a = erdos_renyi(100, 500, 42);
+  const auto b = erdos_renyi(100, 500, 42);
+  EXPECT_EQ(a.edges(), b.edges());
+  const auto c = erdos_renyi(100, 500, 43);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, ErdosRenyiRejectsEdgesWithoutVertices) {
+  EXPECT_THROW(erdos_renyi(0, 10, 1), std::invalid_argument);
+}
+
+TEST(Generators, CliqueChainComponentCount) {
+  const auto g = CSRGraph::build(clique_chain(4, 5));
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_undirected_edges(), 4u * 10u);
+  // No edges between cliques.
+  EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(Generators, RandomizeWeightsInRange) {
+  auto list = path_graph(50);
+  randomize_weights(list, 2.0, 5.0, 9);
+  for (const Edge& e : list) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LT(e.weight, 5.0);
+  }
+}
+
+// --- R-MAT -------------------------------------------------------------
+
+TEST(Rmat, EmitsRequestedEdgeCount) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  const auto edges = rmat_edges(p);
+  EXPECT_EQ(edges.size(), p.num_edges());
+  EXPECT_EQ(edges.num_vertices(), 1u << 10);
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  RmatParams p;
+  p.scale = 10;
+  p.seed = 5;
+  const auto a = rmat_edges(p);
+  const auto b = rmat_edges(p);
+  EXPECT_EQ(a.edges(), b.edges());
+  p.seed = 6;
+  const auto c = rmat_edges(p);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Rmat, RejectsBadScale) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+  p.scale = 32;
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+}
+
+TEST(Rmat, RejectsBadProbabilities) {
+  RmatParams p;
+  p.a = 0.9;  // sums to 1.33
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+}
+
+TEST(Rmat, VertexIdsInRange) {
+  RmatParams p;
+  p.scale = 9;
+  for (const Edge& e : rmat_edges(p)) {
+    EXPECT_LT(e.src, 1u << 9);
+    EXPECT_LT(e.dst, 1u << 9);
+  }
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  // The paper's premise: R-MAT graphs are scale-free, unlike Erdos-Renyi.
+  RmatParams p;
+  p.scale = 12;
+  p.edgefactor = 16;
+  const auto rmat = CSRGraph::build(rmat_edges(p));
+  const auto er = CSRGraph::build(
+      erdos_renyi(1u << 12, 16ull << 12, p.seed));
+  EXPECT_GT(degree_gini(rmat), degree_gini(er) + 0.2);
+  EXPECT_GT(degree_stats(rmat).max_degree, 4 * degree_stats(er).max_degree);
+}
+
+TEST(Rmat, UniformProbabilitiesApproachErdosRenyi) {
+  RmatParams p;
+  p.scale = 11;
+  p.a = p.b = p.c = p.d = 0.25;
+  const auto g = CSRGraph::build(rmat_edges(p));
+  EXPECT_LT(degree_gini(g), 0.4);
+}
+
+}  // namespace
+}  // namespace xg::graph

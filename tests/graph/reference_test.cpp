@@ -1,0 +1,388 @@
+// Tests for the sequential oracle algorithms, including property-based
+// sweeps across graph families (the oracles are what every parallel kernel
+// is checked against, so they get their own independent checks here).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/betweenness.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/kcore.hpp"
+#include "graph/reference/sssp.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graph/rmat.hpp"
+
+namespace xg::graph {
+namespace {
+
+// Named graph-family factory for the parameterized property sweeps.
+struct Family {
+  const char* name;
+  CSRGraph (*make)();
+};
+
+CSRGraph make_path() { return CSRGraph::build(path_graph(50)); }
+CSRGraph make_cycle() { return CSRGraph::build(cycle_graph(40)); }
+CSRGraph make_star() { return CSRGraph::build(star_graph(30)); }
+CSRGraph make_complete() { return CSRGraph::build(complete_graph(12)); }
+CSRGraph make_grid() { return CSRGraph::build(grid_graph(6, 7)); }
+CSRGraph make_tree() { return CSRGraph::build(binary_tree(63)); }
+CSRGraph make_cliques() { return CSRGraph::build(clique_chain(4, 6)); }
+CSRGraph make_er() {
+  return CSRGraph::build(erdos_renyi(200, 800, 17));
+}
+CSRGraph make_rmat() {
+  RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 8;
+  p.seed = 3;
+  return CSRGraph::build(rmat_edges(p));
+}
+
+const Family kFamilies[] = {
+    {"path", make_path},     {"cycle", make_cycle},
+    {"star", make_star},     {"complete", make_complete},
+    {"grid", make_grid},     {"tree", make_tree},
+    {"cliques", make_cliques}, {"erdos_renyi", make_er},
+    {"rmat", make_rmat},
+};
+
+class FamilyTest : public ::testing::TestWithParam<Family> {};
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyTest,
+                         ::testing::ValuesIn(kFamilies),
+                         [](const auto& pinfo) { return pinfo.param.name; });
+
+// --- BFS ------------------------------------------------------------------
+
+TEST(RefBfs, PathDistances) {
+  const auto g = CSRGraph::build(path_graph(5));
+  const auto r = ref::bfs(g, 0);
+  for (vid_t v = 0; v < 5; ++v) EXPECT_EQ(r.distance[v], v);
+  EXPECT_EQ(r.reached, 5u);
+}
+
+TEST(RefBfs, UnreachedGetInfinity) {
+  EdgeList list(4);
+  list.add(0, 1);
+  const auto g = CSRGraph::build(list);
+  const auto r = ref::bfs(g, 0);
+  EXPECT_EQ(r.distance[2], kInfDist);
+  EXPECT_EQ(r.parent[2], kNoVertex);
+  EXPECT_EQ(r.reached, 2u);
+}
+
+TEST(RefBfs, SourceOutOfRangeReturnsAllUnreached) {
+  const auto g = CSRGraph::build(path_graph(3));
+  const auto r = ref::bfs(g, 99);
+  EXPECT_EQ(r.reached, 0u);
+}
+
+TEST(RefBfs, LevelSizesSumToReached) {
+  const auto g = make_rmat();
+  const auto r = ref::bfs(g, g.max_degree_vertex());
+  EXPECT_EQ(std::accumulate(r.level_sizes.begin(), r.level_sizes.end(), 0u),
+            r.reached);
+}
+
+TEST(RefBfs, StarIsTwoLevels) {
+  const auto g = CSRGraph::build(star_graph(9));
+  const auto r = ref::bfs(g, 0);
+  ASSERT_EQ(r.level_sizes.size(), 2u);
+  EXPECT_EQ(r.level_sizes[0], 1u);
+  EXPECT_EQ(r.level_sizes[1], 8u);
+}
+
+TEST_P(FamilyTest, BfsTreeValidates) {
+  const auto g = GetParam().make();
+  const auto r = ref::bfs(g, 0);
+  EXPECT_EQ(ref::validate_bfs_tree(g, 0, r.distance, r.parent), "");
+}
+
+TEST(RefBfs, ValidatorCatchesWrongDistance) {
+  const auto g = CSRGraph::build(path_graph(4));
+  auto r = ref::bfs(g, 0);
+  r.distance[3] = 1;  // lie
+  EXPECT_NE(ref::validate_bfs_tree(g, 0, r.distance, r.parent), "");
+}
+
+TEST(RefBfs, ValidatorCatchesFakeParent) {
+  const auto g = CSRGraph::build(path_graph(4));
+  auto r = ref::bfs(g, 0);
+  r.parent[3] = 0;  // (0,3) is not an edge
+  EXPECT_NE(ref::validate_bfs_tree(g, 0, r.distance, r.parent), "");
+}
+
+// --- Connected components ---------------------------------------------------
+
+TEST(RefCc, DisjointSetsBasics) {
+  ref::DisjointSets dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_EQ(dsu.num_sets(), 2u);
+  EXPECT_EQ(dsu.find(2), dsu.find(1));
+  EXPECT_NE(dsu.find(4), dsu.find(0));
+}
+
+TEST(RefCc, CliqueChainComponentCount) {
+  const auto g = CSRGraph::build(clique_chain(5, 4));
+  const auto labels = ref::connected_components(g);
+  EXPECT_EQ(ref::count_components(labels), 5u);
+  EXPECT_EQ(ref::largest_component_size(labels), 4u);
+}
+
+TEST(RefCc, LabelsAreMinimumMemberIds) {
+  const auto g = CSRGraph::build(clique_chain(3, 4));
+  const auto labels = ref::connected_components(g);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[3], 0u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[7], 4u);
+  EXPECT_EQ(labels[8], 8u);
+}
+
+TEST(RefCc, IsolatedVerticesAreSingletons) {
+  EdgeList list(5);
+  list.add(0, 1);
+  const auto labels = ref::connected_components(CSRGraph::build(list));
+  EXPECT_EQ(ref::count_components(labels), 4u);
+}
+
+TEST_P(FamilyTest, ComponentsConsistentWithBfsReachability) {
+  const auto g = GetParam().make();
+  const auto labels = ref::connected_components(g);
+  const auto r = ref::bfs(g, 0);
+  // Every vertex reached from 0 shares 0's label; every unreached one
+  // doesn't.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.distance[v] != kInfDist) {
+      EXPECT_EQ(labels[v], labels[0]);
+    } else {
+      EXPECT_NE(labels[v], labels[0]);
+    }
+  }
+}
+
+TEST_P(FamilyTest, ComponentLabelsAreCanonical) {
+  const auto g = GetParam().make();
+  auto labels = ref::connected_components(g);
+  auto copy = labels;
+  ref::canonicalize_labels(copy);
+  EXPECT_EQ(copy, labels);  // canonicalization is idempotent
+  for (vid_t v = 0; v < labels.size(); ++v) EXPECT_LE(labels[v], v);
+}
+
+// --- Triangles ---------------------------------------------------------------
+
+TEST(RefTriangles, KnownCounts) {
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(complete_graph(4))), 4u);
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(complete_graph(6))), 20u);
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(path_graph(10))), 0u);
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(cycle_graph(3))), 1u);
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(cycle_graph(4))), 0u);
+  EXPECT_EQ(ref::count_triangles(CSRGraph::build(star_graph(20))), 0u);
+}
+
+TEST_P(FamilyTest, FastTrianglesMatchBruteForce) {
+  const auto g = GetParam().make();
+  if (g.num_vertices() > 250) GTEST_SKIP() << "brute force too slow";
+  EXPECT_EQ(ref::count_triangles(g), ref::count_triangles_brute_force(g));
+}
+
+TEST_P(FamilyTest, PerVertexTrianglesSumToThreeTimesTotal) {
+  const auto g = GetParam().make();
+  const auto per = ref::per_vertex_triangles(g);
+  const auto total = std::accumulate(per.begin(), per.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 3 * ref::count_triangles(g));
+}
+
+TEST(RefTriangles, ClusteringCoefficientOfClique) {
+  const auto cc = ref::clustering_coefficients(CSRGraph::build(complete_graph(5)));
+  for (const double c : cc) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(
+      ref::global_clustering_coefficient(CSRGraph::build(complete_graph(5))),
+      1.0);
+}
+
+TEST(RefTriangles, ClusteringCoefficientOfTree) {
+  const auto g = CSRGraph::build(binary_tree(31));
+  EXPECT_DOUBLE_EQ(ref::global_clustering_coefficient(g), 0.0);
+}
+
+TEST(RefTriangles, CoefficientsInUnitInterval) {
+  const auto g = make_rmat();
+  for (const double c : ref::clustering_coefficients(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-12);
+  }
+}
+
+TEST(RefTriangles, WedgeCountOfTriangleGraph) {
+  // K3: one wedge (0 < 1 < 2 through middle vertex 1).
+  EXPECT_EQ(ref::ordered_wedge_count(CSRGraph::build(complete_graph(3))), 1u);
+  // K4: each vertex j has lower x higher = 0,1*2,2*1,3*0 -> 0+2+2+0 = 4.
+  EXPECT_EQ(ref::ordered_wedge_count(CSRGraph::build(complete_graph(4))), 4u);
+}
+
+TEST_P(FamilyTest, WedgesAtLeastTriangles) {
+  const auto g = GetParam().make();
+  EXPECT_GE(ref::ordered_wedge_count(g), ref::count_triangles(g));
+}
+
+// --- k-core -------------------------------------------------------------------
+
+TEST(RefKcore, CliqueCoreNumbers) {
+  const auto core = ref::core_numbers(CSRGraph::build(complete_graph(6)));
+  for (const auto c : core) EXPECT_EQ(c, 5u);
+}
+
+TEST(RefKcore, PathCoreNumbers) {
+  const auto core = ref::core_numbers(CSRGraph::build(path_graph(6)));
+  for (const auto c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(RefKcore, StarCoreNumbers) {
+  const auto core = ref::core_numbers(CSRGraph::build(star_graph(10)));
+  for (const auto c : core) EXPECT_EQ(c, 1u);
+}
+
+TEST(RefKcore, CycleIsTwoCore) {
+  const auto core = ref::core_numbers(CSRGraph::build(cycle_graph(8)));
+  for (const auto c : core) EXPECT_EQ(c, 2u);
+}
+
+TEST(RefKcore, DegeneracyOfCliqueChain) {
+  EXPECT_EQ(ref::degeneracy(CSRGraph::build(clique_chain(3, 5))), 4u);
+}
+
+TEST(RefKcore, KcoreVerticesSelectsSurvivors) {
+  // K5 attached to a path tail: the 4-core is exactly the K5.
+  EdgeList list = complete_graph(5);
+  list.add(4, 5);
+  list.add(5, 6);
+  const auto g = CSRGraph::build(list);
+  const auto survivors = ref::kcore_vertices(g, 4);
+  EXPECT_EQ(survivors.size(), 5u);
+  for (const auto v : survivors) EXPECT_LT(v, 5u);
+}
+
+TEST_P(FamilyTest, CoreNumbersBoundedByDegree) {
+  const auto g = GetParam().make();
+  const auto core = ref::core_numbers(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(core[v], g.degree(v));
+  }
+}
+
+TEST_P(FamilyTest, KcoreInducedDegreesAreAtLeastK) {
+  const auto g = GetParam().make();
+  const auto k = std::max<std::uint32_t>(1, ref::degeneracy(g));
+  const auto survivors = ref::kcore_vertices(g, k);
+  std::vector<bool> in(g.num_vertices(), false);
+  for (const auto v : survivors) in[v] = true;
+  for (const auto v : survivors) {
+    std::uint32_t deg = 0;
+    for (const auto u : g.neighbors(v)) deg += in[u] ? 1 : 0;
+    EXPECT_GE(deg, k) << "vertex " << v;
+  }
+}
+
+// --- Betweenness -----------------------------------------------------------
+
+TEST(RefBc, PathCenterIsHighest) {
+  const auto g = CSRGraph::build(path_graph(5));
+  const auto bc = ref::betweenness_centrality(g);
+  // Exact values for a 5-path (both directions counted): ends 0, center 8.
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[2], 8.0);
+  EXPECT_GT(bc[1], bc[0]);
+  EXPECT_LT(bc[1], bc[2]);
+}
+
+TEST(RefBc, StarCenterCarriesAllPairs) {
+  const auto g = CSRGraph::build(star_graph(6));
+  const auto bc = ref::betweenness_centrality(g);
+  // 5 leaves: 5*4 = 20 ordered pairs route through the center.
+  EXPECT_DOUBLE_EQ(bc[0], 20.0);
+  for (vid_t v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(RefBc, CompleteGraphAllZero) {
+  const auto bc = ref::betweenness_centrality(CSRGraph::build(complete_graph(5)));
+  for (const double b : bc) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+TEST(RefBc, SampledWithAllSourcesMatchesExact) {
+  const auto g = make_grid();
+  std::vector<vid_t> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  const auto exact = ref::betweenness_centrality(g);
+  const auto sampled = ref::betweenness_centrality_sampled(g, all);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(sampled[v], exact[v], 1e-9);
+  }
+}
+
+TEST(RefBc, EmptySampleGivesZeros) {
+  const auto g = make_grid();
+  const auto bc = ref::betweenness_centrality_sampled(g, {});
+  for (const double b : bc) EXPECT_DOUBLE_EQ(b, 0.0);
+}
+
+// --- Dijkstra ----------------------------------------------------------------
+
+TEST(RefSssp, UnweightedMatchesBfs) {
+  const auto g = make_rmat();
+  const auto d = ref::dijkstra(g, 0);
+  const auto b = ref::bfs(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (b.distance[v] == kInfDist) {
+      EXPECT_EQ(d[v], ref::unreachable_distance());
+    } else {
+      EXPECT_DOUBLE_EQ(d[v], b.distance[v]);
+    }
+  }
+}
+
+TEST(RefSssp, WeightedShortcut) {
+  // 0-1-2 with weights 1 each, plus a direct 0-2 edge of weight 5:
+  // the two-hop route wins.
+  EdgeList list(3);
+  list.add(0, 1, 1.0);
+  list.add(1, 2, 1.0);
+  list.add(0, 2, 5.0);
+  const auto g = CSRGraph::build(list, {}, /*keep_weights=*/true);
+  const auto d = ref::dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+}
+
+TEST(RefSssp, SourceOutOfRange) {
+  const auto g = CSRGraph::build(path_graph(3));
+  const auto d = ref::dijkstra(g, 42);
+  for (const double x : d) EXPECT_EQ(x, ref::unreachable_distance());
+}
+
+TEST_P(FamilyTest, DijkstraTriangleInequality) {
+  const auto g = GetParam().make();
+  const auto d = ref::dijkstra(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (d[v] == ref::unreachable_distance()) continue;
+    const auto wts = g.weights(v);
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double w = wts.empty() ? 1.0 : wts[i];
+      EXPECT_LE(d[nbrs[i]], d[v] + w + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xg::graph

@@ -1,0 +1,171 @@
+// Tests for edge-list I/O, degree statistics, and subgraph extraction.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/subgraph.hpp"
+
+namespace xg::graph {
+namespace {
+
+// --- I/O ---------------------------------------------------------------
+
+TEST(Io, RoundTripUnweighted) {
+  auto list = path_graph(6);
+  std::stringstream ss;
+  write_edge_list(ss, list);
+  const auto back = read_edge_list(ss);
+  EXPECT_EQ(back.size(), list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(back.edges()[i].src, list.edges()[i].src);
+    EXPECT_EQ(back.edges()[i].dst, list.edges()[i].dst);
+  }
+}
+
+TEST(Io, RoundTripWeighted) {
+  auto list = path_graph(4);
+  randomize_weights(list, 0.5, 2.0, 3);
+  std::stringstream ss;
+  write_edge_list(ss, list, /*with_weights=*/true);
+  const auto back = read_edge_list(ss);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_NEAR(back.edges()[i].weight, list.edges()[i].weight, 1e-4);
+  }
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n0 1\n  # indented comment\n1 2\n");
+  const auto list = read_edge_list(ss);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(Io, DefaultWeightIsOne) {
+  std::stringstream ss("0 1\n");
+  const auto list = read_edge_list(ss);
+  EXPECT_DOUBLE_EQ(list.edges()[0].weight, 1.0);
+}
+
+TEST(Io, ParsesOptionalWeight) {
+  std::stringstream ss("0 1 3.25\n");
+  const auto list = read_edge_list(ss);
+  EXPECT_DOUBLE_EQ(list.edges()[0].weight, 3.25);
+}
+
+TEST(Io, MalformedLineThrows) {
+  std::stringstream ss("0 1\nnot an edge\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/xg_io_test.txt";
+  auto list = cycle_graph(5);
+  write_edge_list_file(path, list);
+  const auto back = read_edge_list_file(path);
+  EXPECT_EQ(back.size(), list.size());
+}
+
+// --- Degree statistics --------------------------------------------------
+
+TEST(Degree, EmptyGraph) {
+  const auto s = degree_stats(CSRGraph::build(EdgeList(0)));
+  EXPECT_EQ(s.max_degree, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.0);
+}
+
+TEST(Degree, StarStatistics) {
+  const auto g = CSRGraph::build(star_graph(11));
+  const auto s = degree_stats(g);
+  EXPECT_EQ(s.max_degree, 10u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 20.0 / 11.0);
+  EXPECT_EQ(s.isolated_vertices, 0u);
+}
+
+TEST(Degree, IsolatedVerticesCounted) {
+  EdgeList list(5);
+  list.add(0, 1);
+  const auto s = degree_stats(CSRGraph::build(list));
+  EXPECT_EQ(s.isolated_vertices, 3u);
+}
+
+TEST(Degree, HistogramBinsByLog2) {
+  // degrees: 10 vertices of degree 1 (leaves), center degree 10.
+  const auto g = CSRGraph::build(star_graph(11));
+  const auto s = degree_stats(g);
+  ASSERT_GE(s.log2_histogram.size(), 4u);
+  EXPECT_EQ(s.log2_histogram[0], 10u);  // the leaves
+  EXPECT_EQ(s.log2_histogram[3], 1u);   // degree 10 lands in [8,16)
+}
+
+TEST(Degree, GiniZeroForRegularGraph) {
+  const auto g = CSRGraph::build(cycle_graph(64));
+  EXPECT_NEAR(degree_gini(g), 0.0, 1e-9);
+}
+
+TEST(Degree, GiniHighForStar) {
+  const auto g = CSRGraph::build(star_graph(100));
+  EXPECT_GT(degree_gini(g), 0.4);
+}
+
+// --- Subgraph extraction -------------------------------------------------
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  // Path 0-1-2-3-4; induce {1,2,3}.
+  const auto g = CSRGraph::build(path_graph(5));
+  const vid_t verts[] = {1, 2, 3};
+  const auto sub = induced_subgraph(g, verts);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_undirected_edges(), 2u);
+  EXPECT_EQ(sub.to_original[0], 1u);
+  EXPECT_EQ(sub.to_original[2], 3u);
+}
+
+TEST(Subgraph, DuplicatesCollapse) {
+  const auto g = CSRGraph::build(path_graph(4));
+  const vid_t verts[] = {0, 1, 0, 1};
+  const auto sub = induced_subgraph(g, verts);
+  EXPECT_EQ(sub.graph.num_vertices(), 2u);
+}
+
+TEST(Subgraph, OutOfRangeThrows) {
+  const auto g = CSRGraph::build(path_graph(4));
+  const vid_t verts[] = {0, 9};
+  EXPECT_THROW(induced_subgraph(g, verts), std::out_of_range);
+}
+
+TEST(Subgraph, ExtractComponentPullsOneComponent) {
+  const auto g = CSRGraph::build(clique_chain(3, 4));
+  const auto labels = ref::connected_components(g);
+  const auto sub = extract_component(g, labels, labels[4]);
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_undirected_edges(), 6u);  // K4
+  for (const vid_t ov : sub.to_original) {
+    EXPECT_GE(ov, 4u);
+    EXPECT_LT(ov, 8u);
+  }
+}
+
+TEST(Subgraph, ExtractComponentSizeMismatchThrows) {
+  const auto g = CSRGraph::build(path_graph(4));
+  const std::vector<vid_t> bad_labels(2, 0);
+  EXPECT_THROW(extract_component(g, bad_labels, 0), std::invalid_argument);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const auto g = CSRGraph::build(path_graph(4));
+  const auto sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace xg::graph

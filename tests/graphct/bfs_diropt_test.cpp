@@ -1,0 +1,136 @@
+// Tests for direction-optimizing BFS: oracle-equal distances, valid trees,
+// actual engagement of the bottom-up phase, and its payoff on scale-free
+// inputs.
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/bfs_diropt.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_engine(std::uint32_t procs = 64) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  return xmt::Engine(cfg);
+}
+
+struct Family {
+  const char* name;
+  CSRGraph (*make)();
+};
+
+CSRGraph fam_path() { return CSRGraph::build(graph::path_graph(64)); }
+CSRGraph fam_star() { return CSRGraph::build(graph::star_graph(64)); }
+CSRGraph fam_grid() { return CSRGraph::build(graph::grid_graph(9, 9)); }
+CSRGraph fam_cliques() { return CSRGraph::build(graph::clique_chain(4, 6)); }
+CSRGraph fam_er() { return CSRGraph::build(graph::erdos_renyi(400, 2400, 8)); }
+CSRGraph fam_rmat() {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edgefactor = 16;
+  p.seed = 9;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+const Family kFamilies[] = {
+    {"path", fam_path},       {"star", fam_star}, {"grid", fam_grid},
+    {"cliques", fam_cliques}, {"er", fam_er},     {"rmat", fam_rmat},
+};
+
+class DirOptFamily : public ::testing::TestWithParam<Family> {};
+INSTANTIATE_TEST_SUITE_P(Families, DirOptFamily,
+                         ::testing::ValuesIn(kFamilies),
+                         [](const auto& pinfo) { return pinfo.param.name; });
+
+TEST_P(DirOptFamily, DistancesMatchOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = bfs_direction_optimizing(e, g, 0);
+  const auto oracle = graph::ref::bfs(g, 0);
+  EXPECT_EQ(r.distance, oracle.distance);
+  EXPECT_EQ(r.reached, oracle.reached);
+}
+
+TEST_P(DirOptFamily, TreeValidates) {
+  // Parents may differ from the top-down tree but must form a valid one.
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = bfs_direction_optimizing(e, g, 0);
+  EXPECT_EQ(graph::ref::validate_bfs_tree(g, 0, r.distance, r.parent), "");
+}
+
+TEST(DirOptBfs, BottomUpEngagesOnScaleFreeGraphs) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  bfs_direction_optimizing(e, g, g.max_degree_vertex());
+  bool saw_bottom_up = false;
+  for (const auto& region : e.regions()) {
+    if (region.name == "bfs/level-up") saw_bottom_up = true;
+  }
+  EXPECT_TRUE(saw_bottom_up);
+}
+
+TEST(DirOptBfs, StaysTopDownOnHighDiameterGraphs) {
+  // A path's frontier is always tiny: the heuristic should never flip.
+  const auto g = CSRGraph::build(graph::path_graph(512));
+  auto e = make_engine();
+  bfs_direction_optimizing(e, g, 0);
+  for (const auto& region : e.regions()) {
+    EXPECT_NE(region.name, "bfs/level-up");
+  }
+}
+
+TEST(DirOptBfs, ScansFewerEdgesThanTopDownAtTheApex) {
+  // The whole point: early-exit parent hunting skips most of the apex's
+  // edge traffic.
+  const auto g = fam_rmat();
+  const auto src = g.max_degree_vertex();
+  auto e = make_engine();
+  const auto plain = bfs(e, g, src);
+  e.reset();
+  const auto diropt = bfs_direction_optimizing(e, g, src);
+  std::uint64_t plain_edges = 0;
+  std::uint64_t diropt_edges = 0;
+  for (const auto& lvl : plain.levels) plain_edges += lvl.edges_scanned;
+  for (const auto& lvl : diropt.levels) diropt_edges += lvl.edges_scanned;
+  EXPECT_LT(diropt_edges, plain_edges);
+  EXPECT_LT(diropt.totals.cycles, plain.totals.cycles);
+}
+
+TEST(DirOptBfs, SourceOutOfRangeThrows) {
+  const auto g = fam_path();
+  auto e = make_engine();
+  EXPECT_THROW(bfs_direction_optimizing(e, g, 9999), std::out_of_range);
+}
+
+TEST(DirOptBfs, Deterministic) {
+  const auto g = fam_rmat();
+  auto once = [&] {
+    auto e = make_engine();
+    return bfs_direction_optimizing(e, g, 0).totals.cycles;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(DirOptBfs, ParentsOptional) {
+  const auto g = fam_grid();
+  auto e = make_engine();
+  DirOptBfsOptions opt;
+  opt.record_parents = false;
+  const auto r = bfs_direction_optimizing(e, g, 0, opt);
+  EXPECT_TRUE(r.parent.empty());
+  EXPECT_EQ(r.distance, graph::ref::bfs(g, 0).distance);
+}
+
+}  // namespace
+}  // namespace xg::graphct

@@ -1,0 +1,241 @@
+// Tests for the extended GraphCT kernels: Shiloach-Vishkin components,
+// st-connectivity, and pseudo-diameter.
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/diameter.hpp"
+#include "graphct/st_connectivity.hpp"
+#include "graphct/sv_components.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_engine(std::uint32_t procs = 32) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  return xmt::Engine(cfg);
+}
+
+CSRGraph rmat_graph(std::uint32_t scale = 10) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = 13;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+// --- Shiloach-Vishkin components -----------------------------------------
+
+struct Family {
+  const char* name;
+  CSRGraph (*make)();
+};
+
+CSRGraph fam_path() { return CSRGraph::build(graph::path_graph(500)); }
+CSRGraph fam_star() { return CSRGraph::build(graph::star_graph(64)); }
+CSRGraph fam_grid() { return CSRGraph::build(graph::grid_graph(12, 12)); }
+CSRGraph fam_cliques() { return CSRGraph::build(graph::clique_chain(9, 5)); }
+CSRGraph fam_er() { return CSRGraph::build(graph::erdos_renyi(400, 1200, 3)); }
+CSRGraph fam_rmat() { return rmat_graph(); }
+
+const Family kFamilies[] = {
+    {"path", fam_path},       {"star", fam_star}, {"grid", fam_grid},
+    {"cliques", fam_cliques}, {"er", fam_er},     {"rmat", fam_rmat},
+};
+
+class SvFamily : public ::testing::TestWithParam<Family> {};
+INSTANTIATE_TEST_SUITE_P(Families, SvFamily, ::testing::ValuesIn(kFamilies),
+                         [](const auto& pinfo) { return pinfo.param.name; });
+
+TEST_P(SvFamily, SvMatchesOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = connected_components_sv(e, g);
+  EXPECT_EQ(r.labels, graph::ref::connected_components(g));
+  EXPECT_EQ(r.num_components, graph::ref::count_components(r.labels));
+}
+
+TEST(SvComponents, LogarithmicRoundsOnLongPaths) {
+  // The point of Shiloach-Vishkin: a 4096-vertex path needs ~log2(n)
+  // rounds, where label propagation needs ~n iterations.
+  const auto g = CSRGraph::build(graph::path_graph(4096));
+  auto e = make_engine();
+  const auto r = connected_components_sv(e, g);
+  EXPECT_LE(r.iterations.size(), 20u);
+}
+
+TEST(SvComponents, BeatsStaleLabelPropagationOnHighDiameterGraphs) {
+  // Against *stale-read* label propagation (one label hop per iteration,
+  // the schedule-independent behavior), SV's pointer jumping wins by
+  // orders of magnitude on a path. The in-place variant is excluded: under
+  // the simulator's deterministic ascending schedule it legally collapses
+  // a path in one sweep.
+  const auto g = CSRGraph::build(graph::path_graph(2048));
+  auto e = make_engine();
+  const auto sv = connected_components_sv(e, g);
+  e.reset();
+  CCOptions stale;
+  stale.in_iteration_propagation = false;
+  const auto lp = connected_components(e, g, stale);
+  EXPECT_LT(sv.iterations.size(), lp.iterations.size() / 10);
+  EXPECT_LT(sv.totals.cycles, lp.totals.cycles);
+  EXPECT_EQ(sv.labels, lp.labels);
+}
+
+TEST(SvComponents, EmptyAndSingleton) {
+  auto e = make_engine();
+  EXPECT_EQ(connected_components_sv(e, CSRGraph::build(graph::EdgeList(0)))
+                .num_components,
+            0u);
+  e.reset();
+  EXPECT_EQ(connected_components_sv(e, CSRGraph::build(graph::EdgeList(3)))
+                .num_components,
+            3u);
+}
+
+TEST(SvComponents, DeterministicCycles) {
+  const auto g = rmat_graph();
+  auto once = [&] {
+    auto e = make_engine();
+    return connected_components_sv(e, g).totals.cycles;
+  };
+  EXPECT_EQ(once(), once());
+}
+
+// --- st-connectivity --------------------------------------------------------
+
+TEST(StConnectivity, PathEndpoints) {
+  const auto g = CSRGraph::build(graph::path_graph(50));
+  auto e = make_engine();
+  const auto r = st_connectivity(e, g, 0, 49);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.path_length, 49u);
+}
+
+TEST(StConnectivity, SameVertex) {
+  const auto g = CSRGraph::build(graph::path_graph(5));
+  auto e = make_engine();
+  const auto r = st_connectivity(e, g, 2, 2);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.path_length, 0u);
+}
+
+TEST(StConnectivity, AdjacentVertices) {
+  const auto g = CSRGraph::build(graph::path_graph(5));
+  auto e = make_engine();
+  const auto r = st_connectivity(e, g, 1, 2);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.path_length, 1u);
+}
+
+TEST(StConnectivity, DisconnectedPair) {
+  const auto g = CSRGraph::build(graph::clique_chain(2, 5));
+  auto e = make_engine();
+  const auto r = st_connectivity(e, g, 0, 7);
+  EXPECT_FALSE(r.connected);
+  EXPECT_EQ(r.path_length, 0u);
+}
+
+TEST(StConnectivity, EndpointOutOfRangeThrows) {
+  const auto g = CSRGraph::build(graph::path_graph(5));
+  auto e = make_engine();
+  EXPECT_THROW(st_connectivity(e, g, 0, 99), std::out_of_range);
+}
+
+TEST_P(SvFamily, StConnectivityMatchesBfsDistances) {
+  // Exactness check across families and several pairs.
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto oracle = graph::ref::bfs(g, 0);
+  for (const vid_t t : {vid_t{1}, vid_t{7}, static_cast<vid_t>(
+                                                 g.num_vertices() - 1)}) {
+    if (t >= g.num_vertices()) continue;
+    const auto r = st_connectivity(e, g, 0, t);
+    if (oracle.distance[t] == graph::kInfDist) {
+      EXPECT_FALSE(r.connected);
+    } else {
+      EXPECT_TRUE(r.connected);
+      EXPECT_EQ(r.path_length, oracle.distance[t]) << "t=" << t;
+    }
+    e.reset();
+  }
+}
+
+TEST(StConnectivity, VisitsFewerVerticesThanFullBfs) {
+  // On a small-world graph, bidirectional search touches less of the graph
+  // than a full single-source sweep when the endpoints are close.
+  const auto g = rmat_graph(12);
+  auto e = make_engine();
+  const auto hub = g.max_degree_vertex();
+  const auto nbr = g.neighbors(hub)[0];
+  const auto r = st_connectivity(e, g, hub, nbr);
+  EXPECT_TRUE(r.connected);
+  EXPECT_EQ(r.path_length, 1u);
+  EXPECT_LT(r.vertices_visited, g.num_vertices() / 2);
+}
+
+// --- Pseudo-diameter ----------------------------------------------------------
+
+TEST(Diameter, PathIsExact) {
+  const auto g = CSRGraph::build(graph::path_graph(77));
+  auto e = make_engine();
+  const auto r = pseudo_diameter(e, g, 30);
+  EXPECT_EQ(r.estimate, 76u);
+}
+
+TEST(Diameter, CycleIsHalfway) {
+  const auto g = CSRGraph::build(graph::cycle_graph(60));
+  auto e = make_engine();
+  EXPECT_EQ(pseudo_diameter(e, g, 7).estimate, 30u);
+}
+
+TEST(Diameter, GridIsManhattan) {
+  const auto g = CSRGraph::build(graph::grid_graph(5, 9));
+  auto e = make_engine();
+  EXPECT_EQ(pseudo_diameter(e, g, 12).estimate, 4u + 8u);
+}
+
+TEST(Diameter, StarIsTwo) {
+  const auto g = CSRGraph::build(graph::star_graph(40));
+  auto e = make_engine();
+  EXPECT_EQ(pseudo_diameter(e, g, 5).estimate, 2u);
+}
+
+TEST(Diameter, LowerBoundsTrueEccentricities) {
+  // The estimate can never exceed any true distance bound: check it equals
+  // the eccentricity of its own endpoint.
+  const auto g = rmat_graph();
+  auto e = make_engine();
+  const auto r = pseudo_diameter(e, g, g.max_degree_vertex());
+  const auto b = graph::ref::bfs(g, r.endpoint_a);
+  std::uint32_t ecc = 0;
+  for (const auto d : b.distance) {
+    if (d != graph::kInfDist) ecc = std::max(ecc, d);
+  }
+  EXPECT_EQ(r.estimate, ecc);
+}
+
+TEST(Diameter, StartOutOfRangeThrows) {
+  const auto g = CSRGraph::build(graph::path_graph(5));
+  auto e = make_engine();
+  EXPECT_THROW(pseudo_diameter(e, g, 99), std::out_of_range);
+}
+
+TEST(Diameter, SweepBudgetRespected) {
+  const auto g = CSRGraph::build(graph::path_graph(100));
+  auto e = make_engine();
+  const auto r = pseudo_diameter(e, g, 50, /*max_sweeps=*/2);
+  EXPECT_LE(r.sweeps, 2u);
+}
+
+}  // namespace
+}  // namespace xg::graphct

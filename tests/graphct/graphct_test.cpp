@@ -1,0 +1,316 @@
+// Tests for the GraphCT-style shared-memory kernels on the simulated XMT:
+// correctness against the sequential oracles across graph families, plus
+// the instrumentation invariants the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/betweenness.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/kcore.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/betweenness.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "graphct/kcore.hpp"
+#include "graphct/triangles.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+xmt::Engine make_engine(std::uint32_t procs = 32) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  return xmt::Engine(cfg);
+}
+
+struct Family {
+  const char* name;
+  CSRGraph (*make)();
+};
+
+CSRGraph fam_path() { return CSRGraph::build(graph::path_graph(64)); }
+CSRGraph fam_star() { return CSRGraph::build(graph::star_graph(64)); }
+CSRGraph fam_grid() { return CSRGraph::build(graph::grid_graph(8, 8)); }
+CSRGraph fam_cliques() { return CSRGraph::build(graph::clique_chain(5, 6)); }
+CSRGraph fam_er() {
+  return CSRGraph::build(graph::erdos_renyi(300, 1500, 21));
+}
+CSRGraph fam_rmat() {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  p.seed = 13;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+const Family kFamilies[] = {
+    {"path", fam_path},       {"star", fam_star}, {"grid", fam_grid},
+    {"cliques", fam_cliques}, {"er", fam_er},     {"rmat", fam_rmat},
+};
+
+class CtFamily : public ::testing::TestWithParam<Family> {};
+INSTANTIATE_TEST_SUITE_P(Families, CtFamily, ::testing::ValuesIn(kFamilies),
+                         [](const auto& pinfo) { return pinfo.param.name; });
+
+// --- BFS ---------------------------------------------------------------
+
+TEST_P(CtFamily, BfsMatchesOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = bfs(e, g, 0);
+  const auto oracle = graph::ref::bfs(g, 0);
+  EXPECT_EQ(r.distance, oracle.distance);
+  EXPECT_EQ(r.reached, oracle.reached);
+  EXPECT_EQ(graph::ref::validate_bfs_tree(g, 0, r.distance, r.parent), "");
+}
+
+TEST_P(CtFamily, BfsLevelRecordsMatchOracleFrontiers) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = bfs(e, g, 0);
+  const auto oracle = graph::ref::bfs(g, 0);
+  ASSERT_EQ(r.levels.size(), oracle.level_sizes.size());
+  for (std::size_t i = 0; i < r.levels.size(); ++i) {
+    EXPECT_EQ(r.levels[i].active, oracle.level_sizes[i]);
+  }
+}
+
+TEST(CtBfs, SourceOutOfRangeThrows) {
+  const auto g = fam_path();
+  auto e = make_engine();
+  EXPECT_THROW(bfs(e, g, 1000), std::out_of_range);
+}
+
+TEST(CtBfs, ParentsOptional) {
+  const auto g = fam_grid();
+  auto e = make_engine();
+  const auto r = bfs(e, g, 0, {.record_parents = false});
+  EXPECT_TRUE(r.parent.empty());
+  EXPECT_EQ(r.distance, graph::ref::bfs(g, 0).distance);
+}
+
+TEST(CtBfs, TimeAdvancesAndRecordsConsistent) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto r = bfs(e, g, 0);
+  EXPECT_GT(r.totals.cycles, 0u);
+  xmt::Cycles sum = 0;
+  for (const auto& lvl : r.levels) sum += lvl.cycles();
+  EXPECT_LE(sum, r.totals.cycles);  // totals include the init region
+  EXPECT_EQ(e.now(), r.totals.cycles);
+}
+
+TEST(CtBfs, WritesCountDiscoveredVertices) {
+  const auto g = fam_grid();
+  auto e = make_engine();
+  const auto r = bfs(e, g, 0);
+  EXPECT_EQ(r.totals.writes, r.reached - 1);  // source not written by scan
+}
+
+TEST(CtBfs, FasterWithMoreProcessorsOnBigGraphs) {
+  const auto g = fam_rmat();
+  auto e8 = make_engine(8);
+  auto e128 = make_engine(128);
+  const auto t8 = bfs(e8, g, 0).totals.cycles;
+  const auto t128 = bfs(e128, g, 0).totals.cycles;
+  EXPECT_LT(t128, t8);
+}
+
+// --- Connected components -----------------------------------------------
+
+TEST_P(CtFamily, ComponentsMatchOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = connected_components(e, g);
+  EXPECT_EQ(r.labels, graph::ref::connected_components(g));
+  EXPECT_EQ(r.num_components,
+            graph::ref::count_components(r.labels));
+}
+
+TEST_P(CtFamily, StaleReadVariantAlsoCorrect) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  CCOptions opt;
+  opt.in_iteration_propagation = false;
+  const auto r = connected_components(e, g, opt);
+  EXPECT_EQ(r.labels, graph::ref::connected_components(g));
+}
+
+TEST(CtCc, StaleNeedsAtLeastAsManyIterations) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto fresh = connected_components(e, g);
+  e.reset();
+  CCOptions opt;
+  opt.in_iteration_propagation = false;
+  const auto stale = connected_components(e, g, opt);
+  EXPECT_GE(stale.iterations.size(), fresh.iterations.size());
+}
+
+TEST(CtCc, EdgesScannedConstantPerIteration) {
+  // The defining GraphCT property: every iteration re-reads all edges.
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto r = connected_components(e, g);
+  ASSERT_GE(r.iterations.size(), 2u);
+  for (const auto& it : r.iterations) {
+    EXPECT_EQ(it.edges_scanned, g.num_arcs());
+  }
+}
+
+TEST(CtCc, ActiveCountsDecreaseToZero) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto r = connected_components(e, g);
+  EXPECT_EQ(r.iterations.back().active, 0u);
+  EXPECT_GT(r.iterations.front().active, 0u);
+}
+
+TEST(CtCc, SingletonGraph) {
+  auto e = make_engine();
+  const auto r = connected_components(e, CSRGraph::build(graph::EdgeList(1)));
+  EXPECT_EQ(r.num_components, 1u);
+}
+
+TEST(CtCc, EmptyGraph) {
+  auto e = make_engine();
+  const auto r = connected_components(e, CSRGraph::build(graph::EdgeList(0)));
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_TRUE(r.labels.empty());
+}
+
+// --- Triangles ------------------------------------------------------------
+
+TEST_P(CtFamily, TrianglesMatchOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  const auto r = count_triangles(e, g);
+  EXPECT_EQ(r.triangles, graph::ref::count_triangles(g));
+  EXPECT_EQ(r.per_vertex, graph::ref::per_vertex_triangles(g));
+}
+
+TEST(CtTriangles, OneWritePerTriangle) {
+  const auto g = fam_cliques();
+  auto e = make_engine();
+  const auto r = count_triangles(e, g);
+  EXPECT_EQ(r.totals.writes, r.triangles);
+}
+
+TEST(CtTriangles, ClusteringMatchesOracle) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto r = clustering_coefficients(e, g);
+  const auto oracle = graph::ref::clustering_coefficients(g);
+  ASSERT_EQ(r.local.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(r.local[v], oracle[v], 1e-12);
+  }
+  EXPECT_NEAR(r.global, graph::ref::global_clustering_coefficient(g), 1e-12);
+}
+
+TEST(CtTriangles, TriangleFreeGraphIsCheap) {
+  const auto g = CSRGraph::build(graph::binary_tree(255));
+  auto e = make_engine();
+  const auto r = count_triangles(e, g);
+  EXPECT_EQ(r.triangles, 0u);
+  EXPECT_EQ(r.totals.writes, 0u);
+}
+
+// --- k-core ---------------------------------------------------------------
+
+TEST_P(CtFamily, KcoreMatchesOracle) {
+  const auto g = GetParam().make();
+  auto e = make_engine();
+  for (const std::uint32_t k : {1u, 2u, 3u, 5u}) {
+    const auto r = kcore(e, g, k);
+    const auto oracle = graph::ref::kcore_vertices(g, k);
+    EXPECT_EQ(r.members, oracle) << "k=" << k;
+    e.reset();
+  }
+}
+
+TEST(CtKcore, RoundsPeelMonotonically) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const auto r = kcore(e, g, 4);
+  std::uint64_t total_removed = 0;
+  for (const auto& round : r.rounds) total_removed += round.active;
+  EXPECT_EQ(total_removed + r.members.size(), g.num_vertices());
+  EXPECT_EQ(r.rounds.back().active, 0u);  // fixed-point round
+}
+
+TEST(CtKcore, KZeroKeepsEverything) {
+  const auto g = fam_path();
+  auto e = make_engine();
+  const auto r = kcore(e, g, 0);
+  EXPECT_EQ(r.members.size(), g.num_vertices());
+}
+
+TEST(CtKcore, HugeKRemovesEverything) {
+  const auto g = fam_path();
+  auto e = make_engine();
+  const auto r = kcore(e, g, 100);
+  EXPECT_TRUE(r.members.empty());
+}
+
+// --- Betweenness ------------------------------------------------------------
+
+TEST(CtBc, AllSourcesMatchesBrandesOracle) {
+  const auto g = fam_grid();
+  auto e = make_engine();
+  std::vector<vid_t> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  const auto r = betweenness_centrality(e, g, all);
+  const auto oracle = graph::ref::betweenness_centrality(g);
+  ASSERT_EQ(r.scores.size(), oracle.size());
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(r.scores[v], oracle[v], 1e-9) << "v=" << v;
+  }
+}
+
+TEST(CtBc, SampledMatchesSampledOracle) {
+  const auto g = fam_rmat();
+  auto e = make_engine();
+  const std::vector<vid_t> sources{0, 5, 17, 99};
+  const auto r = betweenness_centrality(e, g, sources);
+  const auto oracle = graph::ref::betweenness_centrality_sampled(g, sources);
+  for (std::size_t v = 0; v < oracle.size(); ++v) {
+    EXPECT_NEAR(r.scores[v], oracle[v], 1e-6);
+  }
+  EXPECT_EQ(r.sources_processed, sources.size());
+}
+
+TEST(CtBc, OutOfRangeSourcesSkipped) {
+  const auto g = fam_path();
+  auto e = make_engine();
+  const std::vector<vid_t> sources{0, 10000};
+  const auto r = betweenness_centrality(e, g, sources);
+  EXPECT_EQ(r.sources_processed, 1u);
+}
+
+// --- Cross-cutting: simulated-time determinism ------------------------------
+
+TEST(CtDeterminism, IdenticalRunsIdenticalCycles) {
+  const auto g = fam_rmat();
+  auto run = [&] {
+    auto e = make_engine(64);
+    const auto cc = connected_components(e, g).totals.cycles;
+    const auto bf = bfs(e, g, 0).totals.cycles;
+    const auto tc = count_triangles(e, g).totals.cycles;
+    return std::tuple{cc, bf, tc};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace xg::graphct

@@ -1,0 +1,212 @@
+// Integration tests asserting the paper's qualitative results (the "shape"
+// reproduction criteria from DESIGN.md §4) hold end-to-end on the simulated
+// machine at test scale. These are the claims EXPERIMENTS.md documents at
+// bench scale.
+
+#include <gtest/gtest.h>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/triangles.hpp"
+#include "graph/csr.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "graphct/triangles.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg {
+namespace {
+
+graph::CSRGraph paper_graph() {
+  graph::RmatParams p;
+  p.scale = 12;
+  p.edgefactor = 16;
+  p.seed = 1;
+  return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+xmt::Engine full_machine() {
+  xmt::SimConfig cfg;
+  cfg.processors = 128;
+  return xmt::Engine(cfg);
+}
+
+// --- Table I shapes -----------------------------------------------------
+
+class TableOneShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    g_ = new graph::CSRGraph(paper_graph());
+    auto e = full_machine();
+    cc_ct_ = new graphct::CCResult(graphct::connected_components(e, *g_));
+    e.reset();
+    cc_bsp_ = new bsp::BspCCResult(bsp::connected_components(e, *g_));
+    e.reset();
+    const auto src = g_->max_degree_vertex();
+    bfs_ct_ = new graphct::BfsResult(graphct::bfs(e, *g_, src));
+    e.reset();
+    bfs_bsp_ = new bsp::BspBfsResult(bsp::bfs(e, *g_, src));
+    e.reset();
+    tc_ct_ = new graphct::TriangleResult(graphct::count_triangles(e, *g_));
+    e.reset();
+    tc_bsp_ = new bsp::BspTriangleResult(bsp::count_triangles(e, *g_));
+  }
+  static void TearDownTestSuite() {
+    delete g_;
+    delete cc_ct_;
+    delete cc_bsp_;
+    delete bfs_ct_;
+    delete bfs_bsp_;
+    delete tc_ct_;
+    delete tc_bsp_;
+  }
+
+  static graph::CSRGraph* g_;
+  static graphct::CCResult* cc_ct_;
+  static bsp::BspCCResult* cc_bsp_;
+  static graphct::BfsResult* bfs_ct_;
+  static bsp::BspBfsResult* bfs_bsp_;
+  static graphct::TriangleResult* tc_ct_;
+  static bsp::BspTriangleResult* tc_bsp_;
+};
+
+graph::CSRGraph* TableOneShapes::g_ = nullptr;
+graphct::CCResult* TableOneShapes::cc_ct_ = nullptr;
+bsp::BspCCResult* TableOneShapes::cc_bsp_ = nullptr;
+graphct::BfsResult* TableOneShapes::bfs_ct_ = nullptr;
+bsp::BspBfsResult* TableOneShapes::bfs_bsp_ = nullptr;
+graphct::TriangleResult* TableOneShapes::tc_ct_ = nullptr;
+bsp::BspTriangleResult* TableOneShapes::tc_bsp_ = nullptr;
+
+TEST_F(TableOneShapes, BothModelsAgreeWithOraclesOnResults) {
+  EXPECT_EQ(cc_ct_->labels, graph::ref::connected_components(*g_));
+  EXPECT_EQ(cc_bsp_->labels, cc_ct_->labels);
+  EXPECT_EQ(bfs_ct_->distance, bfs_bsp_->distance);
+  EXPECT_EQ(tc_ct_->triangles, graph::ref::count_triangles(*g_));
+  EXPECT_EQ(tc_bsp_->triangles, tc_ct_->triangles);
+}
+
+TEST_F(TableOneShapes, GraphctWinsEveryKernel) {
+  // Table I: the hand-tuned shared-memory code beats BSP on all three.
+  EXPECT_LT(cc_ct_->totals.cycles, cc_bsp_->totals.cycles);
+  EXPECT_LT(bfs_ct_->totals.cycles, bfs_bsp_->totals.cycles);
+  EXPECT_LT(tc_ct_->totals.cycles, tc_bsp_->totals.cycles);
+}
+
+TEST_F(TableOneShapes, BspWithinAnOrderOfMagnitudeByKernel) {
+  // The paper's headline: "within a factor of 10 of hand-tuned C code".
+  // Band: 1x < ratio < 25x per kernel at this scale.
+  auto ratio = [](xmt::Cycles bsp_c, xmt::Cycles ct_c) {
+    return static_cast<double>(bsp_c) / static_cast<double>(ct_c);
+  };
+  EXPECT_GT(ratio(cc_bsp_->totals.cycles, cc_ct_->totals.cycles), 1.0);
+  EXPECT_LT(ratio(cc_bsp_->totals.cycles, cc_ct_->totals.cycles), 25.0);
+  EXPECT_GT(ratio(bfs_bsp_->totals.cycles, bfs_ct_->totals.cycles), 1.0);
+  EXPECT_LT(ratio(bfs_bsp_->totals.cycles, bfs_ct_->totals.cycles), 25.0);
+  EXPECT_GT(ratio(tc_bsp_->totals.cycles, tc_ct_->totals.cycles), 1.0);
+  EXPECT_LT(ratio(tc_bsp_->totals.cycles, tc_ct_->totals.cycles), 25.0);
+}
+
+TEST_F(TableOneShapes, BspCcNeedsMoreIterations) {
+  // Figure 1 / §VI: stale messaging needs more rounds than in-place labels.
+  EXPECT_GT(cc_bsp_->supersteps.size(), cc_ct_->iterations.size());
+}
+
+TEST_F(TableOneShapes, CcActivityProfilesDiffer) {
+  // Figure 1: BSP activity collapses across supersteps; GraphCT work is
+  // constant per iteration.
+  const auto& bsp_ss = cc_bsp_->supersteps;
+  EXPECT_LT(bsp_ss.back().computed_vertices,
+            bsp_ss.front().computed_vertices / 4);
+  for (const auto& it : cc_ct_->iterations) {
+    EXPECT_EQ(it.edges_scanned, g_->num_arcs());
+  }
+}
+
+TEST_F(TableOneShapes, BfsMessagesInflateAgainstFrontier) {
+  // Figure 2: mid-search messages exceed the true frontier severalfold.
+  double worst_inflation = 0.0;
+  for (std::size_t lvl = 0;
+       lvl < bfs_ct_->levels.size() && lvl + 1 < bfs_bsp_->supersteps.size();
+       ++lvl) {
+    const double frontier =
+        static_cast<double>(bfs_ct_->levels[lvl].active);
+    const double messages =
+        static_cast<double>(bfs_bsp_->supersteps[lvl].messages_sent);
+    if (frontier > 100) {
+      worst_inflation = std::max(worst_inflation, messages / frontier);
+    }
+  }
+  EXPECT_GT(worst_inflation, 4.0);
+}
+
+TEST_F(TableOneShapes, TriangleWriteAmplification) {
+  // §V: BSP emits vastly more writes (messages) than the shared-memory
+  // kernel's one-write-per-triangle.
+  EXPECT_EQ(tc_ct_->totals.writes, tc_ct_->triangles);
+  EXPECT_GT(tc_bsp_->totals.messages, 4 * tc_ct_->totals.writes);
+  EXPECT_EQ(tc_bsp_->wedge_messages, graph::ref::ordered_wedge_count(*g_));
+}
+
+// --- Scalability shapes ---------------------------------------------------
+
+xmt::Cycles run_cc_bsp(const graph::CSRGraph& g, std::uint32_t procs) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  xmt::Engine e(cfg);
+  return bsp::connected_components(e, g).totals.cycles;
+}
+
+xmt::Cycles run_cc_ct(const graph::CSRGraph& g, std::uint32_t procs) {
+  xmt::SimConfig cfg;
+  cfg.processors = procs;
+  xmt::Engine e(cfg);
+  return graphct::connected_components(e, g).totals.cycles;
+}
+
+TEST(ScalabilityShapes, BothModelsSpeedUpWithProcessors) {
+  const auto g = paper_graph();
+  EXPECT_GT(run_cc_bsp(g, 8), run_cc_bsp(g, 64));
+  EXPECT_GT(run_cc_ct(g, 8), run_cc_ct(g, 64));
+}
+
+TEST(ScalabilityShapes, GraphctCcScalesNearLinearlyEarly) {
+  // Figure 1: GraphCT iterations all scale well; check 8 -> 32 gives >= 2x.
+  const auto g = paper_graph();
+  const double s = static_cast<double>(run_cc_ct(g, 8)) /
+                   static_cast<double>(run_cc_ct(g, 32));
+  EXPECT_GT(s, 2.0);
+}
+
+TEST(ScalabilityShapes, TriangleCountingScalesInBothModels) {
+  // Figure 4: both triangle kernels speed up substantially 8 -> 64.
+  const auto g = paper_graph();
+  auto run_tc = [&](std::uint32_t procs, bool use_bsp) {
+    xmt::SimConfig cfg;
+    cfg.processors = procs;
+    xmt::Engine e(cfg);
+    return use_bsp ? bsp::count_triangles(e, g).totals.cycles
+                   : graphct::count_triangles(e, g).totals.cycles;
+  };
+  EXPECT_GT(static_cast<double>(run_tc(8, true)) / run_tc(64, true), 3.0);
+  EXPECT_GT(static_cast<double>(run_tc(8, false)) / run_tc(64, false), 3.0);
+}
+
+TEST(ScalabilityShapes, TinyGraphsDoNotScale) {
+  // The flip side of the paper's small-frontier observation: with almost no
+  // parallelism, processors are useless.
+  graph::RmatParams p;
+  p.scale = 5;
+  p.edgefactor = 4;
+  const auto g = graph::CSRGraph::build(graph::rmat_edges(p));
+  const auto t64 = run_cc_ct(g, 64);
+  const auto t128 = run_cc_ct(g, 128);
+  EXPECT_NEAR(static_cast<double>(t128), static_cast<double>(t64),
+              0.1 * static_cast<double>(t64));
+}
+
+}  // namespace
+}  // namespace xg

@@ -1,0 +1,100 @@
+// Scale-stability: the Table I shape conclusions must hold across input
+// scales (the basis for reproducing a SCALE-24 paper at bench scales) and
+// under engine-parameter perturbations.
+
+#include <gtest/gtest.h>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg {
+namespace {
+
+graph::CSRGraph rmat_at(std::uint32_t scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 16;
+  p.seed = 1;
+  return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+class ScaleSweep : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleSweep,
+                         ::testing::Values(10u, 11u, 12u, 13u));
+
+TEST_P(ScaleSweep, GraphctBeatsBspOnCcAndBfs) {
+  const auto g = rmat_at(GetParam());
+  xmt::SimConfig cfg;
+  cfg.processors = 128;
+  xmt::Engine e(cfg);
+  const auto cc_ct = graphct::connected_components(e, g);
+  e.reset();
+  const auto cc_bsp = bsp::connected_components(e, g);
+  e.reset();
+  const auto src = g.max_degree_vertex();
+  const auto bfs_ct = graphct::bfs(e, g, src);
+  e.reset();
+  const auto bfs_bsp = bsp::bfs(e, g, src);
+
+  EXPECT_LT(cc_ct.totals.cycles, cc_bsp.totals.cycles);
+  EXPECT_LT(bfs_ct.totals.cycles, bfs_bsp.totals.cycles);
+  // Within-an-order-of-magnitude band, at every scale.
+  EXPECT_LT(cc_bsp.totals.cycles, 25 * cc_ct.totals.cycles);
+  EXPECT_LT(bfs_bsp.totals.cycles, 25 * bfs_ct.totals.cycles);
+  // Results always agree.
+  EXPECT_EQ(cc_ct.labels, cc_bsp.labels);
+  EXPECT_EQ(bfs_ct.distance, bfs_bsp.distance);
+}
+
+TEST_P(ScaleSweep, BspCcIterationGapPersists) {
+  const auto g = rmat_at(GetParam());
+  xmt::SimConfig cfg;
+  cfg.processors = 128;
+  xmt::Engine e(cfg);
+  const auto ct = graphct::connected_components(e, g);
+  e.reset();
+  const auto bs = bsp::connected_components(e, g);
+  EXPECT_GT(bs.supersteps.size(), ct.iterations.size());
+}
+
+class LatencySweep : public ::testing::TestWithParam<std::uint32_t> {};
+INSTANTIATE_TEST_SUITE_P(Latencies, LatencySweep,
+                         ::testing::Values(16u, 68u, 200u));
+
+TEST_P(LatencySweep, OrderingRobustToMemoryLatency) {
+  // The who-wins conclusion must not depend on the latency constant.
+  const auto g = rmat_at(12);
+  xmt::SimConfig cfg;
+  cfg.processors = 128;
+  cfg.memory_latency = GetParam();
+  xmt::Engine e(cfg);
+  const auto ct = graphct::connected_components(e, g).totals.cycles;
+  e.reset();
+  const auto bs = bsp::connected_components(e, g).totals.cycles;
+  EXPECT_LT(ct, bs);
+}
+
+TEST(OverheadSweep, BspCostRisesMonotonicallyWithSendOverhead) {
+  const auto g = rmat_at(12);
+  auto run_at = [&](std::uint32_t overhead) {
+    xmt::SimConfig cfg;
+    cfg.processors = 128;
+    xmt::Engine e(cfg);
+    bsp::BspOptions opt;
+    opt.message_send_overhead = overhead;
+    return bsp::bfs(e, g, g.max_degree_vertex(), opt).totals.cycles;
+  };
+  const auto t2 = run_at(2);
+  const auto t8 = run_at(8);
+  const auto t24 = run_at(24);
+  EXPECT_LT(t2, t8);
+  EXPECT_LT(t8, t24);
+}
+
+}  // namespace
+}  // namespace xg

@@ -1,0 +1,241 @@
+// Tests for the host-parallel backend: the thread pool and the native
+// algorithm implementations (real threads, real atomics).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/kcore.hpp"
+#include "graph/reference/sssp.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graph/rmat.hpp"
+#include "native/algorithms.hpp"
+#include "native/thread_pool.hpp"
+
+namespace xg::native {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(hits.size(), [&](std::uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsFine) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::uint64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::uint64_t sum = 0;
+  pool.parallel_for(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(1000, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50000u);
+}
+
+TEST(ThreadPool, RangeFormCoversEverything) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5000);
+  pool.parallel_for_ranges(hits.size(), 17,
+                           [&](std::uint64_t b, std::uint64_t e) {
+                             for (std::uint64_t i = b; i < e; ++i) {
+                               hits[i].fetch_add(1);
+                             }
+                           });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [](std::uint64_t i) {
+                          if (i == 500) throw std::runtime_error("boom");
+                        },
+                        /*grain=*/8),
+      std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(100, [&](std::uint64_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPool, CountsCallerAmongThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.num_threads(), 1u);
+}
+
+// --- Native algorithms ---------------------------------------------------
+
+CSRGraph rmat_graph() {
+  graph::RmatParams p;
+  p.scale = 12;
+  p.edgefactor = 8;
+  p.seed = 31;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+class NativeThreads : public ::testing::TestWithParam<unsigned> {};
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, NativeThreads,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST_P(NativeThreads, BfsMatchesOracle) {
+  const auto g = rmat_graph();
+  ThreadPool pool(GetParam());
+  const auto src = g.max_degree_vertex();
+  const auto r = bfs(pool, g, src);
+  const auto oracle = graph::ref::bfs(g, src);
+  EXPECT_EQ(r.distance, oracle.distance);
+  EXPECT_EQ(r.reached, oracle.reached);
+  ASSERT_EQ(r.level_sizes.size(), oracle.level_sizes.size());
+  for (std::size_t i = 0; i < r.level_sizes.size(); ++i) {
+    EXPECT_EQ(r.level_sizes[i], oracle.level_sizes[i]);
+  }
+}
+
+TEST_P(NativeThreads, ComponentsMatchOracle) {
+  const auto g = rmat_graph();
+  ThreadPool pool(GetParam());
+  EXPECT_EQ(connected_components(pool, g),
+            graph::ref::connected_components(g));
+}
+
+TEST_P(NativeThreads, TrianglesMatchOracle) {
+  const auto g = rmat_graph();
+  ThreadPool pool(GetParam());
+  EXPECT_EQ(count_triangles(pool, g), graph::ref::count_triangles(g));
+}
+
+TEST(NativeAlgorithms, BfsBadSourceThrows) {
+  const auto g = CSRGraph::build(graph::path_graph(4));
+  ThreadPool pool(2);
+  EXPECT_THROW(bfs(pool, g, 99), std::out_of_range);
+}
+
+TEST(NativeAlgorithms, ComponentsOnDisconnectedGraph) {
+  const auto g = CSRGraph::build(graph::clique_chain(7, 5));
+  ThreadPool pool(4);
+  const auto labels = connected_components(pool, g);
+  EXPECT_EQ(graph::ref::count_components(labels), 7u);
+}
+
+TEST(NativeAlgorithms, PageRankSumsNearOne) {
+  const auto g = CSRGraph::build(graph::grid_graph(20, 20));
+  ThreadPool pool(4);
+  const auto r = pagerank(pool, g, 30);
+  EXPECT_NEAR(std::accumulate(r.begin(), r.end(), 0.0), 1.0, 1e-6);
+}
+
+TEST(NativeAlgorithms, PageRankDeterministicAcrossThreadCounts) {
+  // Pull-form PageRank has no write races, so results are bit-stable.
+  const auto g = rmat_graph();
+  ThreadPool p1(1);
+  ThreadPool p8(8);
+  EXPECT_EQ(pagerank(p1, g, 10), pagerank(p8, g, 10));
+}
+
+TEST(NativeAlgorithms, RepeatedRunsStable) {
+  // Stress the frontier races: many BFS repetitions must all agree.
+  const auto g = rmat_graph();
+  ThreadPool pool(8);
+  const auto first = bfs(pool, g, 0).distance;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(bfs(pool, g, 0).distance, first);
+  }
+}
+
+TEST_P(NativeThreads, KcoreMatchesOracle) {
+  const auto g = rmat_graph();
+  ThreadPool pool(GetParam());
+  for (const std::uint32_t k : {1u, 3u, 6u}) {
+    EXPECT_EQ(kcore_members(pool, g, k), graph::ref::kcore_vertices(g, k))
+        << "k=" << k;
+  }
+}
+
+TEST_P(NativeThreads, SsspMatchesDijkstra) {
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edgefactor = 8;
+  p.seed = 5;
+  auto edges = graph::rmat_edges(p);
+  graph::randomize_weights(edges, 0.25, 3.0, 6);
+  const auto g = CSRGraph::build(edges, {}, /*keep_weights=*/true);
+  ThreadPool pool(GetParam());
+  const auto d = sssp(pool, g, 0);
+  const auto oracle = graph::ref::dijkstra(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(oracle[v])) {
+      EXPECT_TRUE(std::isinf(d[v]));
+    } else {
+      EXPECT_NEAR(d[v], oracle[v], 1e-9);
+    }
+  }
+}
+
+TEST(NativeAlgorithms, SsspUnweightedMatchesBfsDistances) {
+  const auto g = rmat_graph();
+  ThreadPool pool(4);
+  const auto d = sssp(pool, g, 0);
+  const auto b = graph::ref::bfs(g, 0);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (b.distance[v] == graph::kInfDist) {
+      EXPECT_TRUE(std::isinf(d[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(d[v], b.distance[v]);
+    }
+  }
+}
+
+TEST(NativeAlgorithms, SsspBadSourceThrows) {
+  const auto g = CSRGraph::build(graph::path_graph(4));
+  ThreadPool pool(2);
+  EXPECT_THROW(sssp(pool, g, 99), std::out_of_range);
+}
+
+TEST(NativeAlgorithms, KcoreOnCliqueChain) {
+  const auto g = CSRGraph::build(graph::clique_chain(3, 5));
+  ThreadPool pool(4);
+  EXPECT_EQ(kcore_members(pool, g, 4).size(), 15u);
+  EXPECT_TRUE(kcore_members(pool, g, 5).empty());
+}
+
+TEST(NativeAlgorithms, EmptyGraph) {
+  const auto g = CSRGraph::build(graph::EdgeList(0));
+  ThreadPool pool(2);
+  EXPECT_TRUE(connected_components(pool, g).empty());
+  EXPECT_EQ(count_triangles(pool, g), 0u);
+  EXPECT_TRUE(pagerank(pool, g, 5).empty());
+}
+
+}  // namespace
+}  // namespace xg::native

@@ -1,0 +1,137 @@
+// Cross-validation of the closed-form cost model against the event engine,
+// plus unit tests of its limit behaviors.
+
+#include "xmt/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmt/engine.hpp"
+
+namespace xg::xmt {
+namespace {
+
+SimConfig machine(std::uint32_t procs) {
+  SimConfig cfg;
+  cfg.processors = procs;
+  return cfg;
+}
+
+TEST(CostModel, ZeroIterationsIsFree) {
+  const SimConfig cfg;
+  LoopProfile p;
+  p.iterations = 0;
+  EXPECT_EQ(predict_loop_cycles(cfg, p, 64), 0u);
+}
+
+TEST(CostModel, IssueBoundDominatesLargeLoops) {
+  const SimConfig cfg;
+  const auto p = make_profile(cfg, 1 << 22, 6.0, 0.0, 0.0);
+  const auto t = predict_loop_cycles(cfg, p, 128);
+  const double expected =
+      (1 << 22) * p.instructions_per_iteration / 128 + cfg.region_overhead;
+  EXPECT_NEAR(static_cast<double>(t), expected, expected * 0.01);
+}
+
+TEST(CostModel, HotspotBoundDominatesWhenAllOpsShareAWord) {
+  const SimConfig cfg;
+  const std::uint64_t n = 1 << 20;
+  const auto p = make_profile(cfg, n, 2.0, 1.0, 1.0, /*hotspot_ops=*/n);
+  const auto t = predict_loop_cycles(cfg, p, 128);
+  EXPECT_GE(t, n * cfg.faa_service_interval);
+}
+
+TEST(CostModel, ConcurrencyBoundDominatesTinyLoops) {
+  const SimConfig cfg;
+  // 10 iterations, each a long dependent chain: no processor count helps.
+  const auto p = make_profile(cfg, 10, 100.0, 50.0, 50.0);
+  const auto t128 = predict_loop_cycles(cfg, p, 128);
+  const auto t8 = predict_loop_cycles(cfg, p, 8);
+  EXPECT_EQ(t128, t8);
+}
+
+TEST(CostModel, SpeedupIsMonotoneInProcessors) {
+  const SimConfig cfg;
+  const auto p = make_profile(cfg, 1 << 20, 4.0, 2.0, 1.0);
+  double prev = 0.0;
+  for (const std::uint32_t procs : {8u, 16u, 32u, 64u, 128u}) {
+    const double s = predict_speedup(cfg, p, 8, procs);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(CostModel, MakeProfileAddsIterationOverhead) {
+  SimConfig cfg;
+  cfg.iteration_overhead = 3;
+  const auto p = make_profile(cfg, 100, 5.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.instructions_per_iteration, 8.0);
+}
+
+TEST(CostModel, CriticalPathCountsOneLatencyPerBatch) {
+  SimConfig cfg;
+  cfg.iteration_overhead = 0;
+  const auto p = make_profile(cfg, 1, 10.0, 8.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.critical_path_cycles, 10.0 + 2.0 * cfg.memory_latency);
+}
+
+// --- Engine cross-validation: the model should predict the engine within
+// a modest band across regimes and processor counts.
+
+struct Regime {
+  const char* name;
+  std::uint64_t iterations;
+  std::uint32_t compute;
+  std::uint32_t loads;     // batched as one group
+  bool hotspot;            // every iteration FAAs one shared word
+};
+
+class CostModelVsEngine
+    : public ::testing::TestWithParam<std::tuple<Regime, std::uint32_t>> {};
+
+TEST_P(CostModelVsEngine, PredictsEngineWithinBand) {
+  const auto& [regime, procs] = GetParam();
+  SimConfig cfg = machine(procs);
+  Engine e(cfg);
+  std::uint64_t shared_word = 0;
+  std::vector<std::uint64_t> data(64);
+
+  const auto stats = e.parallel_for(
+      regime.iterations, [&](std::uint64_t, OpSink& s) {
+        if (regime.compute > 0) s.compute(regime.compute);
+        if (regime.loads > 0) s.load_n(data.data(), regime.loads);
+        if (regime.hotspot) s.fetch_add(&shared_word);
+      });
+
+  const double instr = regime.compute + regime.loads + (regime.hotspot ? 1 : 0);
+  const auto profile = make_profile(
+      cfg, regime.iterations, instr, regime.loads + (regime.hotspot ? 1 : 0),
+      (regime.loads > 0 ? 1.0 : 0.0) + (regime.hotspot ? 1.0 : 0.0),
+      regime.hotspot ? regime.iterations : 0);
+  const auto predicted = predict_loop_cycles(cfg, profile, procs);
+
+  // First-order model: right to within 2x in both directions (the engine
+  // adds queueing and partial-wave effects the model ignores).
+  const double actual = static_cast<double>(stats.cycles());
+  EXPECT_LT(actual, static_cast<double>(predicted) * 2.0)
+      << regime.name << " @" << procs;
+  EXPECT_GT(actual, static_cast<double>(predicted) * 0.5)
+      << regime.name << " @" << procs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, CostModelVsEngine,
+    ::testing::Combine(
+        ::testing::Values(Regime{"issue_bound", 1 << 18, 6, 0, false},
+                          Regime{"memory_heavy", 1 << 16, 2, 8, false},
+                          Regime{"hotspot", 1 << 14, 1, 0, true},
+                          Regime{"tiny_loop", 100, 64, 8, false}),
+        ::testing::Values(8u, 32u, 128u)),
+    [](const auto& pinfo) {
+      return std::string(std::get<0>(pinfo.param).name) + "_p" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+}  // namespace
+}  // namespace xg::xmt

@@ -1,0 +1,134 @@
+// Randomized (seeded, reproducible) property tests of the engine: arbitrary
+// op mixes across arbitrary machine shapes must uphold the simulator's
+// global invariants.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/rng.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::xmt {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  std::uint32_t processors;
+  std::uint32_t streams;
+  std::uint64_t iterations;
+};
+
+class EngineFuzz : public ::testing::TestWithParam<Scenario> {};
+
+/// Runs a random op mix and returns (stats, expected instruction count).
+std::pair<RegionStats, std::uint64_t> run_scenario(const Scenario& sc,
+                                                   SimConfig* out_cfg) {
+  SimConfig cfg;
+  cfg.processors = sc.processors;
+  cfg.streams_per_processor = sc.streams;
+  cfg.iteration_overhead = 1;
+  *out_cfg = cfg;
+  Engine e(cfg);
+  std::vector<std::uint64_t> words(257);
+  std::uint64_t expected_instr = 0;
+
+  // Pre-generate a deterministic op plan so the expected counters are
+  // independent of execution order.
+  graph::Rng rng(sc.seed);
+  struct PlannedOp {
+    int kind;
+    std::uint32_t count;
+    std::uint32_t word;
+  };
+  std::vector<std::vector<PlannedOp>> plan(sc.iterations);
+  for (auto& ops : plan) {
+    const auto n_ops = 1 + rng.below(4);
+    expected_instr += cfg.iteration_overhead;
+    for (std::uint64_t k = 0; k < n_ops; ++k) {
+      PlannedOp op{static_cast<int>(rng.below(5)),
+                   static_cast<std::uint32_t>(1 + rng.below(6)),
+                   static_cast<std::uint32_t>(rng.below(words.size()))};
+      if (op.kind >= 3) op.count = 1;  // atomics are single ops
+      ops.push_back(op);
+      expected_instr += op.count;
+    }
+  }
+
+  const auto stats = e.parallel_for(sc.iterations, [&](std::uint64_t i,
+                                                       OpSink& s) {
+    for (const PlannedOp& op : plan[i]) {
+      switch (op.kind) {
+        case 0:
+          s.compute(op.count);
+          break;
+        case 1:
+          s.load_n(&words[op.word], op.count);
+          break;
+        case 2:
+          s.store_n(&words[op.word], op.count);
+          break;
+        case 3:
+          s.fetch_add(&words[op.word]);
+          break;
+        default:
+          s.sync(&words[op.word]);
+          break;
+      }
+    }
+  });
+  return {stats, expected_instr};
+}
+
+TEST_P(EngineFuzz, InstructionAccountingExact) {
+  SimConfig cfg;
+  const auto [stats, expected] = run_scenario(GetParam(), &cfg);
+  EXPECT_EQ(stats.instructions, expected);
+  EXPECT_EQ(stats.iterations, GetParam().iterations);
+}
+
+TEST_P(EngineFuzz, TimeBoundsHold) {
+  SimConfig cfg;
+  const auto [stats, expected] = run_scenario(GetParam(), &cfg);
+  // Lower bound: pure issue throughput.
+  EXPECT_GE(stats.cycles() + cfg.region_overhead,
+            expected / cfg.processors);
+  // Upper bound: fully serial execution with every op paying worst-case
+  // latency and hotspot queuing cannot be exceeded.
+  const std::uint64_t worst_per_op =
+      cfg.memory_latency + cfg.sync_service_interval + 1;
+  EXPECT_LE(stats.cycles(),
+            expected * worst_per_op + cfg.region_overhead + 1);
+}
+
+TEST_P(EngineFuzz, DeterministicAcrossRuns) {
+  SimConfig cfg;
+  const auto a = run_scenario(GetParam(), &cfg);
+  const auto b = run_scenario(GetParam(), &cfg);
+  EXPECT_EQ(a.first.end, b.first.end);
+  EXPECT_EQ(a.first.fetch_adds, b.first.fetch_adds);
+  EXPECT_EQ(a.first.max_addr_atomics, b.first.max_addr_atomics);
+}
+
+TEST_P(EngineFuzz, MoreProcessorsNeverSlower) {
+  Scenario big = GetParam();
+  big.processors *= 2;
+  SimConfig cfg;
+  const auto small_run = run_scenario(GetParam(), &cfg);
+  const auto big_run = run_scenario(big, &cfg);
+  EXPECT_LE(big_run.first.cycles(), small_run.first.cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, EngineFuzz,
+    ::testing::Values(Scenario{1, 1, 1, 100}, Scenario{2, 4, 8, 1000},
+                      Scenario{3, 16, 128, 5000}, Scenario{4, 128, 128, 20000},
+                      Scenario{5, 7, 3, 777}, Scenario{6, 2, 64, 4096}),
+    [](const auto& pinfo) {
+      return "seed" + std::to_string(pinfo.param.seed) + "_p" +
+             std::to_string(pinfo.param.processors) + "_s" +
+             std::to_string(pinfo.param.streams);
+    });
+
+}  // namespace
+}  // namespace xg::xmt

@@ -1,0 +1,423 @@
+// Unit and property tests for the XMT machine simulator engine.
+
+#include "xmt/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace xg::xmt {
+namespace {
+
+SimConfig small_machine(std::uint32_t procs, std::uint32_t streams = 128) {
+  SimConfig cfg;
+  cfg.processors = procs;
+  cfg.streams_per_processor = streams;
+  return cfg;
+}
+
+TEST(SimConfig, DefaultsMatchThePaperMachine) {
+  const SimConfig cfg;
+  EXPECT_EQ(cfg.processors, 128u);
+  EXPECT_EQ(cfg.streams_per_processor, 128u);
+  EXPECT_DOUBLE_EQ(cfg.clock_hz, 500e6);
+  EXPECT_EQ(cfg.total_streams(), 128u * 128u);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, ValidateRejectsZeroProcessors) {
+  SimConfig cfg;
+  cfg.processors = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, ValidateRejectsZeroStreams) {
+  SimConfig cfg;
+  cfg.streams_per_processor = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, ValidateRejectsNonPositiveClock) {
+  SimConfig cfg;
+  cfg.clock_hz = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, ValidateRejectsZeroChunk) {
+  SimConfig cfg;
+  cfg.loop_chunk = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, SecondsConvertsAtClockRate) {
+  const SimConfig cfg;  // 500 MHz
+  EXPECT_DOUBLE_EQ(cfg.seconds(500'000'000), 1.0);
+  EXPECT_DOUBLE_EQ(cfg.seconds(0), 0.0);
+}
+
+TEST(Engine, ConstructorRejectsInvalidConfig) {
+  SimConfig cfg;
+  cfg.processors = 0;
+  EXPECT_THROW(Engine e(cfg), std::invalid_argument);
+}
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e(small_machine(4));
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_DOUBLE_EQ(e.now_seconds(), 0.0);
+}
+
+TEST(Engine, EmptyRegionIsFree) {
+  Engine e(small_machine(4));
+  const auto stats = e.parallel_for(0, [](std::uint64_t, OpSink&) {});
+  EXPECT_EQ(stats.cycles(), 0u);
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, AdvanceMovesTime) {
+  Engine e(small_machine(4));
+  e.advance(123);
+  EXPECT_EQ(e.now(), 123u);
+}
+
+TEST(Engine, ResetClearsTimeAndLog) {
+  Engine e(small_machine(4));
+  e.parallel_for(10, [](std::uint64_t, OpSink& s) { s.compute(1); });
+  ASSERT_GT(e.now(), 0u);
+  ASSERT_FALSE(e.regions().empty());
+  e.reset();
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.regions().empty());
+}
+
+TEST(Engine, EveryIterationRunsExactlyOnce) {
+  Engine e(small_machine(8, 16));
+  std::vector<int> seen(1000, 0);
+  e.parallel_for(seen.size(), [&](std::uint64_t i, OpSink& s) {
+    ++seen[i];
+    s.compute(1);
+  });
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Engine, DynamicScheduleAlsoRunsEveryIterationOnce) {
+  Engine e(small_machine(8, 16));
+  std::vector<int> seen(1000, 0);
+  e.parallel_for(
+      seen.size(), [&](std::uint64_t i, OpSink& s) { ++seen[i]; s.compute(1); },
+      {.dynamic_schedule = true, .chunk = 7});
+  for (const int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Engine, RegionStatsCountInstructions) {
+  SimConfig cfg = small_machine(2, 4);
+  cfg.iteration_overhead = 0;
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  const auto stats = e.parallel_for(10, [](std::uint64_t, OpSink& s) {
+    s.compute(3);
+    s.load(&s);
+    s.store(&s);
+  });
+  EXPECT_EQ(stats.iterations, 10u);
+  EXPECT_EQ(stats.loads, 10u);
+  EXPECT_EQ(stats.stores, 10u);
+  // 3 compute + 1 load + 1 store issue slots per iteration.
+  EXPECT_EQ(stats.instructions, 50u);
+}
+
+TEST(Engine, IterationOverheadChargedPerIteration) {
+  SimConfig cfg = small_machine(1, 1);
+  cfg.iteration_overhead = 2;
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  const auto stats = e.parallel_for(5, [](std::uint64_t, OpSink& s) {
+    s.compute(1);
+  });
+  EXPECT_EQ(stats.instructions, 5u * 3u);
+}
+
+TEST(Engine, SerialRegionExecutesOnOneStream) {
+  SimConfig cfg = small_machine(4);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 0;
+  Engine e(cfg);
+  const auto stats = e.serial_region([](OpSink& s) { s.compute(100); });
+  EXPECT_EQ(stats.instructions, 100u);
+  EXPECT_EQ(stats.streams_used, 1u);
+  EXPECT_EQ(stats.cycles(), 100u);
+}
+
+TEST(Engine, RegionOverheadIsAdded) {
+  SimConfig cfg = small_machine(1, 1);
+  cfg.region_overhead = 500;
+  cfg.iteration_overhead = 0;
+  Engine e(cfg);
+  const auto stats = e.serial_region([](OpSink& s) { s.compute(10); });
+  EXPECT_EQ(stats.cycles(), 510u);
+}
+
+TEST(Engine, TimeAdvancesMonotonicallyAcrossRegions) {
+  Engine e(small_machine(4));
+  Cycles prev = e.now();
+  for (int r = 0; r < 5; ++r) {
+    e.parallel_for(100, [](std::uint64_t, OpSink& s) { s.compute(1); });
+    EXPECT_GT(e.now(), prev);
+    prev = e.now();
+  }
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e(small_machine(16));
+    std::uint64_t h = 0;
+    for (int r = 0; r < 3; ++r) {
+      const auto stats =
+          e.parallel_for(5000, [&](std::uint64_t i, OpSink& s) {
+            s.compute(1 + i % 3);
+            s.load(&h);
+            if (i % 7 == 0) s.fetch_add(&h);
+          });
+      h = h * 1315423911u + stats.cycles();
+    }
+    return h;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, RecordsRegionLog) {
+  Engine e(small_machine(2));
+  e.parallel_for(10, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "alpha"});
+  e.parallel_for(20, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "beta"});
+  ASSERT_EQ(e.regions().size(), 2u);
+  EXPECT_EQ(e.regions()[0].name, "alpha");
+  EXPECT_EQ(e.regions()[1].name, "beta");
+  EXPECT_EQ(e.regions()[1].iterations, 20u);
+}
+
+TEST(Engine, RegionLogDisabledByConfig) {
+  SimConfig cfg = small_machine(2);
+  cfg.record_regions = false;
+  Engine e(cfg);
+  e.parallel_for(10, [](std::uint64_t, OpSink& s) { s.compute(1); });
+  EXPECT_TRUE(e.regions().empty());
+}
+
+// --- First-order performance properties -----------------------------------
+
+/// Simulated duration of a pure-compute loop on `procs` processors.
+Cycles compute_loop_cycles(std::uint32_t procs, std::uint64_t n,
+                           std::uint32_t work) {
+  SimConfig cfg = small_machine(procs);
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  return e
+      .parallel_for(n, [&](std::uint64_t, OpSink& s) { s.compute(work); })
+      .cycles();
+}
+
+TEST(EngineScaling, LargeComputeLoopScalesNearLinearly) {
+  // 1M iterations is far beyond 128x128 streams: issue-bound regime.
+  const Cycles t8 = compute_loop_cycles(8, 1 << 20, 4);
+  const Cycles t16 = compute_loop_cycles(16, 1 << 20, 4);
+  const Cycles t32 = compute_loop_cycles(32, 1 << 20, 4);
+  const double s16 = static_cast<double>(t8) / static_cast<double>(t16);
+  const double s32 = static_cast<double>(t16) / static_cast<double>(t32);
+  EXPECT_GT(s16, 1.8);
+  EXPECT_LE(s16, 2.1);
+  EXPECT_GT(s32, 1.8);
+  EXPECT_LE(s32, 2.1);
+}
+
+TEST(EngineScaling, IssueBoundMatchesTotalInstructionsOverProcessors) {
+  const std::uint64_t n = 1 << 18;
+  const std::uint32_t work = 6;
+  SimConfig cfg = small_machine(16);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 2;
+  Engine e(cfg);
+  const auto stats =
+      e.parallel_for(n, [&](std::uint64_t, OpSink& s) { s.compute(work); });
+  const double ideal =
+      static_cast<double>(stats.instructions) / cfg.processors;
+  EXPECT_NEAR(static_cast<double>(stats.cycles()), ideal, ideal * 0.05);
+}
+
+TEST(EngineScaling, SmallLoopsDoNotScale) {
+  // 64 iterations of significant work: parallelism is capped at 64 streams,
+  // so 64 processors and 128 processors perform the same.
+  const Cycles t64 = compute_loop_cycles(64, 64, 512);
+  const Cycles t128 = compute_loop_cycles(128, 64, 512);
+  EXPECT_EQ(t64, t128);
+}
+
+TEST(EngineScaling, MemoryLatencyHiddenByManyStreams) {
+  // One load per iteration. With enough streams per processor the loop is
+  // issue-bound, not latency-bound.
+  SimConfig cfg = small_machine(4, 128);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 0;
+  Engine e(cfg);
+  int word = 0;
+  const std::uint64_t n = 1 << 16;
+  const auto stats = e.parallel_for(
+      n, [&](std::uint64_t, OpSink& s) { s.load(&word); });
+  const double ideal = static_cast<double>(n) / cfg.processors;
+  EXPECT_LT(static_cast<double>(stats.cycles()), ideal * 1.3 + cfg.memory_latency);
+}
+
+TEST(EngineScaling, SingleStreamPaysFullLatencyPerLoad) {
+  SimConfig cfg = small_machine(1, 1);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 0;
+  Engine e(cfg);
+  int word = 0;
+  const auto stats = e.serial_region([&](OpSink& s) {
+    for (int i = 0; i < 10; ++i) s.load(&word);
+  });
+  // Ten dependent-load slots: each is 1 issue + full latency.
+  EXPECT_EQ(stats.cycles(), 10u * (1u + cfg.memory_latency));
+}
+
+TEST(EngineScaling, BatchedLoadsPipeline) {
+  SimConfig cfg = small_machine(1, 1);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 0;
+  Engine e(cfg);
+  int words[10];
+  const auto stats = e.serial_region([&](OpSink& s) { s.load_n(words, 10); });
+  // One batch: 10 issue slots + a single latency.
+  EXPECT_EQ(stats.cycles(), 10u + cfg.memory_latency);
+}
+
+TEST(EngineHotspot, SharedCounterSerializes) {
+  SimConfig cfg = small_machine(32);
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  std::uint64_t counter = 0;
+  const std::uint64_t n = 1 << 15;
+  const auto stats = e.parallel_for(
+      n, [&](std::uint64_t, OpSink& s) { s.fetch_add(&counter); });
+  EXPECT_EQ(stats.fetch_adds, n);
+  EXPECT_EQ(stats.max_addr_atomics, n);
+  // All updates hit one word: duration at least n * service interval.
+  EXPECT_GE(stats.cycles(), n * cfg.faa_service_interval);
+}
+
+TEST(EngineHotspot, DistinctCountersScale) {
+  SimConfig cfg = small_machine(32);
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  const std::uint64_t n = 1 << 15;
+  std::vector<std::uint64_t> counters(n, 0);
+  const auto stats = e.parallel_for(
+      n, [&](std::uint64_t i, OpSink& s) { s.fetch_add(&counters[i]); });
+  EXPECT_EQ(stats.max_addr_atomics, 1u);
+  // Spread across distinct words the same updates go ~issue-bound.
+  EXPECT_LT(stats.cycles(), n * cfg.faa_service_interval / 4);
+}
+
+TEST(EngineHotspot, HotspotDoesNotImproveWithMoreProcessors) {
+  auto hotspot_cycles = [](std::uint32_t procs) {
+    SimConfig cfg = small_machine(procs);
+    cfg.region_overhead = 0;
+    Engine e(cfg);
+    std::uint64_t counter = 0;
+    return e
+        .parallel_for(1 << 14,
+                      [&](std::uint64_t, OpSink& s) { s.fetch_add(&counter); })
+        .cycles();
+  };
+  const Cycles t16 = hotspot_cycles(16);
+  const Cycles t128 = hotspot_cycles(128);
+  EXPECT_NEAR(static_cast<double>(t128), static_cast<double>(t16),
+              0.15 * static_cast<double>(t16));
+}
+
+TEST(EngineHotspot, SyncOpsSerializeAtTheirOwnInterval) {
+  SimConfig cfg = small_machine(16);
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  std::uint64_t lockword = 0;
+  const std::uint64_t n = 4096;
+  const auto stats = e.parallel_for(
+      n, [&](std::uint64_t, OpSink& s) { s.sync(&lockword); });
+  EXPECT_EQ(stats.syncs, n);
+  EXPECT_GE(stats.cycles(), n * cfg.sync_service_interval);
+}
+
+TEST(EngineScheduling, DynamicCostsMoreThanStaticOnUniformWork) {
+  // Dynamic scheduling pays fetch-and-adds on the shared loop counter; with
+  // many streams this serializes — the reason block scheduling is default.
+  const std::uint64_t n = 1 << 16;
+  auto run_with = [&](bool dynamic) {
+    SimConfig cfg = small_machine(64);
+    cfg.region_overhead = 0;
+    Engine e(cfg);
+    return e
+        .parallel_for(n, [](std::uint64_t, OpSink& s) { s.compute(2); },
+                      {.dynamic_schedule = dynamic, .chunk = 4})
+        .cycles();
+  };
+  EXPECT_GT(run_with(true), run_with(false));
+}
+
+TEST(EngineScheduling, StreamsUsedNeverExceedsIterationsOrHardware) {
+  SimConfig cfg = small_machine(8, 16);
+  Engine e(cfg);
+  const auto small = e.parallel_for(5, [](std::uint64_t, OpSink& s) {
+    s.compute(1);
+  });
+  EXPECT_LE(small.streams_used, 5u);
+  const auto big = e.parallel_for(100000, [](std::uint64_t, OpSink& s) {
+    s.compute(1);
+  });
+  EXPECT_LE(big.streams_used, cfg.total_streams());
+  EXPECT_GT(big.streams_used, cfg.total_streams() / 2);
+}
+
+TEST(EngineScheduling, ZeroOpIterationsStillAdvanceTime) {
+  SimConfig cfg = small_machine(2, 2);
+  cfg.region_overhead = 0;
+  cfg.iteration_overhead = 2;
+  Engine e(cfg);
+  const auto stats = e.parallel_for(100, [](std::uint64_t, OpSink&) {});
+  EXPECT_EQ(stats.instructions, 200u);
+  EXPECT_GT(stats.cycles(), 0u);
+}
+
+// Parameterized sweep: core invariants hold across processor counts.
+class EngineSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(EngineSweep, MoreProcessorsNeverSlowDownDataParallelWork) {
+  const std::uint32_t procs = GetParam();
+  if (procs == 1) GTEST_SKIP() << "needs a smaller comparison point";
+  const Cycles t_small = compute_loop_cycles(procs / 2, 1 << 16, 3);
+  const Cycles t_big = compute_loop_cycles(procs, 1 << 16, 3);
+  EXPECT_LE(t_big, t_small);
+}
+
+TEST_P(EngineSweep, StatsIndependentOfProcessorCount) {
+  const std::uint32_t procs = GetParam();
+  SimConfig cfg = small_machine(procs);
+  Engine e(cfg);
+  int word = 0;
+  const auto stats = e.parallel_for(10000, [&](std::uint64_t i, OpSink& s) {
+    s.compute(2);
+    s.load(&word);
+    if (i % 2 == 0) s.store(&word);
+  });
+  EXPECT_EQ(stats.iterations, 10000u);
+  EXPECT_EQ(stats.loads, 10000u);
+  EXPECT_EQ(stats.stores, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, EngineSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 64u,
+                                           128u));
+
+}  // namespace
+}  // namespace xg::xmt

@@ -1,0 +1,152 @@
+// Property tests of the machine parameters: each SimConfig knob must move
+// simulated time in the physically sensible direction and regime. These
+// pin down the model DESIGN.md and docs/MODEL.md describe.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "xmt/engine.hpp"
+
+namespace xg::xmt {
+namespace {
+
+Cycles run_loop(SimConfig cfg, std::uint64_t n, std::uint32_t computes,
+                std::uint32_t loads, bool hotspot) {
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  std::uint64_t shared = 0;
+  std::vector<int> words(64);
+  return e
+      .parallel_for(n,
+                    [&](std::uint64_t, OpSink& s) {
+                      if (computes > 0) s.compute(computes);
+                      for (std::uint32_t i = 0; i < loads; ++i) {
+                        s.load(&words[i]);
+                      }
+                      if (hotspot) s.fetch_add(&shared);
+                    })
+      .cycles();
+}
+
+SimConfig base() {
+  SimConfig cfg;
+  cfg.processors = 16;
+  return cfg;
+}
+
+TEST(MachineProperties, LatencyHurtsLowConcurrencyLoops) {
+  // A 4-iteration loop of dependent loads cannot hide latency.
+  SimConfig fast = base();
+  fast.memory_latency = 10;
+  SimConfig slow = base();
+  slow.memory_latency = 200;
+  const auto t_fast = run_loop(fast, 4, 0, 16, false);
+  const auto t_slow = run_loop(slow, 4, 0, 16, false);
+  EXPECT_GT(t_slow, t_fast * 10);
+}
+
+TEST(MachineProperties, LatencyHiddenAtHighConcurrency) {
+  // 64k iterations across 2048 streams: multithreading hides even a 4x
+  // latency difference almost entirely (the XMT's whole premise).
+  SimConfig fast = base();
+  fast.memory_latency = 50;
+  SimConfig slow = base();
+  slow.memory_latency = 200;
+  const auto t_fast = run_loop(fast, 1 << 16, 1, 1, false);
+  const auto t_slow = run_loop(slow, 1 << 16, 1, 1, false);
+  EXPECT_LT(static_cast<double>(t_slow),
+            1.25 * static_cast<double>(t_fast));
+}
+
+TEST(MachineProperties, MoreStreamsHelpLatencyBoundLoops) {
+  SimConfig few = base();
+  few.streams_per_processor = 4;
+  SimConfig many = base();
+  many.streams_per_processor = 128;
+  // 2k iterations, one load each: 64 streams can't cover 68-cycle latency;
+  // 2048 streams can.
+  const auto t_few = run_loop(few, 2048, 0, 1, false);
+  const auto t_many = run_loop(many, 2048, 0, 1, false);
+  EXPECT_GT(t_few, 2 * t_many);
+}
+
+TEST(MachineProperties, MoreStreamsUselessForIssueBoundLoops) {
+  SimConfig few = base();
+  few.streams_per_processor = 64;
+  SimConfig many = base();
+  many.streams_per_processor = 128;
+  // Pure compute with plenty of parallelism: processors, not streams, are
+  // the resource.
+  const auto t_few = run_loop(few, 1 << 16, 8, 0, false);
+  const auto t_many = run_loop(many, 1 << 16, 8, 0, false);
+  EXPECT_NEAR(static_cast<double>(t_many), static_cast<double>(t_few),
+              0.05 * static_cast<double>(t_few));
+}
+
+TEST(MachineProperties, FaaIntervalScalesHotspotTime) {
+  SimConfig one = base();
+  one.faa_service_interval = 1;
+  SimConfig four = base();
+  four.faa_service_interval = 4;
+  const std::uint64_t n = 1 << 14;
+  const auto t1 = run_loop(one, n, 0, 0, true);
+  const auto t4 = run_loop(four, n, 0, 0, true);
+  // Hotspot-bound: time tracks the service interval.
+  EXPECT_GT(t4, 3 * t1);
+  EXPECT_LT(t4, 5 * t1);
+}
+
+TEST(MachineProperties, RegionOverheadChargedPerRegion) {
+  SimConfig cheap = base();
+  cheap.region_overhead = 0;
+  SimConfig costly = base();
+  costly.region_overhead = 10000;
+  Engine a(cheap);
+  Engine b(costly);
+  for (int i = 0; i < 10; ++i) {
+    a.parallel_for(4, [](std::uint64_t, OpSink& s) { s.compute(1); });
+    b.parallel_for(4, [](std::uint64_t, OpSink& s) { s.compute(1); });
+  }
+  EXPECT_GE(b.now(), a.now() + 10 * 10000u);
+}
+
+TEST(MachineProperties, ClockAffectsSecondsNotCycles) {
+  SimConfig mhz500 = base();
+  SimConfig ghz1 = base();
+  ghz1.clock_hz = 1e9;
+  const auto c500 = run_loop(mhz500, 1 << 12, 4, 0, false);
+  const auto c1000 = run_loop(ghz1, 1 << 12, 4, 0, false);
+  EXPECT_EQ(c500, c1000);
+  EXPECT_DOUBLE_EQ(mhz500.seconds(c500), 2.0 * ghz1.seconds(c1000));
+}
+
+TEST(MachineProperties, IterationOverheadScalesFloorCost) {
+  SimConfig lean = base();
+  lean.iteration_overhead = 0;
+  SimConfig fat = base();
+  fat.iteration_overhead = 8;
+  const auto t_lean = run_loop(lean, 1 << 16, 1, 0, false);
+  const auto t_fat = run_loop(fat, 1 << 16, 1, 0, false);
+  // Instructions per iteration go 1 -> 9.
+  EXPECT_GT(t_fat, 8 * t_lean);
+}
+
+TEST(MachineProperties, SyncIntervalIndependentOfFaaInterval) {
+  SimConfig cfg = base();
+  cfg.faa_service_interval = 1;
+  cfg.sync_service_interval = 16;
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  std::uint64_t faa_word = 0;
+  std::uint64_t sync_word = 0;
+  const std::uint64_t n = 4096;
+  const auto faa = e.parallel_for(
+      n, [&](std::uint64_t, OpSink& s) { s.fetch_add(&faa_word); });
+  const auto sync = e.parallel_for(
+      n, [&](std::uint64_t, OpSink& s) { s.sync(&sync_word); });
+  EXPECT_GT(sync.cycles(), 8 * faa.cycles());
+}
+
+}  // namespace
+}  // namespace xg::xmt

@@ -1,0 +1,174 @@
+// Tests for OpSink recording semantics and full/empty-bit cells.
+
+#include <gtest/gtest.h>
+
+#include "xmt/engine.hpp"
+#include "xmt/full_empty.hpp"
+#include "xmt/op.hpp"
+
+namespace xg::xmt {
+namespace {
+
+// --- OpSink ----------------------------------------------------------------
+
+TEST(OpSink, StartsEmpty) {
+  OpSink s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(OpSink, ConsecutiveComputesMerge) {
+  OpSink s;
+  s.compute(2);
+  s.compute(3);
+  s.compute(1);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.ops()[0].kind, OpKind::kCompute);
+  EXPECT_EQ(s.ops()[0].count, 6u);
+}
+
+TEST(OpSink, ZeroComputeIsIgnored) {
+  OpSink s;
+  s.compute(0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(OpSink, MemoryOpsBreakComputeMerging) {
+  OpSink s;
+  int word = 0;
+  s.compute(1);
+  s.load(&word);
+  s.compute(1);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(OpSink, RecordsAddresses) {
+  OpSink s;
+  int a = 0;
+  int b = 0;
+  s.fetch_add(&a);
+  s.sync(&b);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ops()[0].addr, reinterpret_cast<std::uintptr_t>(&a));
+  EXPECT_EQ(s.ops()[0].kind, OpKind::kFetchAdd);
+  EXPECT_EQ(s.ops()[1].addr, reinterpret_cast<std::uintptr_t>(&b));
+  EXPECT_EQ(s.ops()[1].kind, OpKind::kSync);
+}
+
+TEST(OpSink, LoadNStoreNKeepCounts) {
+  OpSink s;
+  int arr[16];
+  s.load_n(arr, 16);
+  s.store_n(arr, 7);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ops()[0].count, 16u);
+  EXPECT_EQ(s.ops()[1].count, 7u);
+}
+
+TEST(OpSink, ZeroCountBatchesIgnored) {
+  OpSink s;
+  int arr[1];
+  s.load_n(arr, 0);
+  s.store_n(arr, 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(OpSink, ClearResets) {
+  OpSink s;
+  s.compute(5);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// --- FullEmptyCell ----------------------------------------------------------
+
+TEST(FullEmpty, StartsFullWithValue) {
+  FullEmptyCell<int> cell(42);
+  EXPECT_TRUE(cell.full());
+  EXPECT_EQ(cell.peek(), 42);
+}
+
+TEST(FullEmpty, ReadfeEmptiesTheCell) {
+  FullEmptyCell<int> cell(7);
+  OpSink s;
+  EXPECT_EQ(cell.readfe(s), 7);
+  EXPECT_FALSE(cell.full());
+  EXPECT_EQ(s.ops()[0].kind, OpKind::kSync);
+}
+
+TEST(FullEmpty, WriteefFillsTheCell) {
+  FullEmptyCell<int> cell(7);
+  OpSink s;
+  cell.readfe(s);
+  cell.writeef(s, 9);
+  EXPECT_TRUE(cell.full());
+  EXPECT_EQ(cell.peek(), 9);
+}
+
+TEST(FullEmpty, ReadfeOnEmptyThrows) {
+  FullEmptyCell<int> cell(1);
+  OpSink s;
+  cell.readfe(s);
+  EXPECT_THROW(cell.readfe(s), std::logic_error);
+}
+
+TEST(FullEmpty, WriteefOnFullThrows) {
+  FullEmptyCell<int> cell(1);
+  OpSink s;
+  EXPECT_THROW(cell.writeef(s, 2), std::logic_error);
+}
+
+TEST(FullEmpty, ReadffLeavesFull) {
+  FullEmptyCell<int> cell(5);
+  OpSink s;
+  EXPECT_EQ(cell.readff(s), 5);
+  EXPECT_TRUE(cell.full());
+}
+
+TEST(FullEmpty, ReadffOnEmptyThrows) {
+  FullEmptyCell<int> cell(5);
+  OpSink s;
+  cell.readfe(s);
+  EXPECT_THROW(cell.readff(s), std::logic_error);
+}
+
+TEST(FullEmpty, WritexfAlwaysSucceeds) {
+  FullEmptyCell<int> cell(5);
+  OpSink s;
+  cell.writexf(s, 6);  // on full
+  EXPECT_EQ(cell.peek(), 6);
+  cell.readfe(s);
+  cell.writexf(s, 8);  // on empty
+  EXPECT_TRUE(cell.full());
+  EXPECT_EQ(cell.peek(), 8);
+}
+
+TEST(FullEmpty, ResetRestoresFull) {
+  FullEmptyCell<int> cell(5);
+  OpSink s;
+  cell.readfe(s);
+  cell.reset(11);
+  EXPECT_TRUE(cell.full());
+  EXPECT_EQ(cell.peek(), 11);
+}
+
+TEST(FullEmpty, LockIdiomSerializesOnTheEngine) {
+  // readfe/writeef pairs on one cell act as a lock: the engine serializes
+  // them at the sync service interval.
+  SimConfig cfg;
+  cfg.processors = 32;
+  cfg.region_overhead = 0;
+  Engine e(cfg);
+  FullEmptyCell<std::uint64_t> cell(0);
+  const std::uint64_t n = 4096;
+  const auto stats = e.parallel_for(n, [&](std::uint64_t, OpSink& s) {
+    const auto v = cell.readfe(s);
+    cell.writeef(s, v + 1);
+  });
+  EXPECT_EQ(cell.peek(), n);
+  EXPECT_EQ(stats.syncs, 2 * n);
+  EXPECT_GE(stats.cycles(), 2 * n * cfg.sync_service_interval);
+}
+
+}  // namespace
+}  // namespace xg::xmt

@@ -1,0 +1,69 @@
+// Tests for the region-log profile helper.
+
+#include "xmt/region_summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xmt/engine.hpp"
+
+namespace xg::xmt {
+namespace {
+
+TEST(RegionSummary, EmptyLog) {
+  EXPECT_TRUE(summarize_regions({}).empty());
+}
+
+TEST(RegionSummary, GroupsByNamePreservingOrder) {
+  SimConfig cfg;
+  cfg.processors = 4;
+  Engine e(cfg);
+  e.parallel_for(10, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "alpha"});
+  e.parallel_for(20, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "beta"});
+  e.parallel_for(30, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "alpha"});
+
+  const auto summary = summarize_regions(e.regions());
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].name, "alpha");
+  EXPECT_EQ(summary[0].regions, 2u);
+  EXPECT_EQ(summary[0].iterations, 40u);
+  EXPECT_EQ(summary[1].name, "beta");
+  EXPECT_EQ(summary[1].regions, 1u);
+  EXPECT_EQ(summary[1].iterations, 20u);
+}
+
+TEST(RegionSummary, SumsCyclesAndOps) {
+  SimConfig cfg;
+  cfg.processors = 2;
+  Engine e(cfg);
+  int word = 0;
+  e.parallel_for(5, [&](std::uint64_t, OpSink& s) { s.load(&word); },
+                 {.name = "x"});
+  e.parallel_for(5, [&](std::uint64_t, OpSink& s) { s.store(&word); },
+                 {.name = "x"});
+  const auto summary = summarize_regions(e.regions());
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].memory_ops, 10u);
+  Cycles total = 0;
+  for (const auto& r : e.regions()) total += r.cycles();
+  EXPECT_EQ(summary[0].cycles, total);
+}
+
+TEST(RegionSummary, CoversFullKernelLogs) {
+  // The log of a real kernel groups into its named phases.
+  SimConfig cfg;
+  cfg.processors = 8;
+  Engine e(cfg);
+  e.parallel_for(100, [](std::uint64_t, OpSink& s) { s.compute(1); },
+                 {.name = "phase/a"});
+  e.serial_region([](OpSink& s) { s.compute(1); }, {.name = "phase/b"});
+  const auto summary = summarize_regions(e.regions());
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].name, "phase/a");
+  EXPECT_EQ(summary[1].name, "phase/b");
+}
+
+}  // namespace
+}  // namespace xg::xmt
