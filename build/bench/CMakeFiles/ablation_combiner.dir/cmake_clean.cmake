@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combiner.dir/ablation_combiner.cpp.o"
+  "CMakeFiles/ablation_combiner.dir/ablation_combiner.cpp.o.d"
+  "ablation_combiner"
+  "ablation_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

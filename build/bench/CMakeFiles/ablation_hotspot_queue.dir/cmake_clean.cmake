@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hotspot_queue.dir/ablation_hotspot_queue.cpp.o"
+  "CMakeFiles/ablation_hotspot_queue.dir/ablation_hotspot_queue.cpp.o.d"
+  "ablation_hotspot_queue"
+  "ablation_hotspot_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hotspot_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

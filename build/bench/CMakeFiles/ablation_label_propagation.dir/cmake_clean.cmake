@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_label_propagation.dir/ablation_label_propagation.cpp.o"
+  "CMakeFiles/ablation_label_propagation.dir/ablation_label_propagation.cpp.o.d"
+  "ablation_label_propagation"
+  "ablation_label_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_label_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cluster_vs_xmt.cpp" "bench/CMakeFiles/cluster_vs_xmt.dir/cluster_vs_xmt.cpp.o" "gcc" "bench/CMakeFiles/cluster_vs_xmt.dir/cluster_vs_xmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmt/CMakeFiles/xg_xmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/xg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphct/CMakeFiles/xg_graphct.dir/DependInfo.cmake"
+  "/root/repo/build/src/bsp/CMakeFiles/xg_bsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/xg_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_vs_xmt.dir/cluster_vs_xmt.cpp.o"
+  "CMakeFiles/cluster_vs_xmt.dir/cluster_vs_xmt.cpp.o.d"
+  "cluster_vs_xmt"
+  "cluster_vs_xmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_vs_xmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extrapolate_scale24.dir/extrapolate_scale24.cpp.o"
+  "CMakeFiles/extrapolate_scale24.dir/extrapolate_scale24.cpp.o.d"
+  "extrapolate_scale24"
+  "extrapolate_scale24.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extrapolate_scale24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for extrapolate_scale24.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cc_iterations.dir/fig1_cc_iterations.cpp.o"
+  "CMakeFiles/fig1_cc_iterations.dir/fig1_cc_iterations.cpp.o.d"
+  "fig1_cc_iterations"
+  "fig1_cc_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cc_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

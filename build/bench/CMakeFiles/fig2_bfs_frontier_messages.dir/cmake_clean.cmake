@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bfs_frontier_messages.dir/fig2_bfs_frontier_messages.cpp.o"
+  "CMakeFiles/fig2_bfs_frontier_messages.dir/fig2_bfs_frontier_messages.cpp.o.d"
+  "fig2_bfs_frontier_messages"
+  "fig2_bfs_frontier_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bfs_frontier_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_bfs_level_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_systems.dir/related_systems.cpp.o"
+  "CMakeFiles/related_systems.dir/related_systems.cpp.o.d"
+  "related_systems"
+  "related_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_total_times.dir/table1_total_times.cpp.o"
+  "CMakeFiles/table1_total_times.dir/table1_total_times.cpp.o.d"
+  "table1_total_times"
+  "table1_total_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_total_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

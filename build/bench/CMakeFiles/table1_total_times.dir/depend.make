@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_total_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_shootout.dir/machine_shootout.cpp.o"
+  "CMakeFiles/machine_shootout.dir/machine_shootout.cpp.o.d"
+  "machine_shootout"
+  "machine_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

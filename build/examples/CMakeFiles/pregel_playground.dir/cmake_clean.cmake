@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_playground.dir/pregel_playground.cpp.o"
+  "CMakeFiles/pregel_playground.dir/pregel_playground.cpp.o.d"
+  "pregel_playground"
+  "pregel_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

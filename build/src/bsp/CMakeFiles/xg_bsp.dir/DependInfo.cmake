@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bsp/algorithms/betweenness.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/betweenness.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/betweenness.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/bfs.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/bfs.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/bfs.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/connected_components.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/connected_components.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/connected_components.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/kcore.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/kcore.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/kcore.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/pagerank.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/pagerank.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/pagerank.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/sssp.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/sssp.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/sssp.cpp.o.d"
+  "/root/repo/src/bsp/algorithms/triangles.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/triangles.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/algorithms/triangles.cpp.o.d"
+  "/root/repo/src/bsp/mutable_graph.cpp" "src/bsp/CMakeFiles/xg_bsp.dir/mutable_graph.cpp.o" "gcc" "src/bsp/CMakeFiles/xg_bsp.dir/mutable_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/xg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmt/CMakeFiles/xg_xmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_bsp.dir/algorithms/betweenness.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/betweenness.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/bfs.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/bfs.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/connected_components.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/connected_components.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/kcore.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/kcore.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/pagerank.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/pagerank.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/sssp.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/sssp.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/algorithms/triangles.cpp.o"
+  "CMakeFiles/xg_bsp.dir/algorithms/triangles.cpp.o.d"
+  "CMakeFiles/xg_bsp.dir/mutable_graph.cpp.o"
+  "CMakeFiles/xg_bsp.dir/mutable_graph.cpp.o.d"
+  "libxg_bsp.a"
+  "libxg_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/args.cpp" "src/exp/CMakeFiles/xg_exp.dir/args.cpp.o" "gcc" "src/exp/CMakeFiles/xg_exp.dir/args.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "src/exp/CMakeFiles/xg_exp.dir/table.cpp.o" "gcc" "src/exp/CMakeFiles/xg_exp.dir/table.cpp.o.d"
+  "/root/repo/src/exp/workload.cpp" "src/exp/CMakeFiles/xg_exp.dir/workload.cpp.o" "gcc" "src/exp/CMakeFiles/xg_exp.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/xg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmt/CMakeFiles/xg_xmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_exp.dir/args.cpp.o"
+  "CMakeFiles/xg_exp.dir/args.cpp.o.d"
+  "CMakeFiles/xg_exp.dir/table.cpp.o"
+  "CMakeFiles/xg_exp.dir/table.cpp.o.d"
+  "CMakeFiles/xg_exp.dir/workload.cpp.o"
+  "CMakeFiles/xg_exp.dir/workload.cpp.o.d"
+  "libxg_exp.a"
+  "libxg_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

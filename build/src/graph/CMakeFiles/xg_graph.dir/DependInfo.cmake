@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/xg_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/degree.cpp" "src/graph/CMakeFiles/xg_graph.dir/degree.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/degree.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/xg_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/xg_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/reference/betweenness.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/betweenness.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/betweenness.cpp.o.d"
+  "/root/repo/src/graph/reference/bfs.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/bfs.cpp.o.d"
+  "/root/repo/src/graph/reference/components.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/components.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/components.cpp.o.d"
+  "/root/repo/src/graph/reference/kcore.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/kcore.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/kcore.cpp.o.d"
+  "/root/repo/src/graph/reference/sssp.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/sssp.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/sssp.cpp.o.d"
+  "/root/repo/src/graph/reference/triangles.cpp" "src/graph/CMakeFiles/xg_graph.dir/reference/triangles.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/reference/triangles.cpp.o.d"
+  "/root/repo/src/graph/rmat.cpp" "src/graph/CMakeFiles/xg_graph.dir/rmat.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/rmat.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/xg_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/xg_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_graph.dir/csr.cpp.o"
+  "CMakeFiles/xg_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/degree.cpp.o"
+  "CMakeFiles/xg_graph.dir/degree.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/generators.cpp.o"
+  "CMakeFiles/xg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/io.cpp.o"
+  "CMakeFiles/xg_graph.dir/io.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/betweenness.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/betweenness.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/bfs.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/bfs.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/components.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/components.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/kcore.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/kcore.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/sssp.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/sssp.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/reference/triangles.cpp.o"
+  "CMakeFiles/xg_graph.dir/reference/triangles.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/rmat.cpp.o"
+  "CMakeFiles/xg_graph.dir/rmat.cpp.o.d"
+  "CMakeFiles/xg_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/xg_graph.dir/subgraph.cpp.o.d"
+  "libxg_graph.a"
+  "libxg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphct/betweenness.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/betweenness.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/betweenness.cpp.o.d"
+  "/root/repo/src/graphct/bfs.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/bfs.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/bfs.cpp.o.d"
+  "/root/repo/src/graphct/bfs_diropt.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/bfs_diropt.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/bfs_diropt.cpp.o.d"
+  "/root/repo/src/graphct/connected_components.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/connected_components.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/connected_components.cpp.o.d"
+  "/root/repo/src/graphct/diameter.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/diameter.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/diameter.cpp.o.d"
+  "/root/repo/src/graphct/kcore.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/kcore.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/kcore.cpp.o.d"
+  "/root/repo/src/graphct/st_connectivity.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/st_connectivity.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/st_connectivity.cpp.o.d"
+  "/root/repo/src/graphct/sv_components.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/sv_components.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/sv_components.cpp.o.d"
+  "/root/repo/src/graphct/triangles.cpp" "src/graphct/CMakeFiles/xg_graphct.dir/triangles.cpp.o" "gcc" "src/graphct/CMakeFiles/xg_graphct.dir/triangles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/xg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmt/CMakeFiles/xg_xmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

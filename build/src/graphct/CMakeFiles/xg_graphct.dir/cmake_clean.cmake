@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_graphct.dir/betweenness.cpp.o"
+  "CMakeFiles/xg_graphct.dir/betweenness.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/bfs.cpp.o"
+  "CMakeFiles/xg_graphct.dir/bfs.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/bfs_diropt.cpp.o"
+  "CMakeFiles/xg_graphct.dir/bfs_diropt.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/connected_components.cpp.o"
+  "CMakeFiles/xg_graphct.dir/connected_components.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/diameter.cpp.o"
+  "CMakeFiles/xg_graphct.dir/diameter.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/kcore.cpp.o"
+  "CMakeFiles/xg_graphct.dir/kcore.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/st_connectivity.cpp.o"
+  "CMakeFiles/xg_graphct.dir/st_connectivity.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/sv_components.cpp.o"
+  "CMakeFiles/xg_graphct.dir/sv_components.cpp.o.d"
+  "CMakeFiles/xg_graphct.dir/triangles.cpp.o"
+  "CMakeFiles/xg_graphct.dir/triangles.cpp.o.d"
+  "libxg_graphct.a"
+  "libxg_graphct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_graphct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

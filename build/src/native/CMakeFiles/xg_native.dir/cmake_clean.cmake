@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_native.dir/algorithms.cpp.o"
+  "CMakeFiles/xg_native.dir/algorithms.cpp.o.d"
+  "CMakeFiles/xg_native.dir/thread_pool.cpp.o"
+  "CMakeFiles/xg_native.dir/thread_pool.cpp.o.d"
+  "libxg_native.a"
+  "libxg_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

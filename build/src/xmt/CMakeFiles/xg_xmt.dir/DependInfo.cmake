@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmt/cost_model.cpp" "src/xmt/CMakeFiles/xg_xmt.dir/cost_model.cpp.o" "gcc" "src/xmt/CMakeFiles/xg_xmt.dir/cost_model.cpp.o.d"
+  "/root/repo/src/xmt/engine.cpp" "src/xmt/CMakeFiles/xg_xmt.dir/engine.cpp.o" "gcc" "src/xmt/CMakeFiles/xg_xmt.dir/engine.cpp.o.d"
+  "/root/repo/src/xmt/region_summary.cpp" "src/xmt/CMakeFiles/xg_xmt.dir/region_summary.cpp.o" "gcc" "src/xmt/CMakeFiles/xg_xmt.dir/region_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

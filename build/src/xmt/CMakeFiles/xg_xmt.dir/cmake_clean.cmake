@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xg_xmt.dir/cost_model.cpp.o"
+  "CMakeFiles/xg_xmt.dir/cost_model.cpp.o.d"
+  "CMakeFiles/xg_xmt.dir/engine.cpp.o"
+  "CMakeFiles/xg_xmt.dir/engine.cpp.o.d"
+  "CMakeFiles/xg_xmt.dir/region_summary.cpp.o"
+  "CMakeFiles/xg_xmt.dir/region_summary.cpp.o.d"
+  "libxg_xmt.a"
+  "libxg_xmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xg_xmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_algorithms_test.dir/bsp/bsp_algorithms_test.cpp.o"
+  "CMakeFiles/bsp_algorithms_test.dir/bsp/bsp_algorithms_test.cpp.o.d"
+  "bsp_algorithms_test"
+  "bsp_algorithms_test.pdb"
+  "bsp_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

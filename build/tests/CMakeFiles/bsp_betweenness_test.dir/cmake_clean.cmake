@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_betweenness_test.dir/bsp/bsp_betweenness_test.cpp.o"
+  "CMakeFiles/bsp_betweenness_test.dir/bsp/bsp_betweenness_test.cpp.o.d"
+  "bsp_betweenness_test"
+  "bsp_betweenness_test.pdb"
+  "bsp_betweenness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_betweenness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

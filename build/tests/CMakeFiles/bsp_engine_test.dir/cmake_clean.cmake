@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_engine_test.dir/bsp/bsp_engine_test.cpp.o"
+  "CMakeFiles/bsp_engine_test.dir/bsp/bsp_engine_test.cpp.o.d"
+  "bsp_engine_test"
+  "bsp_engine_test.pdb"
+  "bsp_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

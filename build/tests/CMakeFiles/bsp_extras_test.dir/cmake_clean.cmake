@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_extras_test.dir/bsp/bsp_extras_test.cpp.o"
+  "CMakeFiles/bsp_extras_test.dir/bsp/bsp_extras_test.cpp.o.d"
+  "bsp_extras_test"
+  "bsp_extras_test.pdb"
+  "bsp_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_mutation_test.dir/bsp/bsp_mutation_test.cpp.o"
+  "CMakeFiles/bsp_mutation_test.dir/bsp/bsp_mutation_test.cpp.o.d"
+  "bsp_mutation_test"
+  "bsp_mutation_test.pdb"
+  "bsp_mutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_reference_test.dir/graph/reference_test.cpp.o"
+  "CMakeFiles/graph_reference_test.dir/graph/reference_test.cpp.o.d"
+  "graph_reference_test"
+  "graph_reference_test.pdb"
+  "graph_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

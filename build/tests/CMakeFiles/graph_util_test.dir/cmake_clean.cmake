@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_util_test.dir/graph/util_test.cpp.o"
+  "CMakeFiles/graph_util_test.dir/graph/util_test.cpp.o.d"
+  "graph_util_test"
+  "graph_util_test.pdb"
+  "graph_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphct_bfs_diropt_test.dir/graphct/bfs_diropt_test.cpp.o"
+  "CMakeFiles/graphct_bfs_diropt_test.dir/graphct/bfs_diropt_test.cpp.o.d"
+  "graphct_bfs_diropt_test"
+  "graphct_bfs_diropt_test.pdb"
+  "graphct_bfs_diropt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphct_bfs_diropt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

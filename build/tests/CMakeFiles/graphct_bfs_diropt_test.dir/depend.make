@@ -1,0 +1,2 @@
+# Empty dependencies file for graphct_bfs_diropt_test.
+# This may be replaced when dependencies are built.

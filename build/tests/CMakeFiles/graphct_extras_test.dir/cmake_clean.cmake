@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphct_extras_test.dir/graphct/graphct_extras_test.cpp.o"
+  "CMakeFiles/graphct_extras_test.dir/graphct/graphct_extras_test.cpp.o.d"
+  "graphct_extras_test"
+  "graphct_extras_test.pdb"
+  "graphct_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphct_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphct_test.dir/graphct/graphct_test.cpp.o"
+  "CMakeFiles/graphct_test.dir/graphct/graphct_test.cpp.o.d"
+  "graphct_test"
+  "graphct_test.pdb"
+  "graphct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scale_stability_test.dir/integration/scale_stability_test.cpp.o"
+  "CMakeFiles/integration_scale_stability_test.dir/integration/scale_stability_test.cpp.o.d"
+  "integration_scale_stability_test"
+  "integration_scale_stability_test.pdb"
+  "integration_scale_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scale_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

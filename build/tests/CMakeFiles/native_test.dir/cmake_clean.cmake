@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_test.dir/native/native_test.cpp.o"
+  "CMakeFiles/native_test.dir/native/native_test.cpp.o.d"
+  "native_test"
+  "native_test.pdb"
+  "native_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_cost_model_test.dir/xmt/cost_model_test.cpp.o"
+  "CMakeFiles/xmt_cost_model_test.dir/xmt/cost_model_test.cpp.o.d"
+  "xmt_cost_model_test"
+  "xmt_cost_model_test.pdb"
+  "xmt_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

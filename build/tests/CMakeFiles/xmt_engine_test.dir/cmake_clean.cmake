@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_engine_test.dir/xmt/engine_test.cpp.o"
+  "CMakeFiles/xmt_engine_test.dir/xmt/engine_test.cpp.o.d"
+  "xmt_engine_test"
+  "xmt_engine_test.pdb"
+  "xmt_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

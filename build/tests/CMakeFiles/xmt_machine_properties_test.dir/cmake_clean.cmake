@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_machine_properties_test.dir/xmt/machine_properties_test.cpp.o"
+  "CMakeFiles/xmt_machine_properties_test.dir/xmt/machine_properties_test.cpp.o.d"
+  "xmt_machine_properties_test"
+  "xmt_machine_properties_test.pdb"
+  "xmt_machine_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_machine_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_primitives_test.dir/xmt/primitives_test.cpp.o"
+  "CMakeFiles/xmt_primitives_test.dir/xmt/primitives_test.cpp.o.d"
+  "xmt_primitives_test"
+  "xmt_primitives_test.pdb"
+  "xmt_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmt_region_summary_test.dir/xmt/region_summary_test.cpp.o"
+  "CMakeFiles/xmt_region_summary_test.dir/xmt/region_summary_test.cpp.o.d"
+  "xmt_region_summary_test"
+  "xmt_region_summary_test.pdb"
+  "xmt_region_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmt_region_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xmt_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/xmt_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/xmt_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_csr_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_generators_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/graphct_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/native_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/graphct_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_extras_test[1]_include.cmake")
+include("/root/repo/build/tests/xmt_region_summary_test[1]_include.cmake")
+include("/root/repo/build/tests/xmt_machine_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_betweenness_test[1]_include.cmake")
+include("/root/repo/build/tests/bsp_mutation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_scale_stability_test[1]_include.cmake")
+include("/root/repo/build/tests/xmt_engine_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/graphct_bfs_diropt_test[1]_include.cmake")
