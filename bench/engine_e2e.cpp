@@ -1,0 +1,188 @@
+// Host-performance harness for the simulator itself: times the engine on a
+// micro kernel, a sparse-frontier BSP run, and the full Table I workload,
+// then writes the numbers to a JSON file (default BENCH_engine.json) so
+// before/after comparisons of scheduler work are one diff away.
+//
+// Everything measured here is host wall-clock; the simulated-cycle outputs
+// are recorded alongside as a cross-check that a speedup did not change
+// results (see tests/xmt/golden_determinism_test.cpp for the enforced
+// version of that invariant).
+//
+// Usage: engine_e2e [--scale N] [--edgefactor N] [--seed N]
+//                   [--processors N] [--out FILE]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/triangles.hpp"
+#include "exp/args.hpp"
+#include "exp/workload.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "graphct/triangles.hpp"
+#include "xmt/engine.hpp"
+
+using namespace xg;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// BM_ParallelForCompute/128 shape: the dense-compute scheduler hot loop.
+struct MicroResult {
+  double items_per_second = 0;
+  xmt::Cycles region_cycles = 0;
+};
+
+MicroResult run_micro_compute() {
+  xmt::SimConfig cfg;
+  cfg.processors = 128;
+  xmt::Engine e(cfg);
+  const std::uint64_t n = 1 << 16;
+  auto body = [](std::uint64_t, xmt::OpSink& s) { s.compute(4); };
+  MicroResult r;
+  for (int warm = 0; warm < 3; ++warm) r.region_cycles = e.parallel_for(n, body).end;
+  const int iters = 30;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto st = e.parallel_for(n, body);
+    r.region_cycles = st.end - st.start;
+  }
+  r.items_per_second = static_cast<double>(n) * iters / seconds_since(t0);
+  return r;
+}
+
+/// BFS down a path graph with active-list scheduling: one-vertex frontiers
+/// for `n` supersteps, the worst case for any per-superstep O(n) cost.
+struct SparseResult {
+  double supersteps_per_second = 0;
+  std::uint64_t supersteps = 0;
+  xmt::Cycles cycles = 0;
+};
+
+SparseResult run_sparse_frontier() {
+  const graph::vid_t n = 1 << 14;
+  graph::EdgeList edges(n);
+  edges.reserve(n - 1);
+  for (graph::vid_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  const auto g = graph::CSRGraph::build(edges);
+  xmt::SimConfig cfg;
+  cfg.processors = 64;
+  xmt::Engine e(cfg);
+  bsp::BspOptions opt;
+  opt.scan_all_vertices = false;
+  SparseResult r;
+  const auto t0 = Clock::now();
+  const auto res = bsp::bfs(e, g, 0, opt);
+  const double elapsed = seconds_since(t0);
+  r.supersteps = res.totals.supersteps;
+  r.cycles = res.totals.cycles;
+  r.supersteps_per_second = static_cast<double>(r.supersteps) / elapsed;
+  return r;
+}
+
+/// The Table I workload end to end: CC, BFS, TC in both models.
+struct E2eResult {
+  double seconds = 0;
+  xmt::Cycles total_cycles = 0;
+};
+
+E2eResult run_table1(const exp::Workload& wl, std::uint32_t processors) {
+  xmt::SimConfig cfg;
+  cfg.processors = processors;
+  xmt::Engine e(cfg);
+  E2eResult r;
+  const auto t0 = Clock::now();
+  const auto cc_ct = graphct::connected_components(e, wl.graph);
+  e.reset();
+  const auto cc_bsp = bsp::connected_components(e, wl.graph);
+  e.reset();
+  const auto bfs_ct = graphct::bfs(e, wl.graph, wl.bfs_source);
+  e.reset();
+  const auto bfs_bsp = bsp::bfs(e, wl.graph, wl.bfs_source);
+  e.reset();
+  const auto tc_ct = graphct::count_triangles(e, wl.graph);
+  e.reset();
+  const auto tc_bsp = bsp::count_triangles(e, wl.graph);
+  r.seconds = seconds_since(t0);
+  r.total_cycles = cc_ct.totals.cycles + cc_bsp.totals.cycles +
+                   bfs_ct.totals.cycles + bfs_bsp.totals.cycles +
+                   tc_ct.totals.cycles + tc_bsp.totals.cycles;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Engine host-performance harness; writes JSON.\n"
+                       "Options: --scale N --edgefactor N --seed N "
+                       "--processors N --out FILE");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/14);
+  const auto processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  const std::string out = args.get("out", "BENCH_engine.json");
+
+  std::printf("== engine host-performance harness ==\nworkload: %s\n\n",
+              wl.describe().c_str());
+
+  std::printf("[1/3] micro: parallel_for compute(4), 128 procs, 64 Ki iters\n");
+  const auto micro = run_micro_compute();
+  std::printf("      %.3f M items/s (region %llu simulated cycles)\n",
+              micro.items_per_second / 1e6,
+              static_cast<unsigned long long>(micro.region_cycles));
+
+  std::printf("[2/3] sparse-frontier BFS: 16 Ki-vertex path, active list\n");
+  const auto sparse = run_sparse_frontier();
+  std::printf("      %.1f K supersteps/s (%llu supersteps, %llu cycles)\n",
+              sparse.supersteps_per_second / 1e3,
+              static_cast<unsigned long long>(sparse.supersteps),
+              static_cast<unsigned long long>(sparse.cycles));
+
+  std::printf("[3/3] table1 end-to-end: CC+BFS+TC, both models, scale %u\n",
+              wl.scale);
+  const auto e2e = run_table1(wl, processors);
+  std::printf("      %.2f s wall (%llu total simulated cycles)\n", e2e.seconds,
+              static_cast<unsigned long long>(e2e.total_cycles));
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": {\"scale\": %u, \"edgefactor\": %u, "
+               "\"seed\": %llu, \"processors\": %u},\n"
+               "  \"micro_compute\": {\"items_per_second\": %.0f, "
+               "\"region_cycles\": %llu},\n"
+               "  \"sparse_frontier_bfs\": {\"supersteps_per_second\": %.1f, "
+               "\"supersteps\": %llu, \"cycles\": %llu},\n"
+               "  \"table1_end_to_end\": {\"seconds\": %.3f, "
+               "\"total_cycles\": %llu}\n"
+               "}\n",
+               wl.scale, wl.edgefactor,
+               static_cast<unsigned long long>(wl.seed), processors,
+               micro.items_per_second,
+               static_cast<unsigned long long>(micro.region_cycles),
+               sparse.supersteps_per_second,
+               static_cast<unsigned long long>(sparse.supersteps),
+               static_cast<unsigned long long>(sparse.cycles),
+               e2e.seconds, static_cast<unsigned long long>(e2e.total_cycles));
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -5,6 +5,9 @@
 
 #include <vector>
 
+#include "bsp/algorithms/bfs.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
 #include "xmt/cost_model.hpp"
 #include "xmt/engine.hpp"
 
@@ -72,6 +75,32 @@ void BM_DynamicSchedule(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }
 BENCHMARK(BM_DynamicSchedule);
+
+void BM_BspSparseFrontier(benchmark::State& state) {
+  // BFS down a path graph: the frontier is one vertex per superstep, so any
+  // per-superstep cost that scans all n vertices (message-buffer flip,
+  // active-schedule rebuild) turns the run quadratic in path length. Items
+  // here are supersteps, not vertices.
+  const xg::graph::vid_t n = static_cast<xg::graph::vid_t>(state.range(0));
+  xg::graph::EdgeList edges(n);
+  edges.reserve(n - 1);
+  for (xg::graph::vid_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
+  const auto g = xg::graph::CSRGraph::build(edges);
+  SimConfig cfg;
+  cfg.processors = 64;
+  Engine e(cfg);
+  xg::bsp::BspOptions opt;
+  opt.scan_all_vertices = false;
+  std::uint64_t supersteps = 0;
+  for (auto _ : state) {
+    e.reset();
+    const auto r = xg::bsp::bfs(e, g, 0, opt);
+    supersteps += r.totals.supersteps;
+    benchmark::DoNotOptimize(r.totals.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(supersteps));
+}
+BENCHMARK(BM_BspSparseFrontier)->Arg(1 << 12)->Arg(1 << 14);
 
 void BM_CostModelPredict(benchmark::State& state) {
   const SimConfig cfg;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
+#include <numeric>
 #include <span>
 #include <vector>
 
@@ -64,7 +66,8 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
       },
       {.name = "bsp/init"});
 
-  std::vector<graph::vid_t> schedule;  // active-list mode only
+  std::vector<graph::vid_t> schedule;     // active-list mode only
+  std::vector<graph::vid_t> next_active;  // computed & not halted this superstep
   for (std::uint32_t ss = 0; ss < opt.max_supersteps; ++ss) {
     SuperstepRecord rec;
     rec.superstep = ss;
@@ -80,12 +83,17 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
       halted[v] = 0;
       Context<Message> ctx(s, g, buf, ss, v, aggs);
       prog.compute(ctx, v, res.state[v], buf.incoming(v));
-      if (ctx.voted_halt()) halted[v] = 1;
+      if (ctx.voted_halt()) {
+        halted[v] = 1;
+      } else {
+        next_active.push_back(v);
+      }
       ++rec.computed_vertices;
     };
 
     if (opt.scan_all_vertices) {
       // Paper-faithful: the XMT loop covers every vertex every superstep.
+      next_active.clear();
       rec.region = machine.parallel_for(
           n,
           [&](std::uint64_t i, xmt::OpSink& s) {
@@ -93,10 +101,23 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
           },
           {.name = Program::kName});
     } else {
-      schedule.clear();
-      for (graph::vid_t v = 0; v < n; ++v) {
-        if (!halted[v] || buf.has_incoming(v)) schedule.push_back(v);
+      // Pregel-style scheduling. The schedule is the union of vertices left
+      // unhalted by the previous superstep and vertices with mail — both
+      // tracked incrementally, so building it costs O(schedule size), not a
+      // serial O(n) scan per superstep.
+      if (ss == 0) {
+        schedule.resize(n);
+        std::iota(schedule.begin(), schedule.end(), graph::vid_t{0});
+      } else {
+        // run_vertex visits vertices in simulated-time order; sorting keeps
+        // the schedule ascending, exactly as the full scan produced it.
+        std::sort(next_active.begin(), next_active.end());
+        const auto mail = buf.incoming_vertices();
+        schedule.clear();
+        std::set_union(next_active.begin(), next_active.end(), mail.begin(),
+                       mail.end(), std::back_inserter(schedule));
       }
+      next_active.clear();
       rec.region = machine.parallel_for(
           schedule.size(),
           [&](std::uint64_t i, xmt::OpSink& s) {
@@ -131,9 +152,9 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     res.totals.messages += rec.messages_sent;
     ++res.totals.supersteps;
 
-    if (crossed == 0 &&
-        std::all_of(halted.begin(), halted.end(),
-                    [](std::uint8_t h) { return h != 0; })) {
+    // Everyone halted iff no vertex computed without re-voting to halt —
+    // an O(1) check on the incrementally tracked active set.
+    if (crossed == 0 && next_active.empty()) {
       break;
     }
   }

@@ -14,12 +14,22 @@ namespace xg::bsp {
 
 /// Double-buffered per-vertex message store.
 ///
-/// Messages sent during superstep s land in the outgoing buffer and become
+/// Messages sent during superstep s land in the outgoing buffers and become
 /// visible in superstep s+1 after flip() — the BSP rule that messages cross
 /// superstep boundaries. Sending charges the simulated machine one payload
 /// store plus one fetch-and-add that claims a slot: on the destination
 /// vertex's inbox tail normally, or on a single shared tail in single-queue
 /// mode (the hotspot ablation). Delivery semantics are identical either way.
+///
+/// Host-side layout (none of this affects simulated results):
+///  * outgoing messages append to per-vertex buckets whose capacity is
+///    retained across supersteps, and the first message to a vertex pushes
+///    it onto a touched-vertex list;
+///  * flip() compacts the touched buckets into one contiguous inbox arena
+///    and clears only the touched state — every per-superstep cost is
+///    O(touched vertices + messages), never O(all vertices);
+///  * incoming_vertices() exposes the sorted touched list, so the engine's
+///    active-vertex schedule can be built without scanning every vertex.
 template <typename M>
 class MessageBuffer {
  public:
@@ -30,8 +40,9 @@ class MessageBuffer {
                          std::uint32_t send_overhead = 8,
                          std::uint32_t receive_overhead = 4,
                          Combiner combiner = Combiner::kNone)
-      : in_(n),
-        out_(n),
+      : out_(n),
+        in_begin_(n, 0),
+        in_count_(n, 0),
         tails_(n, 0),
         send_overhead_(send_overhead),
         receive_overhead_(receive_overhead),
@@ -55,6 +66,7 @@ class MessageBuffer {
       return;
     }
     charge_send(s, dst);
+    if (out_[dst].empty()) touched_out_.push_back(dst);
     out_[dst].push_back(m);
   }
 
@@ -71,10 +83,17 @@ class MessageBuffer {
 
   /// Messages delivered to `v` this superstep.
   std::span<const M> incoming(graph::vid_t v) const {
-    return {in_[v].data(), in_[v].size()};
+    if (in_count_[v] == 0) return {};
+    return {in_arena_.data() + in_begin_[v], in_count_[v]};
   }
 
-  bool has_incoming(graph::vid_t v) const { return !in_[v].empty(); }
+  bool has_incoming(graph::vid_t v) const { return in_count_[v] != 0; }
+
+  /// Vertices with at least one message this superstep, ascending. Valid
+  /// until the next flip().
+  std::span<const graph::vid_t> incoming_vertices() const {
+    return {touched_in_.data(), touched_in_.size()};
+  }
 
   /// Charge the inbox-length check every scheduled vertex performs.
   void charge_inbox_check(xmt::OpSink& s, graph::vid_t v) const {
@@ -83,9 +102,9 @@ class MessageBuffer {
 
   /// Charge the reads of v's waiting messages to `s`; returns the count.
   std::uint64_t charge_receive(xmt::OpSink& s, graph::vid_t v) const {
-    const auto count = static_cast<std::uint32_t>(in_[v].size());
+    const std::uint32_t count = in_count_[v];
     if (count > 0) {
-      s.load_n(in_[v].data(), count);
+      s.load_n(in_arena_.data() + in_begin_[v], count);
       s.compute(receive_overhead_ * count);
     }
     return count;
@@ -100,14 +119,29 @@ class MessageBuffer {
     s.compute(receive_overhead_ * count);
   }
 
-  /// End of superstep: outgoing buffers become next superstep's inboxes.
-  /// Returns the number of messages that crossed the boundary.
+  /// End of superstep: outgoing buckets become next superstep's inboxes.
+  /// O(touched vertices + messages crossing); untouched vertices cost
+  /// nothing. Returns the number of messages that crossed the boundary.
   std::uint64_t flip() {
     const std::uint64_t crossed = sent_this_superstep_;
     sent_this_superstep_ = 0;
     combined_this_superstep_ = 0;
-    in_.swap(out_);
-    for (auto& q : out_) q.clear();
+
+    for (const graph::vid_t v : touched_in_) in_count_[v] = 0;
+    touched_in_.clear();
+    in_arena_.clear();
+
+    // Sorting keeps the arena layout (and everything downstream, like the
+    // active-vertex schedule) independent of send order.
+    std::sort(touched_out_.begin(), touched_out_.end());
+    for (const graph::vid_t v : touched_out_) {
+      auto& bucket = out_[v];
+      in_begin_[v] = in_arena_.size();
+      in_count_[v] = static_cast<std::uint32_t>(bucket.size());
+      in_arena_.insert(in_arena_.end(), bucket.begin(), bucket.end());
+      bucket.clear();  // capacity retained for the next superstep
+    }
+    touched_in_.swap(touched_out_);
     return crossed;
   }
 
@@ -122,8 +156,17 @@ class MessageBuffer {
   bool single_queue() const { return single_queue_; }
 
  private:
-  std::vector<std::vector<M>> in_;
+  /// Outgoing per-vertex buckets; bucket capacity persists across
+  /// supersteps so steady-state sends allocate nothing.
   std::vector<std::vector<M>> out_;
+  /// Incoming side: one contiguous arena plus per-vertex extents. Only
+  /// extents of touched vertices are ever written or cleared.
+  std::vector<M> in_arena_;
+  std::vector<std::size_t> in_begin_;
+  std::vector<std::uint32_t> in_count_;
+  /// Vertices with outgoing (resp. incoming) messages this superstep.
+  std::vector<graph::vid_t> touched_out_;
+  std::vector<graph::vid_t> touched_in_;
   /// Charge-target words: tails_[v] stands for v's inbox tail counter,
   /// global_tail_ for the shared queue tail.
   std::vector<std::uint64_t> tails_;

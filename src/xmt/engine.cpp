@@ -1,19 +1,63 @@
 #include "xmt/engine.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <stdexcept>
 
 namespace xg::xmt {
 
 namespace {
 
-/// Heap comparator: min-heap on (ready time, stream id). Deterministic
-/// tie-breaking by stream id keeps the whole simulation reproducible.
-struct Later {
-  bool operator()(const std::pair<Cycles, std::uint64_t>& a,
-                  const std::pair<Cycles, std::uint64_t>& b) const {
-    return a > b;
+// ---- Ready queue -----------------------------------------------------------
+//
+// The event loop pops pending streams in (ready time, stream id) order — the
+// engine's deterministic FCFS rule. Two structures share the work:
+//
+//  * a calendar window of kBuckets one-cycle buckets holds events completing
+//    within the next kBuckets cycles of the cursor. Nearly every step of a
+//    pipelined workload lands here, where push is an append and pop is a
+//    bucket drain — no comparison tree at all. A bitmap of non-empty buckets
+//    turns cursor advances over idle cycles into a few tzcnt scans;
+//  * a packed-key 4-ary min-heap catches the overflow: events further out
+//    than the window (long computes, deeply queued hotspot atomics). Keys
+//    pack (ready - region start) << sid_bits | sid into one uint64, so
+//    ordering by the packed integer is exactly ordering by (ready, sid).
+//    Overflow events migrate into buckets when the cursor reaches their
+//    neighbourhood, paying one heap pop each — amortized O(1) per event.
+//
+// Order within a bucket is restored by sorting stream ids on first drain;
+// events arrive mostly in pop order, so an is_sorted check usually skips the
+// sort. Every operation consumes at least one cycle, so pushes are strictly
+// in the cursor's future and a draining bucket can never grow — which is what
+// makes the drain-then-advance loop exact.
+
+inline void sift_down(std::uint64_t* h, std::size_t size, std::size_t i) {
+  const std::uint64_t v = h[i];
+  for (;;) {
+    const std::size_t c0 = 4 * i + 1;
+    if (c0 >= size) break;
+    const std::size_t cend = std::min(c0 + 4, size);
+    std::size_t m = c0;
+    for (std::size_t c = c0 + 1; c < cend; ++c) {
+      if (h[c] < h[m]) m = c;
+    }
+    if (h[m] >= v) break;
+    h[i] = h[m];
+    i = m;
   }
-};
+  h[i] = v;
+}
+
+inline void sift_up(std::uint64_t* h, std::size_t i) {
+  const std::uint64_t v = h[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 4;
+    if (h[p] <= v) break;
+    h[i] = h[p];
+    i = p;
+  }
+  h[i] = v;
+}
 
 }  // namespace
 
@@ -28,38 +72,39 @@ void Engine::reset() {
   std::fill(proc_next_.begin(), proc_next_.end(), 0);
 }
 
-Cycles Engine::execute_op(const Op& op, std::uint32_t proc, Cycles t,
+Cycles Engine::execute_op(OpKind kind, std::uint32_t count,
+                          std::uintptr_t addr, std::uint32_t proc, Cycles t,
                           RegionStats& stats) {
   Cycles issue = std::max(t, proc_next_[proc]);
-  switch (op.kind) {
+  switch (kind) {
     case OpKind::kCompute:
-      proc_next_[proc] = issue + op.count;
-      stats.instructions += op.count;
-      return issue + op.count;
+      proc_next_[proc] = issue + count;
+      stats.instructions += count;
+      return issue + count;
 
     case OpKind::kLoad: {
       // One issue slot per reference; consecutive references from the same
       // stream pipeline, so the stream blocks only for the final reply.
-      proc_next_[proc] = issue + op.count;
-      stats.loads += op.count;
-      stats.instructions += op.count;
-      return issue + op.count + cfg_.memory_latency;
+      proc_next_[proc] = issue + count;
+      stats.loads += count;
+      stats.instructions += count;
+      return issue + count + cfg_.memory_latency;
     }
 
     case OpKind::kStore: {
       // Stores are fire-and-forget: the stream issues and moves on without
       // waiting for the memory reply.
-      proc_next_[proc] = issue + op.count;
-      stats.stores += op.count;
-      stats.instructions += op.count;
-      return issue + op.count;
+      proc_next_[proc] = issue + count;
+      stats.stores += count;
+      stats.instructions += count;
+      return issue + count;
     }
 
     case OpKind::kFetchAdd:
     case OpKind::kSync: {
       proc_next_[proc] = issue + 1;
       stats.instructions += 1;
-      const bool is_faa = op.kind == OpKind::kFetchAdd;
+      const bool is_faa = kind == OpKind::kFetchAdd;
       const Cycles interval =
           is_faa ? cfg_.faa_service_interval : cfg_.sync_service_interval;
       if (is_faa) {
@@ -67,7 +112,7 @@ Cycles Engine::execute_op(const Op& op, std::uint32_t proc, Cycles t,
       } else {
         ++stats.syncs;
       }
-      AddrState& a = addr_state_[op.addr];
+      FlatAddrTable::Entry& a = addr_state_.find_or_insert(addr);
       // Request reaches the (hashed) memory after half the round trip,
       // queues behind other updates of the same word, then the reply
       // travels back.
@@ -96,87 +141,223 @@ RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
   const std::uint32_t chunk = opt.chunk != 0 ? opt.chunk : cfg_.loop_chunk;
 
   if (streams_.size() < nstreams) streams_.resize(nstreams);
-  addr_state_.clear();
-  heap_.clear();
-  heap_.reserve(nstreams);
+  addr_state_.begin_region();
+
+  // Packed overflow-heap keys: (ready - base) << sid_bits | sid. With <= 2^21
+  // streams this leaves >= 2^43 cycles of relative time per region — hours
+  // of simulated machine time; the guard below makes hitting the limit an
+  // error instead of a silent mis-ordering.
+  const Cycles base = now_;
+  const std::uint32_t sid_bits = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::bit_width(nstreams - 1)));
+  const std::uint64_t sid_mask = (std::uint64_t{1} << sid_bits) - 1;
+  const Cycles rel_limit = ~std::uint64_t{0} >> sid_bits;
+  const auto pack = [&](Cycles ready, std::uint64_t sid) {
+    const Cycles rel = ready - base;
+    if (rel > rel_limit) {
+      throw std::overflow_error(
+          "xg::xmt::Engine: region exceeds packed scheduler key range");
+    }
+    return (rel << sid_bits) | sid;
+  };
 
   // Synthetic address of the shared loop counter (dynamic scheduling only).
   std::uint64_t next_dynamic_iter = 0;
   const std::uintptr_t counter_addr =
       reinterpret_cast<std::uintptr_t>(&next_dynamic_iter);
 
+  // ---- Calendar-queue state (see the block comment up top) ----
+  constexpr std::size_t kMask = kBuckets - 1;
+  constexpr std::size_t kWords = kBuckets / 64;
+  constexpr Cycles kNoEvent = ~Cycles{0};
+  if (buckets_.empty()) buckets_.resize(kBuckets);
+  // A normal region drains completely, but a thrown overflow_error can leave
+  // stale events behind; wiping 256 (mostly empty) buckets is negligible.
+  for (auto& b : buckets_) b.clear();
+  std::fill(std::begin(bucket_occ_), std::end(bucket_occ_), 0);
+  heap_.clear();
+
+  Cycles cur = 0;          // cursor: relative time of the bucket being drained
+  std::size_t drain_pos = 0;  // entries of that bucket already popped
+
+  const auto occ_set = [&](std::size_t b) {
+    bucket_occ_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  };
+  const auto occ_clear = [&](std::size_t b) {
+    bucket_occ_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+  };
+
+  // First non-empty bucket with relative time > after, or kNoEvent. All
+  // occupied buckets lie within kBuckets cycles of the cursor, so scanning
+  // one lap of the bitmap (first word masked below the start bit) covers
+  // every candidate exactly once.
+  const auto next_bucket_rel = [&](Cycles after) -> Cycles {
+    const std::size_t s = (after + 1) & kMask;
+    std::size_t w = s >> 6;
+    std::uint64_t word = bucket_occ_[w] & (~std::uint64_t{0} << (s & 63));
+    for (std::size_t k = 0;; ++k) {
+      if (word != 0) {
+        const std::size_t idx =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        return after + 1 + ((idx - s) & kMask);
+      }
+      if (k == kWords) return kNoEvent;
+      w = (w + 1) & (kWords - 1);
+      word = bucket_occ_[w];
+    }
+  };
+
+  const auto push_event = [&](Cycles ready, std::uint64_t sid) {
+    const Cycles rel = ready - base;
+    if (rel < cur + kBuckets) {
+      auto& b = buckets_[rel & kMask];
+      if (b.empty()) occ_set(rel & kMask);
+      b.push_back(static_cast<std::uint32_t>(sid));
+    } else {
+      heap_.push_back(pack(ready, sid));
+      sift_up(heap_.data(), heap_.size() - 1);
+    }
+  };
+
+  // Relative time of the earliest pending event (any stream but the running
+  // one), or kNoEvent. Used by the op-run fast path: a step that completes
+  // strictly before this is guaranteed to win the next pop anyway, so the
+  // stream keeps executing inline with zero queue traffic. Ties push and go
+  // through the bucket drain, which restores stream-id order exactly.
+  const auto next_pending_rel = [&]() -> Cycles {
+    if (drain_pos < buckets_[cur & kMask].size()) return cur;
+    const Cycles tb = next_bucket_rel(cur);
+    const Cycles th = heap_.empty() ? kNoEvent : heap_[0] >> sid_bits;
+    return std::min(tb, th);
+  };
+
   for (std::uint64_t s = 0; s < nstreams; ++s) {
     Stream& st = streams_[s];
     st.sink.clear();
     st.op_pos = 0;
+    st.unit_left = 0;
     st.worked = false;
     st.proc = static_cast<std::uint32_t>(s % cfg_.processors);
     if (opt.dynamic_schedule) {
       st.iter = st.iter_end = 0;  // must grab a chunk first
     } else {
       // Static block partition: as even as possible, contiguous ranges.
-      const std::uint64_t base = n / nstreams;
+      const std::uint64_t base_iters = n / nstreams;
       const std::uint64_t rem = n % nstreams;
-      st.iter = s * base + std::min<std::uint64_t>(s, rem);
-      st.iter_end = st.iter + base + (s < rem ? 1 : 0);
+      st.iter = s * base_iters + std::min<std::uint64_t>(s, rem);
+      st.iter_end = st.iter + base_iters + (s < rem ? 1 : 0);
     }
-    heap_.emplace_back(now_, s);
+    buckets_[0].push_back(static_cast<std::uint32_t>(s));  // ready at rel 0
   }
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  occ_set(0);
 
   Cycles last_completion = now_;
 
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const auto [t, sid] = heap_.back();
-    heap_.pop_back();
-    Stream& st = streams_[sid];
-
-    // Refill: advance to the next iteration (or chunk) that yields ops.
-    bool retired = false;
-    while (st.op_pos >= st.sink.ops().size()) {
-      if (st.iter < st.iter_end) {
-        st.sink.clear();
-        st.op_pos = 0;
-        if (cfg_.iteration_overhead != 0) st.sink.compute(cfg_.iteration_overhead);
-        body(st.iter, st.sink);
-        ++st.iter;
-        ++stats.iterations;
-        st.worked = true;
-      } else if (opt.dynamic_schedule && next_dynamic_iter < n) {
-        // Pay the grab: a fetch-and-add on the shared loop counter, then
-        // come back through the heap with the new chunk.
-        const Op grab{OpKind::kFetchAdd, 1, counter_addr};
-        const Cycles ready = execute_op(grab, st.proc, t, stats);
-        st.iter = next_dynamic_iter;
-        st.iter_end = std::min<std::uint64_t>(n, st.iter + chunk);
-        next_dynamic_iter = st.iter_end;
-        st.sink.clear();
-        st.op_pos = 0;
-        heap_.emplace_back(ready, sid);
-        std::push_heap(heap_.begin(), heap_.end(), Later{});
-        retired = true;  // not really retired; just re-enqueued
-        break;
+  for (;;) {
+    // ---- Pop the earliest pending (ready, sid) event ----
+    std::uint32_t sid32;
+    {
+      auto& curb = buckets_[cur & kMask];
+      if (drain_pos < curb.size()) {
+        if (drain_pos == 0 && curb.size() > 1 &&
+            !std::is_sorted(curb.begin(), curb.end())) {
+          std::sort(curb.begin(), curb.end());
+        }
+        sid32 = curb[drain_pos++];
       } else {
-        last_completion = std::max(last_completion, t);
-        retired = true;
-        break;
+        if (!curb.empty()) {
+          curb.clear();  // capacity retained for reuse
+          occ_clear(cur & kMask);
+        }
+        drain_pos = 0;
+        const Cycles tb = next_bucket_rel(cur);
+        const Cycles th = heap_.empty() ? kNoEvent : heap_[0] >> sid_bits;
+        const Cycles nxt = std::min(tb, th);
+        if (nxt == kNoEvent) break;  // region fully drained
+        cur = nxt;
+        // Overflow events now within the window move to their buckets (at
+        // most once per event), so the drain above sees all of them.
+        while (!heap_.empty() && (heap_[0] >> sid_bits) < cur + kBuckets) {
+          const std::uint64_t key = heap_[0];
+          heap_[0] = heap_.back();
+          heap_.pop_back();
+          if (!heap_.empty()) sift_down(heap_.data(), heap_.size(), 0);
+          const std::size_t b = (key >> sid_bits) & kMask;
+          if (buckets_[b].empty()) occ_set(b);
+          buckets_[b].push_back(static_cast<std::uint32_t>(key & sid_mask));
+        }
+        continue;
       }
     }
-    if (retired) continue;
 
-    const Op& op = st.sink.ops()[st.op_pos++];
-    const Cycles ready = execute_op(op, st.proc, t, stats);
-    heap_.emplace_back(ready, sid);
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    const std::uint64_t sid = sid32;
+    Cycles t = base + cur;
+    Stream& st = streams_[sid];
+
+    // Run this stream inline for as long as it stays strictly earliest;
+    // each iteration refills (if needed) and executes one scheduling step.
+    for (;;) {
+      bool have_op = true;
+      while (st.op_pos >= st.sink.ops().size()) {
+        if (st.iter < st.iter_end) {
+          st.sink.clear();
+          st.op_pos = 0;
+          if (cfg_.iteration_overhead != 0) st.sink.compute(cfg_.iteration_overhead);
+          body(st.iter, st.sink);
+          ++st.iter;
+          ++stats.iterations;
+          st.worked = true;
+        } else if (opt.dynamic_schedule && next_dynamic_iter < n) {
+          // Pay the grab: a fetch-and-add on the shared loop counter.
+          const Cycles ready = execute_op(OpKind::kFetchAdd, 1, counter_addr,
+                                          st.proc, t, stats);
+          st.iter = next_dynamic_iter;
+          st.iter_end = std::min<std::uint64_t>(n, st.iter + chunk);
+          next_dynamic_iter = st.iter_end;
+          st.sink.clear();
+          st.op_pos = 0;
+          if (ready - base < next_pending_rel()) {
+            t = ready;  // keep refilling inline
+            continue;
+          }
+          push_event(ready, sid);
+          have_op = false;
+          break;
+        } else {
+          last_completion = std::max(last_completion, t);  // stream retires
+          have_op = false;
+          break;
+        }
+      }
+      if (!have_op) break;
+
+      const Op& op = st.sink.ops()[st.op_pos];
+      std::uint32_t step = op.count;
+      if (!op.pipelined && op.count > 1) {
+        // Coalesced run of individual references: time them one per step so
+        // the result is identical to `count` separate records.
+        if (st.unit_left == 0) st.unit_left = op.count;
+        step = 1;
+        if (--st.unit_left == 0) ++st.op_pos;
+      } else {
+        ++st.op_pos;
+      }
+      const Cycles ready =
+          execute_op(op.kind, step, op.addr, st.proc, t, stats);
+
+      if (ready - base < next_pending_rel()) {
+        t = ready;  // fast path: no other stream can run before this one
+        continue;
+      }
+      push_event(ready, sid);
+      break;
+    }
   }
 
   for (std::uint64_t s = 0; s < nstreams; ++s) {
     if (streams_[s].worked) ++stats.streams_used;
   }
-  for (const auto& [addr, a] : addr_state_) {
-    stats.max_addr_atomics = std::max(stats.max_addr_atomics, a.count);
-  }
+  stats.max_addr_atomics = addr_state_.max_count();
 
   stats.end = last_completion + cfg_.region_overhead;
   now_ = stats.end;

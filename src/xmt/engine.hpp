@@ -1,10 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "xmt/flat_addr_table.hpp"
 #include "xmt/op.hpp"
 #include "xmt/sim_config.hpp"
 #include "xmt/stats.hpp"
@@ -112,33 +111,38 @@ class Engine {
     std::uint64_t iter = 0;      ///< next iteration to run in current chunk
     std::uint64_t iter_end = 0;  ///< one past the chunk's last iteration
     std::size_t op_pos = 0;      ///< next op to execute in sink
+    std::uint32_t unit_left = 0;  ///< references left in current serial run
     std::uint32_t proc = 0;
     bool worked = false;
-  };
-
-  /// Serialization state of one memory word targeted by atomics.
-  struct AddrState {
-    Cycles next_free = 0;
-    std::uint64_t count = 0;
   };
 
   RegionStats run_region(std::uint64_t n, detail::BodyRef body,
                          const RegionOptions& opt);
 
-  /// Executes one op for stream on processor `proc` whose previous op
-  /// completed at `t`. Returns when the stream is ready for its next op.
-  Cycles execute_op(const Op& op, std::uint32_t proc, Cycles t,
-                    RegionStats& stats);
+  /// Executes `count` references of kind `kind` (one scheduling step) for a
+  /// stream on processor `proc` whose previous step completed at `t`.
+  /// Returns when the stream is ready for its next step.
+  Cycles execute_op(OpKind kind, std::uint32_t count, std::uintptr_t addr,
+                    std::uint32_t proc, Cycles t, RegionStats& stats);
 
   SimConfig cfg_;
   Cycles now_ = 0;
   std::vector<RegionStats> log_;
 
+  /// Calendar-queue window: 1-cycle buckets for near events; must be a
+  /// power of two. Events further out wait in the overflow heap. Sized so a
+  /// full complement of streams per processor issuing short ops spreads
+  /// inside the window (streams_per_proc × op length), keeping the common
+  /// case heap-free.
+  static constexpr std::size_t kBuckets = 1024;
+
   // Scratch state reused across regions (sized on demand).
-  std::vector<Cycles> proc_next_;                       // next free issue slot
-  std::vector<std::pair<Cycles, std::uint64_t>> heap_;  // (ready, stream)
+  std::vector<Cycles> proc_next_;    // next free issue slot per processor
+  std::vector<std::uint64_t> heap_;  // overflow: packed (ready rel, stream)
+  std::vector<std::vector<std::uint32_t>> buckets_;  // near events, by cycle
+  std::uint64_t bucket_occ_[kBuckets / 64] = {};     // nonempty-bucket bits
   std::vector<Stream> streams_;
-  std::unordered_map<std::uintptr_t, AddrState> addr_state_;
+  FlatAddrTable addr_state_;         // per-word atomic serialization state
 };
 
 }  // namespace xg::xmt

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "xmt/sim_config.hpp"
+
+namespace xg::xmt {
+
+/// Open-addressing hash table from memory words to their per-region atomic
+/// serialization state, built for the engine's event loop:
+///
+///  * entries are epoch-tagged, so starting a new region is a single counter
+///    bump — no O(capacity) clear(), no rehash churn between regions;
+///  * linear probing over a flat power-of-two array keeps the per-op probe
+///    to one cache line in the common case, unlike the node-based
+///    std::unordered_map it replaces;
+///  * capacity is retained across regions, so a steady-state simulation
+///    allocates nothing in the hot loop.
+///
+/// Determinism: lookup results depend only on the key, and max_count()
+/// aggregates with max(), so iteration order never leaks into results.
+class FlatAddrTable {
+ public:
+  struct Entry {
+    std::uintptr_t key = 0;
+    std::uint64_t epoch = 0;   ///< region stamp; stale entries are free slots
+    Cycles next_free = 0;      ///< when the word can retire its next atomic
+    std::uint64_t count = 0;   ///< atomics retired against the word
+  };
+
+  FlatAddrTable() : slots_(kInitialCapacity) {}
+
+  /// Start a new region: logically empties the table in O(1).
+  void begin_region() {
+    ++epoch_;
+    live_ = 0;
+  }
+
+  /// Returns the entry for `key`, inserting a zeroed one if absent.
+  Entry& find_or_insert(std::uintptr_t key) {
+    if ((live_ + 1) * 4 > slots_.size() * 3) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = mix(key) & mask;
+    for (;;) {
+      Entry& e = slots_[i];
+      if (e.epoch != epoch_) {
+        e.key = key;
+        e.epoch = epoch_;
+        e.next_free = 0;
+        e.count = 0;
+        ++live_;
+        return e;
+      }
+      if (e.key == key) return e;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Largest per-word atomic count recorded this region.
+  std::uint64_t max_count() const {
+    std::uint64_t m = 0;
+    for (const Entry& e : slots_) {
+      if (e.epoch == epoch_ && e.count > m) m = e.count;
+    }
+    return m;
+  }
+
+  /// Distinct words touched this region.
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  /// SplitMix64 finalizer: full-avalanche mix of the pointer bits.
+  static std::size_t mix(std::uintptr_t x) {
+    std::uint64_t z = static_cast<std::uint64_t>(x);
+    z ^= z >> 30;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 27;
+    z *= 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(z);
+  }
+
+  void grow() {
+    std::vector<Entry> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    const std::size_t mask = slots_.size() - 1;
+    for (const Entry& e : old) {
+      if (e.epoch != epoch_) continue;  // stale: drop instead of rehashing
+      std::size_t i = mix(e.key) & mask;
+      while (slots_[i].epoch == epoch_) i = (i + 1) & mask;
+      slots_[i] = e;
+    }
+  }
+
+  std::vector<Entry> slots_;
+  std::size_t live_ = 0;
+  std::uint64_t epoch_ = 1;  // slots_ default-init to epoch 0 == empty
+};
+
+}  // namespace xg::xmt

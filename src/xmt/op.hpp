@@ -20,17 +20,28 @@ enum class OpKind : std::uint8_t {
 
 /// One abstract operation. `addr` identifies the target word for memory
 /// operations; only kFetchAdd and kSync contend per-address.
+///
+/// `pipelined` distinguishes the two meanings of a counted memory op:
+///  * pipelined (load_n/store_n): one issue slot per reference, the stream
+///    blocks only for the final reply — a consecutive-word scan;
+///  * non-pipelined (a run of individual load()/store() calls coalesced at
+///    record time): `count` *independent* references, each executed as its
+///    own scheduling step so simulated timing is identical to `count`
+///    separate records. Coalescing only shrinks the op stream the event
+///    loop walks; it never changes simulated cycles.
 struct Op {
   OpKind kind = OpKind::kCompute;
   std::uint32_t count = 1;  ///< repeat count (kCompute aggregates cycles).
   std::uintptr_t addr = 0;
+  bool pipelined = true;
 };
 
 /// Per-iteration operation recorder handed to loop bodies.
 ///
-/// Consecutive kCompute ops merge, and loads/stores to *distinct* addresses
-/// are recorded individually so ordering relative to atomics is preserved.
-/// The buffer is reused across iterations by the engine.
+/// Consecutive kCompute ops merge, and runs of individual load()/store()
+/// calls coalesce into one counted non-pipelined record (the engine still
+/// times each reference separately, see Op::pipelined). The buffer is
+/// reused across iterations by the engine.
 class OpSink {
  public:
   /// Charge `n` single-cycle instructions.
@@ -45,7 +56,13 @@ class OpSink {
 
   /// Charge one memory read of the word at `a`.
   void load(const void* a) {
-    ops_.push_back({OpKind::kLoad, 1, reinterpret_cast<std::uintptr_t>(a)});
+    if (!ops_.empty() && ops_.back().kind == OpKind::kLoad &&
+        !ops_.back().pipelined) {
+      ++ops_.back().count;
+      return;
+    }
+    ops_.push_back(
+        {OpKind::kLoad, 1, reinterpret_cast<std::uintptr_t>(a), false});
   }
 
   /// Charge `n` memory reads of consecutive words starting at `a`
@@ -58,7 +75,13 @@ class OpSink {
 
   /// Charge one memory write of the word at `a`.
   void store(const void* a) {
-    ops_.push_back({OpKind::kStore, 1, reinterpret_cast<std::uintptr_t>(a)});
+    if (!ops_.empty() && ops_.back().kind == OpKind::kStore &&
+        !ops_.back().pipelined) {
+      ++ops_.back().count;
+      return;
+    }
+    ops_.push_back(
+        {OpKind::kStore, 1, reinterpret_cast<std::uintptr_t>(a), false});
   }
 
   /// Charge `n` memory writes of consecutive words starting at `a`.

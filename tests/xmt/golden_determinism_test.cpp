@@ -1,0 +1,244 @@
+// Golden determinism suite: end-to-end simulated results pinned as literals.
+//
+// The engine's contract is that host-side performance work (scheduler data
+// structures, op coalescing, message-buffer layout) must never change any
+// simulated-cycle result. These tests freeze the exact numbers produced by
+// the original straightforward implementation (std::map-era scheduler,
+// per-record ops, O(n)-per-superstep message buffer) on a fixed-seed graph
+// and on synthetic regions that exercise every scheduling mechanism:
+// static and dynamic partitioning, per-word atomic serialization, hotspot
+// queueing, full/empty sync, and the single-stream serial path.
+//
+// If any number here moves, a scheduler or cost-model change has altered
+// simulated behaviour — that is a correctness bug (or a deliberate model
+// change that must update these literals and be called out in review).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/triangles.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "graphct/connected_components.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg {
+namespace {
+
+// Scale-10 RMAT with a fixed seed: large enough to exercise wide regions,
+// hotspots, and multi-superstep convergence; small enough to run in
+// milliseconds.
+const graph::CSRGraph& golden_graph() {
+  static const graph::CSRGraph g = [] {
+    graph::RmatParams p;
+    p.scale = 10;
+    p.edgefactor = 16;
+    p.seed = 1;
+    return graph::CSRGraph::build(graph::rmat_edges(p));
+  }();
+  return g;
+}
+
+struct BspDigest {
+  std::uint64_t cycles = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t supersteps = 0;
+  std::uint64_t fetch_adds = 0;
+  std::uint64_t max_addr_atomics = 0;
+  std::vector<std::uint64_t> messages_per_superstep;
+};
+
+template <typename R>
+BspDigest digest(const R& r) {
+  BspDigest d;
+  d.cycles = r.totals.cycles;
+  d.messages = r.totals.messages;
+  d.supersteps = r.totals.supersteps;
+  for (const auto& s : r.supersteps) {
+    d.fetch_adds += s.region.fetch_adds;
+    d.max_addr_atomics =
+        std::max<std::uint64_t>(d.max_addr_atomics, s.region.max_addr_atomics);
+    d.messages_per_superstep.push_back(s.messages_sent);
+  }
+  return d;
+}
+
+void expect_digest(const BspDigest& d, std::uint64_t cycles,
+                   std::uint64_t messages, std::uint64_t supersteps,
+                   std::uint64_t fetch_adds, std::uint64_t max_addr_atomics,
+                   const std::vector<std::uint64_t>& per_superstep) {
+  EXPECT_EQ(d.cycles, cycles);
+  EXPECT_EQ(d.messages, messages);
+  EXPECT_EQ(d.supersteps, supersteps);
+  EXPECT_EQ(d.fetch_adds, fetch_adds);
+  EXPECT_EQ(d.max_addr_atomics, max_addr_atomics);
+  EXPECT_EQ(d.messages_per_superstep, per_superstep);
+}
+
+TEST(GoldenDeterminism, GraphFixtureIsStable) {
+  const auto& g = golden_graph();
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_arcs(), 21244u);
+  EXPECT_EQ(g.max_degree_vertex(), 0u);
+}
+
+TEST(GoldenDeterminism, BspConnectedComponentsScanAll) {
+  xmt::Engine e;
+  const auto r = bsp::connected_components(e, golden_graph());
+  expect_digest(digest(r), 88341, 44300, 5, 44300, 476,
+                {21244, 20730, 2319, 7, 0});
+}
+
+TEST(GoldenDeterminism, BspConnectedComponentsActiveList) {
+  xmt::Engine e;
+  bsp::BspOptions o;
+  o.scan_all_vertices = false;
+  const auto r = bsp::connected_components(e, golden_graph(), o);
+  // Same messages and convergence as the full scan; fewer cycles because
+  // quiescent vertices are never scheduled.
+  expect_digest(digest(r), 75062, 44300, 5, 44300, 476,
+                {21244, 20730, 2319, 7, 0});
+  EXPECT_EQ(r.num_components, 131u);
+}
+
+TEST(GoldenDeterminism, BspBfsScanAll) {
+  xmt::Engine e;
+  const auto r = bsp::bfs(e, golden_graph(), golden_graph().max_degree_vertex());
+  expect_digest(digest(r), 75816, 21244, 5, 21244, 476,
+                {476, 18449, 2312, 7, 0});
+  EXPECT_EQ(r.reached, 894u);
+}
+
+TEST(GoldenDeterminism, BspBfsActiveList) {
+  xmt::Engine e;
+  bsp::BspOptions o;
+  o.scan_all_vertices = false;
+  const auto r = bsp::bfs(e, golden_graph(), golden_graph().max_degree_vertex(), o);
+  expect_digest(digest(r), 70653, 21244, 5, 21244, 476,
+                {476, 18449, 2312, 7, 0});
+}
+
+TEST(GoldenDeterminism, BspBfsSingleQueueHotspot) {
+  xmt::Engine e;
+  bsp::BspOptions o;
+  o.scan_all_vertices = false;
+  o.single_queue = true;
+  const auto r = bsp::bfs(e, golden_graph(), golden_graph().max_degree_vertex(), o);
+  // One shared tail counter: identical traffic, but the frontier-peak
+  // superstep serializes 18449 fetch-and-adds on a single word.
+  expect_digest(digest(r), 79230, 21244, 5, 21244, 18449,
+                {476, 18449, 2312, 7, 0});
+}
+
+TEST(GoldenDeterminism, BspBfsMinCombiner) {
+  xmt::Engine e;
+  bsp::BspOptions o;
+  o.scan_all_vertices = false;
+  o.combiner = bsp::Combiner::kMin;
+  const auto r = bsp::bfs(e, golden_graph(), golden_graph().max_degree_vertex(), o);
+  expect_digest(digest(r), 68199, 1812, 5, 1812, 1, {476, 880, 449, 7, 0});
+}
+
+TEST(GoldenDeterminism, BspTriangles) {
+  xmt::Engine e;
+  const auto r = bsp::count_triangles(e, golden_graph());
+  EXPECT_EQ(r.totals.cycles, 186118u);
+  EXPECT_EQ(r.triangles, 77071u);
+  EXPECT_EQ(r.edge_messages, 10622u);
+  EXPECT_EQ(r.wedge_messages, 259808u);
+  EXPECT_EQ(r.triangle_messages, 77071u);
+}
+
+TEST(GoldenDeterminism, GraphCtConnectedComponents) {
+  xmt::Engine e;
+  const auto r = graphct::connected_components(e, golden_graph());
+  std::uint64_t faas = 0, atomics_max = 0;
+  for (const auto& it : r.iterations) {
+    faas += it.region.fetch_adds;
+    atomics_max =
+        std::max<std::uint64_t>(atomics_max, it.region.max_addr_atomics);
+  }
+  EXPECT_EQ(r.totals.cycles, 25544u);
+  EXPECT_EQ(r.iterations.size(), 3u);
+  EXPECT_EQ(r.num_components, 131u);
+  EXPECT_EQ(faas, 0u);
+  EXPECT_EQ(atomics_max, 0u);
+}
+
+TEST(GoldenDeterminism, DynamicScheduleWithHotspotAtomics) {
+  // Dynamic chunk grabs (fetch-and-adds on the shared loop counter) mixed
+  // with four contended accumulator words, loads, and stores across 64
+  // processors — the scheduler's worst interleaving surface.
+  xmt::SimConfig cfg;
+  cfg.processors = 64;
+  xmt::Engine e(cfg);
+  std::vector<std::uint64_t> data(8192);
+  std::uint64_t hot[4] = {0, 0, 0, 0};
+  const auto st = e.parallel_for(
+      8192,
+      [&](std::uint64_t i, xmt::OpSink& s) {
+        s.compute(2);
+        s.fetch_add(&hot[i % 4]);
+        s.load(&data[i]);
+        s.store(&data[i]);
+      },
+      {.name = "golden/dynamic-hotspot", .dynamic_schedule = true, .chunk = 16});
+  EXPECT_EQ(st.end - st.start, 3385u);
+  EXPECT_EQ(st.instructions, 57856u);
+  EXPECT_EQ(st.loads, 8192u);
+  EXPECT_EQ(st.stores, 8192u);
+  EXPECT_EQ(st.fetch_adds, 8704u);  // 8192 hot-word + 512 chunk grabs
+  EXPECT_EQ(st.max_addr_atomics, 2048u);
+  EXPECT_EQ(st.streams_used, 512u);
+}
+
+TEST(GoldenDeterminism, AdjacentReferenceRunsAndSync) {
+  // Adjacent same-kind load/store records (the op-coalescing surface) plus
+  // periodic full/empty sync: coalescing is a host-side encoding and must
+  // leave every simulated number unchanged.
+  xmt::SimConfig cfg;
+  cfg.processors = 32;
+  xmt::Engine e(cfg);
+  std::vector<std::uint64_t> a(4096), b(4096);
+  std::uint64_t lock = 0;
+  const auto st = e.parallel_for(4096, [&](std::uint64_t i, xmt::OpSink& s) {
+    s.load(&a[i]);
+    s.load(&b[i]);
+    s.compute(3);
+    s.store(&a[i]);
+    s.store(&b[i]);
+    if (i % 64 == 0) s.sync(&lock);
+  });
+  EXPECT_EQ(st.end - st.start, 1944u);
+  EXPECT_EQ(st.instructions, 36928u);
+  EXPECT_EQ(st.loads, 8192u);
+  EXPECT_EQ(st.stores, 8192u);
+  EXPECT_EQ(st.syncs, 64u);
+  EXPECT_EQ(st.max_addr_atomics, 64u);
+}
+
+TEST(GoldenDeterminism, SerialRegionInlineDrain) {
+  // Single stream: the op-run fast path should execute the whole region
+  // inline; timing must match the original pop-per-op scheduler.
+  xmt::Engine e;
+  std::uint64_t w = 0;
+  const auto st = e.serial_region([&](xmt::OpSink& s) {
+    for (int i = 0; i < 64; ++i) {
+      s.compute(5);
+      s.load(&w);
+      s.fetch_add(&w);
+      s.store(&w);
+    }
+  });
+  EXPECT_EQ(st.end - st.start, 9782u);
+  EXPECT_EQ(st.instructions, 514u);
+  EXPECT_EQ(st.fetch_adds, 64u);
+  EXPECT_EQ(st.max_addr_atomics, 64u);
+}
+
+}  // namespace
+}  // namespace xg
