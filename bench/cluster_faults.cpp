@@ -1,0 +1,169 @@
+// Fault-tolerance overhead curves for the cluster BSP model: what Pregel's
+// defining robustness mechanism — checkpointing at superstep boundaries and
+// replay-based recovery — costs a deployment, the number the paper's §II
+// XMT-vs-cluster contrast silently leaves out.
+//
+// Three sweeps over connected components on the standard R-MAT workload,
+// all verified bit-identical to the fault-free run:
+//   1. checkpoint interval with no faults — the standing insurance premium;
+//   2. checkpoint interval x crash superstep — premium vs replay tradeoff
+//      (short intervals pay more checkpoints, long intervals replay more);
+//   3. transient remote-delivery failure rate — retry traffic and backoff.
+//
+// Writes BENCH_cluster_faults.json (same before/after-diff workflow as
+// engine_e2e's BENCH_engine.json).
+//
+// Usage: cluster_faults [--scale N] [--edgefactor N] [--seed N]
+//                       [--machines N] [--out FILE]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bsp/algorithms/connected_components.hpp"
+#include "cluster/engine.hpp"
+#include "exp/args.hpp"
+#include "exp/json.hpp"
+#include "exp/workload.hpp"
+
+using namespace xg;
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Cluster fault-tolerance overhead sweep; writes JSON.\n"
+                       "Options: --scale N --edgefactor N --seed N "
+                       "--machines N --out FILE");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/12);
+  const auto machines =
+      static_cast<std::uint32_t>(args.get_int("machines", 16));
+  const std::string out = args.get("out", "BENCH_cluster_faults.json");
+
+  cluster::ClusterConfig base_cfg;
+  base_cfg.machines = machines;
+  const bsp::CCProgram prog;
+
+  std::printf("== cluster fault-tolerance sweep ==\nworkload: %s, %u machines\n\n",
+              wl.describe().c_str(), machines);
+
+  const auto baseline = cluster::run(base_cfg, wl.graph, prog);
+  const auto logical_supersteps =
+      static_cast<std::uint32_t>(baseline.totals.supersteps);
+  std::printf("fault-free baseline: %.4f s, %llu supersteps\n",
+              baseline.totals.seconds,
+              static_cast<unsigned long long>(baseline.totals.supersteps));
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  exp::JsonWriter j(f);
+  j.begin_object();
+  j.key("workload").begin_object();
+  j.field("scale", wl.scale)
+      .field("edgefactor", wl.edgefactor)
+      .field("seed", wl.seed)
+      .field("machines", machines);
+  j.end_object();
+  j.key("baseline").begin_object();
+  j.field("seconds", baseline.totals.seconds)
+      .field("supersteps", baseline.totals.supersteps)
+      .field("messages", baseline.totals.messages);
+  j.end_object();
+
+  const std::vector<std::uint32_t> intervals = {1, 2, 4, 8};
+  bool all_identical = true;
+  const auto overhead_pct = [&](double seconds) {
+    return 100.0 * (seconds - baseline.totals.seconds) /
+           baseline.totals.seconds;
+  };
+
+  // Sweep 1: the premium — checkpointing with nothing going wrong.
+  std::printf("\n[1/3] checkpoint premium (no faults)\n");
+  j.key("checkpoint_premium").begin_array();
+  for (const auto interval : intervals) {
+    auto cfg = base_cfg;
+    cfg.checkpoint_interval = interval;
+    const auto r = cluster::run(cfg, wl.graph, prog);
+    all_identical = all_identical && r.state == baseline.state;
+    std::printf("  interval %2u: %.4f s (+%5.1f%%), %llu checkpoints\n",
+                interval, r.totals.seconds, overhead_pct(r.totals.seconds),
+                static_cast<unsigned long long>(
+                    r.recovery.checkpoints_written));
+    j.begin_object();
+    j.field("interval", interval)
+        .field("seconds", r.totals.seconds)
+        .field("overhead_pct", overhead_pct(r.totals.seconds))
+        .field("checkpoints", r.recovery.checkpoints_written)
+        .field("checkpoint_seconds", r.recovery.checkpoint_seconds);
+    j.end_object();
+  }
+  j.end_array();
+
+  // Sweep 2: premium vs replay — one machine dies, early or late.
+  std::printf("\n[2/3] crash recovery (interval x crash superstep)\n");
+  const std::vector<std::uint32_t> crash_supersteps = {
+      1, logical_supersteps / 2, logical_supersteps - 1};
+  j.key("crash_recovery").begin_array();
+  for (const auto crash_ss : crash_supersteps) {
+    for (const auto interval : intervals) {
+      auto cfg = base_cfg;
+      cfg.checkpoint_interval = interval;
+      cluster::FaultPlan plan;
+      plan.crashes = {{crash_ss, /*machine=*/machines / 2}};
+      const auto r = cluster::run(cfg, wl.graph, prog, 100000, {}, plan);
+      all_identical = all_identical && r.state == baseline.state;
+      std::printf(
+          "  crash@%u interval %2u: %.4f s (+%5.1f%%), replayed %llu, "
+          "checkpoints %llu\n",
+          crash_ss, interval, r.totals.seconds,
+          overhead_pct(r.totals.seconds),
+          static_cast<unsigned long long>(r.recovery.supersteps_replayed),
+          static_cast<unsigned long long>(r.recovery.checkpoints_written));
+      j.begin_object();
+      j.field("crash_superstep", crash_ss)
+          .field("interval", interval)
+          .field("seconds", r.totals.seconds)
+          .field("overhead_pct", overhead_pct(r.totals.seconds))
+          .field("supersteps_replayed", r.recovery.supersteps_replayed)
+          .field("checkpoints", r.recovery.checkpoints_written)
+          .field("recovery_seconds", r.recovery.recovery_seconds);
+      j.end_object();
+    }
+  }
+  j.end_array();
+
+  // Sweep 3: flaky network — transient loss priced as retries + backoff.
+  std::printf("\n[3/3] transient remote-delivery failures\n");
+  j.key("flaky_network").begin_array();
+  for (const double p : {0.001, 0.01, 0.05}) {
+    cluster::FaultPlan plan;
+    plan.remote_drop_probability = p;
+    const auto r = cluster::run(base_cfg, wl.graph, prog, 100000, {}, plan);
+    all_identical = all_identical && r.state == baseline.state;
+    std::printf("  p=%.3f: %.4f s (+%5.1f%%), %llu retries\n", p,
+                r.totals.seconds, overhead_pct(r.totals.seconds),
+                static_cast<unsigned long long>(r.recovery.remote_retries));
+    j.begin_object();
+    j.field("drop_probability", p)
+        .field("seconds", r.totals.seconds)
+        .field("overhead_pct", overhead_pct(r.totals.seconds))
+        .field("remote_retries", r.recovery.remote_retries)
+        .field("retry_backoff_seconds", r.recovery.retry_backoff_seconds);
+    j.end_object();
+  }
+  j.end_array();
+
+  j.field("all_results_bit_identical", all_identical);
+  j.end_object();
+  j.finish();
+  std::fclose(f);
+
+  std::printf("\nstate bit-identical across all %s runs: %s\nwrote %s\n",
+              "faulted", all_identical ? "yes" : "NO — MODEL BUG", out.c_str());
+  return all_identical ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

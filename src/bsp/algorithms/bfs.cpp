@@ -14,6 +14,7 @@ BspBfsResult bfs(xmt::Engine& machine, const graph::CSRGraph& g,
   r.distance = std::move(run_result.state);
   r.supersteps = std::move(run_result.supersteps);
   r.totals = run_result.totals;
+  r.converged = run_result.converged;
   for (const std::uint32_t d : r.distance) {
     if (d != graph::kInfDist) ++r.reached;
   }

@@ -53,6 +53,7 @@ struct BspBfsResult {
   std::vector<std::uint32_t> distance;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
   graph::vid_t reached = 0;
 };
 

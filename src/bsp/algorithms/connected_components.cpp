@@ -12,6 +12,7 @@ BspCCResult connected_components(xmt::Engine& machine,
   r.labels = std::move(run_result.state);
   r.supersteps = std::move(run_result.supersteps);
   r.totals = run_result.totals;
+  r.converged = run_result.converged;
   graph::ref::canonicalize_labels(r.labels);
   r.num_components = graph::ref::count_components(r.labels);
   return r;

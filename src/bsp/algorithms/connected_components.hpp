@@ -52,6 +52,7 @@ struct BspCCResult {
   std::vector<graph::vid_t> labels;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
   graph::vid_t num_components = 0;
 };
 

@@ -12,6 +12,7 @@ BspKCoreResult kcore(xmt::Engine& machine, const graph::CSRGraph& g,
   BspKCoreResult r;
   r.supersteps = std::move(run_result.supersteps);
   r.totals = run_result.totals;
+  r.converged = run_result.converged;
   r.survivors.resize(g.num_vertices(), 0);
   for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
     if (run_result.state[v].alive) {

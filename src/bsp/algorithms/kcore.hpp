@@ -55,6 +55,7 @@ struct BspKCoreResult {
   std::vector<graph::vid_t> members;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
 };
 
 BspKCoreResult kcore(xmt::Engine& machine, const graph::CSRGraph& g,

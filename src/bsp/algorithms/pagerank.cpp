@@ -22,6 +22,7 @@ BspPageRankResult pagerank(xmt::Engine& machine, const graph::CSRGraph& g,
   r.rank = std::move(run_result.state);
   r.supersteps = std::move(run_result.supersteps);
   r.totals = run_result.totals;
+  r.converged = run_result.converged;
   return r;
 }
 
@@ -47,6 +48,7 @@ BspAdaptivePageRankResult pagerank_adaptive(xmt::Engine& machine,
   r.rank = std::move(run_result.state);
   r.supersteps = std::move(run_result.supersteps);
   r.totals = run_result.totals;
+  r.converged = run_result.converged;
   r.final_delta = run_result.final_aggregates.empty()
                       ? 0.0
                       : run_result.final_aggregates.front();

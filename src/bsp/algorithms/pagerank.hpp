@@ -58,6 +58,7 @@ struct BspPageRankResult {
   std::vector<double> rank;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
 };
 
 BspPageRankResult pagerank(xmt::Engine& machine, const graph::CSRGraph& g,
@@ -119,6 +120,7 @@ struct BspAdaptivePageRankResult {
   std::vector<double> rank;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
   double final_delta = 0.0;  ///< last aggregated L1 rank change
 };
 

@@ -61,6 +61,7 @@ struct BspSsspResult {
   std::vector<double> distance;
   std::vector<SuperstepRecord> supersteps;
   BspTotals totals;
+  bool converged = false;  ///< run ended by quiescence, not max_supersteps
 };
 
 BspSsspResult sssp(xmt::Engine& machine, const graph::CSRGraph& g,

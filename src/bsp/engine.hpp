@@ -25,6 +25,10 @@ struct Result {
   std::vector<double> final_aggregates;
   /// Checkpoints taken (BspOptions::checkpoint_interval).
   std::uint64_t checkpoints = 0;
+  /// True iff every vertex halted with no mail in flight. False means the
+  /// run was cut off by BspOptions::max_supersteps — previously silent and
+  /// indistinguishable from convergence.
+  bool converged = false;
 };
 
 /// Requirements on a vertex program (mirrors the paper's Algorithms 1-3):
@@ -155,6 +159,7 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     // Everyone halted iff no vertex computed without re-voting to halt —
     // an O(1) check on the incrementally tracked active set.
     if (crossed == 0 && next_active.empty()) {
+      res.converged = true;
       break;
     }
   }

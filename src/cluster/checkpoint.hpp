@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/aggregator.hpp"
+#include "cluster/config.hpp"
+
+namespace xg::cluster {
+
+/// Everything `cluster::run` needs to restart from a superstep boundary:
+/// vertex state, the inboxes already delivered for the next superstep, the
+/// halted votes, and the aggregator slots (both the published values and
+/// the boundary reset). Pregel persists exactly this to stable storage at
+/// checkpoint time and reloads it on worker failure (§II).
+template <typename State, typename Message>
+struct Checkpoint {
+  std::uint32_t next_superstep = 0;  ///< first superstep after restore
+  std::vector<State> state;
+  std::vector<std::vector<Message>> inboxes;
+  std::vector<std::uint8_t> halted;
+  bsp::AggregatorSet aggregators{std::vector<bsp::Aggregator::Op>{}};
+
+  /// Serialized size: per vertex its state, halted bit, inbox length word,
+  /// and pending message payloads — what each machine streams to storage.
+  static std::uint64_t vertex_bytes(std::uint64_t pending_messages) {
+    return sizeof(State) + 1 + sizeof(std::uint64_t) +
+           pending_messages * sizeof(Message);
+  }
+};
+
+/// Time for the slowest machine to stream `max_machine_bytes` of snapshot
+/// to (or back from) stable storage, plus the fixed coordination latency.
+/// Machines write their partitions concurrently, so the superstep boundary
+/// waits on the largest partition — hash placement keeps those balanced in
+/// bytes even when hubs skew the *messaging*.
+inline double checkpoint_seconds(const ClusterConfig& cfg,
+                                 std::uint64_t max_machine_bytes) {
+  return cfg.checkpoint_latency_seconds +
+         static_cast<double>(max_machine_bytes) / cfg.checkpoint_bytes_per_sec;
+}
+
+}  // namespace xg::cluster

@@ -38,6 +38,19 @@ struct ClusterConfig {
   /// Fixed per-computed-vertex bookkeeping instructions.
   std::uint32_t vertex_overhead_instr = 25;
 
+  /// Supersteps between checkpoints (Pregel's fault-tolerance mechanism,
+  /// paper §II); 0 disables checkpointing. A crash with checkpointing off
+  /// recovers by replaying the whole run from the initial state.
+  std::uint32_t checkpoint_interval = 0;
+
+  /// Bytes/s each machine streams to stable storage when checkpointing
+  /// (~HDFS-over-GbE write path).
+  double checkpoint_bytes_per_sec = 100e6;
+
+  /// Fixed coordination latency per checkpoint (master commit, file
+  /// creation) and per checkpoint restore.
+  double checkpoint_latency_seconds = 10e-3;
+
   void validate() const {
     auto fail = [](const char* what) {
       throw std::invalid_argument(std::string("ClusterConfig: ") + what);
@@ -47,6 +60,12 @@ struct ClusterConfig {
     if (worker_instr_per_sec <= 0) fail("worker_instr_per_sec must be > 0");
     if (nic_messages_per_sec <= 0) fail("nic_messages_per_sec must be > 0");
     if (barrier_seconds < 0) fail("barrier_seconds must be >= 0");
+    if (checkpoint_bytes_per_sec <= 0) {
+      fail("checkpoint_bytes_per_sec must be > 0");
+    }
+    if (checkpoint_latency_seconds < 0) {
+      fail("checkpoint_latency_seconds must be >= 0");
+    }
   }
 };
 
@@ -57,6 +76,17 @@ inline std::uint32_t machine_of(std::uint64_t v, std::uint32_t machines) {
   std::uint64_t z = (v + 0x9E3779B97F4A7C15ull) * 0xBF58476D1CE4E5B9ull;
   z ^= z >> 31;
   return static_cast<std::uint32_t>(z % machines);
+}
+
+/// Placement with failed machines reassigned: a dead machine's partition
+/// folds onto the next live machine id (Pregel's recovery reassigns the
+/// failed worker's partitions to the surviving workers). Deterministic, and
+/// the identity map while every machine is alive.
+inline std::uint32_t live_machine_of(std::uint64_t v, std::uint32_t machines,
+                                     const std::uint8_t* dead) {
+  std::uint32_t m = machine_of(v, machines);
+  while (dead[m]) m = (m + 1) % machines;
+  return m;
 }
 
 }  // namespace xg::cluster

@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "bsp/aggregator.hpp"
+#include "cluster/checkpoint.hpp"
 #include "cluster/config.hpp"
+#include "cluster/faults.hpp"
 #include "graph/csr.hpp"
+#include "graph/rng.hpp"
 
 namespace xg::cluster {
 
@@ -39,17 +42,25 @@ struct ClusterSuperstepRecord {
   std::uint64_t computed_vertices = 0;
   std::uint64_t local_messages = 0;
   std::uint64_t remote_messages = 0;
+  std::uint64_t remote_retries = 0;  ///< extra delivery attempts this superstep
   double seconds = 0.0;  ///< simulated superstep wall time
   /// Messaging skew across machines: max / mean outbound messages. The
   /// paper's §II point — random hash placement of a scale-free graph lands
   /// hub vertices on a few machines, which then carry "a disproportionate
   /// share of the messaging activity".
   double message_imbalance = 1.0;
+  /// This execution re-did work lost to a crash (same logical superstep
+  /// number as an earlier entry in the trail).
+  bool replayed = false;
+  /// A checkpoint was written at the boundary after this superstep.
+  bool checkpointed = false;
 };
 
 struct ClusterTotals {
   double seconds = 0.0;
   std::uint64_t messages = 0;
+  /// Superstep *executions*, replays included; equals the logical superstep
+  /// count only in a crash-free run.
   std::uint64_t supersteps = 0;
 };
 
@@ -58,6 +69,13 @@ struct ClusterResult {
   std::vector<typename Program::VertexState> state;
   std::vector<ClusterSuperstepRecord> supersteps;
   ClusterTotals totals;
+  /// True iff every vertex halted with no mail in flight. False means the
+  /// run hit max_supersteps — previously indistinguishable from
+  /// convergence, now an explicit signal callers must check.
+  bool converged = false;
+  /// The fault-tolerance trail: checkpoints written, crashes recovered,
+  /// supersteps replayed, delivery retries, and what each cost.
+  RecoveryRecord recovery;
   /// Worst per-superstep outbound-message imbalance observed. Inflated by
   /// sparse supersteps (one active vertex puts everything on one machine);
   /// prefer total_message_imbalance for the §II skew claim.
@@ -78,19 +96,24 @@ class ClusterContext {
                  OpCounter& counter,
                  std::vector<std::vector<M>>& outboxes,
                  std::vector<std::uint64_t>& out_per_machine,
-                 std::uint64_t& local, std::uint64_t& remote,
-                 bsp::AggregatorSet* aggregators)
+                 ClusterSuperstepRecord& rec,
+                 bsp::AggregatorSet* aggregators, const FaultPlan& plan,
+                 const std::uint8_t* dead, graph::Rng& rng,
+                 std::uint32_t& max_attempts)
       : cfg_(cfg),
         g_(g),
         counter_(counter),
         outboxes_(outboxes),
         out_per_machine_(out_per_machine),
-        local_(local),
-        remote_(remote),
+        rec_(rec),
         aggregators_(aggregators),
+        plan_(plan),
+        dead_(dead),
+        rng_(rng),
+        max_attempts_(max_attempts),
         superstep_(superstep),
         vertex_(vertex),
-        home_(machine_of(vertex, cfg.machines)) {}
+        home_(live_machine_of(vertex, cfg.machines, dead)) {}
 
   std::uint32_t superstep() const { return superstep_; }
   graph::vid_t vertex() const { return vertex_; }
@@ -98,14 +121,24 @@ class ClusterContext {
   const graph::CSRGraph& graph() const { return g_; }
 
   void send(graph::vid_t dst, const M& m) {
-    const auto target = machine_of(dst, cfg_.machines);
+    const auto target = live_machine_of(dst, cfg_.machines, dead_);
     if (target == home_) {
       counter_.compute(cfg_.local_message_instr);
-      ++local_;
+      ++rec_.local_messages;
     } else {
-      counter_.compute(cfg_.remote_message_instr);
-      ++remote_;
-      ++out_per_machine_[home_];
+      // Transient delivery failures: every attempt pays serialization
+      // instructions and a NIC slot; the message itself is enqueued once
+      // (delivery within the retry bound is guaranteed), so faults bend
+      // only the pricing, never the results.
+      std::uint32_t attempts = 1;
+      if (plan_.remote_drop_probability > 0.0) {
+        attempts = plan_.draw_attempts(rng_);
+      }
+      counter_.compute(cfg_.remote_message_instr * attempts);
+      ++rec_.remote_messages;
+      rec_.remote_retries += attempts - 1;
+      out_per_machine_[home_] += attempts;
+      max_attempts_ = std::max(max_attempts_, attempts);
     }
     outboxes_[dst].push_back(m);
   }
@@ -143,9 +176,12 @@ class ClusterContext {
   OpCounter& counter_;
   std::vector<std::vector<M>>& outboxes_;
   std::vector<std::uint64_t>& out_per_machine_;
-  std::uint64_t& local_;
-  std::uint64_t& remote_;
+  ClusterSuperstepRecord& rec_;
   bsp::AggregatorSet* aggregators_;
+  const FaultPlan& plan_;
+  const std::uint8_t* dead_;
+  graph::Rng& rng_;
+  std::uint32_t& max_attempts_;
   std::uint32_t superstep_;
   graph::vid_t vertex_;
   std::uint32_t home_;
@@ -156,76 +192,148 @@ class ClusterContext {
 /// identical to bsp::run (same deterministic vertex order, so the same
 /// results); only the *pricing* differs:
 ///
-///   t_superstep = max over machines of compute_instr / (workers x rate)
-///               + max over machines of outbound_remote / NIC rate
-///               + barrier
+///   t_superstep = max over machines of
+///                   compute_instr x straggler / (workers x rate)
+///               + max over machines of outbound_remote (incl. retries) / NIC
+///               + retry backoff rounds + barrier
 ///
 /// Hash partitioning concentrates hub traffic on a few machines; the
 /// per-superstep `message_imbalance` quantifies it.
+///
+/// With `cfg.checkpoint_interval` != 0 the runtime snapshots state, inboxes,
+/// halted votes and aggregators at that superstep-boundary cadence, priced
+/// by `checkpoint_seconds`. A FaultPlan crash rolls every machine back to
+/// the last checkpoint (or the initial state), folds the dead machine's
+/// partition onto survivors, and replays — the Pregel recovery protocol.
+/// The final state is bit-identical to a fault-free run; `res.recovery`
+/// records what the faults cost.
 template <typename Program>
 ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
                            const Program& prog,
                            std::uint32_t max_supersteps = 100000,
-                           const std::vector<bsp::Aggregator::Op>& aggs = {}) {
+                           const std::vector<bsp::Aggregator::Op>& aggs = {},
+                           const FaultPlan& plan = {}) {
   cfg.validate();
+  plan.validate(cfg.machines);
+  using State = typename Program::VertexState;
+  using Message = typename Program::Message;
   const graph::vid_t n = g.num_vertices();
   ClusterResult<Program> res;
   res.state.resize(n);
   for (graph::vid_t v = 0; v < n; ++v) prog.init(res.state[v], v);
 
-  std::vector<std::vector<typename Program::Message>> in(n);
-  std::vector<std::vector<typename Program::Message>> out(n);
+  std::vector<std::vector<Message>> in(n);
+  std::vector<std::vector<Message>> out(n);
   std::vector<std::uint8_t> halted(n, 0);
   std::vector<OpCounter> per_machine(cfg.machines);
   std::vector<std::uint64_t> out_per_machine(cfg.machines, 0);
   std::vector<std::uint64_t> total_out_per_machine(cfg.machines, 0);
+  std::vector<std::uint64_t> machine_bytes(cfg.machines, 0);
   bsp::AggregatorSet aggregators(aggs);
   bsp::AggregatorSet* agg_ptr = aggs.empty() ? nullptr : &aggregators;
 
-  for (std::uint32_t ss = 0; ss < max_supersteps; ++ss) {
+  std::vector<std::uint8_t> dead(cfg.machines, 0);
+  std::uint32_t live_machines = cfg.machines;
+  std::vector<std::uint8_t> crash_fired(plan.crashes.size(), 0);
+  graph::Rng rng(plan.seed);
+
+  Checkpoint<State, Message> cp;
+  bool have_checkpoint = false;
+  std::uint64_t cp_max_machine_bytes = 0;
+  std::uint32_t replay_until = 0;  // supersteps below this are re-executions
+
+  std::uint32_t ss = 0;
+  while (ss < max_supersteps) {
+    // Crash events scheduled for this superstep: the machine dies mid
+    // superstep, the attempt is lost, and after the detection timeout the
+    // cluster rolls back to the last durable snapshot with the dead
+    // machine's partition reassigned. Replay then re-runs this loop.
+    bool crashed = false;
+    for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+      if (crash_fired[i] || plan.crashes[i].superstep != ss) continue;
+      crash_fired[i] = 1;
+      if (dead[plan.crashes[i].machine]) continue;  // already gone
+      dead[plan.crashes[i].machine] = 1;
+      --live_machines;
+      ++res.recovery.crashes;
+      crashed = true;
+    }
+    if (crashed) {
+      double rollback = plan.failure_detection_seconds;
+      std::uint32_t resume = 0;
+      if (have_checkpoint) {
+        res.state = cp.state;
+        in = cp.inboxes;
+        halted = cp.halted;
+        aggregators = cp.aggregators;
+        resume = cp.next_superstep;
+        rollback += checkpoint_seconds(cfg, cp_max_machine_bytes);
+      } else {
+        // No checkpoint yet: recovery is a full restart from the input.
+        for (graph::vid_t v = 0; v < n; ++v) prog.init(res.state[v], v);
+        for (auto& inbox : in) inbox.clear();
+        std::fill(halted.begin(), halted.end(), std::uint8_t{0});
+        aggregators = bsp::AggregatorSet(aggs);
+      }
+      res.recovery.supersteps_replayed += ss - resume;
+      res.recovery.recovery_seconds += rollback;
+      res.totals.seconds += rollback;
+      replay_until = std::max(replay_until, ss);
+      ss = resume;
+      continue;
+    }
+
     ClusterSuperstepRecord rec;
     rec.superstep = ss;
+    rec.replayed = ss < replay_until;
     for (auto& c : per_machine) c.reset();
     std::fill(out_per_machine.begin(), out_per_machine.end(), 0);
+    std::uint32_t max_attempts = 1;
 
     std::uint64_t crossed = 0;
     for (graph::vid_t v = 0; v < n; ++v) {
       const bool has_msgs = !in[v].empty();
       if (halted[v] && !has_msgs) continue;
       halted[v] = 0;
-      OpCounter& counter = per_machine[machine_of(v, cfg.machines)];
+      OpCounter& counter =
+          per_machine[live_machine_of(v, cfg.machines, dead.data())];
       counter.compute(cfg.vertex_overhead_instr +
                       static_cast<std::uint32_t>(in[v].size()));
-      ClusterContext<typename Program::Message> ctx(
-          cfg, g, ss, v, counter, out, out_per_machine, rec.local_messages,
-          rec.remote_messages, agg_ptr);
-      prog.compute(ctx, v, res.state[v],
-                   std::span<const typename Program::Message>(in[v]));
+      ClusterContext<Message> ctx(cfg, g, ss, v, counter, out, out_per_machine,
+                                  rec, agg_ptr, plan, dead.data(), rng,
+                                  max_attempts);
+      prog.compute(ctx, v, res.state[v], std::span<const Message>(in[v]));
       if (ctx.voted_halt()) halted[v] = 1;
       ++rec.computed_vertices;
     }
 
-    // Price the superstep.
-    std::uint64_t max_instr = 0;
+    // Price the superstep: slowest machine's (possibly straggler-slowed)
+    // compute phase, then the busiest NIC including retry traffic, then
+    // the deepest retry-backoff chain, then the barrier.
+    double max_compute_seconds = 0.0;
     std::uint64_t max_out = 0;
     std::uint64_t sum_out = 0;
     for (std::uint32_t m = 0; m < cfg.machines; ++m) {
-      max_instr = std::max(max_instr, per_machine[m].instructions());
+      max_compute_seconds = std::max(
+          max_compute_seconds,
+          static_cast<double>(per_machine[m].instructions()) /
+              (cfg.worker_instr_per_sec * cfg.workers_per_machine) *
+              plan.slowdown(m));
       max_out = std::max(max_out, out_per_machine[m]);
       sum_out += out_per_machine[m];
     }
     const double mean_out =
-        static_cast<double>(sum_out) / static_cast<double>(cfg.machines);
+        static_cast<double>(sum_out) / static_cast<double>(live_machines);
     rec.message_imbalance =
         mean_out > 0 ? static_cast<double>(max_out) / mean_out : 1.0;
     for (std::uint32_t m = 0; m < cfg.machines; ++m) {
       total_out_per_machine[m] += out_per_machine[m];
     }
-    rec.seconds =
-        static_cast<double>(max_instr) /
-            (cfg.worker_instr_per_sec * cfg.workers_per_machine) +
-        static_cast<double>(max_out) / cfg.nic_messages_per_sec +
-        cfg.barrier_seconds;
+    const double backoff =
+        plan.retry_backoff_seconds * static_cast<double>(max_attempts - 1);
+    rec.seconds = max_compute_seconds +
+                  static_cast<double>(max_out) / cfg.nic_messages_per_sec +
+                  backoff + cfg.barrier_seconds;
 
     // Deliver.
     for (graph::vid_t v = 0; v < n; ++v) {
@@ -238,15 +346,47 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
     res.totals.seconds += rec.seconds;
     res.totals.messages += rec.local_messages + rec.remote_messages;
     ++res.totals.supersteps;
+    res.recovery.remote_retries += rec.remote_retries;
+    res.recovery.retry_backoff_seconds += backoff;
+    if (rec.replayed) res.recovery.recovery_seconds += rec.seconds;
     res.peak_message_imbalance =
         std::max(res.peak_message_imbalance, rec.message_imbalance);
-    res.supersteps.push_back(rec);
 
     if (crossed == 0 &&
         std::all_of(halted.begin(), halted.end(),
                     [](std::uint8_t h) { return h != 0; })) {
+      res.supersteps.push_back(rec);
+      res.converged = true;
       break;
     }
+
+    // Superstep-boundary checkpoint: snapshot the state the *next*
+    // superstep starts from. Replay re-persists checkpoints it passes —
+    // the recovered cluster needs them durable again.
+    if (cfg.checkpoint_interval != 0 &&
+        (ss + 1) % cfg.checkpoint_interval == 0) {
+      cp.next_superstep = ss + 1;
+      cp.state = res.state;
+      cp.inboxes = in;
+      cp.halted = halted;
+      cp.aggregators = aggregators;
+      have_checkpoint = true;
+      std::fill(machine_bytes.begin(), machine_bytes.end(), 0);
+      for (graph::vid_t v = 0; v < n; ++v) {
+        machine_bytes[live_machine_of(v, cfg.machines, dead.data())] +=
+            Checkpoint<State, Message>::vertex_bytes(in[v].size());
+      }
+      cp_max_machine_bytes =
+          *std::max_element(machine_bytes.begin(), machine_bytes.end());
+      const double cp_seconds = checkpoint_seconds(cfg, cp_max_machine_bytes);
+      rec.checkpointed = true;
+      ++res.recovery.checkpoints_written;
+      res.recovery.checkpoint_seconds += cp_seconds;
+      res.totals.seconds += cp_seconds;
+    }
+
+    res.supersteps.push_back(rec);
+    ++ss;
   }
 
   std::uint64_t grand_max = 0;
@@ -257,7 +397,7 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
   }
   if (grand_sum > 0) {
     res.total_message_imbalance =
-        static_cast<double>(grand_max) * cfg.machines /
+        static_cast<double>(grand_max) * live_machines /
         static_cast<double>(grand_sum);
   }
   return res;

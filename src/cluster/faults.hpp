@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace xg::cluster {
+
+/// A machine failure scheduled by a FaultPlan: `machine` dies while
+/// executing `superstep`, destroying that superstep's partial work and
+/// everything the machine held since the last checkpoint.
+struct CrashEvent {
+  std::uint32_t superstep = 0;
+  std::uint32_t machine = 0;
+};
+
+/// Deterministic, seeded fault schedule for one cluster run — the failure
+/// modes a real Pregel deployment prices in and our fault-free idealization
+/// ignored: worker crashes (recovered by checkpoint rollback + replay),
+/// per-machine straggler slowdown (network/GC/oversubscription variance),
+/// and transient remote-message delivery failures retried with backoff.
+///
+/// Faults never change *results*: vertex execution order, message content
+/// and delivery order are placement-independent, crashes roll back to a
+/// consistent superstep boundary, and retries always succeed within the
+/// bound. Only the pricing — `totals.seconds`, message/retry counts, and
+/// the RecoveryRecord trail — reflects the injected faults. Tests enforce
+/// that the final state vector is bit-identical to a fault-free run.
+struct FaultPlan {
+  /// Seed for the retry draws; two runs with the same plan fail the same
+  /// deliveries on the same attempts (SplitMix64, platform-independent).
+  std::uint64_t seed = 0x5EED;
+
+  /// Machine crashes, each firing at most once. A superstep in which a
+  /// scheduled machine is already dead is a no-op.
+  std::vector<CrashEvent> crashes;
+
+  /// Per-machine compute slowdown multipliers (>= 1.0); empty means no
+  /// stragglers. Size must equal ClusterConfig::machines when nonempty.
+  std::vector<double> straggler_factor;
+
+  /// Probability that one remote delivery attempt fails in transit.
+  double remote_drop_probability = 0.0;
+
+  /// Retry bound per message. Delivery is guaranteed by the last attempt
+  /// (failures are transient), so results never depend on the draw — only
+  /// the NIC traffic, serialization instructions, and backoff time do.
+  std::uint32_t max_retries = 3;
+
+  /// Added to a superstep's communication phase per retry *round* it
+  /// needed (exponential-backoff timers run concurrently across messages,
+  /// so the superstep waits for the deepest retry chain, not the sum).
+  double retry_backoff_seconds = 5e-4;
+
+  /// Heartbeat-timeout cost paid once per crash before recovery starts.
+  double failure_detection_seconds = 30e-3;
+
+  bool empty() const {
+    return crashes.empty() && straggler_factor.empty() &&
+           remote_drop_probability == 0.0;
+  }
+
+  double slowdown(std::uint32_t machine) const {
+    return straggler_factor.empty() ? 1.0 : straggler_factor[machine];
+  }
+
+  /// Attempts needed to deliver one remote message: 1 plus up to
+  /// `max_retries` redraws while the transient failure fires.
+  std::uint32_t draw_attempts(graph::Rng& rng) const {
+    std::uint32_t attempts = 1;
+    while (attempts <= max_retries &&
+           rng.uniform01() < remote_drop_probability) {
+      ++attempts;
+    }
+    return attempts;
+  }
+
+  void validate(std::uint32_t machines) const {
+    auto fail = [](const std::string& what) {
+      throw std::invalid_argument("FaultPlan: " + what);
+    };
+    std::uint32_t crashed = 0;
+    std::vector<std::uint8_t> seen(machines, 0);
+    for (const CrashEvent& c : crashes) {
+      if (c.machine >= machines) fail("crash machine out of range");
+      if (!seen[c.machine]) {
+        seen[c.machine] = 1;
+        ++crashed;
+      }
+    }
+    if (!crashes.empty() && crashed >= machines) {
+      fail("crashes must leave at least one live machine");
+    }
+    if (!straggler_factor.empty() && straggler_factor.size() != machines) {
+      fail("straggler_factor size must equal machines");
+    }
+    for (const double f : straggler_factor) {
+      if (f < 1.0) fail("straggler_factor entries must be >= 1.0");
+    }
+    if (remote_drop_probability < 0.0 || remote_drop_probability >= 1.0) {
+      fail("remote_drop_probability must be in [0, 1)");
+    }
+    if (retry_backoff_seconds < 0) fail("retry_backoff_seconds must be >= 0");
+    if (failure_detection_seconds < 0) {
+      fail("failure_detection_seconds must be >= 0");
+    }
+  }
+};
+
+/// What fault tolerance did during a run — the recovery trail. A fault-free
+/// run with checkpointing enabled still reports checkpoints_written and
+/// checkpoint_seconds (the standing insurance premium); everything else is
+/// nonzero only when the FaultPlan injected the corresponding fault.
+struct RecoveryRecord {
+  std::uint64_t checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;  ///< total time writing checkpoints
+  std::uint32_t crashes = 0;        ///< crash events that actually fired
+  std::uint64_t supersteps_replayed = 0;  ///< completed work re-executed
+  /// Detection timeouts + checkpoint restores + replayed superstep time.
+  double recovery_seconds = 0.0;
+  std::uint64_t remote_retries = 0;  ///< extra delivery attempts
+  double retry_backoff_seconds = 0.0;
+};
+
+}  // namespace xg::cluster

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xg::exp {
+
+/// Minimal JSON emitter for bench result files: nested objects/arrays with
+/// automatic comma placement and two-space indentation, writing straight to
+/// a FILE*. Keeps the bench binaries free of hand-counted commas without
+/// pulling in a JSON dependency the container doesn't have.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& name) {
+    separate();
+    std::fprintf(f_, "\"%s\": ", name.c_str());
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) { return emit("%.6g", v); }
+  JsonWriter& value(std::uint64_t v) {
+    return emit("%llu", static_cast<unsigned long long>(v));
+  }
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(int v) { return emit("%d", v); }
+  JsonWriter& value(bool v) { return emit("%s", v ? "true" : "false"); }
+  JsonWriter& value(const std::string& v) {
+    return emit("\"%s\"", v.c_str());
+  }
+  JsonWriter& value(const char* v) { return emit("\"%s\"", v); }
+
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    return key(name).value(v);
+  }
+
+  /// Call once after the root value; writes the trailing newline.
+  void finish() { std::fputc('\n', f_); }
+
+ private:
+  template <typename... A>
+  JsonWriter& emit(const char* fmt, A... a) {
+    separate();
+    std::fprintf(f_, fmt, a...);
+    if (!first_.empty()) first_.back() = false;
+    return *this;
+  }
+
+  JsonWriter& open(char c) {
+    separate();
+    std::fputc(c, f_);
+    if (!first_.empty()) first_.back() = false;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    const bool was_empty = first_.back();
+    first_.pop_back();
+    if (!was_empty) {
+      std::fputc('\n', f_);
+      indent();
+    }
+    std::fputc(c, f_);
+    return *this;
+  }
+
+  /// Before a key or a bare array element: comma after a previous sibling,
+  /// then newline + indent. A value following its key stays on the line.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (!first_.back()) std::fputc(',', f_);
+    std::fputc('\n', f_);
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;  ///< per open scope: no element emitted yet
+  bool pending_key_ = false;
+};
+
+}  // namespace xg::exp

@@ -1,6 +1,9 @@
 #include "graph/io.hpp"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,19 +13,43 @@ EdgeList read_edge_list(std::istream& in) {
   EdgeList list;
   std::string line;
   std::size_t lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("read_edge_list: " + what + " at line " +
+                             std::to_string(lineno) + ": '" + line + "'");
+  };
   while (std::getline(in, line)) {
     ++lineno;
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
-    std::istringstream ss(line);
-    std::uint64_t src = 0;
-    std::uint64_t dst = 0;
+    // Strip an inline `# comment`, then skip blank lines.
+    const std::string body = line.substr(0, line.find('#'));
+    if (body.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream ss(body);
+    // Parse ids as signed so "-3 0" is rejected instead of wrapping
+    // through the unsigned extraction's modulo rule.
+    long long src = 0;
+    long long dst = 0;
     double w = 1.0;
-    if (!(ss >> src >> dst)) {
-      throw std::runtime_error("read_edge_list: malformed line " +
-                               std::to_string(lineno) + ": '" + line + "'");
+    if (!(ss >> src >> dst)) fail("malformed line");
+    if (src < 0 || dst < 0) fail("negative vertex id");
+    constexpr auto kMaxVid =
+        static_cast<unsigned long long>(std::numeric_limits<vid_t>::max());
+    if (static_cast<unsigned long long>(src) > kMaxVid ||
+        static_cast<unsigned long long>(dst) > kMaxVid) {
+      fail("vertex id overflows vid_t");
     }
-    ss >> w;  // optional
+    // Parse the optional weight as a token through strtod: the istream
+    // double grammar neither accepts "nan"/"inf" nor flags "1e999"-style
+    // overflow reliably, and both must be rejected as non-finite.
+    std::string wtok;
+    if (ss >> wtok) {
+      char* end = nullptr;
+      w = std::strtod(wtok.c_str(), &end);
+      if (end != wtok.c_str() + wtok.size() || wtok.empty()) {
+        fail("malformed weight");
+      }
+      if (!std::isfinite(w)) fail("non-finite weight");
+    }
+    std::string rest;
+    if (ss >> rest) fail("trailing garbage");
     list.add(static_cast<vid_t>(src), static_cast<vid_t>(dst), w);
   }
   return list;

@@ -11,7 +11,9 @@ namespace xg::graph {
 ///
 /// Format: one `src dst [weight]` triple per line; `#` starts a comment.
 /// Compatible with SNAP-style edge lists and what GraphCT's text loader
-/// accepted.
+/// accepted. The reader validates its input — negative ids, ids that do
+/// not fit in vid_t, non-finite or unparseable weights, and trailing
+/// garbage all throw std::runtime_error naming the offending line.
 
 EdgeList read_edge_list(std::istream& in);
 EdgeList read_edge_list_file(const std::string& path);

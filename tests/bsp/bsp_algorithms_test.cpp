@@ -67,6 +67,7 @@ TEST_P(BspFamily, CcMatchesOracle) {
   const auto g = GetParam().make();
   auto m = make_machine();
   const auto r = connected_components(m, g);
+  EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.labels, graph::ref::connected_components(g));
 }
 
@@ -137,6 +138,7 @@ TEST_P(BspFamily, BfsMatchesOracle) {
   const auto g = GetParam().make();
   auto m = make_machine();
   const auto r = bfs(m, g, 0);
+  EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.distance, graph::ref::bfs(g, 0).distance);
   EXPECT_EQ(r.reached, graph::ref::bfs(g, 0).reached);
 }
@@ -254,6 +256,7 @@ TEST_P(BspFamily, UnweightedSsspMatchesBfs) {
   const auto g = GetParam().make();
   auto m = make_machine();
   const auto r = sssp(m, g, 0);
+  EXPECT_TRUE(r.converged);
   const auto b = graph::ref::bfs(g, 0);
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
     if (b.distance[v] == graph::kInfDist) {

@@ -154,6 +154,7 @@ TEST(BspEngine, RelayTerminatesWithTokenAtEveryVertex) {
   const auto g = CSRGraph::build(graph::path_graph(10));
   auto m = make_machine();
   const auto r = run(m, g, RelayProgram{});
+  EXPECT_TRUE(r.converged);
   // Token reaches vertex k at superstep k with value k.
   for (vid_t v = 1; v < 10; ++v) EXPECT_EQ(r.state[v], v);
   // 10 supersteps of relaying plus the final empty one.
@@ -215,6 +216,7 @@ TEST(BspEngine, HaltWithoutMessagesTerminatesAfterOneSuperstep) {
   const auto g = CSRGraph::build(graph::path_graph(8));
   auto m = make_machine();
   const auto r = run(m, g, SleepyProgram{});
+  EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.supersteps.size(), 1u);
   for (const int s : r.state) EXPECT_EQ(s, 1);  // computed exactly once
 }
@@ -237,6 +239,8 @@ TEST(BspEngine, MaxSuperstepsBoundsNonHaltingPrograms) {
   BspOptions opt;
   opt.max_supersteps = 7;
   const auto r = run(m, g, InsomniacProgram{}, opt);
+  // Hitting the superstep cap is reported, not silent.
+  EXPECT_FALSE(r.converged);
   EXPECT_EQ(r.supersteps.size(), 7u);
   for (const int s : r.state) EXPECT_EQ(s, 7);
 }

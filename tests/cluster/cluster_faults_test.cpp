@@ -1,0 +1,322 @@
+// Fault-injection and recovery tests for the cluster BSP engine.
+//
+// The load-bearing invariant: faults bend only the *pricing* — seconds,
+// retry counts, the RecoveryRecord trail — never the *results*. Every test
+// that injects a fault asserts the final state vector is bit-identical to
+// the fault-free run, exactly the guarantee Pregel's checkpoint/replay
+// protocol gives a real deployment.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/pagerank.hpp"
+#include "cluster/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace xg::cluster {
+namespace {
+
+using graph::CSRGraph;
+
+CSRGraph rmat_graph(std::uint32_t scale = 10) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 16;
+  p.seed = 1;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+template <typename Config, typename Mutate>
+void expect_invalid(Mutate mutate, const std::string& needle,
+                    std::uint32_t machines = 0) {
+  Config c;
+  mutate(c);
+  try {
+    if constexpr (std::is_same_v<Config, FaultPlan>) {
+      c.validate(machines);
+    } else {
+      c.validate();
+    }
+    FAIL() << "expected invalid_argument mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+// --- Config / plan validation -------------------------------------------
+
+TEST(ClusterConfigValidate, EachInvalidFieldThrowsWithItsMessage) {
+  EXPECT_NO_THROW(ClusterConfig{}.validate());
+  expect_invalid<ClusterConfig>([](auto& c) { c.machines = 0; },
+                                "machines must be >= 1");
+  expect_invalid<ClusterConfig>([](auto& c) { c.workers_per_machine = 0; },
+                                "workers_per_machine must be >= 1");
+  expect_invalid<ClusterConfig>([](auto& c) { c.worker_instr_per_sec = 0; },
+                                "worker_instr_per_sec must be > 0");
+  expect_invalid<ClusterConfig>([](auto& c) { c.nic_messages_per_sec = -1; },
+                                "nic_messages_per_sec must be > 0");
+  expect_invalid<ClusterConfig>([](auto& c) { c.barrier_seconds = -1e-3; },
+                                "barrier_seconds must be >= 0");
+  expect_invalid<ClusterConfig>([](auto& c) { c.checkpoint_bytes_per_sec = 0; },
+                                "checkpoint_bytes_per_sec must be > 0");
+  expect_invalid<ClusterConfig>(
+      [](auto& c) { c.checkpoint_latency_seconds = -1; },
+      "checkpoint_latency_seconds must be >= 0");
+}
+
+TEST(FaultPlanValidate, EachInvalidFieldThrowsWithItsMessage) {
+  EXPECT_NO_THROW(FaultPlan{}.validate(4));
+  expect_invalid<FaultPlan>([](auto& p) { p.crashes = {{0, 9}}; },
+                            "crash machine out of range", 4);
+  expect_invalid<FaultPlan>(
+      [](auto& p) {
+        p.crashes = {{0, 0}, {1, 1}};
+      },
+      "crashes must leave at least one live machine", 2);
+  expect_invalid<FaultPlan>(
+      [](auto& p) { p.straggler_factor = {1.0, 2.0}; },
+      "straggler_factor size must equal machines", 4);
+  expect_invalid<FaultPlan>(
+      [](auto& p) { p.straggler_factor = {1.0, 0.5, 1.0, 1.0}; },
+      "straggler_factor entries must be >= 1.0", 4);
+  expect_invalid<FaultPlan>([](auto& p) { p.remote_drop_probability = 1.0; },
+                            "remote_drop_probability must be in [0, 1)", 4);
+  expect_invalid<FaultPlan>([](auto& p) { p.retry_backoff_seconds = -1; },
+                            "retry_backoff_seconds must be >= 0", 4);
+  expect_invalid<FaultPlan>([](auto& p) { p.failure_detection_seconds = -1; },
+                            "failure_detection_seconds must be >= 0", 4);
+  // Two crashes of the *same* machine never exhaust the cluster.
+  FaultPlan twice;
+  twice.crashes = {{0, 1}, {3, 1}};
+  EXPECT_NO_THROW(twice.validate(2));
+}
+
+// --- The recovery invariant ---------------------------------------------
+
+TEST(ClusterRecovery, CrashMatrixIsBitIdenticalAndPricesTheFaults) {
+  const auto g = rmat_graph();
+  const auto baseline = run(ClusterConfig{}, g, bsp::CCProgram{});
+  ASSERT_TRUE(baseline.converged);
+  ASSERT_EQ(baseline.totals.supersteps, 5u);
+
+  for (const std::uint32_t crash_ss : {1u, 2u, 4u}) {
+    for (const std::uint32_t interval : {1u, 2u, 3u, 8u}) {
+      ClusterConfig cfg;
+      cfg.checkpoint_interval = interval;
+      FaultPlan plan;
+      plan.crashes = {{crash_ss, /*machine=*/2}};
+      const auto r = run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+
+      // Results: bit-identical to the fault-free run.
+      EXPECT_EQ(r.state, baseline.state)
+          << "crash@" << crash_ss << " interval " << interval;
+      EXPECT_TRUE(r.converged);
+
+      // Pricing: the trail shows the crash and what recovering cost.
+      EXPECT_EQ(r.recovery.crashes, 1u);
+      // Replay re-runs exactly the supersteps completed since the last
+      // checkpoint: crash_ss mod interval (everything when no checkpoint
+      // preceded the crash).
+      EXPECT_EQ(r.recovery.supersteps_replayed, crash_ss % interval);
+      EXPECT_GT(r.recovery.recovery_seconds, 0.0);
+      EXPECT_GT(r.totals.seconds, baseline.totals.seconds);
+      EXPECT_EQ(r.totals.supersteps,
+                baseline.totals.supersteps + (crash_ss % interval));
+    }
+  }
+}
+
+TEST(ClusterRecovery, OverheadGrowsMonotonicallyWithTheInterval) {
+  // Free checkpoints isolate the replay term: with the checkpoint write
+  // priced at ~0, total seconds must be nondecreasing in the interval —
+  // longer intervals never recover cheaper — and strictly increasing once
+  // the interval pushes the restore point further from the crash.
+  const auto g = rmat_graph();
+  FaultPlan plan;
+  plan.crashes = {{/*superstep=*/4, /*machine=*/2}};
+  std::vector<double> seconds;
+  std::vector<std::uint64_t> replayed;
+  for (const std::uint32_t interval : {1u, 2u, 3u, 5u, 8u}) {
+    ClusterConfig cfg;
+    cfg.checkpoint_interval = interval;
+    cfg.checkpoint_bytes_per_sec = 1e300;  // write cost ~0
+    cfg.checkpoint_latency_seconds = 0.0;
+    const auto r = run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+    seconds.push_back(r.totals.seconds);
+    replayed.push_back(r.recovery.supersteps_replayed);
+  }
+  EXPECT_EQ(replayed, (std::vector<std::uint64_t>{0, 0, 1, 4, 4}));
+  for (std::size_t i = 1; i < seconds.size(); ++i) {
+    EXPECT_GE(seconds[i], seconds[i - 1]) << "interval step " << i;
+  }
+  EXPECT_LT(seconds[1], seconds[2]);  // one extra replayed superstep
+  EXPECT_LT(seconds[2], seconds[3]);  // replay-from-scratch is worst
+}
+
+TEST(ClusterRecovery, CrashWithoutCheckpointingRestartsFromScratch) {
+  const auto g = rmat_graph();
+  const auto baseline = run(ClusterConfig{}, g, bsp::CCProgram{});
+  FaultPlan plan;
+  plan.crashes = {{/*superstep=*/3, /*machine=*/0}};
+  const auto r = run(ClusterConfig{}, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  EXPECT_EQ(r.recovery.checkpoints_written, 0u);
+  EXPECT_EQ(r.recovery.supersteps_replayed, 3u);
+  EXPECT_EQ(r.recovery.crashes, 1u);
+}
+
+TEST(ClusterRecovery, CascadingCrashesStillRecover) {
+  const auto g = rmat_graph();
+  ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  const auto baseline = run(cfg, g, bsp::CCProgram{});
+  FaultPlan plan;
+  plan.crashes = {{1, 0}, {3, 4}};
+  const auto r = run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.recovery.crashes, 2u);
+  EXPECT_GT(r.totals.seconds, baseline.totals.seconds);
+}
+
+TEST(ClusterRecovery, BfsRecoversBitIdentically) {
+  const auto g = rmat_graph();
+  const auto src = g.max_degree_vertex();
+  const auto baseline = run(ClusterConfig{}, g, bsp::BfsProgram{src});
+  ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  FaultPlan plan;
+  plan.crashes = {{2, 3}};
+  const auto r = run(cfg, g, bsp::BfsProgram{src}, 100000, {}, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(ClusterRecovery, AggregatorProgramRecoversAcrossRollback) {
+  // The adaptive PageRank's convergence depends on aggregator values
+  // crossing superstep boundaries — a rollback that mishandled aggregator
+  // snapshots would change the superstep count or the ranks.
+  const auto g = CSRGraph::build(graph::grid_graph(8, 8));
+  bsp::PageRankAdaptiveProgram prog;
+  prog.num_vertices = g.num_vertices();
+  prog.tolerance = 1e-6;
+  const std::vector<bsp::Aggregator::Op> aggs = {bsp::Aggregator::Op::kSum};
+  const auto baseline = run(ClusterConfig{}, g, prog, 500, aggs);
+  ASSERT_TRUE(baseline.converged);
+  ClusterConfig cfg;
+  cfg.checkpoint_interval = 3;
+  FaultPlan plan;
+  plan.crashes = {{/*superstep=*/7, /*machine=*/1}};
+  const auto r = run(cfg, g, prog, 500, aggs, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.recovery.supersteps_replayed, 7u % 3u);
+}
+
+// --- Stragglers and the flaky network ------------------------------------
+
+TEST(ClusterFaults, StragglerSlowsEveryBarrierButChangesNothingElse) {
+  const auto g = rmat_graph();
+  ClusterConfig cfg;
+  const auto baseline = run(cfg, g, bsp::CCProgram{});
+  FaultPlan plan;
+  plan.straggler_factor.assign(cfg.machines, 1.0);
+  plan.straggler_factor[3] = 8.0;
+  const auto r = run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  EXPECT_EQ(r.totals.supersteps, baseline.totals.supersteps);
+  EXPECT_EQ(r.totals.messages, baseline.totals.messages);
+  EXPECT_GT(r.totals.seconds, baseline.totals.seconds);
+}
+
+TEST(ClusterFaults, FlakyNetworkPricesRetriesNotResults) {
+  const auto g = rmat_graph();
+  const auto baseline = run(ClusterConfig{}, g, bsp::CCProgram{});
+  FaultPlan plan;
+  plan.remote_drop_probability = 0.05;
+  const auto r = run(ClusterConfig{}, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(r.state, baseline.state);
+  // Every message is still delivered exactly once...
+  EXPECT_EQ(r.totals.messages, baseline.totals.messages);
+  // ...but the attempts cost NIC slots, instructions, and backoff time.
+  EXPECT_GT(r.recovery.remote_retries, 0u);
+  EXPECT_GT(r.recovery.retry_backoff_seconds, 0.0);
+  EXPECT_GT(r.totals.seconds, baseline.totals.seconds);
+}
+
+TEST(ClusterFaults, RetryDrawsAreSeededAndDeterministic) {
+  const auto g = rmat_graph();
+  FaultPlan plan;
+  plan.remote_drop_probability = 0.02;
+  const auto a = run(ClusterConfig{}, g, bsp::CCProgram{}, 100000, {}, plan);
+  const auto b = run(ClusterConfig{}, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(a.recovery.remote_retries, b.recovery.remote_retries);
+  EXPECT_DOUBLE_EQ(a.totals.seconds, b.totals.seconds);
+  plan.seed ^= 0xABCDEF;
+  const auto c = run(ClusterConfig{}, g, bsp::CCProgram{}, 100000, {}, plan);
+  EXPECT_EQ(c.state, a.state);  // the seed moves prices, never results
+  EXPECT_NE(c.recovery.remote_retries, a.recovery.remote_retries);
+}
+
+// --- Checkpoint pricing and the trail ------------------------------------
+
+TEST(ClusterCheckpoints, FaultFreeRunPaysThePremiumAndRecordsIt) {
+  const auto g = rmat_graph();
+  const auto plain = run(ClusterConfig{}, g, bsp::CCProgram{});
+  ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  const auto r = run(cfg, g, bsp::CCProgram{});
+  EXPECT_EQ(r.state, plain.state);
+  // 5 supersteps converge at ss4; boundaries after ss1 and ss3 checkpoint.
+  EXPECT_EQ(r.recovery.checkpoints_written, 2u);
+  EXPECT_GT(r.recovery.checkpoint_seconds, 0.0);
+  // The premium is exactly the checkpoint time on top of the plain run.
+  EXPECT_NEAR(r.totals.seconds,
+              plain.totals.seconds + r.recovery.checkpoint_seconds, 1e-15);
+  EXPECT_TRUE(r.supersteps[1].checkpointed);
+  EXPECT_FALSE(r.supersteps[0].checkpointed);
+  // Everything else in the trail stays zero.
+  EXPECT_EQ(r.recovery.crashes, 0u);
+  EXPECT_EQ(r.recovery.supersteps_replayed, 0u);
+  EXPECT_EQ(r.recovery.remote_retries, 0u);
+  EXPECT_DOUBLE_EQ(r.recovery.recovery_seconds, 0.0);
+}
+
+TEST(ClusterCheckpoints, ReplayedSuperstepsAreFlaggedInTheTrail) {
+  const auto g = rmat_graph();
+  ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  FaultPlan plan;
+  plan.crashes = {{3, 1}};
+  const auto r = run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+  // Crash at ss3 rolls back to the post-ss1 checkpoint's resume point:
+  // trail is ss0 ss1 ss2 [crash] ss2(replay) ss3 ss4 — six records.
+  std::uint64_t replayed = 0;
+  for (const auto& rec : r.supersteps) replayed += rec.replayed ? 1 : 0;
+  EXPECT_EQ(replayed, r.recovery.supersteps_replayed);
+  EXPECT_EQ(r.supersteps.size(), 6u);
+  EXPECT_TRUE(r.supersteps[3].replayed);
+  EXPECT_EQ(r.supersteps[3].superstep, 2u);
+}
+
+// --- The converged flag ---------------------------------------------------
+
+TEST(ClusterConverged, HittingMaxSuperstepsIsReportedNotSilent) {
+  const auto g = rmat_graph();
+  const auto full = run(ClusterConfig{}, g, bsp::CCProgram{});
+  EXPECT_TRUE(full.converged);
+  const auto cut = run(ClusterConfig{}, g, bsp::CCProgram{}, /*max=*/2);
+  EXPECT_FALSE(cut.converged);
+  EXPECT_EQ(cut.totals.supersteps, 2u);
+}
+
+}  // namespace
+}  // namespace xg::cluster

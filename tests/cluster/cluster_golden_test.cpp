@@ -1,0 +1,83 @@
+// Golden determinism suite for the cluster cost model, mirroring
+// tests/xmt/golden_determinism_test.cpp: end-to-end priced results pinned
+// as literals on the same fixed-seed scale-10 R-MAT graph.
+//
+// The fault-tolerance layer's contract is that a FaultPlan bends only the
+// pricing, and that an *empty* plan bends nothing at all: the default
+// `run` must produce these exact numbers forever. If a literal here moves,
+// a refactor has changed the fault-free cost model — a correctness bug, or
+// a deliberate model change that must update these literals and be called
+// out in review.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "cluster/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+
+namespace xg::cluster {
+namespace {
+
+// Same fixture as the XMT golden suite: scale-10, edgefactor 16, seed 1.
+const graph::CSRGraph& golden_graph() {
+  static const graph::CSRGraph g = [] {
+    graph::RmatParams p;
+    p.scale = 10;
+    p.edgefactor = 16;
+    p.seed = 1;
+    return graph::CSRGraph::build(graph::rmat_edges(p));
+  }();
+  return g;
+}
+
+TEST(ClusterGolden, ConnectedComponentsDefaultConfig) {
+  const auto r = run(ClusterConfig{}, golden_graph(), bsp::CCProgram{});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.totals.supersteps, 5u);
+  EXPECT_EQ(r.totals.messages, 44300u);
+  EXPECT_DOUBLE_EQ(r.totals.seconds, 0.012864372874999998);
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  for (const auto& ss : r.supersteps) {
+    local += ss.local_messages;
+    remote += ss.remote_messages;
+  }
+  EXPECT_EQ(local, 7508u);
+  EXPECT_EQ(remote, 36792u);
+  EXPECT_DOUBLE_EQ(r.peak_message_imbalance, 2.5714285714285712);
+  EXPECT_DOUBLE_EQ(r.total_message_imbalance, 1.1224722765818655);
+  // No faults were injected: the recovery trail is all zeros.
+  EXPECT_EQ(r.recovery.crashes, 0u);
+  EXPECT_EQ(r.recovery.checkpoints_written, 0u);
+  EXPECT_EQ(r.recovery.supersteps_replayed, 0u);
+  EXPECT_EQ(r.recovery.remote_retries, 0u);
+  EXPECT_DOUBLE_EQ(r.recovery.checkpoint_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.recovery.recovery_seconds, 0.0);
+}
+
+TEST(ClusterGolden, BfsDefaultConfig) {
+  const auto& g = golden_graph();
+  const auto r = run(ClusterConfig{}, g, bsp::BfsProgram{g.max_degree_vertex()});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.totals.supersteps, 5u);
+  EXPECT_EQ(r.totals.messages, 21244u);
+  EXPECT_DOUBLE_EQ(r.totals.seconds, 0.011464625249999999);
+}
+
+TEST(ClusterGolden, EmptyFaultPlanIsBitIdenticalToNoPlan) {
+  // Passing a default-constructed FaultPlan must route through exactly the
+  // same arithmetic as not passing one: same seconds to the last ulp.
+  const auto plain = run(ClusterConfig{}, golden_graph(), bsp::CCProgram{});
+  const auto with_plan = run(ClusterConfig{}, golden_graph(), bsp::CCProgram{},
+                             100000, {}, FaultPlan{});
+  EXPECT_EQ(with_plan.state, plain.state);
+  EXPECT_DOUBLE_EQ(with_plan.totals.seconds, plain.totals.seconds);
+  EXPECT_EQ(with_plan.totals.messages, plain.totals.messages);
+}
+
+}  // namespace
+}  // namespace xg::cluster

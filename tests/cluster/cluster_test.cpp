@@ -54,6 +54,7 @@ TEST(ClusterConfig, HashPlacementCoversAllMachinesUniformly) {
 TEST(ClusterRun, CcMatchesOracleAndXmtEngine) {
   const auto g = rmat_graph();
   const auto r = run(ClusterConfig{}, g, bsp::CCProgram{});
+  EXPECT_TRUE(r.converged);
   auto labels = r.state;
   graph::ref::canonicalize_labels(labels);
   EXPECT_EQ(labels, graph::ref::connected_components(g));
@@ -71,6 +72,7 @@ TEST(ClusterRun, BfsMatchesOracle) {
   const auto g = rmat_graph();
   const auto src = g.max_degree_vertex();
   const auto r = run(ClusterConfig{}, g, bsp::BfsProgram{src});
+  EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.state, graph::ref::bfs(g, src).distance);
 }
 
@@ -185,6 +187,7 @@ TEST(ClusterRun, AggregatorProgramsWork) {
   prog.tolerance = 1e-6;
   const auto r =
       run(ClusterConfig{}, g, prog, 500, {bsp::Aggregator::Op::kSum});
+  EXPECT_TRUE(r.converged);
   EXPECT_LT(r.totals.supersteps, 200u);
   double sum = 0.0;
   for (const double x : r.state) sum += x;

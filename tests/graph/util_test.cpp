@@ -62,6 +62,71 @@ TEST(Io, MalformedLineThrows) {
   EXPECT_THROW(read_edge_list(ss), std::runtime_error);
 }
 
+// Expect read_edge_list to reject `input` with a runtime_error whose
+// message mentions `what` and the 1-based line number of the bad line.
+void expect_rejects(const std::string& input, const std::string& what,
+                    const std::string& lineno) {
+  std::stringstream ss(input);
+  try {
+    read_edge_list(ss);
+    FAIL() << "expected rejection of: " << input;
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(what), std::string::npos) << "got: " << msg;
+    EXPECT_NE(msg.find("line " + lineno), std::string::npos) << "got: " << msg;
+  }
+}
+
+TEST(Io, RejectsNegativeVertexIds) {
+  // Signed parse: without it, "-3" would wrap through the unsigned
+  // extraction's modulo rule into a huge valid-looking id.
+  expect_rejects("0 1\n-3 0\n", "negative vertex id", "2");
+  expect_rejects("0 -1\n", "negative vertex id", "1");
+}
+
+TEST(Io, RejectsIdsOverflowingVid) {
+  expect_rejects("4294967296 0\n", "overflows vid_t", "1");
+  expect_rejects("0 1\n0 2\n7 99999999999\n", "overflows vid_t", "3");
+  // The maximum representable id itself is fine.
+  std::stringstream ok("0 4294967295\n");
+  EXPECT_NO_THROW(read_edge_list(ok));
+}
+
+TEST(Io, RejectsNonFiniteWeights) {
+  expect_rejects("0 1 nan\n", "non-finite weight", "1");
+  expect_rejects("0 1 inf\n", "non-finite weight", "1");
+  expect_rejects("0 1 -inf\n", "non-finite weight", "1");
+  // Out-of-range literals overflow strtod to infinity.
+  expect_rejects("0 1 1e999\n", "non-finite weight", "1");
+}
+
+TEST(Io, RejectsMalformedWeightAndTrailingGarbage) {
+  expect_rejects("0 1 abc\n", "malformed weight", "1");
+  expect_rejects("0 1 2.0x\n", "malformed weight", "1");
+  expect_rejects("0 1 2.0 xyz\n", "trailing garbage", "1");
+  expect_rejects("0 1 2.0 3.0\n", "trailing garbage", "1");
+}
+
+TEST(Io, AllowsInlineComments) {
+  std::stringstream ss("0 1 # unweighted with note\n1 2 2.5 # weighted\n");
+  const auto list = read_edge_list(ss);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list.edges()[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(list.edges()[1].weight, 2.5);
+}
+
+TEST(Io, ErrorMessageQuotesTheOffendingLine) {
+  std::stringstream ss("0 1\n\n# fine\nbogus line here\n");
+  try {
+    read_edge_list(ss);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus line here"), std::string::npos) << msg;
+  }
+}
+
 TEST(Io, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/path/graph.txt"),
                std::runtime_error);
