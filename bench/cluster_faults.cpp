@@ -14,7 +14,12 @@
 // engine_e2e's BENCH_engine.json).
 //
 // Usage: cluster_faults [--scale N] [--edgefactor N] [--seed N]
-//                       [--machines N] [--out FILE]
+//                       [--machines N] [--out FILE] [--trace FILE]
+//
+// With --trace, one extra showcase run (checkpoint interval 2, one crash at
+// the midpoint superstep) is captured so the resulting timeline shows
+// checkpoint spans, the crash instant, the recovery rollback span, and the
+// replayed supersteps on a single clean track.
 
 #include <cstdio>
 #include <string>
@@ -25,6 +30,7 @@
 #include "exp/args.hpp"
 #include "exp/json.hpp"
 #include "exp/workload.hpp"
+#include "obs/session.hpp"
 
 using namespace xg;
 
@@ -32,7 +38,9 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Cluster fault-tolerance overhead sweep; writes JSON.\n"
                        "Options: --scale N --edgefactor N --seed N "
-                       "--machines N --out FILE");
+                       "--machines N --out FILE --trace FILE "
+                       "--trace-metrics FILE (traces one showcase run: "
+                       "interval-2 checkpoints, a mid-run crash, recovery)");
   args.handle_help();
   const auto wl = exp::make_workload(args, /*default_scale=*/12);
   const auto machines =
@@ -52,6 +60,24 @@ int main(int argc, char** argv) try {
   std::printf("fault-free baseline: %.4f s, %llu supersteps\n",
               baseline.totals.seconds,
               static_cast<unsigned long long>(baseline.totals.supersteps));
+
+  obs::TraceSession trace(args);
+  trace.note("bench", "cluster_faults");
+  trace.note("workload", wl.describe());
+  if (trace.sink() != nullptr) {
+    // One clean, representative faulted run for the timeline: interval-2
+    // checkpoints, one crash at the midpoint, replay back to convergence.
+    auto cfg = base_cfg;
+    cfg.checkpoint_interval = 2;
+    cluster::FaultPlan plan;
+    plan.crashes = {{logical_supersteps / 2, /*machine=*/machines / 2}};
+    const auto r =
+        cluster::run(cfg, wl.graph, prog, 100000, {}, plan, trace.sink());
+    std::printf("trace showcase (interval 2, crash@%u): %.4f s, identical "
+                "state: %s\n",
+                logical_supersteps / 2, r.totals.seconds,
+                r.state == baseline.state ? "yes" : "NO");
+  }
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -162,6 +188,7 @@ int main(int argc, char** argv) try {
 
   std::printf("\nstate bit-identical across all %s runs: %s\nwrote %s\n",
               "faulted", all_identical ? "yes" : "NO — MODEL BUG", out.c_str());
+  trace.finish();
   return all_identical ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

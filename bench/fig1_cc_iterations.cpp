@@ -15,6 +15,7 @@
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
+#include "obs/session.hpp"
 #include "graphct/connected_components.hpp"
 #include "xmt/engine.hpp"
 
@@ -34,16 +35,24 @@ int main(int argc, char** argv) try {
                        "Figure 1: CC time per iteration/superstep, BSP vs "
                        "GraphCT, per processor count.\n"
                        "Options: --scale N --edgefactor N --seed N "
-                       "--procs a,b,c --csv");
+                       "--procs a,b,c --csv --trace FILE "
+                       "--trace-metrics FILE (sweep points share one "
+                       "timeline; trace with a single --procs value for a "
+                       "clean view)");
   args.handle_help();
   const auto wl = exp::make_workload(args, /*default_scale=*/15);
   const auto procs = exp::processor_counts(args);
   std::printf("== Figure 1: connected components by iteration ==\n");
   std::printf("workload: %s\n\n", wl.describe().c_str());
 
+  obs::TraceSession trace(args);
+  trace.note("bench", "fig1_cc_iterations");
+  trace.note("workload", wl.describe());
+
   const auto points = exp::sweep_processors(
       std::span(procs), [&](std::uint32_t p) {
         xmt::Engine engine(exp::sim_config(args, p));
+        engine.set_trace_sink(trace.sink());
         Point pt;
         pt.graphct = graphct::connected_components(engine, wl.graph);
         engine.reset();
@@ -112,6 +121,7 @@ int main(int argc, char** argv) try {
   std::printf(
       "shape checks: BSP needs more iterations than GraphCT; early BSP "
       "supersteps dominate; GraphCT per-iteration time is flat.\n");
+  trace.finish();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

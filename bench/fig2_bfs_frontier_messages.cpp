@@ -15,6 +15,7 @@
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
 #include "graphct/bfs.hpp"
+#include "obs/session.hpp"
 #include "xmt/engine.hpp"
 
 using namespace xg;
@@ -23,7 +24,7 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Figure 2: BFS frontier size vs BSP messages per "
                        "level.\nOptions: --scale N --edgefactor N --seed N "
-                       "--source V --csv");
+                       "--source V --csv --trace FILE --trace-metrics FILE");
   args.handle_help();
   const auto wl = exp::make_workload(args, /*default_scale=*/16);
   const auto source = static_cast<graph::vid_t>(
@@ -33,7 +34,12 @@ int main(int argc, char** argv) try {
               wl.describe().c_str(), source,
               static_cast<unsigned long long>(wl.graph.degree(source)));
 
+  obs::TraceSession trace(args);
+  trace.note("bench", "fig2_bfs_frontier_messages");
+  trace.note("workload", wl.describe());
+
   xmt::Engine engine(exp::sim_config(args, 128));
+  engine.set_trace_sink(trace.sink());
   const auto ct = graphct::bfs(engine, wl.graph, source);
   engine.reset();
   const auto bs = bsp::bfs(engine, wl.graph, source);
@@ -70,6 +76,7 @@ int main(int argc, char** argv) try {
       "paper reference: mid-search message volume exceeds the true frontier "
       "by ~%.0fx and then declines exponentially.\n",
       exp::paper::kBfsMessageInflation);
+  trace.finish();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

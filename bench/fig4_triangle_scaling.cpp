@@ -16,6 +16,7 @@
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
 #include "graphct/triangles.hpp"
+#include "obs/session.hpp"
 #include "xmt/engine.hpp"
 
 using namespace xg;
@@ -33,7 +34,8 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Figure 4: triangle counting scalability, BSP vs "
                        "GraphCT.\nOptions: --scale N --edgefactor N --seed N "
-                       "--procs a,b,c --csv");
+                       "--procs a,b,c --csv --trace FILE "
+                       "--trace-metrics FILE");
   args.handle_help();
   // Default scale 13: the BSP variant really does enumerate every wedge as
   // a message, which is the (intended) pain of Algorithm 3.
@@ -42,9 +44,14 @@ int main(int argc, char** argv) try {
   std::printf("== Figure 4: triangle counting scalability ==\n");
   std::printf("workload: %s\n\n", wl.describe().c_str());
 
+  obs::TraceSession trace(args);
+  trace.note("bench", "fig4_triangle_scaling");
+  trace.note("workload", wl.describe());
+
   const auto points =
       exp::sweep_processors(std::span(procs), [&](std::uint32_t p) {
         xmt::Engine engine(exp::sim_config(args, p));
+        engine.set_trace_sink(trace.sink());
         Point pt;
         pt.graphct = graphct::count_triangles(engine, wl.graph);
         engine.reset();
@@ -100,6 +107,7 @@ int main(int argc, char** argv) try {
       exp::paper::kTcGraphctSeconds, exp::paper::kTcRatio,
       exp::paper::kTcPossibleTriangleMessages / 1e9,
       exp::paper::kTcActualTriangles / 1e6, exp::paper::kTcWriteRatio);
+  trace.finish();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -17,6 +17,7 @@
 #include "exp/paper.hpp"
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
+#include "obs/session.hpp"
 #include "graphct/bfs.hpp"
 #include "graphct/connected_components.hpp"
 #include "graphct/triangles.hpp"
@@ -28,7 +29,8 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Table I: total times for CC, BFS, TC in both models "
                        "on the full machine.\nOptions: --scale N "
-                       "--edgefactor N --seed N --processors N --csv");
+                       "--edgefactor N --seed N --processors N --csv "
+                       "--trace FILE --trace-metrics FILE");
   args.handle_help();
   const auto wl = exp::make_workload(args, /*default_scale=*/14);
   const auto processors =
@@ -38,7 +40,12 @@ int main(int argc, char** argv) try {
               processors);
   std::printf("workload: %s\n\n", wl.describe().c_str());
 
+  obs::TraceSession trace(args);
+  trace.note("bench", "table1_total_times");
+  trace.note("workload", wl.describe());
+
   xmt::Engine engine(cfg);
+  engine.set_trace_sink(trace.sink());
 
   const auto cc_ct = graphct::connected_components(engine, wl.graph);
   engine.reset();
@@ -97,6 +104,7 @@ int main(int argc, char** argv) try {
       exp::paper::kCcGraphctSeconds, exp::paper::kBfsBspSeconds,
       exp::paper::kBfsGraphctSeconds, exp::paper::kTcBspSeconds,
       exp::paper::kTcGraphctSeconds);
+  trace.finish();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

@@ -17,6 +17,7 @@
 #include "bsp/engine.hpp"
 #include "exp/args.hpp"
 #include "graph/generators.hpp"
+#include "obs/session.hpp"
 #include "graph/reference/sssp.hpp"
 #include "graph/rmat.hpp"
 #include "xmt/engine.hpp"
@@ -66,7 +67,8 @@ struct InfluenceProgram {
 int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Custom BSP vertex programs: influence spread, "
-                       "weighted SSSP, PageRank.\nOptions: --scale N --seed N");
+                       "weighted SSSP, PageRank.\nOptions: --scale N --seed N "
+                       "--trace FILE --trace-metrics FILE");
   args.handle_help();
 
   graph::RmatParams params;
@@ -80,6 +82,9 @@ int main(int argc, char** argv) try {
   xmt::SimConfig cfg;
   cfg.processors = 64;
   xmt::Engine machine(cfg);
+  obs::TraceSession trace(args);
+  trace.note("example", "pregel_playground");
+  machine.set_trace_sink(trace.sink());
   std::printf("graph: %u vertices, %llu weighted edges\n\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_undirected_edges()));
 
@@ -143,6 +148,7 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(core.totals.messages));
 
   std::printf("\ntotal simulated time: %.3f ms\n", 1e3 * machine.now_seconds());
+  trace.finish();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

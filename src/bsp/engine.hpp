@@ -11,6 +11,7 @@
 #include "bsp/message_buffer.hpp"
 #include "bsp/types.hpp"
 #include "graph/csr.hpp"
+#include "obs/trace.hpp"
 #include "xmt/engine.hpp"
 
 namespace xg::bsp {
@@ -18,8 +19,12 @@ namespace xg::bsp {
 /// Result of a BSP program run.
 template <typename Program>
 struct Result {
+  /// Final per-vertex state, indexed by vertex id.
   std::vector<typename Program::VertexState> state;
+  /// One record per executed superstep — the per-iteration series behind
+  /// the paper's Figures 1-3.
   std::vector<SuperstepRecord> supersteps;
+  /// Whole-run cycle/message/superstep totals.
   BspTotals totals;
   /// Final values of the declared aggregator slots (from the last flip).
   std::vector<double> final_aggregates;
@@ -42,9 +47,26 @@ struct Result {
 ///                  std::span<const Message>) const;
 ///   };
 ///
-/// compute() runs each superstep for every vertex that has incoming
-/// messages or has not voted to halt. The run terminates when every vertex
-/// has halted and no messages crossed the last superstep boundary.
+/// Contract, per superstep:
+///
+///  * compute() runs for every vertex that has incoming messages or has not
+///    voted to halt (BspOptions::scan_all_vertices decides whether the loop
+///    still *visits* halted vertices, as the paper's XMT code does, or
+///    skips them Pregel-style — the results are identical either way);
+///  * messages sent via the Context are delivered at the *next* superstep
+///    (Pregel semantics — reads are one superstep stale, paper §VI);
+///  * a vertex that calls Context::vote_to_halt() sleeps until a message
+///    reactivates it; init() alone never halts a vertex.
+///
+/// Halt/convergence semantics: the run ends at the first superstep boundary
+/// where every vertex has halted AND no message crossed the boundary
+/// (Result::converged == true), or when BspOptions::max_supersteps cuts it
+/// off (converged == false — callers must check). compute() must therefore
+/// quiesce: a program that re-sends unconditionally never converges.
+///
+/// Determinism: vertices execute in simulated-time order on the machine's
+/// streams, a fixed interleaving — two runs with the same options are
+/// bit-identical, including every SuperstepRecord.
 template <typename Program>
 Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
                     const Program& prog, const BspOptions& opt = {}) {
@@ -60,6 +82,13 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
   std::vector<std::uint8_t> halted(n, 0);
 
   const xmt::Cycles t0 = machine.now();
+
+  // Observability: explicit sink wins, else whatever the machine carries.
+  obs::TraceSink* trace =
+      opt.trace != nullptr ? opt.trace : machine.trace_sink();
+  const auto cycles_to_us = [&](xmt::Cycles c) {
+    return machine.config().seconds(c) * 1e6;
+  };
 
   // State initialization sweep (one store per vertex).
   machine.parallel_for(
@@ -135,6 +164,30 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     rec.messages_combined = buf.combined_this_superstep();
     const std::uint64_t crossed = buf.flip();
     aggregators.flip();
+    if (obs::active(trace)) {
+      obs::TraceEvent e;
+      e.name = "superstep";
+      e.engine = "bsp";
+      e.algorithm = Program::kName;
+      e.superstep = ss;
+      e.ts_us = cycles_to_us(rec.region.start);
+      e.dur_us = cycles_to_us(rec.region.cycles());
+      e.cycles = rec.region.cycles();
+      e.msgs = rec.messages_sent;
+      e.bytes = rec.messages_sent * sizeof(Message);
+      e.active_vertices = rec.computed_vertices;
+      trace->record(std::move(e));
+      obs::TraceEvent flush;
+      flush.name = "message_flush";
+      flush.engine = "bsp";
+      flush.algorithm = Program::kName;
+      flush.phase = obs::Phase::kInstant;
+      flush.superstep = ss;
+      flush.ts_us = cycles_to_us(rec.region.end);
+      flush.msgs = crossed;
+      flush.bytes = crossed * sizeof(Message);
+      trace->record(std::move(flush));
+    }
 
     // Pregel fault tolerance: persist vertex state and in-flight messages.
     if (opt.checkpoint_interval != 0 &&
@@ -150,6 +203,17 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
           {.name = "bsp/checkpoint"});
       rec.checkpointed = true;
       ++res.checkpoints;
+      if (obs::active(trace)) {
+        obs::TraceEvent e;
+        e.name = "checkpoint";
+        e.engine = "bsp";
+        e.algorithm = Program::kName;
+        e.phase = obs::Phase::kInstant;
+        e.superstep = ss;
+        e.ts_us = cycles_to_us(machine.now());
+        e.active_vertices = n;
+        trace->record(std::move(e));
+      }
     }
 
     res.supersteps.push_back(rec);

@@ -7,6 +7,10 @@
 #include "xmt/sim_config.hpp"
 #include "xmt/stats.hpp"
 
+namespace xg::obs {
+class TraceSink;
+}
+
 namespace xg::bsp {
 
 /// Message combining strategy (Pregel's "combiners"). When enabled, all
@@ -66,6 +70,12 @@ struct BspOptions {
   /// stores). 0 disables checkpointing (the paper's setting — its C
   /// implementation had no fault tolerance).
   std::uint32_t checkpoint_interval = 0;
+
+  /// Observability sink for structured superstep/flush/checkpoint events
+  /// (docs/OBSERVABILITY.md). nullptr (the default) falls back to the
+  /// engine's sink (xmt::Engine::set_trace_sink); when neither is set the
+  /// run emits nothing and pays nothing. Never owned by the run.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Statistics for one superstep — the per-iteration series of Figures 1-3.

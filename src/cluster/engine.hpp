@@ -11,6 +11,7 @@
 #include "cluster/faults.hpp"
 #include "graph/csr.hpp"
 #include "graph/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace xg::cluster {
 
@@ -188,9 +189,15 @@ class ClusterContext {
   bool voted_halt_ = false;
 };
 
-/// Run a vertex program under the cluster cost model. Semantics are
-/// identical to bsp::run (same deterministic vertex order, so the same
-/// results); only the *pricing* differs:
+/// Run a vertex program under the cluster cost model.
+///
+/// The program contract is the one bsp::run documents (init/compute/kName,
+/// messages delivered next superstep, vote-to-halt with message
+/// reactivation), and the halt/convergence semantics are identical: the run
+/// ends converged at the first quiescent boundary, or unconverged at
+/// `max_supersteps`. Semantics — deterministic vertex order, message
+/// content, final state — match bsp::run bit for bit; only the *pricing*
+/// differs:
 ///
 ///   t_superstep = max over machines of
 ///                   compute_instr x straggler / (workers x rate)
@@ -200,19 +207,34 @@ class ClusterContext {
 /// Hash partitioning concentrates hub traffic on a few machines; the
 /// per-superstep `message_imbalance` quantifies it.
 ///
-/// With `cfg.checkpoint_interval` != 0 the runtime snapshots state, inboxes,
-/// halted votes and aggregators at that superstep-boundary cadence, priced
-/// by `checkpoint_seconds`. A FaultPlan crash rolls every machine back to
-/// the last checkpoint (or the initial state), folds the dead machine's
-/// partition onto survivors, and replays — the Pregel recovery protocol.
-/// The final state is bit-identical to a fault-free run; `res.recovery`
-/// records what the faults cost.
+/// Fault knobs:
+///
+///  * `cfg.checkpoint_interval` != 0 snapshots state, inboxes, halted votes
+///    and aggregators at that superstep-boundary cadence, priced by
+///    `checkpoint_seconds` (the standing insurance premium);
+///  * `plan.crashes` kill machines mid-superstep: the cluster pays the
+///    detection timeout, rolls back to the last checkpoint (or the initial
+///    state), folds the dead machine's partition onto survivors, and
+///    replays — the Pregel recovery protocol;
+///  * `plan.straggler_factor` slows chosen machines' compute phase;
+///  * `plan.remote_drop_probability` makes remote deliveries flaky, paying
+///    retry serialization, NIC slots and backoff.
+///
+/// Faults bend pricing only: the final state is bit-identical to a
+/// fault-free run, and `res.recovery` records what the faults cost.
+///
+/// `trace`, when non-null, receives structured "superstep",
+/// "message_flush", "checkpoint", "crash" and "recovery" events under
+/// engine "cluster" (docs/OBSERVABILITY.md); timestamps are simulated
+/// cluster seconds expressed in microseconds, and the `cycles` field stays
+/// 0 — this engine prices in seconds, not XMT cycles.
 template <typename Program>
 ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
                            const Program& prog,
                            std::uint32_t max_supersteps = 100000,
                            const std::vector<bsp::Aggregator::Op>& aggs = {},
-                           const FaultPlan& plan = {}) {
+                           const FaultPlan& plan = {},
+                           obs::TraceSink* trace = nullptr) {
   cfg.validate();
   plan.validate(cfg.machines);
   using State = typename Program::VertexState;
@@ -242,6 +264,20 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
   std::uint64_t cp_max_machine_bytes = 0;
   std::uint32_t replay_until = 0;  // supersteps below this are re-executions
 
+  // Observability: simulated-time cursor mirroring res.totals.seconds so
+  // spans land on the cluster's priced timeline.
+  double now_us = 0.0;
+  const auto cluster_event = [](const char* name, std::uint32_t superstep,
+                                double ts_us) {
+    obs::TraceEvent e;
+    e.name = name;
+    e.engine = "cluster";
+    e.algorithm = Program::kName;
+    e.superstep = superstep;
+    e.ts_us = ts_us;
+    return e;
+  };
+
   std::uint32_t ss = 0;
   while (ss < max_supersteps) {
     // Crash events scheduled for this superstep: the machine dies mid
@@ -259,6 +295,11 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
       crashed = true;
     }
     if (crashed) {
+      if (obs::active(trace)) {
+        auto e = cluster_event("crash", ss, now_us);
+        e.phase = obs::Phase::kInstant;
+        trace->record(std::move(e));
+      }
       double rollback = plan.failure_detection_seconds;
       std::uint32_t resume = 0;
       if (have_checkpoint) {
@@ -278,6 +319,13 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
       res.recovery.supersteps_replayed += ss - resume;
       res.recovery.recovery_seconds += rollback;
       res.totals.seconds += rollback;
+      if (obs::active(trace)) {
+        auto e = cluster_event("recovery", resume, now_us);
+        e.dur_us = rollback * 1e6;
+        e.active_vertices = ss - resume;  // supersteps to replay
+        trace->record(std::move(e));
+      }
+      now_us += rollback * 1e6;
       replay_until = std::max(replay_until, ss);
       ss = resume;
       continue;
@@ -343,6 +391,22 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
     }
     aggregators.flip();
 
+    if (obs::active(trace)) {
+      auto e = cluster_event("superstep", ss, now_us);
+      e.dur_us = rec.seconds * 1e6;
+      e.msgs = rec.local_messages + rec.remote_messages;
+      e.bytes = e.msgs * sizeof(Message);
+      e.active_vertices = rec.computed_vertices;
+      trace->record(std::move(e));
+      auto flush = cluster_event("message_flush", ss,
+                                 now_us + rec.seconds * 1e6);
+      flush.phase = obs::Phase::kInstant;
+      flush.msgs = crossed;
+      flush.bytes = crossed * sizeof(Message);
+      trace->record(std::move(flush));
+    }
+    now_us += rec.seconds * 1e6;
+
     res.totals.seconds += rec.seconds;
     res.totals.messages += rec.local_messages + rec.remote_messages;
     ++res.totals.supersteps;
@@ -383,6 +447,14 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
       ++res.recovery.checkpoints_written;
       res.recovery.checkpoint_seconds += cp_seconds;
       res.totals.seconds += cp_seconds;
+      if (obs::active(trace)) {
+        auto e = cluster_event("checkpoint", ss, now_us);
+        e.dur_us = cp_seconds * 1e6;
+        e.bytes = cp_max_machine_bytes;
+        e.active_vertices = n;
+        trace->record(std::move(e));
+      }
+      now_us += cp_seconds * 1e6;
     }
 
     res.supersteps.push_back(rec);

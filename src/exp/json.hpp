@@ -28,6 +28,9 @@ class JsonWriter {
   }
 
   JsonWriter& value(double v) { return emit("%.6g", v); }
+  /// Double with an explicit printf format, for fields where %.6g loses
+  /// needed precision (e.g. microsecond timestamps late in a long trace).
+  JsonWriter& value(double v, const char* fmt) { return emit(fmt, v); }
   JsonWriter& value(std::uint64_t v) {
     return emit("%llu", static_cast<unsigned long long>(v));
   }

@@ -1,0 +1,111 @@
+#include "obs/chrome_trace.hpp"
+
+#include <vector>
+
+#include "exp/json.hpp"
+
+namespace xg::obs {
+
+namespace {
+
+/// Stable process ids so traces from different runs line up in the viewer:
+/// the three engines get fixed ids, anything else is assigned by first
+/// appearance.
+std::map<std::string, int> engine_pids(const std::vector<TraceEvent>& events) {
+  std::map<std::string, int> pids;
+  int next = 4;
+  for (const TraceEvent& e : events) {
+    if (pids.count(e.engine) != 0) continue;
+    if (e.engine == "xmt") {
+      pids[e.engine] = 1;
+    } else if (e.engine == "bsp") {
+      pids[e.engine] = 2;
+    } else if (e.engine == "cluster") {
+      pids[e.engine] = 3;
+    } else {
+      pids[e.engine] = next++;
+    }
+  }
+  return pids;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::FILE* f, const TraceSink& sink,
+                        const std::map<std::string, std::string>& metadata) {
+  const auto pids = engine_pids(sink.events());
+  exp::JsonWriter w(f);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  // Process-name metadata events label each engine's track in the viewer.
+  for (const auto& [engine, pid] : pids) {
+    w.begin_object()
+        .field("name", "process_name")
+        .field("ph", "M")
+        .field("pid", pid)
+        .field("tid", 0);
+    w.key("args").begin_object().field("name", engine).end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& e : sink.events()) {
+    w.begin_object()
+        .field("name", e.name)
+        .field("cat", e.engine)
+        .field("ph", e.phase == Phase::kSpan ? "X" : "i");
+    w.key("ts").value(e.ts_us, "%.3f");
+    if (e.phase == Phase::kSpan) {
+      w.key("dur").value(e.dur_us, "%.3f");
+    } else {
+      w.field("s", "t");  // instant scope: thread
+    }
+    w.field("pid", pids.at(e.engine)).field("tid", 0);
+    w.key("args")
+        .begin_object()
+        .field("engine", e.engine)
+        .field("algorithm", e.algorithm)
+        .field("superstep", e.superstep)
+        .field("cycles", e.cycles)
+        .field("msgs", e.msgs)
+        .field("bytes", e.bytes)
+        .field("active_vertices", e.active_vertices)
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  if (!metadata.empty()) {
+    w.key("otherData").begin_object();
+    for (const auto& [key, value] : metadata) w.field(key, value);
+    w.end_object();
+  }
+  w.end_object();
+  w.finish();
+}
+
+void write_metrics_csv(std::FILE* f, const MetricsRegistry& metrics) {
+  std::fprintf(f, "name,value\n");
+  for (const MetricsRegistry::Entry& e : metrics.entries()) {
+    if (e.kind == MetricsRegistry::Kind::kCounter) {
+      std::fprintf(f, "%s,%llu\n", e.name.c_str(),
+                   static_cast<unsigned long long>(e.count));
+    } else {
+      std::fprintf(f, "%s,%.9g\n", e.name.c_str(), e.value);
+    }
+  }
+}
+
+void write_metrics_json(std::FILE* f, const MetricsRegistry& metrics) {
+  exp::JsonWriter w(f);
+  w.begin_object();
+  for (const MetricsRegistry::Entry& e : metrics.entries()) {
+    if (e.kind == MetricsRegistry::Kind::kCounter) {
+      w.field(e.name, e.count);
+    } else {
+      w.field(e.name, e.value);
+    }
+  }
+  w.end_object();
+  w.finish();
+}
+
+}  // namespace xg::obs

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace xg::obs {
+
+/// Write the sink's events as Chrome trace_event JSON ("JSON Object
+/// Format"), loadable in chrome://tracing and https://ui.perfetto.dev.
+///
+/// Mapping: each engine becomes a named process (pid 1 = xmt, 2 = bsp,
+/// 3 = cluster), spans become "X" complete events, instants become "i"
+/// events, and the schema fields ride in `args`. Timestamps are simulated
+/// microseconds, so the viewer's timeline is the machine model's timeline,
+/// not host wall clock. `metadata` key/value pairs (workload description,
+/// bench name) are emitted under "otherData".
+void write_chrome_trace(std::FILE* f, const TraceSink& sink,
+                        const std::map<std::string, std::string>& metadata = {});
+
+/// Write the sink's metrics registry as a flat two-column CSV
+/// (`name,value`), counters first-touched first — the quick-diff companion
+/// to the full trace.
+void write_metrics_csv(std::FILE* f, const MetricsRegistry& metrics);
+
+/// Write the sink's metrics registry as a flat JSON object
+/// (`{"name": value, ...}`) in registry insertion order.
+void write_metrics_json(std::FILE* f, const MetricsRegistry& metrics);
+
+}  // namespace xg::obs

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xg::obs {
+
+/// Registry of named monotonic counters and gauges — the common metrics
+/// surface shared by the three engines. Counters are unsigned integers that
+/// only grow (message counts, cycles, superstep executions); gauges are
+/// doubles that hold the latest observation (imbalance ratios, simulated
+/// seconds). Names are dotted paths, `<engine>.<event>.<field>`
+/// (e.g. `bsp.superstep.cycles`); the full catalog lives in
+/// docs/OBSERVABILITY.md.
+///
+/// Registration is implicit: the first touch of a name creates the entry.
+/// Iteration order is insertion order, so exports are deterministic for a
+/// deterministic run.
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge };
+
+  /// One named metric; exactly one of `count`/`value` is meaningful,
+  /// selected by `kind`.
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    std::uint64_t count = 0;  ///< counter value (monotonic)
+    double value = 0.0;       ///< gauge value (latest observation)
+  };
+
+  /// The monotonic counter named `name`, created at zero on first use.
+  /// Callers may only add to the returned reference.
+  std::uint64_t& counter(const std::string& name) {
+    return slot(name, Kind::kCounter).count;
+  }
+
+  /// Set the gauge named `name` to `v` (created on first use).
+  void set_gauge(const std::string& name, double v) {
+    slot(name, Kind::kGauge).value = v;
+  }
+
+  /// Counter value, zero when the counter was never touched.
+  std::uint64_t counter_value(const std::string& name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : entries_[it->second].count;
+  }
+
+  /// Gauge value, zero when the gauge was never set.
+  double gauge_value(const std::string& name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0.0 : entries_[it->second].value;
+  }
+
+  bool has(const std::string& name) const { return index_.count(name) != 0; }
+
+  /// All entries in insertion order (exports iterate this).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  Entry& slot(const std::string& name, Kind kind) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) return entries_[it->second];
+    index_.emplace(name, entries_.size());
+    entries_.push_back(Entry{name, kind, 0, 0.0});
+    return entries_.back();
+  }
+
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace xg::obs

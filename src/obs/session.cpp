@@ -1,0 +1,63 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "exp/args.hpp"
+#include "obs/chrome_trace.hpp"
+
+namespace xg::obs {
+
+TraceSession::TraceSession(const exp::Args& args)
+    : trace_path_(args.get("trace", "")),
+      metrics_path_(args.get("trace-metrics", "")) {
+  active_ = !trace_path_.empty() || !metrics_path_.empty();
+  if (active_ && !kTraceCompiledIn) {
+    throw std::runtime_error(
+        "--trace requested but this binary was built with XG_TRACE_OFF");
+  }
+}
+
+TraceSession::~TraceSession() {
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch): destructor must not throw
+  }
+}
+
+void TraceSession::note(const std::string& key, const std::string& value) {
+  metadata_[key] = value;
+}
+
+void TraceSession::finish() {
+  if (!active_ || done_) return;
+  done_ = true;
+  auto write_file = [](const std::string& path, auto writer) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot write " + path);
+    }
+    writer(f);
+    std::fclose(f);
+  };
+  if (!trace_path_.empty()) {
+    write_file(trace_path_, [&](std::FILE* f) {
+      write_chrome_trace(f, sink_, metadata_);
+    });
+    std::printf("wrote trace %s (%zu events)\n", trace_path_.c_str(),
+                sink_.events().size());
+  }
+  if (!metrics_path_.empty()) {
+    const bool csv = metrics_path_.size() >= 4 &&
+                     metrics_path_.compare(metrics_path_.size() - 4, 4,
+                                           ".csv") == 0;
+    write_file(metrics_path_, [&](std::FILE* f) {
+      csv ? write_metrics_csv(f, sink_.metrics())
+          : write_metrics_json(f, sink_.metrics());
+    });
+    std::printf("wrote metrics %s (%zu entries)\n", metrics_path_.c_str(),
+                sink_.metrics().entries().size());
+  }
+}
+
+}  // namespace xg::obs

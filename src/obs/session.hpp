@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace xg::exp {
+class Args;
+}
+
+namespace xg::obs {
+
+/// The one shared helper behind every bench's and example's `--trace` flag.
+///
+///   obs::TraceSession trace(args);          // reads --trace / --trace-metrics
+///   engine.set_trace_sink(trace.sink());    // nullptr when tracing is off
+///   ...run the workload...
+///   trace.finish();                         // writes the files, prints paths
+///
+/// Flags it owns (documented in docs/OBSERVABILITY.md):
+///   --trace PATH          write a Chrome trace_event JSON file, loadable in
+///                         chrome://tracing or https://ui.perfetto.dev
+///   --trace-metrics PATH  also dump the run's metrics registry flat
+///                         (.csv extension selects CSV, anything else JSON)
+///
+/// Without --trace, sink() is nullptr and the engines' null-sink fast path
+/// keeps the run overhead-free; finish() is a no-op. With XG_TRACE_OFF
+/// builds, --trace is rejected so a silent empty trace can't masquerade as
+/// a capture.
+class TraceSession {
+ public:
+  explicit TraceSession(const exp::Args& args);
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  /// Writes any requested files if finish() was not called explicitly
+  /// (errors are swallowed in the destructor; call finish() to surface them).
+  ~TraceSession();
+
+  /// The sink to hand engines, or nullptr when --trace was not passed.
+  TraceSink* sink() { return active_ ? &sink_ : nullptr; }
+  bool active() const { return active_; }
+
+  /// Attach a key/value pair to the trace file's "otherData" block
+  /// (workload description, bench name, sweep point).
+  void note(const std::string& key, const std::string& value);
+
+  /// Write the Chrome trace (and metrics dump if requested) and print the
+  /// paths. Idempotent; throws std::runtime_error when a file can't be
+  /// written.
+  void finish();
+
+ private:
+  TraceSink sink_;
+  std::map<std::string, std::string> metadata_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool active_ = false;
+  bool done_ = false;
+};
+
+}  // namespace xg::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace xg::obs {
+
+/// Compile-time kill switch: building with -DXG_TRACE_OFF (CMake option
+/// XG_TRACE_OFF) turns every `XG_OBS_ACTIVE(sink)` guard into a constant
+/// false, so the compiler removes event construction from the engines
+/// entirely. The default build keeps tracing compiled in; the runtime cost
+/// with no sink attached is one null-pointer test per emission site.
+#ifdef XG_TRACE_OFF
+inline constexpr bool kTraceCompiledIn = false;
+#else
+inline constexpr bool kTraceCompiledIn = true;
+#endif
+
+class TraceSink;
+
+/// Null-sink fast path: true only when tracing is compiled in AND a sink is
+/// attached. All engine emission sites guard on this before building an
+/// event, so a run without --trace does no observability work beyond the
+/// pointer test.
+inline constexpr bool active(const TraceSink* sink) {
+  return kTraceCompiledIn && sink != nullptr;
+}
+
+/// Chrome trace_event phase of a record.
+enum class Phase : std::uint8_t {
+  kSpan,     ///< an interval with a duration ("X" complete event)
+  kInstant,  ///< a point in time ("i" instant event)
+};
+
+/// One structured trace record. Every producer — XMT region execution, BSP
+/// supersteps, cluster supersteps, checkpoints, crashes, recovery — fills
+/// the same schema, so traces from the three engines are directly
+/// comparable (and a single run can interleave all three):
+///
+///   engine           "xmt" | "bsp" | "cluster"
+///   name             event type: "region", "superstep", "message_flush",
+///                    "checkpoint", "crash", "recovery"
+///   algorithm        program/region name, e.g. "bsp/cc", "graphct/bfs"
+///   superstep        logical superstep number (0 for non-superstep events)
+///   ts_us / dur_us   simulated time, microseconds (dur_us 0 for instants)
+///   cycles           simulated XMT cycles (0 on the cluster engine, which
+///                    prices in seconds)
+///   msgs             messages this event accounts for
+///   bytes            payload bytes moved (messages x payload size;
+///                    8 x memory ops for XMT regions)
+///   active_vertices  vertices computed / loop iterations executed
+///
+/// The machine-readable version of this schema is docs/trace_schema.json;
+/// docs/OBSERVABILITY.md is the prose reference.
+struct TraceEvent {
+  std::string name;
+  std::string engine;
+  std::string algorithm;
+  Phase phase = Phase::kSpan;
+  std::uint32_t superstep = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint64_t cycles = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t active_vertices = 0;
+};
+
+/// Collects structured trace events and mirrors their totals into a
+/// MetricsRegistry. Engines emit into a sink they were handed (never one
+/// they own); exporters (obs/chrome_trace.hpp) turn the collected events
+/// into Chrome trace JSON and flat metrics dumps.
+///
+/// Recording an event bumps four counters derived from its schema fields —
+/// `<engine>.<name>.count`, `.cycles`, `.msgs`, `.bytes`, plus
+/// `.active_vertices` — so `sink.metrics()` always agrees with the event
+/// list (tests/obs enforces this against the engines' own stats).
+class TraceSink {
+ public:
+  /// Append one event and fold its totals into the metrics registry.
+  void record(TraceEvent e) {
+    const std::string prefix = e.engine + "." + e.name;
+    metrics_.counter(prefix + ".count") += 1;
+    metrics_.counter(prefix + ".cycles") += e.cycles;
+    metrics_.counter(prefix + ".msgs") += e.msgs;
+    metrics_.counter(prefix + ".bytes") += e.bytes;
+    metrics_.counter(prefix + ".active_vertices") += e.active_vertices;
+    events_.push_back(std::move(e));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  void clear() {
+    events_.clear();
+    metrics_.clear();
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace xg::obs

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace xg::xmt {
 
 namespace {
@@ -362,6 +364,18 @@ RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
   stats.end = last_completion + cfg_.region_overhead;
   now_ = stats.end;
   if (cfg_.record_regions) log_.push_back(stats);
+  if (obs::active(trace_)) {
+    obs::TraceEvent e;
+    e.name = "region";
+    e.engine = "xmt";
+    e.algorithm = stats.name;
+    e.ts_us = cfg_.seconds(stats.start) * 1e6;
+    e.dur_us = cfg_.seconds(stats.cycles()) * 1e6;
+    e.cycles = stats.cycles();
+    e.bytes = stats.memory_ops() * 8;  // every abstract reference is a word
+    e.active_vertices = stats.iterations;
+    trace_->record(std::move(e));
+  }
   return stats;
 }
 

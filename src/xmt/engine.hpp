@@ -8,6 +8,10 @@
 #include "xmt/sim_config.hpp"
 #include "xmt/stats.hpp"
 
+namespace xg::obs {
+class TraceSink;
+}
+
 namespace xg::xmt {
 
 namespace detail {
@@ -105,6 +109,13 @@ class Engine {
   const std::vector<RegionStats>& regions() const { return log_; }
   void clear_log() { log_.clear(); }
 
+  /// Attach an observability sink: every completed region is emitted as an
+  /// `xmt`-engine "region" span (see docs/OBSERVABILITY.md for the schema).
+  /// The engine never owns the sink; nullptr (the default) detaches it and
+  /// restores the zero-overhead path. Survives reset().
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_; }
+
  private:
   struct Stream {
     OpSink sink;
@@ -128,6 +139,7 @@ class Engine {
   SimConfig cfg_;
   Cycles now_ = 0;
   std::vector<RegionStats> log_;
+  obs::TraceSink* trace_ = nullptr;
 
   /// Calendar-queue window: 1-cycle buckets for near events; must be a
   /// power of two. Events further out wait in the overflow heap. Sized so a

@@ -1,0 +1,82 @@
+// Compiled with -DXG_TRACE_OFF (see tests/CMakeLists.txt): the compile-time
+// kill switch must turn every emission site instantiated in this
+// translation unit into dead code, even when a sink is attached. The
+// header-templated BSP and cluster engines are instantiated here, so their
+// guards see kTraceCompiledIn == false; results must be bit-identical to a
+// normal run and the sink must stay empty.
+//
+// (The xmt::Engine region producer lives in the xg_xmt library, which is
+// built without the flag — it is exercised by obs_trace_test instead.)
+
+#ifndef XG_TRACE_OFF
+#error "this test must be compiled with XG_TRACE_OFF"
+#endif
+
+#include <gtest/gtest.h>
+
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/engine.hpp"
+#include "cluster/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "obs/trace.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::obs {
+namespace {
+
+graph::CSRGraph tiny_graph() {
+  graph::EdgeList edges(6);
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(2, 0);
+  edges.add(3, 4);
+  return graph::CSRGraph::build(edges);
+}
+
+TEST(TraceOff, ActiveIsConstantFalse) {
+  static_assert(!kTraceCompiledIn);
+  TraceSink sink;
+  EXPECT_FALSE(active(&sink));
+  EXPECT_FALSE(active(nullptr));
+}
+
+TEST(TraceOff, BspRunRecordsNothingEvenWithSinkAttached) {
+  const auto g = tiny_graph();
+  xmt::SimConfig cfg;
+  cfg.processors = 4;
+
+  xmt::Engine plain_machine(cfg);
+  const auto plain = bsp::run(plain_machine, g, bsp::CCProgram{});
+
+  TraceSink sink;
+  xmt::Engine machine(cfg);
+  bsp::BspOptions opt;
+  opt.trace = &sink;
+  const auto traced = bsp::run(machine, g, bsp::CCProgram{}, opt);
+
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_TRUE(sink.metrics().entries().empty());
+  EXPECT_EQ(traced.state, plain.state);
+  EXPECT_EQ(traced.totals.cycles, plain.totals.cycles);
+}
+
+TEST(TraceOff, ClusterRunRecordsNothingEvenWithSinkAttached) {
+  const auto g = tiny_graph();
+  cluster::ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  cluster::FaultPlan plan;
+  plan.crashes = {{/*superstep=*/1, /*machine=*/0}};
+
+  const auto plain = cluster::run(cfg, g, bsp::CCProgram{}, 100000, {}, plan);
+  TraceSink sink;
+  const auto traced =
+      cluster::run(cfg, g, bsp::CCProgram{}, 100000, {}, plan, &sink);
+
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(traced.state, plain.state);
+  EXPECT_DOUBLE_EQ(traced.totals.seconds, plain.totals.seconds);
+}
+
+}  // namespace
+}  // namespace xg::obs

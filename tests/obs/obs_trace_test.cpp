@@ -1,0 +1,283 @@
+// Observability layer tests: the MetricsRegistry, the null-sink fast path
+// (tracing must never perturb simulated results), counter consistency
+// (trace totals must equal the engines' own stats bit-for-bit), and golden
+// Chrome-trace JSON for a tiny connected-components run on all three
+// engines (GraphCT-on-XMT, BSP-on-XMT, cluster).
+//
+// The goldens live in tests/obs/golden/ and pin the exporter's exact byte
+// output. If one changes, either the trace schema or an engine's emission
+// changed — update the golden deliberately and mention it in review,
+// because every committed sample trace and docs/OBSERVABILITY.md walkthrough
+// is downstream of this format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bsp/algorithms/connected_components.hpp"
+#include "cluster/engine.hpp"
+#include "exp/args.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graphct/connected_components.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::obs {
+namespace {
+
+// Tiny fixed graph: a triangle {0,1,2}, an edge {3,4}, and isolated vertex
+// 5 — three components, small enough that its golden traces stay readable.
+graph::CSRGraph tiny_graph() {
+  graph::EdgeList edges(6);
+  edges.add(0, 1);
+  edges.add(1, 2);
+  edges.add(2, 0);
+  edges.add(3, 4);
+  return graph::CSRGraph::build(edges);
+}
+
+xmt::Engine make_machine() {
+  xmt::SimConfig cfg;
+  cfg.processors = 4;
+  return xmt::Engine(cfg);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// --- MetricsRegistry ----------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateAndReadBack) {
+  MetricsRegistry m;
+  m.counter("a.count") += 3;
+  m.counter("a.count") += 2;
+  m.counter("b.msgs") += 7;
+  EXPECT_EQ(m.counter_value("a.count"), 5u);
+  EXPECT_EQ(m.counter_value("b.msgs"), 7u);
+  EXPECT_EQ(m.counter_value("never.touched"), 0u);
+  EXPECT_TRUE(m.has("a.count"));
+  EXPECT_FALSE(m.has("never.touched"));
+}
+
+TEST(MetricsRegistry, GaugesOverwrite) {
+  MetricsRegistry m;
+  m.set_gauge("seconds", 1.5);
+  m.set_gauge("seconds", 2.25);
+  EXPECT_DOUBLE_EQ(m.gauge_value("seconds"), 2.25);
+}
+
+TEST(MetricsRegistry, EntriesKeepInsertionOrder) {
+  MetricsRegistry m;
+  m.counter("z") += 1;
+  m.set_gauge("a", 0.5);
+  m.counter("m") += 1;
+  const auto& e = m.entries();
+  ASSERT_EQ(e.size(), 3u);
+  EXPECT_EQ(e[0].name, "z");
+  EXPECT_EQ(e[1].name, "a");
+  EXPECT_EQ(e[2].name, "m");
+  m.clear();
+  EXPECT_TRUE(m.entries().empty());
+}
+
+// --- Null-sink fast path ------------------------------------------------
+
+TEST(NullSink, ActiveIsFalseForNullptr) {
+  EXPECT_FALSE(active(nullptr));
+  TraceSink sink;
+  EXPECT_EQ(active(&sink), kTraceCompiledIn);
+}
+
+TEST(NullSink, TracingDoesNotPerturbSimulatedResults) {
+  const auto g = tiny_graph();
+  auto plain_machine = make_machine();
+  const auto plain = bsp::connected_components(plain_machine, g);
+
+  TraceSink sink;
+  auto traced_machine = make_machine();
+  traced_machine.set_trace_sink(&sink);
+  const auto traced = bsp::connected_components(traced_machine, g);
+
+  EXPECT_EQ(traced.labels, plain.labels);
+  EXPECT_EQ(traced.totals.cycles, plain.totals.cycles);
+  EXPECT_EQ(traced.totals.messages, plain.totals.messages);
+  EXPECT_EQ(traced_machine.now(), plain_machine.now());
+  EXPECT_FALSE(sink.events().empty());
+}
+
+// --- Counter consistency against engine stats ---------------------------
+
+TEST(CounterConsistency, BspSuperstepTotalsMatchEngineStats) {
+  const auto g = tiny_graph();
+  TraceSink sink;
+  auto machine = make_machine();
+  machine.set_trace_sink(&sink);
+  const auto r = bsp::connected_components(machine, g);
+
+  std::uint64_t cycles = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t computed = 0;
+  for (const auto& ss : r.supersteps) {
+    cycles += ss.region.cycles();
+    msgs += ss.messages_sent;
+    computed += ss.computed_vertices;
+  }
+  const auto& m = sink.metrics();
+  EXPECT_EQ(m.counter_value("bsp.superstep.count"), r.supersteps.size());
+  EXPECT_EQ(m.counter_value("bsp.superstep.cycles"), cycles);
+  EXPECT_EQ(m.counter_value("bsp.superstep.msgs"), msgs);
+  EXPECT_EQ(m.counter_value("bsp.superstep.msgs"), r.totals.messages);
+  EXPECT_EQ(m.counter_value("bsp.superstep.active_vertices"), computed);
+}
+
+TEST(CounterConsistency, XmtRegionTotalsMatchRegionLog) {
+  const auto g = tiny_graph();
+  TraceSink sink;
+  auto machine = make_machine();
+  machine.set_trace_sink(&sink);
+  const auto r = graphct::connected_components(machine, g);
+
+  std::uint64_t cycles = 0;
+  std::uint64_t iterations = 0;
+  for (const auto& region : machine.regions()) {
+    cycles += region.cycles();
+    iterations += region.iterations;
+  }
+  const auto& m = sink.metrics();
+  EXPECT_EQ(m.counter_value("xmt.region.count"), machine.regions().size());
+  EXPECT_EQ(m.counter_value("xmt.region.cycles"), cycles);
+  EXPECT_EQ(m.counter_value("xmt.region.active_vertices"), iterations);
+  // The kernel's own totals are a subset of the machine's region log
+  // (CC runs entirely through traced regions), so they agree too.
+  EXPECT_EQ(m.counter_value("xmt.region.cycles"), r.totals.cycles);
+}
+
+TEST(CounterConsistency, ClusterSuperstepAndRecoveryTotalsMatch) {
+  const auto g = tiny_graph();
+  cluster::ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  cluster::FaultPlan plan;
+  plan.crashes = {{/*superstep=*/1, /*machine=*/0}};
+
+  TraceSink sink;
+  const auto r =
+      cluster::run(cfg, g, bsp::CCProgram{}, 100000, {}, plan, &sink);
+  const auto baseline = cluster::run(cluster::ClusterConfig{}, g,
+                                     bsp::CCProgram{});
+  EXPECT_EQ(r.state, baseline.state);  // tracing + faults change nothing
+
+  std::uint64_t msgs = 0;
+  for (const auto& ss : r.supersteps) {
+    msgs += ss.local_messages + ss.remote_messages;
+  }
+  const auto& m = sink.metrics();
+  EXPECT_EQ(m.counter_value("cluster.superstep.count"), r.supersteps.size());
+  EXPECT_EQ(m.counter_value("cluster.superstep.msgs"), msgs);
+  EXPECT_EQ(m.counter_value("cluster.crash.count"), r.recovery.crashes);
+  EXPECT_EQ(m.counter_value("cluster.recovery.count"), r.recovery.crashes);
+  EXPECT_EQ(m.counter_value("cluster.recovery.active_vertices"),
+            r.recovery.supersteps_replayed);
+  EXPECT_EQ(m.counter_value("cluster.checkpoint.count"),
+            r.recovery.checkpoints_written);
+  // The cluster engine prices in seconds; its cycles field stays zero.
+  EXPECT_EQ(m.counter_value("cluster.superstep.cycles"), 0u);
+}
+
+// --- Golden Chrome-trace JSON -------------------------------------------
+
+// Candidate files are named after their golden so concurrent ctest workers
+// sharing a working directory never clobber each other.
+std::string render_chrome_trace(const TraceSink& sink,
+                                const std::string& candidate_path) {
+  std::FILE* f = std::fopen(candidate_path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  write_chrome_trace(f, sink,
+                     {{"bench", "golden-cc"}, {"workload", "tiny-6"}});
+  std::fclose(f);
+  return read_file(candidate_path);
+}
+
+void expect_matches_golden(const TraceSink& sink, const std::string& name) {
+  const std::string candidate = "candidate_" + name;
+  const std::string actual = render_chrome_trace(sink, candidate);
+  const std::string golden_path =
+      std::string(XG_REPO_DIR) + "/tests/obs/golden/" + name;
+  EXPECT_EQ(actual, read_file(golden_path))
+      << "trace format drifted from " << golden_path
+      << " — if intentional, regenerate the golden from " << candidate
+      << " in the test working directory";
+}
+
+TEST(GoldenTrace, GraphctCcOnXmtEngine) {
+  TraceSink sink;
+  auto machine = make_machine();
+  machine.set_trace_sink(&sink);
+  graphct::connected_components(machine, tiny_graph());
+  expect_matches_golden(sink, "cc_xmt.trace.json");
+}
+
+TEST(GoldenTrace, BspCcOnXmtEngine) {
+  TraceSink sink;
+  auto machine = make_machine();
+  machine.set_trace_sink(&sink);
+  bsp::connected_components(machine, tiny_graph());
+  expect_matches_golden(sink, "cc_bsp.trace.json");
+}
+
+TEST(GoldenTrace, ClusterCcWithCrashAndRecovery) {
+  cluster::ClusterConfig cfg;
+  cfg.checkpoint_interval = 2;
+  cluster::FaultPlan plan;
+  plan.crashes = {{/*superstep=*/1, /*machine=*/0}};
+  TraceSink sink;
+  cluster::run(cfg, tiny_graph(), bsp::CCProgram{}, 100000, {}, plan, &sink);
+  expect_matches_golden(sink, "cc_cluster.trace.json");
+}
+
+// --- TraceSession flag plumbing -----------------------------------------
+
+TEST(TraceSession, InactiveWithoutTraceFlag) {
+  const char* argv[] = {"prog"};
+  const exp::Args args(1, const_cast<char**>(argv), "usage");
+  TraceSession session(args);
+  EXPECT_EQ(session.sink(), nullptr);
+  session.finish();  // no-op, must not throw or create files
+}
+
+TEST(TraceSession, WritesTraceAndMetricsFiles) {
+  const std::string trace_path = "obs_session_test.trace.json";
+  const std::string metrics_path = "obs_session_test.metrics.json";
+  const char* argv[] = {"prog", "--trace", trace_path.c_str(),
+                        "--trace-metrics", metrics_path.c_str()};
+  const exp::Args args(5, const_cast<char**>(argv), "usage");
+  TraceSession session(args);
+  ASSERT_NE(session.sink(), nullptr);
+  session.note("bench", "session-test");
+
+  auto machine = make_machine();
+  machine.set_trace_sink(session.sink());
+  bsp::connected_components(machine, tiny_graph());
+  session.finish();
+
+  const std::string trace = read_file(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"session-test\""), std::string::npos);
+  const std::string metrics = read_file(metrics_path);
+  EXPECT_NE(metrics.find("\"bsp.superstep.count\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xg::obs

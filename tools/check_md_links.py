@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md for [text](target) links, skips external URLs
+(http/https/mailto) and pure in-page anchors, strips anchors/queries from
+the rest, and verifies the target exists relative to the file. Catches the
+stale-doc-reference class of bug (a renamed bench, a moved doc) in CI
+before a reader does.
+
+Usage: check_md_links.py [ROOT]        (default: repo root of this script)
+Exit 0 when every link resolves; 1 with a report otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+INLINE_CODE = re.compile(r"`[^`]*`")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+
+
+def links_in(text):
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(INLINE_CODE.sub("", line)):
+            yield lineno, m.group(1)
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    failures = []
+    checked = 0
+    for md in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in md.parts):
+            continue
+        for lineno, target in links_in(md.read_text(encoding="utf-8")):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0].split("?", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(root)
+                failures.append(f"{rel}:{lineno}: broken link -> {target}")
+    for f in failures:
+        print(f"error: {f}", file=sys.stderr)
+    status = "FAILED" if failures else "ok"
+    print(f"markdown link check: {checked} relative links, "
+          f"{len(failures)} broken ({status})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate a --trace capture against docs/trace_schema.json.
+
+Dependency-free validator for the JSON Schema subset the schema file uses
+(type, required, properties, items, enum, minItems) — the container ships
+no jsonschema package, and the capture format is simple enough not to need
+one. Also applies two semantic checks the schema language cannot express:
+"X" events need ts+dur, and every non-metadata event's args must carry the
+full obs::TraceEvent field set (docs/OBSERVABILITY.md).
+
+Usage: validate_trace.py TRACE_JSON [SCHEMA_JSON]
+Exit 0 when valid; nonzero with a per-error report otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+ARG_FIELDS = (
+    "engine",
+    "algorithm",
+    "superstep",
+    "cycles",
+    "msgs",
+    "bytes",
+    "active_vertices",
+)
+
+
+def check(value, schema, path, errors):
+    if "type" in schema:
+        expected = TYPES[schema["type"]]
+        if not isinstance(value, expected) or isinstance(value, bool) != (
+            schema["type"] == "boolean"
+        ):
+            errors.append(f"{path}: expected {schema['type']}, "
+                          f"got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required key {req!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                check(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                check(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def semantic_checks(trace, errors):
+    for i, ev in enumerate(trace.get("traceEvents", [])):
+        if not isinstance(ev, dict):
+            continue
+        path = f"$.traceEvents[{i}]"
+        ph = ev.get("ph")
+        if ph == "X" and ("ts" not in ev or "dur" not in ev):
+            errors.append(f"{path}: complete event needs ts and dur")
+        if ph == "i" and "ts" not in ev:
+            errors.append(f"{path}: instant event needs ts")
+        if ph in ("X", "i"):
+            args = ev.get("args", {})
+            for field in ARG_FIELDS:
+                if field not in args:
+                    errors.append(f"{path}.args: missing {field!r}")
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    trace_path = Path(argv[1])
+    schema_path = Path(
+        argv[2] if len(argv) == 3
+        else Path(__file__).resolve().parent.parent / "docs"
+        / "trace_schema.json")
+    trace = json.loads(trace_path.read_text())
+    schema = json.loads(schema_path.read_text())
+
+    errors = []
+    check(trace, schema, "$", errors)
+    semantic_checks(trace, errors)
+    if errors:
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        print(f"{trace_path}: INVALID ({len(errors)} errors)",
+              file=sys.stderr)
+        return 1
+    n = len(trace["traceEvents"])
+    print(f"{trace_path}: valid ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
