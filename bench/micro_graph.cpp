@@ -11,7 +11,7 @@
 #include "graph/reference/triangles.hpp"
 #include "graph/rmat.hpp"
 #include "native/algorithms.hpp"
-#include "native/thread_pool.hpp"
+#include "host/thread_pool.hpp"
 
 namespace {
 

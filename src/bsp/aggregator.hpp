@@ -29,6 +29,15 @@ class Aggregator {
     accumulate_value(v);
   }
 
+  /// Charge the shared-word update without contributing — the lane-staged
+  /// superstep loop buffers the value host-side and merges it in lane
+  /// order at the barrier. Charges the same word accumulate() would, so
+  /// the simulated hotspot is identical.
+  void charge_accumulate(xmt::OpSink& s) const { s.fetch_add(&current_); }
+
+  /// This superstep's partial so far (for merging staged lane partials).
+  double current() const { return current_; }
+
   /// Contribute without charging (for cost models that meter differently,
   /// e.g. the cluster backend's worker-local aggregation trees).
   void accumulate_value(double v) {

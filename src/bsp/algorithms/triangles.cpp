@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
+#include <vector>
 
 #include "bsp/message_buffer.hpp"
 
@@ -42,6 +44,22 @@ vid_t owner(const std::vector<std::uint64_t>& off, std::uint64_t i) {
       std::upper_bound(off.begin(), off.end(), i) - off.begin() - 1);
 }
 
+/// Per-lane tallies for one superstep region: bodies run concurrently
+/// across lanes, so every shared count is accumulated privately here and
+/// folded in lane order after the region.
+struct LaneTally {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t triangles = 0;
+  std::vector<vid_t> confirmed;  ///< superstep 2: closing vertices, in order
+
+  void reset() {
+    sent = received = computed = triangles = 0;
+    confirmed.clear();
+  }
+};
+
 }  // namespace
 
 BspTriangleResult count_triangles(xmt::Engine& machine,
@@ -56,26 +74,39 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   const auto off = lower_offsets(g);
   const std::uint64_t total_lower = off[n];
 
+  std::vector<LaneTally> lanes(machine.lanes());
+  const auto fold = [&](SuperstepRecord& rec, std::uint64_t& sent_total) {
+    for (auto& lt : lanes) {
+      meter.note_sent(lt.sent);
+      sent_total += lt.sent;
+      rec.messages_received += lt.received;
+      rec.computed_vertices += lt.computed;
+      lt.reset();
+    }
+  };
+
   const xmt::Cycles t0 = machine.now();
 
   // ---- Superstep 0: send own id to every higher neighbor (Alg 3 l.1-4).
   {
     SuperstepRecord rec;
     rec.superstep = 0;
-    rec.region = machine.parallel_for(
+    rec.region = machine.parallel_for_lanes(
         n,
-        [&](std::uint64_t vi, xmt::OpSink& s) {
+        [&](std::uint64_t vi, xmt::OpSink& s, std::uint32_t lane) {
+          LaneTally& lt = lanes[lane];
           const vid_t v = static_cast<vid_t>(vi);
           const auto nbrs = g.neighbors(v);
           s.load_n(g.adjacency_ptr(v), static_cast<std::uint32_t>(nbrs.size()));
           const std::size_t lo = lower_count(g, v);
           for (std::size_t i = lo; i < nbrs.size(); ++i) {
-            meter.charge_send(s, nbrs[i]);
-            ++r.edge_messages;
+            meter.charge_send_ops(s, nbrs[i]);
+            ++lt.sent;
           }
-          ++rec.computed_vertices;
+          ++lt.computed;
         },
         {.name = "bsp/tc/s0"});
+    fold(rec, r.edge_messages);
     rec.messages_sent = r.edge_messages;
     meter.flip();
     r.supersteps.push_back(rec);
@@ -87,26 +118,28 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   {
     SuperstepRecord rec;
     rec.superstep = 1;
-    rec.region = machine.parallel_for(
+    rec.region = machine.parallel_for_lanes(
         total_lower,
-        [&](std::uint64_t i, xmt::OpSink& s) {
+        [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t lane) {
+          LaneTally& lt = lanes[lane];
           const vid_t v = owner(off, i);
           const std::uint64_t mi = i - off[v];
           if (mi == 0) {
             meter.charge_inbox_check(s, v);
-            ++rec.computed_vertices;
+            ++lt.computed;
           }
           // Dequeue this one message (a lower neighbor's id).
           meter.charge_receive_n(s, g.adjacency_ptr(v) + mi, 1);
-          ++rec.messages_received;
+          ++lt.received;
           const auto nbrs = g.neighbors(v);
           const std::size_t lo = lower_count(g, v);
           for (std::size_t wi = lo; wi < nbrs.size(); ++wi) {
-            meter.charge_send(s, nbrs[wi]);
-            ++r.wedge_messages;
+            meter.charge_send_ops(s, nbrs[wi]);
+            ++lt.sent;
           }
         },
         {.name = "bsp/tc/s1"});
+    fold(rec, r.wedge_messages);
     rec.messages_sent = r.wedge_messages;
     meter.flip();
     r.supersteps.push_back(rec);
@@ -120,14 +153,15 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   {
     SuperstepRecord rec;
     rec.superstep = 2;
-    rec.region = machine.parallel_for(
+    rec.region = machine.parallel_for_lanes(
         total_lower,
-        [&](std::uint64_t i, xmt::OpSink& s) {
+        [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t lane) {
+          LaneTally& lt = lanes[lane];
           const vid_t w = owner(off, i);
           const std::uint64_t ji = i - off[w];
           if (ji == 0) {
             meter.charge_inbox_check(s, w);
-            ++rec.computed_vertices;
+            ++lt.computed;
           }
           const auto nw = g.neighbors(w);
           const vid_t j = nw[ji];  // ji < lower_count(w) by construction
@@ -135,7 +169,7 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
           if (lo_j == 0) return;
           meter.charge_receive_n(s, g.adjacency_ptr(j),
                                  static_cast<std::uint32_t>(lo_j));
-          rec.messages_received += lo_j;
+          lt.received += lo_j;
           const auto nj = g.neighbors(j);
           for (std::size_t mi = 0; mi < lo_j; ++mi) {
             const vid_t m = nj[mi];
@@ -143,14 +177,19 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
             s.load_n(g.adjacency_ptr(w), search_cost(nw.size()));
             s.compute(1);
             if (std::binary_search(nw.begin(), nw.end(), m)) {
-              ++r.triangles;
-              ++confirmed_at[m];
-              meter.charge_send(s, m);
-              ++r.triangle_messages;
+              ++lt.triangles;
+              lt.confirmed.push_back(m);
+              meter.charge_send_ops(s, m);
+              ++lt.sent;
             }
           }
         },
         {.name = "bsp/tc/s2"});
+    for (auto& lt : lanes) {
+      r.triangles += lt.triangles;
+      for (const vid_t m : lt.confirmed) ++confirmed_at[m];
+    }
+    fold(rec, r.triangle_messages);
     rec.messages_sent = r.triangle_messages;
     meter.flip();
     r.supersteps.push_back(rec);
@@ -160,19 +199,22 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   {
     SuperstepRecord rec;
     rec.superstep = 3;
-    rec.region = machine.parallel_for(
+    rec.region = machine.parallel_for_lanes(
         n,
-        [&](std::uint64_t vi, xmt::OpSink& s) {
+        [&](std::uint64_t vi, xmt::OpSink& s, std::uint32_t lane) {
+          LaneTally& lt = lanes[lane];
           const vid_t v = static_cast<vid_t>(vi);
           meter.charge_inbox_check(s, v);
           if (confirmed_at[v] > 0) {
             meter.charge_receive_n(s, &confirmed_at[v], confirmed_at[v]);
             s.compute(confirmed_at[v]);
-            rec.messages_received += confirmed_at[v];
-            ++rec.computed_vertices;
+            lt.received += confirmed_at[v];
+            ++lt.computed;
           }
         },
         {.name = "bsp/tc/s3"});
+    std::uint64_t unused = 0;
+    fold(rec, unused);
     r.supersteps.push_back(rec);
   }
 

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "bsp/aggregator.hpp"
 #include "bsp/message_buffer.hpp"
@@ -9,6 +11,21 @@
 #include "xmt/op.hpp"
 
 namespace xg::bsp {
+
+/// Per-lane staging area for the lane-parallel superstep loop. A vertex
+/// body charges every simulated op immediately (so cycle accounting is
+/// bit-identical to the direct path) but buffers the host-side effects —
+/// payloads, aggregator contributions, activity bookkeeping — privately
+/// per lane. bsp::run merges the stages in lane order at the superstep
+/// barrier, a fixed order independent of the host thread count.
+template <typename M>
+struct LaneStage {
+  std::vector<std::pair<graph::vid_t, M>> messages;
+  std::vector<Aggregator> aggregates;  ///< per-slot partials
+  std::vector<graph::vid_t> next_active;
+  std::uint64_t messages_received = 0;
+  std::uint64_t computed_vertices = 0;
+};
 
 /// Per-vertex view of the BSP runtime handed to Program::compute — the
 /// paper's "vertex as a first-class citizen and independent actor".
@@ -22,11 +39,13 @@ class Context {
  public:
   Context(xmt::OpSink& sink, const graph::CSRGraph& g, MessageBuffer<M>& buf,
           std::uint32_t superstep, graph::vid_t vertex,
-          AggregatorSet* aggregators = nullptr)
+          AggregatorSet* aggregators = nullptr,
+          LaneStage<M>* stage = nullptr)
       : sink_(sink),
         g_(g),
         buf_(buf),
         aggregators_(aggregators),
+        stage_(stage),
         superstep_(superstep),
         vertex_(vertex) {}
 
@@ -37,7 +56,14 @@ class Context {
 
   /// Send to an arbitrary vertex the sender knows (e.g. learned from a
   /// message), visible next superstep.
-  void send(graph::vid_t dst, const M& m) { buf_.send(sink_, dst, m); }
+  void send(graph::vid_t dst, const M& m) {
+    if (stage_ != nullptr) {
+      buf_.charge_send_ops(sink_, dst);
+      stage_->messages.emplace_back(dst, m);
+      return;
+    }
+    buf_.send(sink_, dst, m);
+  }
 
   /// Send the same message to every neighbor; charges the adjacency scan
   /// plus one send per neighbor.
@@ -45,7 +71,7 @@ class Context {
     const auto nbrs = g_.neighbors(vertex_);
     sink_.load_n(g_.adjacency_ptr(vertex_),
                  static_cast<std::uint32_t>(nbrs.size()));
-    for (graph::vid_t u : nbrs) buf_.send(sink_, u, m);
+    for (graph::vid_t u : nbrs) send(u, m);
   }
 
   /// Declare this vertex done; it will not be scheduled again until a
@@ -61,6 +87,11 @@ class Context {
   void aggregate(std::size_t slot, double v) {
     if (aggregators_ == nullptr) {
       throw std::logic_error("Context::aggregate: no aggregators declared");
+    }
+    if (stage_ != nullptr) {
+      aggregators_->slot(slot).charge_accumulate(sink_);
+      stage_->aggregates[slot].accumulate_value(v);
+      return;
     }
     aggregators_->slot(slot).accumulate(sink_, v);
   }
@@ -82,6 +113,7 @@ class Context {
   const graph::CSRGraph& g_;
   MessageBuffer<M>& buf_;
   AggregatorSet* aggregators_ = nullptr;
+  LaneStage<M>* stage_ = nullptr;
   std::uint32_t superstep_;
   graph::vid_t vertex_;
   bool voted_halt_ = false;

@@ -90,14 +90,27 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     return machine.config().seconds(c) * 1e6;
   };
 
-  // State initialization sweep (one store per vertex).
-  machine.parallel_for(
+  // State initialization sweep (one store per vertex). The body touches
+  // only vertex-private state, so it satisfies the lane contract as-is.
+  machine.parallel_for_lanes(
       n,
-      [&](std::uint64_t i, xmt::OpSink& s) {
+      [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t) {
         prog.init(res.state[i], static_cast<graph::vid_t>(i));
         s.store(&res.state[i]);
       },
       {.name = "bsp/init"});
+
+  // Lane-staged execution: vertex bodies may run concurrently across the
+  // machine's lanes (simulated processors), so each lane buffers its
+  // host-side effects privately and the stages merge in lane order at the
+  // barrier — deterministic at any host thread count. Combiner mode folds
+  // payloads in place with order-dependent charging (the first sender pays
+  // the slot claim), which only the direct serial path reproduces.
+  const bool staged = opt.combiner == Combiner::kNone;
+  std::vector<Aggregator> agg_proto;
+  for (const auto op : opt.aggregators) agg_proto.emplace_back(op);
+  std::vector<LaneStage<Message>> lanes(staged ? machine.lanes() : 0);
+  for (auto& ls : lanes) ls.aggregates = agg_proto;
 
   std::vector<graph::vid_t> schedule;     // active-list mode only
   std::vector<graph::vid_t> next_active;  // computed & not halted this superstep
@@ -105,34 +118,50 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     SuperstepRecord rec;
     rec.superstep = ss;
 
-    // One vertex's turn within the superstep.
-    auto run_vertex = [&](graph::vid_t v, xmt::OpSink& s) {
+    // One vertex's turn within the superstep. With a stage, bookkeeping
+    // lands in the lane's buffers; without, directly in the shared state.
+    auto run_vertex = [&](graph::vid_t v, xmt::OpSink& s,
+                          LaneStage<Message>* st) {
       const bool has_msgs = buf.has_incoming(v);
       buf.charge_inbox_check(s, v);
       s.compute(1);  // halted/inbox status branch
       if (halted[v] && !has_msgs) return;
 
-      rec.messages_received += buf.charge_receive(s, v);
+      const std::uint64_t received = buf.charge_receive(s, v);
       halted[v] = 0;
-      Context<Message> ctx(s, g, buf, ss, v, aggs);
+      Context<Message> ctx(s, g, buf, ss, v, aggs, st);
       prog.compute(ctx, v, res.state[v], buf.incoming(v));
-      if (ctx.voted_halt()) {
-        halted[v] = 1;
+      const bool voted = ctx.voted_halt();
+      if (voted) halted[v] = 1;
+      if (st != nullptr) {
+        st->messages_received += received;
+        ++st->computed_vertices;
+        if (!voted) st->next_active.push_back(v);
       } else {
-        next_active.push_back(v);
+        rec.messages_received += received;
+        ++rec.computed_vertices;
+        if (!voted) next_active.push_back(v);
       }
-      ++rec.computed_vertices;
     };
 
     if (opt.scan_all_vertices) {
       // Paper-faithful: the XMT loop covers every vertex every superstep.
       next_active.clear();
-      rec.region = machine.parallel_for(
-          n,
-          [&](std::uint64_t i, xmt::OpSink& s) {
-            run_vertex(static_cast<graph::vid_t>(i), s);
-          },
-          {.name = Program::kName});
+      if (staged) {
+        rec.region = machine.parallel_for_lanes(
+            n,
+            [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t lane) {
+              run_vertex(static_cast<graph::vid_t>(i), s, &lanes[lane]);
+            },
+            {.name = Program::kName});
+      } else {
+        rec.region = machine.parallel_for(
+            n,
+            [&](std::uint64_t i, xmt::OpSink& s) {
+              run_vertex(static_cast<graph::vid_t>(i), s, nullptr);
+            },
+            {.name = Program::kName});
+      }
     } else {
       // Pregel-style scheduling. The schedule is the union of vertices left
       // unhalted by the previous superstep and vertices with mail — both
@@ -151,13 +180,45 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
                        mail.end(), std::back_inserter(schedule));
       }
       next_active.clear();
-      rec.region = machine.parallel_for(
-          schedule.size(),
-          [&](std::uint64_t i, xmt::OpSink& s) {
-            s.load(&schedule[i]);
-            run_vertex(schedule[i], s);
-          },
-          {.name = Program::kName});
+      if (staged) {
+        rec.region = machine.parallel_for_lanes(
+            schedule.size(),
+            [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t lane) {
+              s.load(&schedule[i]);
+              run_vertex(schedule[i], s, &lanes[lane]);
+            },
+            {.name = Program::kName});
+      } else {
+        rec.region = machine.parallel_for(
+            schedule.size(),
+            [&](std::uint64_t i, xmt::OpSink& s) {
+              s.load(&schedule[i]);
+              run_vertex(schedule[i], s, nullptr);
+            },
+            {.name = Program::kName});
+      }
+    }
+
+    // Merge the lane stages in lane order: payloads into the message
+    // buffer, aggregator partials into the shared slots, bookkeeping into
+    // the superstep record. Lane order is fixed by the simulated machine,
+    // so the merged result is identical at any host thread count.
+    if (staged) {
+      for (auto& ls : lanes) {
+        for (const auto& [dst, m] : ls.messages) buf.deliver(dst, m);
+        rec.messages_received += ls.messages_received;
+        rec.computed_vertices += ls.computed_vertices;
+        next_active.insert(next_active.end(), ls.next_active.begin(),
+                           ls.next_active.end());
+        for (std::size_t a = 0; a < ls.aggregates.size(); ++a) {
+          aggregators.slot(a).accumulate_value(ls.aggregates[a].current());
+        }
+        ls.messages.clear();
+        ls.next_active.clear();
+        ls.messages_received = 0;
+        ls.computed_vertices = 0;
+        ls.aggregates = agg_proto;
+      }
     }
 
     rec.messages_sent = buf.sent_this_superstep();
@@ -192,9 +253,11 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
     // Pregel fault tolerance: persist vertex state and in-flight messages.
     if (opt.checkpoint_interval != 0 &&
         (ss + 1) % opt.checkpoint_interval == 0) {
-      machine.parallel_for(
+      // Reads of flipped (immutable) inboxes plus per-vertex charges:
+      // lane-safe without staging.
+      machine.parallel_for_lanes(
           n,
-          [&](std::uint64_t i, xmt::OpSink& s) {
+          [&](std::uint64_t i, xmt::OpSink& s, std::uint32_t) {
             s.store(&res.state[i]);
             const auto pending = static_cast<std::uint32_t>(
                 buf.incoming(static_cast<graph::vid_t>(i)).size());

@@ -74,12 +74,30 @@ class MessageBuffer {
   /// kernels that regenerate their messages, e.g. triangle counting's
   /// wedge streams.
   void charge_send(xmt::OpSink& s, graph::vid_t dst) {
+    charge_send_ops(s, dst);
+    ++sent_this_superstep_;
+  }
+
+  /// Charge a send's simulated ops without touching any buffer state —
+  /// safe to call concurrently from lane bodies. The lane-staged superstep
+  /// loop pairs this with deliver()/note_sent() at the merge barrier.
+  void charge_send_ops(xmt::OpSink& s, graph::vid_t dst) const {
     s.compute(send_overhead_);
     s.fetch_add(single_queue_ ? static_cast<const void*>(&global_tail_)
                               : static_cast<const void*>(&tails_[dst]));
     s.store(&tails_[dst]);  // payload write; plain stores do not contend
+  }
+
+  /// Deliver a payload whose send was already charged via charge_send_ops;
+  /// visible next superstep. Merge-barrier only (not thread-safe).
+  void deliver(graph::vid_t dst, const M& m) {
+    if (out_[dst].empty()) touched_out_.push_back(dst);
+    out_[dst].push_back(m);
     ++sent_this_superstep_;
   }
+
+  /// Account `count` payload-less sends charged via charge_send_ops.
+  void note_sent(std::uint64_t count) { sent_this_superstep_ += count; }
 
   /// Messages delivered to `v` this superstep.
   std::span<const M> incoming(graph::vid_t v) const {

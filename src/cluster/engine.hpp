@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bsp/aggregator.hpp"
+#include "host/thread_pool.hpp"
 #include "cluster/checkpoint.hpp"
 #include "cluster/config.hpp"
 #include "cluster/faults.hpp"
@@ -32,6 +34,8 @@ class OpCounter {
 
   std::uint64_t instructions() const { return instructions_; }
   void reset() { instructions_ = 0; }
+  /// Fold another counter's total in (task-order merge of parallel shards).
+  void add_instructions(std::uint64_t n) { instructions_ += n; }
 
  private:
   std::uint64_t instructions_ = 0;
@@ -100,7 +104,9 @@ class ClusterContext {
                  ClusterSuperstepRecord& rec,
                  bsp::AggregatorSet* aggregators, const FaultPlan& plan,
                  const std::uint8_t* dead, graph::Rng& rng,
-                 std::uint32_t& max_attempts)
+                 std::uint32_t& max_attempts,
+                 std::vector<std::pair<graph::vid_t, M>>* staged_out = nullptr,
+                 bsp::AggregatorSet* staged_aggs = nullptr)
       : cfg_(cfg),
         g_(g),
         counter_(counter),
@@ -108,6 +114,8 @@ class ClusterContext {
         out_per_machine_(out_per_machine),
         rec_(rec),
         aggregators_(aggregators),
+        staged_out_(staged_out),
+        staged_aggs_(staged_aggs),
         plan_(plan),
         dead_(dead),
         rng_(rng),
@@ -141,7 +149,13 @@ class ClusterContext {
       out_per_machine_[home_] += attempts;
       max_attempts_ = std::max(max_attempts_, attempts);
     }
-    outboxes_[dst].push_back(m);
+    // Task-parallel runs stage payloads privately; the merge replays them
+    // in task order, which is exactly the serial loop's vertex order.
+    if (staged_out_ != nullptr) {
+      staged_out_->emplace_back(dst, m);
+    } else {
+      outboxes_[dst].push_back(m);
+    }
   }
 
   void send_to_all_neighbors(const M& m) {
@@ -160,7 +174,9 @@ class ClusterContext {
       throw std::logic_error("ClusterContext::aggregate: none declared");
     }
     counter_.compute(4);  // contribution folded into the worker-local tree
-    aggregators_->slot(slot).accumulate_value(v);
+    (staged_aggs_ != nullptr ? staged_aggs_ : aggregators_)
+        ->slot(slot)
+        .accumulate_value(v);
   }
   double aggregated(std::size_t slot) const {
     if (aggregators_ == nullptr) {
@@ -179,6 +195,8 @@ class ClusterContext {
   std::vector<std::uint64_t>& out_per_machine_;
   ClusterSuperstepRecord& rec_;
   bsp::AggregatorSet* aggregators_;
+  std::vector<std::pair<graph::vid_t, M>>* staged_out_ = nullptr;
+  bsp::AggregatorSet* staged_aggs_ = nullptr;
   const FaultPlan& plan_;
   const std::uint8_t* dead_;
   graph::Rng& rng_;
@@ -253,6 +271,34 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
   std::vector<std::uint64_t> machine_bytes(cfg.machines, 0);
   bsp::AggregatorSet aggregators(aggs);
   bsp::AggregatorSet* agg_ptr = aggs.empty() ? nullptr : &aggregators;
+
+  // Task-parallel compute phase. The vertex range splits into fixed-size
+  // tasks — a decomposition that depends only on the vertex count, never
+  // on the host thread count — and each task accumulates into private
+  // shards. The merge walks tasks in order, which IS the serial loop's
+  // vertex order, so counters, message order, and final state are
+  // bit-identical to a serial run at any thread count. Flaky-delivery
+  // runs draw retry counts from one shared RNG sequence and therefore
+  // collapse to a single task.
+  struct TaskStage {
+    std::vector<OpCounter> per_machine;
+    std::vector<std::uint64_t> out_per_machine;
+    std::vector<std::pair<graph::vid_t, Message>> messages;
+    ClusterSuperstepRecord rec;
+    bsp::AggregatorSet aggregates{std::vector<bsp::Aggregator::Op>{}};
+    std::uint32_t max_attempts = 1;
+  };
+  constexpr graph::vid_t kTaskGrain = 1024;
+  const std::uint64_t num_tasks =
+      plan.remote_drop_probability > 0.0
+          ? (n > 0 ? 1 : 0)
+          : (n + kTaskGrain - 1) / kTaskGrain;
+  std::vector<TaskStage> stages(num_tasks);
+  for (auto& st : stages) {
+    st.per_machine.resize(cfg.machines);
+    st.out_per_machine.assign(cfg.machines, 0);
+    st.aggregates = bsp::AggregatorSet(aggs);
+  }
 
   std::vector<std::uint8_t> dead(cfg.machines, 0);
   std::uint32_t live_machines = cfg.machines;
@@ -339,20 +385,54 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
     std::uint32_t max_attempts = 1;
 
     std::uint64_t crossed = 0;
-    for (graph::vid_t v = 0; v < n; ++v) {
-      const bool has_msgs = !in[v].empty();
-      if (halted[v] && !has_msgs) continue;
-      halted[v] = 0;
-      OpCounter& counter =
-          per_machine[live_machine_of(v, cfg.machines, dead.data())];
-      counter.compute(cfg.vertex_overhead_instr +
-                      static_cast<std::uint32_t>(in[v].size()));
-      ClusterContext<Message> ctx(cfg, g, ss, v, counter, out, out_per_machine,
-                                  rec, agg_ptr, plan, dead.data(), rng,
-                                  max_attempts);
-      prog.compute(ctx, v, res.state[v], std::span<const Message>(in[v]));
-      if (ctx.voted_halt()) halted[v] = 1;
-      ++rec.computed_vertices;
+    host::pool().parallel_for_tasks(num_tasks, [&](std::uint64_t task) {
+      TaskStage& st = stages[task];
+      const graph::vid_t v0 =
+          num_tasks == 1 ? 0 : static_cast<graph::vid_t>(task * kTaskGrain);
+      const graph::vid_t v1 =
+          num_tasks == 1 ? n : std::min<graph::vid_t>(n, v0 + kTaskGrain);
+      bsp::AggregatorSet* stage_aggs =
+          agg_ptr != nullptr ? &st.aggregates : nullptr;
+      for (graph::vid_t v = v0; v < v1; ++v) {
+        const bool has_msgs = !in[v].empty();
+        if (halted[v] && !has_msgs) continue;
+        halted[v] = 0;
+        OpCounter& counter =
+            st.per_machine[live_machine_of(v, cfg.machines, dead.data())];
+        counter.compute(cfg.vertex_overhead_instr +
+                        static_cast<std::uint32_t>(in[v].size()));
+        ClusterContext<Message> ctx(cfg, g, ss, v, counter, out,
+                                    st.out_per_machine, st.rec, agg_ptr, plan,
+                                    dead.data(), rng, st.max_attempts,
+                                    &st.messages, stage_aggs);
+        prog.compute(ctx, v, res.state[v], std::span<const Message>(in[v]));
+        if (ctx.voted_halt()) halted[v] = 1;
+        ++st.rec.computed_vertices;
+      }
+    });
+    // Merge the task shards in task order (== vertex order).
+    for (auto& st : stages) {
+      for (std::uint32_t m = 0; m < cfg.machines; ++m) {
+        per_machine[m].add_instructions(st.per_machine[m].instructions());
+        out_per_machine[m] += st.out_per_machine[m];
+        st.per_machine[m].reset();
+        st.out_per_machine[m] = 0;
+      }
+      for (const auto& [dst, msg] : st.messages) out[dst].push_back(msg);
+      st.messages.clear();
+      rec.computed_vertices += st.rec.computed_vertices;
+      rec.local_messages += st.rec.local_messages;
+      rec.remote_messages += st.rec.remote_messages;
+      rec.remote_retries += st.rec.remote_retries;
+      st.rec = ClusterSuperstepRecord{};
+      max_attempts = std::max(max_attempts, st.max_attempts);
+      st.max_attempts = 1;
+      if (agg_ptr != nullptr) {
+        for (std::size_t a = 0; a < aggregators.size(); ++a) {
+          aggregators.slot(a).accumulate_value(st.aggregates.slot(a).current());
+        }
+        st.aggregates.flip();  // reset partials for the next superstep
+      }
     }
 
     // Price the superstep: slowest machine's (possibly straggler-slowed)

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "host/thread_pool.hpp"
+
 namespace xg::exp {
 
 Args::Args(int argc, char** argv, std::string description)
@@ -24,11 +26,19 @@ Args::Args(int argc, char** argv, std::string description)
       values_[arg] = "";  // bare flag
     }
   }
+  // Shared runtime knob: size the host worker pool before any engine runs.
+  // 0 (the default) defers to XG_THREADS, then the hardware core count.
+  host::set_threads(static_cast<unsigned>(get_int("threads", 0)));
 }
 
 void Args::handle_help() const {
   if (!has("help")) return;
   std::printf("%s\n\n%s\n", program_.c_str(), description_.c_str());
+  std::printf(
+      "\nCommon options:\n"
+      "  --threads N   host worker threads for the simulation engines\n"
+      "                (0 = auto: XG_THREADS env var, else hardware cores).\n"
+      "                Results are bit-identical at any thread count.\n");
   std::exit(0);
 }
 

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace xg::host {
+
+/// Sense-reversing barrier for a fixed-size team of pool workers.
+///
+/// The XMT engine's parallel backend alternates short compute phases with
+/// a serial resolution phase thousands of times per region, so the barrier
+/// must cost well under a microsecond when all members arrive promptly.
+/// Members spin on an acquire load of the flipped sense for a bounded
+/// number of iterations, then fall back to yielding so an oversubscribed
+/// host still makes progress.
+///
+/// Each member passes its team index so per-member sense lives in the
+/// barrier (padded slots), keeping instances independent — a thread can
+/// use different barriers in different team jobs without carried state.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned members)
+      : members_(members), remaining_(members), sense_slots_(members) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void arrive_and_wait(unsigned member) {
+    bool sense = !sense_slots_[member].value;
+    sense_slots_[member].value = sense;
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(members_, std::memory_order_relaxed);
+      sense_.store(sense, std::memory_order_release);
+      return;
+    }
+    unsigned spins = 0;
+    while (sense_.load(std::memory_order_acquire) != sense) {
+      if (++spins >= kSpinLimit) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+ private:
+  static constexpr unsigned kSpinLimit = 1u << 14;
+
+  struct alignas(64) SenseSlot {
+    bool value = false;
+  };
+
+  const unsigned members_;
+  std::atomic<unsigned> remaining_;
+  std::atomic<bool> sense_{false};
+  std::vector<SenseSlot> sense_slots_;
+};
+
+}  // namespace xg::host

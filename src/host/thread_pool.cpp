@@ -1,0 +1,277 @@
+#include "host/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace xg::host {
+
+namespace {
+
+unsigned hardware_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned default_threads() {
+  // XG_THREADS is an explicit pin, like passing a nonzero count to the
+  // constructor: honored as given (CI runs more threads than cores on
+  // purpose). Only the unset default is capped at the hardware.
+  if (const char* env = std::getenv("XG_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return hardware_threads();
+}
+
+unsigned effective_threads(unsigned requested) {
+  return requested == 0 ? default_threads() : std::max(requested, 1u);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned want = effective_threads(num_threads);
+  cursors_ = std::vector<Cursor>(want);
+  workers_.reserve(want - 1);
+  for (unsigned i = 1; i < want; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    // Worker index is our slot in workers_ plus one (caller is 0). Identify
+    // ourselves by thread id lookup once per job — cheap next to the work.
+    unsigned self = 1;
+    auto me = std::this_thread::get_id();
+    for (unsigned i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].get_id() == me) {
+        self = i + 1;
+        break;
+      }
+    }
+    work_on(job, self);
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::work_on(const Job& job, unsigned self) {
+  try {
+    if (job.team_fn) {
+      unsigned member = team_next_.fetch_add(1, std::memory_order_relaxed);
+      if (member < job.team_size) (*job.team_fn)(member, job.team_size);
+      return;
+    }
+    const unsigned nw = num_threads();
+    // Pop chunks: own block first, then steal from the fullest block.
+    unsigned victim = self;
+    for (;;) {
+      std::uint64_t c = cursors_[victim].next.fetch_add(
+          1, std::memory_order_relaxed);
+      if (c >= cursors_[victim].end) {
+        // Block drained; pick the victim with the most chunks remaining.
+        std::uint64_t best_left = 0;
+        unsigned best = nw;
+        for (unsigned w = 0; w < nw; ++w) {
+          std::uint64_t next = cursors_[w].next.load(
+              std::memory_order_relaxed);
+          std::uint64_t left =
+              next < cursors_[w].end ? cursors_[w].end - next : 0;
+          if (left > best_left) {
+            best_left = left;
+            best = w;
+          }
+        }
+        if (best == nw) return;  // everything claimed
+        victim = best;
+        continue;
+      }
+      if (job.range_fn) {
+        std::uint64_t b = c * job.grain;
+        std::uint64_t e = std::min(job.n, b + job.grain);
+        if (b < e) (*job.range_fn)(b, e);
+      } else {
+        (*job.task_fn)(c);
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::parallel_for_ranges(std::uint64_t n, std::uint64_t grain,
+                                     const RangeFn& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::uint64_t num_chunks = (n + grain - 1) / grain;
+  const unsigned nw = num_threads();
+  if (nw == 1 || num_chunks == 1) {
+    fn(0, n);
+    return;
+  }
+  Job job;
+  job.range_fn = &fn;
+  job.n = n;
+  job.grain = grain;
+  job.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    // Contiguous blocks of chunks per worker, same split at any pool size
+    // a chunk covers — boundaries depend only on (n, grain).
+    std::uint64_t base = num_chunks / nw;
+    std::uint64_t rem = num_chunks % nw;
+    std::uint64_t pos = 0;
+    for (unsigned w = 0; w < nw; ++w) {
+      std::uint64_t take = base + (w < rem ? 1 : 0);
+      cursors_[w].next.store(pos, std::memory_order_relaxed);
+      cursors_[w].end = pos + take;
+      pos += take;
+    }
+    job_ = job;
+    active_.store(nw - 1, std::memory_order_release);
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  work_on(job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return active_.load(std::memory_order_acquire) == 0;
+    });
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::parallel_for_tasks(std::uint64_t num_tasks,
+                                    const TaskFn& fn) {
+  if (num_tasks == 0) return;
+  const unsigned nw = num_threads();
+  if (nw == 1 || num_tasks == 1) {
+    for (std::uint64_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  Job job;
+  job.task_fn = &fn;
+  job.n = num_tasks;
+  job.grain = 1;
+  job.num_chunks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    std::uint64_t base = num_tasks / nw;
+    std::uint64_t rem = num_tasks % nw;
+    std::uint64_t pos = 0;
+    for (unsigned w = 0; w < nw; ++w) {
+      std::uint64_t take = base + (w < rem ? 1 : 0);
+      cursors_[w].next.store(pos, std::memory_order_relaxed);
+      cursors_[w].end = pos + take;
+      pos += take;
+    }
+    job_ = job;
+    active_.store(nw - 1, std::memory_order_release);
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  work_on(job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return active_.load(std::memory_order_acquire) == 0;
+    });
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::team(unsigned team_size, const TeamFn& fn) {
+  const unsigned nw = num_threads();
+  team_size = std::min(std::max(team_size, 1u), nw);
+  if (team_size == 1) {
+    fn(0, 1);
+    return;
+  }
+  Job job;
+  job.team_fn = &fn;
+  job.team_size = team_size;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    team_next_.store(1, std::memory_order_relaxed);  // caller is member 0
+    job_ = job;
+    active_.store(nw - 1, std::memory_order_release);
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  try {
+    fn(0, team_size);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] {
+      return active_.load(std::memory_order_acquire) == 0;
+    });
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;
+unsigned g_requested = 0;
+}  // namespace
+
+ThreadPool& pool() {
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_requested);
+  return *g_pool;
+}
+
+void set_threads(unsigned n) {
+  g_requested = n;
+  if (g_pool && g_pool->num_threads() != effective_threads(n)) {
+    g_pool.reset();
+  }
+}
+
+unsigned threads() { return pool().num_threads(); }
+
+}  // namespace xg::host

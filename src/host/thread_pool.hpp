@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xg::host {
+
+/// Shared host-parallel runtime: one persistent fork-join pool for every
+/// subsystem that wants real threads — the native kernels, the BSP
+/// superstep compute loop and the XMT engine's parallel region backend.
+///
+/// Loops hand out precomputed chunks of the iteration space. Each worker
+/// starts on its own contiguous block (locality), and a worker that drains
+/// its block steals chunks from the fullest remaining block — idle threads
+/// finish a straggler's work instead of waiting at the join. Chunk size is
+/// the `grain` knob: big grains amortize the atomic pop, small grains
+/// balance skewed per-iteration cost.
+///
+/// Determinism contract: chunk boundaries depend only on (n, grain), never
+/// on the thread count or on which worker runs a chunk. Callers that keep
+/// per-task state (see parallel_for_tasks) therefore observe the same
+/// task decomposition at any thread count, which is what the engines'
+/// bit-identical parallel paths are built on.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 picks the `XG_THREADS` environment variable when it
+  /// is set, else std::thread::hardware_concurrency() (guarded to >= 1 and
+  /// never oversubscribing). An explicit positive count — constructor
+  /// argument or XG_THREADS — is honored as given; tests and CI
+  /// deliberately run more threads than cores to shake out races.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, including the calling thread.
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  using RangeFn = std::function<void(std::uint64_t begin, std::uint64_t end)>;
+  using TaskFn = std::function<void(std::uint64_t task)>;
+  using TeamFn = std::function<void(unsigned member, unsigned team_size)>;
+
+  /// Run `fn` over [0, n) split into chunks of at most `grain` iterations.
+  /// Blocks until complete. The first exception thrown by any chunk is
+  /// rethrown here after the loop drains.
+  void parallel_for_ranges(std::uint64_t n, std::uint64_t grain,
+                           const RangeFn& fn);
+
+  /// Run `fn(task)` for every task in [0, num_tasks). Task indices are the
+  /// deterministic keys callers use for private accumulators: task t always
+  /// covers the same slice of work regardless of thread count or stealing.
+  void parallel_for_tasks(std::uint64_t num_tasks, const TaskFn& fn);
+
+  /// Element-wise convenience wrapper.
+  template <typename F>
+  void parallel_for(std::uint64_t n, F&& f, std::uint64_t grain = 1024) {
+    auto range = [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) f(i);
+    };
+    parallel_for_ranges(n, grain, range);
+  }
+
+  /// Run `fn(member, team_size)` once on each of `team_size` workers
+  /// (member 0 is the calling thread) and join. The members may coordinate
+  /// through host::SpinBarrier — this is the entry point for the XMT
+  /// engine's lock-step parallel simulation rounds. `team_size` is clamped
+  /// to num_threads(). The first exception thrown by a member is rethrown.
+  void team(unsigned team_size, const TeamFn& fn);
+
+ private:
+  struct Job;
+  void worker_loop();
+  void work_on(const Job& job, unsigned self);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+
+  // Current job (published under mutex_; chunk popping is lock-free).
+  struct Job {
+    const RangeFn* range_fn = nullptr;
+    const TaskFn* task_fn = nullptr;
+    const TeamFn* team_fn = nullptr;
+    std::uint64_t n = 0;
+    std::uint64_t grain = 1;
+    std::uint64_t num_chunks = 0;
+    unsigned team_size = 0;
+  };
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  /// Per-worker chunk cursors: cursor[w] walks the block of chunks
+  /// initially assigned to worker w; thieves fetch_add a victim's cursor.
+  struct alignas(64) Cursor {
+    std::atomic<std::uint64_t> next{0};
+    std::uint64_t end = 0;  // one past the block's last chunk (immutable)
+  };
+  std::vector<Cursor> cursors_;
+  std::atomic<unsigned> team_next_{0};
+  std::atomic<unsigned> active_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool the engines and benches share. Created on first
+/// use with the default thread count (XG_THREADS env, else hardware
+/// concurrency); reconfigure with set_threads() before heavy work.
+ThreadPool& pool();
+
+/// Replace the global pool with one of `n` threads (0 = default rule).
+/// Not thread-safe against concurrent pool() users — call between
+/// parallel phases (e.g. while parsing --threads at startup).
+void set_threads(unsigned n);
+
+/// Thread count of the global pool (creates it on first call).
+unsigned threads();
+
+}  // namespace xg::host

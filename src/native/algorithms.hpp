@@ -4,9 +4,14 @@
 #include <vector>
 
 #include "graph/csr.hpp"
-#include "native/thread_pool.hpp"
+#include "host/thread_pool.hpp"
 
 namespace xg::native {
+
+/// The native kernels run on the shared host runtime; the old
+/// `native::ThreadPool` lives on as an alias so callers don't care which
+/// module owns the implementation.
+using ThreadPool = host::ThreadPool;
 
 /// Host-parallel (real threads, real atomics) versions of the paper's
 /// kernels — the "GraphCT on a commodity workstation via OpenMP" analogue.

@@ -69,6 +69,24 @@ struct TraceEvent {
   std::uint64_t active_vertices = 0;
 };
 
+/// A worker-private event buffer for parallel regions. Appends are
+/// unsynchronized — exactly one worker owns a shard during a region, the
+/// same exclusivity the engines' lane/task contracts already guarantee —
+/// and TraceSink::stitch_shards() folds the buffers back into the sink in
+/// shard order at the barrier. The stitched order is (shard index, append
+/// order), fixed by the simulated machine, never by host scheduling.
+class TraceShard {
+ public:
+  void record(TraceEvent e) { events_.push_back(std::move(e)); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  friend class TraceSink;
+  std::vector<TraceEvent> events_;
+};
+
 /// Collects structured trace events and mirrors their totals into a
 /// MetricsRegistry. Engines emit into a sink they were handed (never one
 /// they own); exporters (obs/chrome_trace.hpp) turn the collected events
@@ -78,6 +96,11 @@ struct TraceEvent {
 /// `<engine>.<name>.count`, `.cycles`, `.msgs`, `.bytes`, plus
 /// `.active_vertices` — so `sink.metrics()` always agrees with the event
 /// list (tests/obs enforces this against the engines' own stats).
+///
+/// TraceSink itself is not thread-safe: record() is a serial-phase (or
+/// single-thread) operation. Code that emits from inside a parallel
+/// region records into per-worker TraceShards instead (resize_shards
+/// before the region, shard(i) inside, stitch_shards after).
 class TraceSink {
  public:
   /// Append one event and fold its totals into the metrics registry.
@@ -96,13 +119,33 @@ class TraceSink {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Serial phase only: size the worker-private shard set (one per lane,
+  /// worker, or task stripe — the caller's parallel decomposition).
+  void resize_shards(std::size_t count) { shards_.resize(count); }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Shard `i`, owned by exactly one worker while a region runs.
+  TraceShard& shard(std::size_t i) { return shards_[i]; }
+
+  /// Serial phase only: fold every shard's events into the sink in shard
+  /// order (metrics included, via record()) and clear the shards. The
+  /// result is identical at any host thread count.
+  void stitch_shards() {
+    for (auto& sh : shards_) {
+      for (auto& e : sh.events_) record(std::move(e));
+      sh.events_.clear();
+    }
+  }
+
   void clear() {
     events_.clear();
     metrics_.clear();
+    shards_.clear();
   }
 
  private:
   std::vector<TraceEvent> events_;
+  std::vector<TraceShard> shards_;
   MetricsRegistry metrics_;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "xmt/heap4.hpp"
 
 namespace xg::xmt {
 
@@ -32,34 +33,11 @@ namespace {
 // sort. Every operation consumes at least one cycle, so pushes are strictly
 // in the cursor's future and a draining bucket can never grow — which is what
 // makes the drain-then-advance loop exact.
+//
+// Heap primitives live in xmt/heap4.hpp, shared with the parallel backend.
 
-inline void sift_down(std::uint64_t* h, std::size_t size, std::size_t i) {
-  const std::uint64_t v = h[i];
-  for (;;) {
-    const std::size_t c0 = 4 * i + 1;
-    if (c0 >= size) break;
-    const std::size_t cend = std::min(c0 + 4, size);
-    std::size_t m = c0;
-    for (std::size_t c = c0 + 1; c < cend; ++c) {
-      if (h[c] < h[m]) m = c;
-    }
-    if (h[m] >= v) break;
-    h[i] = h[m];
-    i = m;
-  }
-  h[i] = v;
-}
-
-inline void sift_up(std::uint64_t* h, std::size_t i) {
-  const std::uint64_t v = h[i];
-  while (i > 0) {
-    const std::size_t p = (i - 1) / 4;
-    if (h[p] <= v) break;
-    h[i] = h[p];
-    i = p;
-  }
-  h[i] = v;
-}
+using detail::sift_down;
+using detail::sift_up;
 
 }  // namespace
 
@@ -305,7 +283,7 @@ RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
           st.sink.clear();
           st.op_pos = 0;
           if (cfg_.iteration_overhead != 0) st.sink.compute(cfg_.iteration_overhead);
-          body(st.iter, st.sink);
+          body(st.iter, st.sink, st.proc);
           ++st.iter;
           ++stats.iterations;
           st.worked = true;
@@ -356,6 +334,12 @@ RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
     }
   }
 
+  finish_region(stats, last_completion, nstreams);
+  return stats;
+}
+
+void Engine::finish_region(RegionStats& stats, Cycles last_completion,
+                           std::uint64_t nstreams) {
   for (std::uint64_t s = 0; s < nstreams; ++s) {
     if (streams_[s].worked) ++stats.streams_used;
   }
@@ -376,7 +360,6 @@ RegionStats Engine::run_region(std::uint64_t n, detail::BodyRef body,
     e.active_vertices = stats.iterations;
     trace_->record(std::move(e));
   }
-  return stats;
 }
 
 }  // namespace xg::xmt

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "xmt/flat_addr_table.hpp"
@@ -16,21 +17,27 @@ namespace xg::xmt {
 
 namespace detail {
 
-/// Minimal non-owning reference to a loop body `void(std::uint64_t, OpSink&)`.
-/// Avoids std::function allocation/indirection in the hot loop.
+/// Minimal non-owning reference to a loop body
+/// `void(std::uint64_t iter, OpSink&, std::uint32_t lane)` where `lane` is
+/// the simulated processor running the iteration's stream. Avoids
+/// std::function allocation/indirection in the hot loop; lane-ignoring
+/// bodies wrap in an adaptor lambda that inlines to the same call.
 class BodyRef {
  public:
   template <typename F>
   BodyRef(F& f)  // NOLINT(google-explicit-constructor): intentional adaptor
-      : obj_(&f), call_([](void* o, std::uint64_t i, OpSink& s) {
-          (*static_cast<F*>(o))(i, s);
+      : obj_(&f),
+        call_([](void* o, std::uint64_t i, OpSink& s, std::uint32_t lane) {
+          (*static_cast<F*>(o))(i, s, lane);
         }) {}
 
-  void operator()(std::uint64_t i, OpSink& s) const { call_(obj_, i, s); }
+  void operator()(std::uint64_t i, OpSink& s, std::uint32_t lane) const {
+    call_(obj_, i, s, lane);
+  }
 
  private:
   void* obj_;
-  void (*call_)(void*, std::uint64_t, OpSink&);
+  void (*call_)(void*, std::uint64_t, OpSink&, std::uint32_t);
 };
 
 }  // namespace detail
@@ -72,6 +79,7 @@ struct RegionOptions {
 class Engine {
  public:
   explicit Engine(SimConfig cfg = {});
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -94,14 +102,35 @@ class Engine {
   /// region's closing barrier.
   template <typename F>
   RegionStats parallel_for(std::uint64_t n, F&& body, RegionOptions opt = {}) {
-    auto& ref = body;  // keep an lvalue alive for BodyRef
-    return run_region(n, detail::BodyRef(ref), opt);
+    auto wrapper = [&body](std::uint64_t i, OpSink& s, std::uint32_t) {
+      body(i, s);
+    };
+    return run_region(n, detail::BodyRef(wrapper), opt);
   }
+
+  /// Lane-aware parallel loop: `body(i, sink, lane)` where `lane` is the
+  /// simulated processor id (< lanes()) of the stream running iteration
+  /// `i`. Unlike parallel_for, the region may execute on multiple host
+  /// threads, so the body must be **lane-safe**: it may freely read shared
+  /// immutable data and write state private to its lane (calls within one
+  /// lane are sequential, in simulated-time order), but must not touch
+  /// mutable state shared across lanes. Simulated results are bit-identical
+  /// to the single-threaded run at any host thread count.
+  template <typename F>
+  RegionStats parallel_for_lanes(std::uint64_t n, F&& body,
+                                 RegionOptions opt = {}) {
+    auto& ref = body;  // keep an lvalue alive for BodyRef
+    return dispatch_region(n, detail::BodyRef(ref), opt);
+  }
+
+  /// Number of lanes a lane-aware body may observe (one per simulated
+  /// processor). Lane-private state is indexed by `lane` in [0, lanes()).
+  std::uint32_t lanes() const { return cfg_.processors; }
 
   /// Run `body(sink)` on a single stream (serial section between loops).
   template <typename F>
   RegionStats serial_region(F&& body, RegionOptions opt = {}) {
-    auto wrapper = [&](std::uint64_t, OpSink& s) { body(s); };
+    auto wrapper = [&](std::uint64_t, OpSink& s, std::uint32_t) { body(s); };
     return run_region(1, detail::BodyRef(wrapper), opt);
   }
 
@@ -130,6 +159,19 @@ class Engine {
   RegionStats run_region(std::uint64_t n, detail::BodyRef body,
                          const RegionOptions& opt);
 
+  /// Lane-safe regions route here: picks the multi-threaded backend when
+  /// the host pool has threads and the region is big enough to amortize
+  /// its round barriers, else falls back to run_region. Both produce
+  /// bit-identical results (see engine_parallel.cpp).
+  RegionStats dispatch_region(std::uint64_t n, detail::BodyRef body,
+                              const RegionOptions& opt);
+  RegionStats run_region_parallel(std::uint64_t n, detail::BodyRef body,
+                                  const RegionOptions& opt);
+
+  /// Shared region epilogue: closing barrier, bookkeeping, trace span.
+  void finish_region(RegionStats& stats, Cycles last_completion,
+                     std::uint64_t nstreams);
+
   /// Executes `count` references of kind `kind` (one scheduling step) for a
   /// stream on processor `proc` whose previous step completed at `t`.
   /// Returns when the stream is ready for its next step.
@@ -155,6 +197,16 @@ class Engine {
   std::uint64_t bucket_occ_[kBuckets / 64] = {};     // nonempty-bucket bits
   std::vector<Stream> streams_;
   FlatAddrTable addr_state_;         // per-word atomic serialization state
+
+  /// Scratch for the multi-threaded backend (per-processor event queues,
+  /// request/wake exchange buffers); allocated on first parallel region.
+  /// The named deleter keeps the type incomplete outside
+  /// engine_parallel.cpp.
+  struct ParallelScratch;
+  struct ParallelScratchDeleter {
+    void operator()(ParallelScratch* p) const;
+  };
+  std::unique_ptr<ParallelScratch, ParallelScratchDeleter> par_;
 };
 
 }  // namespace xg::xmt

@@ -1,0 +1,429 @@
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "host/barrier.hpp"
+#include "host/thread_pool.hpp"
+#include "xmt/engine.hpp"
+#include "xmt/heap4.hpp"
+
+namespace xg::xmt {
+
+// ---- Multi-threaded region backend -----------------------------------------
+//
+// The serial event loop executes scheduling steps in global (ready time,
+// stream id) order. Two observations let that order be reproduced exactly
+// on host threads:
+//
+//  1. Almost all coupling is per-processor. A step's issue slot comes from
+//     proc_next_[proc], its stream state is private, and stats are
+//     commutative sums — so each simulated processor's steps depend only on
+//     that processor's own (time, sid)-ordered subsequence. Partitioning
+//     processors over workers and running one mini event loop per processor
+//     reproduces every local timing bit-for-bit, no matter how far one
+//     processor's clock runs ahead of another's.
+//
+//  2. The only cross-processor state is the per-word serialization queue
+//     behind fetch-add/sync (FlatAddrTable::next_free/count). The serial
+//     engine applies those in global (t, sid) order. Here a stream that
+//     reaches an atomic op charges its local side (issue slot, counters),
+//     publishes a Request carrying its (t, sid) key, and parks. When every
+//     stream is parked or retired, one worker resolves the merged,
+//     key-sorted request list in order — exactly the serial application
+//     sequence — and mails each stream its completion time as a wake
+//     event.
+//
+// Resolution must stop where new, earlier requests could still appear. A
+// woken stream resumes at its completion time, so any future request
+// carries t >= the smallest completion issued in the current round (W).
+// Since requests are processed in ascending key order and every completion
+// exceeds its own request's t by at least latency + interval, resolving
+// while t < W and carrying the rest forward is exact: nothing resolved can
+// ever be undercut by a later arrival, and ties defer to the next round's
+// sort, which restores (t, sid) order. Hotspot bursts on one word resolve
+// in a single round — their completions recede by the service interval
+// each, keeping W ahead of the queue — so rounds track *memory-latency
+// epochs*, not individual atomics.
+
+namespace {
+
+constexpr Cycles kNoEvent = ~Cycles{0};
+
+/// One pending fetch-add/sync: the stream's (t, sid) key, when the request
+/// reaches the memory, and the word's service interval.
+struct Request {
+  std::uint64_t key = 0;
+  Cycles arrive = 0;
+  std::uintptr_t addr = 0;
+  std::uint32_t interval = 0;
+};
+
+}  // namespace
+
+/// Per-processor simulation state plus the request/wake mailboxes used to
+/// exchange atomic-op traffic with the resolving worker. Owned by exactly
+/// one team member during compute phases; mailboxes flip ownership at the
+/// phase barriers.
+struct Engine::ParallelScratch {
+  struct ProcSim {
+    std::vector<std::uint64_t> heap;  ///< pending events, packed keys
+    std::vector<Request> requests;    ///< emitted this round (key-sorted)
+    std::vector<std::uint64_t> wakes; ///< completions mailed by resolution
+    /// (min possible completion rel, sid) of streams parked on an atomic.
+    /// Their min bounds this proc's drain horizon: proc_next_ charges are
+    /// (t, sid)-ordered only if no later event runs before a pending wake.
+    std::vector<std::pair<Cycles, std::uint64_t>> parked;
+    Cycles last_completion = 0;
+    // Stats partials, reduced in processor order after the region.
+    std::uint64_t iterations = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t fetch_adds = 0;
+    std::uint64_t syncs = 0;
+  };
+
+  std::vector<ProcSim> procs;
+  std::vector<Request> pending;  ///< carried across rounds, key-sorted
+  std::atomic<bool> done{false};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void note_error() {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!error) error = std::current_exception();
+    abort.store(true, std::memory_order_release);
+  }
+};
+
+Engine::~Engine() = default;
+
+void Engine::ParallelScratchDeleter::operator()(ParallelScratch* p) const {
+  delete p;
+}
+
+RegionStats Engine::dispatch_region(std::uint64_t n, detail::BodyRef body,
+                                    const RegionOptions& opt) {
+  // Small regions can't amortize the round barriers, and dynamic
+  // scheduling couples every chunk grab through the shared loop counter
+  // with zero lookahead — both take the serial loop (identical results by
+  // construction, so the choice is invisible to callers).
+  constexpr std::uint64_t kMinParallelIters = 2048;
+  if (host::pool().num_threads() <= 1 || opt.dynamic_schedule ||
+      cfg_.processors < 2 || n < kMinParallelIters) {
+    return run_region(n, body, opt);
+  }
+  return run_region_parallel(n, body, opt);
+}
+
+RegionStats Engine::run_region_parallel(std::uint64_t n, detail::BodyRef body,
+                                        const RegionOptions& opt) {
+  RegionStats stats;
+  stats.name = opt.name;
+  stats.start = now_;
+  stats.end = now_;
+
+  const std::uint64_t nstreams =
+      std::min<std::uint64_t>(n, cfg_.total_streams());
+  const std::uint32_t nproc = cfg_.processors;
+
+  if (streams_.size() < nstreams) streams_.resize(nstreams);
+  addr_state_.begin_region();
+
+  const Cycles base = now_;
+  const std::uint32_t sid_bits = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::bit_width(nstreams - 1)));
+  const std::uint64_t sid_mask = (std::uint64_t{1} << sid_bits) - 1;
+  const Cycles rel_limit = ~std::uint64_t{0} >> sid_bits;
+  const auto pack = [&](Cycles ready, std::uint64_t sid) {
+    const Cycles rel = ready - base;
+    if (rel > rel_limit) {
+      throw std::overflow_error(
+          "xg::xmt::Engine: region exceeds packed scheduler key range");
+    }
+    return (rel << sid_bits) | sid;
+  };
+
+  if (!par_) par_.reset(new ParallelScratch);
+  ParallelScratch& sc = *par_;
+  sc.procs.resize(nproc);
+  for (auto& ps : sc.procs) {
+    ps.heap.clear();
+    ps.requests.clear();
+    ps.wakes.clear();
+    ps.parked.clear();
+    ps.last_completion = now_;
+    ps.iterations = ps.instructions = ps.loads = ps.stores = 0;
+    ps.fetch_adds = ps.syncs = 0;
+  }
+  sc.pending.clear();
+  sc.done.store(false, std::memory_order_relaxed);
+  sc.abort.store(false, std::memory_order_relaxed);
+  sc.error = nullptr;
+
+  // Same stream setup as the serial loop: identical iteration partition,
+  // identical processor assignment, every stream ready at relative time 0.
+  // Appending in sid order leaves each heap sorted, which is a valid heap.
+  for (std::uint64_t s = 0; s < nstreams; ++s) {
+    Stream& st = streams_[s];
+    st.sink.clear();
+    st.op_pos = 0;
+    st.unit_left = 0;
+    st.worked = false;
+    st.proc = static_cast<std::uint32_t>(s % nproc);
+    const std::uint64_t base_iters = n / nstreams;
+    const std::uint64_t rem = n % nstreams;
+    st.iter = s * base_iters + std::min<std::uint64_t>(s, rem);
+    st.iter_end = st.iter + base_iters + (s < rem ? 1 : 0);
+    sc.procs[st.proc].heap.push_back(s);  // rel 0 → key == sid
+  }
+
+  const Cycles lat_half = cfg_.memory_latency / 2;
+  const std::uint32_t faa_iv =
+      static_cast<std::uint32_t>(cfg_.faa_service_interval);
+  const std::uint32_t sync_iv =
+      static_cast<std::uint32_t>(cfg_.sync_service_interval);
+
+  // Drain one processor: run its streams in local (t, sid) order until
+  // every stream has parked on an atomic request or retired — or until the
+  // next event would reach the horizon. The horizon is the earliest time a
+  // parked stream on THIS proc could possibly wake (arrive + interval +
+  // lat/2, a lower bound known at park time): an event at or past it must
+  // wait, because the wake's ops have to charge proc_next_ first.
+  const auto drain_proc = [&](std::uint32_t p) {
+    ParallelScratch::ProcSim& ps = sc.procs[p];
+    auto& heap = ps.heap;
+    Cycles& pnext = proc_next_[p];
+    Cycles hor_rel = kNoEvent;
+    for (const auto& pk : ps.parked) hor_rel = std::min(hor_rel, pk.first);
+    while (!heap.empty() && (heap[0] >> sid_bits) < hor_rel) {
+      const std::uint64_t key = heap[0];
+      heap[0] = heap.back();
+      heap.pop_back();
+      if (!heap.empty()) detail::sift_down(heap.data(), heap.size(), 0);
+
+      const std::uint64_t sid = key & sid_mask;
+      Cycles t = base + (key >> sid_bits);
+      Stream& st = streams_[sid];
+
+      // Inline run, as in the serial loop, but the "next pending" horizon
+      // only spans this processor: other processors interact with this one
+      // solely through parked atomic requests, never through local steps.
+      for (;;) {
+        bool have_op = true;
+        while (st.op_pos >= st.sink.ops().size()) {
+          if (st.iter < st.iter_end) {
+            st.sink.clear();
+            st.op_pos = 0;
+            if (cfg_.iteration_overhead != 0) {
+              st.sink.compute(cfg_.iteration_overhead);
+            }
+            body(st.iter, st.sink, p);
+            ++st.iter;
+            ++ps.iterations;
+            st.worked = true;
+          } else {
+            ps.last_completion = std::max(ps.last_completion, t);
+            have_op = false;
+            break;
+          }
+        }
+        if (!have_op) break;
+
+        const Op& op = st.sink.ops()[st.op_pos];
+        std::uint32_t step = op.count;
+        if (!op.pipelined && op.count > 1) {
+          if (st.unit_left == 0) st.unit_left = op.count;
+          step = 1;
+          if (--st.unit_left == 0) ++st.op_pos;
+        } else {
+          ++st.op_pos;
+        }
+
+        const Cycles issue = std::max(t, pnext);
+        Cycles ready = issue;
+        bool parked = false;
+        switch (op.kind) {
+          case OpKind::kCompute:
+            pnext = issue + step;
+            ps.instructions += step;
+            ready = issue + step;
+            break;
+          case OpKind::kLoad:
+            pnext = issue + step;
+            ps.loads += step;
+            ps.instructions += step;
+            ready = issue + step + cfg_.memory_latency;
+            break;
+          case OpKind::kStore:
+            pnext = issue + step;
+            ps.stores += step;
+            ps.instructions += step;
+            ready = issue + step;
+            break;
+          case OpKind::kFetchAdd:
+          case OpKind::kSync: {
+            pnext = issue + 1;
+            ps.instructions += 1;
+            const bool is_faa = op.kind == OpKind::kFetchAdd;
+            if (is_faa) {
+              ++ps.fetch_adds;
+            } else {
+              ++ps.syncs;
+            }
+            const Cycles arrive = issue + 1 + lat_half;
+            const std::uint32_t iv = is_faa ? faa_iv : sync_iv;
+            ps.requests.push_back(Request{pack(t, sid), arrive, op.addr, iv});
+            const Cycles cmin_rel = arrive + iv + lat_half - base;
+            ps.parked.emplace_back(cmin_rel, sid);
+            hor_rel = std::min(hor_rel, cmin_rel);
+            parked = true;
+            break;
+          }
+        }
+        if (parked) break;  // wake arrives from a later resolution round
+
+        const Cycles next_rel = std::min(
+            heap.empty() ? kNoEvent : heap[0] >> sid_bits, hor_rel);
+        if (ready - base < next_rel) {
+          t = ready;  // fast path: still strictly earliest on this proc
+          continue;
+        }
+        heap.push_back(pack(ready, sid));
+        detail::sift_up(heap.data(), heap.size() - 1);
+        break;
+      }
+    }
+  };
+
+  // Serial resolution of the round's atomic requests in global (t, sid)
+  // order; returns true when the region is fully drained.
+  const auto resolve_round = [&]() -> bool {
+    auto& pend = sc.pending;
+    const std::size_t carried = pend.size();
+    for (auto& ps : sc.procs) {
+      pend.insert(pend.end(), ps.requests.begin(), ps.requests.end());
+      ps.requests.clear();
+    }
+    const auto by_key = [](const Request& a, const Request& b) {
+      return a.key < b.key;
+    };
+    std::sort(pend.begin() + static_cast<std::ptrdiff_t>(carried), pend.end(),
+              by_key);
+    std::inplace_merge(pend.begin(),
+                       pend.begin() + static_cast<std::ptrdiff_t>(carried),
+                       pend.end(), by_key);
+
+    // Events still queued on a halted proc can emit requests at their own
+    // (later) times; nothing at or past the earliest of them may resolve
+    // yet, or a future request could be undercut.
+    Cycles stop_rel = kNoEvent;
+    for (const auto& ps : sc.procs) {
+      if (!ps.heap.empty()) {
+        stop_rel = std::min(stop_rel, ps.heap[0] >> sid_bits);
+      }
+    }
+
+    bool any_wake = false;
+    Cycles wmin_rel = kNoEvent;  // min completion issued this round (rel)
+    std::size_t i = 0;
+    for (; i < pend.size(); ++i) {
+      const Request& r = pend[i];
+      const Cycles t_rel = r.key >> sid_bits;
+      if (t_rel >= wmin_rel || t_rel >= stop_rel) break;
+      FlatAddrTable::Entry& a = addr_state_.find_or_insert(r.addr);
+      const Cycles begin = std::max(r.arrive, a.next_free);
+      a.next_free = begin + r.interval;
+      ++a.count;
+      const Cycles completion = begin + r.interval + lat_half;
+      const std::uint64_t sid = r.key & sid_mask;
+      sc.procs[sid % nproc].wakes.push_back(pack(completion, sid));
+      any_wake = true;
+      wmin_rel = std::min(wmin_rel, completion - base);
+    }
+    pend.erase(pend.begin(), pend.begin() + static_cast<std::ptrdiff_t>(i));
+    return pend.empty() && !any_wake;
+  };
+
+  host::ThreadPool& pool = host::pool();
+  const unsigned team_size = static_cast<unsigned>(
+      std::min<std::uint64_t>({pool.num_threads(), nproc, nstreams}));
+  host::SpinBarrier barrier(team_size);
+
+  pool.team(team_size, [&](unsigned m, unsigned tsz) {
+    const std::uint32_t p0 =
+        static_cast<std::uint32_t>(std::uint64_t{nproc} * m / tsz);
+    const std::uint32_t p1 =
+        static_cast<std::uint32_t>(std::uint64_t{nproc} * (m + 1) / tsz);
+    for (;;) {
+      if (!sc.abort.load(std::memory_order_acquire)) {
+        try {
+          for (std::uint32_t p = p0; p < p1; ++p) drain_proc(p);
+        } catch (...) {
+          sc.note_error();
+        }
+      }
+      barrier.arrive_and_wait(m);
+      if (m == 0) {
+        bool finished = true;
+        if (!sc.abort.load(std::memory_order_acquire)) {
+          try {
+            finished = resolve_round();
+          } catch (...) {
+            sc.note_error();
+          }
+        }
+        sc.done.store(finished, std::memory_order_release);
+      }
+      barrier.arrive_and_wait(m);
+      if (sc.done.load(std::memory_order_acquire)) break;
+      if (!sc.abort.load(std::memory_order_acquire)) {
+        try {
+          for (std::uint32_t p = p0; p < p1; ++p) {
+            auto& ps = sc.procs[p];
+            for (const std::uint64_t key : ps.wakes) {
+              ps.heap.push_back(key);
+              detail::sift_up(ps.heap.data(), ps.heap.size() - 1);
+              const std::uint64_t sid = key & sid_mask;
+              for (std::size_t k = 0; k < ps.parked.size(); ++k) {
+                if (ps.parked[k].second == sid) {
+                  ps.parked[k] = ps.parked.back();
+                  ps.parked.pop_back();
+                  break;
+                }
+              }
+            }
+            ps.wakes.clear();
+          }
+        } catch (...) {
+          sc.note_error();
+        }
+      }
+    }
+  });
+
+  if (sc.error) std::rethrow_exception(sc.error);
+
+  Cycles last_completion = now_;
+  for (const auto& ps : sc.procs) {
+    last_completion = std::max(last_completion, ps.last_completion);
+    stats.iterations += ps.iterations;
+    stats.instructions += ps.instructions;
+    stats.loads += ps.loads;
+    stats.stores += ps.stores;
+    stats.fetch_adds += ps.fetch_adds;
+    stats.syncs += ps.syncs;
+  }
+
+  finish_region(stats, last_completion, nstreams);
+  return stats;
+}
+
+}  // namespace xg::xmt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace xg::xmt::detail {
+
+/// 4-ary min-heap primitives over packed uint64 scheduler keys, shared by
+/// the serial event loop's overflow heap and the parallel backend's
+/// per-processor queues. Flat arrays + a wide node keep the tree shallow
+/// (two levels cover 20 entries) and the inner loop branch-light.
+
+inline void sift_down(std::uint64_t* h, std::size_t size, std::size_t i) {
+  const std::uint64_t v = h[i];
+  for (;;) {
+    const std::size_t c0 = 4 * i + 1;
+    if (c0 >= size) break;
+    const std::size_t cend = std::min(c0 + 4, size);
+    std::size_t m = c0;
+    for (std::size_t c = c0 + 1; c < cend; ++c) {
+      if (h[c] < h[m]) m = c;
+    }
+    if (h[m] >= v) break;
+    h[i] = h[m];
+    i = m;
+  }
+  h[i] = v;
+}
+
+inline void sift_up(std::uint64_t* h, std::size_t i) {
+  const std::uint64_t v = h[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 4;
+    if (h[p] <= v) break;
+    h[i] = h[p];
+    i = p;
+  }
+  h[i] = v;
+}
+
+}  // namespace xg::xmt::detail

@@ -1,0 +1,193 @@
+// The host parallel runtime's core promise: simulated results are a pure
+// function of the workload, never of the host thread count. Each test here
+// runs the same kernel with 1, 2, and 8 worker threads and requires every
+// observable — vertex states, cycle counts, message tallies, per-superstep
+// records, fault-recovery trails — to match bit-for-bit.
+//
+// The fixture graph is an R-MAT at scale 10 (1024 vertices): big enough
+// that lane staging in the BSP loop and task staging in the cluster engine
+// both spread real work across workers, small enough that the 8-thread run
+// stays fast on an oversubscribed single-core CI host. (The XMT event-loop
+// backend has its own bit-identity matrix in tests/xmt/ at region sizes
+// above its 2048-iteration parallel threshold.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/triangles.hpp"
+#include "cluster/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "host/thread_pool.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg {
+namespace {
+
+const graph::CSRGraph& test_graph() {
+  static const graph::CSRGraph g = [] {
+    graph::RmatParams p;
+    p.scale = 10;
+    p.edgefactor = 8;
+    p.seed = 42;
+    return graph::CSRGraph::build(graph::rmat_edges(p));
+  }();
+  return g;
+}
+
+xmt::Engine make_machine() {
+  xmt::SimConfig cfg;
+  cfg.processors = 8;
+  return xmt::Engine(cfg);
+}
+
+// Every test restores the single-thread default so suites sharing this
+// process are unaffected by the sweep.
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { host::set_threads(1); }
+  static constexpr unsigned kThreadCounts[] = {1, 2, 8};
+};
+
+void expect_same_supersteps(const std::vector<bsp::SuperstepRecord>& got,
+                            const std::vector<bsp::SuperstepRecord>& want,
+                            unsigned threads) {
+  ASSERT_EQ(got.size(), want.size()) << "threads=" << threads;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].computed_vertices, want[i].computed_vertices)
+        << "superstep " << i << " threads=" << threads;
+    EXPECT_EQ(got[i].messages_received, want[i].messages_received)
+        << "superstep " << i << " threads=" << threads;
+    EXPECT_EQ(got[i].messages_sent, want[i].messages_sent)
+        << "superstep " << i << " threads=" << threads;
+    EXPECT_EQ(got[i].cycles(), want[i].cycles())
+        << "superstep " << i << " threads=" << threads;
+  }
+}
+
+TEST_F(ParallelDeterminism, ConnectedComponentsBitIdentical) {
+  host::set_threads(1);
+  auto serial_machine = make_machine();
+  const auto serial = bsp::connected_components(serial_machine, test_graph());
+  ASSERT_TRUE(serial.converged);
+
+  for (const unsigned t : kThreadCounts) {
+    host::set_threads(t);
+    auto machine = make_machine();
+    const auto r = bsp::connected_components(machine, test_graph());
+    EXPECT_EQ(r.labels, serial.labels) << "threads=" << t;
+    EXPECT_EQ(r.num_components, serial.num_components) << "threads=" << t;
+    EXPECT_EQ(r.converged, serial.converged) << "threads=" << t;
+    EXPECT_EQ(r.totals.cycles, serial.totals.cycles) << "threads=" << t;
+    EXPECT_EQ(r.totals.messages, serial.totals.messages) << "threads=" << t;
+    EXPECT_EQ(machine.now(), serial_machine.now()) << "threads=" << t;
+    expect_same_supersteps(r.supersteps, serial.supersteps, t);
+  }
+}
+
+TEST_F(ParallelDeterminism, BfsBitIdentical) {
+  host::set_threads(1);
+  auto serial_machine = make_machine();
+  const auto serial = bsp::bfs(serial_machine, test_graph(), /*source=*/0);
+  ASSERT_GT(serial.reached, 1u);
+
+  for (const unsigned t : kThreadCounts) {
+    host::set_threads(t);
+    auto machine = make_machine();
+    const auto r = bsp::bfs(machine, test_graph(), /*source=*/0);
+    EXPECT_EQ(r.distance, serial.distance) << "threads=" << t;
+    EXPECT_EQ(r.reached, serial.reached) << "threads=" << t;
+    EXPECT_EQ(r.totals.cycles, serial.totals.cycles) << "threads=" << t;
+    EXPECT_EQ(r.totals.messages, serial.totals.messages) << "threads=" << t;
+    expect_same_supersteps(r.supersteps, serial.supersteps, t);
+  }
+}
+
+TEST_F(ParallelDeterminism, TrianglesBitIdentical) {
+  host::set_threads(1);
+  auto serial_machine = make_machine();
+  const auto serial = bsp::count_triangles(serial_machine, test_graph());
+  ASSERT_GT(serial.triangles, 0u);
+
+  for (const unsigned t : kThreadCounts) {
+    host::set_threads(t);
+    auto machine = make_machine();
+    const auto r = bsp::count_triangles(machine, test_graph());
+    EXPECT_EQ(r.triangles, serial.triangles) << "threads=" << t;
+    EXPECT_EQ(r.edge_messages, serial.edge_messages) << "threads=" << t;
+    EXPECT_EQ(r.wedge_messages, serial.wedge_messages) << "threads=" << t;
+    EXPECT_EQ(r.triangle_messages, serial.triangle_messages)
+        << "threads=" << t;
+    EXPECT_EQ(r.totals.cycles, serial.totals.cycles) << "threads=" << t;
+    expect_same_supersteps(r.supersteps, serial.supersteps, t);
+  }
+}
+
+// A cluster run with the full fault repertoire short of message drops
+// (drop_probability > 0 intentionally forces the single-task serial path):
+// a mid-run crash recovered from a checkpoint, and stragglers skewing
+// per-machine compute time. The recovery trail and per-superstep records
+// must replay identically at every thread count.
+TEST_F(ParallelDeterminism, FaultyClusterRunBitIdentical) {
+  cluster::ClusterConfig cfg;
+  cfg.machines = 4;
+  cfg.checkpoint_interval = 2;
+  cluster::FaultPlan plan;
+  plan.crashes = {{/*superstep=*/3, /*machine=*/1}};
+  plan.straggler_factor = {1.0, 1.75, 1.0, 1.25};
+
+  host::set_threads(1);
+  const auto serial =
+      cluster::run(cfg, test_graph(), bsp::CCProgram{}, 100000, {}, plan);
+  ASSERT_EQ(serial.recovery.crashes, 1u);
+  ASSERT_GT(serial.recovery.checkpoints_written, 0u);
+  ASSERT_GT(serial.recovery.supersteps_replayed, 0u);
+  ASSERT_TRUE(serial.converged);
+
+  for (const unsigned t : kThreadCounts) {
+    host::set_threads(t);
+    const auto r =
+        cluster::run(cfg, test_graph(), bsp::CCProgram{}, 100000, {}, plan);
+    EXPECT_EQ(r.state, serial.state) << "threads=" << t;
+    EXPECT_EQ(r.converged, serial.converged) << "threads=" << t;
+    EXPECT_EQ(r.totals.messages, serial.totals.messages) << "threads=" << t;
+    EXPECT_EQ(r.totals.supersteps, serial.totals.supersteps)
+        << "threads=" << t;
+    EXPECT_DOUBLE_EQ(r.totals.seconds, serial.totals.seconds)
+        << "threads=" << t;
+    EXPECT_EQ(r.recovery.crashes, serial.recovery.crashes) << "threads=" << t;
+    EXPECT_EQ(r.recovery.checkpoints_written,
+              serial.recovery.checkpoints_written)
+        << "threads=" << t;
+    EXPECT_EQ(r.recovery.supersteps_replayed,
+              serial.recovery.supersteps_replayed)
+        << "threads=" << t;
+    EXPECT_DOUBLE_EQ(r.recovery.recovery_seconds,
+                     serial.recovery.recovery_seconds)
+        << "threads=" << t;
+    ASSERT_EQ(r.supersteps.size(), serial.supersteps.size())
+        << "threads=" << t;
+    for (std::size_t i = 0; i < r.supersteps.size(); ++i) {
+      EXPECT_EQ(r.supersteps[i].computed_vertices,
+                serial.supersteps[i].computed_vertices)
+          << "superstep " << i << " threads=" << t;
+      EXPECT_EQ(r.supersteps[i].local_messages,
+                serial.supersteps[i].local_messages)
+          << "superstep " << i << " threads=" << t;
+      EXPECT_EQ(r.supersteps[i].remote_messages,
+                serial.supersteps[i].remote_messages)
+          << "superstep " << i << " threads=" << t;
+      EXPECT_DOUBLE_EQ(r.supersteps[i].seconds, serial.supersteps[i].seconds)
+          << "superstep " << i << " threads=" << t;
+      EXPECT_EQ(r.supersteps[i].replayed, serial.supersteps[i].replayed)
+          << "superstep " << i << " threads=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xg

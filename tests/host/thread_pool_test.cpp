@@ -1,0 +1,205 @@
+// Unit tests for the shared host runtime: chunk/grain edge cases, empty
+// ranges, exception propagation, the deterministic task decomposition, the
+// team entry point, and the global pool configuration knobs.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "host/barrier.hpp"
+#include "host/thread_pool.hpp"
+
+namespace xg::host {
+namespace {
+
+TEST(HostThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(0, 16, [&](std::uint64_t, std::uint64_t) {
+    ++calls;
+  });
+  pool.parallel_for_tasks(0, [&](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(HostThreadPool, CoversEveryIndexOnceAcrossGrains) {
+  ThreadPool pool(4);
+  for (std::uint64_t n : {1ull, 2ull, 63ull, 64ull, 65ull, 1000ull}) {
+    for (std::uint64_t grain : {1ull, 3ull, 64ull, 1024ull}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for_ranges(n, grain,
+                               [&](std::uint64_t b, std::uint64_t e) {
+                                 ASSERT_LE(b, e);
+                                 ASSERT_LE(e, n);
+                                 ASSERT_LE(e - b, grain);
+                                 for (std::uint64_t i = b; i < e; ++i) {
+                                   ++hits[i];
+                                 }
+                               });
+      for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(HostThreadPool, GrainZeroBehavesLikeGrainOne) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_ranges(100, 0, [&](std::uint64_t b, std::uint64_t e) {
+    EXPECT_EQ(e, b + 1);
+    sum += b;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(HostThreadPool, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(10, 1000, [&](std::uint64_t b, std::uint64_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(HostThreadPool, TasksRunExactlyOnceEachAndStealingFinishesStragglers) {
+  ThreadPool pool(4);
+  const std::uint64_t kTasks = 97;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.parallel_for_tasks(kTasks, [&](std::uint64_t t) {
+    if (t == 0) {
+      // A deliberately slow task: the other workers must steal the rest
+      // of worker 0's block instead of idling.
+      for (volatile int spin = 0; spin < 2000000; ++spin) {
+      }
+    }
+    ++runs[t];
+  });
+  for (std::uint64_t t = 0; t < kTasks; ++t) {
+    ASSERT_EQ(runs[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(HostThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_ranges(1000, 8,
+                               [&](std::uint64_t b, std::uint64_t) {
+                                 if (b >= 496) {
+                                   throw std::runtime_error("chunk failed");
+                                 }
+                               }),
+      std::runtime_error);
+  // The pool must stay healthy for the next loop.
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(HostThreadPool, ExceptionInTaskFormPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_tasks(16,
+                                       [&](std::uint64_t t) {
+                                         if (t == 7) {
+                                           throw std::logic_error("task 7");
+                                         }
+                                       }),
+               std::logic_error);
+}
+
+TEST(HostThreadPool, TeamRunsEachMemberOnceAndBarrierSynchronizes) {
+  ThreadPool pool(4);
+  SpinBarrier barrier(4);
+  std::vector<std::atomic<int>> member_runs(4);
+  std::atomic<int> before{0};
+  std::atomic<bool> ok{true};
+  pool.team(4, [&](unsigned m, unsigned tsz) {
+    ASSERT_EQ(tsz, 4u);
+    ++member_runs[m];
+    ++before;
+    barrier.arrive_and_wait(m);
+    // After the barrier every member must observe all arrivals.
+    if (before.load() != 4) ok = false;
+    barrier.arrive_and_wait(m);
+  });
+  for (int m = 0; m < 4; ++m) EXPECT_EQ(member_runs[m].load(), 1);
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(HostThreadPool, TeamClampsToPoolSize) {
+  ThreadPool pool(2);
+  std::atomic<unsigned> max_size{0};
+  std::atomic<int> members{0};
+  pool.team(16, [&](unsigned m, unsigned tsz) {
+    EXPECT_LT(m, tsz);
+    max_size = tsz;
+    ++members;
+  });
+  EXPECT_EQ(max_size.load(), 2u);
+  EXPECT_EQ(members.load(), 2);
+}
+
+TEST(HostThreadPool, TeamExceptionPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.team(3,
+                         [&](unsigned m, unsigned) {
+                           if (m == 1) throw std::runtime_error("member 1");
+                         }),
+               std::runtime_error);
+}
+
+TEST(HostThreadPool, BarrierIsReusableAcrossInstances) {
+  // A worker that used barrier A must get a clean slate on barrier B —
+  // per-member sense lives in the barrier, not the thread.
+  ThreadPool pool(2);
+  for (int round = 0; round < 3; ++round) {
+    SpinBarrier fresh(2);
+    std::atomic<int> arrived{0};
+    pool.team(2, [&](unsigned m, unsigned) {
+      ++arrived;
+      fresh.arrive_and_wait(m);
+      EXPECT_EQ(arrived.load(), 2);
+      fresh.arrive_and_wait(m);
+      fresh.arrive_and_wait(m);
+    });
+  }
+}
+
+TEST(HostThreadPool, ExplicitCountsAreHonored) {
+  ThreadPool three(3);
+  EXPECT_EQ(three.num_threads(), 3u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.num_threads(), 1u);
+}
+
+TEST(HostThreadPool, DefaultNeverOversubscribesHardware) {
+  ThreadPool def(0);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // XG_THREADS (an explicit pin) may exceed the hardware; the unset
+  // default may not.
+  if (std::getenv("XG_THREADS") == nullptr) {
+    EXPECT_LE(def.num_threads(), hw);
+  }
+  EXPECT_GE(def.num_threads(), 1u);
+}
+
+TEST(HostThreadPool, GlobalPoolFollowsSetThreads) {
+  set_threads(3);
+  EXPECT_EQ(pool().num_threads(), 3u);
+  EXPECT_EQ(threads(), 3u);
+  set_threads(1);
+  EXPECT_EQ(pool().num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace xg::host

@@ -279,5 +279,38 @@ TEST(TraceSession, WritesTraceAndMetricsFiles) {
   EXPECT_NE(metrics.find("\"bsp.superstep.count\""), std::string::npos);
 }
 
+TEST(TraceShards, StitchFoldsInShardOrderAndUpdatesMetrics) {
+  TraceSink sink;
+  sink.resize_shards(3);
+  // Worker-order-independent: append to shards out of "thread order"; the
+  // stitched sequence must follow shard index, then append order.
+  const auto ev = [](const char* name, std::uint64_t cycles) {
+    TraceEvent e;
+    e.name = name;
+    e.engine = "xmt";
+    e.cycles = cycles;
+    return e;
+  };
+  sink.shard(2).record(ev("region", 30));
+  sink.shard(0).record(ev("region", 10));
+  sink.shard(1).record(ev("region", 20));
+  sink.shard(0).record(ev("region", 11));
+  sink.stitch_shards();
+
+  ASSERT_EQ(sink.events().size(), 4u);
+  EXPECT_EQ(sink.events()[0].cycles, 10u);
+  EXPECT_EQ(sink.events()[1].cycles, 11u);
+  EXPECT_EQ(sink.events()[2].cycles, 20u);
+  EXPECT_EQ(sink.events()[3].cycles, 30u);
+  // Metrics are folded by record() during the stitch.
+  EXPECT_EQ(sink.metrics().counter_value("xmt.region.count"), 4u);
+  EXPECT_EQ(sink.metrics().counter_value("xmt.region.cycles"), 71u);
+  // Shards are reusable after a stitch.
+  EXPECT_TRUE(sink.shard(0).empty());
+  sink.shard(1).record(ev("region", 40));
+  sink.stitch_shards();
+  EXPECT_EQ(sink.events().size(), 5u);
+}
+
 }  // namespace
 }  // namespace xg::obs
