@@ -15,16 +15,11 @@
 #include <cstdio>
 #include <string>
 
-#include "bsp/algorithms/bfs.hpp"
-#include "bsp/algorithms/connected_components.hpp"
-#include "bsp/algorithms/triangles.hpp"
+#include "api/run.hpp"
 #include "exp/args.hpp"
 #include "exp/workload.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
-#include "graphct/bfs.hpp"
-#include "graphct/connected_components.hpp"
-#include "graphct/triangles.hpp"
 #include "xmt/engine.hpp"
 
 using namespace xg;
@@ -75,17 +70,16 @@ SparseResult run_sparse_frontier() {
   edges.reserve(n - 1);
   for (graph::vid_t v = 0; v + 1 < n; ++v) edges.add(v, v + 1);
   const auto g = graph::CSRGraph::build(edges);
-  xmt::SimConfig cfg;
-  cfg.processors = 64;
-  xmt::Engine e(cfg);
-  bsp::BspOptions opt;
-  opt.scan_all_vertices = false;
+  RunOptions opt;
+  opt.sim.processors = 64;
+  opt.bsp.scan_all_vertices = false;
+  opt.source = 0;
   SparseResult r;
   const auto t0 = Clock::now();
-  const auto res = bsp::bfs(e, g, 0, opt);
+  const auto res = run(AlgorithmId::kBfs, BackendId::kBsp, g, opt);
   const double elapsed = seconds_since(t0);
-  r.supersteps = res.totals.supersteps;
-  r.cycles = res.totals.cycles;
+  r.supersteps = res.rounds.size();
+  r.cycles = res.cycles;
   r.supersteps_per_second = static_cast<double>(r.supersteps) / elapsed;
   return r;
 }
@@ -97,26 +91,17 @@ struct E2eResult {
 };
 
 E2eResult run_table1(const exp::Workload& wl, std::uint32_t processors) {
-  xmt::SimConfig cfg;
-  cfg.processors = processors;
-  xmt::Engine e(cfg);
+  RunOptions opt;
+  opt.sim.processors = processors;
+  opt.source = wl.bfs_source;
   E2eResult r;
   const auto t0 = Clock::now();
-  const auto cc_ct = graphct::connected_components(e, wl.graph);
-  e.reset();
-  const auto cc_bsp = bsp::connected_components(e, wl.graph);
-  e.reset();
-  const auto bfs_ct = graphct::bfs(e, wl.graph, wl.bfs_source);
-  e.reset();
-  const auto bfs_bsp = bsp::bfs(e, wl.graph, wl.bfs_source);
-  e.reset();
-  const auto tc_ct = graphct::count_triangles(e, wl.graph);
-  e.reset();
-  const auto tc_bsp = bsp::count_triangles(e, wl.graph);
+  for (const auto alg : all_algorithms()) {
+    for (const auto backend : {BackendId::kGraphct, BackendId::kBsp}) {
+      r.total_cycles += run(alg, backend, wl.graph, opt).cycles;
+    }
+  }
   r.seconds = seconds_since(t0);
-  r.total_cycles = cc_ct.totals.cycles + cc_bsp.totals.cycles +
-                   bfs_ct.totals.cycles + bfs_bsp.totals.cycles +
-                   tc_ct.totals.cycles + tc_bsp.totals.cycles;
   return r;
 }
 

@@ -1,6 +1,7 @@
 // Reproduces Table I: total execution times on the full machine for
 // connected components, breadth-first search and triangle counting, in both
-// programming models, plus the BSP:GraphCT ratio.
+// programming models, plus the BSP:GraphCT ratio. All six runs go through
+// the unified xg::run entry point.
 //
 // Paper (scale 24, 128-processor XMT):
 //   Connected Components   5.40 s  /  1.31 s   (4.1:1)
@@ -10,18 +11,12 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bsp/algorithms/bfs.hpp"
-#include "bsp/algorithms/connected_components.hpp"
-#include "bsp/algorithms/triangles.hpp"
+#include "api/run.hpp"
 #include "exp/args.hpp"
 #include "exp/paper.hpp"
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
 #include "obs/session.hpp"
-#include "graphct/bfs.hpp"
-#include "graphct/connected_components.hpp"
-#include "graphct/triangles.hpp"
-#include "xmt/engine.hpp"
 
 using namespace xg;
 
@@ -35,7 +30,6 @@ int main(int argc, char** argv) try {
   const auto wl = exp::make_workload(args, /*default_scale=*/14);
   const auto processors =
       static_cast<std::uint32_t>(args.get_int("processors", 128));
-  const auto cfg = exp::sim_config(args, processors);
   std::printf("== Table I: execution times on a %u-processor machine ==\n",
               processors);
   std::printf("workload: %s\n\n", wl.describe().c_str());
@@ -44,20 +38,22 @@ int main(int argc, char** argv) try {
   trace.note("bench", "table1_total_times");
   trace.note("workload", wl.describe());
 
-  xmt::Engine engine(cfg);
-  engine.set_trace_sink(trace.sink());
+  RunOptions opt;
+  opt.sim = exp::sim_config(args, processors);
+  opt.source = wl.bfs_source;
+  opt.trace = trace.sink();
 
-  const auto cc_ct = graphct::connected_components(engine, wl.graph);
-  engine.reset();
-  const auto cc_bsp = bsp::connected_components(engine, wl.graph);
-  engine.reset();
-  const auto bfs_ct = graphct::bfs(engine, wl.graph, wl.bfs_source);
-  engine.reset();
-  const auto bfs_bsp = bsp::bfs(engine, wl.graph, wl.bfs_source);
-  engine.reset();
-  const auto tc_ct = graphct::count_triangles(engine, wl.graph);
-  engine.reset();
-  const auto tc_bsp = bsp::count_triangles(engine, wl.graph);
+  const auto cc_ct = run(AlgorithmId::kConnectedComponents,
+                         BackendId::kGraphct, wl.graph, opt);
+  const auto cc_bsp = run(AlgorithmId::kConnectedComponents, BackendId::kBsp,
+                          wl.graph, opt);
+  const auto bfs_ct = run(AlgorithmId::kBfs, BackendId::kGraphct, wl.graph,
+                          opt);
+  const auto bfs_bsp = run(AlgorithmId::kBfs, BackendId::kBsp, wl.graph, opt);
+  const auto tc_ct = run(AlgorithmId::kTriangleCount, BackendId::kGraphct,
+                         wl.graph, opt);
+  const auto tc_bsp = run(AlgorithmId::kTriangleCount, BackendId::kBsp,
+                          wl.graph, opt);
 
   auto ratio = [](xmt::Cycles bsp_c, xmt::Cycles ct_c) {
     return exp::Table::fixed(
@@ -66,19 +62,19 @@ int main(int argc, char** argv) try {
 
   exp::Table table({"algorithm", "BSP", "GraphCT", "ratio", "paper ratio"});
   table.add_row({"Connected Components",
-                 exp::Table::seconds(cfg.seconds(cc_bsp.totals.cycles)),
-                 exp::Table::seconds(cfg.seconds(cc_ct.totals.cycles)),
-                 ratio(cc_bsp.totals.cycles, cc_ct.totals.cycles) + ":1",
+                 exp::Table::seconds(opt.sim.seconds(cc_bsp.cycles)),
+                 exp::Table::seconds(opt.sim.seconds(cc_ct.cycles)),
+                 ratio(cc_bsp.cycles, cc_ct.cycles) + ":1",
                  exp::Table::fixed(exp::paper::kCcRatio, 1) + ":1"});
   table.add_row({"Breadth-first Search",
-                 exp::Table::seconds(cfg.seconds(bfs_bsp.totals.cycles)),
-                 exp::Table::seconds(cfg.seconds(bfs_ct.totals.cycles)),
-                 ratio(bfs_bsp.totals.cycles, bfs_ct.totals.cycles) + ":1",
+                 exp::Table::seconds(opt.sim.seconds(bfs_bsp.cycles)),
+                 exp::Table::seconds(opt.sim.seconds(bfs_ct.cycles)),
+                 ratio(bfs_bsp.cycles, bfs_ct.cycles) + ":1",
                  exp::Table::fixed(exp::paper::kBfsRatio, 1) + ":1"});
   table.add_row({"Triangle Counting",
-                 exp::Table::seconds(cfg.seconds(tc_bsp.totals.cycles)),
-                 exp::Table::seconds(cfg.seconds(tc_ct.totals.cycles)),
-                 ratio(tc_bsp.totals.cycles, tc_ct.totals.cycles) + ":1",
+                 exp::Table::seconds(opt.sim.seconds(tc_bsp.cycles)),
+                 exp::Table::seconds(opt.sim.seconds(tc_ct.cycles)),
+                 ratio(tc_bsp.cycles, tc_ct.cycles) + ":1",
                  exp::Table::fixed(exp::paper::kTcRatio, 1) + ":1"});
   if (args.get_flag("csv")) {
     table.print_csv(std::cout);
@@ -94,7 +90,7 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(tc_ct.triangles));
   std::printf("convergence: CC %zu BSP supersteps vs %zu GraphCT iterations "
               "(paper: %u vs %u)\n",
-              cc_bsp.supersteps.size(), cc_ct.iterations.size(),
+              cc_bsp.rounds.size(), cc_ct.rounds.size(),
               exp::paper::kCcBspSupersteps, exp::paper::kCcGraphctIterations);
   std::printf(
       "\npaper reference (scale %u, %uP XMT): CC %.2f/%.2f s, BFS %.2f/%.3f "

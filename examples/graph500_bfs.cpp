@@ -1,27 +1,25 @@
 // Graph500-style BFS benchmark (the paper's §IV cites the Graph500 as the
 // home of breadth-first search): generate the Graph500 R-MAT graph, run
-// BFS from a sample of random roots in both programming models, validate
-// every search tree, and report simulated TEPS (traversed edges/second).
+// BFS from a sample of random roots in both programming models through the
+// unified xg::run entry point, validate every distance vector against the
+// sequential oracle, and report simulated TEPS (traversed edges/second).
 //
 //   $ ./graph500_bfs [--scale N] [--roots N] [--processors N]
 
 #include <cstdio>
 #include <iostream>
 
-#include "bsp/algorithms/bfs.hpp"
+#include "api/run.hpp"
 #include "exp/args.hpp"
 #include "exp/table.hpp"
-#include "graph/reference/bfs.hpp"
 #include "graph/rmat.hpp"
 #include "graph/rng.hpp"
-#include "graphct/bfs.hpp"
-#include "xmt/engine.hpp"
 
 using namespace xg;
 
 int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
-                       "Graph500-style BFS in both models with tree "
+                       "Graph500-style BFS in both models with oracle "
                        "validation and simulated TEPS.\nOptions: --scale N "
                        "--roots N --seed N --processors N");
   args.handle_help();
@@ -34,16 +32,16 @@ int main(int argc, char** argv) try {
   const auto roots_wanted =
       static_cast<std::uint32_t>(args.get_int("roots", 8));
 
-  xmt::SimConfig cfg;
-  cfg.processors = static_cast<std::uint32_t>(args.get_int("processors", 128));
-  xmt::Engine machine(cfg);
+  RunOptions opt;
+  opt.sim.processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
 
   std::printf("== Graph500-style BFS ==\n");
   std::printf("graph: scale %u, %u vertices, %llu arcs; %u roots; "
               "%u processors\n\n",
               params.scale, g.num_vertices(),
               static_cast<unsigned long long>(g.num_arcs()), roots_wanted,
-              cfg.processors);
+              opt.sim.processors);
 
   // Root sample: random vertices with at least one edge (Graph500 rule).
   graph::Rng rng(params.seed ^ 0x9e3779b9);
@@ -58,31 +56,30 @@ int main(int argc, char** argv) try {
   double ct_total = 0.0;
   double bsp_total = 0.0;
   for (const auto root : roots) {
-    machine.reset();
-    const auto ct = graphct::bfs(machine, g, root);
-    machine.reset();
-    const auto bs = bsp::bfs(machine, g, root);
+    opt.source = root;
+    const auto ct = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+    const auto bs = run(AlgorithmId::kBfs, BackendId::kBsp, g, opt);
+    const auto oracle = run(AlgorithmId::kBfs, BackendId::kReference, g, opt);
 
     // Graph500 counts traversed edges = sum of degrees of reached vertices.
     std::uint64_t traversed = 0;
     for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
       if (ct.distance[v] != graph::kInfDist) traversed += g.degree(v);
     }
-    const double ct_s = cfg.seconds(ct.totals.cycles);
-    const double bsp_s = cfg.seconds(bs.totals.cycles);
+    const double ct_s = opt.sim.seconds(ct.cycles);
+    const double bsp_s = opt.sim.seconds(bs.cycles);
     ct_total += ct_s;
     bsp_total += bsp_s;
 
-    const auto err = graph::ref::validate_bfs_tree(g, root, ct.distance,
-                                                   ct.parent);
-    const bool same = ct.distance == bs.distance;
+    const bool valid =
+        ct.distance == oracle.distance && bs.distance == oracle.distance;
     table.add_row({std::to_string(root), std::to_string(ct.reached),
-                   std::to_string(ct.levels.size()),
+                   std::to_string(ct.rounds.size()),
                    exp::Table::seconds(ct_s),
                    exp::Table::fixed(traversed / ct_s / 1e9, 3),
                    exp::Table::seconds(bsp_s),
                    exp::Table::fixed(traversed / bsp_s / 1e9, 3),
-                   err.empty() && same ? "yes" : ("NO: " + err)});
+                   valid ? "yes" : "NO: distance mismatch"});
   }
   table.print(std::cout);
   std::printf("\nmean BSP:GraphCT ratio over %zu roots: %.1f:1 "

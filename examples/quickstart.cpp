@@ -1,6 +1,7 @@
 // Quickstart: build a graph, run the same algorithm in both programming
-// models on the simulated Cray XMT, and compare against the sequential
-// oracle. This is the smallest end-to-end tour of the library.
+// models on the simulated Cray XMT through the unified xg::run entry
+// point, and compare against the sequential oracle. This is the smallest
+// end-to-end tour of the library.
 //
 //   $ ./quickstart
 //
@@ -10,12 +11,9 @@
 
 #include <cstdio>
 
-#include "bsp/algorithms/connected_components.hpp"
+#include "api/run.hpp"
 #include "graph/csr.hpp"
-#include "graph/reference/components.hpp"
 #include "graph/rmat.hpp"
-#include "graphct/connected_components.hpp"
-#include "xmt/engine.hpp"
 
 int main() {
   using namespace xg;
@@ -30,37 +28,40 @@ int main() {
   std::printf("graph: %u vertices, %llu undirected edges\n", g.num_vertices(),
               static_cast<unsigned long long>(g.num_undirected_edges()));
 
-  // 2. Configure the simulated machine: a 128-processor Cray XMT.
-  xmt::SimConfig cfg;
-  cfg.processors = 128;
-  xmt::Engine machine(cfg);
+  // 2. Configure the simulated machine: a 128-processor Cray XMT. The same
+  //    options drive every backend behind xg::run.
+  RunOptions opt;
+  opt.sim.processors = 128;
 
   // 3. Shared-memory (GraphCT-style) connected components.
-  const auto shared = graphct::connected_components(machine, g);
+  const auto shared = run(AlgorithmId::kConnectedComponents,
+                          BackendId::kGraphct, g, opt);
   std::printf("GraphCT:  %u components in %zu iterations, %.3f ms simulated\n",
-              shared.num_components, shared.iterations.size(),
-              1e3 * cfg.seconds(shared.totals.cycles));
+              shared.num_components, shared.rounds.size(),
+              1e3 * opt.sim.seconds(shared.cycles));
 
   // 4. The same computation as a Pregel-style vertex program (Algorithm 1).
-  machine.reset();
-  const auto vertex_centric = bsp::connected_components(machine, g);
+  const auto vertex_centric = run(AlgorithmId::kConnectedComponents,
+                                  BackendId::kBsp, g, opt);
   std::printf("BSP:      %u components in %zu supersteps, %.3f ms simulated "
               "(%llu messages)\n",
-              vertex_centric.num_components,
-              vertex_centric.supersteps.size(),
-              1e3 * cfg.seconds(vertex_centric.totals.cycles),
-              static_cast<unsigned long long>(vertex_centric.totals.messages));
+              vertex_centric.num_components, vertex_centric.rounds.size(),
+              1e3 * opt.sim.seconds(vertex_centric.cycles),
+              static_cast<unsigned long long>(vertex_centric.messages));
 
-  // 5. Check both against the sequential union-find oracle.
-  const auto oracle = graph::ref::connected_components(g);
-  const bool ok = shared.labels == oracle && vertex_centric.labels == oracle;
+  // 5. Check both against the sequential union-find oracle — just another
+  //    backend under the unified API.
+  const auto oracle = run(AlgorithmId::kConnectedComponents,
+                          BackendId::kReference, g, opt);
+  const bool ok = shared.components == oracle.components &&
+                  vertex_centric.components == oracle.components;
   std::printf("oracle:   %u components -> both models %s\n",
-              graph::ref::count_components(oracle),
+              oracle.num_components,
               ok ? "agree with the oracle" : "DISAGREE");
 
   std::printf("\nBSP:GraphCT time ratio %.1f:1 (paper reports 4.1:1 at scale "
               "24)\n",
-              static_cast<double>(vertex_centric.totals.cycles) /
-                  static_cast<double>(shared.totals.cycles));
+              static_cast<double>(vertex_centric.cycles) /
+                  static_cast<double>(shared.cycles));
   return ok ? 0 : 1;
 }

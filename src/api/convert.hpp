@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/run.hpp"
+#include "bsp/engine.hpp"
+#include "cluster/engine.hpp"
+#include "graphct/framework.hpp"
+
+namespace xg::api {
+
+/// Converters from the per-engine result structs into the unified
+/// RunReport. xg::run uses these internally; they are public so code that
+/// still calls the engine-specific entry points (for knobs the facade does
+/// not expose) can join its results into the common shape.
+
+/// GraphCT-style kernels: iterations/levels become rounds, cycle totals
+/// and the §V write counters carry over.
+RunReport from_kernel(const std::vector<graphct::IterationRecord>& rounds,
+                      const graphct::KernelTotals& totals);
+
+/// BSP supersteps (either result flavor exposes the same record type).
+RunReport from_supersteps(const std::vector<bsp::SuperstepRecord>& rounds,
+                          const bsp::BspTotals& totals, bool converged);
+
+/// Cluster supersteps: seconds-priced rounds plus the recovery trail.
+RunReport from_cluster(const std::vector<cluster::ClusterSuperstepRecord>& rounds,
+                       const cluster::ClusterTotals& totals, bool converged,
+                       const cluster::RecoveryRecord& recovery);
+
+/// Generic joins for user-written vertex programs: fills every common
+/// field; the caller keeps the program-specific state vector.
+template <typename Program>
+RunReport to_report(const bsp::Result<Program>& r) {
+  RunReport rep = from_supersteps(r.supersteps, r.totals, r.converged);
+  return rep;
+}
+
+template <typename Program>
+RunReport to_report(const cluster::ClusterResult<Program>& r) {
+  return from_cluster(r.supersteps, r.totals, r.converged, r.recovery);
+}
+
+}  // namespace xg::api

@@ -1,0 +1,402 @@
+#include "api/run.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "api/convert.hpp"
+#include "bsp/algorithms/bfs.hpp"
+#include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/triangles.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/reference/triangles.hpp"
+#include "graphct/bfs.hpp"
+#include "graphct/connected_components.hpp"
+#include "graphct/triangles.hpp"
+#include "host/thread_pool.hpp"
+#include "native/algorithms.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg {
+
+namespace api {
+
+RunReport from_kernel(const std::vector<graphct::IterationRecord>& rounds,
+                      const graphct::KernelTotals& totals) {
+  RunReport rep;
+  rep.cycles = totals.cycles;
+  rep.writes = totals.writes;
+  rep.rounds.reserve(rounds.size());
+  for (const auto& it : rounds) {
+    rep.rounds.push_back({it.index, it.active, 0, it.cycles(), 0.0});
+  }
+  return rep;
+}
+
+RunReport from_supersteps(const std::vector<bsp::SuperstepRecord>& rounds,
+                          const bsp::BspTotals& totals, bool converged) {
+  RunReport rep;
+  rep.converged = converged;
+  rep.cycles = totals.cycles;
+  rep.messages = totals.messages;
+  rep.rounds.reserve(rounds.size());
+  for (const auto& ss : rounds) {
+    rep.rounds.push_back(
+        {ss.superstep, ss.computed_vertices, ss.messages_sent, ss.cycles(), 0.0});
+  }
+  return rep;
+}
+
+RunReport from_cluster(
+    const std::vector<cluster::ClusterSuperstepRecord>& rounds,
+    const cluster::ClusterTotals& totals, bool converged,
+    const cluster::RecoveryRecord& recovery) {
+  RunReport rep;
+  rep.converged = converged;
+  rep.seconds = totals.seconds;
+  rep.messages = totals.messages;
+  rep.recovery = recovery;
+  rep.rounds.reserve(rounds.size());
+  for (const auto& ss : rounds) {
+    rep.rounds.push_back({ss.superstep, ss.computed_vertices,
+                          ss.local_messages + ss.remote_messages, 0,
+                          ss.seconds});
+  }
+  return rep;
+}
+
+}  // namespace api
+
+namespace {
+
+/// Pregel-style triangle counting for the cluster backend — Algorithm 3's
+/// three supersteps with the confirmed-triangle tally kept in vertex state
+/// (the closing vertex k of each i<j<k triangle counts it):
+///   ss 0: v sends its id to every higher neighbor;
+///   ss 1: j forwards each received i to its higher neighbors (the wedge
+///         messages — the paper's 5.5-billion quantity);
+///   ss 2: k keeps the i's that are actual neighbors.
+struct ClusterTriangleProgram {
+  using VertexState = std::uint64_t;  ///< triangles closed at this vertex
+  using Message = graph::vid_t;
+  static constexpr const char* kName = "api/cluster-triangles";
+
+  void init(VertexState& s, graph::vid_t) const { s = 0; }
+
+  template <typename Ctx>
+  void compute(Ctx& ctx, graph::vid_t v, VertexState& s,
+               std::span<const Message> msgs) const {
+    const auto& g = ctx.graph();
+    if (ctx.superstep() == 0) {
+      for (const graph::vid_t u : g.neighbors(v)) {
+        ctx.charge(1);
+        if (u > v) ctx.send(u, v);
+      }
+    } else if (ctx.superstep() == 1) {
+      const auto nbrs = g.neighbors(v);
+      for (const Message i : msgs) {
+        for (const graph::vid_t k : nbrs) {
+          ctx.charge(1);
+          if (k > v) ctx.send(k, i);
+        }
+      }
+    } else if (ctx.superstep() == 2) {
+      for (const Message i : msgs) {
+        ctx.charge(4);  // sorted-adjacency membership probe
+        if (g.has_edge(v, i)) ++s;
+      }
+      if (s != 0) ctx.sink().store(&s);
+    }
+    ctx.vote_to_halt();
+  }
+};
+
+graph::vid_t count_reached(std::span<const std::uint32_t> distance) {
+  graph::vid_t reached = 0;
+  for (const auto d : distance) {
+    if (d != graph::kInfDist) ++reached;
+  }
+  return reached;
+}
+
+RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
+                        const RunOptions& opt) {
+  RunReport rep;
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents: {
+      rep.components = graph::ref::connected_components(g);
+      rep.num_components = graph::ref::count_components(rep.components);
+      break;
+    }
+    case AlgorithmId::kBfs: {
+      auto r = graph::ref::bfs(g, opt.source);
+      rep.distance = std::move(r.distance);
+      rep.reached = r.reached;
+      rep.rounds.reserve(r.level_sizes.size());
+      for (std::size_t i = 0; i < r.level_sizes.size(); ++i) {
+        rep.rounds.push_back(
+            {static_cast<std::uint32_t>(i), r.level_sizes[i], 0, 0, 0.0});
+      }
+      break;
+    }
+    case AlgorithmId::kTriangleCount:
+      rep.triangles = graph::ref::count_triangles(g);
+      break;
+  }
+  return rep;
+}
+
+RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
+                      const RunOptions& opt) {
+  xmt::Engine machine(opt.sim);
+  machine.set_trace_sink(opt.trace);
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents: {
+      graphct::CCOptions cc_opt;
+      cc_opt.max_iterations = opt.max_supersteps;
+      const auto r = graphct::connected_components(machine, g, cc_opt);
+      auto rep = api::from_kernel(r.iterations, r.totals);
+      rep.components = r.labels;
+      rep.num_components = r.num_components;
+      return rep;
+    }
+    case AlgorithmId::kBfs: {
+      const auto r = graphct::bfs(machine, g, opt.source);
+      auto rep = api::from_kernel(r.levels, r.totals);
+      rep.distance = r.distance;
+      rep.reached = r.reached;
+      return rep;
+    }
+    case AlgorithmId::kTriangleCount: {
+      const auto r = graphct::count_triangles(machine, g);
+      RunReport rep;
+      rep.cycles = r.totals.cycles;
+      rep.writes = r.totals.writes;
+      rep.triangles = r.triangles;
+      return rep;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+RunReport run_bsp(AlgorithmId algorithm, const graph::CSRGraph& g,
+                  const RunOptions& opt) {
+  xmt::Engine machine(opt.sim);
+  machine.set_trace_sink(opt.trace);
+  bsp::BspOptions bsp_opt = opt.bsp;
+  bsp_opt.max_supersteps = opt.max_supersteps;
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents: {
+      const auto r = bsp::connected_components(machine, g, bsp_opt);
+      auto rep = api::from_supersteps(r.supersteps, r.totals, r.converged);
+      rep.components = r.labels;
+      rep.num_components = r.num_components;
+      return rep;
+    }
+    case AlgorithmId::kBfs: {
+      const auto r = bsp::bfs(machine, g, opt.source, bsp_opt);
+      auto rep = api::from_supersteps(r.supersteps, r.totals, r.converged);
+      rep.distance = r.distance;
+      rep.reached = r.reached;
+      return rep;
+    }
+    case AlgorithmId::kTriangleCount: {
+      const auto r = bsp::count_triangles(machine, g, bsp_opt);
+      auto rep = api::from_supersteps(r.supersteps, r.totals,
+                                      /*converged=*/true);
+      rep.triangles = r.triangles;
+      return rep;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
+                      const RunOptions& opt) {
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents: {
+      const auto r = cluster::run(opt.cluster, g, bsp::CCProgram{},
+                                  opt.max_supersteps, {}, opt.faults,
+                                  opt.trace);
+      auto rep = api::to_report(r);
+      rep.components = r.state;
+      rep.num_components = graph::ref::count_components(rep.components);
+      return rep;
+    }
+    case AlgorithmId::kBfs: {
+      const auto r = cluster::run(opt.cluster, g, bsp::BfsProgram{opt.source},
+                                  opt.max_supersteps, {}, opt.faults,
+                                  opt.trace);
+      auto rep = api::to_report(r);
+      rep.distance = r.state;
+      rep.reached = count_reached(rep.distance);
+      return rep;
+    }
+    case AlgorithmId::kTriangleCount: {
+      const auto r = cluster::run(opt.cluster, g, ClusterTriangleProgram{},
+                                  opt.max_supersteps, {}, opt.faults,
+                                  opt.trace);
+      auto rep = api::to_report(r);
+      for (const auto closed : r.state) rep.triangles += closed;
+      return rep;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
+                     const RunOptions& opt) {
+  RunReport rep;
+  auto& pool = host::pool();
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents: {
+      rep.components = native::connected_components(pool, g);
+      rep.num_components = graph::ref::count_components(rep.components);
+      break;
+    }
+    case AlgorithmId::kBfs: {
+      auto r = native::bfs(pool, g, opt.source);
+      rep.distance = std::move(r.distance);
+      rep.reached = r.reached;
+      rep.rounds.reserve(r.level_sizes.size());
+      for (std::size_t i = 0; i < r.level_sizes.size(); ++i) {
+        rep.rounds.push_back(
+            {static_cast<std::uint32_t>(i), r.level_sizes[i], 0, 0, 0.0});
+      }
+      break;
+    }
+    case AlgorithmId::kTriangleCount:
+      rep.triangles = native::count_triangles(pool, g);
+      break;
+  }
+  return rep;
+}
+
+/// Classic Levenshtein distance, used only for "did you mean" messages.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+[[noreturn]] void throw_unknown(const char* what, const std::string& name,
+                                const std::vector<std::string>& valid) {
+  std::string best = valid.front();
+  std::size_t best_d = edit_distance(name, best);
+  std::string all;
+  for (const auto& v : valid) {
+    const std::size_t d = edit_distance(name, v);
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+    if (!all.empty()) all += ", ";
+    all += v;
+  }
+  std::string msg = std::string("unknown ") + what + " '" + name + "'";
+  if (best_d <= std::max<std::size_t>(2, name.size() / 2)) {
+    msg += " — did you mean '" + best + "'?";
+  }
+  msg += " (valid: " + all + ")";
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+RunReport run(AlgorithmId algorithm, BackendId backend,
+              const graph::CSRGraph& g, const RunOptions& opt) {
+  if (algorithm == AlgorithmId::kBfs && opt.source >= g.num_vertices()) {
+    throw std::invalid_argument(
+        "xg::run: BFS source " + std::to_string(opt.source) +
+        " out of range (graph has " + std::to_string(g.num_vertices()) +
+        " vertices)");
+  }
+  if (opt.threads != 0) host::set_threads(opt.threads);
+
+  RunReport rep;
+  switch (backend) {
+    case BackendId::kReference:
+      rep = run_reference(algorithm, g, opt);
+      break;
+    case BackendId::kGraphct:
+      rep = run_graphct(algorithm, g, opt);
+      break;
+    case BackendId::kBsp:
+      rep = run_bsp(algorithm, g, opt);
+      break;
+    case BackendId::kCluster:
+      rep = run_cluster(algorithm, g, opt);
+      break;
+    case BackendId::kNative:
+      rep = run_native(algorithm, g, opt);
+      break;
+  }
+  rep.algorithm = algorithm;
+  rep.backend = backend;
+  return rep;
+}
+
+const std::vector<AlgorithmId>& all_algorithms() {
+  static const std::vector<AlgorithmId> kAll = {
+      AlgorithmId::kConnectedComponents, AlgorithmId::kBfs,
+      AlgorithmId::kTriangleCount};
+  return kAll;
+}
+
+const std::vector<BackendId>& all_backends() {
+  static const std::vector<BackendId> kAll = {
+      BackendId::kReference, BackendId::kGraphct, BackendId::kBsp,
+      BackendId::kCluster, BackendId::kNative};
+  return kAll;
+}
+
+std::string algorithm_name(AlgorithmId a) {
+  switch (a) {
+    case AlgorithmId::kConnectedComponents: return "cc";
+    case AlgorithmId::kBfs: return "bfs";
+    case AlgorithmId::kTriangleCount: return "triangles";
+  }
+  return "?";
+}
+
+std::string backend_name(BackendId b) {
+  switch (b) {
+    case BackendId::kReference: return "reference";
+    case BackendId::kGraphct: return "graphct";
+    case BackendId::kBsp: return "bsp";
+    case BackendId::kCluster: return "cluster";
+    case BackendId::kNative: return "native";
+  }
+  return "?";
+}
+
+AlgorithmId parse_algorithm(const std::string& name) {
+  std::vector<std::string> names;
+  for (const auto a : all_algorithms()) {
+    if (algorithm_name(a) == name) return a;
+    names.push_back(algorithm_name(a));
+  }
+  throw_unknown("--algorithm", name, names);
+}
+
+BackendId parse_backend(const std::string& name) {
+  std::vector<std::string> names;
+  for (const auto b : all_backends()) {
+    if (backend_name(b) == name) return b;
+    names.push_back(backend_name(b));
+  }
+  throw_unknown("--backend", name, names);
+}
+
+}  // namespace xg

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bsp/types.hpp"
+#include "cluster/config.hpp"
+#include "cluster/faults.hpp"
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "xmt/sim_config.hpp"
+
+namespace xg::obs {
+class TraceSink;
+}
+
+namespace xg {
+
+/// The algorithms every backend implements. These are the paper's three
+/// workloads; the ids are stable registry keys (see algorithm_name /
+/// parse_algorithm), so tools can take them on the command line.
+enum class AlgorithmId : std::uint8_t {
+  kConnectedComponents,
+  kBfs,
+  kTriangleCount,
+};
+
+/// The five execution backends behind the one entry point. All run the
+/// same algorithm on the same CSRGraph and must produce the same answer;
+/// only the cost model (cycles vs seconds vs nothing) differs.
+enum class BackendId : std::uint8_t {
+  kReference,  ///< sequential oracles (graph::ref), no cost model
+  kGraphct,    ///< shared-memory kernels on the simulated XMT
+  kBsp,        ///< Pregel-style vertex programs on the simulated XMT
+  kCluster,    ///< the same vertex programs under the cluster cost model
+  kNative,     ///< host threads + real atomics (no simulation)
+};
+
+/// Options common to every (algorithm, backend) pair. Backends ignore the
+/// knobs that do not apply to them (e.g. `faults` outside kCluster).
+struct RunOptions {
+  /// BFS source vertex; must be < num_vertices for AlgorithmId::kBfs.
+  graph::vid_t source = 0;
+
+  /// Host worker threads for this run; 0 leaves the shared pool untouched.
+  /// Results are bit-identical at any value (the engines' determinism
+  /// contract) — only host wall-clock changes.
+  unsigned threads = 0;
+
+  /// Observability sink shared by all backends (docs/OBSERVABILITY.md);
+  /// nullptr emits nothing and costs nothing.
+  obs::TraceSink* trace = nullptr;
+
+  /// Simulated machine for the kGraphct and kBsp backends.
+  xmt::SimConfig sim;
+
+  /// Execution knobs for the kBsp backend (combiners, scheduling, ...).
+  bsp::BspOptions bsp;
+
+  /// Cluster cost model and fault schedule for the kCluster backend.
+  cluster::ClusterConfig cluster;
+  cluster::FaultPlan faults;
+
+  /// Safety valve for the superstep-driven backends.
+  std::uint32_t max_supersteps = 100000;
+};
+
+/// One superstep (BSP/cluster), iteration (GraphCT CC) or frontier level
+/// (BFS) — the per-round series behind the paper's Figures 1-3, in one
+/// shape for every backend.
+struct RoundRecord {
+  std::uint32_t index = 0;
+  std::uint64_t active = 0;    ///< vertices computed / frontier size
+  std::uint64_t messages = 0;  ///< 0 for the message-free backends
+  xmt::Cycles cycles = 0;      ///< XMT-priced backends, else 0
+  double seconds = 0.0;        ///< cluster-priced backend, else 0
+};
+
+/// The one result shape for every (algorithm, backend) pair. Exactly one
+/// payload field is meaningful, selected by `algorithm`; the cost and
+/// convergence fields are filled by every backend that prices its work.
+struct RunReport {
+  AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
+  BackendId backend = BackendId::kReference;
+
+  // --- result payload -----------------------------------------------------
+  /// kConnectedComponents: per-vertex component label (representative id,
+  /// not yet canonicalized — see conform::canonical_components).
+  std::vector<graph::vid_t> components;
+  graph::vid_t num_components = 0;
+  /// kBfs: per-vertex hop distance from `source` (graph::kInfDist when
+  /// unreached). Level vectors are canonical across backends; parent
+  /// vectors are tie-broken and are deliberately not part of the report.
+  std::vector<std::uint32_t> distance;
+  graph::vid_t reached = 0;
+  /// kTriangleCount: exact global triangle count.
+  std::uint64_t triangles = 0;
+
+  // --- cost & convergence, comparable across backends ---------------------
+  /// True iff the run reached its fixed point (always true for the
+  /// round-free reference and native backends).
+  bool converged = true;
+  /// Simulated XMT cycles (kGraphct, kBsp); 0 elsewhere.
+  xmt::Cycles cycles = 0;
+  /// Simulated cluster seconds (kCluster); 0 elsewhere.
+  double seconds = 0.0;
+  /// Messages sent (message-passing backends); 0 elsewhere.
+  std::uint64_t messages = 0;
+  /// Semantic result writes where the backend counts them (GraphCT §V).
+  std::uint64_t writes = 0;
+  /// Per-round series; empty for the round-free backends.
+  std::vector<RoundRecord> rounds;
+  /// Fault-tolerance trail (kCluster only; zeros elsewhere).
+  cluster::RecoveryRecord recovery;
+};
+
+/// Run `algorithm` on `backend` over `g`. This is the library's canonical
+/// entry point — the per-engine signatures (graphct::bfs, bsp::run,
+/// cluster::run, native::*) remain as thin compatibility layers underneath.
+///
+/// Throws std::invalid_argument for an out-of-range BFS source and
+/// propagates the backends' own validation errors (ClusterConfig,
+/// FaultPlan). Determinism: with equal options the report is bit-identical
+/// run to run, at any host thread count.
+RunReport run(AlgorithmId algorithm, BackendId backend,
+              const graph::CSRGraph& g, const RunOptions& opt = {});
+
+/// Registry: stable names for the command line and for reports.
+const std::vector<AlgorithmId>& all_algorithms();
+const std::vector<BackendId>& all_backends();
+std::string algorithm_name(AlgorithmId a);
+std::string backend_name(BackendId b);
+
+/// Parse a registry name. Unknown names throw std::invalid_argument whose
+/// message lists the valid names and leads with the closest match ("did
+/// you mean ...?").
+AlgorithmId parse_algorithm(const std::string& name);
+BackendId parse_backend(const std::string& name);
+
+}  // namespace xg

@@ -1,0 +1,129 @@
+#include "conform/canonical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/rng.hpp"
+
+namespace xg::conform {
+
+using graph::vid_t;
+
+std::vector<vid_t> canonical_components(std::span<const vid_t> labels) {
+  std::unordered_map<vid_t, vid_t> rep;  // label value -> min vertex with it
+  rep.reserve(labels.size());
+  for (vid_t v = 0; v < labels.size(); ++v) {
+    auto [it, inserted] = rep.emplace(labels[v], v);
+    if (!inserted) it->second = std::min(it->second, v);
+  }
+  std::vector<vid_t> out(labels.size());
+  for (vid_t v = 0; v < labels.size(); ++v) out[v] = rep.at(labels[v]);
+  return out;
+}
+
+std::optional<std::string> first_diff(std::span<const std::uint32_t> a,
+                                      std::span<const std::uint32_t> b) {
+  if (a.size() != b.size()) {
+    return "size " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return "index " + std::to_string(i) + ": " + std::to_string(a[i]) +
+             " vs " + std::to_string(b[i]);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> levels_from_parents(std::span<const vid_t> parent,
+                                               vid_t source) {
+  const vid_t n = static_cast<vid_t>(parent.size());
+  std::vector<std::uint32_t> level(n, graph::kInfDist);
+  if (source < n) level[source] = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    if (level[v] != graph::kInfDist || parent[v] == graph::kNoVertex) continue;
+    // Walk to a resolved ancestor, then unwind. The walk is bounded by n;
+    // exceeding it means the forest has a cycle.
+    std::vector<vid_t> chain;
+    vid_t cur = v;
+    while (level[cur] == graph::kInfDist) {
+      if (cur >= n || parent[cur] == graph::kNoVertex ||
+          chain.size() > parent.size()) {
+        throw std::invalid_argument(
+            "levels_from_parents: broken parent chain at vertex " +
+            std::to_string(v));
+      }
+      chain.push_back(cur);
+      cur = parent[cur];
+      if (cur >= n) {
+        throw std::invalid_argument(
+            "levels_from_parents: parent out of range at vertex " +
+            std::to_string(chain.back()));
+      }
+    }
+    std::uint32_t d = level[cur];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      level[*it] = ++d;
+    }
+  }
+  return level;
+}
+
+std::vector<vid_t> random_permutation(vid_t n, std::uint64_t seed) {
+  std::vector<vid_t> perm(n);
+  for (vid_t v = 0; v < n; ++v) perm[v] = v;
+  graph::Rng rng(seed);
+  for (vid_t v = n; v > 1; --v) {  // Fisher-Yates with the library Rng
+    const auto j = static_cast<vid_t>(rng.below(v));
+    std::swap(perm[v - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<vid_t> invert_permutation(std::span<const vid_t> perm) {
+  std::vector<vid_t> inv(perm.size());
+  for (vid_t v = 0; v < perm.size(); ++v) inv[perm[v]] = v;
+  return inv;
+}
+
+graph::EdgeList permute_edges(const graph::EdgeList& list,
+                              std::span<const vid_t> perm) {
+  graph::EdgeList out(list.num_vertices());
+  out.reserve(list.size());
+  for (const auto& e : list.edges()) {
+    out.add(perm[e.src], perm[e.dst], e.weight);
+  }
+  return out;
+}
+
+std::vector<vid_t> unpermute_components(
+    std::span<const vid_t> permuted_labels, std::span<const vid_t> perm) {
+  const auto inv = invert_permutation(perm);
+  std::vector<vid_t> labels(permuted_labels.size());
+  for (vid_t v = 0; v < perm.size(); ++v) {
+    labels[v] = inv[permuted_labels[perm[v]]];
+  }
+  return canonical_components(labels);
+}
+
+std::vector<std::uint32_t> unpermute_distances(
+    std::span<const std::uint32_t> permuted_distance,
+    std::span<const vid_t> perm) {
+  std::vector<std::uint32_t> out(permuted_distance.size());
+  for (vid_t v = 0; v < perm.size(); ++v) out[v] = permuted_distance[perm[v]];
+  return out;
+}
+
+graph::EdgeList with_duplicate_edges(const graph::EdgeList& list,
+                                     std::size_t stride) {
+  graph::EdgeList out = list;
+  for (std::size_t i = 0; i < list.size(); i += std::max<std::size_t>(1, stride)) {
+    const auto& e = list.edges()[i];
+    out.add(e.src, e.dst, e.weight);
+  }
+  return out;
+}
+
+}  // namespace xg::conform

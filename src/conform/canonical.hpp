@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace xg::conform {
+
+/// Canonical forms that make backend outputs directly comparable.
+///
+/// Component maps: backends may use any representative per component (the
+/// library's all converge to the minimum member, but the conformance
+/// harness must not assume it). canonical_components rewrites every label
+/// to the minimum vertex id carrying that label, so two maps describe the
+/// same partition iff their canonical forms are element-wise equal.
+std::vector<graph::vid_t> canonical_components(
+    std::span<const graph::vid_t> labels);
+
+/// First element-wise difference between two equally-sized vectors,
+/// rendered "index i: a vs b"; nullopt when equal (or both empty). A size
+/// mismatch is itself a difference. (vid_t and BFS levels are both
+/// uint32_t, so one signature serves component maps and level vectors.)
+std::optional<std::string> first_diff(std::span<const std::uint32_t> a,
+                                      std::span<const std::uint32_t> b);
+
+/// BFS canonical form: the per-vertex level (hop distance) vector. Parent
+/// vectors are tie-broken and differ legitimately across backends; the
+/// levels they induce must not. levels_from_parents recovers the level
+/// vector from a parent forest (kNoVertex marks the source/unreached), so
+/// parent-reporting backends can be compared on the canonical form.
+/// Throws std::invalid_argument on a cyclic or out-of-range forest.
+std::vector<std::uint32_t> levels_from_parents(
+    std::span<const graph::vid_t> parent, graph::vid_t source);
+
+/// Deterministic pseudo-random permutation of [0, n): new id = perm[old].
+std::vector<graph::vid_t> random_permutation(graph::vid_t n,
+                                             std::uint64_t seed);
+
+/// Inverse permutation.
+std::vector<graph::vid_t> invert_permutation(
+    std::span<const graph::vid_t> perm);
+
+/// Relabel an edge list through `perm` (new id = perm[old]). Weights and
+/// edge multiplicity survive; edge order is preserved.
+graph::EdgeList permute_edges(const graph::EdgeList& list,
+                              std::span<const graph::vid_t> perm);
+
+/// Map a component map computed on the permuted graph back to original
+/// vertex ids, canonicalized: result[v] is the canonical label of original
+/// vertex v. Equal to canonical_components(original run) iff the backend
+/// is permutation-invariant.
+std::vector<graph::vid_t> unpermute_components(
+    std::span<const graph::vid_t> permuted_labels,
+    std::span<const graph::vid_t> perm);
+
+/// Map a distance vector computed on the permuted graph back to original
+/// vertex ids: result[v] = permuted_distance[perm[v]].
+std::vector<std::uint32_t> unpermute_distances(
+    std::span<const std::uint32_t> permuted_distance,
+    std::span<const graph::vid_t> perm);
+
+/// Append one duplicate of every `stride`-th edge (shuffled in at the
+/// tail). CC and BFS must be invariant under edge multiplicity; triangle
+/// counting is not (which is why the harness restricts the property).
+graph::EdgeList with_duplicate_edges(const graph::EdgeList& list,
+                                     std::size_t stride = 2);
+
+}  // namespace xg::conform

@@ -1,0 +1,158 @@
+#include "conform/corpus.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rng.hpp"
+
+namespace xg::conform {
+
+using graph::EdgeList;
+using graph::vid_t;
+
+namespace {
+
+/// Shift every edge of `src` by `offset` vertices into `dst` — builds
+/// disconnected unions without a dedicated generator.
+void append_shifted(EdgeList& dst, const EdgeList& src, vid_t offset) {
+  dst.set_num_vertices(offset + src.num_vertices());
+  for (const auto& e : src.edges()) {
+    dst.add(e.src + offset, e.dst + offset, e.weight);
+  }
+}
+
+/// Sprinkle `loops` self loops and `dups` duplicates of existing edges —
+/// the dirt real inputs carry and the CSR builder is supposed to clean.
+void dirty(EdgeList& list, std::size_t loops, std::size_t dups,
+           graph::Rng& rng) {
+  const vid_t n = list.num_vertices();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < loops; ++i) {
+    const auto v = static_cast<vid_t>(rng.below(n));
+    list.add(v, v);
+  }
+  const std::size_t original = list.size();
+  for (std::size_t i = 0; i < dups && original > 0; ++i) {
+    const auto& e = list.edges()[rng.below(original)];
+    list.add(e.src, e.dst, e.weight);
+  }
+}
+
+std::vector<CorpusEntry> degenerate_block() {
+  std::vector<CorpusEntry> out;
+  out.push_back({"empty", EdgeList(0)});
+  out.push_back({"single_vertex", EdgeList(1)});
+  out.push_back({"isolated_8", EdgeList(8)});
+
+  EdgeList loops(5);
+  for (vid_t v = 0; v < 5; ++v) loops.add(v, v);
+  out.push_back({"self_loops_only", std::move(loops)});
+
+  EdgeList dup(2);
+  for (int i = 0; i < 4; ++i) dup.add(0, 1);
+  out.push_back({"duplicate_edge_x4", std::move(dup)});
+
+  EdgeList bowtie(5);
+  bowtie.add(0, 1);
+  bowtie.add(1, 2);
+  bowtie.add(2, 0);
+  bowtie.add(2, 3);
+  bowtie.add(3, 4);
+  bowtie.add(4, 2);
+  out.push_back({"bowtie", std::move(bowtie)});
+
+  out.push_back({"path_16", graph::path_graph(16)});
+  out.push_back({"star_16", graph::star_graph(16)});
+  out.push_back({"clique_8", graph::complete_graph(8)});
+  out.push_back({"cycle_12", graph::cycle_graph(12)});
+  out.push_back({"binary_tree_15", graph::binary_tree(15)});
+  out.push_back({"grid_4x5", graph::grid_graph(4, 5)});
+  out.push_back({"clique_chain_3x5", graph::clique_chain(3, 5)});
+
+  // Disconnected union of a clique, a path and isolated stragglers.
+  EdgeList mixed(0);
+  append_shifted(mixed, graph::complete_graph(5), 0);
+  append_shifted(mixed, graph::path_graph(7), 5);
+  mixed.set_num_vertices(16);  // 4 isolated tail vertices
+  out.push_back({"mixed_components", std::move(mixed)});
+
+  // Star whose center also carries a self loop and duplicate spokes.
+  EdgeList dirty_star = graph::star_graph(12);
+  dirty_star.add(0, 0);
+  dirty_star.add(0, 5);
+  dirty_star.add(0, 5);
+  out.push_back({"dirty_star_12", std::move(dirty_star)});
+  return out;
+}
+
+CorpusEntry random_entry(std::size_t index, graph::Rng rng) {
+  switch (index % 5) {
+    case 0: {
+      const auto n = static_cast<vid_t>(16 + rng.below(112));
+      const std::uint64_t m = 2ull * n;
+      return {"er_sparse_n" + std::to_string(n) + "_i" + std::to_string(index),
+              graph::erdos_renyi(n, m, rng.next())};
+    }
+    case 1: {
+      const auto n = static_cast<vid_t>(12 + rng.below(36));
+      const std::uint64_t m = 5ull * n;
+      return {"er_dense_n" + std::to_string(n) + "_i" + std::to_string(index),
+              graph::erdos_renyi(n, m, rng.next())};
+    }
+    case 2: {
+      graph::RmatParams p;
+      p.scale = static_cast<std::uint32_t>(5 + rng.below(3));  // 32..128 verts
+      p.edgefactor = static_cast<std::uint32_t>(4 + rng.below(5));
+      p.seed = rng.next();
+      return {"rmat_s" + std::to_string(p.scale) + "_i" + std::to_string(index),
+              graph::rmat_edges(p)};
+    }
+    case 3: {
+      // Dirty R-MAT: generator output plus extra self loops and duplicates.
+      graph::RmatParams p;
+      p.scale = static_cast<std::uint32_t>(5 + rng.below(2));
+      p.edgefactor = 4;
+      p.seed = rng.next();
+      auto edges = graph::rmat_edges(p);
+      dirty(edges, 4 + rng.below(8), 8 + rng.below(16), rng);
+      return {"rmat_dirty_s" + std::to_string(p.scale) + "_i" +
+                  std::to_string(index),
+              std::move(edges)};
+    }
+    default: {
+      // Disconnected union of two Erdős–Rényi blocks.
+      const auto n1 = static_cast<vid_t>(8 + rng.below(24));
+      const auto n2 = static_cast<vid_t>(8 + rng.below(24));
+      EdgeList u(0);
+      append_shifted(u, graph::erdos_renyi(n1, 2ull * n1, rng.next()), 0);
+      append_shifted(u, graph::erdos_renyi(n2, 2ull * n2, rng.next()), n1);
+      return {"er_union_i" + std::to_string(index), std::move(u)};
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> make_corpus(std::size_t count, std::uint64_t seed) {
+  std::vector<CorpusEntry> out = degenerate_block();
+  if (out.size() > count) {
+    out.resize(count);
+    return out;
+  }
+  graph::Rng rng(seed);
+  for (std::size_t i = out.size(); i < count; ++i) {
+    out.push_back(random_entry(i, rng.fork(i)));
+  }
+  return out;
+}
+
+std::vector<CorpusEntry> named_corpus(const std::string& name) {
+  if (name == "ci-smoke") return make_corpus(32, 0xC0FFEE);
+  if (name == "extended") return make_corpus(200, 0xC0FFEE);
+  throw std::invalid_argument("unknown corpus '" + name +
+                              "' (valid: ci-smoke, extended)");
+}
+
+}  // namespace xg::conform

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace xg::conform {
+
+/// One conformance input: a named edge list, exactly as a generator (or a
+/// minimized repro file) emitted it — self loops, duplicate edges and
+/// isolated vertices included. The harness owns how it is built into a
+/// CSRGraph.
+struct CorpusEntry {
+  std::string name;
+  graph::EdgeList edges;
+};
+
+/// Deterministic adversarial corpus: a fixed block of degenerate graphs
+/// (empty, isolated vertices, self loops, duplicate edges, disconnected
+/// unions) and structured families (paths, stars, cliques, cycles, trees,
+/// grids), followed by seeded random graphs (Erdős–Rényi sparse/dense,
+/// R-MAT at growing scale, R-MAT "dirtied" with extra self loops and
+/// duplicates). Entry `i` of a given (count, seed) pair is identical on
+/// every platform.
+std::vector<CorpusEntry> make_corpus(std::size_t count, std::uint64_t seed);
+
+/// The named corpora CI runs: "ci-smoke" (32 graphs, the PR gate) and
+/// "extended" (200 graphs, the nightly-style job). Throws
+/// std::invalid_argument for unknown names, listing the valid ones.
+std::vector<CorpusEntry> named_corpus(const std::string& name);
+
+}  // namespace xg::conform

@@ -1,0 +1,274 @@
+#include "conform/harness.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "conform/canonical.hpp"
+#include "conform/minimize.hpp"
+#include "graph/csr.hpp"
+
+namespace xg::conform {
+
+using graph::CSRGraph;
+using graph::EdgeList;
+using graph::vid_t;
+
+namespace {
+
+/// Canonicalized result payload — the only thing checks compare.
+struct Payload {
+  std::vector<vid_t> components;
+  std::vector<std::uint32_t> distance;
+  std::uint64_t triangles = 0;
+};
+
+constexpr std::uint64_t kPermSeedSalt = 0x9E3779B97F4A7C15ull;
+
+/// The fault schedule every faulted-cluster check runs: one crash, one
+/// straggler, a flaky network, and checkpointing every other superstep —
+/// all of the FaultPlan machinery at once. Results must not move.
+cluster::FaultPlan conformance_fault_plan(std::uint32_t machines,
+                                          std::uint64_t seed) {
+  cluster::FaultPlan plan;
+  plan.seed = seed;
+  plan.crashes = {{/*superstep=*/1, /*machine=*/machines > 1 ? 1u : 0u}};
+  plan.straggler_factor.assign(machines, 1.0);
+  plan.straggler_factor[0] = 2.5;
+  plan.remote_drop_probability = 0.05;
+  return plan;
+}
+
+RunOptions make_run_options(const HarnessOptions& opt, unsigned threads,
+                            vid_t source, bool faulted) {
+  RunOptions ro;
+  ro.source = source;
+  ro.threads = threads;
+  ro.sim.processors = opt.sim_processors;
+  if (faulted) {
+    ro.cluster.checkpoint_interval = 2;
+    ro.faults = conformance_fault_plan(ro.cluster.machines, opt.seed);
+  }
+  return ro;
+}
+
+/// Run one side of a check and canonicalize its payload, applying the
+/// flag-guarded injection (the mutation the harness must catch).
+Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
+                 const HarnessOptions& opt, unsigned threads, vid_t source,
+                 bool faulted) {
+  auto rep = xg::run(alg, backend, g, make_run_options(opt, threads, source,
+                                                       faulted));
+  if (opt.inject == Inject::kCcLastVertex &&
+      alg == AlgorithmId::kConnectedComponents && backend == BackendId::kBsp &&
+      !rep.components.empty()) {
+    rep.components.back() = static_cast<vid_t>(rep.components.size() - 1);
+  }
+  if (opt.inject == Inject::kTriangleOvercount &&
+      alg == AlgorithmId::kTriangleCount && backend == BackendId::kNative &&
+      rep.triangles > 0) {
+    ++rep.triangles;
+  }
+  Payload p;
+  switch (alg) {
+    case AlgorithmId::kConnectedComponents:
+      p.components = canonical_components(rep.components);
+      break;
+    case AlgorithmId::kBfs:
+      p.distance = std::move(rep.distance);
+      break;
+    case AlgorithmId::kTriangleCount:
+      p.triangles = rep.triangles;
+      break;
+  }
+  return p;
+}
+
+std::optional<std::string> diff_payload(AlgorithmId alg, const Payload& a,
+                                        const Payload& b) {
+  switch (alg) {
+    case AlgorithmId::kConnectedComponents:
+      return first_diff(std::span<const vid_t>(a.components),
+                        std::span<const vid_t>(b.components));
+    case AlgorithmId::kBfs:
+      return first_diff(std::span<const std::uint32_t>(a.distance),
+                        std::span<const std::uint32_t>(b.distance));
+    case AlgorithmId::kTriangleCount:
+      if (a.triangles != b.triangles) {
+        return std::to_string(a.triangles) + " vs " +
+               std::to_string(b.triangles) + " triangles";
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string CheckSpec::describe() const {
+  const std::string alg = algorithm_name(algorithm);
+  switch (kind) {
+    case Kind::kBackendPair:
+      if (a == b) {
+        return alg + ": " + backend_name(a) + " threads " +
+               std::to_string(threads_a) + " vs " + std::to_string(threads_b);
+      }
+      return alg + ": " + backend_name(a) + " vs " + backend_name(b);
+    case Kind::kFaultedCluster:
+      return alg + ": cluster fault-free vs faulted";
+    case Kind::kPermutation:
+      return alg + ": permutation invariance on " + backend_name(a);
+    case Kind::kDuplicateEdges:
+      return alg + ": duplicate-edge invariance on " + backend_name(a);
+  }
+  return alg;
+}
+
+std::optional<std::string> run_check(const CheckSpec& spec,
+                                     const EdgeList& edges,
+                                     const HarnessOptions& opt) {
+  const CSRGraph g = CSRGraph::build(edges);
+  const vid_t n = g.num_vertices();
+  if (spec.algorithm == AlgorithmId::kBfs && n == 0) return std::nullopt;
+  const vid_t source = n == 0 ? 0 : g.max_degree_vertex();
+
+  switch (spec.kind) {
+    case CheckSpec::Kind::kBackendPair: {
+      const auto lhs =
+          run_side(spec.algorithm, spec.a, g, opt, spec.threads_a, source,
+                   /*faulted=*/false);
+      const auto rhs =
+          run_side(spec.algorithm, spec.b, g, opt, spec.threads_b, source,
+                   /*faulted=*/false);
+      return diff_payload(spec.algorithm, lhs, rhs);
+    }
+    case CheckSpec::Kind::kFaultedCluster: {
+      const auto clean = run_side(spec.algorithm, BackendId::kCluster, g, opt,
+                                  spec.threads_a, source, /*faulted=*/false);
+      const auto faulted = run_side(spec.algorithm, BackendId::kCluster, g,
+                                    opt, spec.threads_a, source,
+                                    /*faulted=*/true);
+      return diff_payload(spec.algorithm, clean, faulted);
+    }
+    case CheckSpec::Kind::kPermutation: {
+      const auto base = run_side(spec.algorithm, spec.a, g, opt,
+                                 spec.threads_a, source, /*faulted=*/false);
+      const auto perm = random_permutation(n, opt.seed ^ kPermSeedSalt);
+      const CSRGraph pg = CSRGraph::build(permute_edges(edges, perm));
+      const vid_t psource = n == 0 ? 0 : perm[source];
+      auto mapped = run_side(spec.algorithm, spec.a, pg, opt, spec.threads_a,
+                             psource, /*faulted=*/false);
+      Payload back;
+      switch (spec.algorithm) {
+        case AlgorithmId::kConnectedComponents:
+          back.components = unpermute_components(mapped.components, perm);
+          break;
+        case AlgorithmId::kBfs:
+          back.distance = unpermute_distances(mapped.distance, perm);
+          break;
+        case AlgorithmId::kTriangleCount:
+          back.triangles = mapped.triangles;
+          break;
+      }
+      return diff_payload(spec.algorithm, base, back);
+    }
+    case CheckSpec::Kind::kDuplicateEdges: {
+      if (spec.algorithm == AlgorithmId::kTriangleCount) return std::nullopt;
+      const auto base = run_side(spec.algorithm, spec.a, g, opt,
+                                 spec.threads_a, source, /*faulted=*/false);
+      graph::BuildOptions keep;
+      keep.dedup = false;
+      const CSRGraph dg = CSRGraph::build(with_duplicate_edges(edges), keep);
+      const auto dup = run_side(spec.algorithm, spec.a, dg, opt,
+                                spec.threads_a, source, /*faulted=*/false);
+      return diff_payload(spec.algorithm, base, dup);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<CheckSpec> enumerate_checks(const HarnessOptions& opt) {
+  std::vector<CheckSpec> out;
+  const unsigned base =
+      opt.thread_counts.empty() ? 1 : opt.thread_counts.front();
+  const bool has_cluster =
+      std::find(opt.backends.begin(), opt.backends.end(),
+                BackendId::kCluster) != opt.backends.end();
+  const auto has_backend = [&](BackendId b) {
+    return std::find(opt.backends.begin(), opt.backends.end(), b) !=
+           opt.backends.end();
+  };
+
+  for (const auto alg : opt.algorithms) {
+    // Pairwise cross-backend diffs at the baseline thread count.
+    for (std::size_t i = 0; i < opt.backends.size(); ++i) {
+      for (std::size_t j = i + 1; j < opt.backends.size(); ++j) {
+        out.push_back({alg, CheckSpec::Kind::kBackendPair, opt.backends[i],
+                       opt.backends[j], base, base});
+      }
+    }
+    // Thread-count variance: every thread-capable backend against its own
+    // baseline-thread run.
+    for (std::size_t t = 1; t < opt.thread_counts.size(); ++t) {
+      for (const auto b : opt.backends) {
+        if (b == BackendId::kReference) continue;
+        out.push_back({alg, CheckSpec::Kind::kBackendPair, b, b, base,
+                       opt.thread_counts[t]});
+      }
+    }
+    if (opt.faulted_cluster && has_cluster) {
+      out.push_back(
+          {alg, CheckSpec::Kind::kFaultedCluster, BackendId::kCluster,
+           BackendId::kCluster, base, base});
+    }
+    if (opt.metamorphic) {
+      for (const auto b : {BackendId::kReference, BackendId::kBsp}) {
+        if (has_backend(b)) {
+          out.push_back({alg, CheckSpec::Kind::kPermutation, b, b, base, base});
+        }
+      }
+      if (alg != AlgorithmId::kTriangleCount) {
+        for (const auto b : {BackendId::kBsp, BackendId::kNative}) {
+          if (has_backend(b)) {
+            out.push_back(
+                {alg, CheckSpec::Kind::kDuplicateEdges, b, b, base, base});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ConformanceReport run_conformance(std::span<const CorpusEntry> corpus,
+                                  const HarnessOptions& opt) {
+  ConformanceReport report;
+  const auto specs = enumerate_checks(opt);
+  for (const auto& entry : corpus) {
+    ++report.graphs;
+    for (const auto& spec : specs) {
+      ++report.checks;
+      auto diff = run_check(spec, entry.edges, opt);
+      if (!diff) continue;
+      Mismatch mm;
+      mm.graph = entry.name;
+      mm.spec = spec;
+      mm.detail = *diff;
+      mm.repro = entry.edges;
+      if (opt.minimize_failures) {
+        auto minimized = minimize(
+            entry.edges,
+            [&](const EdgeList& candidate) {
+              return run_check(spec, candidate, opt).has_value();
+            },
+            opt.max_minimize_evals);
+        mm.repro = std::move(minimized.edges);
+        mm.minimized = true;
+        mm.minimize_evals = minimized.predicate_evals;
+      }
+      report.mismatches.push_back(std::move(mm));
+    }
+  }
+  return report;
+}
+
+}  // namespace xg::conform

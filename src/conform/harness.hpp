@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "conform/corpus.hpp"
+#include "graph/edge_list.hpp"
+
+namespace xg::conform {
+
+/// Deliberate, flag-guarded result mutations used to prove the harness
+/// catches and minimizes real discrepancies (the "fault injection for the
+/// fault finder"). Never enabled by default.
+enum class Inject : std::uint8_t {
+  kNone,
+  /// BSP connected components reports the last vertex as its own
+  /// component — wrong whenever it has a lower-id neighbor. Minimizes to
+  /// one edge on two vertices.
+  kCcLastVertex,
+  /// Native triangle counting over-counts by one on any graph with a
+  /// triangle. Minimizes to a single 3-vertex triangle.
+  kTriangleOvercount,
+};
+
+/// What the harness checks for one (graph, algorithm). kBackendPair also
+/// covers thread-count variance (same backend, different thread counts).
+struct CheckSpec {
+  enum class Kind : std::uint8_t {
+    kBackendPair,     ///< payload(a, threads_a) == payload(b, threads_b)
+    kFaultedCluster,  ///< cluster fault-free == cluster under a FaultPlan
+    kPermutation,     ///< backend a invariant under vertex relabeling
+    kDuplicateEdges,  ///< backend a invariant under edge multiplicity
+  };
+  AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
+  Kind kind = Kind::kBackendPair;
+  BackendId a = BackendId::kReference;
+  BackendId b = BackendId::kReference;
+  unsigned threads_a = 1;
+  unsigned threads_b = 1;
+
+  std::string describe() const;
+};
+
+struct HarnessOptions {
+  std::vector<AlgorithmId> algorithms = all_algorithms();
+  std::vector<BackendId> backends = all_backends();
+  /// First entry is the baseline every cross-backend diff runs at; the
+  /// rest re-run every thread-capable backend and diff against it.
+  std::vector<unsigned> thread_counts = {1, 2, 8};
+  /// Diff a faulted cluster run (crash + straggler + flaky network +
+  /// checkpointing) against the fault-free one.
+  bool faulted_cluster = true;
+  /// Metamorphic properties: vertex-permutation invariance (all three
+  /// algorithms) and duplicate-edge invariance (CC/BFS only — triangle
+  /// counts legitimately change with multiplicity).
+  bool metamorphic = true;
+  Inject inject = Inject::kNone;
+  std::uint64_t seed = 1;
+  /// Simulated-machine size for the engine-backed backends; small keeps
+  /// the corpus sweep fast without changing any result.
+  std::uint32_t sim_processors = 16;
+  /// Greedily minimize every failing graph (bounded per failure).
+  bool minimize_failures = true;
+  std::size_t max_minimize_evals = 400;
+};
+
+/// One confirmed discrepancy, with its (optionally minimized) repro.
+struct Mismatch {
+  std::string graph;  ///< corpus entry name
+  CheckSpec spec;
+  std::string detail;       ///< first differing element
+  graph::EdgeList repro;    ///< failing input (minimized when enabled)
+  bool minimized = false;
+  std::size_t minimize_evals = 0;
+};
+
+struct ConformanceReport {
+  std::size_t graphs = 0;
+  std::size_t checks = 0;  ///< (graph, spec) evaluations that ran
+  std::vector<Mismatch> mismatches;
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Evaluate one check on one input. Returns the diff description when the
+/// two sides disagree, nullopt when they agree (or the check does not
+/// apply, e.g. BFS on an empty graph). Rebuilds everything from the edge
+/// list, so it is exactly the predicate the minimizer re-runs.
+std::optional<std::string> run_check(const CheckSpec& spec,
+                                     const graph::EdgeList& edges,
+                                     const HarnessOptions& opt);
+
+/// The checks run_conformance would evaluate per graph under `opt`.
+std::vector<CheckSpec> enumerate_checks(const HarnessOptions& opt);
+
+/// Sweep the corpus: every check on every graph, minimizing failures.
+/// Deterministic for fixed (corpus, options).
+ConformanceReport run_conformance(std::span<const CorpusEntry> corpus,
+                                  const HarnessOptions& opt);
+
+}  // namespace xg::conform

@@ -1,0 +1,113 @@
+#include "conform/minimize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace xg::conform {
+
+using graph::EdgeList;
+using graph::vid_t;
+
+namespace {
+
+/// Candidate with the edge window [begin, begin+len) removed. The vertex
+/// count is preserved — compaction is a separate, final step.
+EdgeList without_window(const EdgeList& list, std::size_t begin,
+                        std::size_t len) {
+  EdgeList out(list.num_vertices());
+  out.reserve(list.size() - len);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (i >= begin && i < begin + len) continue;
+    const auto& e = list.edges()[i];
+    out.add(e.src, e.dst, e.weight);
+  }
+  return out;
+}
+
+/// Drop vertices that no edge touches and relabel the rest densely,
+/// preserving relative order (so vertex identities in the repro stay
+/// readable). A graph with no edges compacts to zero vertices.
+EdgeList compacted(const EdgeList& list) {
+  std::vector<std::uint8_t> used(list.num_vertices(), 0);
+  for (const auto& e : list.edges()) {
+    used[e.src] = 1;
+    used[e.dst] = 1;
+  }
+  std::vector<vid_t> remap(list.num_vertices(), 0);
+  vid_t next = 0;
+  for (vid_t v = 0; v < list.num_vertices(); ++v) {
+    remap[v] = next;
+    if (used[v]) ++next;
+  }
+  EdgeList out(next);
+  out.reserve(list.size());
+  for (const auto& e : list.edges()) {
+    out.add(remap[e.src], remap[e.dst], e.weight);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const EdgeList& failing,
+                        const FailurePredicate& still_fails,
+                        std::size_t max_evals) {
+  MinimizeResult res;
+  res.edges = failing;
+  res.predicate_evals = 1;
+  if (!still_fails(failing)) {
+    throw std::invalid_argument(
+        "conform::minimize: input does not reproduce the failure");
+  }
+
+  const auto budget_left = [&] { return res.predicate_evals < max_evals; };
+
+  // Edge delta-debugging: window size halves until a size-1 pass removes
+  // nothing. Keeping a successful candidate restarts the scan at the same
+  // position, so adjacent removable windows fold in one pass.
+  std::size_t window = std::max<std::size_t>(1, res.edges.size() / 2);
+  while (window >= 1 && budget_left()) {
+    bool removed_any = false;
+    std::size_t begin = 0;
+    while (begin < res.edges.size() && budget_left()) {
+      const std::size_t len = std::min(window, res.edges.size() - begin);
+      EdgeList candidate = without_window(res.edges, begin, len);
+      ++res.predicate_evals;
+      if (still_fails(candidate)) {
+        res.edges_removed += len;
+        res.edges = std::move(candidate);
+        removed_any = true;
+        // keep `begin`: the next window slides into the freed position
+      } else {
+        begin += len;
+      }
+    }
+    if (window == 1 && !removed_any) break;
+    window = window > 1 ? window / 2 : 1;
+    if (!removed_any && window == 1 && res.edges.size() <= 1) break;
+  }
+
+  // Vertex compaction: isolated ids contribute nothing to any of the
+  // checked algorithms except component counts, which the predicate
+  // re-derives — so try the compacted graph and keep it if it still
+  // reproduces. Some predicates depend on the vertex count itself (the
+  // permutation checks derive their permutation from it), so when the bare
+  // compaction stops reproducing, retry with a few trailing isolated
+  // padding vertices before giving up.
+  constexpr vid_t kMaxCompactionPad = 14;
+  for (vid_t pad = 0; pad <= kMaxCompactionPad && budget_left(); ++pad) {
+    EdgeList small = compacted(res.edges);
+    if (small.num_vertices() + pad >= res.edges.num_vertices()) break;
+    small.set_num_vertices(small.num_vertices() + pad);
+    ++res.predicate_evals;
+    if (still_fails(small)) {
+      res.vertices_removed = res.edges.num_vertices() - small.num_vertices();
+      res.edges = std::move(small);
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace xg::conform

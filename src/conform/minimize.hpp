@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/edge_list.hpp"
+
+namespace xg::conform {
+
+/// Predicate over a candidate input: true while the candidate still
+/// reproduces the failure being minimized. Must be deterministic; it is
+/// typically a closure that re-runs one failing conformance check.
+using FailurePredicate = std::function<bool(const graph::EdgeList&)>;
+
+struct MinimizeResult {
+  graph::EdgeList edges;          ///< smallest failing input found
+  std::size_t predicate_evals = 0;
+  std::size_t edges_removed = 0;
+  std::size_t vertices_removed = 0;
+};
+
+/// Greedy delta-debugging minimization of a failing graph.
+///
+/// Repeatedly deletes windows of edges (window size halving from |E|/2
+/// down to single edges), keeping any candidate for which `still_fails`
+/// holds, until a full pass at window size 1 removes nothing; then compacts
+/// away isolated vertices (relabeling the survivors densely, retrying with
+/// a few trailing isolated padding vertices for predicates sensitive to
+/// the vertex count) when a compacted graph still fails. `max_evals`
+/// bounds predicate calls so a
+/// pathological predicate cannot stall the harness; the best candidate so
+/// far is returned when the budget runs out.
+///
+/// `still_fails(failing)` must be true on entry — the minimizer asserts it
+/// and throws std::invalid_argument otherwise (a repro that does not
+/// reproduce is a harness bug worth failing loudly on).
+MinimizeResult minimize(const graph::EdgeList& failing,
+                        const FailurePredicate& still_fails,
+                        std::size_t max_evals = 2000);
+
+}  // namespace xg::conform

@@ -27,8 +27,27 @@ Args::Args(int argc, char** argv, std::string description)
     }
   }
   // Shared runtime knob: size the host worker pool before any engine runs.
-  // 0 (the default) defers to XG_THREADS, then the hardware core count.
-  host::set_threads(static_cast<unsigned>(get_int("threads", 0)));
+  // An explicit --threads must be a positive integer; omitting the flag
+  // defers to XG_THREADS, then the hardware core count.
+  if (has("threads")) {
+    const std::string& raw = values_.at("threads");
+    std::size_t consumed = 0;
+    long long n = 0;
+    try {
+      n = std::stoll(raw, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (raw.empty() || consumed != raw.size() || n <= 0) {
+      throw std::invalid_argument(
+          "--threads expects a positive integer, got '" + raw +
+          "'; omit the flag for auto (XG_THREADS env var, else hardware "
+          "cores) — see --help");
+    }
+    host::set_threads(static_cast<unsigned>(n));
+  } else {
+    host::set_threads(0);
+  }
 }
 
 void Args::handle_help() const {
@@ -37,7 +56,8 @@ void Args::handle_help() const {
   std::printf(
       "\nCommon options:\n"
       "  --threads N   host worker threads for the simulation engines\n"
-      "                (0 = auto: XG_THREADS env var, else hardware cores).\n"
+      "                (positive integer; omit for auto: XG_THREADS env\n"
+      "                var, else hardware cores).\n"
       "                Results are bit-identical at any thread count.\n");
   std::exit(0);
 }

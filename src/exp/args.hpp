@@ -16,9 +16,10 @@ namespace xg::exp {
 ///   --seed N       generator seed (default 1)
 ///   --procs a,b,c  processor counts to sweep (default 8,16,32,64,128)
 ///   --threads N    host worker threads for the simulation engines
-///                  (0 = auto: XG_THREADS env var, else hardware cores).
-///                  Results are bit-identical at any value; only the
-///                  host-side wall clock changes.
+///                  (positive integer; omit for auto: XG_THREADS env var,
+///                  else hardware cores — an explicit 0 or garbage value
+///                  throws). Results are bit-identical at any value; only
+///                  the host-side wall clock changes.
 ///
 /// `--threads` is applied to the global host pool at construction, so
 /// every binary that parses its arguments through Args honors it.

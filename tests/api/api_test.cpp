@@ -1,0 +1,182 @@
+// Tests for the unified xg::run entry point: every backend produces the
+// reference answer through one signature, the report fields are filled
+// consistently, and the registry parsers reject unknown names helpfully.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/run.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+
+namespace xg {
+namespace {
+
+graph::CSRGraph small_rmat() {
+  graph::RmatParams p;
+  p.scale = 6;
+  p.edgefactor = 8;
+  p.seed = 7;
+  return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+RunOptions small_sim() {
+  RunOptions opt;
+  opt.sim.processors = 16;
+  return opt;
+}
+
+TEST(Run, AllBackendsMatchReferenceCc) {
+  const auto g = small_rmat();
+  const auto opt = small_sim();
+  const auto oracle =
+      run(AlgorithmId::kConnectedComponents, BackendId::kReference, g, opt);
+  for (const auto backend : all_backends()) {
+    const auto rep = run(AlgorithmId::kConnectedComponents, backend, g, opt);
+    EXPECT_EQ(rep.num_components, oracle.num_components)
+        << backend_name(backend);
+    EXPECT_EQ(rep.components, oracle.components) << backend_name(backend);
+    EXPECT_TRUE(rep.converged) << backend_name(backend);
+  }
+}
+
+TEST(Run, AllBackendsMatchReferenceBfs) {
+  const auto g = small_rmat();
+  auto opt = small_sim();
+  opt.source = g.max_degree_vertex();
+  const auto oracle = run(AlgorithmId::kBfs, BackendId::kReference, g, opt);
+  for (const auto backend : all_backends()) {
+    const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+    EXPECT_EQ(rep.distance, oracle.distance) << backend_name(backend);
+    EXPECT_EQ(rep.reached, oracle.reached) << backend_name(backend);
+  }
+}
+
+TEST(Run, AllBackendsMatchReferenceTriangles) {
+  const auto g = small_rmat();
+  const auto opt = small_sim();
+  const auto oracle =
+      run(AlgorithmId::kTriangleCount, BackendId::kReference, g, opt);
+  EXPECT_GT(oracle.triangles, 0u);
+  for (const auto backend : all_backends()) {
+    const auto rep = run(AlgorithmId::kTriangleCount, backend, g, opt);
+    EXPECT_EQ(rep.triangles, oracle.triangles) << backend_name(backend);
+  }
+}
+
+TEST(Run, ReportStampsAlgorithmAndBackend) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(4));
+  const auto rep =
+      run(AlgorithmId::kBfs, BackendId::kNative, g, small_sim());
+  EXPECT_EQ(rep.algorithm, AlgorithmId::kBfs);
+  EXPECT_EQ(rep.backend, BackendId::kNative);
+}
+
+TEST(Run, CostFieldsFollowTheBackendCostModel) {
+  const auto g = small_rmat();
+  const auto opt = small_sim();
+  const auto bsp =
+      run(AlgorithmId::kConnectedComponents, BackendId::kBsp, g, opt);
+  EXPECT_GT(bsp.cycles, 0u);
+  EXPECT_GT(bsp.messages, 0u);
+  EXPECT_FALSE(bsp.rounds.empty());
+  EXPECT_DOUBLE_EQ(bsp.seconds, 0.0);
+
+  const auto clu =
+      run(AlgorithmId::kConnectedComponents, BackendId::kCluster, g, opt);
+  EXPECT_GT(clu.seconds, 0.0);
+  EXPECT_EQ(clu.cycles, 0u);
+  EXPECT_FALSE(clu.rounds.empty());
+
+  const auto ref =
+      run(AlgorithmId::kConnectedComponents, BackendId::kReference, g, opt);
+  EXPECT_EQ(ref.cycles, 0u);
+  EXPECT_DOUBLE_EQ(ref.seconds, 0.0);
+}
+
+TEST(Run, ThreadCountDoesNotChangeResults) {
+  const auto g = small_rmat();
+  auto opt = small_sim();
+  opt.threads = 1;
+  const auto one =
+      run(AlgorithmId::kConnectedComponents, BackendId::kBsp, g, opt);
+  opt.threads = 4;
+  const auto four =
+      run(AlgorithmId::kConnectedComponents, BackendId::kBsp, g, opt);
+  EXPECT_EQ(one.components, four.components);
+  EXPECT_EQ(one.cycles, four.cycles);
+  EXPECT_EQ(one.messages, four.messages);
+}
+
+TEST(Run, FaultedClusterRunMatchesFaultFree) {
+  const auto g = small_rmat();
+  auto opt = small_sim();
+  const auto clean =
+      run(AlgorithmId::kConnectedComponents, BackendId::kCluster, g, opt);
+  opt.cluster.checkpoint_interval = 2;
+  opt.faults.crashes = {{1, 1}};
+  opt.faults.remote_drop_probability = 0.05;
+  const auto faulted =
+      run(AlgorithmId::kConnectedComponents, BackendId::kCluster, g, opt);
+  EXPECT_EQ(clean.components, faulted.components);
+  EXPECT_GT(faulted.recovery.crashes, 0u);
+  EXPECT_GT(faulted.seconds, clean.seconds);
+}
+
+TEST(Run, BfsSourceOutOfRangeThrows) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(4));
+  auto opt = small_sim();
+  opt.source = 4;
+  EXPECT_THROW(run(AlgorithmId::kBfs, BackendId::kReference, g, opt),
+               std::invalid_argument);
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(Registry, NamesRoundTrip) {
+  for (const auto a : all_algorithms()) {
+    EXPECT_EQ(parse_algorithm(algorithm_name(a)), a);
+  }
+  for (const auto b : all_backends()) {
+    EXPECT_EQ(parse_backend(backend_name(b)), b);
+  }
+}
+
+TEST(Registry, UnknownAlgorithmSuggestsClosest) {
+  try {
+    parse_algorithm("triangels");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean 'triangles'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cc, bfs, triangles"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, UnknownBackendSuggestsClosest) {
+  try {
+    parse_backend("clustr");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean 'cluster'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, GarbageNameStillListsValidNames) {
+  try {
+    parse_backend("zzzzzzzzzzzz");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reference, graphct, bsp, cluster, native"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+}  // namespace
+}  // namespace xg

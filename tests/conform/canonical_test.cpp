@@ -1,0 +1,158 @@
+// Unit tests for the conformance canonicalizers: component relabeling,
+// BFS-level recovery from tie-broken parent forests, and permutation
+// plumbing.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "conform/canonical.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/reference/components.hpp"
+#include "graph/types.hpp"
+
+namespace xg::conform {
+namespace {
+
+using graph::vid_t;
+
+TEST(CanonicalComponents, RewritesToMinVertexRepresentative) {
+  const std::vector<vid_t> labels = {5, 5, 7, 7, 9};
+  const auto canon = canonical_components(labels);
+  EXPECT_EQ(canon, (std::vector<vid_t>{0, 0, 2, 2, 4}));
+}
+
+TEST(CanonicalComponents, DifferentRepresentativesSamePartition) {
+  // Two labelings of the same partition {0,1},{2,3} with different
+  // representative choices must canonicalize identically.
+  const std::vector<vid_t> a = {0, 0, 2, 2};
+  const std::vector<vid_t> b = {1, 1, 3, 3};
+  EXPECT_EQ(canonical_components(a), canonical_components(b));
+}
+
+TEST(CanonicalComponents, DistinctPartitionsStayDistinct) {
+  const std::vector<vid_t> a = {0, 0, 0, 3};
+  const std::vector<vid_t> b = {0, 0, 2, 2};
+  EXPECT_NE(canonical_components(a), canonical_components(b));
+}
+
+TEST(CanonicalComponents, EmptyInput) {
+  EXPECT_TRUE(canonical_components({}).empty());
+}
+
+TEST(FirstDiff, EqualVectorsReturnNothing) {
+  const std::vector<std::uint32_t> a = {1, 2, 3};
+  EXPECT_FALSE(first_diff(a, a).has_value());
+  EXPECT_FALSE(first_diff({}, {}).has_value());
+}
+
+TEST(FirstDiff, ReportsSizeMismatch) {
+  const std::vector<std::uint32_t> a = {1, 2};
+  const std::vector<std::uint32_t> b = {1, 2, 3};
+  const auto d = first_diff(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->find("size 2 vs 3"), std::string::npos) << *d;
+}
+
+TEST(FirstDiff, ReportsFirstDifferingIndex) {
+  const std::vector<std::uint32_t> a = {1, 2, 3};
+  const std::vector<std::uint32_t> b = {1, 9, 8};
+  const auto d = first_diff(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NE(d->find("index 1: 2 vs 9"), std::string::npos) << *d;
+}
+
+TEST(LevelsFromParents, RecoversChainLevels) {
+  // 0 <- 1 <- 2 <- 3
+  const std::vector<vid_t> parent = {graph::kNoVertex, 0, 1, 2};
+  const auto level = levels_from_parents(parent, 0);
+  EXPECT_EQ(level, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(LevelsFromParents, TieBrokenParentsGiveSameLevels) {
+  // Diamond 0-{1,2}-3: vertex 3's parent may be 1 or 2 depending on the
+  // backend's tie-break; the induced levels are identical.
+  const std::vector<vid_t> via1 = {graph::kNoVertex, 0, 0, 1};
+  const std::vector<vid_t> via2 = {graph::kNoVertex, 0, 0, 2};
+  EXPECT_EQ(levels_from_parents(via1, 0), levels_from_parents(via2, 0));
+}
+
+TEST(LevelsFromParents, UnreachedVerticesStayInf) {
+  const std::vector<vid_t> parent = {graph::kNoVertex, 0, graph::kNoVertex};
+  const auto level = levels_from_parents(parent, 0);
+  EXPECT_EQ(level[2], graph::kInfDist);
+}
+
+TEST(LevelsFromParents, MatchesReferenceBfs) {
+  const auto g = graph::CSRGraph::build(graph::binary_tree(31));
+  const auto r = graph::ref::bfs(g, 0);
+  EXPECT_EQ(levels_from_parents(r.parent, 0), r.distance);
+}
+
+TEST(LevelsFromParents, CyclicForestThrows) {
+  const std::vector<vid_t> parent = {graph::kNoVertex, 2, 1};
+  EXPECT_THROW(levels_from_parents(parent, 0), std::invalid_argument);
+}
+
+TEST(LevelsFromParents, OutOfRangeParentThrows) {
+  const std::vector<vid_t> parent = {graph::kNoVertex, 9};
+  EXPECT_THROW(levels_from_parents(parent, 0), std::invalid_argument);
+}
+
+TEST(Permutation, IsAPermutationAndDeterministic) {
+  const auto p1 = random_permutation(100, 42);
+  const auto p2 = random_permutation(100, 42);
+  EXPECT_EQ(p1, p2);
+  std::vector<bool> seen(100, false);
+  for (const auto v : p1) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  EXPECT_NE(p1, random_permutation(100, 43));
+}
+
+TEST(Permutation, InverseRoundTrips) {
+  const auto perm = random_permutation(64, 5);
+  const auto inv = invert_permutation(perm);
+  for (vid_t v = 0; v < 64; ++v) EXPECT_EQ(inv[perm[v]], v);
+}
+
+TEST(Permutation, UnpermuteComponentsRecoversOriginalPartition) {
+  const auto edges = graph::clique_chain(3, 4);
+  const auto g = graph::CSRGraph::build(edges);
+  const auto base =
+      canonical_components(graph::ref::connected_components(g));
+
+  const auto perm = random_permutation(g.num_vertices(), 11);
+  const auto pg = graph::CSRGraph::build(permute_edges(edges, perm));
+  const auto plabels = graph::ref::connected_components(pg);
+  EXPECT_EQ(unpermute_components(plabels, perm), base);
+}
+
+TEST(Permutation, UnpermuteDistancesRecoversOriginalVector) {
+  const auto edges = graph::grid_graph(4, 4);
+  const auto g = graph::CSRGraph::build(edges);
+  const vid_t source = 5;
+  const auto base = graph::ref::bfs(g, source).distance;
+
+  const auto perm = random_permutation(g.num_vertices(), 13);
+  const auto pg = graph::CSRGraph::build(permute_edges(edges, perm));
+  const auto pdist = graph::ref::bfs(pg, perm[source]).distance;
+  EXPECT_EQ(unpermute_distances(pdist, perm), base);
+}
+
+TEST(DuplicateEdges, AppendsEveryStrideThEdge) {
+  graph::EdgeList list(4);
+  list.add(0, 1);
+  list.add(1, 2);
+  list.add(2, 3);
+  const auto doubled = with_duplicate_edges(list, 2);
+  EXPECT_EQ(doubled.size(), 5u);  // edges 0 and 2 duplicated
+  EXPECT_EQ(doubled.num_vertices(), 4u);
+}
+
+}  // namespace
+}  // namespace xg::conform

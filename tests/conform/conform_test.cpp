@@ -1,0 +1,172 @@
+// Integration tests for the conformance harness: corpus determinism, a
+// clean differential sweep over real corpus graphs, and the end-to-end
+// catch-and-minimize path on deliberately injected bugs.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "conform/corpus.hpp"
+#include "conform/harness.hpp"
+#include "conform/minimize.hpp"
+
+namespace xg::conform {
+namespace {
+
+/// Trimmed options that keep the sweep fast inside a unit test while still
+/// exercising every check kind.
+HarnessOptions fast_options() {
+  HarnessOptions opt;
+  opt.thread_counts = {1, 2};
+  opt.sim_processors = 8;
+  return opt;
+}
+
+TEST(Corpus, DeterministicForFixedSeed) {
+  const auto a = make_corpus(12, 0xC0FFEE);
+  const auto b = make_corpus(12, 0xC0FFEE);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].edges.size(), b[i].edges.size());
+    for (std::size_t e = 0; e < a[i].edges.size(); ++e) {
+      EXPECT_EQ(a[i].edges.edges()[e].src, b[i].edges.edges()[e].src);
+      EXPECT_EQ(a[i].edges.edges()[e].dst, b[i].edges.edges()[e].dst);
+    }
+  }
+}
+
+TEST(Corpus, SeedChangesTheRandomTail) {
+  const auto a = make_corpus(20, 1);
+  const auto b = make_corpus(20, 2);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].edges.size() != b[i].edges.size()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Corpus, NamedCorporaHaveTheAdvertisedSizes) {
+  EXPECT_EQ(named_corpus("ci-smoke").size(), 32u);
+  EXPECT_EQ(named_corpus("extended").size(), 200u);
+}
+
+TEST(Corpus, UnknownNameThrowsWithValidList) {
+  try {
+    named_corpus("nightly");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ci-smoke"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("extended"), std::string::npos) << msg;
+  }
+}
+
+TEST(Corpus, LeadsWithTheDegenerateBlock) {
+  const auto corpus = make_corpus(4, 1);
+  ASSERT_GE(corpus.size(), 2u);
+  EXPECT_EQ(corpus[0].name, "empty");
+  EXPECT_EQ(corpus[0].edges.num_vertices(), 0u);
+}
+
+TEST(EnumerateChecks, CoversEveryKindAndRespectsFlags) {
+  const auto opt = fast_options();
+  const auto specs = enumerate_checks(opt);
+  bool pair = false, faulted = false, perm = false, dup = false;
+  bool thread_variant = false;
+  for (const auto& s : specs) {
+    switch (s.kind) {
+      case CheckSpec::Kind::kBackendPair:
+        pair = true;
+        if (s.a == s.b && s.threads_a != s.threads_b) thread_variant = true;
+        break;
+      case CheckSpec::Kind::kFaultedCluster: faulted = true; break;
+      case CheckSpec::Kind::kPermutation: perm = true; break;
+      case CheckSpec::Kind::kDuplicateEdges:
+        dup = true;
+        EXPECT_NE(s.algorithm, AlgorithmId::kTriangleCount) << s.describe();
+        break;
+    }
+  }
+  EXPECT_TRUE(pair && faulted && perm && dup && thread_variant);
+
+  HarnessOptions bare = fast_options();
+  bare.metamorphic = false;
+  bare.faulted_cluster = false;
+  for (const auto& s : enumerate_checks(bare)) {
+    EXPECT_EQ(s.kind, CheckSpec::Kind::kBackendPair) << s.describe();
+  }
+}
+
+TEST(Harness, CleanSweepOverCorpusPrefix) {
+  const auto corpus = make_corpus(8, 3);
+  const auto report = run_conformance(corpus, fast_options());
+  EXPECT_EQ(report.graphs, 8u);
+  EXPECT_GT(report.checks, 0u);
+  for (const auto& mm : report.mismatches) {
+    ADD_FAILURE() << mm.graph << " / " << mm.spec.describe() << ": "
+                  << mm.detail;
+  }
+}
+
+TEST(Harness, CatchesAndMinimizesInjectedCcBug) {
+  auto opt = fast_options();
+  opt.inject = Inject::kCcLastVertex;
+  // The corpus prefix holds paths, stars and a bowtie — the injected
+  // "last vertex is its own component" lie is visible to every CC check.
+  const auto corpus = make_corpus(8, 3);
+  const auto report = run_conformance(corpus, opt);
+  ASSERT_FALSE(report.mismatches.empty());
+  bool hit_floor = false;
+  for (const auto& mm : report.mismatches) {
+    EXPECT_EQ(mm.spec.algorithm, AlgorithmId::kConnectedComponents);
+    EXPECT_TRUE(mm.minimized);
+    // Acceptance bar: every repro fits in 16 vertices.
+    EXPECT_LE(mm.repro.num_vertices(), 16u) << mm.spec.describe();
+    EXPECT_GE(mm.repro.size(), 1u) << mm.spec.describe();
+    // This bug's actual floor, reached by the pairwise checks.
+    if (mm.repro.num_vertices() == 2 && mm.repro.size() == 1) {
+      hit_floor = true;
+    }
+  }
+  EXPECT_TRUE(hit_floor);
+}
+
+TEST(Harness, CatchesAndMinimizesInjectedTriangleBug) {
+  auto opt = fast_options();
+  opt.inject = Inject::kTriangleOvercount;
+  const auto corpus = make_corpus(10, 3);
+  const auto report = run_conformance(corpus, opt);
+  ASSERT_FALSE(report.mismatches.empty());
+  for (const auto& mm : report.mismatches) {
+    EXPECT_EQ(mm.spec.algorithm, AlgorithmId::kTriangleCount);
+    EXPECT_TRUE(mm.minimized);
+    // Floor: a single triangle.
+    EXPECT_LE(mm.repro.num_vertices(), 16u) << mm.spec.describe();
+    EXPECT_EQ(mm.repro.size(), 3u) << mm.spec.describe();
+  }
+}
+
+TEST(Harness, RunCheckIsItsOwnMinimizerPredicate) {
+  // The documented contract: run_check rebuilds everything from the edge
+  // list, so re-running it on the minimized repro still reports the diff.
+  auto opt = fast_options();
+  opt.inject = Inject::kCcLastVertex;
+  const CheckSpec spec{AlgorithmId::kConnectedComponents,
+                       CheckSpec::Kind::kBackendPair, BackendId::kReference,
+                       BackendId::kBsp, 1, 1};
+  const auto corpus = make_corpus(8, 3);
+  for (const auto& entry : corpus) {
+    const auto diff = run_check(spec, entry.edges, opt);
+    if (!diff) continue;
+    const auto res = minimize(entry.edges, [&](const graph::EdgeList& cand) {
+      return run_check(spec, cand, opt).has_value();
+    });
+    EXPECT_TRUE(run_check(spec, res.edges, opt).has_value());
+    return;  // one failing entry is enough
+  }
+  FAIL() << "no corpus entry tripped the injected bug";
+}
+
+}  // namespace
+}  // namespace xg::conform

@@ -1,0 +1,91 @@
+// Tests for the greedy delta-debugging minimizer: convergence on known
+// failure shapes, entry validation, and the evaluation budget.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "conform/minimize.hpp"
+#include "graph/generators.hpp"
+
+namespace xg::conform {
+namespace {
+
+using graph::EdgeList;
+
+bool has_self_loop(const EdgeList& list) {
+  for (const auto& e : list.edges()) {
+    if (e.src == e.dst) return true;
+  }
+  return false;
+}
+
+/// A big haystack with one relabeling-invariant needle (a self loop)
+/// buried mid-list, so window removal has to work around it.
+EdgeList haystack_with_needle() {
+  const EdgeList random = graph::erdos_renyi(64, 256, 9);
+  EdgeList out(random.num_vertices());
+  const auto& es = random.edges();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    if (i == es.size() / 2) out.add(40, 40);  // the needle
+    if (es[i].src != es[i].dst) out.add(es[i].src, es[i].dst);
+  }
+  return out;
+}
+
+TEST(Minimize, ConvergesToTheSingleFailingEdge) {
+  const auto failing = haystack_with_needle();
+  const auto res = minimize(failing, has_self_loop);
+  EXPECT_EQ(res.edges.size(), 1u);
+  EXPECT_TRUE(has_self_loop(res.edges));
+  // Compaction dropped every vertex the surviving edge does not touch.
+  EXPECT_EQ(res.edges.num_vertices(), 1u);
+  EXPECT_EQ(res.edges_removed, failing.size() - 1);
+  EXPECT_EQ(res.vertices_removed, failing.num_vertices() - 1);
+}
+
+TEST(Minimize, KeepsAllEdgesWhenEveryOneIsNeeded) {
+  // Predicate: fails only while *all* original edges are present.
+  EdgeList triangle(3);
+  triangle.add(0, 1);
+  triangle.add(1, 2);
+  triangle.add(2, 0);
+  const auto pred = [](const EdgeList& cand) { return cand.size() == 3; };
+  const auto res = minimize(triangle, pred);
+  EXPECT_EQ(res.edges.size(), 3u);
+  EXPECT_EQ(res.edges_removed, 0u);
+}
+
+TEST(Minimize, ThrowsWhenInputDoesNotReproduce) {
+  EdgeList list(2);
+  list.add(0, 1);
+  EXPECT_THROW(
+      minimize(list, [](const EdgeList&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(Minimize, RespectsEvaluationBudget) {
+  const auto failing = haystack_with_needle();
+  std::size_t calls = 0;
+  const auto pred = [&calls](const EdgeList& cand) {
+    ++calls;
+    return has_self_loop(cand);
+  };
+  const auto res = minimize(failing, pred, /*max_evals=*/10);
+  EXPECT_LE(res.predicate_evals, 10u);
+  EXPECT_EQ(calls, res.predicate_evals);
+  // Budget too small to finish, but the result must still reproduce.
+  EXPECT_TRUE(has_self_loop(res.edges));
+}
+
+TEST(Minimize, DeterministicForFixedInput) {
+  const auto failing = haystack_with_needle();
+  const auto a = minimize(failing, has_self_loop);
+  const auto b = minimize(failing, has_self_loop);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_EQ(a.edges.num_vertices(), b.edges.num_vertices());
+}
+
+}  // namespace
+}  // namespace xg::conform

@@ -76,6 +76,37 @@ TEST(Args, FlagFollowedByFlag) {
   EXPECT_EQ(a.get_int("scale", 0), 9);
 }
 
+TEST(Args, ExplicitThreadsZeroRejected) {
+  EXPECT_THROW(make_args({"--threads", "0"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--threads=0"}), std::invalid_argument);
+}
+
+TEST(Args, NegativeThreadsRejected) {
+  EXPECT_THROW(make_args({"--threads", "-2"}), std::invalid_argument);
+}
+
+TEST(Args, NonNumericThreadsRejected) {
+  EXPECT_THROW(make_args({"--threads", "many"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--threads", "4x"}), std::invalid_argument);
+  EXPECT_THROW(make_args({"--threads="}), std::invalid_argument);
+}
+
+TEST(Args, ThreadsErrorMentionsHelp) {
+  try {
+    make_args({"--threads", "0"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("positive integer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--help"), std::string::npos) << msg;
+  }
+}
+
+TEST(Args, PositiveThreadsAccepted) {
+  const auto a = make_args({"--threads", "2"});
+  EXPECT_EQ(a.get_int("threads", 0), 2);
+}
+
 // --- Table ------------------------------------------------------------------
 
 TEST(Table, RejectsMismatchedRows) {

@@ -1,0 +1,143 @@
+// Differential conformance fuzzer: runs every algorithm on every backend
+// over a seeded adversarial corpus, diffs canonicalized results pairwise
+// (plus faulted-cluster, thread-variance and metamorphic checks), and
+// greedily minimizes any failing graph to a small repro.
+//
+//   xg_fuzz --corpus ci-smoke            # the 32-graph PR gate
+//   xg_fuzz --corpus extended            # the 200-graph nightly sweep
+//   xg_fuzz --graphs 64 --seed 7         # custom corpus
+//   xg_fuzz --inject cc --expect-mismatch  # prove the harness catches bugs
+//
+// Exit status: 0 on a clean sweep (or, under --expect-mismatch, when the
+// injected bug was caught AND minimized to a repro of at most 16 vertices);
+// 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "conform/corpus.hpp"
+#include "conform/harness.hpp"
+#include "exp/args.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  return out;
+}
+
+xg::conform::Inject parse_inject(const std::string& name) {
+  if (name == "none") return xg::conform::Inject::kNone;
+  if (name == "cc") return xg::conform::Inject::kCcLastVertex;
+  if (name == "triangles") return xg::conform::Inject::kTriangleOvercount;
+  throw std::invalid_argument("unknown --inject '" + name +
+                              "' (valid: none, cc, triangles)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  xg::exp::Args args(argc, argv,
+                     "Cross-engine differential conformance fuzzer.\n"
+                     "  --corpus NAME        ci-smoke (default) or extended\n"
+                     "  --graphs N           custom corpus size (overrides --corpus)\n"
+                     "  --max-graphs N       cap the corpus (for sanitizer CI)\n"
+                     "  --seed N             corpus/permutation seed (default 1)\n"
+                     "  --algorithms a,b     subset of: cc,bfs,triangles\n"
+                     "  --backends a,b       subset of: reference,graphct,bsp,cluster,native\n"
+                     "  --threads-list a,b,c host thread counts (default 1,2,8)\n"
+                     "  --no-faults          skip the faulted-cluster checks\n"
+                     "  --no-metamorphic     skip permutation/duplicate-edge checks\n"
+                     "  --no-minimize        keep failing graphs unminimized\n"
+                     "  --inject NAME        none (default), cc, triangles\n"
+                     "  --expect-mismatch    exit 0 only if a mismatch was caught\n"
+                     "                       and minimized to <= 16 vertices\n"
+                     "  --repro-dir DIR      write failing repros as edge-list files");
+  args.handle_help();
+
+  xg::conform::HarnessOptions opt;
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("algorithms")) {
+    opt.algorithms.clear();
+    for (const auto& name : split_names(args.get("algorithms", ""))) {
+      opt.algorithms.push_back(xg::parse_algorithm(name));
+    }
+  }
+  if (args.has("backends")) {
+    opt.backends.clear();
+    for (const auto& name : split_names(args.get("backends", ""))) {
+      opt.backends.push_back(xg::parse_backend(name));
+    }
+  }
+  opt.thread_counts = args.get_list("threads-list", {1, 2, 8});
+  opt.faulted_cluster = !args.get_flag("no-faults");
+  opt.metamorphic = !args.get_flag("no-metamorphic");
+  opt.minimize_failures = !args.get_flag("no-minimize");
+  opt.inject = parse_inject(args.get("inject", "none"));
+
+  std::vector<xg::conform::CorpusEntry> corpus =
+      args.has("graphs")
+          ? xg::conform::make_corpus(
+                static_cast<std::size_t>(args.get_int("graphs", 32)), opt.seed)
+          : xg::conform::named_corpus(args.get("corpus", "ci-smoke"));
+  const auto cap = static_cast<std::size_t>(
+      args.get_int("max-graphs", static_cast<std::int64_t>(corpus.size())));
+  if (corpus.size() > cap) corpus.resize(cap);
+
+  const auto specs = xg::conform::enumerate_checks(opt);
+  std::printf("xg_fuzz: %zu graphs x %zu checks\n", corpus.size(),
+              specs.size());
+
+  const auto report = xg::conform::run_conformance(corpus, opt);
+
+  const std::string repro_dir = args.get("repro-dir", "");
+  std::size_t repro_index = 0;
+  bool all_small = true;
+  for (const auto& mm : report.mismatches) {
+    std::printf("MISMATCH %-24s %-44s %s\n", mm.graph.c_str(),
+                mm.spec.describe().c_str(), mm.detail.c_str());
+    std::printf("  repro: %u vertices, %zu edges%s (%zu minimizer evals)\n",
+                mm.repro.num_vertices(), mm.repro.size(),
+                mm.minimized ? " [minimized]" : "", mm.minimize_evals);
+    if (mm.repro.num_vertices() > 16) all_small = false;
+    if (!repro_dir.empty()) {
+      const std::string path =
+          repro_dir + "/repro_" + std::to_string(repro_index++) + ".edges";
+      xg::graph::write_edge_list_file(path, mm.repro);
+      std::printf("  wrote %s\n", path.c_str());
+    }
+  }
+  std::printf("xg_fuzz: %zu graphs, %zu checks evaluated, %zu mismatches\n",
+              report.graphs, report.checks, report.mismatches.size());
+
+  if (args.get_flag("expect-mismatch")) {
+    if (report.mismatches.empty()) {
+      std::printf("xg_fuzz: FAIL — expected a mismatch, found none\n");
+      return 1;
+    }
+    if (!all_small) {
+      std::printf(
+          "xg_fuzz: FAIL — mismatch caught but a repro exceeds 16 vertices\n");
+      return 1;
+    }
+    std::printf("xg_fuzz: OK — injected bug caught and minimized\n");
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "xg_fuzz: error: %s\n", e.what());
+  return 1;
+}
