@@ -17,6 +17,7 @@
 
 #include "api/run.hpp"
 #include "exp/args.hpp"
+#include "exp/rss.hpp"
 #include "exp/workload.hpp"
 #include "graph/csr.hpp"
 #include "graph/edge_list.hpp"
@@ -140,6 +141,10 @@ int main(int argc, char** argv) try {
   std::printf("      %.2f s wall (%llu total simulated cycles)\n", e2e.seconds,
               static_cast<unsigned long long>(e2e.total_cycles));
 
+  const double peak_rss_mb =
+      static_cast<double>(exp::peak_rss_bytes()) / (1 << 20);
+  std::printf("peak rss: %.0f MB\n", peak_rss_mb);
+
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
@@ -154,7 +159,8 @@ int main(int argc, char** argv) try {
                "  \"sparse_frontier_bfs\": {\"supersteps_per_second\": %.1f, "
                "\"supersteps\": %llu, \"cycles\": %llu},\n"
                "  \"table1_end_to_end\": {\"seconds\": %.3f, "
-               "\"total_cycles\": %llu}\n"
+               "\"total_cycles\": %llu},\n"
+               "  \"peak_rss_mb\": %.0f\n"
                "}\n",
                wl.scale, wl.edgefactor,
                static_cast<unsigned long long>(wl.seed), processors,
@@ -163,7 +169,8 @@ int main(int argc, char** argv) try {
                sparse.supersteps_per_second,
                static_cast<unsigned long long>(sparse.supersteps),
                static_cast<unsigned long long>(sparse.cycles),
-               e2e.seconds, static_cast<unsigned long long>(e2e.total_cycles));
+               e2e.seconds, static_cast<unsigned long long>(e2e.total_cycles),
+               peak_rss_mb);
   std::fclose(f);
   std::printf("\nwrote %s\n", out.c_str());
   return 0;

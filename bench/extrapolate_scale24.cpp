@@ -11,18 +11,22 @@
 // sanity check, not a calibration — DESIGN.md §7 explains why absolute
 // agreement is out of scope.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
+#include "api/run.hpp"
 #include "bsp/algorithms/bfs.hpp"
 #include "bsp/algorithms/connected_components.hpp"
 #include "bsp/algorithms/triangles.hpp"
 #include "exp/args.hpp"
 #include "exp/paper.hpp"
+#include "exp/rss.hpp"
 #include "exp/table.hpp"
 #include "graph/reference/triangles.hpp"
 #include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
 #include "graphct/bfs.hpp"
 #include "graphct/connected_components.hpp"
 #include "graphct/triangles.hpp"
@@ -38,6 +42,52 @@ graph::CSRGraph build_at(std::uint32_t scale, std::uint64_t seed) {
   p.edgefactor = 16;
   p.seed = seed;
   return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+/// Measured (not extrapolated) native-engine wall clock at --native-scale,
+/// printed next to the projections so the simulated-machine numbers have a
+/// real-hardware anchor at the same workload shape.
+void print_measured_native(std::uint32_t scale, std::uint64_t seed) {
+  using Clock = std::chrono::steady_clock;
+  const auto secs = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 16;
+  p.seed = seed;
+
+  const auto t_build = Clock::now();
+  const auto g = graph::rmat_csr(p);  // streamed: no transient edge list
+  const double build_s = secs(t_build);
+  const double edges = static_cast<double>(g.num_arcs()) / 2.0;
+
+  RunOptions opt;
+  opt.source = g.max_degree_vertex();
+  opt.direction = BfsDirection::kHybrid;
+  const auto t_bfs = Clock::now();
+  const auto bfs = run(AlgorithmId::kBfs, BackendId::kNative, g, opt);
+  const double bfs_s = secs(t_bfs);
+  const auto t_cc = Clock::now();
+  const auto cc =
+      run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, opt);
+  const double cc_s = secs(t_cc);
+
+  std::printf("\nmeasured native engine at scale %u (host wall-clock, "
+              "streamed build, %llu arcs):\n", scale,
+              static_cast<unsigned long long>(g.num_arcs()));
+  exp::Table table({"kernel", "measured", "MTEPS", "note"});
+  table.add_row({"build (rmat_csr)", exp::Table::seconds(build_s), "-",
+                 "streamed two-pass"});
+  table.add_row({"BFS native hybrid", exp::Table::seconds(bfs_s),
+                 exp::Table::fixed(edges / bfs_s / 1e6, 1),
+                 "reached " + exp::Table::num(bfs.reached)});
+  table.add_row({"CC native", exp::Table::seconds(cc_s),
+                 exp::Table::fixed(edges / cc_s / 1e6, 1),
+                 exp::Table::num(cc.num_components) + " components"});
+  table.print(std::cout);
+  std::printf("peak rss: %.0f MB\n",
+              static_cast<double>(exp::peak_rss_bytes()) / (1 << 20));
 }
 
 /// Least-squares fit of log2(y) = a + b*scale; returns y at `target`.
@@ -67,10 +117,13 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Project the paper's SCALE-24 Table I from unit costs "
                        "measured at small scale.\nOptions: --measure-scale N "
-                       "--seed N --processors N");
+                       "--seed N --processors N --native-scale N (0 = skip "
+                       "the measured native-engine rows)");
   args.handle_help();
   const auto measure_scale =
       static_cast<std::uint32_t>(args.get_int("measure-scale", 13));
+  const auto native_scale =
+      static_cast<std::uint32_t>(args.get_int("native-scale", 0));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto processors =
       static_cast<std::uint32_t>(args.get_int("processors", 128));
@@ -151,6 +204,8 @@ int main(int argc, char** argv) try {
                    exp::Table::seconds(row.paper_sec)});
   }
   table.print(std::cout);
+
+  if (native_scale > 0) print_measured_native(native_scale, seed);
 
   std::printf(
       "\nReading: projections land within roughly an order of magnitude of "

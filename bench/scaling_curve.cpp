@@ -1,0 +1,206 @@
+// Measured native-engine scaling curve: host wall-clock, MTEPS and peak
+// RSS versus R-MAT SCALE for the native backend's BFS (both directions)
+// and connected components. This is the measured counterpart to
+// extrapolate_scale24's projections — graphs are built with the streamed
+// generator (graph::rmat_csr), so the largest scale that fits is bounded
+// by the CSR itself, not by a transient edge list ~3x its size.
+//
+// Scales are always swept ascending so the peak-RSS column (a per-process
+// high-water mark) is attributable to the largest graph measured so far.
+//
+// Usage: scaling_curve [--scales 14,16,18] [--edgefactor N] [--seed N]
+//                      [--trials N] [--threads N] [--out FILE]
+//                      [--rss-budget-mb N]
+//
+// --rss-budget-mb makes the run a CI gate: exit code 2 when the process
+// high-water mark exceeds the budget (0 disables the gate).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "exp/args.hpp"
+#include "exp/rss.hpp"
+#include "exp/table.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
+
+using namespace xg;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ScalePoint {
+  std::uint32_t scale = 0;
+  std::uint64_t vertices = 0;
+  std::uint64_t arcs = 0;
+  double build_seconds = 0;
+  double bfs_top_down_seconds = 0;
+  double bfs_hybrid_seconds = 0;
+  double cc_seconds = 0;
+  double peak_rss_mb = 0;
+};
+
+/// Graph500 convention: traversed edges per second counts undirected input
+/// edges (half the stored arcs), in millions.
+double mteps_of(const ScalePoint& pt, double seconds) {
+  return static_cast<double>(pt.arcs) / 2.0 / seconds / 1e6;
+}
+
+double best_bfs_seconds(const graph::CSRGraph& g, const RunOptions& base,
+                        BfsDirection direction, int trials) {
+  RunOptions opt = base;
+  opt.direction = direction;
+  double best = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto t0 = Clock::now();
+    const auto rep = run(AlgorithmId::kBfs, BackendId::kNative, g, opt);
+    const double s = seconds_since(t0);
+    if (rep.reached == 0) throw std::runtime_error("bfs reached no vertex");
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+ScalePoint measure_scale(std::uint32_t scale, std::uint32_t edgefactor,
+                         std::uint64_t seed, int trials) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = edgefactor;
+  p.seed = seed;
+
+  ScalePoint pt;
+  pt.scale = scale;
+  const auto t0 = Clock::now();
+  const auto g = graph::rmat_csr(p);
+  pt.build_seconds = seconds_since(t0);
+  pt.vertices = g.num_vertices();
+  pt.arcs = g.num_arcs();
+
+  RunOptions opt;
+  opt.source = g.max_degree_vertex();
+  pt.bfs_top_down_seconds =
+      best_bfs_seconds(g, opt, BfsDirection::kTopDown, trials);
+  pt.bfs_hybrid_seconds =
+      best_bfs_seconds(g, opt, BfsDirection::kHybrid, trials);
+
+  const auto t1 = Clock::now();
+  const auto cc = run(AlgorithmId::kConnectedComponents, BackendId::kNative,
+                      g, opt);
+  pt.cc_seconds = seconds_since(t1);
+  if (cc.num_components == 0) throw std::runtime_error("cc found nothing");
+
+  pt.peak_rss_mb = static_cast<double>(exp::peak_rss_bytes()) / (1 << 20);
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Measured native-engine scaling curve; writes JSON.\n"
+                       "Options: --scales a,b,c --edgefactor N --seed N "
+                       "--trials N --threads N --out FILE --rss-budget-mb N");
+  args.handle_help();
+  auto scales = args.get_list("scales", {14, 16, 18});
+  std::sort(scales.begin(), scales.end());
+  const auto edgefactor =
+      static_cast<std::uint32_t>(args.get_int("edgefactor", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int trials = static_cast<int>(args.get_int("trials", 3));
+  const double budget_mb =
+      static_cast<double>(args.get_int("rss-budget-mb", 0));
+  const std::string out = args.get("out", "BENCH_scaling.json");
+
+  std::printf("== native scaling curve == (edgefactor %u, seed %llu, "
+              "%d trial%s per BFS point)\n\n",
+              edgefactor, static_cast<unsigned long long>(seed), trials,
+              trials == 1 ? "" : "s");
+
+  std::vector<ScalePoint> points;
+  for (const auto scale : scales) {
+    std::printf("scale %u: building (streamed)...\n", scale);
+    points.push_back(measure_scale(scale, edgefactor, seed, trials));
+    const auto& pt = points.back();
+    std::printf("  %llu vertices, %llu arcs; build %.2f s; "
+                "bfs hybrid %.3f s (%.1f MTEPS, %.2fx vs top-down); "
+                "cc %.2f s; peak rss %.0f MB\n",
+                static_cast<unsigned long long>(pt.vertices),
+                static_cast<unsigned long long>(pt.arcs), pt.build_seconds,
+                pt.bfs_hybrid_seconds,
+                mteps_of(pt, pt.bfs_hybrid_seconds),
+                pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds,
+                pt.cc_seconds, pt.peak_rss_mb);
+  }
+
+  exp::Table table({"scale", "vertices", "arcs", "build", "bfs td",
+                    "bfs hybrid", "MTEPS td", "MTEPS hy", "speedup", "cc",
+                    "peak RSS"});
+  for (const auto& pt : points) {
+    table.add_row(
+        {std::to_string(pt.scale), exp::Table::num(pt.vertices),
+         exp::Table::num(pt.arcs), exp::Table::seconds(pt.build_seconds),
+         exp::Table::seconds(pt.bfs_top_down_seconds),
+         exp::Table::seconds(pt.bfs_hybrid_seconds),
+         exp::Table::fixed(mteps_of(pt, pt.bfs_top_down_seconds), 1),
+         exp::Table::fixed(mteps_of(pt, pt.bfs_hybrid_seconds), 1),
+         exp::Table::fixed(pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds,
+                           2),
+         exp::Table::seconds(pt.cc_seconds),
+         exp::Table::fixed(pt.peak_rss_mb, 0) + " MB"});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"edgefactor\": %u,\n  \"seed\": %llu,\n"
+               "  \"trials\": %d,\n  \"scaling\": [\n",
+               edgefactor, static_cast<unsigned long long>(seed), trials);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(
+        f,
+        "    {\"scale\": %u, \"vertices\": %llu, \"arcs\": %llu, "
+        "\"build_seconds\": %.3f, \"bfs_top_down_seconds\": %.4f, "
+        "\"bfs_hybrid_seconds\": %.4f, \"bfs_top_down_mteps\": %.1f, "
+        "\"bfs_hybrid_mteps\": %.1f, \"hybrid_speedup\": %.2f, "
+        "\"cc_seconds\": %.3f, \"peak_rss_mb\": %.0f}%s\n",
+        pt.scale, static_cast<unsigned long long>(pt.vertices),
+        static_cast<unsigned long long>(pt.arcs), pt.build_seconds,
+        pt.bfs_top_down_seconds, pt.bfs_hybrid_seconds,
+        mteps_of(pt, pt.bfs_top_down_seconds),
+        mteps_of(pt, pt.bfs_hybrid_seconds),
+        pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds, pt.cc_seconds,
+        pt.peak_rss_mb, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out.c_str());
+
+  if (budget_mb > 0 && !points.empty() &&
+      points.back().peak_rss_mb > budget_mb) {
+    std::fprintf(stderr,
+                 "error: peak RSS %.0f MB exceeds budget %.0f MB\n",
+                 points.back().peak_rss_mb, budget_mb);
+    return 2;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -12,6 +12,7 @@
 #include "graph/reference/components.hpp"
 #include "graph/reference/triangles.hpp"
 #include "graphct/bfs.hpp"
+#include "graphct/bfs_diropt.hpp"
 #include "graphct/connected_components.hpp"
 #include "graphct/triangles.hpp"
 #include "host/thread_pool.hpp"
@@ -162,7 +163,13 @@ RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
       return rep;
     }
     case AlgorithmId::kBfs: {
-      const auto r = graphct::bfs(machine, g, opt.source);
+      // kAuto stays level-synchronous here: the queue BFS is the
+      // paper-faithful kernel this backend models. kHybrid opts into the
+      // direction-optimizing variant explicitly.
+      const auto r =
+          opt.direction == BfsDirection::kHybrid
+              ? graphct::bfs_direction_optimizing(machine, g, opt.source)
+              : graphct::bfs(machine, g, opt.source);
       auto rep = api::from_kernel(r.levels, r.totals);
       rep.distance = r.distance;
       rep.reached = r.reached;
@@ -256,7 +263,11 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
       break;
     }
     case AlgorithmId::kBfs: {
-      auto r = native::bfs(pool, g, opt.source);
+      // The hybrid is the native default (kAuto): same distances and level
+      // sizes as top-down, multiple times faster on small-world graphs.
+      auto r = opt.direction == BfsDirection::kTopDown
+                   ? native::bfs(pool, g, opt.source)
+                   : native::bfs_hybrid(pool, g, opt.source);
       rep.distance = std::move(r.distance);
       rep.reached = r.reached;
       rep.rounds.reserve(r.level_sizes.size());
@@ -361,6 +372,12 @@ const std::vector<BackendId>& all_backends() {
   return kAll;
 }
 
+const std::vector<BfsDirection>& all_directions() {
+  static const std::vector<BfsDirection> kAll = {
+      BfsDirection::kAuto, BfsDirection::kTopDown, BfsDirection::kHybrid};
+  return kAll;
+}
+
 std::string algorithm_name(AlgorithmId a) {
   switch (a) {
     case AlgorithmId::kConnectedComponents: return "cc";
@@ -381,6 +398,15 @@ std::string backend_name(BackendId b) {
   return "?";
 }
 
+std::string direction_name(BfsDirection d) {
+  switch (d) {
+    case BfsDirection::kAuto: return "auto";
+    case BfsDirection::kTopDown: return "top_down";
+    case BfsDirection::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
 AlgorithmId parse_algorithm(const std::string& name) {
   std::vector<std::string> names;
   for (const auto a : all_algorithms()) {
@@ -397,6 +423,15 @@ BackendId parse_backend(const std::string& name) {
     names.push_back(backend_name(b));
   }
   throw_unknown("--backend", name, names);
+}
+
+BfsDirection parse_direction(const std::string& name) {
+  std::vector<std::string> names;
+  for (const auto d : all_directions()) {
+    if (direction_name(d) == name) return d;
+    names.push_back(direction_name(d));
+  }
+  throw_unknown("--direction", name, names);
 }
 
 }  // namespace xg

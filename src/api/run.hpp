@@ -37,11 +37,33 @@ enum class BackendId : std::uint8_t {
   kNative,     ///< host threads + real atomics (no simulation)
 };
 
+/// BFS traversal strategy (AlgorithmId::kBfs only; other algorithms and
+/// the message-passing backends ignore it). Every mode returns identical
+/// distances, level sizes and reached counts — direction is a performance
+/// choice, never a semantic one, and the conformance harness diffs the
+/// modes against each other to keep it that way.
+enum class BfsDirection : std::uint8_t {
+  /// The backend picks: kNative runs the direction-optimizing hybrid (its
+  /// fast path), the simulated backends keep their paper-faithful
+  /// level-synchronous kernels.
+  kAuto,
+  /// Force classic top-down level-synchronous search everywhere.
+  kTopDown,
+  /// Force Beamer-style direction optimization where a hybrid kernel
+  /// exists (kNative's bitmap/sliding-queue search, kGraphct's
+  /// bfs_direction_optimizing); backends without one fall back to
+  /// top-down.
+  kHybrid,
+};
+
 /// Options common to every (algorithm, backend) pair. Backends ignore the
 /// knobs that do not apply to them (e.g. `faults` outside kCluster).
 struct RunOptions {
   /// BFS source vertex; must be < num_vertices for AlgorithmId::kBfs.
   graph::vid_t source = 0;
+
+  /// BFS traversal direction mode (see BfsDirection).
+  BfsDirection direction = BfsDirection::kAuto;
 
   /// Host worker threads for this run; 0 leaves the shared pool untouched.
   /// Results are bit-identical at any value (the engines' determinism
@@ -129,13 +151,16 @@ RunReport run(AlgorithmId algorithm, BackendId backend,
 /// Registry: stable names for the command line and for reports.
 const std::vector<AlgorithmId>& all_algorithms();
 const std::vector<BackendId>& all_backends();
+const std::vector<BfsDirection>& all_directions();
 std::string algorithm_name(AlgorithmId a);
 std::string backend_name(BackendId b);
+std::string direction_name(BfsDirection d);
 
 /// Parse a registry name. Unknown names throw std::invalid_argument whose
 /// message lists the valid names and leads with the closest match ("did
 /// you mean ...?").
 AlgorithmId parse_algorithm(const std::string& name);
 BackendId parse_backend(const std::string& name);
+BfsDirection parse_direction(const std::string& name);
 
 }  // namespace xg

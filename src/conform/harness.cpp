@@ -39,10 +39,12 @@ cluster::FaultPlan conformance_fault_plan(std::uint32_t machines,
 }
 
 RunOptions make_run_options(const HarnessOptions& opt, unsigned threads,
-                            vid_t source, bool faulted) {
+                            vid_t source, bool faulted,
+                            BfsDirection direction) {
   RunOptions ro;
   ro.source = source;
   ro.threads = threads;
+  ro.direction = direction;
   ro.sim.processors = opt.sim_processors;
   if (faulted) {
     ro.cluster.checkpoint_interval = 2;
@@ -55,9 +57,11 @@ RunOptions make_run_options(const HarnessOptions& opt, unsigned threads,
 /// flag-guarded injection (the mutation the harness must catch).
 Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
                  const HarnessOptions& opt, unsigned threads, vid_t source,
-                 bool faulted) {
-  auto rep = xg::run(alg, backend, g, make_run_options(opt, threads, source,
-                                                       faulted));
+                 bool faulted,
+                 BfsDirection direction = BfsDirection::kAuto) {
+  auto rep = xg::run(alg, backend, g,
+                     make_run_options(opt, threads, source, faulted,
+                                      direction));
   if (opt.inject == Inject::kCcLastVertex &&
       alg == AlgorithmId::kConnectedComponents && backend == BackendId::kBsp &&
       !rep.components.empty()) {
@@ -107,12 +111,24 @@ std::optional<std::string> diff_payload(AlgorithmId alg, const Payload& a,
 std::string CheckSpec::describe() const {
   const std::string alg = algorithm_name(algorithm);
   switch (kind) {
-    case Kind::kBackendPair:
-      if (a == b) {
-        return alg + ": " + backend_name(a) + " threads " +
+    case Kind::kBackendPair: {
+      const auto side = [](BackendId backend, BfsDirection d) {
+        std::string s = backend_name(backend);
+        if (d != BfsDirection::kAuto) s += "/" + direction_name(d);
+        return s;
+      };
+      if (a == b && direction_a == direction_b) {
+        return alg + ": " + side(a, direction_a) + " threads " +
                std::to_string(threads_a) + " vs " + std::to_string(threads_b);
       }
-      return alg + ": " + backend_name(a) + " vs " + backend_name(b);
+      std::string s = alg + ": " + side(a, direction_a) + " vs " +
+                      side(b, direction_b);
+      if (threads_a != threads_b) {
+        s += " (threads " + std::to_string(threads_a) + " vs " +
+             std::to_string(threads_b) + ")";
+      }
+      return s;
+    }
     case Kind::kFaultedCluster:
       return alg + ": cluster fault-free vs faulted";
     case Kind::kPermutation:
@@ -135,10 +151,10 @@ std::optional<std::string> run_check(const CheckSpec& spec,
     case CheckSpec::Kind::kBackendPair: {
       const auto lhs =
           run_side(spec.algorithm, spec.a, g, opt, spec.threads_a, source,
-                   /*faulted=*/false);
+                   /*faulted=*/false, spec.direction_a);
       const auto rhs =
           run_side(spec.algorithm, spec.b, g, opt, spec.threads_b, source,
-                   /*faulted=*/false);
+                   /*faulted=*/false, spec.direction_b);
       return diff_payload(spec.algorithm, lhs, rhs);
     }
     case CheckSpec::Kind::kFaultedCluster: {
@@ -213,6 +229,29 @@ std::vector<CheckSpec> enumerate_checks(const HarnessOptions& opt) {
         if (b == BackendId::kReference) continue;
         out.push_back({alg, CheckSpec::Kind::kBackendPair, b, b, base,
                        opt.thread_counts[t]});
+      }
+    }
+    // Hybrid-vs-level-sync BFS differential: on every backend with a
+    // hybrid kernel, forced top-down at the baseline thread count is the
+    // reference side; every other (direction, threads) combination must
+    // return identical distances.
+    if (alg == AlgorithmId::kBfs && opt.direction_modes) {
+      for (const auto b : {BackendId::kNative, BackendId::kGraphct}) {
+        if (!has_backend(b)) continue;
+        for (const auto d :
+             {BfsDirection::kAuto, BfsDirection::kTopDown,
+              BfsDirection::kHybrid}) {
+          for (std::size_t t = 0; t < opt.thread_counts.size(); ++t) {
+            if (d == BfsDirection::kTopDown && opt.thread_counts[t] == base) {
+              continue;  // that's the reference side itself
+            }
+            CheckSpec spec{alg, CheckSpec::Kind::kBackendPair, b, b, base,
+                           opt.thread_counts[t]};
+            spec.direction_a = BfsDirection::kTopDown;
+            spec.direction_b = d;
+            out.push_back(spec);
+          }
+        }
       }
     }
     if (opt.faulted_cluster && has_cluster) {

@@ -41,6 +41,11 @@ struct CheckSpec {
   BackendId b = BackendId::kReference;
   unsigned threads_a = 1;
   unsigned threads_b = 1;
+  /// BFS direction mode per side (kBackendPair): the hybrid-vs-level-sync
+  /// differential that pins down "direction is a performance choice, not a
+  /// semantic one" across backends and thread counts.
+  BfsDirection direction_a = BfsDirection::kAuto;
+  BfsDirection direction_b = BfsDirection::kAuto;
 
   std::string describe() const;
 };
@@ -51,6 +56,9 @@ struct HarnessOptions {
   /// First entry is the baseline every cross-backend diff runs at; the
   /// rest re-run every thread-capable backend and diff against it.
   std::vector<unsigned> thread_counts = {1, 2, 8};
+  /// Diff every BFS direction mode against forced top-down on the backends
+  /// with a hybrid kernel (native, graphct), at every thread count.
+  bool direction_modes = true;
   /// Diff a faulted cluster run (crash + straggler + flaky network +
   /// checkpointing) against the fault-free one.
   bool faulted_cluster = true;

@@ -1,0 +1,62 @@
+#include "exp/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define XG_HAVE_RUSAGE 1
+#endif
+
+namespace xg::exp {
+
+namespace {
+
+/// Read "<Key>:  <kB> kB" from /proc/self/status. Returns 0 when the file
+/// or key is missing (non-Linux).
+std::uint64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  const std::size_t key_len = std::strlen(key);
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+  if (const std::uint64_t kb = proc_status_kb("VmHWM"); kb != 0) {
+    return kb * 1024;
+  }
+#ifdef XG_HAVE_RUSAGE
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    // Linux reports kilobytes, macOS bytes; scale the former.
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t current_rss_bytes() {
+  if (const std::uint64_t kb = proc_status_kb("VmRSS"); kb != 0) {
+    return kb * 1024;
+  }
+  return 0;
+}
+
+}  // namespace xg::exp

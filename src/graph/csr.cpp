@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 namespace xg::graph {
 
@@ -74,6 +75,32 @@ CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
     g.weights_.resize(write);
     g.weights_.shrink_to_fit();
   }
+  return g;
+}
+
+CSRGraph CSRGraph::from_parts(std::vector<eid_t> offsets,
+                              std::vector<vid_t> adj,
+                              std::vector<double> weights) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != adj.size()) {
+    throw std::invalid_argument(
+        "CSRGraph::from_parts: offsets must start at 0 and end at "
+        "adj.size()");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw std::invalid_argument(
+          "CSRGraph::from_parts: offsets must be non-decreasing");
+    }
+  }
+  if (!weights.empty() && weights.size() != adj.size()) {
+    throw std::invalid_argument(
+        "CSRGraph::from_parts: weights must be empty or parallel to adj");
+  }
+  CSRGraph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  g.weights_ = std::move(weights);
   return g;
 }
 

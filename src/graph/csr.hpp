@@ -35,6 +35,14 @@ class CSRGraph {
   static CSRGraph build(const EdgeList& edges, const BuildOptions& opt = {},
                         bool keep_weights = false);
 
+  /// Adopt already-built CSR arrays (the streamed builders' exit).
+  /// `offsets` must have size n+1 with offsets[0] == 0, be non-decreasing,
+  /// and end at adj.size(); `weights` is empty or parallel to `adj`.
+  /// Throws std::invalid_argument otherwise.
+  static CSRGraph from_parts(std::vector<eid_t> offsets,
+                             std::vector<vid_t> adj,
+                             std::vector<double> weights = {});
+
   vid_t num_vertices() const { return static_cast<vid_t>(offsets_.empty() ? 0 : offsets_.size() - 1); }
 
   /// Number of stored arcs (an undirected edge counts twice).

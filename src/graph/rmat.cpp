@@ -6,40 +6,28 @@
 
 namespace xg::graph {
 
-EdgeList rmat_edges(const RmatParams& p) {
+void validate_rmat_params(const RmatParams& p) {
   if (p.scale == 0 || p.scale > 31) {
-    throw std::invalid_argument("rmat_edges: scale must be in [1, 31]");
+    throw std::invalid_argument("rmat: scale must be in [1, 31]");
   }
   const double sum = p.a + p.b + p.c + p.d;
   if (sum < 0.999 || sum > 1.001) {
-    throw std::invalid_argument("rmat_edges: probabilities must sum to 1");
+    throw std::invalid_argument("rmat: probabilities must sum to 1");
   }
+}
+
+EdgeList rmat_edges(const RmatParams& p) {
+  validate_rmat_params(p);
 
   const vid_t n = static_cast<vid_t>(p.num_vertices());
   EdgeList list(n);
   list.reserve(p.num_edges());
   Rng rng(p.seed);
 
-  const double ab = p.a + p.b;
-  const double abc = p.a + p.b + p.c;
   for (std::uint64_t e = 0; e < p.num_edges(); ++e) {
     vid_t row = 0;
     vid_t col = 0;
-    for (std::uint32_t level = 0; level < p.scale; ++level) {
-      const double r = rng.uniform01();
-      row <<= 1;
-      col <<= 1;
-      if (r < p.a) {
-        // top-left quadrant: neither bit set
-      } else if (r < ab) {
-        col |= 1;  // top-right
-      } else if (r < abc) {
-        row |= 1;  // bottom-left
-      } else {
-        row |= 1;  // bottom-right
-        col |= 1;
-      }
-    }
+    detail::rmat_edge(rng, p, row, col);
     list.add(row, col);
   }
   return list;

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "graph/edge_list.hpp"
+#include "graph/rng.hpp"
 
 namespace xg::graph {
 
@@ -26,5 +27,40 @@ struct RmatParams {
 /// Generate a directed R-MAT edge list (self loops and duplicates included,
 /// exactly as the generator emits them; the CSR builder cleans them up).
 EdgeList rmat_edges(const RmatParams& p);
+
+/// Throws std::invalid_argument unless `p` is generatable (scale in
+/// [1, 31], probabilities summing to 1).
+void validate_rmat_params(const RmatParams& p);
+
+namespace detail {
+
+/// One quadrant descent: the (row, col) of edge draw using exactly
+/// `p.scale` uniform01 draws from `rng`. Both the edge-list generator and
+/// the streamed CSR builder call this, which is what makes their graphs
+/// bit-identical — edge e of seed s is this function applied to
+/// Rng(s).jump(e * p.scale).
+inline void rmat_edge(Rng& rng, const RmatParams& p, vid_t& row, vid_t& col) {
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  row = 0;
+  col = 0;
+  for (std::uint32_t level = 0; level < p.scale; ++level) {
+    const double r = rng.uniform01();
+    row <<= 1;
+    col <<= 1;
+    if (r < p.a) {
+      // top-left quadrant: neither bit set
+    } else if (r < ab) {
+      col |= 1;  // top-right
+    } else if (r < abc) {
+      row |= 1;  // bottom-left
+    } else {
+      row |= 1;  // bottom-right
+      col |= 1;
+    }
+  }
+}
+
+}  // namespace detail
 
 }  // namespace xg::graph

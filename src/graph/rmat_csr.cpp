@@ -1,0 +1,125 @@
+#include "graph/rmat_csr.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "graph/rng.hpp"
+#include "host/thread_pool.hpp"
+
+namespace xg::graph {
+
+namespace {
+
+/// Edges regenerated per parallel task. Big enough to amortize the task
+/// dispatch, small enough to balance the pool on skewed hosts.
+constexpr std::uint64_t kEdgeBlock = 1u << 16;
+
+/// Run `body(src, dst)` for every generated edge, fanned out over the host
+/// pool in blocks. Each block jumps the RNG straight to its first edge, so
+/// the sweep is embarrassingly parallel yet draws the exact stream the
+/// serial generator would.
+template <typename Body>
+void for_each_rmat_edge(const RmatParams& p, const Body& body) {
+  const std::uint64_t m = p.num_edges();
+  const std::uint64_t blocks = (m + kEdgeBlock - 1) / kEdgeBlock;
+  const Rng base(p.seed);
+  host::pool().parallel_for_tasks(blocks, [&](std::uint64_t block) {
+    const std::uint64_t begin = block * kEdgeBlock;
+    const std::uint64_t end = std::min(begin + kEdgeBlock, m);
+    Rng rng = base.jump(begin * p.scale);
+    for (std::uint64_t e = begin; e < end; ++e) {
+      vid_t row = 0;
+      vid_t col = 0;
+      detail::rmat_edge(rng, p, row, col);
+      body(row, col);
+    }
+  });
+}
+
+}  // namespace
+
+CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
+  validate_rmat_params(p);
+  if (!opt.sort_adjacency) {
+    throw std::invalid_argument(
+        "rmat_csr: sort_adjacency is required (unsorted rows would expose "
+        "the parallel scatter order; use CSRGraph::build(rmat_edges(p)))");
+  }
+
+  auto& pool = host::pool();
+  const std::uint64_t n = p.num_vertices();
+
+  // Pass 1: regenerate every edge and count arcs per vertex. The adds
+  // commute, so the atomic counters are deterministic.
+  auto count = std::make_unique<std::atomic<eid_t>[]>(n);
+  pool.parallel_for(n, [&](std::uint64_t v) {
+    count[v].store(0, std::memory_order_relaxed);
+  });
+  for_each_rmat_edge(p, [&](vid_t src, vid_t dst) {
+    if (opt.remove_self_loops && src == dst) return;
+    count[src].fetch_add(1, std::memory_order_relaxed);
+    if (opt.make_undirected) count[dst].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::vector<eid_t> offsets(n + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + count[v].load(std::memory_order_relaxed);
+  }
+
+  // Pass 2: regenerate again and scatter arcs into their rows. The slot a
+  // given arc lands in depends on scheduling, but sorting erases that —
+  // row contents are a multiset, and its sorted form is unique.
+  std::vector<vid_t> adj(offsets[n]);
+  pool.parallel_for(n, [&](std::uint64_t v) {
+    count[v].store(0, std::memory_order_relaxed);
+  });
+  auto put = [&](vid_t s, vid_t d) {
+    adj[offsets[s] + count[s].fetch_add(1, std::memory_order_relaxed)] = d;
+  };
+  for_each_rmat_edge(p, [&](vid_t src, vid_t dst) {
+    if (opt.remove_self_loops && src == dst) return;
+    put(src, dst);
+    if (opt.make_undirected) put(dst, src);
+  });
+  count.reset();
+
+  // Pass 3: sort each row in place (rows never share array elements, so
+  // per-row tasks are race-free), dedup within the row, and record the
+  // surviving degree.
+  std::vector<eid_t> new_degree(n, 0);
+  pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t v = b; v < e; ++v) {
+      vid_t* lo = adj.data() + offsets[v];
+      vid_t* hi = adj.data() + offsets[v + 1];
+      std::sort(lo, hi);
+      new_degree[v] = static_cast<eid_t>(
+          opt.dedup ? std::unique(lo, hi) - lo : hi - lo);
+    }
+  });
+
+  // Serial left-shift compaction: rows only ever move down, so a single
+  // ascending pass is safe; a concurrent one is not (row k's new home can
+  // overlap row k-1's old one).
+  std::vector<eid_t> new_offsets(n + 1, 0);
+  eid_t write = 0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const eid_t lo = offsets[v];
+    const eid_t deg = new_degree[v];
+    if (write != lo) {
+      std::copy(adj.begin() + static_cast<std::ptrdiff_t>(lo),
+                adj.begin() + static_cast<std::ptrdiff_t>(lo + deg),
+                adj.begin() + static_cast<std::ptrdiff_t>(write));
+    }
+    write += deg;
+    new_offsets[v + 1] = write;
+  }
+  // Trim without shrink_to_fit: a shrink reallocates and briefly holds
+  // both buffers, which would undo the streaming's peak-memory win.
+  adj.resize(write);
+
+  return CSRGraph::from_parts(std::move(new_offsets), std::move(adj));
+}
+
+}  // namespace xg::graph

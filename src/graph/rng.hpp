@@ -38,6 +38,15 @@ class Rng {
     return Rng(next() ^ (0xD1B54A32D192ED03ull * (salt + 1)));
   }
 
+  /// The generator whose draw stream starts `calls` draws ahead of this
+  /// one's. SplitMix64's state advances by a fixed odd constant per draw,
+  /// so skipping is a single wrapping multiply — the property the streamed
+  /// R-MAT builder uses to regenerate any edge block in parallel without
+  /// replaying the stream.
+  Rng jump(std::uint64_t calls) const {
+    return Rng(state_ + calls * 0x9E3779B97F4A7C15ull);
+  }
+
  private:
   std::uint64_t state_;
 };

@@ -4,14 +4,24 @@
 #include <atomic>
 #include <limits>
 #include <memory>
-#include <mutex>
+#include <mutex>  // sssp's non-monotone frontier merge (BFS is lane-staged)
 #include <stdexcept>
 
 #include "graph/reference/components.hpp"
+#include "native/sliding_queue.hpp"
 
 namespace xg::native {
 
 using graph::vid_t;
+
+namespace {
+
+/// Frontier vertices per staging lane in the top-down BFS steps. Lane
+/// boundaries depend only on the frontier size, never the thread count —
+/// the determinism contract the ordered lane merge relies on.
+constexpr std::uint64_t kFrontierGrain = 64;
+
+}  // namespace
 
 NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
                     vid_t source) {
@@ -25,37 +35,33 @@ NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
   dist[source].store(0, std::memory_order_relaxed);
 
   NativeBfsResult r;
-  std::vector<vid_t> frontier{source};
-  std::vector<vid_t> next;
-  std::mutex next_mutex;
+  SlidingQueue queue(n);
+  queue.push_seed(source);
   std::uint32_t level = 0;
   r.reached = 1;
 
-  while (!frontier.empty()) {
-    r.level_sizes.push_back(static_cast<vid_t>(frontier.size()));
-    next.clear();
-    pool.parallel_for_ranges(
-        frontier.size(), 64,
-        [&](std::uint64_t b, std::uint64_t e) {
-          std::vector<vid_t> local;
-          for (std::uint64_t i = b; i < e; ++i) {
-            const vid_t v = frontier[i];
-            for (vid_t u : g.neighbors(v)) {
-              std::uint32_t expect = graph::kInfDist;
-              if (dist[u].load(std::memory_order_relaxed) == graph::kInfDist &&
-                  dist[u].compare_exchange_strong(expect, level + 1,
-                                                  std::memory_order_relaxed)) {
-                local.push_back(u);
-              }
-            }
+  while (!queue.window_empty()) {
+    const std::uint64_t fsize = queue.window_size();
+    r.level_sizes.push_back(static_cast<vid_t>(fsize));
+    const std::uint64_t tasks = (fsize + kFrontierGrain - 1) / kFrontierGrain;
+    queue.resize_lanes(tasks);
+    pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+      const std::uint64_t b = t * kFrontierGrain;
+      const std::uint64_t e = std::min(b + kFrontierGrain, fsize);
+      for (std::uint64_t i = b; i < e; ++i) {
+        const vid_t v = queue.window_at(i);
+        for (vid_t u : g.neighbors(v)) {
+          std::uint32_t expect = graph::kInfDist;
+          if (dist[u].load(std::memory_order_relaxed) == graph::kInfDist &&
+              dist[u].compare_exchange_strong(expect, level + 1,
+                                              std::memory_order_relaxed)) {
+            queue.push(t, u);
           }
-          if (!local.empty()) {
-            std::lock_guard lock(next_mutex);
-            next.insert(next.end(), local.begin(), local.end());
-          }
-        });
-    r.reached += static_cast<vid_t>(next.size());
-    frontier.swap(next);
+        }
+      }
+    });
+    queue.slide();
+    r.reached += static_cast<vid_t>(queue.window_size());
     ++level;
   }
 
@@ -72,10 +78,21 @@ std::vector<vid_t> connected_components(ThreadPool& pool,
   auto label = std::make_unique<std::atomic<vid_t>[]>(n);
   for (vid_t v = 0; v < n; ++v) label[v].store(v, std::memory_order_relaxed);
 
-  std::atomic<bool> changed{true};
-  while (changed.load(std::memory_order_relaxed)) {
-    changed.store(false, std::memory_order_relaxed);
-    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+  // Convergence is detected through per-lane change flags: each task owns
+  // one byte it writes at most once per round, and the flags are folded
+  // serially at the round barrier — no cross-thread stores to one shared
+  // atomic on every label improvement.
+  constexpr std::uint64_t kGrain = 256;
+  const std::uint64_t tasks = (static_cast<std::uint64_t>(n) + kGrain - 1) /
+                              kGrain;
+  std::vector<std::uint8_t> lane_changed(tasks, 0);
+  bool changed = n > 0;
+  while (changed) {
+    std::fill(lane_changed.begin(), lane_changed.end(), 0);
+    pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+      const std::uint64_t b = t * kGrain;
+      const std::uint64_t e =
+          std::min(b + kGrain, static_cast<std::uint64_t>(n));
       bool any = false;
       for (std::uint64_t vi = b; vi < e; ++vi) {
         const vid_t v = static_cast<vid_t>(vi);
@@ -91,8 +108,10 @@ std::vector<vid_t> connected_components(ThreadPool& pool,
         }
         if (best < cur) any = true;
       }
-      if (any) changed.store(true, std::memory_order_relaxed);
+      if (any) lane_changed[t] = 1;
     });
+    changed = std::find(lane_changed.begin(), lane_changed.end(), 1) !=
+              lane_changed.end();
   }
 
   std::vector<vid_t> out(n);

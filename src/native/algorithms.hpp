@@ -20,14 +20,38 @@ using ThreadPool = host::ThreadPool;
 /// graph-analytics package.
 
 /// Level-synchronous parallel BFS; discovery races are settled with
-/// compare-and-swap on the distance word.
+/// compare-and-swap on the distance word. The next frontier is staged in
+/// per-lane queues and concatenated in lane order at the level barrier, so
+/// frontier contents and order are identical at any thread count.
 struct NativeBfsResult {
   std::vector<std::uint32_t> distance;
   std::vector<graph::vid_t> level_sizes;
+  /// bfs_hybrid only: 1 where the level ran bottom-up, 0 top-down (parallel
+  /// to level_sizes; empty for the always-top-down bfs()).
+  std::vector<std::uint8_t> level_bottom_up;
   graph::vid_t reached = 0;
 };
 NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
                     graph::vid_t source);
+
+/// Beamer-style direction-optimizing BFS (SC'12): top-down levels push the
+/// frontier through sliding queues exactly like bfs(); once the frontier's
+/// outgoing edge volume passes `1/alpha` of the edges still incident to
+/// undiscovered vertices, levels flip bottom-up — every undiscovered vertex
+/// scans its own adjacency for a frontier parent in a bitmap and stops at
+/// the first hit — then flip back top-down when the frontier shrinks below
+/// `n / beta`. Distances, level sizes and reached counts are identical to
+/// bfs() (only the traversal order of each level changes), and the result
+/// is bit-identical at any thread count.
+struct HybridBfsOptions {
+  /// Top-down -> bottom-up when frontier_edges > unexplored_edges / alpha.
+  double alpha = 14.0;
+  /// Bottom-up -> top-down when the frontier drops below n / beta vertices.
+  double beta = 24.0;
+};
+NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
+                           graph::vid_t source,
+                           const HybridBfsOptions& opt = {});
 
 /// Label-propagation connected components with atomic-min label updates;
 /// labels are canonical minimum-member ids.

@@ -1,0 +1,175 @@
+// Direction-optimizing BFS on the native backend (Beamer, Asanović,
+// Patterson, SC'12; the PaperWasp hybrid_bfs shape on the deterministic
+// host pool).
+//
+// Top-down levels are the sliding-queue push search of native::bfs.
+// Bottom-up levels invert the work: every *undiscovered* vertex probes its
+// own adjacency against a frontier bitmap and claims the first parent it
+// finds. On the apex levels of a small-world graph the frontier touches
+// nearly every edge, so the push search re-examines almost all m arcs while
+// the pull search stops at the first hit per vertex — the multi-x win the
+// paper's §IV alludes to and Figure 2's wasted-message curve measures in
+// BSP terms.
+//
+// Every phase is deterministic at any thread count: top-down lanes merge in
+// lane order, bottom-up writes are owner-exclusive per vertex, and the
+// direction heuristic reads only level-global counters.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "native/algorithms.hpp"
+#include "native/bitmap.hpp"
+#include "native/sliding_queue.hpp"
+
+namespace xg::native {
+
+using graph::vid_t;
+
+namespace {
+
+constexpr std::uint64_t kFrontierGrain = 64;  ///< top-down lane width
+constexpr std::uint64_t kVertexGrain = 1024;  ///< bottom-up vertices per task
+
+/// Per-task tallies for one level, folded serially at the barrier.
+/// Cache-line sized so neighboring tasks never share a line.
+struct alignas(64) LaneTally {
+  std::uint64_t discovered = 0;
+  std::uint64_t out_degree = 0;  ///< summed degrees of discovered vertices
+};
+
+}  // namespace
+
+NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
+                           vid_t source, const HybridBfsOptions& opt) {
+  const vid_t n = g.num_vertices();
+  if (source >= n) throw std::out_of_range("native::bfs_hybrid: bad source");
+  if (opt.alpha <= 0.0 || opt.beta <= 0.0) {
+    throw std::invalid_argument("native::bfs_hybrid: alpha/beta must be > 0");
+  }
+
+  auto dist = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  for (vid_t v = 0; v < n; ++v) {
+    dist[v].store(graph::kInfDist, std::memory_order_relaxed);
+  }
+  dist[source].store(0, std::memory_order_relaxed);
+
+  NativeBfsResult r;
+  SlidingQueue queue(n);
+  queue.push_seed(source);
+  Bitmap front;  // frontier as bits (valid while running bottom-up)
+  Bitmap next;   // next frontier being built by a bottom-up level
+
+  std::vector<LaneTally> tallies;
+  bool bottom_up = false;
+  std::uint64_t nf = 1;                  // |frontier|
+  std::uint64_t mf = g.degree(source);   // edges out of the frontier
+  std::uint64_t mu = g.num_arcs() - mf;  // edges out of unexplored vertices
+  std::uint32_t level = 0;
+  r.reached = 1;
+
+  while (nf > 0) {
+    r.level_sizes.push_back(static_cast<vid_t>(nf));
+
+    // Direction for this level (Beamer's two-threshold hysteresis). The
+    // inputs are level-global counters, so the choice is deterministic.
+    const bool go_bottom_up =
+        bottom_up ? static_cast<double>(nf) >= n / opt.beta
+                  : static_cast<double>(mf) > mu / opt.alpha;
+    if (go_bottom_up != bottom_up) {
+      if (go_bottom_up) {
+        // Queue window -> bitmap. Bit sets commute, so the parallel fill
+        // is order-independent.
+        front.reset(n);
+        const std::uint64_t fsize = queue.window_size();
+        pool.parallel_for_ranges(
+            fsize, kFrontierGrain, [&](std::uint64_t b, std::uint64_t e) {
+              for (std::uint64_t i = b; i < e; ++i) front.set(queue.window_at(i));
+            });
+      } else {
+        // Bitmap -> queue window, in ascending vertex order.
+        queue.slide_from_bitmap(front);
+      }
+      bottom_up = go_bottom_up;
+    }
+    r.level_bottom_up.push_back(bottom_up ? 1 : 0);
+
+    std::uint64_t next_nf = 0;
+    std::uint64_t next_mf = 0;
+    if (bottom_up) {
+      next.reset(n);
+      const std::uint64_t tasks =
+          (static_cast<std::uint64_t>(n) + kVertexGrain - 1) / kVertexGrain;
+      tallies.assign(tasks, {});
+      pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+        const std::uint64_t b = t * kVertexGrain;
+        const std::uint64_t e =
+            std::min(b + kVertexGrain, static_cast<std::uint64_t>(n));
+        LaneTally& tally = tallies[t];
+        for (std::uint64_t vi = b; vi < e; ++vi) {
+          const vid_t v = static_cast<vid_t>(vi);
+          if (dist[v].load(std::memory_order_relaxed) != graph::kInfDist) {
+            continue;
+          }
+          for (const vid_t u : g.neighbors(v)) {
+            if (front.get(u)) {
+              // v is owned by this task; only the shared bitmap word
+              // needs an atomic.
+              dist[v].store(level + 1, std::memory_order_relaxed);
+              next.set(v);
+              ++tally.discovered;
+              tally.out_degree += g.degree(v);
+              break;
+            }
+          }
+        }
+      });
+      front.swap(next);
+    } else {
+      const std::uint64_t fsize = queue.window_size();
+      const std::uint64_t tasks =
+          (fsize + kFrontierGrain - 1) / kFrontierGrain;
+      queue.resize_lanes(tasks);
+      tallies.assign(tasks, {});
+      pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+        const std::uint64_t b = t * kFrontierGrain;
+        const std::uint64_t e = std::min(b + kFrontierGrain, fsize);
+        LaneTally& tally = tallies[t];
+        for (std::uint64_t i = b; i < e; ++i) {
+          const vid_t v = queue.window_at(i);
+          for (const vid_t u : g.neighbors(v)) {
+            std::uint32_t expect = graph::kInfDist;
+            if (dist[u].load(std::memory_order_relaxed) == graph::kInfDist &&
+                dist[u].compare_exchange_strong(expect, level + 1,
+                                                std::memory_order_relaxed)) {
+              queue.push(t, u);
+              ++tally.discovered;
+              tally.out_degree += g.degree(u);
+            }
+          }
+        }
+      });
+      queue.slide();
+    }
+    for (const LaneTally& tally : tallies) {
+      next_nf += tally.discovered;
+      next_mf += tally.out_degree;
+    }
+
+    r.reached += static_cast<vid_t>(next_nf);
+    mu -= next_mf;  // the new frontier's vertices leave the unexplored set
+    nf = next_nf;
+    mf = next_mf;
+    ++level;
+  }
+
+  r.distance.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    r.distance[v] = dist[v].load(std::memory_order_relaxed);
+  }
+  return r;
+}
+
+}  // namespace xg::native

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "graph/types.hpp"
+
+namespace xg::native {
+
+/// Dense bit-per-vertex set backing the hybrid BFS frontiers (the
+/// PaperWasp / GAP `bitmap.h` shape, on std::atomic words).
+///
+/// Reads and the common set path are relaxed: every phase that writes the
+/// bitmap is separated from its readers by the thread pool's fork-join
+/// barrier, so the only concurrency to defend against is two vertices in
+/// the same 64-bit word being set by different workers — `fetch_or`
+/// handles that, and the result is order-independent (set-of-bits), which
+/// keeps the parallel phases deterministic.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint64_t bits) { reset(bits); }
+
+  /// Resize to `bits` and clear. Reallocates only when growing.
+  void reset(std::uint64_t bits) {
+    const std::uint64_t need = words_for(bits);
+    if (need > words_capacity_) {
+      words_ = std::make_unique<std::atomic<std::uint64_t>[]>(need);
+      words_capacity_ = need;
+    }
+    bits_ = bits;
+    num_words_ = need;
+    clear();
+  }
+
+  void clear() {
+    // The pool barrier orders this against subsequent parallel phases, so
+    // plain stores through the atomic words are enough.
+    for (std::uint64_t w = 0; w < num_words_; ++w) {
+      words_[w].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::uint64_t size() const { return bits_; }
+
+  bool get(std::uint64_t i) const {
+    return (words_[i >> 6].load(std::memory_order_relaxed) >>
+            (i & 63)) & 1u;
+  }
+
+  /// Set bit `i`; safe against concurrent setters of the same word.
+  void set(std::uint64_t i) {
+    words_[i >> 6].fetch_or(1ull << (i & 63), std::memory_order_relaxed);
+  }
+
+  /// Set bit `i` iff it was clear; returns true when this call flipped it.
+  /// This is the discovery CAS of the bottom-up step collapsed into one
+  /// fetch_or.
+  bool set_if_clear(std::uint64_t i) {
+    const std::uint64_t mask = 1ull << (i & 63);
+    return (words_[i >> 6].fetch_or(mask, std::memory_order_relaxed) &
+            mask) == 0;
+  }
+
+  /// Population count (serial; used for bookkeeping, not hot paths).
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t w = 0; w < num_words_; ++w) {
+      total += static_cast<std::uint64_t>(
+          __builtin_popcountll(words_[w].load(std::memory_order_relaxed)));
+    }
+    return total;
+  }
+
+  void swap(Bitmap& other) {
+    words_.swap(other.words_);
+    std::swap(bits_, other.bits_);
+    std::swap(num_words_, other.num_words_);
+    std::swap(words_capacity_, other.words_capacity_);
+  }
+
+  static std::uint64_t words_for(std::uint64_t bits) {
+    return (bits + 63) >> 6;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+  std::uint64_t bits_ = 0;
+  std::uint64_t num_words_ = 0;
+  std::uint64_t words_capacity_ = 0;
+};
+
+}  // namespace xg::native

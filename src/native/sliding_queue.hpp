@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "host/thread_pool.hpp"
+
+namespace xg::native {
+
+/// Frontier queue in the PaperWasp / GAP `sliding_queue.h` shape, made
+/// deterministic: one shared array holds every vertex ever enqueued, and a
+/// [begin, end) window marks the current frontier. Workers do not
+/// fetch-and-add a shared tail (that order depends on thread timing);
+/// instead each parallel task appends to its own lane, and `slide()`
+/// concatenates the lanes *in lane order* after the fork-join barrier.
+/// Task indices are stable under the pool's determinism contract, so the
+/// next window's contents and order are identical at any thread count —
+/// the same idiom the BSP engine uses for message staging.
+class SlidingQueue {
+ public:
+  using vid_t = graph::vid_t;
+
+  explicit SlidingQueue(std::uint64_t capacity_hint = 0) {
+    storage_.reserve(capacity_hint);
+  }
+
+  /// Seed the first window (serial, before any slide).
+  void push_seed(vid_t v) { storage_.push_back(v); }
+
+  const vid_t* window_begin() const { return storage_.data() + begin_; }
+  std::uint64_t window_size() const { return storage_.size() - begin_; }
+  bool window_empty() const { return window_size() == 0; }
+  vid_t window_at(std::uint64_t i) const { return storage_[begin_ + i]; }
+
+  /// Prepare `n` private staging lanes for the next parallel phase. Lane
+  /// buffers persist across levels, so steady-state appends never allocate.
+  void resize_lanes(std::uint64_t n) {
+    if (lanes_.size() < n) lanes_.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) lanes_[i].clear();
+    active_lanes_ = n;
+  }
+
+  /// Append to lane `lane` (exclusive to the task that owns it).
+  void push(std::uint64_t lane, vid_t v) { lanes_[lane].push_back(v); }
+
+  /// Retire the current window and publish the concatenated lanes as the
+  /// next one. Call only between parallel phases.
+  void slide() {
+    begin_ = storage_.size();
+    for (std::uint64_t i = 0; i < active_lanes_; ++i) {
+      storage_.insert(storage_.end(), lanes_[i].begin(), lanes_[i].end());
+    }
+  }
+
+  /// Replace the window with the vertices listed ascending in `bits`
+  /// (bottom-up -> top-down conversion; scan order makes it deterministic).
+  template <typename BitmapT>
+  void slide_from_bitmap(const BitmapT& bits) {
+    begin_ = storage_.size();
+    const std::uint64_t n = bits.size();
+    for (std::uint64_t v = 0; v < n; ++v) {
+      if (bits.get(v)) storage_.push_back(static_cast<vid_t>(v));
+    }
+  }
+
+  /// Every vertex enqueued so far, in discovery order (diagnostics).
+  std::uint64_t total_pushed() const { return storage_.size(); }
+
+ private:
+  std::vector<vid_t> storage_;
+  std::uint64_t begin_ = 0;
+  std::vector<std::vector<vid_t>> lanes_;
+  std::uint64_t active_lanes_ = 0;
+};
+
+}  // namespace xg::native

@@ -133,6 +133,27 @@ TEST(Run, BfsSourceOutOfRangeThrows) {
                std::invalid_argument);
 }
 
+TEST(Run, DirectionModeIsPerformanceOnlyOnEveryBackend) {
+  // kAuto / kTopDown / kHybrid may pick different traversal orders but
+  // must return identical distances everywhere; backends without a hybrid
+  // kernel simply ignore the knob.
+  const auto g = small_rmat();
+  auto opt = small_sim();
+  opt.source = g.max_degree_vertex();
+  for (const auto backend : all_backends()) {
+    opt.direction = BfsDirection::kTopDown;
+    const auto top_down = run(AlgorithmId::kBfs, backend, g, opt);
+    for (const auto d : all_directions()) {
+      opt.direction = d;
+      const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+      EXPECT_EQ(rep.distance, top_down.distance)
+          << backend_name(backend) << "/" << direction_name(d);
+      EXPECT_EQ(rep.reached, top_down.reached)
+          << backend_name(backend) << "/" << direction_name(d);
+    }
+  }
+}
+
 // --- registry ------------------------------------------------------------
 
 TEST(Registry, NamesRoundTrip) {
@@ -141,6 +162,20 @@ TEST(Registry, NamesRoundTrip) {
   }
   for (const auto b : all_backends()) {
     EXPECT_EQ(parse_backend(backend_name(b)), b);
+  }
+  for (const auto d : all_directions()) {
+    EXPECT_EQ(parse_direction(direction_name(d)), d);
+  }
+}
+
+TEST(Registry, UnknownDirectionSuggestsClosest) {
+  try {
+    parse_direction("hybird");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean 'hybrid'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("auto, top_down, hybrid"), std::string::npos) << msg;
   }
 }
 

@@ -98,6 +98,50 @@ TEST(EnumerateChecks, CoversEveryKindAndRespectsFlags) {
   }
 }
 
+TEST(EnumerateChecks, DirectionModesDiffHybridAgainstTopDown) {
+  const auto opt = fast_options();
+  const auto specs = enumerate_checks(opt);
+  bool native_hybrid = false, graphct_hybrid = false, cross_thread = false;
+  for (const auto& s : specs) {
+    if (s.kind != CheckSpec::Kind::kBackendPair) continue;
+    if (s.direction_a == BfsDirection::kAuto &&
+        s.direction_b == BfsDirection::kAuto) {
+      continue;  // plain backend/thread pair, not a direction check
+    }
+    // Direction checks only exist for BFS and always diff against the
+    // forced top-down reference side on the same backend.
+    EXPECT_EQ(s.algorithm, AlgorithmId::kBfs) << s.describe();
+    EXPECT_EQ(s.a, s.b) << s.describe();
+    EXPECT_EQ(s.direction_a, BfsDirection::kTopDown) << s.describe();
+    if (s.direction_b == BfsDirection::kHybrid) {
+      if (s.a == BackendId::kNative) native_hybrid = true;
+      if (s.a == BackendId::kGraphct) graphct_hybrid = true;
+      if (s.threads_a != s.threads_b) cross_thread = true;
+    }
+  }
+  EXPECT_TRUE(native_hybrid);
+  EXPECT_TRUE(graphct_hybrid);
+  EXPECT_TRUE(cross_thread);
+
+  auto off = fast_options();
+  off.direction_modes = false;
+  for (const auto& s : enumerate_checks(off)) {
+    EXPECT_EQ(s.direction_a, BfsDirection::kAuto) << s.describe();
+    EXPECT_EQ(s.direction_b, BfsDirection::kAuto) << s.describe();
+  }
+}
+
+TEST(CheckSpecDescribe, NamesDirectionsWhenNotAuto) {
+  CheckSpec spec{AlgorithmId::kBfs, CheckSpec::Kind::kBackendPair,
+                 BackendId::kNative, BackendId::kNative, 1, 8};
+  spec.direction_a = BfsDirection::kTopDown;
+  spec.direction_b = BfsDirection::kHybrid;
+  const auto text = spec.describe();
+  EXPECT_NE(text.find("native/top_down"), std::string::npos) << text;
+  EXPECT_NE(text.find("native/hybrid"), std::string::npos) << text;
+  EXPECT_NE(text.find("threads 1 vs 8"), std::string::npos) << text;
+}
+
 TEST(Harness, CleanSweepOverCorpusPrefix) {
   const auto corpus = make_corpus(8, 3);
   const auto report = run_conformance(corpus, fast_options());

@@ -5,7 +5,11 @@
 
 #include <sstream>
 
+#include <cstring>
+#include <vector>
+
 #include "exp/args.hpp"
+#include "exp/rss.hpp"
 #include "exp/sweep.hpp"
 #include "exp/table.hpp"
 #include "exp/workload.hpp"
@@ -198,6 +202,32 @@ TEST(Workload, ProcessorCountsDefault) {
   ASSERT_EQ(procs.size(), 5u);
   EXPECT_EQ(procs.front(), 8u);
   EXPECT_EQ(procs.back(), 128u);
+}
+
+// --- Peak RSS ------------------------------------------------------------------
+
+TEST(Rss, ReportsLivePeakAndCurrent) {
+  const auto peak_before = peak_rss_bytes();
+  const auto current = current_rss_bytes();
+  // Every supported platform (Linux /proc, BSD/macOS getrusage) reports a
+  // nonzero high-water mark for a live process.
+  EXPECT_GT(peak_before, 0u);
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak_before, current);
+}
+
+TEST(Rss, PeakGrowsAfterTouchingALargeAllocation) {
+  const auto before = peak_rss_bytes();
+  // Touch enough resident memory to clear the historic high-water mark by
+  // a comfortable margin, however much earlier tests allocated; memset
+  // keeps the optimizer from eliding the writes.
+  const std::uint64_t target = before + (64u << 20);
+  const std::uint64_t need = target - current_rss_bytes();
+  std::vector<unsigned char> big(static_cast<std::size_t>(need));
+  std::memset(big.data(), 0x5A, big.size());
+  const auto after = peak_rss_bytes();
+  EXPECT_GE(after, before + (32u << 20))
+      << "peak " << before << " -> " << after;
 }
 
 // --- Sweep ---------------------------------------------------------------------

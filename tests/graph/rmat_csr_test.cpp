@@ -1,0 +1,120 @@
+// The streamed R-MAT -> CSR builder's contract is bit-identity: for any
+// (params, build options) it must produce exactly the offsets/adjacency of
+// CSRGraph::build(rmat_edges(p), opt), at any host thread count, without
+// the intermediate EdgeList. These tests pin that across scales, seeds,
+// edgefactors, option variants and thread counts, plus the RNG jump the
+// parallel regeneration depends on.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
+#include "graph/rng.hpp"
+#include "host/thread_pool.hpp"
+
+namespace xg::graph {
+namespace {
+
+void expect_bit_identical(const CSRGraph& streamed, const CSRGraph& built,
+                          const std::string& what) {
+  ASSERT_EQ(streamed.num_vertices(), built.num_vertices()) << what;
+  EXPECT_EQ(streamed.offsets(), built.offsets()) << what;
+  EXPECT_EQ(streamed.adjacency(), built.adjacency()) << what;
+}
+
+TEST(RmatCsr, BitIdenticalAcrossScalesAndSeeds) {
+  for (const std::uint32_t scale : {1u, 4u, 8u, 11u}) {
+    for (const std::uint64_t seed : {1ull, 7ull, 0xDEADBEEFull}) {
+      for (const std::uint32_t edgefactor : {4u, 16u}) {
+        RmatParams p;
+        p.scale = scale;
+        p.edgefactor = edgefactor;
+        p.seed = seed;
+        expect_bit_identical(
+            rmat_csr(p), CSRGraph::build(rmat_edges(p)),
+            "scale=" + std::to_string(scale) + " seed=" +
+                std::to_string(seed) + " ef=" + std::to_string(edgefactor));
+      }
+    }
+  }
+}
+
+TEST(RmatCsr, BitIdenticalUnderEveryOptionVariant) {
+  RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 8;
+  p.seed = 42;
+  const auto edges = rmat_edges(p);
+  for (const bool undirected : {true, false}) {
+    for (const bool drop_loops : {true, false}) {
+      for (const bool dedup : {true, false}) {
+        BuildOptions opt;
+        opt.make_undirected = undirected;
+        opt.remove_self_loops = drop_loops;
+        opt.dedup = dedup;
+        expect_bit_identical(rmat_csr(p, opt), CSRGraph::build(edges, opt),
+                             std::string("undirected=") +
+                                 (undirected ? "1" : "0") + " loops=" +
+                                 (drop_loops ? "0" : "1") + " dedup=" +
+                                 (dedup ? "1" : "0"));
+      }
+    }
+  }
+}
+
+TEST(RmatCsr, BitIdenticalAcrossThreadCounts) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 16;
+  p.seed = 3;
+  const auto reference = CSRGraph::build(rmat_edges(p));
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    host::set_threads(threads);
+    expect_bit_identical(rmat_csr(p), reference,
+                         "threads=" + std::to_string(threads));
+  }
+  host::set_threads(0);
+}
+
+TEST(RmatCsr, UnsortedAdjacencyIsRejected) {
+  RmatParams p;
+  p.scale = 4;
+  BuildOptions opt;
+  opt.sort_adjacency = false;
+  opt.dedup = false;
+  EXPECT_THROW(rmat_csr(p, opt), std::invalid_argument);
+}
+
+TEST(RmatCsr, InvalidParamsAreRejected) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(rmat_csr(p), std::invalid_argument);
+  p.scale = 10;
+  p.a = 0.9;  // sum now 1.33
+  EXPECT_THROW(rmat_csr(p), std::invalid_argument);
+}
+
+TEST(RmatCsr, FromPartsValidatesShape) {
+  EXPECT_THROW(CSRGraph::from_parts({}, {}), std::invalid_argument);
+  EXPECT_THROW(CSRGraph::from_parts({0, 2}, {1}), std::invalid_argument);
+  EXPECT_THROW(CSRGraph::from_parts({0, 2, 1}, {1, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(CSRGraph::from_parts({0, 1}, {0}, {1.0, 2.0}),
+               std::invalid_argument);
+  const auto g = CSRGraph::from_parts({0, 1, 2}, {1, 0});
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Rng, JumpSkipsExactlyThatManyDraws) {
+  Rng serial(123);
+  for (int i = 0; i < 57; ++i) serial.next();
+  Rng jumped = Rng(123).jump(57);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(jumped.next(), serial.next());
+}
+
+}  // namespace
+}  // namespace xg::graph

@@ -1,0 +1,193 @@
+// Direction-optimizing native BFS: must agree exactly with the level-sync
+// search (distances, level sizes, reached) whatever directions the
+// heuristic picks, including when alpha/beta are rigged to force pure
+// bottom-up or pure top-down, at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/reference/bfs.hpp"
+#include "graph/rmat.hpp"
+#include "native/algorithms.hpp"
+#include "native/bitmap.hpp"
+#include "native/sliding_queue.hpp"
+
+namespace xg::native {
+namespace {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+CSRGraph rmat_graph(std::uint32_t scale = 12, std::uint32_t ef = 8,
+                    std::uint64_t seed = 31) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = ef;
+  p.seed = seed;
+  return CSRGraph::build(graph::rmat_edges(p));
+}
+
+void expect_same_search(const NativeBfsResult& hybrid,
+                        const NativeBfsResult& level_sync) {
+  EXPECT_EQ(hybrid.distance, level_sync.distance);
+  EXPECT_EQ(hybrid.reached, level_sync.reached);
+  EXPECT_EQ(hybrid.level_sizes, level_sync.level_sizes);
+  EXPECT_EQ(hybrid.level_bottom_up.size(), hybrid.level_sizes.size());
+}
+
+class HybridThreads : public ::testing::TestWithParam<unsigned> {};
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, HybridThreads,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST_P(HybridThreads, MatchesLevelSyncOnRmat) {
+  const auto g = rmat_graph();
+  ThreadPool pool(GetParam());
+  const vid_t src = g.max_degree_vertex();
+  expect_same_search(bfs_hybrid(pool, g, src), bfs(pool, g, src));
+}
+
+TEST_P(HybridThreads, MatchesOracleFromSeveralSources) {
+  const auto g = rmat_graph(11, 8, 7);
+  ThreadPool pool(GetParam());
+  for (const vid_t src : {vid_t{0}, g.max_degree_vertex(),
+                          static_cast<vid_t>(g.num_vertices() - 1)}) {
+    const auto r = bfs_hybrid(pool, g, src);
+    const auto oracle = graph::ref::bfs(g, src);
+    EXPECT_EQ(r.distance, oracle.distance) << "src=" << src;
+    EXPECT_EQ(r.reached, oracle.reached) << "src=" << src;
+  }
+}
+
+TEST(HybridBfs, ActuallyRunsBottomUpLevelsOnRmat) {
+  // On a small-world graph with the default thresholds the apex levels
+  // must flip bottom-up — otherwise this is just level-sync with extra
+  // bookkeeping and the 3x win cannot exist.
+  const auto g = rmat_graph(13, 16, 1);
+  ThreadPool pool(2);
+  const auto r = bfs_hybrid(pool, g, g.max_degree_vertex());
+  EXPECT_NE(std::find(r.level_bottom_up.begin(), r.level_bottom_up.end(), 1),
+            r.level_bottom_up.end());
+}
+
+TEST(HybridBfs, ForcedBottomUpMatchesForcedTopDown) {
+  const auto g = rmat_graph(10, 8, 5);
+  ThreadPool pool(4);
+  const vid_t src = g.max_degree_vertex();
+
+  HybridBfsOptions all_up;
+  all_up.alpha = 1e18;  // switch bottom-up immediately (at level 0)...
+  all_up.beta = 1e18;   // ...and never switch back
+  const auto up = bfs_hybrid(pool, g, src, all_up);
+  EXPECT_EQ(std::count(up.level_bottom_up.begin(), up.level_bottom_up.end(),
+                       0),
+            0);
+
+  HybridBfsOptions all_down;
+  all_down.alpha = 1e-18;  // threshold unreachable: stay top-down
+  const auto down = bfs_hybrid(pool, g, src, all_down);
+  EXPECT_EQ(std::count(down.level_bottom_up.begin(),
+                       down.level_bottom_up.end(), 1),
+            0);
+
+  expect_same_search(up, bfs(pool, g, src));
+  expect_same_search(down, bfs(pool, g, src));
+}
+
+TEST(HybridBfs, DeterministicAcrossThreadCountsIncludingDirections) {
+  const auto g = rmat_graph(12, 16, 9);
+  ThreadPool p1(1);
+  ThreadPool p8(8);
+  const vid_t src = g.max_degree_vertex();
+  const auto a = bfs_hybrid(p1, g, src);
+  const auto b = bfs_hybrid(p8, g, src);
+  EXPECT_EQ(a.distance, b.distance);
+  EXPECT_EQ(a.level_sizes, b.level_sizes);
+  // The direction heuristic reads only level-global counters, so even the
+  // per-level direction choices are thread-count invariant.
+  EXPECT_EQ(a.level_bottom_up, b.level_bottom_up);
+}
+
+TEST(HybridBfs, DisconnectedGraphLeavesOtherComponentUnreached) {
+  const auto g = CSRGraph::build(graph::clique_chain(2, 6));
+  ThreadPool pool(2);
+  const auto r = bfs_hybrid(pool, g, 0);
+  EXPECT_EQ(r.reached, 6u);
+  EXPECT_EQ(r.distance[7], graph::kInfDist);
+}
+
+TEST(HybridBfs, PathGraphOneVertexFrontiers) {
+  // One-vertex frontiers start far below the alpha threshold, so the
+  // early levels run top-down; the search stays exact to the last hop
+  // even when the shrinking unexplored set flips the tail bottom-up.
+  const auto g = CSRGraph::build(graph::path_graph(64));
+  ThreadPool pool(2);
+  const auto r = bfs_hybrid(pool, g, 0);
+  ASSERT_GE(r.level_bottom_up.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(r.level_bottom_up[i], 0);
+  EXPECT_EQ(r.distance[63], 63u);
+  EXPECT_EQ(r.reached, 64u);
+}
+
+TEST(HybridBfs, BadArgumentsThrow) {
+  const auto g = CSRGraph::build(graph::path_graph(4));
+  ThreadPool pool(2);
+  EXPECT_THROW(bfs_hybrid(pool, g, 99), std::out_of_range);
+  HybridBfsOptions bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(bfs_hybrid(pool, g, 0, bad), std::invalid_argument);
+}
+
+// --- the frontier building blocks ---------------------------------------
+
+TEST(Bitmap, SetGetCountAndReset) {
+  Bitmap b(130);
+  EXPECT_EQ(b.count(), 0u);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.get(63));
+  EXPECT_FALSE(b.get(62));
+  EXPECT_EQ(b.count(), 4u);
+  EXPECT_TRUE(b.set_if_clear(100));
+  EXPECT_FALSE(b.set_if_clear(100));
+  b.reset(130);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(SlidingQueue, LanesMergeInLaneOrder) {
+  SlidingQueue q;
+  q.push_seed(7);
+  EXPECT_EQ(q.window_size(), 1u);
+  q.resize_lanes(3);
+  q.push(2, 30);  // pushed out of lane order on purpose
+  q.push(0, 10);
+  q.push(0, 11);
+  q.push(1, 20);
+  q.slide();
+  ASSERT_EQ(q.window_size(), 4u);
+  EXPECT_EQ(q.window_at(0), 10u);
+  EXPECT_EQ(q.window_at(1), 11u);
+  EXPECT_EQ(q.window_at(2), 20u);
+  EXPECT_EQ(q.window_at(3), 30u);
+  EXPECT_EQ(q.total_pushed(), 5u);
+}
+
+TEST(SlidingQueue, SlideFromBitmapListsAscending) {
+  SlidingQueue q;
+  Bitmap bits(100);
+  bits.set(90);
+  bits.set(5);
+  bits.set(64);
+  q.slide_from_bitmap(bits);
+  ASSERT_EQ(q.window_size(), 3u);
+  EXPECT_EQ(q.window_at(0), 5u);
+  EXPECT_EQ(q.window_at(1), 64u);
+  EXPECT_EQ(q.window_at(2), 90u);
+}
+
+}  // namespace
+}  // namespace xg::native
