@@ -1,0 +1,161 @@
+// Measures what resource governance costs: the table1_total_times workload
+// (CC, BFS, TC on the GraphCT and BSP backends, scale 14 by default) run
+// ungoverned and then governed with generous idle limits (a deadline and
+// round limit that never trip plus a live, never-fired cancel token), with
+// host wall-clock compared best-of-N. The ungoverned path performs zero
+// governance checks — one null-pointer test per round boundary — so its
+// wall-clock must sit within noise of the pre-governance build; the
+// governed-idle delta prices the full limit sweep per boundary.
+//
+// Writes a JSON artifact (default BENCH_governance.json) with both timings
+// and the overhead per workload; --max-overhead-pct N makes the bench exit
+// nonzero when governed-idle overhead exceeds N percent (CI gate).
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "exp/args.hpp"
+#include "exp/table.hpp"
+#include "exp/workload.hpp"
+
+using namespace xg;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  AlgorithmId algorithm;
+  BackendId backend;
+};
+
+struct Point {
+  const char* name;
+  double ungoverned_s = 0.0;
+  double governed_s = 0.0;
+  std::uint64_t checks = 0;  ///< governance checks of one governed run
+
+  double overhead_pct() const {
+    return ungoverned_s == 0.0
+               ? 0.0
+               : (governed_s - ungoverned_s) / ungoverned_s * 100.0;
+  }
+};
+
+double time_run(AlgorithmId alg, BackendId backend,
+                const graph::CSRGraph& g, const RunOptions& opt, int trials,
+                std::uint64_t* checks) {
+  double best = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto rep = run(alg, backend, g, opt);
+    const double s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (!rep.ok()) {
+      throw std::runtime_error(std::string("governed run failed: ") +
+                               rep.status_detail);
+    }
+    if (checks != nullptr) *checks = rep.governance_checks;
+    if (t == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Governance overhead on the Table I workload: "
+                       "ungoverned vs governed-idle wall-clock.\n"
+                       "Options: --scale N --edgefactor N --seed N "
+                       "--processors N --trials N --out FILE "
+                       "--max-overhead-pct N");
+  args.handle_help();
+  const auto wl = exp::make_workload(args, /*default_scale=*/14);
+  const auto processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  const int trials = static_cast<int>(args.get_int("trials", 5));
+  const double max_overhead =
+      static_cast<double>(args.get_int("max-overhead-pct", 0));
+  const std::string out = args.get("out", "BENCH_governance.json");
+
+  std::printf("== governance overhead == (%s, %u processors, best of %d)\n\n",
+              wl.describe().c_str(), processors, trials);
+
+  RunOptions plain;
+  plain.sim = exp::sim_config(args, processors);
+  plain.source = wl.bfs_source;
+
+  RunOptions governed = plain;
+  governed.deadline_ms = 1e9;          // never trips
+  governed.max_rounds = 1000000000;    // never trips
+  governed.cancel = CancelToken::make();  // live, never fired
+
+  const std::vector<Workload> workloads = {
+      {"cc/graphct", AlgorithmId::kConnectedComponents, BackendId::kGraphct},
+      {"cc/bsp", AlgorithmId::kConnectedComponents, BackendId::kBsp},
+      {"bfs/graphct", AlgorithmId::kBfs, BackendId::kGraphct},
+      {"bfs/bsp", AlgorithmId::kBfs, BackendId::kBsp},
+      {"tc/graphct", AlgorithmId::kTriangleCount, BackendId::kGraphct},
+      {"tc/bsp", AlgorithmId::kTriangleCount, BackendId::kBsp},
+  };
+
+  std::vector<Point> points;
+  for (const auto& w : workloads) {
+    Point pt;
+    pt.name = w.name;
+    pt.ungoverned_s =
+        time_run(w.algorithm, w.backend, wl.graph, plain, trials, nullptr);
+    pt.governed_s = time_run(w.algorithm, w.backend, wl.graph, governed,
+                             trials, &pt.checks);
+    points.push_back(pt);
+    std::printf("%-12s ungoverned %.4f s, governed-idle %.4f s "
+                "(%+.2f%%, %llu checks)\n",
+                pt.name, pt.ungoverned_s, pt.governed_s, pt.overhead_pct(),
+                static_cast<unsigned long long>(pt.checks));
+  }
+
+  double worst = 0.0;
+  for (const auto& pt : points) {
+    if (pt.overhead_pct() > worst) worst = pt.overhead_pct();
+  }
+  std::printf("\nworst governed-idle overhead: %+.2f%%\n", worst);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"governance_overhead\",\n");
+  std::fprintf(f, "  \"workload\": \"%s\",\n", wl.describe().c_str());
+  std::fprintf(f, "  \"trials\": %d,\n  \"points\": [\n", trials);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ungoverned_seconds\": %.6f, "
+                 "\"governed_idle_seconds\": %.6f, \"overhead_pct\": %.3f, "
+                 "\"governance_checks\": %llu}%s\n",
+                 pt.name, pt.ungoverned_s, pt.governed_s, pt.overhead_pct(),
+                 static_cast<unsigned long long>(pt.checks),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"worst_overhead_pct\": %.3f\n}\n", worst);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+
+  if (max_overhead > 0.0 && worst > max_overhead) {
+    std::fprintf(stderr,
+                 "governance_overhead: FAIL — worst overhead %.2f%% exceeds "
+                 "the %.0f%% gate\n",
+                 worst, max_overhead);
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "governance_overhead: error: %s\n", e.what());
+  return 1;
+}

@@ -1,6 +1,9 @@
 #include "api/run.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <new>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
@@ -122,16 +125,16 @@ graph::vid_t count_reached(std::span<const std::uint32_t> distance) {
 }
 
 RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
-                        const RunOptions& opt) {
+                        const RunOptions& opt, gov::Governor* governor) {
   RunReport rep;
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
-      rep.components = graph::ref::connected_components(g);
+      rep.components = graph::ref::connected_components(g, governor);
       rep.num_components = graph::ref::count_components(rep.components);
       break;
     }
     case AlgorithmId::kBfs: {
-      auto r = graph::ref::bfs(g, opt.source);
+      auto r = graph::ref::bfs(g, opt.source, governor);
       rep.distance = std::move(r.distance);
       rep.reached = r.reached;
       rep.rounds.reserve(r.level_sizes.size());
@@ -142,20 +145,21 @@ RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
       break;
     }
     case AlgorithmId::kTriangleCount:
-      rep.triangles = graph::ref::count_triangles(g);
+      rep.triangles = graph::ref::count_triangles(g, governor);
       break;
   }
   return rep;
 }
 
 RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
-                      const RunOptions& opt) {
+                      const RunOptions& opt, gov::Governor* governor) {
   xmt::Engine machine(opt.sim);
   machine.set_trace_sink(opt.trace);
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
       graphct::CCOptions cc_opt;
       cc_opt.max_iterations = opt.max_supersteps;
+      cc_opt.governor = governor;
       const auto r = graphct::connected_components(machine, g, cc_opt);
       auto rep = api::from_kernel(r.iterations, r.totals);
       rep.components = r.labels;
@@ -166,17 +170,22 @@ RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
       // kAuto stays level-synchronous here: the queue BFS is the
       // paper-faithful kernel this backend models. kHybrid opts into the
       // direction-optimizing variant explicitly.
+      graphct::DirOptBfsOptions diropt;
+      diropt.governor = governor;
+      graphct::BfsOptions bfs_opt;
+      bfs_opt.governor = governor;
       const auto r =
           opt.direction == BfsDirection::kHybrid
-              ? graphct::bfs_direction_optimizing(machine, g, opt.source)
-              : graphct::bfs(machine, g, opt.source);
+              ? graphct::bfs_direction_optimizing(machine, g, opt.source,
+                                                  diropt)
+              : graphct::bfs(machine, g, opt.source, bfs_opt);
       auto rep = api::from_kernel(r.levels, r.totals);
       rep.distance = r.distance;
       rep.reached = r.reached;
       return rep;
     }
     case AlgorithmId::kTriangleCount: {
-      const auto r = graphct::count_triangles(machine, g);
+      const auto r = graphct::count_triangles(machine, g, governor);
       RunReport rep;
       rep.cycles = r.totals.cycles;
       rep.writes = r.totals.writes;
@@ -188,11 +197,12 @@ RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
 }
 
 RunReport run_bsp(AlgorithmId algorithm, const graph::CSRGraph& g,
-                  const RunOptions& opt) {
+                  const RunOptions& opt, gov::Governor* governor) {
   xmt::Engine machine(opt.sim);
   machine.set_trace_sink(opt.trace);
   bsp::BspOptions bsp_opt = opt.bsp;
   bsp_opt.max_supersteps = opt.max_supersteps;
+  bsp_opt.governor = governor;
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
       const auto r = bsp::connected_components(machine, g, bsp_opt);
@@ -220,12 +230,12 @@ RunReport run_bsp(AlgorithmId algorithm, const graph::CSRGraph& g,
 }
 
 RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
-                      const RunOptions& opt) {
+                      const RunOptions& opt, gov::Governor* governor) {
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
       const auto r = cluster::run(opt.cluster, g, bsp::CCProgram{},
                                   opt.max_supersteps, {}, opt.faults,
-                                  opt.trace);
+                                  opt.trace, governor);
       auto rep = api::to_report(r);
       rep.components = r.state;
       rep.num_components = graph::ref::count_components(rep.components);
@@ -234,7 +244,7 @@ RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
     case AlgorithmId::kBfs: {
       const auto r = cluster::run(opt.cluster, g, bsp::BfsProgram{opt.source},
                                   opt.max_supersteps, {}, opt.faults,
-                                  opt.trace);
+                                  opt.trace, governor);
       auto rep = api::to_report(r);
       rep.distance = r.state;
       rep.reached = count_reached(rep.distance);
@@ -243,7 +253,7 @@ RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
     case AlgorithmId::kTriangleCount: {
       const auto r = cluster::run(opt.cluster, g, ClusterTriangleProgram{},
                                   opt.max_supersteps, {}, opt.faults,
-                                  opt.trace);
+                                  opt.trace, governor);
       auto rep = api::to_report(r);
       for (const auto closed : r.state) rep.triangles += closed;
       return rep;
@@ -253,21 +263,23 @@ RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
 }
 
 RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
-                     const RunOptions& opt) {
+                     const RunOptions& opt, gov::Governor* governor) {
   RunReport rep;
   auto& pool = host::pool();
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
-      rep.components = native::connected_components(pool, g);
+      rep.components = native::connected_components(pool, g, governor);
       rep.num_components = graph::ref::count_components(rep.components);
       break;
     }
     case AlgorithmId::kBfs: {
       // The hybrid is the native default (kAuto): same distances and level
       // sizes as top-down, multiple times faster on small-world graphs.
+      native::HybridBfsOptions hybrid_opt;
+      hybrid_opt.governor = governor;
       auto r = opt.direction == BfsDirection::kTopDown
-                   ? native::bfs(pool, g, opt.source)
-                   : native::bfs_hybrid(pool, g, opt.source);
+                   ? native::bfs(pool, g, opt.source, governor)
+                   : native::bfs_hybrid(pool, g, opt.source, hybrid_opt);
       rep.distance = std::move(r.distance);
       rep.reached = r.reached;
       rep.rounds.reserve(r.level_sizes.size());
@@ -278,7 +290,7 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
       break;
     }
     case AlgorithmId::kTriangleCount:
-      rep.triangles = native::count_triangles(pool, g);
+      rep.triangles = native::count_triangles(pool, g, governor);
       break;
   }
   return rep;
@@ -323,38 +335,131 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
   throw std::invalid_argument(msg);
 }
 
+/// Central request validation — the one place malformed options are
+/// refused, for every backend, with the offending RunOptions field named.
+/// Throws gov::Stop(kInvalidArgument); xg::run converts it to a status.
+void validate(AlgorithmId algorithm, const graph::CSRGraph& g,
+              const RunOptions& opt) {
+  const auto reject = [](std::string detail) {
+    throw gov::Stop(gov::StatusCode::kInvalidArgument, 0, std::move(detail));
+  };
+  if (algorithm == AlgorithmId::kBfs && opt.source >= g.num_vertices()) {
+    reject("RunOptions::source: BFS source " + std::to_string(opt.source) +
+           " out of range (graph has " + std::to_string(g.num_vertices()) +
+           " vertices)");
+  }
+  if (opt.deadline_ms.has_value() && *opt.deadline_ms <= 0.0) {
+    reject("RunOptions::deadline_ms must be > 0 when set (got " +
+           std::to_string(*opt.deadline_ms) + ")");
+  }
+  if (opt.max_rounds.has_value() && *opt.max_rounds == 0) {
+    reject(
+        "RunOptions::max_rounds must be > 0 when set (unset means no "
+        "limit)");
+  }
+  if (opt.memory_budget_bytes.has_value()) {
+    const std::uint64_t footprint = g.memory_footprint_bytes();
+    if (*opt.memory_budget_bytes == 0) {
+      reject("RunOptions::memory_budget_bytes must be > 0 when set");
+    }
+    if (*opt.memory_budget_bytes < footprint) {
+      reject("RunOptions::memory_budget_bytes (" +
+             std::to_string(*opt.memory_budget_bytes) +
+             ") is smaller than the graph's own footprint (" +
+             std::to_string(footprint) +
+             " bytes) — no run over this graph can fit");
+    }
+  }
+}
+
 }  // namespace
 
 RunReport run(AlgorithmId algorithm, BackendId backend,
               const graph::CSRGraph& g, const RunOptions& opt) {
-  if (algorithm == AlgorithmId::kBfs && opt.source >= g.num_vertices()) {
-    throw std::invalid_argument(
-        "xg::run: BFS source " + std::to_string(opt.source) +
-        " out of range (graph has " + std::to_string(g.num_vertices()) +
-        " vertices)");
-  }
-  if (opt.threads != 0) host::set_threads(opt.threads);
-
   RunReport rep;
-  switch (backend) {
-    case BackendId::kReference:
-      rep = run_reference(algorithm, g, opt);
-      break;
-    case BackendId::kGraphct:
-      rep = run_graphct(algorithm, g, opt);
-      break;
-    case BackendId::kBsp:
-      rep = run_bsp(algorithm, g, opt);
-      break;
-    case BackendId::kCluster:
-      rep = run_cluster(algorithm, g, opt);
-      break;
-    case BackendId::kNative:
-      rep = run_native(algorithm, g, opt);
-      break;
-  }
   rep.algorithm = algorithm;
   rep.backend = backend;
+
+  // Constructed only when a limit is actually set: the ungoverned fast path
+  // hands every engine a null governor (one pointer test per boundary).
+  // Lives outside the try so the catch blocks can read its check counter.
+  std::optional<gov::Governor> governor;
+
+  try {
+    validate(algorithm, g, opt);
+    gov::Limits limits;
+    limits.deadline_ms = opt.deadline_ms;
+    limits.memory_budget_bytes = opt.memory_budget_bytes;
+    limits.max_rounds = opt.max_rounds;
+    limits.cancel = opt.cancel;
+    if (limits.any()) {
+      governor.emplace(limits, backend_name(backend), opt.trace);
+    }
+    gov::Governor* gp = governor.has_value() ? &*governor : nullptr;
+    // Entry checkpoint: even a run with no round boundaries of its own
+    // (e.g. BFS over an edgeless graph) honours a pre-cancelled token or
+    // an already-blown budget deterministically.
+    gov::checkpoint(gp, 0);
+    if (opt.threads != 0) host::set_threads(opt.threads);
+
+    RunReport body;
+    switch (backend) {
+      case BackendId::kReference:
+        body = run_reference(algorithm, g, opt, gp);
+        break;
+      case BackendId::kGraphct:
+        body = run_graphct(algorithm, g, opt, gp);
+        break;
+      case BackendId::kBsp:
+        body = run_bsp(algorithm, g, opt, gp);
+        break;
+      case BackendId::kCluster:
+        body = run_cluster(algorithm, g, opt, gp);
+        break;
+      case BackendId::kNative:
+        body = run_native(algorithm, g, opt, gp);
+        break;
+    }
+    rep = std::move(body);
+    rep.algorithm = algorithm;
+    rep.backend = backend;
+    rep.rounds_completed = static_cast<std::uint32_t>(rep.rounds.size());
+  } catch (const gov::Stop& stop) {
+    // Governed termination or refused request: the unwinding already
+    // discarded every partial structure, so the payload fields stay empty —
+    // the no-partial-mutation invariant the conformance harness checks.
+    rep = RunReport{};
+    rep.algorithm = algorithm;
+    rep.backend = backend;
+    rep.status = stop.code();
+    rep.status_detail = stop.detail();
+    rep.rounds_completed = stop.rounds_completed();
+    rep.converged = false;
+  } catch (const std::invalid_argument& e) {
+    // The backends' own validation (ClusterConfig, FaultPlan, kernel
+    // option checks) folds into the same taxonomy.
+    rep = RunReport{};
+    rep.algorithm = algorithm;
+    rep.backend = backend;
+    rep.status = RunStatus::kInvalidArgument;
+    rep.status_detail = e.what();
+    rep.converged = false;
+  } catch (const std::bad_alloc&) {
+    rep = RunReport{};
+    rep.algorithm = algorithm;
+    rep.backend = backend;
+    rep.status = RunStatus::kMemoryBudgetExceeded;
+    rep.status_detail = "allocation failed (std::bad_alloc) during the run";
+    rep.converged = false;
+  } catch (const std::exception& e) {
+    rep = RunReport{};
+    rep.algorithm = algorithm;
+    rep.backend = backend;
+    rep.status = RunStatus::kInternal;
+    rep.status_detail = e.what();
+    rep.converged = false;
+  }
+  if (governor.has_value()) rep.governance_checks = governor->checks();
   return rep;
 }
 

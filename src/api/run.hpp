@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bsp/types.hpp"
 #include "cluster/config.hpp"
 #include "cluster/faults.hpp"
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
 #include "xmt/sim_config.hpp"
@@ -16,6 +18,16 @@ class TraceSink;
 }
 
 namespace xg {
+
+/// The structured status taxonomy a run reports through instead of ad-hoc
+/// exceptions (see RunReport::status and docs/CONFORMANCE.md's table).
+using RunStatus = gov::StatusCode;
+
+/// Shareable cooperative-cancellation handle (gov::CancelToken): make()
+/// one, hand a copy to RunOptions::cancel, call cancel() from any thread.
+using CancelToken = gov::CancelToken;
+
+using gov::status_name;
 
 /// The algorithms every backend implements. These are the paper's three
 /// workloads; the ids are stable registry keys (see algorithm_name /
@@ -86,6 +98,36 @@ struct RunOptions {
 
   /// Safety valve for the superstep-driven backends.
   std::uint32_t max_supersteps = 100000;
+
+  // --- resource governance -------------------------------------------------
+  // All four knobs are enforced cooperatively at round boundaries (superstep
+  // / frontier level / iteration), never inside a parallel region, so a
+  // governed stop always lands on a consistent boundary: the report carries
+  // a non-ok status and NO result payload — results are all-or-nothing.
+  // Unset limits cost one null-pointer test per boundary.
+
+  /// Wall-clock deadline for the whole run, in milliseconds, measured from
+  /// entry into xg::run. Must be > 0 when set (kInvalidArgument otherwise).
+  std::optional<double> deadline_ms;
+
+  /// Whole-process RSS ceiling in bytes. Must be > 0 and at least the
+  /// graph's own CSRGraph::memory_footprint_bytes when set
+  /// (kInvalidArgument otherwise) — a budget the input alone busts is a
+  /// request bug, not a resource condition.
+  std::optional<std::uint64_t> memory_budget_bytes;
+
+  /// Hard cap on rounds *completed*. Distinct from max_supersteps: that
+  /// safety valve truncates and still returns the partial state with
+  /// converged=false, while max_rounds yields a clean kRoundLimit status
+  /// with no payload. A run that converges in exactly max_rounds rounds
+  /// completes normally. Must be > 0 when set (kInvalidArgument otherwise).
+  std::optional<std::uint32_t> max_rounds;
+
+  /// Cooperative cancellation: keep a copy of an engaged token
+  /// (CancelToken::make()) and cancel() it from any thread; the run stops
+  /// with kCancelled at its next round boundary. The default empty token
+  /// never cancels and costs nothing.
+  CancelToken cancel;
 };
 
 /// One superstep (BSP/cluster), iteration (GraphCT CC) or frontier level
@@ -105,6 +147,23 @@ struct RoundRecord {
 struct RunReport {
   AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
   BackendId backend = BackendId::kReference;
+
+  // --- status -------------------------------------------------------------
+  /// kOk: the payload below is complete and bit-identical to an ungoverned
+  /// run. Any other code: the run was refused (kInvalidArgument) or stopped
+  /// at a round boundary (cancelled / deadline / memory / round limit), the
+  /// payload fields are empty, and `status_detail` says why — including
+  /// which RunOptions field a kInvalidArgument names.
+  RunStatus status = RunStatus::kOk;
+  std::string status_detail;
+  /// Rounds (supersteps / levels / iterations) fully completed. On a
+  /// governed stop this is the last consistent boundary the run reached;
+  /// on success it equals the executed round count.
+  std::uint32_t rounds_completed = 0;
+  /// Governance checks performed (0 for ungoverned runs).
+  std::uint64_t governance_checks = 0;
+
+  bool ok() const { return status == RunStatus::kOk; }
 
   // --- result payload -----------------------------------------------------
   /// kConnectedComponents: per-vertex component label (representative id,
@@ -141,10 +200,19 @@ struct RunReport {
 /// entry point — the per-engine signatures (graphct::bfs, bsp::run,
 /// cluster::run, native::*) remain as thin compatibility layers underneath.
 ///
-/// Throws std::invalid_argument for an out-of-range BFS source and
-/// propagates the backends' own validation errors (ClusterConfig,
-/// FaultPlan). Determinism: with equal options the report is bit-identical
-/// run to run, at any host thread count.
+/// Never throws for request or resource problems: malformed options (an
+/// out-of-range BFS source, a zero deadline, a budget the graph alone
+/// busts, the backends' own ClusterConfig/FaultPlan validation) come back
+/// as status kInvalidArgument with the offending field named in
+/// status_detail, and governed terminations come back as their status code
+/// with no payload (see RunReport::status). Unexpected engine failures
+/// surface as kInternal rather than escaping.
+///
+/// Determinism: with equal options the report is bit-identical run to run,
+/// at any host thread count. A governed run either completes with a payload
+/// bit-identical to the ungoverned run or reports a clean non-ok status
+/// with no payload — never a partial result (deadline-governed runs may
+/// nondeterministically land on either side, but never in between).
 RunReport run(AlgorithmId algorithm, BackendId backend,
               const graph::CSRGraph& g, const RunOptions& opt = {});
 

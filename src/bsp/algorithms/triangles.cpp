@@ -88,7 +88,10 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   const xmt::Cycles t0 = machine.now();
 
   // ---- Superstep 0: send own id to every higher neighbor (Alg 3 l.1-4).
+  // This kernel drives its four supersteps by hand rather than through
+  // bsp::run, so each barrier carries its own governance checkpoint.
   {
+    gov::checkpoint(opt.governor, 0);
     SuperstepRecord rec;
     rec.superstep = 0;
     rec.region = machine.parallel_for_lanes(
@@ -116,6 +119,7 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   // neighbor (Alg 3 l.5-9). The inbox of v is exactly its lower neighbors;
   // the loop is flattened over (v, lower-neighbor) pairs.
   {
+    gov::checkpoint(opt.governor, 1);
     SuperstepRecord rec;
     rec.superstep = 1;
     rec.region = machine.parallel_for_lanes(
@@ -151,6 +155,7 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
   // the loop is flattened over (w, j) pairs.
   std::vector<std::uint32_t> confirmed_at(n, 0);  // for superstep 3's inbox
   {
+    gov::checkpoint(opt.governor, 2);
     SuperstepRecord rec;
     rec.superstep = 2;
     rec.region = machine.parallel_for_lanes(
@@ -197,6 +202,7 @@ BspTriangleResult count_triangles(xmt::Engine& machine,
 
   // ---- Superstep 3: tally the confirmed-triangle messages.
   {
+    gov::checkpoint(opt.governor, 3);
     SuperstepRecord rec;
     rec.superstep = 3;
     rec.region = machine.parallel_for_lanes(

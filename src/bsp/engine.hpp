@@ -115,6 +115,11 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
   std::vector<graph::vid_t> schedule;     // active-list mode only
   std::vector<graph::vid_t> next_active;  // computed & not halted this superstep
   for (std::uint32_t ss = 0; ss < opt.max_supersteps; ++ss) {
+    // Governance checkpoint at the superstep barrier: `ss` supersteps have
+    // fully committed, none of this one has started — the only points where
+    // a cooperative stop leaves no partial mutation behind.
+    gov::checkpoint(opt.governor, ss);
+
     SuperstepRecord rec;
     rec.superstep = ss;
 

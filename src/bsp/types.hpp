@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "bsp/aggregator.hpp"
+#include "gov/governance.hpp"
 #include "xmt/sim_config.hpp"
 #include "xmt/stats.hpp"
 
@@ -76,6 +77,13 @@ struct BspOptions {
   /// engine's sink (xmt::Engine::set_trace_sink); when neither is set the
   /// run emits nothing and pays nothing. Never owned by the run.
   obs::TraceSink* trace = nullptr;
+
+  /// Resource governance: checked once per superstep, at the barrier before
+  /// the superstep starts (never inside the parallel vertex loop), so a
+  /// governed stop always lands at a consistent superstep boundary. Throws
+  /// gov::Stop; the run's partial state is discarded by unwinding. nullptr
+  /// (the default) runs ungoverned at zero cost. Never owned by the run.
+  gov::Governor* governor = nullptr;
 };
 
 /// Statistics for one superstep — the per-iteration series of Figures 1-3.

@@ -11,6 +11,7 @@
 #include "cluster/checkpoint.hpp"
 #include "cluster/config.hpp"
 #include "cluster/faults.hpp"
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "graph/rng.hpp"
 #include "obs/trace.hpp"
@@ -246,13 +247,22 @@ class ClusterContext {
 /// engine "cluster" (docs/OBSERVABILITY.md); timestamps are simulated
 /// cluster seconds expressed in microseconds, and the `cycles` field stays
 /// 0 — this engine prices in seconds, not XMT cycles.
+///
+/// `governor`, when non-null, is consulted at every logical superstep
+/// boundary — after crash recovery resolves, before the superstep's compute
+/// phase — so a governed stop (gov::Stop) always lands at a consistent
+/// boundary even mid-recovery, and recovery composes with deadlines: replay
+/// time counts against the deadline like any other work. A
+/// FaultPlan::memory_spike_superstep feeds its synthetic bytes to the
+/// governor when that boundary is reached.
 template <typename Program>
 ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
                            const Program& prog,
                            std::uint32_t max_supersteps = 100000,
                            const std::vector<bsp::Aggregator::Op>& aggs = {},
                            const FaultPlan& plan = {},
-                           obs::TraceSink* trace = nullptr) {
+                           obs::TraceSink* trace = nullptr,
+                           gov::Governor* governor = nullptr) {
   cfg.validate();
   plan.validate(cfg.machines);
   using State = typename Program::VertexState;
@@ -303,6 +313,7 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
   std::vector<std::uint8_t> dead(cfg.machines, 0);
   std::uint32_t live_machines = cfg.machines;
   std::vector<std::uint8_t> crash_fired(plan.crashes.size(), 0);
+  bool spike_injected = false;
   graph::Rng rng(plan.seed);
 
   Checkpoint<State, Message> cp;
@@ -375,6 +386,19 @@ ClusterResult<Program> run(const ClusterConfig& cfg, const graph::CSRGraph& g,
       replay_until = std::max(replay_until, ss);
       ss = resume;
       continue;
+    }
+
+    // Governance checkpoint at the logical superstep boundary, after any
+    // crash recovery resolved: `ss` supersteps are durably committed and the
+    // next one has not started. The budget-exhaustion fault fires first so a
+    // memory-governed run trips deterministically at its scheduled boundary.
+    if (governor != nullptr && governor->active()) {
+      if (!spike_injected && plan.memory_spike_superstep.has_value() &&
+          ss >= *plan.memory_spike_superstep) {
+        governor->add_synthetic_rss(plan.memory_spike_bytes);
+        spike_injected = true;
+      }
+      governor->check(ss);
     }
 
     ClusterSuperstepRecord rec;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -58,9 +59,20 @@ struct FaultPlan {
   /// Heartbeat-timeout cost paid once per crash before recovery starts.
   double failure_detection_seconds = 30e-3;
 
+  /// Budget-exhaustion fault: starting at this superstep's boundary the
+  /// cluster's resident set appears inflated by `memory_spike_bytes` (a
+  /// leaking worker, an oversized aggregation buffer). The spike is
+  /// *synthetic* — it is fed to the run's gov::Governor, never allocated —
+  /// so a memory-budget-governed run trips deterministically at this
+  /// superstep while an ungoverned run is unaffected. Lets tests compose
+  /// cluster recovery with memory budgets without depending on real RSS.
+  std::optional<std::uint32_t> memory_spike_superstep;
+  std::uint64_t memory_spike_bytes = 0;
+
   bool empty() const {
     return crashes.empty() && straggler_factor.empty() &&
-           remote_drop_probability == 0.0;
+           remote_drop_probability == 0.0 &&
+           !memory_spike_superstep.has_value();
   }
 
   double slowdown(std::uint32_t machine) const {
@@ -106,6 +118,9 @@ struct FaultPlan {
     if (retry_backoff_seconds < 0) fail("retry_backoff_seconds must be >= 0");
     if (failure_detection_seconds < 0) {
       fail("failure_detection_seconds must be >= 0");
+    }
+    if (memory_spike_superstep.has_value() && memory_spike_bytes == 0) {
+      fail("memory_spike_superstep set but memory_spike_bytes is 0");
     }
   }
 };

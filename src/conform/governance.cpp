@@ -1,0 +1,188 @@
+#include "conform/governance.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "conform/canonical.hpp"
+#include "graph/csr.hpp"
+#include "graph/rng.hpp"
+
+namespace xg::conform {
+
+using graph::CSRGraph;
+using graph::vid_t;
+
+namespace {
+
+/// One randomized governance schedule: which limits to set and what
+/// statuses a run under them is allowed to return.
+struct Schedule {
+  RunOptions limits;  ///< only the governance fields are filled in
+  std::string name;
+  /// Statuses the invariant allows. kOk additionally requires the payload
+  /// to be bit-identical to the ungoverned baseline; any other allowed
+  /// status requires an empty payload.
+  std::vector<RunStatus> allowed;
+};
+
+Schedule draw_schedule(graph::Rng& rng) {
+  Schedule s;
+  switch (rng.below(4)) {
+    case 0: {
+      // Cancelled before the run starts: the very first boundary check must
+      // trip, deterministically.
+      auto token = CancelToken::make();
+      token.cancel();
+      s.limits.cancel = token;
+      s.name = "pre-cancelled token";
+      s.allowed = {RunStatus::kCancelled};
+      break;
+    }
+    case 1: {
+      // Tight round limit: short-converging runs may finish, everything
+      // else must stop cleanly.
+      const auto rounds = static_cast<std::uint32_t>(1 + rng.below(3));
+      s.limits.max_rounds = rounds;
+      s.name = "max_rounds=" + std::to_string(rounds);
+      s.allowed = {RunStatus::kOk, RunStatus::kRoundLimit};
+      break;
+    }
+    case 2: {
+      // Deadline so tight most runs trip it — but a fast host may finish a
+      // tiny graph first, and both outcomes satisfy the invariant.
+      const double ms = 0.001 * static_cast<double>(1 + rng.below(20));
+      s.limits.deadline_ms = ms;
+      s.name = "deadline_ms=" + std::to_string(ms);
+      s.allowed = {RunStatus::kOk, RunStatus::kDeadlineExceeded};
+      break;
+    }
+    default: {
+      // Generous limits plus a live (never fired) cancel token: governance
+      // is active on every boundary but must not change the result.
+      s.limits.deadline_ms = 1e7;
+      s.limits.max_rounds = 1000000;
+      s.limits.cancel = CancelToken::make();
+      s.name = "generous limits + live token";
+      s.allowed = {RunStatus::kOk};
+      break;
+    }
+  }
+  return s;
+}
+
+bool status_allowed(RunStatus status, const std::vector<RunStatus>& allowed) {
+  for (const auto a : allowed) {
+    if (a == status) return true;
+  }
+  return false;
+}
+
+/// Non-empty payload state left behind by a non-ok run — the invariant's
+/// "cleanly absent" half.
+std::optional<std::string> leaked_payload(const RunReport& rep) {
+  if (!rep.components.empty()) return "components non-empty";
+  if (!rep.distance.empty()) return "distance non-empty";
+  if (rep.triangles != 0) return "triangles nonzero";
+  if (rep.num_components != 0) return "num_components nonzero";
+  if (rep.reached != 0) return "reached nonzero";
+  if (!rep.rounds.empty()) return "round records non-empty";
+  return std::nullopt;
+}
+
+/// Governed-ok payload vs the ungoverned baseline of the same (algorithm,
+/// backend, threads): must be element-wise identical.
+std::optional<std::string> diff_vs_baseline(AlgorithmId alg,
+                                            const RunReport& governed,
+                                            const RunReport& baseline) {
+  switch (alg) {
+    case AlgorithmId::kConnectedComponents:
+      return first_diff(canonical_components(governed.components),
+                        canonical_components(baseline.components));
+    case AlgorithmId::kBfs:
+      return first_diff(governed.distance, baseline.distance);
+    case AlgorithmId::kTriangleCount:
+      if (governed.triangles != baseline.triangles) {
+        return std::to_string(governed.triangles) + " vs " +
+               std::to_string(baseline.triangles) + " triangles";
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+GovernanceReport run_governance(std::span<const CorpusEntry> corpus,
+                                const GovernanceOptions& opt) {
+  GovernanceReport report;
+  graph::Rng rng(opt.seed ^ 0xC0FFEE5EED5ull);
+
+  for (const auto& entry : corpus) {
+    ++report.graphs;
+    const CSRGraph g = CSRGraph::build(entry.edges);
+    const vid_t n = g.num_vertices();
+    const vid_t source = n == 0 ? 0 : g.max_degree_vertex();
+
+    for (const auto alg : opt.algorithms) {
+      if (alg == AlgorithmId::kBfs && n == 0) continue;
+      for (const auto backend : opt.backends) {
+        // Draws are per (graph, algorithm, backend) so adding a backend or
+        // thread count does not shift every other configuration's schedule.
+        graph::Rng local = rng.fork(static_cast<std::uint64_t>(alg) * 131 +
+                                    static_cast<std::uint64_t>(backend));
+        for (std::size_t si = 0; si < opt.schedules; ++si) {
+          Schedule schedule = draw_schedule(local);
+          for (const unsigned threads : opt.thread_counts) {
+            RunOptions ro = schedule.limits;
+            ro.source = source;
+            ro.threads = threads;
+            ro.sim.processors = opt.sim_processors;
+
+            RunOptions baseline_ro;
+            baseline_ro.source = source;
+            baseline_ro.threads = threads;
+            baseline_ro.sim.processors = opt.sim_processors;
+
+            const auto governed = xg::run(alg, backend, g, ro);
+            ++report.runs;
+
+            const auto record = [&](std::string detail) {
+              report.violations.push_back({entry.name, alg, backend,
+                                           schedule.name,
+                                           std::move(detail)});
+            };
+
+            if (!status_allowed(governed.status, schedule.allowed)) {
+              record(std::string("status ") + status_name(governed.status) +
+                     " not allowed by this schedule (" +
+                     governed.status_detail + ")");
+              continue;
+            }
+            if (governed.ok()) {
+              ++report.completions;
+              const auto baseline = xg::run(alg, backend, g, baseline_ro);
+              if (!baseline.ok()) {
+                record(std::string("ungoverned baseline failed: ") +
+                       baseline.status_detail);
+                continue;
+              }
+              if (auto diff = diff_vs_baseline(alg, governed, baseline)) {
+                record("governed-ok payload differs from ungoverned: " +
+                       *diff);
+              }
+            } else {
+              ++report.governed_stops;
+              if (auto leak = leaked_payload(governed)) {
+                record(std::string("partial mutation escaped a ") +
+                       status_name(governed.status) + " stop: " + *leak);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace xg::conform

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "conform/corpus.hpp"
+
+namespace xg::conform {
+
+/// The governance differential: every corpus graph, every backend, under
+/// randomized deadline / round-limit / cancellation schedules, asserting
+/// the governed-execution invariant —
+///
+///   a governed run either completes with status ok and a payload
+///   bit-identical to the ungoverned reference baseline, or stops with a
+///   clean non-ok status and NO payload at all.
+///
+/// Partial payloads (a half-filled distance vector surviving a deadline
+/// stop) are exactly the bug class this sweep exists to catch. Memory
+/// budgets are deliberately NOT part of the randomized schedules: real RSS
+/// depends on the host, so budget checks live in the directed tests
+/// (synthetic spikes) instead of a differential that must be deterministic.
+struct GovernanceOptions {
+  std::vector<AlgorithmId> algorithms = all_algorithms();
+  std::vector<BackendId> backends = all_backends();
+  /// Every schedule runs at each of these host thread counts.
+  std::vector<unsigned> thread_counts = {1, 2, 8};
+  /// Randomized governance schedules drawn per (graph, algorithm, backend).
+  std::size_t schedules = 3;
+  std::uint64_t seed = 1;
+  /// Simulated-machine size for the engine-backed backends.
+  std::uint32_t sim_processors = 16;
+};
+
+/// One invariant violation: a governed run that returned a partial payload,
+/// an impossible status, or an ok result differing from the baseline.
+struct GovernanceViolation {
+  std::string graph;
+  AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
+  BackendId backend = BackendId::kReference;
+  std::string schedule;  ///< the limits the run was governed by
+  std::string detail;    ///< what the run did wrong
+};
+
+struct GovernanceReport {
+  std::size_t graphs = 0;
+  std::size_t runs = 0;           ///< governed runs executed
+  std::size_t governed_stops = 0; ///< runs that stopped with a non-ok status
+  std::size_t completions = 0;    ///< governed runs that finished ok
+  std::vector<GovernanceViolation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Sweep the corpus under randomized governance schedules. Deterministic
+/// schedule choice for a fixed (corpus, options) pair; deadline-governed
+/// runs may legitimately land on either side of the stop (the invariant is
+/// status-or-identical, not a deterministic status).
+GovernanceReport run_governance(std::span<const CorpusEntry> corpus,
+                                const GovernanceOptions& opt);
+
+}  // namespace xg::conform

@@ -62,6 +62,15 @@ Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
   auto rep = xg::run(alg, backend, g,
                      make_run_options(opt, threads, source, faulted,
                                       direction));
+  if (!rep.ok()) {
+    // These runs set no governance limit, so any non-ok status is a harness
+    // or engine bug — surface it loudly instead of diffing empty payloads.
+    throw std::runtime_error(std::string("conform::run_side: ungoverned ") +
+                             algorithm_name(alg) + " on " +
+                             backend_name(backend) + " returned status " +
+                             status_name(rep.status) + ": " +
+                             rep.status_detail);
+  }
   if (opt.inject == Inject::kCcLastVertex &&
       alg == AlgorithmId::kConnectedComponents && backend == BackendId::kBsp &&
       !rep.components.empty()) {

@@ -1,19 +1,13 @@
 #pragma once
 
-#include <cstdint>
+#include "gov/rss.hpp"
 
 namespace xg::exp {
 
-/// Peak resident set size of this process in bytes (the high-water mark,
-/// i.e. Linux VmHWM), or 0 when the platform exposes no way to read it.
-/// Primary source is /proc/self/status; the portable fallback is
-/// getrusage(RUSAGE_SELF).ru_maxrss. Monotone over the process lifetime,
-/// so a bench that sweeps configurations should run them smallest-first
-/// (the scaling bench's ascending-SCALE order) or fork per configuration.
-std::uint64_t peak_rss_bytes();
-
-/// Current resident set size in bytes (/proc/self/statm), or 0 when
-/// unavailable.
-std::uint64_t current_rss_bytes();
+/// The RSS readers moved down into src/gov/ (the resource-governance layer
+/// needs them below the graph layer); these using-declarations keep the
+/// exp:: spellings every bench and tool already uses.
+using gov::current_rss_bytes;
+using gov::peak_rss_bytes;
 
 }  // namespace xg::exp

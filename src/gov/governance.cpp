@@ -1,0 +1,109 @@
+#include "gov/governance.hpp"
+
+#include "gov/rss.hpp"
+
+namespace xg::gov {
+
+const char* status_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kMemoryBudgetExceeded: return "memory_budget_exceeded";
+    case StatusCode::kRoundLimit: return "round_limit";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+void Governor::check(std::uint32_t rounds_completed) {
+  if (!active_) return;
+  ++checks_;
+
+  if (limits_.cancel.cancelled()) {
+    stop(StatusCode::kCancelled, rounds_completed,
+         "run cancelled after " + std::to_string(rounds_completed) +
+             " completed round(s)");
+  }
+
+  double deadline_headroom_ms = 0.0;
+  if (limits_.deadline_ms.has_value()) {
+    const double elapsed = elapsed_ms();
+    if (elapsed >= *limits_.deadline_ms) {
+      stop(StatusCode::kDeadlineExceeded, rounds_completed,
+           "deadline of " + std::to_string(*limits_.deadline_ms) +
+               " ms exceeded (" + std::to_string(elapsed) + " ms elapsed, " +
+               std::to_string(rounds_completed) + " completed round(s))");
+    }
+    deadline_headroom_ms = *limits_.deadline_ms - elapsed;
+  }
+
+  std::uint64_t memory_headroom = 0;
+  if (limits_.memory_budget_bytes.has_value()) {
+    const std::uint64_t rss = current_rss_bytes() + synthetic_rss_;
+    if (rss > *limits_.memory_budget_bytes) {
+      stop(StatusCode::kMemoryBudgetExceeded, rounds_completed,
+           "memory budget of " + std::to_string(*limits_.memory_budget_bytes) +
+               " bytes exceeded (RSS " + std::to_string(rss) + " bytes, " +
+               std::to_string(rounds_completed) + " completed round(s))");
+    }
+    memory_headroom = *limits_.memory_budget_bytes - rss;
+  }
+
+  if (limits_.max_rounds.has_value() &&
+      rounds_completed >= *limits_.max_rounds) {
+    stop(StatusCode::kRoundLimit, rounds_completed,
+         "round limit of " + std::to_string(*limits_.max_rounds) +
+             " reached");
+  }
+
+  if (obs::active(trace_)) {
+    obs::TraceEvent e;
+    e.name = "governance";
+    e.engine = engine_;
+    e.phase = obs::Phase::kInstant;
+    e.superstep = rounds_completed;
+    e.ts_us = elapsed_ms() * 1e3;
+    // Headroom per budget: remaining deadline in dur_us, remaining memory
+    // in bytes, remaining rounds in msgs (0 where the limit is unset).
+    e.dur_us = deadline_headroom_ms * 1e3;
+    e.bytes = memory_headroom;
+    if (limits_.max_rounds.has_value()) {
+      e.msgs = *limits_.max_rounds - rounds_completed;
+    }
+    trace_->record(std::move(e));
+  }
+}
+
+void Governor::check_allocation(std::uint32_t rounds_completed,
+                                std::uint64_t upcoming_bytes) {
+  if (!active_) return;
+  check(rounds_completed);
+  if (!limits_.memory_budget_bytes.has_value()) return;
+  const std::uint64_t rss = current_rss_bytes() + synthetic_rss_;
+  if (rss + upcoming_bytes > *limits_.memory_budget_bytes) {
+    stop(StatusCode::kMemoryBudgetExceeded, rounds_completed,
+         "allocation of " + std::to_string(upcoming_bytes) +
+             " bytes would exceed the memory budget of " +
+             std::to_string(*limits_.memory_budget_bytes) + " bytes (RSS " +
+             std::to_string(rss) + " bytes)");
+  }
+}
+
+void Governor::stop(StatusCode code, std::uint32_t rounds_completed,
+                    std::string detail) {
+  if (obs::active(trace_)) {
+    obs::TraceEvent e;
+    e.name = "governance_stop";
+    e.engine = engine_;
+    e.algorithm = status_name(code);
+    e.phase = obs::Phase::kInstant;
+    e.superstep = rounds_completed;
+    e.ts_us = elapsed_ms() * 1e3;
+    trace_->record(std::move(e));
+  }
+  throw Stop(code, rounds_completed, std::move(detail));
+}
+
+}  // namespace xg::gov

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace xg::gov {
+
+/// The structured error taxonomy every governed entry point reports through
+/// (xg::RunStatus is an alias). A long-lived server routes on these codes —
+/// they replace the ad-hoc std::invalid_argument / std::bad_alloc escapes
+/// the engines used to leak.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// The run's CancelToken was cancelled (by another thread, typically).
+  kCancelled,
+  /// The wall-clock deadline passed before the run finished.
+  kDeadlineExceeded,
+  /// Process RSS (plus any pending allocation) exceeded the memory budget.
+  kMemoryBudgetExceeded,
+  /// The run needed more rounds/supersteps/levels than max_rounds allows.
+  kRoundLimit,
+  /// The request itself is malformed (bad source, zero deadline, ...).
+  kInvalidArgument,
+  /// An unexpected engine failure — a bug, not a request problem.
+  kInternal,
+};
+
+/// Stable registry name for a status code ("ok", "cancelled",
+/// "deadline_exceeded", "memory_budget_exceeded", "round_limit",
+/// "invalid_argument", "internal").
+const char* status_name(StatusCode code);
+
+/// Shareable cooperative-cancellation handle. Default-constructed tokens
+/// are empty (never cancellable, cost nothing); CancelToken::make() creates
+/// an engaged token whose copies all share one flag, so a server thread can
+/// keep a copy and cancel() while a worker thread runs under another copy.
+/// cancel() and cancelled() are safe to call from any thread.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// An engaged token (one shared flag across all copies).
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Request cancellation. No-op on an empty token.
+  void cancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+  }
+
+  /// True once cancel() has been called on any copy; false for empty tokens.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+  /// True when this token can be cancelled at all.
+  bool engaged() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The resource limits a Governor enforces. Unset optionals mean "no
+/// limit"; an all-unset Limits with an empty token governs nothing (and
+/// xg::run skips constructing a Governor entirely — the ungoverned fast
+/// path stays one null-pointer test per round).
+struct Limits {
+  /// Wall-clock deadline, measured from Governor construction. Must be > 0
+  /// when set (validated by xg::run).
+  std::optional<double> deadline_ms;
+  /// Whole-process RSS ceiling in bytes (gov::current_rss_bytes plus any
+  /// declared upcoming allocation). Must cover the input graph's own
+  /// footprint when set (validated by xg::run).
+  std::optional<std::uint64_t> memory_budget_bytes;
+  /// Maximum rounds (supersteps / frontier levels / iterations) the run may
+  /// complete. Unlike the engines' max_supersteps safety valve — which cuts
+  /// off and still returns the partial state with converged=false — hitting
+  /// this limit yields a clean kRoundLimit status with NO result payload.
+  /// Must be > 0 when set (validated by xg::run).
+  std::optional<std::uint32_t> max_rounds;
+  /// Cooperative cancellation handle (empty = not cancellable).
+  CancelToken cancel;
+
+  bool any() const {
+    return deadline_ms.has_value() || memory_budget_bytes.has_value() ||
+           max_rounds.has_value() || cancel.engaged();
+  }
+};
+
+/// Thrown by Governor checks when a limit is violated. Carries the
+/// structured status plus the partial progress the run had made — the last
+/// consistent round boundary — so callers (xg::run) can report how far the
+/// run got without exposing any partial result state.
+class Stop : public std::exception {
+ public:
+  Stop(StatusCode code, std::uint32_t rounds_completed, std::string detail)
+      : code_(code),
+        rounds_completed_(rounds_completed),
+        detail_(std::move(detail)) {}
+
+  StatusCode code() const { return code_; }
+  /// Rounds fully completed (state consistent) when the run was cut off.
+  std::uint32_t rounds_completed() const { return rounds_completed_; }
+  const std::string& detail() const { return detail_; }
+  const char* what() const noexcept override { return detail_.c_str(); }
+
+ private:
+  StatusCode code_;
+  std::uint32_t rounds_completed_;
+  std::string detail_;
+};
+
+/// Cooperative resource governor. Engines call check() at their round
+/// boundaries (superstep / frontier level / iteration / build pass) — the
+/// points where their state is consistent — and the governor throws
+/// gov::Stop the moment a limit is violated. The default-constructed
+/// governor is inactive and check() returns immediately; xg::run passes
+/// nullptr instead when no limit is set, so ungoverned runs pay exactly one
+/// null-pointer test per boundary (see gov::checkpoint).
+///
+/// When a TraceSink is attached and governance is active, every check emits
+/// a "governance" instant event carrying the remaining headroom (deadline
+/// microseconds in dur_us, memory bytes in `bytes`, rounds in `msgs`), and
+/// a violation emits a final "governance_stop" event naming the status.
+/// check() and check_allocation() are serial-boundary operations (never
+/// call them from inside a parallel region); cancel() on the token is the
+/// only cross-thread entry.
+class Governor {
+ public:
+  Governor() = default;
+  explicit Governor(Limits limits, std::string engine = "gov",
+                    obs::TraceSink* trace = nullptr)
+      : limits_(std::move(limits)),
+        engine_(std::move(engine)),
+        trace_(trace),
+        start_(std::chrono::steady_clock::now()),
+        active_(limits_.any()) {}
+
+  bool active() const { return active_; }
+  const Limits& limits() const { return limits_; }
+
+  /// Checks performed so far (0 for an inactive governor).
+  std::uint64_t checks() const { return checks_; }
+
+  /// Cooperative checkpoint at a round boundary: `rounds_completed` rounds
+  /// are fully done and the caller is about to start the next one. Throws
+  /// gov::Stop on the first violated limit (priority: cancel, deadline,
+  /// memory, round limit); otherwise returns and, when traced, records a
+  /// "governance" event with the remaining headroom.
+  void check(std::uint32_t rounds_completed);
+
+  /// check() plus a memory pre-check for an allocation the caller is about
+  /// to make: stops with kMemoryBudgetExceeded when RSS + upcoming_bytes
+  /// would cross the budget, BEFORE the allocation happens. The streamed
+  /// graph builders use this to refuse oversized builds cleanly instead of
+  /// riding std::bad_alloc down.
+  void check_allocation(std::uint32_t rounds_completed,
+                        std::uint64_t upcoming_bytes);
+
+  /// Fault injection (cluster::FaultPlan::memory_spike_*): inflate every
+  /// subsequent RSS reading by `bytes` so budget exhaustion can be tested
+  /// deterministically, composed with crash recovery.
+  void add_synthetic_rss(std::uint64_t bytes) { synthetic_rss_ += bytes; }
+
+ private:
+  [[noreturn]] void stop(StatusCode code, std::uint32_t rounds_completed,
+                         std::string detail);
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  Limits limits_;
+  std::string engine_ = "gov";
+  obs::TraceSink* trace_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  std::uint64_t synthetic_rss_ = 0;
+  std::uint64_t checks_ = 0;
+  bool active_ = false;
+};
+
+/// The one-line boundary hook engines use: free when ungoverned (nullptr
+/// or inactive governor), a full limit sweep when governed.
+inline void checkpoint(Governor* governor, std::uint32_t rounds_completed) {
+  if (governor != nullptr && governor->active()) {
+    governor->check(rounds_completed);
+  }
+}
+
+}  // namespace xg::gov

@@ -1,4 +1,4 @@
-#include "exp/rss.hpp"
+#include "gov/rss.hpp"
 
 #include <cstdio>
 #include <cstring>
@@ -9,7 +9,7 @@
 #define XG_HAVE_RUSAGE 1
 #endif
 
-namespace xg::exp {
+namespace xg::gov {
 
 namespace {
 
@@ -59,4 +59,4 @@ std::uint64_t current_rss_bytes() {
   return 0;
 }
 
-}  // namespace xg::exp
+}  // namespace xg::gov

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+namespace xg::gov {
+
+/// Peak resident set size of this process in bytes (the high-water mark,
+/// i.e. Linux VmHWM), or 0 when the platform exposes no way to read it.
+/// Primary source is /proc/self/status; the portable fallback is
+/// getrusage(RUSAGE_SELF).ru_maxrss. Monotone over the process lifetime,
+/// so a bench that sweeps configurations should run them smallest-first
+/// (the scaling bench's ascending-SCALE order) or fork per configuration.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm), or 0 when
+/// unavailable. This is the reading the Governor's memory-budget check
+/// compares against RunOptions::memory_budget_bytes.
+std::uint64_t current_rss_bytes();
+
+}  // namespace xg::gov

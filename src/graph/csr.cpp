@@ -6,10 +6,37 @@
 
 namespace xg::graph {
 
+namespace {
+
+/// Rows between governance checkpoints in the serial sort/dedup pass —
+/// frequent enough that a cancelled SCALE-20 build stops promptly, rare
+/// enough to cost nothing.
+constexpr vid_t kGovernRowBlock = 8192;
+
+}  // namespace
+
 CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
                          bool keep_weights) {
+  // Allocation failures surface as a clean structured status instead of a
+  // raw std::bad_alloc riding up through (and possibly terminating) a
+  // serving process; the governed path usually refuses earlier via the
+  // check_allocation pre-check below.
+  try {
+    return build_impl(edges, opt, keep_weights);
+  } catch (const std::bad_alloc&) {
+    throw gov::Stop(gov::StatusCode::kMemoryBudgetExceeded, 0,
+                    "CSRGraph::build: allocation failed (std::bad_alloc) "
+                    "building " +
+                        std::to_string(edges.num_vertices()) + " vertices / " +
+                        std::to_string(edges.size()) + " edges");
+  }
+}
+
+CSRGraph CSRGraph::build_impl(const EdgeList& edges, const BuildOptions& opt,
+                              bool keep_weights) {
   const vid_t n = edges.num_vertices();
   CSRGraph g;
+  gov::checkpoint(opt.governor, 0);
   g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
 
   auto keep = [&](const Edge& e) {
@@ -24,8 +51,15 @@ CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
   }
   std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
 
-  // Fill pass.
+  // Fill pass. The arc count is now exact, so a governed build can refuse
+  // the big arrays before touching them.
   const eid_t arcs = g.offsets_[n];
+  if (opt.governor != nullptr && opt.governor->active()) {
+    const std::uint64_t upcoming =
+        arcs * (sizeof(vid_t) + (keep_weights ? sizeof(double) : 0)) +
+        (static_cast<std::uint64_t>(n) + 1) * sizeof(eid_t);
+    opt.governor->check_allocation(1, upcoming);
+  }
   g.adj_.resize(arcs);
   if (keep_weights) g.weights_.resize(arcs);
   std::vector<eid_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
@@ -40,6 +74,7 @@ CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
     if (opt.make_undirected) put(e.dst, e.src, e.weight);
   }
 
+  gov::checkpoint(opt.governor, 2);
   if (!opt.sort_adjacency && !opt.dedup) return g;
 
   // Per-vertex sort (+ dedup, merging duplicate weights).
@@ -47,6 +82,7 @@ CSRGraph CSRGraph::build(const EdgeList& edges, const BuildOptions& opt,
   eid_t write = 0;
   std::vector<std::pair<vid_t, double>> scratch;
   for (vid_t v = 0; v < n; ++v) {
+    if (v % kGovernRowBlock == 0) gov::checkpoint(opt.governor, 3);
     const eid_t lo = g.offsets_[v];
     const eid_t hi = g.offsets_[v + 1];
     scratch.clear();

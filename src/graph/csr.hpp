@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "gov/governance.hpp"
 #include "graph/edge_list.hpp"
 #include "graph/types.hpp"
 
@@ -20,6 +21,13 @@ struct BuildOptions {
   /// Sort each adjacency list ascending (required by has_edge and by the
   /// intersection-based triangle kernels).
   bool sort_adjacency = true;
+  /// Resource governance for the build itself: CSRGraph::build and
+  /// graph::rmat_csr call Governor::check at their pass/block boundaries
+  /// and Governor::check_allocation before sizing the big arrays, so an
+  /// oversized or cancelled construction stops cleanly (gov::Stop) instead
+  /// of holding the process or dying on std::bad_alloc. nullptr (the
+  /// default) builds ungoverned. Never owned by the build.
+  gov::Governor* governor = nullptr;
 };
 
 /// Immutable compressed-sparse-row graph.
@@ -32,6 +40,9 @@ class CSRGraph {
   CSRGraph() = default;
 
   /// Build from an edge list. Weights are kept only when `keep_weights`.
+  /// Governable (BuildOptions::governor): throws gov::Stop with a clean
+  /// structured status when a limit trips or an allocation fails —
+  /// std::bad_alloc never escapes this entry point.
   static CSRGraph build(const EdgeList& edges, const BuildOptions& opt = {},
                         bool keep_weights = false);
 
@@ -77,11 +88,23 @@ class CSRGraph {
   const std::vector<eid_t>& offsets() const { return offsets_; }
   const std::vector<vid_t>& adjacency() const { return adj_; }
 
+  /// Bytes held by the CSR arrays themselves (offsets + adjacency +
+  /// weights) — the graph's own footprint, which any memory budget
+  /// governing a run over it must at least cover.
+  std::uint64_t memory_footprint_bytes() const {
+    return offsets_.capacity() * sizeof(eid_t) +
+           adj_.capacity() * sizeof(vid_t) +
+           weights_.capacity() * sizeof(double);
+  }
+
   /// Address of the first adjacency word of `v` — used by kernels to charge
   /// their simulated memory traffic against real addresses.
   const vid_t* adjacency_ptr(vid_t v) const { return adj_.data() + offsets_[v]; }
 
  private:
+  static CSRGraph build_impl(const EdgeList& edges, const BuildOptions& opt,
+                             bool keep_weights);
+
   std::vector<eid_t> offsets_;  // size n+1
   std::vector<vid_t> adj_;
   std::vector<double> weights_;  // empty, or parallel to adj_

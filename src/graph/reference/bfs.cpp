@@ -6,7 +6,7 @@
 
 namespace xg::graph::ref {
 
-BfsResult bfs(const CSRGraph& g, vid_t source) {
+BfsResult bfs(const CSRGraph& g, vid_t source, gov::Governor* governor) {
   const vid_t n = g.num_vertices();
   BfsResult r;
   r.distance.assign(n, kInfDist);
@@ -39,6 +39,8 @@ BfsResult bfs(const CSRGraph& g, vid_t source) {
       level_remaining = next_level_count;
       next_level_count = 0;
       ++level;
+      // Level boundary with work remaining: `level` levels have committed.
+      if (!queue.empty()) gov::checkpoint(governor, level);
     }
   }
   return r;

@@ -16,7 +16,10 @@ struct BfsResult {
 };
 
 /// Textbook queue-based BFS; the oracle for every parallel BFS variant.
-BfsResult bfs(const CSRGraph& g, vid_t source);
+/// `governor`, when non-null, is consulted at every level boundary
+/// (gov::Stop on a tripped limit); nullptr runs ungoverned.
+BfsResult bfs(const CSRGraph& g, vid_t source,
+              gov::Governor* governor = nullptr);
 
 /// Validate a (distance, parent) pair against Graph500-style rules:
 /// tree edges exist, distances increase by one along parents, and every

@@ -32,10 +32,14 @@ bool DisjointSets::unite(vid_t a, vid_t b) {
   return true;
 }
 
-std::vector<vid_t> connected_components(const CSRGraph& g) {
+std::vector<vid_t> connected_components(const CSRGraph& g,
+                                        gov::Governor* governor) {
   const vid_t n = g.num_vertices();
+  // Vertices between governance checkpoints in the union sweep.
+  constexpr vid_t kGovernBlock = 8192;
   DisjointSets dsu(n);
   for (vid_t v = 0; v < n; ++v) {
+    if (v % kGovernBlock == 0) gov::checkpoint(governor, v / kGovernBlock);
     for (vid_t u : g.neighbors(v)) dsu.unite(v, u);
   }
   std::vector<vid_t> labels(n);

@@ -11,8 +11,11 @@ namespace xg::graph::ref {
 /// Union-find connected components. Labels are canonicalized so every
 /// vertex's label is the minimum vertex id in its component — the same
 /// fixed point both the paper's algorithms converge to, making label maps
-/// directly comparable across implementations.
-std::vector<vid_t> connected_components(const CSRGraph& g);
+/// directly comparable across implementations. `governor`, when non-null,
+/// is consulted at fixed vertex-block boundaries of the union sweep
+/// (gov::Stop on a tripped limit); nullptr runs ungoverned.
+std::vector<vid_t> connected_components(const CSRGraph& g,
+                                        gov::Governor* governor = nullptr);
 
 /// Number of distinct labels in a component map.
 vid_t count_components(std::span<const vid_t> labels);

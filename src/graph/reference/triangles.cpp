@@ -28,9 +28,12 @@ std::uint64_t intersect_above(std::span<const vid_t> a,
 
 }  // namespace
 
-std::uint64_t count_triangles(const CSRGraph& g) {
+std::uint64_t count_triangles(const CSRGraph& g, gov::Governor* governor) {
+  // Vertices between governance checkpoints of the outer loop.
+  constexpr vid_t kGovernBlock = 4096;
   std::uint64_t total = 0;
   for (vid_t i = 0; i < g.num_vertices(); ++i) {
+    if (i % kGovernBlock == 0) gov::checkpoint(governor, i / kGovernBlock);
     for (vid_t j : g.neighbors(i)) {
       if (j <= i) continue;
       // k must be adjacent to both i and j and > j.

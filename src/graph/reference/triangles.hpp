@@ -9,8 +9,11 @@ namespace xg::graph::ref {
 
 /// Exact global triangle count on an undirected simple graph with sorted
 /// adjacency. Each triangle {i, j, k}, i<j<k, is counted exactly once via
-/// merge intersection of sorted neighbor lists.
-std::uint64_t count_triangles(const CSRGraph& g);
+/// merge intersection of sorted neighbor lists. `governor`, when non-null,
+/// is consulted at fixed vertex-block boundaries (gov::Stop on a tripped
+/// limit); nullptr runs ungoverned.
+std::uint64_t count_triangles(const CSRGraph& g,
+                              gov::Governor* governor = nullptr);
 
 /// Per-vertex triangle counts (each vertex's count includes every triangle
 /// it belongs to). The sum equals 3 x count_triangles.

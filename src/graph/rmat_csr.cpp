@@ -4,7 +4,9 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "gov/governance.hpp"
 #include "graph/rng.hpp"
 #include "host/thread_pool.hpp"
 
@@ -38,9 +40,26 @@ void for_each_rmat_edge(const RmatParams& p, const Body& body) {
   });
 }
 
+CSRGraph rmat_csr_impl(const RmatParams& p, const BuildOptions& opt);
+
 }  // namespace
 
 CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
+  // As with CSRGraph::build: a failed allocation becomes a clean
+  // structured status, never a process-terminating std::bad_alloc.
+  try {
+    return rmat_csr_impl(p, opt);
+  } catch (const std::bad_alloc&) {
+    throw gov::Stop(gov::StatusCode::kMemoryBudgetExceeded, 0,
+                    "graph::rmat_csr: allocation failed (std::bad_alloc) at "
+                    "SCALE " +
+                        std::to_string(p.scale));
+  }
+}
+
+namespace {
+
+CSRGraph rmat_csr_impl(const RmatParams& p, const BuildOptions& opt) {
   validate_rmat_params(p);
   if (!opt.sort_adjacency) {
     throw std::invalid_argument(
@@ -52,7 +71,11 @@ CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
   const std::uint64_t n = p.num_vertices();
 
   // Pass 1: regenerate every edge and count arcs per vertex. The adds
-  // commute, so the atomic counters are deterministic.
+  // commute, so the atomic counters are deterministic. A governed build
+  // pre-checks the counter array — the first allocation proportional to n.
+  if (opt.governor != nullptr && opt.governor->active()) {
+    opt.governor->check_allocation(0, n * sizeof(std::atomic<eid_t>));
+  }
   auto count = std::make_unique<std::atomic<eid_t>[]>(n);
   pool.parallel_for(n, [&](std::uint64_t v) {
     count[v].store(0, std::memory_order_relaxed);
@@ -70,7 +93,12 @@ CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
 
   // Pass 2: regenerate again and scatter arcs into their rows. The slot a
   // given arc lands in depends on scheduling, but sorting erases that —
-  // row contents are a multiset, and its sorted form is unique.
+  // row contents are a multiset, and its sorted form is unique. The
+  // adjacency array is the dominant allocation, so a governed build
+  // re-checks the budget against its exact size first.
+  if (opt.governor != nullptr && opt.governor->active()) {
+    opt.governor->check_allocation(1, offsets[n] * sizeof(vid_t));
+  }
   std::vector<vid_t> adj(offsets[n]);
   pool.parallel_for(n, [&](std::uint64_t v) {
     count[v].store(0, std::memory_order_relaxed);
@@ -84,6 +112,7 @@ CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
     if (opt.make_undirected) put(dst, src);
   });
   count.reset();
+  gov::checkpoint(opt.governor, 2);
 
   // Pass 3: sort each row in place (rows never share array elements, so
   // per-row tasks are race-free), dedup within the row, and record the
@@ -98,6 +127,8 @@ CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
           opt.dedup ? std::unique(lo, hi) - lo : hi - lo);
     }
   });
+
+  gov::checkpoint(opt.governor, 3);
 
   // Serial left-shift compaction: rows only ever move down, so a single
   // ascending pass is safe; a concurrent one is not (row k's new home can
@@ -121,5 +152,7 @@ CSRGraph rmat_csr(const RmatParams& p, const BuildOptions& opt) {
 
   return CSRGraph::from_parts(std::move(new_offsets), std::move(adj));
 }
+
+}  // namespace
 
 }  // namespace xg::graph

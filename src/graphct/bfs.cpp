@@ -10,10 +10,10 @@ using graph::vid_t;
 
 BfsResult bfs(xmt::Engine& engine, const graph::CSRGraph& g, vid_t source,
               const BfsOptions& opt) {
+  // Source validation happens centrally in xg::run; direct callers with an
+  // out-of-range source get the vector's own bounds behavior in debug and
+  // garbage levels in release, same as any raw kernel.
   const vid_t n = g.num_vertices();
-  if (source >= n) {
-    throw std::out_of_range("graphct::bfs: source out of range");
-  }
 
   BfsResult r;
   r.distance.assign(n, graph::kInfDist);
@@ -43,6 +43,8 @@ BfsResult bfs(xmt::Engine& engine, const graph::CSRGraph& g, vid_t source,
 
   std::uint32_t level = 0;
   while (!frontier.empty()) {
+    // Level boundary: `level` frontier expansions are fully committed.
+    gov::checkpoint(opt.governor, level);
     next.clear();
     queue_tail = 0;
     IterationRecord rec;

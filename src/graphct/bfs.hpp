@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "graphct/framework.hpp"
 #include "xmt/engine.hpp"
@@ -12,6 +13,11 @@ struct BfsOptions {
   /// Also record parent pointers (Graph500 convention); costs one extra
   /// store per discovered vertex.
   bool record_parents = true;
+
+  /// Resource governance, checked at every frontier-level boundary (never
+  /// inside the parallel level sweep). Throws gov::Stop. nullptr (the
+  /// default) runs ungoverned. Never owned by the kernel.
+  gov::Governor* governor = nullptr;
 };
 
 struct BfsResult {

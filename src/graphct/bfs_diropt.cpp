@@ -11,10 +11,8 @@ using graph::vid_t;
 BfsResult bfs_direction_optimizing(xmt::Engine& engine,
                                    const graph::CSRGraph& g, vid_t source,
                                    const DirOptBfsOptions& opt) {
+  // Source validation happens centrally in xg::run (see graphct::bfs).
   const vid_t n = g.num_vertices();
-  if (source >= n) {
-    throw std::out_of_range("graphct::bfs_direction_optimizing: source");
-  }
 
   BfsResult r;
   r.distance.assign(n, graph::kInfDist);
@@ -37,6 +35,9 @@ BfsResult bfs_direction_optimizing(xmt::Engine& engine,
   std::uint32_t level = 0;
 
   while (!frontier.empty()) {
+    // Level boundary: `level` frontier expansions are fully committed.
+    gov::checkpoint(opt.governor, level);
+
     // Direction heuristic: compare the frontier's outgoing edge volume
     // against the edges not yet explored.
     std::uint64_t frontier_edges = 0;

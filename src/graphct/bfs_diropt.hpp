@@ -11,6 +11,11 @@ struct DirOptBfsOptions {
   /// Switch back to top-down when the frontier shrinks below n / beta.
   double beta = 24.0;
   bool record_parents = true;
+
+  /// Resource governance, checked at every level boundary (top-down and
+  /// bottom-up alike, before the direction heuristic). Throws gov::Stop.
+  /// nullptr (the default) runs ungoverned. Never owned by the kernel.
+  gov::Governor* governor = nullptr;
 };
 
 /// Direction-optimizing breadth-first search (Beamer, Asanović, Patterson,

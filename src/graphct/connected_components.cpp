@@ -30,6 +30,8 @@ CCResult connected_components(xmt::Engine& engine, const graph::CSRGraph& g,
   bool changed = true;
   std::uint8_t changed_flag = 0;  // the shared "done" word threads write
   for (std::uint32_t iter = 0; changed && iter < opt.max_iterations; ++iter) {
+    // Iteration boundary: `iter` full edge sweeps have committed.
+    gov::checkpoint(opt.governor, iter);
     changed = false;
     if (!opt.in_iteration_propagation) prev = r.labels;
     const std::vector<vid_t>& read_labels =

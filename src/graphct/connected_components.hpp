@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "graphct/framework.hpp"
 #include "xmt/engine.hpp"
@@ -18,6 +19,11 @@ struct CCOptions {
 
   /// Safety valve; the algorithm converges long before this.
   std::uint32_t max_iterations = 10000;
+
+  /// Resource governance, checked at every iteration boundary (never inside
+  /// the parallel edge sweep). Throws gov::Stop. nullptr (the default) runs
+  /// ungoverned. Never owned by the kernel.
+  gov::Governor* governor = nullptr;
 };
 
 struct CCResult {

@@ -18,7 +18,9 @@ std::size_t higher_count(const graph::CSRGraph& g, vid_t v) {
 
 }  // namespace
 
-TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g) {
+TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g,
+                               gov::Governor* governor) {
+  gov::checkpoint(governor, 0);
   const vid_t n = g.num_vertices();
   TriangleResult r;
   r.per_vertex.assign(n, 0);
@@ -82,10 +84,14 @@ TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g) {
 }
 
 ClusteringResult clustering_coefficients(xmt::Engine& engine,
-                                         const graph::CSRGraph& g) {
+                                         const graph::CSRGraph& g,
+                                         gov::Governor* governor) {
   ClusteringResult out;
-  out.triangles = count_triangles(engine, g);
+  out.triangles = count_triangles(engine, g, governor);
 
+  // Boundary between the two passes: the count is committed, the
+  // coefficient sweep has not started.
+  gov::checkpoint(governor, 1);
   const vid_t n = g.num_vertices();
   out.local.assign(n, 0.0);
   std::uint64_t wedges = 0;

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "graphct/framework.hpp"
 #include "xmt/engine.hpp"
@@ -22,7 +23,11 @@ struct TriangleResult {
 /// over every vertex, its neighbors, and the sorted-adjacency intersection
 /// of the two endpoints. A write happens only when a triangle is detected —
 /// the 181x write-volume contrast with the BSP variant (paper §V).
-TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g);
+///
+/// The kernel is a single parallel region, so a governed run is checked at
+/// entry only (gov::Stop); there is no interior boundary to stop at.
+TriangleResult count_triangles(xmt::Engine& engine, const graph::CSRGraph& g,
+                               gov::Governor* governor = nullptr);
 
 /// Local clustering coefficients computed from the triangle kernel,
 /// tri(v) / C(deg(v), 2); the paper's "clustering coefficients" workload.
@@ -32,6 +37,7 @@ struct ClusteringResult {
   TriangleResult triangles;
 };
 ClusteringResult clustering_coefficients(xmt::Engine& engine,
-                                         const graph::CSRGraph& g);
+                                         const graph::CSRGraph& g,
+                                         gov::Governor* governor = nullptr);
 
 }  // namespace xg::graphct

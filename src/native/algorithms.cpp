@@ -23,10 +23,9 @@ constexpr std::uint64_t kFrontierGrain = 64;
 
 }  // namespace
 
-NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
-                    vid_t source) {
+NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g, vid_t source,
+                    gov::Governor* governor) {
   const vid_t n = g.num_vertices();
-  if (source >= n) throw std::out_of_range("native::bfs: bad source");
 
   auto dist = std::make_unique<std::atomic<std::uint32_t>[]>(n);
   for (vid_t v = 0; v < n; ++v) {
@@ -41,6 +40,8 @@ NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
   r.reached = 1;
 
   while (!queue.window_empty()) {
+    // Level barrier: `level` levels fully committed, the next not started.
+    gov::checkpoint(governor, level);
     const std::uint64_t fsize = queue.window_size();
     r.level_sizes.push_back(static_cast<vid_t>(fsize));
     const std::uint64_t tasks = (fsize + kFrontierGrain - 1) / kFrontierGrain;
@@ -73,7 +74,8 @@ NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
 }
 
 std::vector<vid_t> connected_components(ThreadPool& pool,
-                                        const graph::CSRGraph& g) {
+                                        const graph::CSRGraph& g,
+                                        gov::Governor* governor) {
   const vid_t n = g.num_vertices();
   auto label = std::make_unique<std::atomic<vid_t>[]>(n);
   for (vid_t v = 0; v < n; ++v) label[v].store(v, std::memory_order_relaxed);
@@ -87,7 +89,10 @@ std::vector<vid_t> connected_components(ThreadPool& pool,
                               kGrain;
   std::vector<std::uint8_t> lane_changed(tasks, 0);
   bool changed = n > 0;
+  std::uint32_t round = 0;
   while (changed) {
+    // Round barrier: `round` full propagation sweeps have committed.
+    gov::checkpoint(governor, round++);
     std::fill(lane_changed.begin(), lane_changed.end(), 0);
     pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
       const std::uint64_t b = t * kGrain;
@@ -120,7 +125,9 @@ std::vector<vid_t> connected_components(ThreadPool& pool,
   return out;
 }
 
-std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g) {
+std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
+                              gov::Governor* governor) {
+  gov::checkpoint(governor, 0);
   const vid_t n = g.num_vertices();
   std::atomic<std::uint64_t> total{0};
   pool.parallel_for_ranges(n, 32, [&](std::uint64_t b, std::uint64_t e) {

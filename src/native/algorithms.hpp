@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gov/governance.hpp"
 #include "graph/csr.hpp"
 #include "host/thread_pool.hpp"
 
@@ -31,8 +32,12 @@ struct NativeBfsResult {
   std::vector<std::uint8_t> level_bottom_up;
   graph::vid_t reached = 0;
 };
+/// `governor`, when non-null, is consulted at every level barrier (the
+/// serial point between the per-lane sweeps); a tripped limit throws
+/// gov::Stop before the next level starts. Source validation happens
+/// centrally in xg::run.
 NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
-                    graph::vid_t source);
+                    graph::vid_t source, gov::Governor* governor = nullptr);
 
 /// Beamer-style direction-optimizing BFS (SC'12): top-down levels push the
 /// frontier through sliding queues exactly like bfs(); once the frontier's
@@ -48,18 +53,25 @@ struct HybridBfsOptions {
   double alpha = 14.0;
   /// Bottom-up -> top-down when the frontier drops below n / beta vertices.
   double beta = 24.0;
+  /// Resource governance, checked at every level barrier regardless of
+  /// direction. Throws gov::Stop. nullptr runs ungoverned; never owned.
+  gov::Governor* governor = nullptr;
 };
 NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
                            graph::vid_t source,
                            const HybridBfsOptions& opt = {});
 
 /// Label-propagation connected components with atomic-min label updates;
-/// labels are canonical minimum-member ids.
-std::vector<graph::vid_t> connected_components(ThreadPool& pool,
-                                               const graph::CSRGraph& g);
+/// labels are canonical minimum-member ids. A governed run is checked at
+/// every round barrier.
+std::vector<graph::vid_t> connected_components(
+    ThreadPool& pool, const graph::CSRGraph& g,
+    gov::Governor* governor = nullptr);
 
-/// Exact triangle count by parallel sorted-adjacency intersection.
-std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g);
+/// Exact triangle count by parallel sorted-adjacency intersection. One
+/// parallel region: a governed run is checked at entry only.
+std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
+                              gov::Governor* governor = nullptr);
 
 /// Power-iteration PageRank (damping d, `iterations` rounds).
 std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,

@@ -44,8 +44,8 @@ struct alignas(64) LaneTally {
 
 NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
                            vid_t source, const HybridBfsOptions& opt) {
+  // Source validation happens centrally in xg::run.
   const vid_t n = g.num_vertices();
-  if (source >= n) throw std::out_of_range("native::bfs_hybrid: bad source");
   if (opt.alpha <= 0.0 || opt.beta <= 0.0) {
     throw std::invalid_argument("native::bfs_hybrid: alpha/beta must be > 0");
   }
@@ -71,6 +71,9 @@ NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
   r.reached = 1;
 
   while (nf > 0) {
+    // Level barrier: `level` levels fully committed regardless of the
+    // direction each ran in.
+    gov::checkpoint(opt.governor, level);
     r.level_sizes.push_back(static_cast<vid_t>(nf));
 
     // Direction for this level (Beamer's two-threshold hysteresis). The

@@ -125,12 +125,20 @@ TEST(Run, FaultedClusterRunMatchesFaultFree) {
   EXPECT_GT(faulted.seconds, clean.seconds);
 }
 
-TEST(Run, BfsSourceOutOfRangeThrows) {
+TEST(Run, BfsSourceOutOfRangeReportsInvalidArgument) {
   const auto g = graph::CSRGraph::build(graph::path_graph(4));
   auto opt = small_sim();
   opt.source = 4;
-  EXPECT_THROW(run(AlgorithmId::kBfs, BackendId::kReference, g, opt),
-               std::invalid_argument);
+  for (const auto backend : all_backends()) {
+    const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+    EXPECT_EQ(rep.status, RunStatus::kInvalidArgument) << backend_name(backend);
+    // The detail must name the offending field and both bounds.
+    EXPECT_NE(rep.status_detail.find("RunOptions::source"), std::string::npos)
+        << rep.status_detail;
+    EXPECT_NE(rep.status_detail.find('4'), std::string::npos)
+        << rep.status_detail;
+    EXPECT_TRUE(rep.distance.empty()) << backend_name(backend);
+  }
 }
 
 TEST(Run, DirectionModeIsPerformanceOnlyOnEveryBackend) {

@@ -1,0 +1,450 @@
+// Governed execution through xg::run on every backend: clean structured
+// statuses, the no-partial-mutation invariant (ok-and-identical or
+// empty-with-status, never in between), central validation that names the
+// offending RunOptions field, mid-run cancellation from a second thread,
+// and governed graph construction (budgets, pre-checks, fault-injected
+// memory spikes composing with cluster crash recovery).
+//
+// The cancellation races here are the reason this suite must stay clean
+// under TSan at XG_THREADS=4: the only cross-thread edge is the token's
+// atomic flag.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/run.hpp"
+#include "cluster/faults.hpp"
+#include "gov/rss.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
+#include "obs/trace.hpp"
+
+namespace xg {
+namespace {
+
+graph::CSRGraph rmat(std::uint32_t scale, std::uint32_t edgefactor = 8,
+                     std::uint64_t seed = 7) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = edgefactor;
+  p.seed = seed;
+  return graph::CSRGraph::build(graph::rmat_edges(p));
+}
+
+RunOptions base_options() {
+  RunOptions opt;
+  opt.sim.processors = 16;
+  return opt;
+}
+
+void expect_no_payload(const RunReport& rep, const std::string& where) {
+  EXPECT_TRUE(rep.components.empty()) << where;
+  EXPECT_TRUE(rep.distance.empty()) << where;
+  EXPECT_TRUE(rep.rounds.empty()) << where;
+  EXPECT_EQ(rep.triangles, 0u) << where;
+  EXPECT_EQ(rep.num_components, 0u) << where;
+  EXPECT_EQ(rep.reached, 0u) << where;
+}
+
+// --- pre-cancelled token: deterministic kCancelled everywhere ------------
+
+TEST(Governance, PreCancelledTokenStopsEveryBackend) {
+  const auto g = rmat(8);
+  for (const auto backend : all_backends()) {
+    for (const auto alg : all_algorithms()) {
+      auto opt = base_options();
+      opt.cancel = CancelToken::make();
+      opt.cancel.cancel();
+      const auto rep = run(alg, backend, g, opt);
+      const std::string where =
+          backend_name(backend) + "/" + algorithm_name(alg);
+      EXPECT_EQ(rep.status, RunStatus::kCancelled) << where;
+      EXPECT_FALSE(rep.converged) << where;
+      EXPECT_GT(rep.governance_checks, 0u) << where;
+      expect_no_payload(rep, where);
+    }
+  }
+}
+
+// --- round limit: clean stop with partial progress, no payload -----------
+
+TEST(Governance, RoundLimitStopsDeepBfsOnEveryBackend) {
+  // A 64-vertex path needs ~63 BFS levels from one end, far past the limit.
+  const auto g = graph::CSRGraph::build(graph::path_graph(64));
+  for (const auto backend : all_backends()) {
+    auto opt = base_options();
+    opt.source = 0;
+    opt.max_rounds = 2;
+    const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+    const std::string where = backend_name(backend);
+    EXPECT_EQ(rep.status, RunStatus::kRoundLimit) << where;
+    // The stop lands exactly on the limit boundary.
+    EXPECT_EQ(rep.rounds_completed, 2u) << where;
+    EXPECT_NE(rep.status_detail.find("round limit"), std::string::npos)
+        << rep.status_detail;
+    expect_no_payload(rep, where);
+  }
+}
+
+TEST(Governance, GenerousRoundLimitDoesNotChangeTheResult) {
+  const auto g = rmat(8);
+  for (const auto backend : all_backends()) {
+    auto ungoverned = base_options();
+    auto governed = base_options();
+    governed.max_rounds = 100000;
+    governed.deadline_ms = 1e7;
+    governed.cancel = CancelToken::make();  // live, never fired
+    const auto a = run(AlgorithmId::kBfs, backend, g, ungoverned);
+    const auto b = run(AlgorithmId::kBfs, backend, g, governed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok()) << b.status_detail;
+    EXPECT_EQ(a.distance, b.distance) << backend_name(backend);
+    EXPECT_EQ(a.reached, b.reached) << backend_name(backend);
+    EXPECT_GT(b.governance_checks, 0u) << backend_name(backend);
+    EXPECT_EQ(a.governance_checks, 0u) << backend_name(backend);
+  }
+}
+
+TEST(Governance, ExactConvergenceUnderTheLimitCompletes) {
+  // From the middle of a 5-path, BFS needs 2 levels; max_rounds=8 must not
+  // trip, and the payload must match the ungoverned run bit for bit.
+  const auto g = graph::CSRGraph::build(graph::path_graph(5));
+  auto opt = base_options();
+  opt.source = 2;
+  opt.max_rounds = 8;
+  for (const auto backend : all_backends()) {
+    const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+    ASSERT_TRUE(rep.ok()) << backend_name(backend) << ": "
+                          << rep.status_detail;
+    EXPECT_EQ(rep.reached, 5u) << backend_name(backend);
+  }
+}
+
+// --- deadlines -----------------------------------------------------------
+
+TEST(Governance, TinyDeadlineStopsCleanlyOrCompletesIdentically) {
+  const auto g = rmat(10);
+  const auto baseline =
+      run(AlgorithmId::kConnectedComponents, BackendId::kBsp, g,
+          base_options());
+  ASSERT_TRUE(baseline.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto opt = base_options();
+    opt.deadline_ms = 0.001 * (i + 1);
+    const auto rep =
+        run(AlgorithmId::kConnectedComponents, BackendId::kBsp, g, opt);
+    if (rep.ok()) {
+      EXPECT_EQ(rep.components, baseline.components);
+    } else {
+      EXPECT_EQ(rep.status, RunStatus::kDeadlineExceeded)
+          << rep.status_detail;
+      expect_no_payload(rep, "bsp deadline");
+    }
+  }
+}
+
+// --- central validation: the offending field is named --------------------
+
+TEST(Governance, ValidationNamesTheOffendingField) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(4));
+
+  auto opt = base_options();
+  opt.source = 99;
+  auto rep = run(AlgorithmId::kBfs, BackendId::kNative, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::source"), std::string::npos)
+      << rep.status_detail;
+
+  opt = base_options();
+  opt.deadline_ms = 0.0;
+  rep = run(AlgorithmId::kConnectedComponents, BackendId::kReference, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::deadline_ms"),
+            std::string::npos)
+      << rep.status_detail;
+
+  opt = base_options();
+  opt.deadline_ms = -5.0;
+  rep = run(AlgorithmId::kConnectedComponents, BackendId::kReference, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+
+  opt = base_options();
+  opt.max_rounds = 0;
+  rep = run(AlgorithmId::kTriangleCount, BackendId::kGraphct, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::max_rounds"),
+            std::string::npos)
+      << rep.status_detail;
+
+  opt = base_options();
+  opt.memory_budget_bytes = 0;
+  rep = run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::memory_budget_bytes"),
+            std::string::npos)
+      << rep.status_detail;
+
+  // A budget smaller than the graph's own footprint is a request bug.
+  opt = base_options();
+  opt.memory_budget_bytes = g.memory_footprint_bytes() / 2 + 1;
+  rep = run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::memory_budget_bytes"),
+            std::string::npos)
+      << rep.status_detail;
+}
+
+TEST(Governance, ValidationFailuresPerformNoGovernanceChecks) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(4));
+  auto opt = base_options();
+  opt.max_rounds = 0;
+  const auto rep =
+      run(AlgorithmId::kConnectedComponents, BackendId::kReference, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument);
+  EXPECT_EQ(rep.governance_checks, 0u);
+  EXPECT_EQ(rep.rounds_completed, 0u);
+}
+
+// --- mid-run cancellation from a second thread ---------------------------
+
+// The core robustness claim: another thread fires the token at an
+// arbitrary moment; the run must return promptly with either the complete
+// (bit-identical) payload or a clean kCancelled and nothing else — at
+// every backend and a range of cancellation points.
+TEST(Governance, MidRunCancelFromSecondThreadIsAllOrNothing) {
+  const auto g = rmat(12);
+  const auto source = g.max_degree_vertex();
+  for (const auto backend : all_backends()) {
+    auto baseline = base_options();
+    baseline.source = source;
+    const auto want = run(AlgorithmId::kBfs, backend, g, baseline);
+    ASSERT_TRUE(want.ok());
+    for (int delay_us : {0, 20, 100, 400, 2000}) {
+      auto opt = base_options();
+      opt.source = source;
+      opt.cancel = CancelToken::make();
+      std::thread canceller([token = opt.cancel, delay_us] {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+        token.cancel();
+      });
+      const auto rep = run(AlgorithmId::kBfs, backend, g, opt);
+      canceller.join();
+      const std::string where = backend_name(backend) + " delay=" +
+                                std::to_string(delay_us) + "us";
+      if (rep.ok()) {
+        EXPECT_EQ(rep.distance, want.distance) << where;
+        EXPECT_EQ(rep.reached, want.reached) << where;
+      } else {
+        EXPECT_EQ(rep.status, RunStatus::kCancelled) << where;
+        expect_no_payload(rep, where);
+      }
+    }
+  }
+}
+
+// The ISSUE's acceptance shape: a large native BFS cancelled mid-run
+// returns promptly (within one level boundary) rather than running to
+// completion. Timing is asserted loosely — the cancelled run must come
+// back far faster than the wall-clock of the full search would allow if
+// cancellation were ignored until the end.
+TEST(Governance, MidRunCancelOnLargeNativeBfsReturnsAtALevelBoundary) {
+  graph::RmatParams p;
+  p.scale = 18;
+  p.edgefactor = 8;
+  p.seed = 99;
+  const auto g = graph::rmat_csr(p);  // streamed build keeps this test quick
+  auto opt = base_options();
+  opt.source = g.max_degree_vertex();
+  opt.threads = 4;
+  opt.cancel = CancelToken::make();
+  std::atomic<bool> done{false};
+  std::thread canceller([token = opt.cancel, &done] {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    token.cancel();
+    done.store(true);
+  });
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kNative, g, opt);
+  canceller.join();
+  EXPECT_TRUE(done.load());
+  if (!rep.ok()) {
+    EXPECT_EQ(rep.status, RunStatus::kCancelled);
+    expect_no_payload(rep, "native scale-16 cancel");
+    // The stop landed on a completed level boundary, not mid-level.
+    EXPECT_NE(rep.status_detail.find("completed round"), std::string::npos)
+        << rep.status_detail;
+  }
+}
+
+// --- partial progress reporting ------------------------------------------
+
+TEST(Governance, RoundsCompletedReportsTheLastConsistentBoundary) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(32));
+  for (const std::uint32_t limit : {1u, 3u, 5u}) {
+    auto opt = base_options();
+    opt.source = 0;
+    opt.max_rounds = limit;
+    const auto rep = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+    ASSERT_EQ(rep.status, RunStatus::kRoundLimit) << limit;
+    EXPECT_EQ(rep.rounds_completed, limit);
+  }
+}
+
+// --- governed graph construction -----------------------------------------
+
+TEST(Governance, BuilderStopsCleanlyWhenTheBudgetIsExhausted) {
+  const std::uint64_t rss = gov::current_rss_bytes();
+  ASSERT_GT(rss, 0u);
+  gov::Limits limits;
+  limits.memory_budget_bytes = rss + (256u << 20);
+  gov::Governor governor(limits, "build-test");
+  // A synthetic spike models the rest of the process eating the headroom.
+  governor.add_synthetic_rss(1ull << 30);
+  graph::BuildOptions opt;
+  opt.governor = &governor;
+  try {
+    const auto g = graph::CSRGraph::build(graph::path_graph(1 << 16), opt);
+    FAIL() << "expected gov::Stop, built " << g.num_vertices() << " vertices";
+  } catch (const gov::Stop& stop) {
+    EXPECT_EQ(stop.code(), gov::StatusCode::kMemoryBudgetExceeded);
+  }
+}
+
+TEST(Governance, BuilderHonoursCancellation) {
+  gov::Limits limits;
+  limits.cancel = gov::CancelToken::make();
+  limits.cancel.cancel();
+  gov::Governor governor(limits, "build-test");
+  graph::BuildOptions opt;
+  opt.governor = &governor;
+  EXPECT_THROW(graph::CSRGraph::build(graph::path_graph(1024), opt),
+               gov::Stop);
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edgefactor = 8;
+  EXPECT_THROW(graph::rmat_csr(p, opt), gov::Stop);
+}
+
+TEST(Governance, GovernedBuildMatchesUngovernedBuild) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  p.seed = 5;
+  const auto plain = graph::rmat_csr(p);
+  gov::Limits limits;
+  limits.deadline_ms = 1e7;
+  limits.memory_budget_bytes =
+      gov::current_rss_bytes() + (4ull << 30);
+  gov::Governor governor(limits, "build-test");
+  graph::BuildOptions opt;
+  opt.governor = &governor;
+  const auto governed = graph::rmat_csr(p, opt);
+  ASSERT_EQ(plain.num_vertices(), governed.num_vertices());
+  ASSERT_EQ(plain.num_arcs(), governed.num_arcs());
+  for (graph::vid_t v = 0; v < plain.num_vertices(); ++v) {
+    ASSERT_EQ(plain.degree(v), governed.degree(v)) << v;
+  }
+  EXPECT_GT(governor.checks(), 0u);
+}
+
+// --- fault-injected memory spike on the cluster backend ------------------
+
+TEST(Governance, ClusterMemorySpikeComposesWithGovernance) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(48));
+  auto opt = base_options();
+  opt.source = 0;
+  opt.memory_budget_bytes = gov::current_rss_bytes() + (256u << 20);
+  opt.faults.memory_spike_superstep = 2;
+  opt.faults.memory_spike_bytes = 4ull << 30;  // synthetic, never allocated
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kCluster, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kMemoryBudgetExceeded)
+      << rep.status_detail;
+  // The spike fires at its scheduled superstep, so progress stops there.
+  EXPECT_EQ(rep.rounds_completed, 2u);
+  expect_no_payload(rep, "cluster spike");
+}
+
+TEST(Governance, ClusterMemorySpikeComposesWithCrashRecovery) {
+  // A crash (with recovery) scheduled before the spike: the governed run
+  // must first recover, then still stop on the budget at the spike's
+  // superstep — proof it made it through recovery. The same fault plan
+  // without a budget completes normally (the spike is synthetic).
+  const auto g = graph::CSRGraph::build(graph::path_graph(48));
+  auto opt = base_options();
+  opt.source = 0;
+  opt.cluster.checkpoint_interval = 2;
+  opt.faults.crashes.push_back({.superstep = 1, .machine = 0});
+  opt.faults.memory_spike_superstep = 6;
+  opt.faults.memory_spike_bytes = 4ull << 30;
+
+  auto governed = opt;
+  governed.memory_budget_bytes = gov::current_rss_bytes() + (256u << 20);
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kCluster, g, governed);
+  EXPECT_EQ(rep.status, RunStatus::kMemoryBudgetExceeded)
+      << rep.status_detail;
+  // Stopping at the spike's superstep is only reachable after the crash at
+  // superstep 1 was recovered; a governed stop reports no recovery trail
+  // (all-or-nothing, like the payload).
+  EXPECT_EQ(rep.rounds_completed, 6u);
+  expect_no_payload(rep, "cluster crash+spike");
+
+  const auto ungoverned = run(AlgorithmId::kBfs, BackendId::kCluster, g, opt);
+  ASSERT_TRUE(ungoverned.ok()) << ungoverned.status_detail;
+  EXPECT_GT(ungoverned.recovery.crashes, 0u);
+  EXPECT_EQ(ungoverned.reached, 48u);
+}
+
+// --- governance trace events ---------------------------------------------
+
+TEST(Governance, TracedGovernedRunEmitsGovernanceEvents) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(16));
+  obs::TraceSink sink;
+  auto opt = base_options();
+  opt.source = 0;
+  opt.max_rounds = 3;
+  opt.trace = &sink;
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+  ASSERT_EQ(rep.status, RunStatus::kRoundLimit);
+  std::size_t checks = 0, stops = 0;
+  for (const auto& e : sink.events()) {
+    if (e.name == "governance") ++checks;
+    if (e.name == "governance_stop") {
+      ++stops;
+      EXPECT_EQ(e.algorithm, "round_limit");
+      EXPECT_EQ(e.superstep, 3u);
+    }
+  }
+  EXPECT_GT(checks, 0u);
+  EXPECT_EQ(stops, 1u);
+}
+
+TEST(Governance, UngovernedTracedRunEmitsNoGovernanceEvents) {
+  // Golden traces must be unaffected by the governance layer.
+  const auto g = graph::CSRGraph::build(graph::path_graph(16));
+  obs::TraceSink sink;
+  auto opt = base_options();
+  opt.trace = &sink;
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+  ASSERT_TRUE(rep.ok());
+  for (const auto& e : sink.events()) {
+    EXPECT_NE(e.name, "governance");
+    EXPECT_NE(e.name, "governance_stop");
+  }
+}
+
+TEST(Governance, FaultPlanRejectsSpikeWithoutBytes) {
+  const auto g = graph::CSRGraph::build(graph::path_graph(8));
+  auto opt = base_options();
+  opt.faults.memory_spike_superstep = 1;  // bytes left at 0: malformed
+  const auto rep = run(AlgorithmId::kBfs, BackendId::kCluster, g, opt);
+  EXPECT_EQ(rep.status, RunStatus::kInvalidArgument) << rep.status_detail;
+}
+
+}  // namespace
+}  // namespace xg

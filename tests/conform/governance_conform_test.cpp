@@ -1,0 +1,53 @@
+// The governance differential as a test: a slice of the ci-smoke corpus
+// swept under randomized cancellation / deadline / round-limit schedules
+// on every backend, asserting the status-or-identical invariant end to
+// end. The full corpus runs in CI via `xg_fuzz --corpus ci-smoke
+// --governance`.
+
+#include <gtest/gtest.h>
+
+#include "conform/corpus.hpp"
+#include "conform/governance.hpp"
+
+namespace xg::conform {
+namespace {
+
+TEST(GovernanceDifferential, CiSmokeSliceHoldsTheInvariant) {
+  auto corpus = named_corpus("ci-smoke");
+  ASSERT_FALSE(corpus.empty());
+  if (corpus.size() > 6) corpus.resize(6);  // unit-test time budget
+  GovernanceOptions opt;
+  opt.thread_counts = {1, 4};
+  opt.schedules = 2;
+  const auto report = run_governance(corpus, opt);
+  EXPECT_EQ(report.graphs, corpus.size());
+  EXPECT_GT(report.runs, 0u);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << v.graph << " " << algorithm_name(v.algorithm) << "/"
+                  << backend_name(v.backend) << " [" << v.schedule << "] "
+                  << v.detail;
+  }
+  // Both halves of the invariant must actually be exercised: some governed
+  // runs stop, some complete.
+  EXPECT_GT(report.governed_stops, 0u);
+  EXPECT_GT(report.completions, 0u);
+}
+
+TEST(GovernanceDifferential, DeterministicScheduleDraws) {
+  auto corpus = make_corpus(3, 11);
+  GovernanceOptions opt;
+  opt.thread_counts = {2};
+  opt.schedules = 2;
+  opt.seed = 42;
+  // Schedules with deterministic outcomes (pre-cancel, generous, round
+  // limits) must agree run to run; deadline runs may land on either side,
+  // so only the invariant (checked inside run_governance) is asserted.
+  const auto a = run_governance(corpus, opt);
+  const auto b = run_governance(corpus, opt);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+}  // namespace
+}  // namespace xg::conform

@@ -1,0 +1,188 @@
+// Unit tests for the resource-governance primitives: token sharing across
+// copies and threads, limit plumbing, check priority, the round-boundary
+// semantics engines rely on, and the allocation pre-check.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "gov/governance.hpp"
+#include "gov/rss.hpp"
+
+namespace xg::gov {
+namespace {
+
+// --- CancelToken --------------------------------------------------------
+
+TEST(CancelToken, EmptyTokenIsInert) {
+  CancelToken t;
+  EXPECT_FALSE(t.engaged());
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();  // no-op, must not crash
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, CopiesShareOneFlag) {
+  const CancelToken a = CancelToken::make();
+  const CancelToken b = a;
+  EXPECT_TRUE(a.engaged());
+  EXPECT_FALSE(b.cancelled());
+  a.cancel();
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(CancelToken, CancelFromAnotherThreadIsVisible) {
+  const CancelToken t = CancelToken::make();
+  std::thread canceller([copy = t] { copy.cancel(); });
+  canceller.join();
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancelToken, SeparateMakesAreIndependent) {
+  const CancelToken a = CancelToken::make();
+  const CancelToken b = CancelToken::make();
+  a.cancel();
+  EXPECT_FALSE(b.cancelled());
+}
+
+// --- Limits -------------------------------------------------------------
+
+TEST(Limits, AnyReflectsEachField) {
+  EXPECT_FALSE(Limits{}.any());
+  Limits l;
+  l.deadline_ms = 5.0;
+  EXPECT_TRUE(l.any());
+  l = Limits{};
+  l.memory_budget_bytes = 1u << 20;
+  EXPECT_TRUE(l.any());
+  l = Limits{};
+  l.max_rounds = 3;
+  EXPECT_TRUE(l.any());
+  l = Limits{};
+  l.cancel = CancelToken::make();
+  EXPECT_TRUE(l.any());
+}
+
+TEST(Governor, DefaultConstructedIsInactive) {
+  Governor g;
+  EXPECT_FALSE(g.active());
+  g.check(0);  // must be a no-op, not a crash
+  EXPECT_EQ(g.checks(), 0u);
+}
+
+TEST(Governor, CheckpointHelperToleratesNullAndInactive) {
+  checkpoint(nullptr, 0);
+  Governor inactive;
+  checkpoint(&inactive, 0);
+  EXPECT_EQ(inactive.checks(), 0u);
+}
+
+// --- round-limit semantics ----------------------------------------------
+
+TEST(Governor, RoundLimitTripsAtTheBoundary) {
+  Limits l;
+  l.max_rounds = 3;
+  Governor g(l, "test");
+  // Engines check at the TOP of round r with rounds_completed = r, so a
+  // run converging in exactly max_rounds rounds completes.
+  g.check(0);
+  g.check(1);
+  g.check(2);
+  try {
+    g.check(3);
+    FAIL() << "expected gov::Stop";
+  } catch (const Stop& stop) {
+    EXPECT_EQ(stop.code(), StatusCode::kRoundLimit);
+    EXPECT_EQ(stop.rounds_completed(), 3u);
+    EXPECT_NE(std::string(stop.what()).find("3"), std::string::npos);
+  }
+  EXPECT_EQ(g.checks(), 4u);
+}
+
+// --- check priority -----------------------------------------------------
+
+TEST(Governor, CancelOutranksEveryOtherLimit) {
+  Limits l;
+  l.cancel = CancelToken::make();
+  l.deadline_ms = 1e-9;  // would also trip
+  l.max_rounds = 1;
+  l.cancel.cancel();
+  Governor g(l, "test");
+  try {
+    g.check(5);
+    FAIL() << "expected gov::Stop";
+  } catch (const Stop& stop) {
+    EXPECT_EQ(stop.code(), StatusCode::kCancelled);
+    EXPECT_EQ(stop.rounds_completed(), 5u);
+  }
+}
+
+TEST(Governor, DeadlineOutranksRoundLimit) {
+  Limits l;
+  l.deadline_ms = 1e-9;  // already expired by the first check
+  l.max_rounds = 1;
+  Governor g(l, "test");
+  try {
+    g.check(7);
+    FAIL() << "expected gov::Stop";
+  } catch (const Stop& stop) {
+    EXPECT_EQ(stop.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(Governor, GenerousLimitsNeverTrip) {
+  Limits l;
+  l.deadline_ms = 1e7;
+  l.max_rounds = 1000;
+  l.cancel = CancelToken::make();  // live, never fired
+  Governor g(l, "test");
+  for (std::uint32_t r = 0; r < 100; ++r) g.check(r);
+  EXPECT_EQ(g.checks(), 100u);
+}
+
+// --- memory budget ------------------------------------------------------
+
+TEST(Governor, SyntheticRssTripsTheBudget) {
+  const std::uint64_t rss = current_rss_bytes();
+  ASSERT_GT(rss, 0u);
+  Limits l;
+  l.memory_budget_bytes = rss + (64u << 20);  // 64 MiB of headroom
+  Governor g(l, "test");
+  g.check(0);  // plenty of headroom: no stop
+  g.add_synthetic_rss(1u << 30);  // +1 GiB synthetic: budget now exceeded
+  try {
+    g.check(1);
+    FAIL() << "expected gov::Stop";
+  } catch (const Stop& stop) {
+    EXPECT_EQ(stop.code(), StatusCode::kMemoryBudgetExceeded);
+    EXPECT_EQ(stop.rounds_completed(), 1u);
+  }
+}
+
+TEST(Governor, AllocationPreCheckStopsBeforeTheAllocation) {
+  const std::uint64_t rss = current_rss_bytes();
+  ASSERT_GT(rss, 0u);
+  Limits l;
+  l.memory_budget_bytes = rss + (64u << 20);
+  Governor g(l, "test");
+  g.check_allocation(0, 1u << 20);  // 1 MiB fits
+  EXPECT_THROW(g.check_allocation(1, 4ull << 30), Stop);  // 4 GiB would not
+}
+
+// --- status names -------------------------------------------------------
+
+TEST(StatusName, StableRegistryNames) {
+  EXPECT_STREQ(status_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_name(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(status_name(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(status_name(StatusCode::kMemoryBudgetExceeded),
+               "memory_budget_exceeded");
+  EXPECT_STREQ(status_name(StatusCode::kRoundLimit), "round_limit");
+  EXPECT_STREQ(status_name(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(status_name(StatusCode::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace xg::gov

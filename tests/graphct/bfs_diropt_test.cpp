@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/run.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference/bfs.hpp"
@@ -107,10 +108,16 @@ TEST(DirOptBfs, ScansFewerEdgesThanTopDownAtTheApex) {
   EXPECT_LT(diropt.totals.cycles, plain.totals.cycles);
 }
 
-TEST(DirOptBfs, SourceOutOfRangeThrows) {
+TEST(DirOptBfs, SourceValidatedCentrally) {
+  // Source validation moved to xg::run; the kernel assumes a valid source.
   const auto g = fam_path();
-  auto e = make_engine();
-  EXPECT_THROW(bfs_direction_optimizing(e, g, 9999), std::out_of_range);
+  xg::RunOptions opt;
+  opt.source = 9999;
+  opt.direction = xg::BfsDirection::kHybrid;
+  const auto rep =
+      xg::run(xg::AlgorithmId::kBfs, xg::BackendId::kGraphct, g, opt);
+  EXPECT_EQ(rep.status, xg::RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::source"), std::string::npos);
 }
 
 TEST(DirOptBfs, Deterministic) {

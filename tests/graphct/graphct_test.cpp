@@ -6,6 +6,7 @@
 
 #include <numeric>
 
+#include "api/run.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference/betweenness.hpp"
@@ -85,10 +86,16 @@ TEST_P(CtFamily, BfsLevelRecordsMatchOracleFrontiers) {
   }
 }
 
-TEST(CtBfs, SourceOutOfRangeThrows) {
+TEST(CtBfs, SourceValidatedCentrally) {
+  // Source validation moved to xg::run so every backend rejects the same
+  // request the same way; the kernel itself assumes a valid source.
   const auto g = fam_path();
-  auto e = make_engine();
-  EXPECT_THROW(bfs(e, g, 1000), std::out_of_range);
+  xg::RunOptions opt;
+  opt.source = 1000;
+  const auto rep =
+      xg::run(xg::AlgorithmId::kBfs, xg::BackendId::kGraphct, g, opt);
+  EXPECT_EQ(rep.status, xg::RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::source"), std::string::npos);
 }
 
 TEST(CtBfs, ParentsOptional) {

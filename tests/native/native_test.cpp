@@ -7,6 +7,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "api/run.hpp"
 #include "graph/csr.hpp"
 #include "graph/generators.hpp"
 #include "graph/reference/bfs.hpp"
@@ -135,10 +136,15 @@ TEST_P(NativeThreads, TrianglesMatchOracle) {
   EXPECT_EQ(count_triangles(pool, g), graph::ref::count_triangles(g));
 }
 
-TEST(NativeAlgorithms, BfsBadSourceThrows) {
+TEST(NativeAlgorithms, BfsBadSourceReportedCentrally) {
+  // Source validation moved to xg::run; the kernel assumes a valid source.
   const auto g = CSRGraph::build(graph::path_graph(4));
-  ThreadPool pool(2);
-  EXPECT_THROW(bfs(pool, g, 99), std::out_of_range);
+  xg::RunOptions opt;
+  opt.source = 99;
+  const auto rep =
+      xg::run(xg::AlgorithmId::kBfs, xg::BackendId::kNative, g, opt);
+  EXPECT_EQ(rep.status, xg::RunStatus::kInvalidArgument);
+  EXPECT_NE(rep.status_detail.find("RunOptions::source"), std::string::npos);
 }
 
 TEST(NativeAlgorithms, ComponentsOnDisconnectedGraph) {

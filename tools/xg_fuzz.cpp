@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "conform/corpus.hpp"
+#include "conform/governance.hpp"
 #include "conform/harness.hpp"
 #include "exp/args.hpp"
 #include "graph/io.hpp"
@@ -59,6 +60,10 @@ int main(int argc, char** argv) try {
                      "  --algorithms a,b     subset of: cc,bfs,triangles\n"
                      "  --backends a,b       subset of: reference,graphct,bsp,cluster,native\n"
                      "  --threads-list a,b,c host thread counts (default 1,2,8)\n"
+                     "  --governance         run the governance differential instead:\n"
+                     "                       randomized deadline/cancel/round-limit\n"
+                     "                       schedules, asserting status-or-identical\n"
+                     "  --schedules N        governance schedules per config (default 3)\n"
                      "  --no-faults          skip the faulted-cluster checks\n"
                      "  --no-metamorphic     skip permutation/duplicate-edge checks\n"
                      "  --no-minimize        keep failing graphs unminimized\n"
@@ -96,6 +101,29 @@ int main(int argc, char** argv) try {
   const auto cap = static_cast<std::size_t>(
       args.get_int("max-graphs", static_cast<std::int64_t>(corpus.size())));
   if (corpus.size() > cap) corpus.resize(cap);
+
+  if (args.get_flag("governance")) {
+    xg::conform::GovernanceOptions gov_opt;
+    gov_opt.algorithms = opt.algorithms;
+    gov_opt.backends = opt.backends;
+    gov_opt.thread_counts = opt.thread_counts;
+    gov_opt.seed = opt.seed;
+    gov_opt.schedules = static_cast<std::size_t>(args.get_int("schedules", 3));
+    std::printf("xg_fuzz: governance differential, %zu graphs x %zu schedules\n",
+                corpus.size(), gov_opt.schedules);
+    const auto gov = xg::conform::run_governance(corpus, gov_opt);
+    for (const auto& v : gov.violations) {
+      std::printf("VIOLATION %-24s %-10s %-10s [%s] %s\n", v.graph.c_str(),
+                  xg::algorithm_name(v.algorithm).c_str(),
+                  xg::backend_name(v.backend).c_str(),
+                  v.schedule.c_str(), v.detail.c_str());
+    }
+    std::printf(
+        "xg_fuzz: governance: %zu runs (%zu governed stops, %zu completions), "
+        "%zu violations\n",
+        gov.runs, gov.governed_stops, gov.completions, gov.violations.size());
+    return gov.ok() ? 0 : 1;
+  }
 
   const auto specs = xg::conform::enumerate_checks(opt);
   std::printf("xg_fuzz: %zu graphs x %zu checks\n", corpus.size(),
