@@ -1,0 +1,146 @@
+// End-to-end algorithm x backend matrix: times every algorithm the
+// library implements (CC, BFS, triangles, SSSP, PageRank) on every
+// backend over one weighted R-MAT workload, and writes the matrix as
+// JSON so the per-cell numbers land next to BENCH_engine.json in CI
+// artifacts. The graph comes from the streamed weighted builder
+// (graph::rmat_csr with weighted=true), so this bench also exercises the
+// weight array end to end.
+//
+// Wall-clock cells are host performance; the simulated backends
+// additionally record their cycle counts, which must not depend on the
+// host (the cross-check that a faster host run did not change results).
+//
+// Usage: algorithms_e2e [--scale N] [--edgefactor N] [--seed N]
+//                       [--processors N] [--threads N] [--out FILE]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+#include "exp/args.hpp"
+#include "exp/rss.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
+
+using namespace xg;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  AlgorithmId algorithm;
+  BackendId backend;
+  double seconds = 0;
+  std::uint64_t cycles = 0;    ///< 0 for the host-native backends
+  std::uint64_t checksum = 0;  ///< reached / components / triangles
+};
+
+std::uint64_t payload_checksum(AlgorithmId alg, const RunReport& rep) {
+  switch (alg) {
+    case AlgorithmId::kConnectedComponents: return rep.num_components;
+    case AlgorithmId::kBfs: return rep.reached;
+    case AlgorithmId::kTriangleCount: return rep.triangles;
+    case AlgorithmId::kSssp: return rep.reached;
+    case AlgorithmId::kPageRank: return rep.pagerank_scores.size();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const exp::Args args(argc, argv,
+                       "Algorithm x backend end-to-end matrix; writes JSON.\n"
+                       "Options: --scale N --edgefactor N --seed N "
+                       "--processors N --threads N --out FILE");
+  args.handle_help();
+
+  graph::RmatParams p;
+  p.scale = static_cast<std::uint32_t>(args.get_int("scale", 12));
+  p.edgefactor = static_cast<std::uint32_t>(args.get_int("edgefactor", 16));
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  p.weighted = true;
+  const auto g = graph::rmat_csr(p);
+
+  RunOptions opt;
+  opt.sim.processors =
+      static_cast<std::uint32_t>(args.get_int("processors", 128));
+  opt.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  opt.source = g.num_vertices() == 0 ? 0 : g.max_degree_vertex();
+  opt.sssp_source = opt.source;
+  const std::string out = args.get("out", "BENCH_algorithms_e2e.json");
+
+  std::printf(
+      "== algorithm x backend end-to-end matrix ==\n"
+      "workload: weighted rmat scale %u edgefactor %u seed %llu "
+      "(%u vertices, %llu arcs)\n\n",
+      p.scale, p.edgefactor, static_cast<unsigned long long>(p.seed),
+      g.num_vertices(), static_cast<unsigned long long>(g.num_arcs()));
+
+  std::vector<Cell> cells;
+  for (const auto alg : all_algorithms()) {
+    for (const auto backend : all_backends()) {
+      const auto t0 = Clock::now();
+      const auto rep = run(alg, backend, g, opt);
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      if (!rep.ok()) {
+        std::fprintf(stderr, "error: %s on %s failed: %s\n",
+                     algorithm_name(alg).c_str(),
+                     backend_name(backend).c_str(), rep.status_detail.c_str());
+        return 1;
+      }
+      cells.push_back({alg, backend, elapsed, rep.cycles,
+                       payload_checksum(alg, rep)});
+      std::printf("%-9s %-9s %8.3f s  %12llu cycles  checksum %llu\n",
+                  algorithm_name(alg).c_str(), backend_name(backend).c_str(),
+                  elapsed, static_cast<unsigned long long>(rep.cycles),
+                  static_cast<unsigned long long>(cells.back().checksum));
+    }
+  }
+
+  const double peak_rss_mb =
+      static_cast<double>(exp::peak_rss_bytes()) / (1 << 20);
+  std::printf("\npeak rss: %.0f MB\n", peak_rss_mb);
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"workload\": {\"scale\": %u, \"edgefactor\": %u, "
+               "\"seed\": %llu, \"weighted\": true, \"processors\": %u, "
+               "\"threads\": %u},\n"
+               "  \"matrix\": [\n",
+               p.scale, p.edgefactor,
+               static_cast<unsigned long long>(p.seed), opt.sim.processors,
+               opt.threads);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    std::fprintf(f,
+                 "    {\"algorithm\": \"%s\", \"backend\": \"%s\", "
+                 "\"seconds\": %.4f, \"cycles\": %llu, \"checksum\": %llu}%s\n",
+                 algorithm_name(c.algorithm).c_str(),
+                 backend_name(c.backend).c_str(), c.seconds,
+                 static_cast<unsigned long long>(c.cycles),
+                 static_cast<unsigned long long>(c.checksum),
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"peak_rss_mb\": %.0f\n"
+               "}\n",
+               peak_rss_mb);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -10,13 +10,19 @@
 #include "api/convert.hpp"
 #include "bsp/algorithms/bfs.hpp"
 #include "bsp/algorithms/connected_components.hpp"
+#include "bsp/algorithms/pagerank.hpp"
+#include "bsp/algorithms/sssp.hpp"
 #include "bsp/algorithms/triangles.hpp"
 #include "graph/reference/bfs.hpp"
 #include "graph/reference/components.hpp"
+#include "graph/reference/pagerank.hpp"
+#include "graph/reference/sssp.hpp"
 #include "graph/reference/triangles.hpp"
 #include "graphct/bfs.hpp"
 #include "graphct/bfs_diropt.hpp"
 #include "graphct/connected_components.hpp"
+#include "graphct/pagerank.hpp"
+#include "graphct/sssp.hpp"
 #include "graphct/triangles.hpp"
 #include "host/thread_pool.hpp"
 #include "native/algorithms.hpp"
@@ -124,6 +130,14 @@ graph::vid_t count_reached(std::span<const std::uint32_t> distance) {
   return reached;
 }
 
+graph::vid_t count_reached(std::span<const double> distance) {
+  graph::vid_t reached = 0;
+  for (const auto d : distance) {
+    if (d != std::numeric_limits<double>::infinity()) ++reached;
+  }
+  return reached;
+}
+
 RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
                         const RunOptions& opt, gov::Governor* governor) {
   RunReport rep;
@@ -147,6 +161,19 @@ RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
     case AlgorithmId::kTriangleCount:
       rep.triangles = graph::ref::count_triangles(g, governor);
       break;
+    case AlgorithmId::kSssp: {
+      rep.sssp_distance = graph::ref::dijkstra(g, opt.sssp_source, governor);
+      rep.reached = count_reached(rep.sssp_distance);
+      break;
+    }
+    case AlgorithmId::kPageRank: {
+      auto r = graph::ref::pagerank(g, opt.pagerank_iters,
+                                    opt.pagerank_damping, opt.pagerank_epsilon,
+                                    governor);
+      rep.pagerank_scores = std::move(r.scores);
+      rep.converged = r.converged;
+      break;
+    }
   }
   return rep;
 }
@@ -192,6 +219,29 @@ RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
       rep.triangles = r.triangles;
       return rep;
     }
+    case AlgorithmId::kSssp: {
+      graphct::SsspOptions s_opt;
+      s_opt.max_iterations = opt.max_supersteps;
+      s_opt.governor = governor;
+      const auto r = graphct::sssp(machine, g, opt.sssp_source, s_opt);
+      auto rep = api::from_kernel(r.iterations, r.totals);
+      rep.converged = r.converged;
+      rep.sssp_distance = r.distance;
+      rep.reached = count_reached(rep.sssp_distance);
+      return rep;
+    }
+    case AlgorithmId::kPageRank: {
+      graphct::PageRankOptions p_opt;
+      p_opt.iterations = opt.pagerank_iters;
+      p_opt.damping = opt.pagerank_damping;
+      p_opt.epsilon = opt.pagerank_epsilon;
+      p_opt.governor = governor;
+      const auto r = graphct::pagerank(machine, g, p_opt);
+      auto rep = api::from_kernel(r.iterations, r.totals);
+      rep.converged = r.converged;
+      rep.pagerank_scores = r.rank;
+      return rep;
+    }
   }
   throw std::logic_error("unreachable");
 }
@@ -225,6 +275,29 @@ RunReport run_bsp(AlgorithmId algorithm, const graph::CSRGraph& g,
       rep.triangles = r.triangles;
       return rep;
     }
+    case AlgorithmId::kSssp: {
+      const auto r = bsp::sssp(machine, g, opt.sssp_source, bsp_opt);
+      auto rep = api::from_supersteps(r.supersteps, r.totals, r.converged);
+      rep.sssp_distance = r.distance;
+      rep.reached = count_reached(rep.sssp_distance);
+      return rep;
+    }
+    case AlgorithmId::kPageRank: {
+      if (opt.pagerank_epsilon > 0.0) {
+        const auto r =
+            bsp::pagerank_adaptive(machine, g, opt.pagerank_epsilon,
+                                   opt.pagerank_iters, opt.pagerank_damping,
+                                   bsp_opt);
+        auto rep = api::from_supersteps(r.supersteps, r.totals, r.converged);
+        rep.pagerank_scores = r.rank;
+        return rep;
+      }
+      const auto r = bsp::pagerank(machine, g, opt.pagerank_iters,
+                                   opt.pagerank_damping, bsp_opt);
+      auto rep = api::from_supersteps(r.supersteps, r.totals, r.converged);
+      rep.pagerank_scores = r.rank;
+      return rep;
+    }
   }
   throw std::logic_error("unreachable");
 }
@@ -256,6 +329,44 @@ RunReport run_cluster(AlgorithmId algorithm, const graph::CSRGraph& g,
                                   opt.trace, governor);
       auto rep = api::to_report(r);
       for (const auto closed : r.state) rep.triangles += closed;
+      return rep;
+    }
+    case AlgorithmId::kSssp: {
+      const auto r = cluster::run(opt.cluster, g,
+                                  bsp::SsspProgram{opt.sssp_source},
+                                  opt.max_supersteps, {}, opt.faults,
+                                  opt.trace, governor);
+      auto rep = api::to_report(r);
+      rep.sssp_distance = r.state;
+      rep.reached = count_reached(rep.sssp_distance);
+      return rep;
+    }
+    case AlgorithmId::kPageRank: {
+      // The cluster backend reuses the BSP vertex programs verbatim —
+      // fixed-iteration when epsilon is 0, aggregator-driven adaptive
+      // otherwise (the sum aggregator rides the same global-sync barrier
+      // the cost model already prices).
+      if (opt.pagerank_epsilon > 0.0) {
+        bsp::PageRankAdaptiveProgram prog;
+        prog.num_vertices = g.num_vertices();
+        prog.damping = opt.pagerank_damping;
+        prog.tolerance = opt.pagerank_epsilon;
+        prog.max_iterations = opt.pagerank_iters;
+        const auto r = cluster::run(opt.cluster, g, prog, opt.max_supersteps,
+                                    {bsp::Aggregator::Op::kSum}, opt.faults,
+                                    opt.trace, governor);
+        auto rep = api::to_report(r);
+        rep.pagerank_scores = r.state;
+        return rep;
+      }
+      bsp::PageRankProgram prog;
+      prog.num_vertices = g.num_vertices();
+      prog.iterations = opt.pagerank_iters;
+      prog.damping = opt.pagerank_damping;
+      const auto r = cluster::run(opt.cluster, g, prog, opt.max_supersteps,
+                                  {}, opt.faults, opt.trace, governor);
+      auto rep = api::to_report(r);
+      rep.pagerank_scores = r.state;
       return rep;
     }
   }
@@ -292,6 +403,24 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
     case AlgorithmId::kTriangleCount:
       rep.triangles = native::count_triangles(pool, g, governor);
       break;
+    case AlgorithmId::kSssp: {
+      native::SsspOptions s_opt;
+      s_opt.governor = governor;
+      rep.sssp_distance = native::sssp(pool, g, opt.sssp_source, s_opt);
+      rep.reached = count_reached(rep.sssp_distance);
+      break;
+    }
+    case AlgorithmId::kPageRank: {
+      native::PageRankOptions p_opt;
+      p_opt.iterations = opt.pagerank_iters;
+      p_opt.damping = opt.pagerank_damping;
+      p_opt.epsilon = opt.pagerank_epsilon;
+      p_opt.governor = governor;
+      auto r = native::pagerank(pool, g, p_opt);
+      rep.pagerank_scores = std::move(r.rank);
+      rep.converged = r.converged;
+      break;
+    }
   }
   return rep;
 }
@@ -348,6 +477,25 @@ void validate(AlgorithmId algorithm, const graph::CSRGraph& g,
            " out of range (graph has " + std::to_string(g.num_vertices()) +
            " vertices)");
   }
+  if (algorithm == AlgorithmId::kSssp &&
+      opt.sssp_source >= g.num_vertices()) {
+    reject("RunOptions::sssp_source: SSSP source " +
+           std::to_string(opt.sssp_source) + " out of range (graph has " +
+           std::to_string(g.num_vertices()) + " vertices)");
+  }
+  if (algorithm == AlgorithmId::kPageRank) {
+    if (opt.pagerank_iters == 0) {
+      reject("RunOptions::pagerank_iters must be > 0");
+    }
+    if (!(opt.pagerank_damping >= 0.0) || opt.pagerank_damping >= 1.0) {
+      reject("RunOptions::pagerank_damping must be in [0, 1) (got " +
+             std::to_string(opt.pagerank_damping) + ")");
+    }
+    if (!(opt.pagerank_epsilon >= 0.0)) {
+      reject("RunOptions::pagerank_epsilon must be >= 0 (got " +
+             std::to_string(opt.pagerank_epsilon) + ")");
+    }
+  }
   if (opt.deadline_ms.has_value() && *opt.deadline_ms <= 0.0) {
     reject("RunOptions::deadline_ms must be > 0 when set (got " +
            std::to_string(*opt.deadline_ms) + ")");
@@ -401,6 +549,14 @@ RunReport run(AlgorithmId algorithm, BackendId backend,
     // an already-blown budget deterministically.
     gov::checkpoint(gp, 0);
     if (opt.threads != 0) host::set_threads(opt.threads);
+
+    // PageRank over the empty graph is a valid no-op on every backend
+    // (resolved here because the BSP engine refuses to spin up zero
+    // vertices): status ok, empty payload, zero rounds.
+    if (algorithm == AlgorithmId::kPageRank && g.num_vertices() == 0) {
+      if (governor.has_value()) rep.governance_checks = governor->checks();
+      return rep;
+    }
 
     RunReport body;
     switch (backend) {
@@ -466,7 +622,8 @@ RunReport run(AlgorithmId algorithm, BackendId backend,
 const std::vector<AlgorithmId>& all_algorithms() {
   static const std::vector<AlgorithmId> kAll = {
       AlgorithmId::kConnectedComponents, AlgorithmId::kBfs,
-      AlgorithmId::kTriangleCount};
+      AlgorithmId::kTriangleCount, AlgorithmId::kSssp,
+      AlgorithmId::kPageRank};
   return kAll;
 }
 
@@ -488,6 +645,8 @@ std::string algorithm_name(AlgorithmId a) {
     case AlgorithmId::kConnectedComponents: return "cc";
     case AlgorithmId::kBfs: return "bfs";
     case AlgorithmId::kTriangleCount: return "triangles";
+    case AlgorithmId::kSssp: return "sssp";
+    case AlgorithmId::kPageRank: return "pagerank";
   }
   return "?";
 }

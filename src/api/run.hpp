@@ -29,13 +29,17 @@ using CancelToken = gov::CancelToken;
 
 using gov::status_name;
 
-/// The algorithms every backend implements. These are the paper's three
-/// workloads; the ids are stable registry keys (see algorithm_name /
-/// parse_algorithm), so tools can take them on the command line.
+/// The algorithms every backend implements. The first three are the
+/// paper's workloads; SSSP and PageRank are the ROADMAP item 2 breadth
+/// extensions (see docs/ALGORITHMS.md for the full catalog). The ids are
+/// stable registry keys (see algorithm_name / parse_algorithm), so tools
+/// can take them on the command line.
 enum class AlgorithmId : std::uint8_t {
   kConnectedComponents,
   kBfs,
   kTriangleCount,
+  kSssp,      ///< weighted single-source shortest paths
+  kPageRank,  ///< power-iteration PageRank
 };
 
 /// The five execution backends behind the one entry point. All run the
@@ -76,6 +80,29 @@ struct RunOptions {
 
   /// BFS traversal direction mode (see BfsDirection).
   BfsDirection direction = BfsDirection::kAuto;
+
+  /// SSSP source vertex; must be < num_vertices for AlgorithmId::kSssp.
+  /// Kept separate from `source` so a query service can cache BFS and SSSP
+  /// requests under independent keys. Edge weights must be non-negative
+  /// (the generator and read_edge_list both enforce this); unweighted
+  /// graphs relax with unit weights.
+  graph::vid_t sssp_source = 0;
+
+  /// PageRank sweep budget; must be > 0 for AlgorithmId::kPageRank.
+  std::uint32_t pagerank_iters = 20;
+
+  /// PageRank damping factor; must be in [0, 1).
+  double pagerank_damping = 0.85;
+
+  /// 0 runs exactly `pagerank_iters` sweeps on every backend (the
+  /// conformance configuration: scores then differ only by summation
+  /// order). > 0 additionally stops once the L1 rank change per sweep
+  /// falls below it; the kBsp/kCluster backends use the aggregator-driven
+  /// adaptive program, whose Pregel visibility rule (the delta aggregated
+  /// in superstep s is seen in s+1) can run one sweep longer than the
+  /// shared-memory backends — iteration counts are a performance
+  /// observation, not part of the canonical result.
+  double pagerank_epsilon = 0.0;
 
   /// Host worker threads for this run; 0 leaves the shared pool untouched.
   /// Results are bit-identical at any value (the engines' determinism
@@ -177,6 +204,15 @@ struct RunReport {
   graph::vid_t reached = 0;
   /// kTriangleCount: exact global triangle count.
   std::uint64_t triangles = 0;
+  /// kSssp: per-vertex shortest-path distance from `sssp_source` (+inf
+  /// when unreached). Deterministic per backend at any thread count;
+  /// across backends distances agree modulo floating-point ties (see
+  /// docs/ALGORITHMS.md, "canonical form"), so the conformance harness
+  /// compares with an epsilon. `reached` counts the finite entries.
+  std::vector<double> sssp_distance;
+  /// kPageRank: per-vertex rank (sums to <= 1; degree-0 leakage is not
+  /// redistributed). Compared across backends within an epsilon.
+  std::vector<double> pagerank_scores;
 
   // --- cost & convergence, comparable across backends ---------------------
   /// True iff the run reached its fixed point (always true for the

@@ -1,6 +1,7 @@
 #include "conform/canonical.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -33,6 +34,24 @@ std::optional<std::string> first_diff(std::span<const std::uint32_t> a,
       return "index " + std::to_string(i) + ": " + std::to_string(a[i]) +
              " vs " + std::to_string(b[i]);
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> first_diff_eps(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double epsilon) {
+  if (a.size() != b.size()) {
+    return "size " + std::to_string(a.size()) + " vs " +
+           std::to_string(b.size());
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) continue;  // covers inf == inf; NaN falls through
+    const double diff = std::abs(a[i] - b[i]);
+    if (diff <= epsilon) continue;  // NaN compares false: reported
+    return "index " + std::to_string(i) + ": " + std::to_string(a[i]) +
+           " vs " + std::to_string(b[i]) + " (|diff| " + std::to_string(diff) +
+           " > eps " + std::to_string(epsilon) + ")";
   }
   return std::nullopt;
 }
@@ -113,6 +132,13 @@ std::vector<std::uint32_t> unpermute_distances(
     std::span<const vid_t> perm) {
   std::vector<std::uint32_t> out(permuted_distance.size());
   for (vid_t v = 0; v < perm.size(); ++v) out[v] = permuted_distance[perm[v]];
+  return out;
+}
+
+std::vector<double> unpermute_values(std::span<const double> permuted_values,
+                                     std::span<const vid_t> perm) {
+  std::vector<double> out(permuted_values.size());
+  for (vid_t v = 0; v < perm.size(); ++v) out[v] = permuted_values[perm[v]];
   return out;
 }
 

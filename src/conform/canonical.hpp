@@ -28,6 +28,18 @@ std::vector<graph::vid_t> canonical_components(
 std::optional<std::string> first_diff(std::span<const std::uint32_t> a,
                                       std::span<const std::uint32_t> b);
 
+/// First element-wise difference beyond `epsilon` between two
+/// equally-sized double vectors, rendered "index i: a vs b (|diff| d)";
+/// nullopt when every element agrees within epsilon. Two infinities agree;
+/// an infinity against a finite value never does. A NaN on either side is
+/// always a difference. This is the comparator behind the SSSP
+/// ("distances modulo float ties") and PageRank ("scores within epsilon")
+/// canonical forms — backends relax and sum in different orders, so exact
+/// float equality is not part of the contract.
+std::optional<std::string> first_diff_eps(std::span<const double> a,
+                                          std::span<const double> b,
+                                          double epsilon);
+
 /// BFS canonical form: the per-vertex level (hop distance) vector. Parent
 /// vectors are tie-broken and differ legitimately across backends; the
 /// levels they induce must not. levels_from_parents recovers the level
@@ -63,6 +75,11 @@ std::vector<graph::vid_t> unpermute_components(
 std::vector<std::uint32_t> unpermute_distances(
     std::span<const std::uint32_t> permuted_distance,
     std::span<const graph::vid_t> perm);
+
+/// Same mapping for double-valued payloads (SSSP distances, PageRank
+/// scores): result[v] = permuted_values[perm[v]].
+std::vector<double> unpermute_values(std::span<const double> permuted_values,
+                                     std::span<const graph::vid_t> perm);
 
 /// Append one duplicate of every `stride`-th edge (shuffled in at the
 /// tail). CC and BFS must be invariant under edge multiplicity; triangle

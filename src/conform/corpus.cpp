@@ -84,11 +84,33 @@ std::vector<CorpusEntry> degenerate_block() {
   dirty_star.add(0, 5);
   dirty_star.add(0, 5);
   out.push_back({"dirty_star_12", std::move(dirty_star)});
+
+  // Weighted diamond where the weight-shortest path takes more hops than
+  // the hop-shortest one (0->1->4 costs 10, 0->2->3->4 costs 3): any
+  // backend that confuses hop distance with weighted distance fails here.
+  EdgeList diamond(5);
+  diamond.add(0, 1, 5.0);
+  diamond.add(1, 4, 5.0);
+  diamond.add(0, 2, 1.0);
+  diamond.add(2, 3, 1.0);
+  diamond.add(3, 4, 1.0);
+  out.push_back({"weighted_diamond", std::move(diamond)});
+
+  // Weighted graph with equal-cost alternate routes (float-tie bait for
+  // the distances-modulo-ties canonical form) plus a duplicate edge the
+  // builder must weight-sum identically on every backend.
+  EdgeList ties(4);
+  ties.add(0, 1, 1.5);
+  ties.add(0, 2, 1.5);
+  ties.add(1, 3, 1.5);
+  ties.add(2, 3, 1.5);
+  ties.add(0, 1, 1.5);  // duplicate: dedup sums to 3.0
+  out.push_back({"weighted_ties", std::move(ties)});
   return out;
 }
 
 CorpusEntry random_entry(std::size_t index, graph::Rng rng) {
-  switch (index % 5) {
+  switch (index % 6) {
     case 0: {
       const auto n = static_cast<vid_t>(16 + rng.below(112));
       const std::uint64_t m = 2ull * n;
@@ -121,7 +143,7 @@ CorpusEntry random_entry(std::size_t index, graph::Rng rng) {
                   std::to_string(index),
               std::move(edges)};
     }
-    default: {
+    case 4: {
       // Disconnected union of two Erdős–Rényi blocks.
       const auto n1 = static_cast<vid_t>(8 + rng.below(24));
       const auto n2 = static_cast<vid_t>(8 + rng.below(24));
@@ -129,6 +151,19 @@ CorpusEntry random_entry(std::size_t index, graph::Rng rng) {
       append_shifted(u, graph::erdos_renyi(n1, 2ull * n1, rng.next()), 0);
       append_shifted(u, graph::erdos_renyi(n2, 2ull * n2, rng.next()), n1);
       return {"er_union_i" + std::to_string(index), std::move(u)};
+    }
+    default: {
+      // Weighted Erdős–Rényi: random weights in [0.5, 2.0) so weighted
+      // shortest paths diverge from hop counts, occasionally dirtied with
+      // self loops and duplicates (whose summed weights every backend
+      // must agree on).
+      const auto n = static_cast<vid_t>(16 + rng.below(48));
+      auto edges = graph::erdos_renyi(n, 3ull * n, rng.next());
+      graph::randomize_weights(edges, 0.5, 2.0, rng.next());
+      if (index % 2 == 0) dirty(edges, 2 + rng.below(4), 4 + rng.below(8), rng);
+      return {"er_weighted_n" + std::to_string(n) + "_i" +
+                  std::to_string(index),
+              std::move(edges)};
     }
   }
 }

@@ -19,11 +19,13 @@ struct CorpusEntry {
 
 /// Deterministic adversarial corpus: a fixed block of degenerate graphs
 /// (empty, isolated vertices, self loops, duplicate edges, disconnected
-/// unions) and structured families (paths, stars, cliques, cycles, trees,
-/// grids), followed by seeded random graphs (Erdős–Rényi sparse/dense,
-/// R-MAT at growing scale, R-MAT "dirtied" with extra self loops and
-/// duplicates). Entry `i` of a given (count, seed) pair is identical on
-/// every platform.
+/// unions), structured families (paths, stars, cliques, cycles, trees,
+/// grids), and hand-weighted graphs (a diamond whose weight-shortest path
+/// takes more hops than its hop-shortest one, an equal-cost-ties graph),
+/// followed by seeded random graphs (Erdős–Rényi sparse/dense, R-MAT at
+/// growing scale, R-MAT "dirtied" with extra self loops and duplicates,
+/// weighted Erdős–Rényi with weights in [0.5, 2.0)). Entry `i` of a given
+/// (count, seed) pair is identical on every platform.
 std::vector<CorpusEntry> make_corpus(std::size_t count, std::uint64_t seed);
 
 /// The named corpora CI runs: "ci-smoke" (32 graphs, the PR gate) and

@@ -82,6 +82,8 @@ bool status_allowed(RunStatus status, const std::vector<RunStatus>& allowed) {
 std::optional<std::string> leaked_payload(const RunReport& rep) {
   if (!rep.components.empty()) return "components non-empty";
   if (!rep.distance.empty()) return "distance non-empty";
+  if (!rep.sssp_distance.empty()) return "sssp_distance non-empty";
+  if (!rep.pagerank_scores.empty()) return "pagerank_scores non-empty";
   if (rep.triangles != 0) return "triangles nonzero";
   if (rep.num_components != 0) return "num_components nonzero";
   if (rep.reached != 0) return "reached nonzero";
@@ -106,6 +108,14 @@ std::optional<std::string> diff_vs_baseline(AlgorithmId alg,
                std::to_string(baseline.triangles) + " triangles";
       }
       return std::nullopt;
+    case AlgorithmId::kSssp:
+      // Same backend, same threads: the run is deterministic, so epsilon 0
+      // (exact, with inf == inf) is the right comparison.
+      return first_diff_eps(governed.sssp_distance, baseline.sssp_distance,
+                            0.0);
+    case AlgorithmId::kPageRank:
+      return first_diff_eps(governed.pagerank_scores,
+                            baseline.pagerank_scores, 0.0);
   }
   return std::nullopt;
 }
@@ -119,12 +129,14 @@ GovernanceReport run_governance(std::span<const CorpusEntry> corpus,
 
   for (const auto& entry : corpus) {
     ++report.graphs;
-    const CSRGraph g = CSRGraph::build(entry.edges);
+    const CSRGraph g = CSRGraph::build(entry.edges, {}, /*keep_weights=*/true);
     const vid_t n = g.num_vertices();
     const vid_t source = n == 0 ? 0 : g.max_degree_vertex();
 
     for (const auto alg : opt.algorithms) {
-      if (alg == AlgorithmId::kBfs && n == 0) continue;
+      if ((alg == AlgorithmId::kBfs || alg == AlgorithmId::kSssp) && n == 0) {
+        continue;  // no valid source exists
+      }
       for (const auto backend : opt.backends) {
         // Draws are per (graph, algorithm, backend) so adding a backend or
         // thread count does not shift every other configuration's schedule.
@@ -135,11 +147,13 @@ GovernanceReport run_governance(std::span<const CorpusEntry> corpus,
           for (const unsigned threads : opt.thread_counts) {
             RunOptions ro = schedule.limits;
             ro.source = source;
+            ro.sssp_source = source;
             ro.threads = threads;
             ro.sim.processors = opt.sim_processors;
 
             RunOptions baseline_ro;
             baseline_ro.source = source;
+            baseline_ro.sssp_source = source;
             baseline_ro.threads = threads;
             baseline_ro.sim.processors = opt.sim_processors;
 

@@ -1,6 +1,7 @@
 #include "conform/harness.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "conform/canonical.hpp"
@@ -20,9 +21,25 @@ struct Payload {
   std::vector<vid_t> components;
   std::vector<std::uint32_t> distance;
   std::uint64_t triangles = 0;
+  std::vector<double> sssp_distance;
+  std::vector<double> pagerank_scores;
 };
 
 constexpr std::uint64_t kPermSeedSalt = 0x9E3779B97F4A7C15ull;
+
+/// Tolerance of the float canonical forms (docs/ALGORITHMS.md): SSSP
+/// distances and PageRank scores are deterministic per backend but relax /
+/// sum in different orders across backends, so they agree only modulo
+/// floating-point ties. Observed cross-backend spreads are < 1e-12 on the
+/// corpus; 1e-9 leaves slack without masking real bugs (the planted
+/// injections sit at 5e-1 and 1e-3).
+constexpr double kFloatEps = 1e-9;
+
+/// PageRank sweeps per conformance run: enough for ranks to move well away
+/// from the uniform start, small enough to keep the corpus sweep fast.
+/// Epsilon stays 0 — every backend then runs exactly this many sweeps, so
+/// scores differ only by summation order.
+constexpr std::uint32_t kPageRankIters = 10;
 
 /// The fault schedule every faulted-cluster check runs: one crash, one
 /// straggler, a flaky network, and checkpointing every other superstep —
@@ -43,6 +60,8 @@ RunOptions make_run_options(const HarnessOptions& opt, unsigned threads,
                             BfsDirection direction) {
   RunOptions ro;
   ro.source = source;
+  ro.sssp_source = source;
+  ro.pagerank_iters = kPageRankIters;
   ro.threads = threads;
   ro.direction = direction;
   ro.sim.processors = opt.sim_processors;
@@ -81,6 +100,23 @@ Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
       rep.triangles > 0) {
     ++rep.triangles;
   }
+  if (opt.inject == Inject::kSsspRelaxation && alg == AlgorithmId::kSssp &&
+      backend == BackendId::kBsp) {
+    // Miss the last relaxation: the highest reached non-source vertex keeps
+    // a distance 0.5 too long.
+    for (std::size_t v = rep.sssp_distance.size(); v-- > 0;) {
+      if (v == source) continue;
+      if (rep.sssp_distance[v] !=
+          std::numeric_limits<double>::infinity()) {
+        rep.sssp_distance[v] += 0.5;
+        break;
+      }
+    }
+  }
+  if (opt.inject == Inject::kPageRankDrift && alg == AlgorithmId::kPageRank &&
+      backend == BackendId::kNative && !rep.pagerank_scores.empty()) {
+    rep.pagerank_scores.front() += 1e-3;
+  }
   Payload p;
   switch (alg) {
     case AlgorithmId::kConnectedComponents:
@@ -91,6 +127,12 @@ Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
       break;
     case AlgorithmId::kTriangleCount:
       p.triangles = rep.triangles;
+      break;
+    case AlgorithmId::kSssp:
+      p.sssp_distance = std::move(rep.sssp_distance);
+      break;
+    case AlgorithmId::kPageRank:
+      p.pagerank_scores = std::move(rep.pagerank_scores);
       break;
   }
   return p;
@@ -111,6 +153,14 @@ std::optional<std::string> diff_payload(AlgorithmId alg, const Payload& a,
                std::to_string(b.triangles) + " triangles";
       }
       return std::nullopt;
+    case AlgorithmId::kSssp:
+      return first_diff_eps(std::span<const double>(a.sssp_distance),
+                            std::span<const double>(b.sssp_distance),
+                            kFloatEps);
+    case AlgorithmId::kPageRank:
+      return first_diff_eps(std::span<const double>(a.pagerank_scores),
+                            std::span<const double>(b.pagerank_scores),
+                            kFloatEps);
   }
   return std::nullopt;
 }
@@ -151,9 +201,16 @@ std::string CheckSpec::describe() const {
 std::optional<std::string> run_check(const CheckSpec& spec,
                                      const EdgeList& edges,
                                      const HarnessOptions& opt) {
-  const CSRGraph g = CSRGraph::build(edges);
+  // keep_weights: the weighted corpus entries exercise real SSSP paths
+  // (and on dirty entries the dedup-summed duplicate weights), while the
+  // weight-blind algorithms simply ignore the array.
+  const CSRGraph g = CSRGraph::build(edges, {}, /*keep_weights=*/true);
   const vid_t n = g.num_vertices();
-  if (spec.algorithm == AlgorithmId::kBfs && n == 0) return std::nullopt;
+  if ((spec.algorithm == AlgorithmId::kBfs ||
+       spec.algorithm == AlgorithmId::kSssp) &&
+      n == 0) {
+    return std::nullopt;  // no valid source exists
+  }
   const vid_t source = n == 0 ? 0 : g.max_degree_vertex();
 
   switch (spec.kind) {
@@ -178,7 +235,8 @@ std::optional<std::string> run_check(const CheckSpec& spec,
       const auto base = run_side(spec.algorithm, spec.a, g, opt,
                                  spec.threads_a, source, /*faulted=*/false);
       const auto perm = random_permutation(n, opt.seed ^ kPermSeedSalt);
-      const CSRGraph pg = CSRGraph::build(permute_edges(edges, perm));
+      const CSRGraph pg = CSRGraph::build(permute_edges(edges, perm), {},
+                                          /*keep_weights=*/true);
       const vid_t psource = n == 0 ? 0 : perm[source];
       auto mapped = run_side(spec.algorithm, spec.a, pg, opt, spec.threads_a,
                              psource, /*faulted=*/false);
@@ -193,11 +251,26 @@ std::optional<std::string> run_check(const CheckSpec& spec,
         case AlgorithmId::kTriangleCount:
           back.triangles = mapped.triangles;
           break;
+        case AlgorithmId::kSssp:
+          back.sssp_distance = unpermute_values(mapped.sssp_distance, perm);
+          break;
+        case AlgorithmId::kPageRank:
+          back.pagerank_scores =
+              unpermute_values(mapped.pagerank_scores, perm);
+          break;
       }
       return diff_payload(spec.algorithm, base, back);
     }
     case CheckSpec::Kind::kDuplicateEdges: {
-      if (spec.algorithm == AlgorithmId::kTriangleCount) return std::nullopt;
+      // Triangle counts change with multiplicity, and the builder sums
+      // duplicate weights (changing SSSP distances) and duplicate arcs
+      // change degrees (changing PageRank): the property only holds for
+      // the multiplicity-blind algorithms.
+      if (spec.algorithm == AlgorithmId::kTriangleCount ||
+          spec.algorithm == AlgorithmId::kSssp ||
+          spec.algorithm == AlgorithmId::kPageRank) {
+        return std::nullopt;
+      }
       const auto base = run_side(spec.algorithm, spec.a, g, opt,
                                  spec.threads_a, source, /*faulted=*/false);
       graph::BuildOptions keep;
@@ -274,7 +347,8 @@ std::vector<CheckSpec> enumerate_checks(const HarnessOptions& opt) {
           out.push_back({alg, CheckSpec::Kind::kPermutation, b, b, base, base});
         }
       }
-      if (alg != AlgorithmId::kTriangleCount) {
+      if (alg != AlgorithmId::kTriangleCount && alg != AlgorithmId::kSssp &&
+          alg != AlgorithmId::kPageRank) {
         for (const auto b : {BackendId::kBsp, BackendId::kNative}) {
           if (has_backend(b)) {
             out.push_back(

@@ -24,6 +24,15 @@ enum class Inject : std::uint8_t {
   /// Native triangle counting over-counts by one on any graph with a
   /// triangle. Minimizes to a single 3-vertex triangle.
   kTriangleOvercount,
+  /// BSP SSSP misses the final relaxation on the highest reached non-source
+  /// vertex (its distance comes back 0.5 too long) — the classic
+  /// off-by-one-round relaxation bug. Minimizes to one edge on two
+  /// vertices.
+  kSsspRelaxation,
+  /// Native PageRank drifts vertex 0's score by 1e-3 — a lost-update bug
+  /// large enough to bust the epsilon canonical form on any non-empty
+  /// graph. Minimizes to a single vertex's edge.
+  kPageRankDrift,
 };
 
 /// What the harness checks for one (graph, algorithm). kBackendPair also
@@ -62,9 +71,11 @@ struct HarnessOptions {
   /// Diff a faulted cluster run (crash + straggler + flaky network +
   /// checkpointing) against the fault-free one.
   bool faulted_cluster = true;
-  /// Metamorphic properties: vertex-permutation invariance (all three
-  /// algorithms) and duplicate-edge invariance (CC/BFS only — triangle
-  /// counts legitimately change with multiplicity).
+  /// Metamorphic properties: vertex-permutation invariance (every
+  /// algorithm) and duplicate-edge invariance (CC/BFS only — triangle
+  /// counts change with multiplicity, and the builder sums duplicate
+  /// weights, which legitimately moves SSSP distances and PageRank
+  /// degrees).
   bool metamorphic = true;
   Inject inject = Inject::kNone;
   std::uint64_t seed = 1;

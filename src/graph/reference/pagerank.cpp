@@ -1,0 +1,44 @@
+#include "graph/reference/pagerank.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace xg::graph::ref {
+
+PageRankResult pagerank(const CSRGraph& g, std::uint32_t iterations,
+                        double damping, double epsilon,
+                        gov::Governor* governor) {
+  const vid_t n = g.num_vertices();
+  PageRankResult r;
+  if (n == 0) return r;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    gov::checkpoint(governor, it);
+    double delta = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      const auto nbrs = g.neighbors(v);
+      for (const vid_t u : nbrs) {
+        const auto du = g.degree(u);
+        if (du > 0) sum += rank[u] / static_cast<double>(du);
+      }
+      next[v] = base + damping * sum;
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    ++r.iterations;
+    if (epsilon > 0.0 && delta < epsilon) {
+      r.scores = std::move(rank);
+      r.converged = true;
+      return r;
+    }
+  }
+  r.scores = std::move(rank);
+  r.converged = epsilon <= 0.0;
+  return r;
+}
+
+}  // namespace xg::graph::ref

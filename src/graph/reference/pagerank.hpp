@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace xg::graph::ref {
+
+struct PageRankResult {
+  std::vector<double> scores;    ///< empty for the empty graph
+  std::uint32_t iterations = 0;  ///< update sweeps actually performed
+  bool converged = true;         ///< epsilon mode only: delta dropped below
+};
+
+/// Sequential power-iteration PageRank; the oracle for every parallel
+/// variant. Semantics match bsp::PageRankProgram exactly: ranks start at
+/// 1/n; each sweep computes rank(v) = (1-d)/n + d * sum over neighbors u
+/// of rank(u)/deg(u); rank mass leaking through degree-0 vertices is not
+/// redistributed. The pull over `neighbors(v)` assumes a symmetric graph
+/// (the default BuildOptions), matching the push the BSP program performs.
+///
+/// `epsilon` == 0 runs exactly `iterations` sweeps. `epsilon` > 0 stops
+/// after the first sweep whose L1 rank change falls below it (capped at
+/// `iterations`), setting `converged` accordingly. `governor`, when
+/// non-null, is consulted at every sweep boundary (gov::Stop on a tripped
+/// limit).
+PageRankResult pagerank(const CSRGraph& g, std::uint32_t iterations = 20,
+                        double damping = 0.85, double epsilon = 0.0,
+                        gov::Governor* governor = nullptr);
+
+}  // namespace xg::graph::ref

@@ -9,8 +9,11 @@ namespace xg::graph::ref {
 /// Dijkstra single-source shortest paths on a weighted CSR graph (weights
 /// must be non-negative; unweighted graphs use weight 1 per arc). Oracle
 /// for the BSP SSSP extension (the Kajdanowicz et al. comparison workload
-/// the paper cites).
-std::vector<double> dijkstra(const CSRGraph& g, vid_t source);
+/// the paper cites). `governor`, when non-null, is consulted every few
+/// thousand settled vertices (gov::Stop on a tripped limit); nullptr runs
+/// ungoverned.
+std::vector<double> dijkstra(const CSRGraph& g, vid_t source,
+                             gov::Governor* governor = nullptr);
 
 /// Distance value for unreachable vertices.
 double unreachable_distance();

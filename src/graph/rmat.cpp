@@ -1,5 +1,6 @@
 #include "graph/rmat.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "graph/rng.hpp"
@@ -13,6 +14,16 @@ void validate_rmat_params(const RmatParams& p) {
   const double sum = p.a + p.b + p.c + p.d;
   if (sum < 0.999 || sum > 1.001) {
     throw std::invalid_argument("rmat: probabilities must sum to 1");
+  }
+  if (p.weighted) {
+    // Non-negative weights keep every SSSP backend (including Dijkstra in
+    // the reference oracle) valid on generated graphs.
+    if (!std::isfinite(p.weight_min) || !std::isfinite(p.weight_max) ||
+        p.weight_min < 0.0 || p.weight_max < p.weight_min) {
+      throw std::invalid_argument(
+          "rmat: weighted generation requires finite "
+          "0 <= weight_min <= weight_max");
+    }
   }
 }
 
@@ -28,7 +39,11 @@ EdgeList rmat_edges(const RmatParams& p) {
     vid_t row = 0;
     vid_t col = 0;
     detail::rmat_edge(rng, p, row, col);
-    list.add(row, col);
+    if (p.weighted) {
+      list.add(row, col, detail::edge_weight(p, row, col));
+    } else {
+      list.add(row, col);
+    }
   }
   return list;
 }

@@ -20,6 +20,17 @@ struct RmatParams {
   double d = 0.05;
   std::uint64_t seed = 1;
 
+  /// Weighted generation (the SSSP workload). Every edge carries a
+  /// deterministic uniform weight in [weight_min, weight_max) derived from
+  /// its *endpoints* and `seed` alone (detail::edge_weight) — not from the
+  /// draw stream — so the weight is symmetric under (u,v)/(v,u) reversal,
+  /// identical for duplicate edges, and independent of generation order.
+  /// That is what keeps the streamed rmat_csr builder bit-identical to the
+  /// edge-list path on weighted graphs too.
+  bool weighted = false;
+  double weight_min = 1.0;
+  double weight_max = 2.0;
+
   std::uint64_t num_vertices() const { return 1ull << scale; }
   std::uint64_t num_edges() const { return edgefactor * num_vertices(); }
 };
@@ -59,6 +70,17 @@ inline void rmat_edge(Rng& rng, const RmatParams& p, vid_t& row, vid_t& col) {
       col |= 1;
     }
   }
+}
+
+/// The weight of edge {u, v} under `p` (uniform in [weight_min,
+/// weight_max)), as a pure function of the unordered endpoint pair and the
+/// seed. One SplitMix64 mix of (seed, min, max ids) — no stream state, so
+/// any pass of any builder can recompute it for any arc at any time.
+inline double edge_weight(const RmatParams& p, vid_t u, vid_t v) {
+  const std::uint64_t lo = u < v ? u : v;
+  const std::uint64_t hi = u < v ? v : u;
+  Rng rng(p.seed * 0x9E3779B97F4A7C15ull ^ (lo << 32 | hi));
+  return p.weight_min + (p.weight_max - p.weight_min) * rng.uniform01();
 }
 
 }  // namespace detail

@@ -116,15 +116,47 @@ CSRGraph rmat_csr_impl(const RmatParams& p, const BuildOptions& opt) {
 
   // Pass 3: sort each row in place (rows never share array elements, so
   // per-row tasks are race-free), dedup within the row, and record the
-  // surviving degree.
+  // surviving degree. Weighted builds recompute each arc's weight from its
+  // endpoints (detail::edge_weight is a pure function): every duplicate of
+  // an edge carries the same value, so summing k copies by repeated
+  // addition matches CSRGraph::build's serial dedup-merge bit-for-bit no
+  // matter what order the scatter produced them in.
+  std::vector<double> wts;
+  if (p.weighted) {
+    if (opt.governor != nullptr && opt.governor->active()) {
+      opt.governor->check_allocation(2, offsets[n] * sizeof(double));
+    }
+    wts.resize(offsets[n]);
+  }
   std::vector<eid_t> new_degree(n, 0);
   pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
     for (std::uint64_t v = b; v < e; ++v) {
       vid_t* lo = adj.data() + offsets[v];
       vid_t* hi = adj.data() + offsets[v + 1];
       std::sort(lo, hi);
-      new_degree[v] = static_cast<eid_t>(
-          opt.dedup ? std::unique(lo, hi) - lo : hi - lo);
+      if (!p.weighted) {
+        new_degree[v] = static_cast<eid_t>(
+            opt.dedup ? std::unique(lo, hi) - lo : hi - lo);
+        continue;
+      }
+      const eid_t len = static_cast<eid_t>(hi - lo);
+      double* wrow = wts.data() + offsets[v];
+      eid_t w = 0;
+      for (eid_t i = 0; i < len;) {
+        eid_t j = i + 1;
+        if (opt.dedup) {
+          while (j < len && lo[j] == lo[i]) ++j;
+        }
+        const double unit =
+            detail::edge_weight(p, static_cast<vid_t>(v), lo[i]);
+        double acc = unit;
+        for (eid_t k = i + 1; k < j; ++k) acc += unit;
+        lo[w] = lo[i];
+        wrow[w] = acc;
+        ++w;
+        i = j;
+      }
+      new_degree[v] = w;
     }
   });
 
@@ -142,6 +174,11 @@ CSRGraph rmat_csr_impl(const RmatParams& p, const BuildOptions& opt) {
       std::copy(adj.begin() + static_cast<std::ptrdiff_t>(lo),
                 adj.begin() + static_cast<std::ptrdiff_t>(lo + deg),
                 adj.begin() + static_cast<std::ptrdiff_t>(write));
+      if (p.weighted) {
+        std::copy(wts.begin() + static_cast<std::ptrdiff_t>(lo),
+                  wts.begin() + static_cast<std::ptrdiff_t>(lo + deg),
+                  wts.begin() + static_cast<std::ptrdiff_t>(write));
+      }
     }
     write += deg;
     new_offsets[v + 1] = write;
@@ -149,8 +186,10 @@ CSRGraph rmat_csr_impl(const RmatParams& p, const BuildOptions& opt) {
   // Trim without shrink_to_fit: a shrink reallocates and briefly holds
   // both buffers, which would undo the streaming's peak-memory win.
   adj.resize(write);
+  wts.resize(p.weighted ? write : 0);
 
-  return CSRGraph::from_parts(std::move(new_offsets), std::move(adj));
+  return CSRGraph::from_parts(std::move(new_offsets), std::move(adj),
+                              std::move(wts));
 }
 
 }  // namespace

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "gov/governance.hpp"
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct PageRankOptions {
+  std::uint32_t iterations = 20;
+  double damping = 0.85;
+
+  /// 0 runs exactly `iterations` sweeps; > 0 stops after the first sweep
+  /// whose L1 rank change falls below it (still capped at `iterations`).
+  double epsilon = 0.0;
+
+  /// Resource governance, checked at every sweep boundary. Throws
+  /// gov::Stop. nullptr runs ungoverned.
+  gov::Governor* governor = nullptr;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;                 ///< empty for the empty graph
+  std::vector<IterationRecord> iterations;  ///< one per power sweep
+  KernelTotals totals;
+  std::uint32_t rounds = 0;  ///< sweeps actually performed
+  bool converged = true;     ///< epsilon mode only: delta dropped below
+};
+
+/// Shared-memory power-iteration PageRank in the GraphCT style: each sweep
+/// pulls rank(u)/deg(u) over every vertex's neighbors into a fresh array
+/// (no write contention), then swaps. Semantics match the reference oracle
+/// and bsp::PageRankProgram (ranks start at 1/n; degree-0 leakage is not
+/// redistributed; pull assumes the default symmetric build).
+PageRankResult pagerank(xmt::Engine& engine, const graph::CSRGraph& g,
+                        const PageRankOptions& opt = {});
+
+}  // namespace xg::graphct

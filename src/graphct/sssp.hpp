@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "gov/governance.hpp"
+#include "graph/csr.hpp"
+#include "graphct/framework.hpp"
+#include "xmt/engine.hpp"
+
+namespace xg::graphct {
+
+struct SsspOptions {
+  /// Safety valve; Bellman-Ford settles in at most |V|-1 sweeps and the
+  /// in-iteration propagation below usually needs far fewer.
+  std::uint32_t max_iterations = 10000;
+
+  /// Resource governance, checked at every sweep boundary (never inside
+  /// the parallel relaxation). Throws gov::Stop. nullptr runs ungoverned.
+  gov::Governor* governor = nullptr;
+};
+
+struct SsspResult {
+  std::vector<double> distance;             ///< +inf where unreachable
+  std::vector<IterationRecord> iterations;  ///< one per relaxation sweep
+  KernelTotals totals;
+  bool converged = false;  ///< a sweep changed nothing (vs max_iterations)
+};
+
+/// Shared-memory single-source shortest paths in the GraphCT style:
+/// Bellman-Ford sweeps where every vertex pulls min(dist[u] + w(u,v)) over
+/// its neighbors, writing only its own distance word. Like the
+/// connected-components kernel, newly written distances are visible within
+/// the sweep (the XMT shared-memory model), which roughly halves the sweep
+/// count versus BSP. The pull over `neighbors(v)` assumes a symmetric
+/// graph (the default BuildOptions) so each arc carries the weight of its
+/// reverse. Weights must be non-negative; unweighted graphs use unit
+/// weights.
+SsspResult sssp(xmt::Engine& engine, const graph::CSRGraph& g,
+                graph::vid_t source, const SsspOptions& opt = {});
+
+}  // namespace xg::graphct

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <mutex>  // sssp's non-monotone frontier merge (BFS is lane-staged)
@@ -158,15 +159,23 @@ std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
   return total.load();
 }
 
-std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
-                             std::uint32_t iterations, double damping) {
+PageRankResult pagerank(ThreadPool& pool, const graph::CSRGraph& g,
+                        const PageRankOptions& opt) {
   const vid_t n = g.num_vertices();
-  if (n == 0) return {};
+  PageRankResult r;
+  if (n == 0) return r;
+  constexpr std::uint64_t kGrain = 256;
   std::vector<double> rank(n, 1.0 / n);
   std::vector<double> next(n, 0.0);
-  for (std::uint32_t it = 0; it < iterations; ++it) {
+  // Per-chunk L1-delta accumulators, reduced serially in chunk order so the
+  // epsilon stop decision is bit-identical at any thread count.
+  std::vector<double> chunk_delta((n + kGrain - 1) / kGrain, 0.0);
+  const double base = (1.0 - opt.damping) / n;
+  for (std::uint32_t it = 0; it < opt.iterations; ++it) {
+    gov::checkpoint(opt.governor, it);
     // Pull formulation: no write contention.
-    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
+    pool.parallel_for_ranges(n, kGrain, [&](std::uint64_t b, std::uint64_t e) {
+      double delta = 0.0;
       for (std::uint64_t vi = b; vi < e; ++vi) {
         const vid_t v = static_cast<vid_t>(vi);
         double sum = 0.0;
@@ -174,12 +183,33 @@ std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
           const auto du = g.degree(u);
           if (du > 0) sum += rank[u] / static_cast<double>(du);
         }
-        next[v] = (1.0 - damping) / n + damping * sum;
+        next[v] = base + opt.damping * sum;
+        delta += std::abs(next[v] - rank[v]);
       }
+      chunk_delta[b / kGrain] = delta;
     });
     rank.swap(next);
+    ++r.iterations;
+    if (opt.epsilon > 0.0) {
+      double delta = 0.0;
+      for (const double d : chunk_delta) delta += d;
+      if (delta < opt.epsilon) {
+        r.rank = std::move(rank);
+        r.converged = true;
+        return r;
+      }
+    }
   }
-  return rank;
+  r.rank = std::move(rank);
+  r.converged = opt.epsilon <= 0.0;
+  return r;
+}
+
+std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
+                             std::uint32_t iterations, double damping) {
+  return pagerank(pool, g,
+                  PageRankOptions{.iterations = iterations, .damping = damping})
+      .rank;
 }
 
 std::vector<vid_t> kcore_members(ThreadPool& pool, const graph::CSRGraph& g,
@@ -223,55 +253,165 @@ std::vector<vid_t> kcore_members(ThreadPool& pool, const graph::CSRGraph& g,
 }
 
 std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
-                         vid_t source) {
+                         vid_t source, const SsspOptions& opt) {
   const vid_t n = g.num_vertices();
   if (source >= n) throw std::out_of_range("native::sssp: bad source");
+
+  double delta = opt.delta;
+  if (delta <= 0.0) {
+    // Auto bucket width: the maximum edge weight. Light phases then relax
+    // every edge, and buckets advance by whole hops (BFS-like on unit
+    // weights) — a robust default for the narrow weight ranges the R-MAT
+    // generator produces.
+    delta = 1.0;
+    for (vid_t v = 0; v < n; ++v) {
+      for (const double w : g.weights(v)) delta = std::max(delta, w);
+    }
+  }
+
   auto dist = std::make_unique<std::atomic<double>[]>(n);
   for (vid_t v = 0; v < n; ++v) {
     dist[v].store(std::numeric_limits<double>::infinity(),
                   std::memory_order_relaxed);
   }
   dist[source].store(0.0, std::memory_order_relaxed);
+  std::vector<std::uint8_t> settled(n, 0);
 
-  std::vector<vid_t> frontier{source};
+  const auto bucket_of = [&](double d) {
+    return static_cast<std::uint64_t>(d / delta);
+  };
+
+  // Relax `nbrs` of `v` (distance `dv`), keeping edges where `pred(w)`
+  // holds; CAS-min races settle to the bucket-level least fixed point.
+  const auto relax = [&](vid_t v, double dv, auto&& per_edge) {
+    const auto nbrs = g.neighbors(v);
+    const auto wts = g.weights(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const double w = wts.empty() ? 1.0 : wts[j];
+      per_edge(nbrs[j], dv + w, w);
+    }
+  };
+
+  std::vector<vid_t> members;
+  std::vector<vid_t> active;
   std::vector<vid_t> next;
   std::vector<std::uint8_t> queued(n, 0);
-  std::mutex next_mutex;
-  while (!frontier.empty()) {
-    next.clear();
-    std::fill(queued.begin(), queued.end(), 0);
+  std::mutex merge_mutex;
+  constexpr std::uint64_t kScanGrain = 4096;
+  const std::uint64_t scan_chunks = (n + kScanGrain - 1) / kScanGrain;
+  std::vector<std::uint64_t> chunk_min(scan_chunks);
+
+  for (std::uint32_t round = 0;; ++round) {
+    gov::checkpoint(opt.governor, round);
+
+    // Find the smallest non-empty bucket among unsettled vertices (min is
+    // order-independent, so the per-chunk reduce is deterministic).
+    constexpr std::uint64_t kNoBucket = ~0ull;
+    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
+                                                std::uint64_t e) {
+      std::uint64_t best = kNoBucket;
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        if (settled[vi]) continue;
+        const double d = dist[vi].load(std::memory_order_relaxed);
+        if (d == std::numeric_limits<double>::infinity()) continue;
+        best = std::min(best, bucket_of(d));
+      }
+      chunk_min[b / kScanGrain] = best;
+    });
+    std::uint64_t bucket = kNoBucket;
+    for (const std::uint64_t b : chunk_min) bucket = std::min(bucket, b);
+    if (bucket == kNoBucket) break;
+    const double bucket_end = static_cast<double>(bucket + 1) * delta;
+
+    // Light phases: relax light edges (w <= delta) from the bucket's
+    // members until no relaxation lands in the bucket anymore. A member
+    // whose own distance improves is re-queued by the improving CAS, so
+    // its light edges are re-pushed with the smaller distance.
+    members.clear();
+    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
+                                                std::uint64_t e) {
+      std::vector<vid_t> local;
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        if (settled[vi]) continue;
+        const double d = dist[vi].load(std::memory_order_relaxed);
+        if (d < bucket_end) local.push_back(static_cast<vid_t>(vi));
+      }
+      if (!local.empty()) {
+        const std::lock_guard lock(merge_mutex);
+        members.insert(members.end(), local.begin(), local.end());
+      }
+    });
+    active = members;
+    while (!active.empty()) {
+      next.clear();
+      std::fill(queued.begin(), queued.end(), 0);
+      pool.parallel_for_ranges(
+          active.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
+            std::vector<vid_t> local;
+            for (std::uint64_t i = b; i < e; ++i) {
+              const vid_t v = active[i];
+              const double dv = dist[v].load(std::memory_order_relaxed);
+              relax(v, dv, [&](vid_t u, double nd, double w) {
+                if (w > delta) return;
+                double cur = dist[u].load(std::memory_order_relaxed);
+                bool improved = false;
+                while (nd < cur) {
+                  if (dist[u].compare_exchange_weak(
+                          cur, nd, std::memory_order_relaxed)) {
+                    improved = true;
+                    break;
+                  }
+                }
+                if (improved && nd < bucket_end && !settled[u] &&
+                    !__atomic_test_and_set(&queued[u], __ATOMIC_RELAXED)) {
+                  local.push_back(u);
+                }
+              });
+            }
+            if (!local.empty()) {
+              const std::lock_guard lock(merge_mutex);
+              next.insert(next.end(), local.begin(), local.end());
+            }
+          });
+      active.swap(next);
+    }
+
+    // The bucket is final: re-collect its members (light phases may have
+    // pulled new vertices in), relax their heavy edges once, and settle
+    // them. Heavy relaxations land strictly beyond bucket_end, so the
+    // bucket never reopens.
+    members.clear();
+    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
+                                                std::uint64_t e) {
+      std::vector<vid_t> local;
+      for (std::uint64_t vi = b; vi < e; ++vi) {
+        if (settled[vi]) continue;
+        const double d = dist[vi].load(std::memory_order_relaxed);
+        if (d < bucket_end) local.push_back(static_cast<vid_t>(vi));
+      }
+      if (!local.empty()) {
+        const std::lock_guard lock(merge_mutex);
+        members.insert(members.end(), local.begin(), local.end());
+      }
+    });
     pool.parallel_for_ranges(
-        frontier.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
-          std::vector<vid_t> local;
+        members.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
           for (std::uint64_t i = b; i < e; ++i) {
-            const vid_t v = frontier[i];
+            const vid_t v = members[i];
             const double dv = dist[v].load(std::memory_order_relaxed);
-            const auto nbrs = g.neighbors(v);
-            const auto wts = g.weights(v);
-            for (std::size_t j = 0; j < nbrs.size(); ++j) {
-              const vid_t u = nbrs[j];
-              const double nd = dv + (wts.empty() ? 1.0 : wts[j]);
+            relax(v, dv, [&](vid_t u, double nd, double w) {
+              if (w <= delta) return;
               double cur = dist[u].load(std::memory_order_relaxed);
-              bool improved = false;
               while (nd < cur) {
                 if (dist[u].compare_exchange_weak(cur, nd,
                                                   std::memory_order_relaxed)) {
-                  improved = true;
                   break;
                 }
               }
-              if (improved &&
-                  !__atomic_test_and_set(&queued[u], __ATOMIC_RELAXED)) {
-                local.push_back(u);
-              }
-            }
-          }
-          if (!local.empty()) {
-            const std::lock_guard lock(next_mutex);
-            next.insert(next.end(), local.begin(), local.end());
+            });
+            settled[v] = 1;
           }
         });
-    frontier.swap(next);
   }
 
   std::vector<double> out(n);

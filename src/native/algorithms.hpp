@@ -73,7 +73,29 @@ std::vector<graph::vid_t> connected_components(
 std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
                               gov::Governor* governor = nullptr);
 
-/// Power-iteration PageRank (damping d, `iterations` rounds).
+/// Power-iteration PageRank options (semantics match the reference oracle
+/// and bsp::PageRankProgram: ranks start at 1/n, degree-0 leakage is not
+/// redistributed, the pull assumes the default symmetric build).
+struct PageRankOptions {
+  std::uint32_t iterations = 20;
+  double damping = 0.85;
+  /// 0 runs exactly `iterations` sweeps; > 0 stops after the first sweep
+  /// whose L1 rank change falls below it (capped at `iterations`). The
+  /// delta is reduced from fixed per-chunk accumulators in chunk order, so
+  /// the stop decision is bit-identical at any thread count.
+  double epsilon = 0.0;
+  /// Checked at every sweep boundary; throws gov::Stop. Never owned.
+  gov::Governor* governor = nullptr;
+};
+struct PageRankResult {
+  std::vector<double> rank;      ///< empty for the empty graph
+  std::uint32_t iterations = 0;  ///< sweeps actually performed
+  bool converged = true;         ///< epsilon mode only: delta dropped below
+};
+PageRankResult pagerank(ThreadPool& pool, const graph::CSRGraph& g,
+                        const PageRankOptions& opt);
+
+/// Fixed-iteration convenience wrapper (the pre-options signature).
 std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
                              std::uint32_t iterations = 20,
                              double damping = 0.85);
@@ -84,10 +106,23 @@ std::vector<graph::vid_t> kcore_members(ThreadPool& pool,
                                         const graph::CSRGraph& g,
                                         std::uint32_t k);
 
-/// Single-source shortest paths by parallel Bellman-Ford rounds over the
-/// active frontier (atomic-min relaxations). Weights must be non-negative;
-/// unweighted graphs use unit weights.
+/// Single-source shortest paths by delta-stepping (Meyer-Sanders, the
+/// Grappa formulation): distances are binned into buckets of width
+/// `delta`; the smallest non-empty bucket is drained by repeated parallel
+/// light-edge (w <= delta) relaxation phases until it stops changing, then
+/// its members relax their heavy edges once and settle. Relaxations are
+/// atomic CAS-min on the distance word; since repeated relaxation
+/// converges to the unique least fixed point of d(v) <= d(u) + w, the
+/// result is bit-identical at any thread count (and to the Bellman-Ford
+/// formulation it replaced). Weights must be non-negative; unweighted
+/// graphs use unit weights and degenerate to near-BFS buckets.
+struct SsspOptions {
+  /// Bucket width; 0 picks the maximum edge weight (1 when unweighted).
+  double delta = 0.0;
+  /// Checked at every bucket boundary; throws gov::Stop. Never owned.
+  gov::Governor* governor = nullptr;
+};
 std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
-                         graph::vid_t source);
+                         graph::vid_t source, const SsspOptions& opt = {});
 
 }  // namespace xg::native

@@ -47,6 +47,8 @@ RunOptions base_options() {
 void expect_no_payload(const RunReport& rep, const std::string& where) {
   EXPECT_TRUE(rep.components.empty()) << where;
   EXPECT_TRUE(rep.distance.empty()) << where;
+  EXPECT_TRUE(rep.sssp_distance.empty()) << where;
+  EXPECT_TRUE(rep.pagerank_scores.empty()) << where;
   EXPECT_TRUE(rep.rounds.empty()) << where;
   EXPECT_EQ(rep.triangles, 0u) << where;
   EXPECT_EQ(rep.num_components, 0u) << where;

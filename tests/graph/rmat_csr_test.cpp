@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "graph/csr.hpp"
@@ -23,6 +24,17 @@ void expect_bit_identical(const CSRGraph& streamed, const CSRGraph& built,
   ASSERT_EQ(streamed.num_vertices(), built.num_vertices()) << what;
   EXPECT_EQ(streamed.offsets(), built.offsets()) << what;
   EXPECT_EQ(streamed.adjacency(), built.adjacency()) << what;
+  ASSERT_EQ(streamed.has_weights(), built.has_weights()) << what;
+  for (vid_t v = 0; v < streamed.num_vertices(); ++v) {
+    const auto sw = streamed.weights(v);
+    const auto bw = built.weights(v);
+    ASSERT_EQ(sw.size(), bw.size()) << what << " vertex " << v;
+    for (std::size_t i = 0; i < sw.size(); ++i) {
+      // Bit-identity, not epsilon: the streamed builder must reproduce the
+      // edge-list path's dedup-summed weights exactly.
+      EXPECT_EQ(sw[i], bw[i]) << what << " vertex " << v << " slot " << i;
+    }
+  }
 }
 
 TEST(RmatCsr, BitIdenticalAcrossScalesAndSeeds) {
@@ -77,6 +89,99 @@ TEST(RmatCsr, BitIdenticalAcrossThreadCounts) {
                          "threads=" + std::to_string(threads));
   }
   host::set_threads(0);
+}
+
+TEST(RmatCsr, WeightedBitIdenticalAcrossScalesAndSeeds) {
+  for (const std::uint32_t scale : {1u, 4u, 8u, 11u}) {
+    for (const std::uint64_t seed : {1ull, 7ull, 0xDEADBEEFull}) {
+      RmatParams p;
+      p.scale = scale;
+      p.edgefactor = 8;
+      p.seed = seed;
+      p.weighted = true;
+      expect_bit_identical(
+          rmat_csr(p),
+          CSRGraph::build(rmat_edges(p), {}, /*keep_weights=*/true),
+          "weighted scale=" + std::to_string(scale) + " seed=" +
+              std::to_string(seed));
+    }
+  }
+}
+
+TEST(RmatCsr, WeightedBitIdenticalUnderOptionVariants) {
+  RmatParams p;
+  p.scale = 9;
+  p.edgefactor = 8;
+  p.seed = 42;
+  p.weighted = true;
+  const auto edges = rmat_edges(p);
+  for (const bool undirected : {true, false}) {
+    for (const bool dedup : {true, false}) {
+      BuildOptions opt;
+      opt.make_undirected = undirected;
+      opt.dedup = dedup;
+      expect_bit_identical(
+          rmat_csr(p, opt),
+          CSRGraph::build(edges, opt, /*keep_weights=*/true),
+          std::string("weighted undirected=") + (undirected ? "1" : "0") +
+              " dedup=" + (dedup ? "1" : "0"));
+    }
+  }
+}
+
+TEST(RmatCsr, WeightedBitIdenticalAcrossThreadCounts) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 16;
+  p.seed = 3;
+  p.weighted = true;
+  const auto reference =
+      CSRGraph::build(rmat_edges(p), {}, /*keep_weights=*/true);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    host::set_threads(threads);
+    expect_bit_identical(rmat_csr(p), reference,
+                         "weighted threads=" + std::to_string(threads));
+  }
+  host::set_threads(0);
+}
+
+TEST(RmatCsr, WeightsAreInRangeAndSymmetric) {
+  RmatParams p;
+  p.scale = 8;
+  p.edgefactor = 8;
+  p.seed = 5;
+  p.weighted = true;
+  const auto g = rmat_csr(p);  // default build: undirected, dedup
+  ASSERT_TRUE(g.has_weights());
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      // Dedup sums duplicates of the same [weight_min, weight_max) unit
+      // weight, so each stored weight is a positive multiple of a value in
+      // range — never zero, never negative.
+      EXPECT_GT(wts[i], 0.0);
+      // The reverse arc must carry the same weight (symmetric generator).
+      const auto rn = g.neighbors(nbrs[i]);
+      const auto rw = g.weights(nbrs[i]);
+      const auto it = std::lower_bound(rn.begin(), rn.end(), u);
+      ASSERT_TRUE(it != rn.end() && *it == u);
+      EXPECT_EQ(rw[static_cast<std::size_t>(it - rn.begin())], wts[i]);
+    }
+  }
+}
+
+TEST(RmatCsr, WeightedInvalidRangeIsRejected) {
+  RmatParams p;
+  p.scale = 4;
+  p.weighted = true;
+  p.weight_min = 2.0;
+  p.weight_max = 1.0;  // min > max
+  EXPECT_THROW(rmat_csr(p), std::invalid_argument);
+  EXPECT_THROW(rmat_edges(p), std::invalid_argument);
+  p.weight_min = -1.0;
+  p.weight_max = 1.0;  // negative weights break SSSP
+  EXPECT_THROW(rmat_csr(p), std::invalid_argument);
 }
 
 TEST(RmatCsr, UnsortedAdjacencyIsRejected) {

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Check that relative links in the repo's markdown files resolve.
 
-Scans every tracked *.md for [text](target) links, skips external URLs
-(http/https/mailto) and pure in-page anchors, strips anchors/queries from
-the rest, and verifies the target exists relative to the file. Catches the
-stale-doc-reference class of bug (a renamed bench, a moved doc) in CI
-before a reader does.
+Scans every tracked *.md for [text](target) links and skips external URLs
+(http/https/mailto). File targets must exist relative to the linking file;
+`#section` fragments — both in-page and on links to other markdown files —
+must match a real heading's GitHub-style anchor in the target document.
+Catches the stale-doc-reference class of bug (a renamed bench, a moved
+doc, a reworded heading) in CI before a reader does.
 
 Usage: check_md_links.py [ROOT]        (default: repo root of this script)
 Exit 0 when every link resolves; 1 with a report otherwise.
@@ -17,20 +18,51 @@ from pathlib import Path
 
 LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 INLINE_CODE = re.compile(r"`[^`]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
 
 
-def links_in(text):
+def body_lines(text):
+    """Lines of `text` with fenced code blocks removed, 1-indexed."""
     in_fence = False
     for lineno, line in enumerate(text.splitlines(), 1):
         if line.lstrip().startswith("```"):
             in_fence = not in_fence
             continue
-        if in_fence:
-            continue
+        if not in_fence:
+            yield lineno, line
+
+
+def links_in(text):
+    for lineno, line in body_lines(text):
         for m in LINK.finditer(INLINE_CODE.sub("", line)):
             yield lineno, m.group(1)
+
+
+def slugify(heading):
+    """GitHub's heading-to-anchor rule: strip markup, lowercase, drop
+    everything but word characters / spaces / hyphens, spaces to hyphens."""
+    text = heading.strip().replace("`", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # [text](url) -> text
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def anchors_in(text):
+    """All anchors the document defines (duplicates get -1, -2 suffixes,
+    as GitHub renders them)."""
+    seen = {}
+    out = set()
+    for _, line in body_lines(text):
+        m = HEADING.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
 
 
 def main(argv):
@@ -38,24 +70,36 @@ def main(argv):
         Path(__file__).resolve().parent.parent
     failures = []
     checked = 0
+    anchor_cache = {}
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = anchors_in(path.read_text(encoding="utf-8"))
+        return anchor_cache[path]
+
     for md in sorted(root.rglob("*.md")):
         if any(part in SKIP_DIRS for part in md.parts):
             continue
         for lineno, target in links_in(md.read_text(encoding="utf-8")):
-            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            if target.startswith(SKIP_SCHEMES):
                 continue
-            path = target.split("#", 1)[0].split("?", 1)[0]
-            if not path:
-                continue
+            path, _, fragment = target.partition("#")
+            path = path.split("?", 1)[0]
             checked += 1
-            resolved = (md.parent / path).resolve()
+            resolved = md if not path else (md.parent / path).resolve()
+            rel = md.relative_to(root)
             if not resolved.exists():
-                rel = md.relative_to(root)
                 failures.append(f"{rel}:{lineno}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    failures.append(
+                        f"{rel}:{lineno}: broken anchor -> {target} "
+                        f"(no heading slugs to '#{fragment}')")
     for f in failures:
         print(f"error: {f}", file=sys.stderr)
     status = "FAILED" if failures else "ok"
-    print(f"markdown link check: {checked} relative links, "
+    print(f"markdown link check: {checked} links (files + anchors), "
           f"{len(failures)} broken ({status})")
     return 1 if failures else 0
 

@@ -44,8 +44,11 @@ xg::conform::Inject parse_inject(const std::string& name) {
   if (name == "none") return xg::conform::Inject::kNone;
   if (name == "cc") return xg::conform::Inject::kCcLastVertex;
   if (name == "triangles") return xg::conform::Inject::kTriangleOvercount;
-  throw std::invalid_argument("unknown --inject '" + name +
-                              "' (valid: none, cc, triangles)");
+  if (name == "sssp") return xg::conform::Inject::kSsspRelaxation;
+  if (name == "pagerank") return xg::conform::Inject::kPageRankDrift;
+  throw std::invalid_argument(
+      "unknown --inject '" + name +
+      "' (valid: none, cc, triangles, sssp, pagerank)");
 }
 
 }  // namespace
@@ -57,7 +60,7 @@ int main(int argc, char** argv) try {
                      "  --graphs N           custom corpus size (overrides --corpus)\n"
                      "  --max-graphs N       cap the corpus (for sanitizer CI)\n"
                      "  --seed N             corpus/permutation seed (default 1)\n"
-                     "  --algorithms a,b     subset of: cc,bfs,triangles\n"
+                     "  --algorithms a,b     subset of: cc,bfs,triangles,sssp,pagerank\n"
                      "  --backends a,b       subset of: reference,graphct,bsp,cluster,native\n"
                      "  --threads-list a,b,c host thread counts (default 1,2,8)\n"
                      "  --governance         run the governance differential instead:\n"
@@ -67,7 +70,8 @@ int main(int argc, char** argv) try {
                      "  --no-faults          skip the faulted-cluster checks\n"
                      "  --no-metamorphic     skip permutation/duplicate-edge checks\n"
                      "  --no-minimize        keep failing graphs unminimized\n"
-                     "  --inject NAME        none (default), cc, triangles\n"
+                     "  --inject NAME        none (default), cc, triangles,\n"
+                     "                       sssp, pagerank\n"
                      "  --expect-mismatch    exit 0 only if a mismatch was caught\n"
                      "                       and minimized to <= 16 vertices\n"
                      "  --repro-dir DIR      write failing repros as edge-list files");
