@@ -1,19 +1,27 @@
 // Measured native-engine scaling curve: host wall-clock, MTEPS and peak
-// RSS versus R-MAT SCALE for the native backend's BFS (both directions)
-// and connected components. This is the measured counterpart to
-// extrapolate_scale24's projections — graphs are built with the streamed
-// generator (graph::rmat_csr), so the largest scale that fits is bounded
-// by the CSR itself, not by a transient edge list ~3x its size.
+// RSS versus R-MAT SCALE for the native backend's BFS (both directions),
+// connected components, and the weighted kernels (SSSP, PageRank). This
+// is the measured counterpart to extrapolate_scale24's projections —
+// graphs are built with the streamed generator (graph::rmat_csr), so the
+// largest scale that fits is bounded by the CSR itself, not by a
+// transient edge list ~3x its size.
 //
 // Scales are always swept ascending so the peak-RSS column (a per-process
 // high-water mark) is attributable to the largest graph measured so far.
 //
 // Usage: scaling_curve [--scales 14,16,18] [--edgefactor N] [--seed N]
 //                      [--trials N] [--threads N] [--out FILE]
-//                      [--rss-budget-mb N]
+//                      [--rss-budget-mb N] [--repeat N]
 //
 // --rss-budget-mb makes the run a CI gate: exit code 2 when the process
 // high-water mark exceeds the budget (0 disables the gate).
+//
+// --repeat N (N >= 2) adds the warm-arena locality pass: per scale, the
+// memory-bound kernels (native PageRank and SSSP) run once cold on a
+// fresh host::Workspace, then N-1 more times warm on the same Workspace
+// (zero arena growth on the warm runs), plus the pull-vs-blocked PageRank
+// sweep comparison. The cold/warm/blocked wall times land in the output
+// JSON as the "locality_pass" record.
 
 #include <algorithm>
 #include <chrono>
@@ -29,6 +37,9 @@
 #include "exp/table.hpp"
 #include "graph/rmat.hpp"
 #include "graph/rmat_csr.hpp"
+#include "host/arena.hpp"
+#include "host/thread_pool.hpp"
+#include "native/algorithms.hpp"
 
 using namespace xg;
 
@@ -48,6 +59,22 @@ struct ScalePoint {
   double bfs_top_down_seconds = 0;
   double bfs_hybrid_seconds = 0;
   double cc_seconds = 0;
+  double sssp_seconds = 0;
+  double pagerank_seconds = 0;
+  double peak_rss_mb = 0;
+};
+
+/// Cold-vs-warm (shared Workspace) and pull-vs-blocked wall times for the
+/// memory-bound native kernels at one scale. Written as the
+/// "locality_pass" JSON record.
+struct LocalityPoint {
+  std::uint32_t scale = 0;
+  double pagerank_cold_seconds = 0;
+  double pagerank_warm_seconds = 0;
+  double sssp_cold_seconds = 0;
+  double sssp_warm_seconds = 0;
+  double pagerank_pull_seconds = 0;
+  double pagerank_blocked_seconds = 0;
   double peak_rss_mb = 0;
 };
 
@@ -72,12 +99,86 @@ double best_bfs_seconds(const graph::CSRGraph& g, const RunOptions& base,
   return best;
 }
 
+double timed_run(AlgorithmId alg, const graph::CSRGraph& g,
+                 const RunOptions& opt) {
+  const auto t0 = Clock::now();
+  const auto rep = run(alg, BackendId::kNative, g, opt);
+  const double s = seconds_since(t0);
+  if (!rep.ok()) throw std::runtime_error("native run failed");
+  return s;
+}
+
+double best_run_seconds(AlgorithmId alg, const graph::CSRGraph& g,
+                        const RunOptions& opt, int trials) {
+  double best = 0;
+  for (int i = 0; i < trials; ++i) {
+    const double s = timed_run(alg, g, opt);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Cold run = first run on a fresh Workspace (every kernel buffer is a
+/// brand-new arena block, first-touched during the run). Warm runs =
+/// `repeat - 1` reruns on the same Workspace, carving the same buffers
+/// from retained, already-faulted blocks; best wall time is recorded.
+/// Each kernel gets its own Workspace so the other kernel's retained
+/// blocks cannot pre-warm its cold run.
+LocalityPoint measure_locality(const graph::CSRGraph& g, std::uint32_t scale,
+                               int trials, int repeat) {
+  LocalityPoint lp;
+  lp.scale = scale;
+
+  const auto cold_warm = [&](AlgorithmId alg, double& cold, double& warm) {
+    host::Workspace ws;
+    RunOptions opt;
+    opt.sssp_source = g.max_degree_vertex();
+    opt.workspace = &ws;
+    cold = timed_run(alg, g, opt);
+    for (int i = 1; i < repeat; ++i) {
+      const double s = timed_run(alg, g, opt);
+      if (i == 1 || s < warm) warm = s;
+    }
+  };
+  cold_warm(AlgorithmId::kPageRank, lp.pagerank_cold_seconds,
+            lp.pagerank_warm_seconds);
+  cold_warm(AlgorithmId::kSssp, lp.sssp_cold_seconds, lp.sssp_warm_seconds);
+
+  // Pull vs blocked: the same sweep count on the same graph, differing
+  // only in arc-traversal order. Results are bit-identical (asserted by
+  // tests/api/workspace_test.cpp); only the wall time moves.
+  auto& pool = host::pool();
+  host::Workspace ws;
+  for (const auto mode :
+       {native::PageRankMode::kPull, native::PageRankMode::kBlocked}) {
+    native::PageRankOptions popt;
+    popt.mode = mode;
+    popt.arena = &ws.arena();
+    double best = 0;
+    for (int i = 0; i < trials; ++i) {
+      ws.arena().reset();
+      const auto t0 = Clock::now();
+      const auto r = native::pagerank(pool, g, popt);
+      const double s = seconds_since(t0);
+      if (r.rank.empty()) throw std::runtime_error("pagerank returned nothing");
+      if (i == 0 || s < best) best = s;
+    }
+    (mode == native::PageRankMode::kPull ? lp.pagerank_pull_seconds
+                                         : lp.pagerank_blocked_seconds) = best;
+  }
+
+  lp.peak_rss_mb = static_cast<double>(exp::peak_rss_bytes()) / (1 << 20);
+  return lp;
+}
+
 ScalePoint measure_scale(std::uint32_t scale, std::uint32_t edgefactor,
-                         std::uint64_t seed, int trials) {
+                         std::uint64_t seed, int trials, int repeat,
+                         std::vector<LocalityPoint>& locality) {
   graph::RmatParams p;
   p.scale = scale;
   p.edgefactor = edgefactor;
   p.seed = seed;
+  p.weighted = true;  // the SSSP row needs real weights; the rest ignore them
 
   ScalePoint pt;
   pt.scale = scale;
@@ -89,6 +190,7 @@ ScalePoint measure_scale(std::uint32_t scale, std::uint32_t edgefactor,
 
   RunOptions opt;
   opt.source = g.max_degree_vertex();
+  opt.sssp_source = opt.source;
   pt.bfs_top_down_seconds =
       best_bfs_seconds(g, opt, BfsDirection::kTopDown, trials);
   pt.bfs_hybrid_seconds =
@@ -100,6 +202,14 @@ ScalePoint measure_scale(std::uint32_t scale, std::uint32_t edgefactor,
   pt.cc_seconds = seconds_since(t1);
   if (cc.num_components == 0) throw std::runtime_error("cc found nothing");
 
+  pt.sssp_seconds = best_run_seconds(AlgorithmId::kSssp, g, opt, trials);
+  pt.pagerank_seconds =
+      best_run_seconds(AlgorithmId::kPageRank, g, opt, trials);
+
+  if (repeat >= 2) {
+    locality.push_back(measure_locality(g, scale, trials, repeat));
+  }
+
   pt.peak_rss_mb = static_cast<double>(exp::peak_rss_bytes()) / (1 << 20);
   return pt;
 }
@@ -110,7 +220,8 @@ int main(int argc, char** argv) try {
   const exp::Args args(argc, argv,
                        "Measured native-engine scaling curve; writes JSON.\n"
                        "Options: --scales a,b,c --edgefactor N --seed N "
-                       "--trials N --threads N --out FILE --rss-budget-mb N");
+                       "--trials N --threads N --out FILE --rss-budget-mb N "
+                       "--repeat N (>=2 adds the warm-arena locality pass)");
   args.handle_help();
   auto scales = args.get_list("scales", {14, 16, 18});
   std::sort(scales.begin(), scales.end());
@@ -118,6 +229,7 @@ int main(int argc, char** argv) try {
       static_cast<std::uint32_t>(args.get_int("edgefactor", 16));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int trials = static_cast<int>(args.get_int("trials", 3));
+  const int repeat = static_cast<int>(args.get_int("repeat", 1));
   const double budget_mb =
       static_cast<double>(args.get_int("rss-budget-mb", 0));
   const std::string out = args.get("out", "BENCH_scaling.json");
@@ -128,24 +240,39 @@ int main(int argc, char** argv) try {
               trials == 1 ? "" : "s");
 
   std::vector<ScalePoint> points;
+  std::vector<LocalityPoint> locality;
   for (const auto scale : scales) {
     std::printf("scale %u: building (streamed)...\n", scale);
-    points.push_back(measure_scale(scale, edgefactor, seed, trials));
+    points.push_back(
+        measure_scale(scale, edgefactor, seed, trials, repeat, locality));
     const auto& pt = points.back();
     std::printf("  %llu vertices, %llu arcs; build %.2f s; "
                 "bfs hybrid %.3f s (%.1f MTEPS, %.2fx vs top-down); "
-                "cc %.2f s; peak rss %.0f MB\n",
+                "cc %.2f s; sssp %.2f s; pagerank %.2f s; peak rss %.0f MB\n",
                 static_cast<unsigned long long>(pt.vertices),
                 static_cast<unsigned long long>(pt.arcs), pt.build_seconds,
                 pt.bfs_hybrid_seconds,
                 mteps_of(pt, pt.bfs_hybrid_seconds),
                 pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds,
-                pt.cc_seconds, pt.peak_rss_mb);
+                pt.cc_seconds, pt.sssp_seconds, pt.pagerank_seconds,
+                pt.peak_rss_mb);
+    if (!locality.empty() && locality.back().scale == scale) {
+      const auto& lp = locality.back();
+      std::printf("  locality: pagerank cold %.2f s -> warm %.2f s (%.2fx); "
+                  "sssp cold %.2f s -> warm %.2f s (%.2fx); "
+                  "pagerank pull %.2f s vs blocked %.2f s (%.2fx)\n",
+                  lp.pagerank_cold_seconds, lp.pagerank_warm_seconds,
+                  lp.pagerank_cold_seconds / lp.pagerank_warm_seconds,
+                  lp.sssp_cold_seconds, lp.sssp_warm_seconds,
+                  lp.sssp_cold_seconds / lp.sssp_warm_seconds,
+                  lp.pagerank_pull_seconds, lp.pagerank_blocked_seconds,
+                  lp.pagerank_pull_seconds / lp.pagerank_blocked_seconds);
+    }
   }
 
   exp::Table table({"scale", "vertices", "arcs", "build", "bfs td",
                     "bfs hybrid", "MTEPS td", "MTEPS hy", "speedup", "cc",
-                    "peak RSS"});
+                    "sssp", "pagerank", "peak RSS"});
   for (const auto& pt : points) {
     table.add_row(
         {std::to_string(pt.scale), exp::Table::num(pt.vertices),
@@ -157,10 +284,36 @@ int main(int argc, char** argv) try {
          exp::Table::fixed(pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds,
                            2),
          exp::Table::seconds(pt.cc_seconds),
+         exp::Table::seconds(pt.sssp_seconds),
+         exp::Table::seconds(pt.pagerank_seconds),
          exp::Table::fixed(pt.peak_rss_mb, 0) + " MB"});
   }
   std::printf("\n");
   table.print(std::cout);
+
+  if (!locality.empty()) {
+    exp::Table lt({"scale", "pr cold", "pr warm", "warm x", "sssp cold",
+                   "sssp warm", "warm x", "pr pull", "pr blocked",
+                   "blocked x"});
+    for (const auto& lp : locality) {
+      lt.add_row({std::to_string(lp.scale),
+                  exp::Table::seconds(lp.pagerank_cold_seconds),
+                  exp::Table::seconds(lp.pagerank_warm_seconds),
+                  exp::Table::fixed(
+                      lp.pagerank_cold_seconds / lp.pagerank_warm_seconds, 2),
+                  exp::Table::seconds(lp.sssp_cold_seconds),
+                  exp::Table::seconds(lp.sssp_warm_seconds),
+                  exp::Table::fixed(
+                      lp.sssp_cold_seconds / lp.sssp_warm_seconds, 2),
+                  exp::Table::seconds(lp.pagerank_pull_seconds),
+                  exp::Table::seconds(lp.pagerank_blocked_seconds),
+                  exp::Table::fixed(lp.pagerank_pull_seconds /
+                                        lp.pagerank_blocked_seconds,
+                                    2)});
+    }
+    std::printf("\nwarm-arena locality pass (repeat %d):\n", repeat);
+    lt.print(std::cout);
+  }
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -179,16 +332,42 @@ int main(int argc, char** argv) try {
         "\"build_seconds\": %.3f, \"bfs_top_down_seconds\": %.4f, "
         "\"bfs_hybrid_seconds\": %.4f, \"bfs_top_down_mteps\": %.1f, "
         "\"bfs_hybrid_mteps\": %.1f, \"hybrid_speedup\": %.2f, "
-        "\"cc_seconds\": %.3f, \"peak_rss_mb\": %.0f}%s\n",
+        "\"cc_seconds\": %.3f, \"sssp_seconds\": %.3f, "
+        "\"pagerank_seconds\": %.3f, \"peak_rss_mb\": %.0f}%s\n",
         pt.scale, static_cast<unsigned long long>(pt.vertices),
         static_cast<unsigned long long>(pt.arcs), pt.build_seconds,
         pt.bfs_top_down_seconds, pt.bfs_hybrid_seconds,
         mteps_of(pt, pt.bfs_top_down_seconds),
         mteps_of(pt, pt.bfs_hybrid_seconds),
         pt.bfs_top_down_seconds / pt.bfs_hybrid_seconds, pt.cc_seconds,
-        pt.peak_rss_mb, i + 1 < points.size() ? "," : "");
+        pt.sssp_seconds, pt.pagerank_seconds, pt.peak_rss_mb,
+        i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (!locality.empty()) {
+    std::fprintf(f, ",\n  \"locality_pass\": {\n    \"repeat\": %d,\n"
+                 "    \"points\": [\n", repeat);
+    for (std::size_t i = 0; i < locality.size(); ++i) {
+      const auto& lp = locality[i];
+      std::fprintf(
+          f,
+          "      {\"scale\": %u, \"pagerank_cold_seconds\": %.3f, "
+          "\"pagerank_warm_seconds\": %.3f, \"pagerank_warm_speedup\": %.2f, "
+          "\"sssp_cold_seconds\": %.3f, \"sssp_warm_seconds\": %.3f, "
+          "\"sssp_warm_speedup\": %.2f, \"pagerank_pull_seconds\": %.3f, "
+          "\"pagerank_blocked_seconds\": %.3f, "
+          "\"pagerank_blocked_speedup\": %.2f, \"peak_rss_mb\": %.0f}%s\n",
+          lp.scale, lp.pagerank_cold_seconds, lp.pagerank_warm_seconds,
+          lp.pagerank_cold_seconds / lp.pagerank_warm_seconds,
+          lp.sssp_cold_seconds, lp.sssp_warm_seconds,
+          lp.sssp_cold_seconds / lp.sssp_warm_seconds,
+          lp.pagerank_pull_seconds, lp.pagerank_blocked_seconds,
+          lp.pagerank_pull_seconds / lp.pagerank_blocked_seconds,
+          lp.peak_rss_mb, i + 1 < locality.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out.c_str());
 

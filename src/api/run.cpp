@@ -24,6 +24,7 @@
 #include "graphct/pagerank.hpp"
 #include "graphct/sssp.hpp"
 #include "graphct/triangles.hpp"
+#include "host/arena.hpp"
 #include "host/thread_pool.hpp"
 #include "native/algorithms.hpp"
 #include "xmt/engine.hpp"
@@ -178,10 +179,35 @@ RunReport run_reference(AlgorithmId algorithm, const graph::CSRGraph& g,
   return rep;
 }
 
+/// The simulated machine for this run: cached in the caller's Workspace
+/// when one is attached (the engine's calendar queue, stream scratch and
+/// flat atomic-state table all retain capacity across Engine::reset, so a
+/// warm run re-allocates none of them), freshly built into `local`
+/// otherwise. A cached engine whose SimConfig no longer matches the
+/// request is evicted and rebuilt.
+xmt::Engine& acquire_machine(const RunOptions& opt,
+                             std::optional<xmt::Engine>& local) {
+  static constexpr const char* kSlot = "xmt-engine";
+  if (opt.workspace != nullptr) {
+    if (auto* cached = opt.workspace->try_slot<xmt::Engine>(kSlot);
+        cached != nullptr && !(cached->config() == opt.sim)) {
+      opt.workspace->erase_slot(kSlot);
+    }
+    xmt::Engine& machine = opt.workspace->slot<xmt::Engine>(
+        kSlot, [&] { return xmt::Engine(opt.sim); });
+    machine.reset();
+    machine.set_trace_sink(opt.trace);
+    return machine;
+  }
+  local.emplace(opt.sim);
+  local->set_trace_sink(opt.trace);
+  return *local;
+}
+
 RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
                       const RunOptions& opt, gov::Governor* governor) {
-  xmt::Engine machine(opt.sim);
-  machine.set_trace_sink(opt.trace);
+  std::optional<xmt::Engine> local;
+  xmt::Engine& machine = acquire_machine(opt, local);
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
       graphct::CCOptions cc_opt;
@@ -248,11 +274,12 @@ RunReport run_graphct(AlgorithmId algorithm, const graph::CSRGraph& g,
 
 RunReport run_bsp(AlgorithmId algorithm, const graph::CSRGraph& g,
                   const RunOptions& opt, gov::Governor* governor) {
-  xmt::Engine machine(opt.sim);
-  machine.set_trace_sink(opt.trace);
+  std::optional<xmt::Engine> local;
+  xmt::Engine& machine = acquire_machine(opt, local);
   bsp::BspOptions bsp_opt = opt.bsp;
   bsp_opt.max_supersteps = opt.max_supersteps;
   bsp_opt.governor = governor;
+  bsp_opt.workspace = opt.workspace;
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
       const auto r = bsp::connected_components(machine, g, bsp_opt);
@@ -377,9 +404,13 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
                      const RunOptions& opt, gov::Governor* governor) {
   RunReport rep;
   auto& pool = host::pool();
+  // With a workspace, every kernel's large scratch lives on its arena and
+  // warm reruns perform zero system allocations beyond the report vectors.
+  host::Arena* arena =
+      opt.workspace != nullptr ? &opt.workspace->arena() : nullptr;
   switch (algorithm) {
     case AlgorithmId::kConnectedComponents: {
-      rep.components = native::connected_components(pool, g, governor);
+      rep.components = native::connected_components(pool, g, governor, arena);
       rep.num_components = graph::ref::count_components(rep.components);
       break;
     }
@@ -388,8 +419,9 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
       // sizes as top-down, multiple times faster on small-world graphs.
       native::HybridBfsOptions hybrid_opt;
       hybrid_opt.governor = governor;
+      hybrid_opt.arena = arena;
       auto r = opt.direction == BfsDirection::kTopDown
-                   ? native::bfs(pool, g, opt.source, governor)
+                   ? native::bfs(pool, g, opt.source, governor, arena)
                    : native::bfs_hybrid(pool, g, opt.source, hybrid_opt);
       rep.distance = std::move(r.distance);
       rep.reached = r.reached;
@@ -406,6 +438,7 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
     case AlgorithmId::kSssp: {
       native::SsspOptions s_opt;
       s_opt.governor = governor;
+      s_opt.arena = arena;
       rep.sssp_distance = native::sssp(pool, g, opt.sssp_source, s_opt);
       rep.reached = count_reached(rep.sssp_distance);
       break;
@@ -416,6 +449,7 @@ RunReport run_native(AlgorithmId algorithm, const graph::CSRGraph& g,
       p_opt.damping = opt.pagerank_damping;
       p_opt.epsilon = opt.pagerank_epsilon;
       p_opt.governor = governor;
+      p_opt.arena = arena;
       auto r = native::pagerank(pool, g, p_opt);
       rep.pagerank_scores = std::move(r.rank);
       rep.converged = r.converged;
@@ -549,6 +583,17 @@ RunReport run(AlgorithmId algorithm, BackendId backend,
     // an already-blown budget deterministically.
     gov::checkpoint(gp, 0);
     if (opt.threads != 0) host::set_threads(opt.threads);
+
+    // New arena epoch for an attached workspace: every span from earlier
+    // runs is recycled, the governor is bound for block growth, and the
+    // guard detaches it again however the run exits.
+    struct WorkspaceGuard {
+      host::Workspace* ws;
+      ~WorkspaceGuard() {
+        if (ws != nullptr) ws->end_run();
+      }
+    } ws_guard{opt.workspace};
+    if (opt.workspace != nullptr) opt.workspace->begin_run(gp);
 
     // PageRank over the empty graph is a valid no-op on every backend
     // (resolved here because the BSP engine refuses to spin up zero

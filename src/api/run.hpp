@@ -17,6 +17,10 @@ namespace xg::obs {
 class TraceSink;
 }
 
+namespace xg::host {
+class Workspace;
+}
+
 namespace xg {
 
 /// The structured status taxonomy a run reports through instead of ad-hoc
@@ -112,6 +116,16 @@ struct RunOptions {
   /// Observability sink shared by all backends (docs/OBSERVABILITY.md);
   /// nullptr emits nothing and costs nothing.
   obs::TraceSink* trace = nullptr;
+
+  /// Opt-in run arena (src/host/arena.hpp): a Workspace that survives
+  /// across xg::run calls and amortizes the working set — the XMT
+  /// simulator's tables and message buffers, the native kernels' scratch —
+  /// so a warm repeat run performs zero large allocations. One Workspace
+  /// serves one run at a time (callers serialize; a query service keeps one
+  /// per worker). nullptr (the default) allocates per run, as before.
+  /// Results are bit-identical with or without a workspace, warm or cold —
+  /// the conformance harness's reused-workspace differential enforces it.
+  host::Workspace* workspace = nullptr;
 
   /// Simulated machine for the kGraphct and kBsp backends.
   xmt::SimConfig sim;

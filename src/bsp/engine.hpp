@@ -11,6 +11,7 @@
 #include "bsp/message_buffer.hpp"
 #include "bsp/types.hpp"
 #include "graph/csr.hpp"
+#include "host/arena.hpp"
 #include "obs/trace.hpp"
 #include "xmt/engine.hpp"
 
@@ -75,11 +76,35 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
 
   Result<Program> res;
   res.state.resize(n);
-  MessageBuffer<Message> buf(n, opt.single_queue, opt.message_send_overhead,
-                             opt.message_receive_overhead, opt.combiner);
+
+  // Workspace reuse (BspOptions::workspace): the message buffer is cached
+  // across runs (bucket/arena capacity retained, reconfigured per run) and
+  // the halt/schedule scratch below lives on the workspace arena. Without a
+  // workspace everything is run-local, exactly as before.
+  host::Workspace* ws = opt.workspace;
+  std::optional<MessageBuffer<Message>> local_buf;
+  MessageBuffer<Message>* buf_ptr = nullptr;
+  if (ws != nullptr) {
+    auto& cached = ws->slot<MessageBuffer<Message>>("bsp-messages", [&] {
+      return MessageBuffer<Message>(n, opt.single_queue,
+                                    opt.message_send_overhead,
+                                    opt.message_receive_overhead,
+                                    opt.combiner);
+    });
+    cached.reinit(n, opt.single_queue, opt.message_send_overhead,
+                  opt.message_receive_overhead, opt.combiner);
+    buf_ptr = &cached;
+  } else {
+    local_buf.emplace(n, opt.single_queue, opt.message_send_overhead,
+                      opt.message_receive_overhead, opt.combiner);
+    buf_ptr = &*local_buf;
+  }
+  MessageBuffer<Message>& buf = *buf_ptr;
   AggregatorSet aggregators(opt.aggregators);
   AggregatorSet* aggs = opt.aggregators.empty() ? nullptr : &aggregators;
-  std::vector<std::uint8_t> halted(n, 0);
+  host::Arena local_arena;
+  host::Arena& arena = ws != nullptr ? ws->arena() : local_arena;
+  host::reusable_vector<std::uint8_t> halted(arena, n);
 
   const xmt::Cycles t0 = machine.now();
 
@@ -109,11 +134,25 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
   const bool staged = opt.combiner == Combiner::kNone;
   std::vector<Aggregator> agg_proto;
   for (const auto op : opt.aggregators) agg_proto.emplace_back(op);
-  std::vector<LaneStage<Message>> lanes(staged ? machine.lanes() : 0);
-  for (auto& ls : lanes) ls.aggregates = agg_proto;
+  std::vector<LaneStage<Message>> local_lanes;
+  std::vector<LaneStage<Message>>& lanes =
+      ws != nullptr ? ws->slot<std::vector<LaneStage<Message>>>(
+                          "bsp-lanes",
+                          [] { return std::vector<LaneStage<Message>>(); })
+                    : local_lanes;
+  lanes.resize(staged ? machine.lanes() : 0);
+  for (auto& ls : lanes) {
+    ls.messages.clear();
+    ls.next_active.clear();
+    ls.messages_received = 0;
+    ls.computed_vertices = 0;
+    ls.aggregates = agg_proto;
+  }
 
-  std::vector<graph::vid_t> schedule;     // active-list mode only
-  std::vector<graph::vid_t> next_active;  // computed & not halted this superstep
+  // active-list mode only
+  host::reusable_vector<graph::vid_t> schedule(arena);
+  // computed & not halted this superstep
+  host::reusable_vector<graph::vid_t> next_active(arena);
   for (std::uint32_t ss = 0; ss < opt.max_supersteps; ++ss) {
     // Governance checkpoint at the superstep barrier: `ss` supersteps have
     // fully committed, none of this one has started — the only points where
@@ -213,8 +252,7 @@ Result<Program> run(xmt::Engine& machine, const graph::CSRGraph& g,
         for (const auto& [dst, m] : ls.messages) buf.deliver(dst, m);
         rec.messages_received += ls.messages_received;
         rec.computed_vertices += ls.computed_vertices;
-        next_active.insert(next_active.end(), ls.next_active.begin(),
-                           ls.next_active.end());
+        next_active.append(ls.next_active.begin(), ls.next_active.end());
         for (std::size_t a = 0; a < ls.aggregates.size(); ++a) {
           aggregators.slot(a).accumulate_value(ls.aggregates[a].current());
         }

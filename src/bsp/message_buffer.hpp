@@ -49,6 +49,31 @@ class MessageBuffer {
         combiner_(combiner),
         single_queue_(single_queue) {}
 
+  /// Reconfigure a buffer for reuse by another run (host::Workspace cache):
+  /// drops any leftover traffic — a governed stop can abandon a run with
+  /// messages in flight — while retaining every bucket's and the arena's
+  /// capacity, and grows the per-vertex tables if the new graph is larger.
+  /// O(previously touched vertices), never O(n).
+  void reinit(graph::vid_t n, bool single_queue, std::uint32_t send_overhead,
+              std::uint32_t receive_overhead, Combiner combiner) {
+    for (const graph::vid_t v : touched_out_) out_[v].clear();
+    touched_out_.clear();
+    for (const graph::vid_t v : touched_in_) in_count_[v] = 0;
+    touched_in_.clear();
+    in_arena_.clear();
+    const auto count = static_cast<std::size_t>(n);
+    if (out_.size() < count) out_.resize(count);
+    if (in_begin_.size() < count) in_begin_.resize(count, 0);
+    if (in_count_.size() < count) in_count_.resize(count, 0);
+    if (tails_.size() < count) tails_.resize(count, 0);
+    sent_this_superstep_ = 0;
+    combined_this_superstep_ = 0;
+    send_overhead_ = send_overhead;
+    receive_overhead_ = receive_overhead;
+    combiner_ = combiner;
+    single_queue_ = single_queue;
+  }
+
   /// Send `m` to `dst`, visible next superstep. Charges the send to `s`.
   /// With a combiner active, only the first message to a destination claims
   /// a slot; later ones fold into it (read-modify-write, no fetch-and-add).

@@ -12,6 +12,10 @@ namespace xg::obs {
 class TraceSink;
 }
 
+namespace xg::host {
+class Workspace;
+}
+
 namespace xg::bsp {
 
 /// Message combining strategy (Pregel's "combiners"). When enabled, all
@@ -84,6 +88,13 @@ struct BspOptions {
   /// gov::Stop; the run's partial state is discarded by unwinding. nullptr
   /// (the default) runs ungoverned at zero cost. Never owned by the run.
   gov::Governor* governor = nullptr;
+
+  /// Run arena (src/host/arena.hpp): when set, the message buffer and lane
+  /// stages are cached across runs and the halt/schedule scratch lives on
+  /// the workspace arena — a warm repeat superstep loop allocates nothing.
+  /// Set by xg::run from RunOptions::workspace; results are identical
+  /// either way. Never owned by the run.
+  host::Workspace* workspace = nullptr;
 };
 
 /// Statistics for one superstep — the per-iteration series of Figures 1-3.

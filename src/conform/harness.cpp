@@ -7,6 +7,7 @@
 #include "conform/canonical.hpp"
 #include "conform/minimize.hpp"
 #include "graph/csr.hpp"
+#include "host/arena.hpp"
 
 namespace xg::conform {
 
@@ -76,11 +77,11 @@ RunOptions make_run_options(const HarnessOptions& opt, unsigned threads,
 /// flag-guarded injection (the mutation the harness must catch).
 Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
                  const HarnessOptions& opt, unsigned threads, vid_t source,
-                 bool faulted,
-                 BfsDirection direction = BfsDirection::kAuto) {
-  auto rep = xg::run(alg, backend, g,
-                     make_run_options(opt, threads, source, faulted,
-                                      direction));
+                 bool faulted, BfsDirection direction = BfsDirection::kAuto,
+                 host::Workspace* workspace = nullptr) {
+  auto ro = make_run_options(opt, threads, source, faulted, direction);
+  ro.workspace = workspace;
+  auto rep = xg::run(alg, backend, g, ro);
   if (!rep.ok()) {
     // These runs set no governance limit, so any non-ok status is a harness
     // or engine bug — surface it loudly instead of diffing empty payloads.
@@ -139,7 +140,8 @@ Payload run_side(AlgorithmId alg, BackendId backend, const CSRGraph& g,
 }
 
 std::optional<std::string> diff_payload(AlgorithmId alg, const Payload& a,
-                                        const Payload& b) {
+                                        const Payload& b,
+                                        double float_eps = kFloatEps) {
   switch (alg) {
     case AlgorithmId::kConnectedComponents:
       return first_diff(std::span<const vid_t>(a.components),
@@ -156,11 +158,11 @@ std::optional<std::string> diff_payload(AlgorithmId alg, const Payload& a,
     case AlgorithmId::kSssp:
       return first_diff_eps(std::span<const double>(a.sssp_distance),
                             std::span<const double>(b.sssp_distance),
-                            kFloatEps);
+                            float_eps);
     case AlgorithmId::kPageRank:
       return first_diff_eps(std::span<const double>(a.pagerank_scores),
                             std::span<const double>(b.pagerank_scores),
-                            kFloatEps);
+                            float_eps);
   }
   return std::nullopt;
 }
@@ -194,6 +196,9 @@ std::string CheckSpec::describe() const {
       return alg + ": permutation invariance on " + backend_name(a);
     case Kind::kDuplicateEdges:
       return alg + ": duplicate-edge invariance on " + backend_name(a);
+    case Kind::kWorkspaceReuse:
+      return alg + ": workspace reuse on " + backend_name(a) + " threads " +
+             std::to_string(threads_a);
   }
   return alg;
 }
@@ -280,6 +285,24 @@ std::optional<std::string> run_check(const CheckSpec& spec,
                                 spec.threads_a, source, /*faulted=*/false);
       return diff_payload(spec.algorithm, base, dup);
     }
+    case CheckSpec::Kind::kWorkspaceReuse: {
+      const auto fresh =
+          run_side(spec.algorithm, spec.a, g, opt, spec.threads_a, source,
+                   /*faulted=*/false, spec.direction_a);
+      host::Workspace ws;
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        const auto warm =
+            run_side(spec.algorithm, spec.a, g, opt, spec.threads_a, source,
+                     /*faulted=*/false, spec.direction_a, &ws);
+        // Same backend, same options: the contract is bit-identical, so
+        // the float payloads compare with eps 0.
+        if (auto diff =
+                diff_payload(spec.algorithm, fresh, warm, /*float_eps=*/0.0)) {
+          return "warm repeat " + std::to_string(repeat) + ": " + *diff;
+        }
+      }
+      return std::nullopt;
+    }
   }
   return std::nullopt;
 }
@@ -340,6 +363,22 @@ std::vector<CheckSpec> enumerate_checks(const HarnessOptions& opt) {
       out.push_back(
           {alg, CheckSpec::Kind::kFaultedCluster, BackendId::kCluster,
            BackendId::kCluster, base, base});
+    }
+    // Reused-workspace differential on every backend that can hold cached
+    // state (the reference oracles ignore RunOptions::workspace), at the
+    // baseline and the highest requested thread count.
+    if (opt.reuse_workspace) {
+      for (const auto b : opt.backends) {
+        if (b == BackendId::kReference) continue;
+        out.push_back(
+            {alg, CheckSpec::Kind::kWorkspaceReuse, b, b, base, base});
+        const unsigned top =
+            opt.thread_counts.empty() ? base : opt.thread_counts.back();
+        if (top != base) {
+          out.push_back(
+              {alg, CheckSpec::Kind::kWorkspaceReuse, b, b, top, top});
+        }
+      }
     }
     if (opt.metamorphic) {
       for (const auto b : {BackendId::kReference, BackendId::kBsp}) {

@@ -43,6 +43,12 @@ struct CheckSpec {
     kFaultedCluster,  ///< cluster fault-free == cluster under a FaultPlan
     kPermutation,     ///< backend a invariant under vertex relabeling
     kDuplicateEdges,  ///< backend a invariant under edge multiplicity
+    /// Fresh run == repeated warm runs on one shared Workspace (the
+    /// RunOptions::workspace contract): reused arenas, cached engines and
+    /// retained message buffers must not leak state between runs. Compared
+    /// exactly — same backend, so even the float payloads must match
+    /// bit for bit.
+    kWorkspaceReuse,
   };
   AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
   Kind kind = Kind::kBackendPair;
@@ -77,6 +83,11 @@ struct HarnessOptions {
   /// weights, which legitimately moves SSSP distances and PageRank
   /// degrees).
   bool metamorphic = true;
+  /// Reused-workspace differential (CheckSpec::Kind::kWorkspaceReuse) on
+  /// every non-reference backend. Off by default — the dedicated api
+  /// workspace suite covers the contract in-tree; turn this on (xg_fuzz
+  /// --reuse-workspace) to sweep it across a whole corpus.
+  bool reuse_workspace = false;
   Inject inject = Inject::kNone;
   std::uint64_t seed = 1;
   /// Simulated-machine size for the engine-backed backends; small keeps

@@ -1,0 +1,380 @@
+#pragma once
+
+// Run arenas: a bump/pool allocator whose blocks survive across runs, the
+// typed reusable_vector<T> span on top of it, and the per-engine Workspace
+// that xg::run callers thread through RunOptions::workspace to amortize
+// working-set allocation across repeated runs (docs/MODEL.md, "Memory &
+// locality").
+//
+// Lifecycle contract:
+//   * Arena::allocate bump-allocates from retained blocks; only when the
+//     retained blocks are exhausted does it go to the system allocator
+//     (counted by system_allocations() — the test hook the warm-run
+//     zero-allocation assertion is built on).
+//   * Arena::reset() starts a new epoch: every span handed out before the
+//     reset is invalid, every block is retained at full capacity. A warm
+//     run that needs no more memory than any previous run on the same
+//     arena therefore performs zero system allocations.
+//   * Block allocations route through gov::Governor::check_allocation when
+//     a governor is attached, so a memory budget refuses the growth
+//     cleanly (gov::Stop) before the system allocation happens.
+//
+// reusable_vector<T> is deliberately NOT std::vector: it only admits
+// trivially copyable, trivially destructible element types (the kernels'
+// scratch is all PODs), growth memcpys into a fresh arena span, and
+// clear() keeps the span. Spans die at the next Arena::reset(), so
+// reusable_vectors are per-run locals — persistence lives in the arena's
+// retained blocks, not in the vector objects.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gov/governance.hpp"
+
+namespace xg::host {
+
+/// Epoch-reset bump allocator with retained blocks. Not thread-safe:
+/// allocate from serial sections only (the kernels acquire all scratch at
+/// run start / round boundaries, never inside parallel regions — the same
+/// rule the governor imposes on its checks).
+class Arena {
+ public:
+  /// Every span is at least cache-line-and-vector aligned.
+  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kAlignment ? kAlignment : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() { release(); }
+
+  /// Attach (or detach with nullptr) the governor that memory-budget-checks
+  /// block growth. Spans carved from already-retained blocks are free; only
+  /// new system allocations are pre-checked.
+  void set_governor(gov::Governor* governor) { governor_ = governor; }
+
+  /// Round count reported if a block allocation trips the memory budget
+  /// (gov::Stop carries it). Kernels refresh it at their round boundaries.
+  void set_rounds_hint(std::uint32_t rounds) { rounds_hint_ = rounds; }
+
+  /// Bump-allocate `bytes` aligned to `align` (<= kAlignment, power of 2).
+  /// Zero-byte requests return a valid unique-ish pointer into the arena.
+  void* allocate(std::size_t bytes, std::size_t align = kAlignment) {
+    assert(align != 0 && (align & (align - 1)) == 0 && align <= kAlignment);
+    for (; current_ < blocks_.size(); ++current_) {
+      Block& b = blocks_[current_];
+      const std::size_t at = align_up(b.used, align);
+      if (at + bytes <= b.size) {
+        b.used = at + bytes;
+        bytes_used_ = bytes_used_ > b.used + base_of(current_)
+                          ? bytes_used_
+                          : b.used + base_of(current_);
+        return b.data + at;
+      }
+    }
+    return allocate_block(bytes, align);
+  }
+
+  /// Start a new epoch: every previously returned span is invalid, every
+  /// block is retained for reuse. O(blocks), no system calls.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    current_ = 0;
+    bytes_used_ = 0;
+    ++epoch_;
+  }
+
+  /// Return all blocks to the system (a cold arena again). The allocation
+  /// counter is NOT reset — it counts system allocations over the arena's
+  /// whole life, which is what the warm-run assertions diff.
+  void release() {
+    for (Block& b : blocks_) {
+      ::operator delete[](b.data, std::align_val_t{kAlignment});
+    }
+    blocks_.clear();
+    current_ = 0;
+    bytes_reserved_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Test hook: system allocations (new blocks) performed so far. A warm
+  /// run on a primed arena must leave this unchanged.
+  std::uint64_t system_allocations() const { return system_allocations_; }
+
+  /// Epochs begun (reset() count). Spans are only valid within the epoch
+  /// that produced them.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Total capacity currently retained across blocks.
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// High-water bump mark of the current epoch.
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  struct Block {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) & ~(a - 1);
+  }
+
+  // Sum of block sizes before `index` (for the bytes_used high-water mark;
+  // blocks are filled in order so this is monotone).
+  std::size_t base_of(std::size_t index) const {
+    std::size_t base = 0;
+    for (std::size_t i = 0; i < index; ++i) base += blocks_[i].size;
+    return base;
+  }
+
+  void* allocate_block(std::size_t bytes, std::size_t align) {
+    // Geometric growth, with oversized requests getting a dedicated block:
+    // a SCALE-24 vertex array lands in one span either way.
+    std::size_t want = block_bytes_;
+    for (const Block& b : blocks_) {
+      if (b.size * 2 > want) want = b.size * 2;
+    }
+    const std::size_t need = align_up(bytes, kAlignment);
+    if (need > want) want = need;
+
+    if (governor_ != nullptr && governor_->active()) {
+      governor_->check_allocation(rounds_hint_, want);
+    }
+    auto* data = static_cast<std::byte*>(
+        ::operator new[](want, std::align_val_t{kAlignment}));
+    ++system_allocations_;
+    bytes_reserved_ += want;
+    blocks_.push_back(Block{data, want, bytes});
+    current_ = blocks_.size() - 1;
+    bytes_used_ = base_of(current_) + bytes;
+    (void)align;  // block starts are kAlignment-aligned, which covers align
+    return data;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+  std::size_t bytes_reserved_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t system_allocations_ = 0;
+  std::uint64_t epoch_ = 0;
+  gov::Governor* governor_ = nullptr;
+  std::uint32_t rounds_hint_ = 0;
+};
+
+/// A typed span with std::vector's working vocabulary, backed by an Arena.
+/// Per-run local: acquire after Workspace::begin_run, drop before the next
+/// reset. Element types must be trivially copyable and destructible.
+template <typename T>
+class reusable_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "reusable_vector elements must be trivially copyable");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "reusable_vector elements must be trivially destructible");
+
+ public:
+  using value_type = T;
+
+  reusable_vector() = default;
+  explicit reusable_vector(Arena& arena) : arena_(&arena) {}
+  reusable_vector(Arena& arena, std::size_t n) : arena_(&arena) {
+    resize(n);
+  }
+  reusable_vector(Arena& arena, std::size_t n, const T& value)
+      : arena_(&arena) {
+    assign(n, value);
+  }
+
+  reusable_vector(const reusable_vector&) = delete;
+  reusable_vector& operator=(const reusable_vector&) = delete;
+  reusable_vector(reusable_vector&& other) noexcept { swap(other); }
+  reusable_vector& operator=(reusable_vector&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  void swap(reusable_vector& other) noexcept {
+    std::swap(arena_, other.arena_);
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& back() {
+    assert(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  /// Keep the span, drop the contents.
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+  }
+
+  /// Grow/shrink; new elements are zero-initialized (the kernels' scratch
+  /// convention — every array here means 0 / false / empty at rest).
+  void resize(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  /// Grow/shrink without initializing the new tail — for spans the caller
+  /// fills entirely before reading (e.g. counting-sort scatter targets).
+  void resize_for_overwrite(std::size_t n) {
+    if (n > capacity_) grow_to(n);
+    size_ = n;
+  }
+
+  void resize(std::size_t n, const T& value) {
+    const std::size_t old = size_;
+    if (n > capacity_) grow_to(n);
+    for (std::size_t i = old; i < n; ++i) data_[i] = value;
+    size_ = n;
+  }
+
+  /// std::fill-the-whole-vector in one call (the refill-not-realloc idiom).
+  void assign(std::size_t n, const T& value) {
+    if (n > capacity_) grow_to(n);
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow_to(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  template <typename It>
+  void append(It first, It last) {
+    for (; first != last; ++first) push_back(*first);
+  }
+
+ private:
+  void grow_to(std::size_t n) {
+    assert(arena_ != nullptr && "reusable_vector needs an arena to grow");
+    std::size_t cap = capacity_ == 0 ? std::size_t{8} : capacity_ * 2;
+    if (cap < n) cap = n;
+    T* fresh = static_cast<T*>(arena_->allocate(cap * sizeof(T)));
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// The per-engine state that survives across xg::run calls: one Arena for
+/// kernel scratch plus a keyed cache of engine objects (the XMT simulator,
+/// BSP message buffers, the native sliding queue) that retain their own
+/// capacity across reuse. Opt in via RunOptions::workspace; a Workspace
+/// serves one run at a time (no concurrent runs on the same Workspace).
+class Workspace {
+ public:
+  Workspace() = default;
+  explicit Workspace(std::size_t arena_block_bytes)
+      : arena_(arena_block_bytes) {}
+
+  Arena& arena() { return arena_; }
+
+  /// Called by xg::run on entry: new arena epoch, governor attached for
+  /// the duration of the run (detached again by end_run).
+  void begin_run(gov::Governor* governor) {
+    arena_.reset();
+    arena_.set_governor(governor);
+    arena_.set_rounds_hint(0);
+    ++runs_begun_;
+  }
+
+  void end_run() { arena_.set_governor(nullptr); }
+
+  std::uint64_t runs_begun() const { return runs_begun_; }
+
+  /// Fetch the cached object under `key`, constructing it with `make` on
+  /// first use (or when a previous occupant had a different type). The
+  /// object survives until clear_slots() or Workspace destruction —
+  /// callers re-validate configuration themselves (e.g. the engine cache
+  /// compares SimConfig and rebuilds on mismatch).
+  template <typename T, typename Factory>
+  T& slot(const std::string& key, Factory&& make) {
+    auto it = slots_.find(key);
+    if (it == slots_.end() || it->second.type != std::type_index(typeid(T))) {
+      Slot s;
+      s.type = std::type_index(typeid(T));
+      s.object = std::shared_ptr<void>(new T(make()), [](void* p) {
+        delete static_cast<T*>(p);
+      });
+      it = slots_.insert_or_assign(key, std::move(s)).first;
+    }
+    return *static_cast<T*>(it->second.object.get());
+  }
+
+  /// Peek without constructing (nullptr when absent or differently typed).
+  template <typename T>
+  T* try_slot(const std::string& key) {
+    auto it = slots_.find(key);
+    if (it == slots_.end() || it->second.type != std::type_index(typeid(T))) {
+      return nullptr;
+    }
+    return static_cast<T*>(it->second.object.get());
+  }
+
+  /// Evict one cached object (e.g. an engine whose configuration no longer
+  /// matches the request). No-op when absent.
+  void erase_slot(const std::string& key) { slots_.erase(key); }
+
+  /// Drop every cached object (the arena keeps its blocks).
+  void clear_slots() { slots_.clear(); }
+
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::type_index type = std::type_index(typeid(void));
+    std::shared_ptr<void> object;
+  };
+
+  Arena arena_;
+  std::unordered_map<std::string, Slot> slots_;
+  std::uint64_t runs_begun_ = 0;
+};
+
+}  // namespace xg::host

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
-#include <mutex>  // sssp's non-monotone frontier merge (BFS is lane-staged)
+#include <optional>
 #include <stdexcept>
+#include <vector>
 
 #include "graph/reference/components.hpp"
+#include "host/arena.hpp"
+#include "native/scratch.hpp"
 #include "native/sliding_queue.hpp"
 
 namespace xg::native {
@@ -22,20 +26,25 @@ namespace {
 /// the determinism contract the ordered lane merge relies on.
 constexpr std::uint64_t kFrontierGrain = 64;
 
+/// Every kernel accepts an optional caller arena (a Workspace's) and falls
+/// back to a private one, so both paths run the same code.
+host::Arena& arena_or(host::Arena* preferred, host::Arena& fallback) {
+  return preferred != nullptr ? *preferred : fallback;
+}
+
 }  // namespace
 
 NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g, vid_t source,
-                    gov::Governor* governor) {
+                    gov::Governor* governor, host::Arena* arena_opt) {
   const vid_t n = g.num_vertices();
+  host::Arena local_arena;
+  host::Arena& arena = arena_or(arena_opt, local_arena);
 
-  auto dist = std::make_unique<std::atomic<std::uint32_t>[]>(n);
-  for (vid_t v = 0; v < n; ++v) {
-    dist[v].store(graph::kInfDist, std::memory_order_relaxed);
-  }
+  auto* dist = atomic_scratch<std::uint32_t>(arena, n, graph::kInfDist);
   dist[source].store(0, std::memory_order_relaxed);
 
   NativeBfsResult r;
-  SlidingQueue queue(n);
+  SlidingQueue queue(arena, n);
   queue.push_seed(source);
   std::uint32_t level = 0;
   r.reached = 1;
@@ -43,6 +52,7 @@ NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g, vid_t source,
   while (!queue.window_empty()) {
     // Level barrier: `level` levels fully committed, the next not started.
     gov::checkpoint(governor, level);
+    arena.set_rounds_hint(level);
     const std::uint64_t fsize = queue.window_size();
     r.level_sizes.push_back(static_cast<vid_t>(fsize));
     const std::uint64_t tasks = (fsize + kFrontierGrain - 1) / kFrontierGrain;
@@ -76,29 +86,50 @@ NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g, vid_t source,
 
 std::vector<vid_t> connected_components(ThreadPool& pool,
                                         const graph::CSRGraph& g,
-                                        gov::Governor* governor) {
+                                        gov::Governor* governor,
+                                        host::Arena* arena_opt) {
   const vid_t n = g.num_vertices();
-  auto label = std::make_unique<std::atomic<vid_t>[]>(n);
+  host::Arena local_arena;
+  host::Arena& arena = arena_or(arena_opt, local_arena);
+
+  auto* label = atomic_scratch<vid_t>(arena, n, 0);
   for (vid_t v = 0; v < n; ++v) label[v].store(v, std::memory_order_relaxed);
+
+  // Degree-aware task boundaries: cut where the accumulated `degree + 1`
+  // passes a fixed edge grain, so every task streams a comparable slice of
+  // the adjacency array instead of a fixed vertex count that one hub can
+  // blow past by orders of magnitude. The boundaries are a function of the
+  // graph alone — the determinism contract is untouched.
+  constexpr std::uint64_t kEdgeGrain = 4096;
+  host::reusable_vector<std::uint64_t> bounds(arena);
+  bounds.push_back(0);
+  std::uint64_t acc = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    acc += static_cast<std::uint64_t>(g.degree(v)) + 1;
+    if (acc >= kEdgeGrain) {
+      bounds.push_back(static_cast<std::uint64_t>(v) + 1);
+      acc = 0;
+    }
+  }
+  if (bounds.back() != n) bounds.push_back(static_cast<std::uint64_t>(n));
+  const std::uint64_t tasks = bounds.size() - 1;
 
   // Convergence is detected through per-lane change flags: each task owns
   // one byte it writes at most once per round, and the flags are folded
   // serially at the round barrier — no cross-thread stores to one shared
   // atomic on every label improvement.
-  constexpr std::uint64_t kGrain = 256;
-  const std::uint64_t tasks = (static_cast<std::uint64_t>(n) + kGrain - 1) /
-                              kGrain;
-  std::vector<std::uint8_t> lane_changed(tasks, 0);
+  host::reusable_vector<std::uint8_t> lane_changed(arena, tasks,
+                                                   std::uint8_t{0});
   bool changed = n > 0;
   std::uint32_t round = 0;
   while (changed) {
     // Round barrier: `round` full propagation sweeps have committed.
-    gov::checkpoint(governor, round++);
-    std::fill(lane_changed.begin(), lane_changed.end(), 0);
+    gov::checkpoint(governor, round);
+    arena.set_rounds_hint(round++);
+    std::fill(lane_changed.begin(), lane_changed.end(), std::uint8_t{0});
     pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
-      const std::uint64_t b = t * kGrain;
-      const std::uint64_t e =
-          std::min(b + kGrain, static_cast<std::uint64_t>(n));
+      const std::uint64_t b = bounds[t];
+      const std::uint64_t e = bounds[t + 1];
       bool any = false;
       for (std::uint64_t vi = b; vi < e; ++vi) {
         const vid_t v = static_cast<vid_t>(vi);
@@ -159,48 +190,213 @@ std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
   return total.load();
 }
 
+namespace {
+
+/// PageRank sweep chunk (delta accumulators are per chunk, reduced in
+/// chunk order).
+constexpr std::uint64_t kPrGrain = 256;
+/// Destination block of the propagation-blocked sweep: 2^15 doubles =
+/// 256 KiB of `next`, sized to stay resident in a per-core L2 while the
+/// bin arrays stream past. A multiple of kPrGrain, and small enough that
+/// a block-local destination index fits in 16 bits.
+constexpr std::uint64_t kPrBlockVerts = std::uint64_t{1} << 15;
+/// Source vertices per counting/scatter task when building the bins.
+constexpr std::uint64_t kPrSliceVerts = 4096;
+
+/// Arc bins for the blocked sweep: arcs regrouped by destination block,
+/// and inside each block ordered by (source, dest) ascending — exactly the
+/// order the pull sweep adds contributions per destination on the default
+/// symmetric sorted-adjacency build, which is what makes the two sweeps
+/// bit-identical.
+struct PrBins {
+  host::reusable_vector<std::uint64_t> block_ptr;  ///< arc range per block
+  host::reusable_vector<vid_t> src;                ///< arc source, bin order
+  host::reusable_vector<std::uint16_t> dst_local;  ///< dest − block base
+};
+
+PrBins build_pr_bins(ThreadPool& pool, const graph::CSRGraph& g,
+                     host::Arena& arena) {
+  const vid_t n = g.num_vertices();
+  const std::uint64_t m = g.num_arcs();
+  const std::uint64_t num_blocks = (n + kPrBlockVerts - 1) / kPrBlockVerts;
+  const std::uint64_t num_slices =
+      (static_cast<std::uint64_t>(n) + kPrSliceVerts - 1) / kPrSliceVerts;
+
+  // Counting sort by (block, slice): counts[s][b] = arcs from slice s into
+  // block b. The table is the scatter cursor after the scan, so each slice
+  // owns disjoint output ranges and the parallel scatter is race-free.
+  host::reusable_vector<std::uint64_t> counts(arena);
+  counts.resize(num_slices * num_blocks);  // zero-filled
+  pool.parallel_for_tasks(num_slices, [&](std::uint64_t s) {
+    std::uint64_t* row = counts.data() + s * num_blocks;
+    const std::uint64_t b0 = s * kPrSliceVerts;
+    const std::uint64_t e0 =
+        std::min(b0 + kPrSliceVerts, static_cast<std::uint64_t>(n));
+    for (std::uint64_t ui = b0; ui < e0; ++ui) {
+      for (const vid_t v : g.neighbors(static_cast<vid_t>(ui))) {
+        ++row[v / kPrBlockVerts];
+      }
+    }
+  });
+
+  PrBins bins{host::reusable_vector<std::uint64_t>(arena),
+              host::reusable_vector<vid_t>(arena),
+              host::reusable_vector<std::uint16_t>(arena)};
+  bins.block_ptr.resize_for_overwrite(num_blocks + 1);
+  bins.src.resize_for_overwrite(m);
+  bins.dst_local.resize_for_overwrite(m);
+
+  // Exclusive scan in block-major, slice-minor order: block b's arcs land
+  // contiguously, internally ordered by slice (= ascending source).
+  std::uint64_t off = 0;
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    bins.block_ptr[b] = off;
+    for (std::uint64_t s = 0; s < num_slices; ++s) {
+      const std::uint64_t c = counts[s * num_blocks + b];
+      counts[s * num_blocks + b] = off;
+      off += c;
+    }
+  }
+  bins.block_ptr[num_blocks] = off;
+
+  pool.parallel_for_tasks(num_slices, [&](std::uint64_t s) {
+    std::uint64_t* cursor = counts.data() + s * num_blocks;
+    const std::uint64_t b0 = s * kPrSliceVerts;
+    const std::uint64_t e0 =
+        std::min(b0 + kPrSliceVerts, static_cast<std::uint64_t>(n));
+    for (std::uint64_t ui = b0; ui < e0; ++ui) {
+      const vid_t u = static_cast<vid_t>(ui);
+      for (const vid_t v : g.neighbors(u)) {
+        const std::uint64_t blk = v / kPrBlockVerts;
+        const std::uint64_t idx = cursor[blk]++;
+        bins.src[idx] = u;
+        bins.dst_local[idx] =
+            static_cast<std::uint16_t>(v - blk * kPrBlockVerts);
+      }
+    }
+  });
+  return bins;
+}
+
+}  // namespace
+
 PageRankResult pagerank(ThreadPool& pool, const graph::CSRGraph& g,
                         const PageRankOptions& opt) {
   const vid_t n = g.num_vertices();
   PageRankResult r;
   if (n == 0) return r;
-  constexpr std::uint64_t kGrain = 256;
-  std::vector<double> rank(n, 1.0 / n);
-  std::vector<double> next(n, 0.0);
+  host::Arena local_arena;
+  host::Arena& arena = arena_or(opt.arena, local_arena);
+
+  // kAuto: once the rank + next vectors overflow a handful of destination
+  // blocks, pull's scattered reads start missing; regrouping pays for
+  // itself over the iteration count. It stops paying once the contrib
+  // vector itself (8n bytes) dwarfs the last-level cache: every
+  // destination block then re-streams most of contrib from DRAM and the
+  // regrouping win inverts (measured on R-MAT ef16: 3.0x at SCALE 20,
+  // 4.1x at 22, 0.9x at 24 — see EXPERIMENTS.md, locality pass), so the
+  // upper cutoff sits between the measured win at 4.2M vertices and the
+  // measured loss at 16.8M.
+  const bool blocked =
+      opt.mode == PageRankMode::kBlocked ||
+      (opt.mode == PageRankMode::kAuto &&
+       static_cast<std::uint64_t>(n) >= 8 * kPrBlockVerts &&
+       static_cast<std::uint64_t>(n) <= (std::uint64_t{1} << 23));
+
+  host::reusable_vector<double> rank(arena, n, 1.0 / n);
+  host::reusable_vector<double> next(arena, n, 0.0);
   // Per-chunk L1-delta accumulators, reduced serially in chunk order so the
   // epsilon stop decision is bit-identical at any thread count.
-  std::vector<double> chunk_delta((n + kGrain - 1) / kGrain, 0.0);
+  host::reusable_vector<double> chunk_delta(arena,
+                                            (n + kPrGrain - 1) / kPrGrain,
+                                            0.0);
+  std::optional<PrBins> bins;
+  host::reusable_vector<double> contrib(arena);
+  if (blocked) {
+    bins.emplace(build_pr_bins(pool, g, arena));
+    contrib.resize_for_overwrite(n);
+  }
   const double base = (1.0 - opt.damping) / n;
+
   for (std::uint32_t it = 0; it < opt.iterations; ++it) {
     gov::checkpoint(opt.governor, it);
-    // Pull formulation: no write contention.
-    pool.parallel_for_ranges(n, kGrain, [&](std::uint64_t b, std::uint64_t e) {
-      double delta = 0.0;
-      for (std::uint64_t vi = b; vi < e; ++vi) {
-        const vid_t v = static_cast<vid_t>(vi);
-        double sum = 0.0;
-        for (vid_t u : g.neighbors(v)) {
-          const auto du = g.degree(u);
-          if (du > 0) sum += rank[u] / static_cast<double>(du);
+    arena.set_rounds_hint(it);
+    if (blocked) {
+      // Sweep in three passes. (1) contributions: one division per source,
+      // hoisted out of the per-arc loop (the pull sweep divides per arc,
+      // but dividing the same two doubles gives the same double, so the
+      // per-destination sums below see identical addends).
+      pool.parallel_for_ranges(
+          n, kPrGrain, [&](std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t vi = b; vi < e; ++vi) {
+              const vid_t v = static_cast<vid_t>(vi);
+              const auto dv = g.degree(v);
+              contrib[v] = dv > 0 ? rank[v] / static_cast<double>(dv) : 0.0;
+            }
+          });
+      // (2) per destination block, accumulate sequentially: every write
+      // hits the resident 256 KiB slice of `next`; the bin arrays and
+      // contrib reads stream. Blocks are disjoint, so the parallel loop is
+      // race-free, and within a block arcs keep ascending (source, dest)
+      // order — the pull sweep's per-destination addition order.
+      const std::uint64_t num_blocks = bins->block_ptr.size() - 1;
+      pool.parallel_for_tasks(num_blocks, [&](std::uint64_t blk) {
+        const std::uint64_t vb = blk * kPrBlockVerts;
+        const std::uint64_t ve =
+            std::min(vb + kPrBlockVerts, static_cast<std::uint64_t>(n));
+        double* out = next.data() + vb;
+        std::memset(out, 0, (ve - vb) * sizeof(double));
+        const vid_t* src = bins->src.data();
+        const std::uint16_t* dst_local = bins->dst_local.data();
+        const std::uint64_t lo = bins->block_ptr[blk];
+        const std::uint64_t hi = bins->block_ptr[blk + 1];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          out[dst_local[i]] += contrib[src[i]];
         }
-        next[v] = base + opt.damping * sum;
-        delta += std::abs(next[v] - rank[v]);
-      }
-      chunk_delta[b / kGrain] = delta;
-    });
+      });
+      // (3) damping and the per-chunk L1 delta, exactly as the pull sweep
+      // computes them.
+      pool.parallel_for_ranges(
+          n, kPrGrain, [&](std::uint64_t b, std::uint64_t e) {
+            double delta = 0.0;
+            for (std::uint64_t vi = b; vi < e; ++vi) {
+              const vid_t v = static_cast<vid_t>(vi);
+              next[v] = base + opt.damping * next[v];
+              delta += std::abs(next[v] - rank[v]);
+            }
+            chunk_delta[b / kPrGrain] = delta;
+          });
+    } else {
+      // Pull formulation: no write contention.
+      pool.parallel_for_ranges(
+          n, kPrGrain, [&](std::uint64_t b, std::uint64_t e) {
+            double delta = 0.0;
+            for (std::uint64_t vi = b; vi < e; ++vi) {
+              const vid_t v = static_cast<vid_t>(vi);
+              double sum = 0.0;
+              for (vid_t u : g.neighbors(v)) {
+                const auto du = g.degree(u);
+                if (du > 0) sum += rank[u] / static_cast<double>(du);
+              }
+              next[v] = base + opt.damping * sum;
+              delta += std::abs(next[v] - rank[v]);
+            }
+            chunk_delta[b / kPrGrain] = delta;
+          });
+    }
     rank.swap(next);
     ++r.iterations;
     if (opt.epsilon > 0.0) {
       double delta = 0.0;
       for (const double d : chunk_delta) delta += d;
       if (delta < opt.epsilon) {
-        r.rank = std::move(rank);
+        r.rank.assign(rank.begin(), rank.end());
         r.converged = true;
         return r;
       }
     }
   }
-  r.rank = std::move(rank);
+  r.rank.assign(rank.begin(), rank.end());
   r.converged = opt.epsilon <= 0.0;
   return r;
 }
@@ -213,37 +409,46 @@ std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
 }
 
 std::vector<vid_t> kcore_members(ThreadPool& pool, const graph::CSRGraph& g,
-                                 std::uint32_t k) {
+                                 std::uint32_t k, host::Arena* arena_opt) {
   const vid_t n = g.num_vertices();
-  std::vector<std::uint8_t> alive(n, 1);
-  std::atomic<bool> removed_any{true};
-  std::vector<std::uint8_t> doomed(n, 0);
-  while (removed_any.load(std::memory_order_relaxed)) {
-    removed_any.store(false, std::memory_order_relaxed);
-    pool.parallel_for_ranges(n, 256, [&](std::uint64_t b, std::uint64_t e) {
-      bool any = false;
+  host::Arena local_arena;
+  host::Arena& arena = arena_or(arena_opt, local_arena);
+
+  host::reusable_vector<std::uint8_t> alive(arena, n, std::uint8_t{1});
+  constexpr std::uint64_t kGrain = 256;
+  const std::uint64_t tasks =
+      (static_cast<std::uint64_t>(n) + kGrain - 1) / kGrain;
+  // Doomed vertices are staged per task (tasks own disjoint vertex ranges,
+  // so no dedup is needed) and applied serially at the round barrier:
+  // O(removed) instead of the former extra O(n) sweep, and no shared
+  // "removed anything" atomic written from inside the scan.
+  std::vector<host::reusable_vector<vid_t>> stage;
+  stage.reserve(tasks);
+  for (std::uint64_t t = 0; t < tasks; ++t) stage.emplace_back(arena);
+
+  for (;;) {
+    pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+      const std::uint64_t b = t * kGrain;
+      const std::uint64_t e =
+          std::min(b + kGrain, static_cast<std::uint64_t>(n));
       for (std::uint64_t vi = b; vi < e; ++vi) {
         const vid_t v = static_cast<vid_t>(vi);
         if (!alive[v]) continue;
         std::uint32_t live_degree = 0;
         for (const vid_t u : g.neighbors(v)) live_degree += alive[u];
-        if (live_degree < k) {
-          doomed[v] = 1;
-          any = true;
-        }
+        if (live_degree < k) stage[t].push_back(v);
       }
-      if (any) removed_any.store(true, std::memory_order_relaxed);
     });
-    if (!removed_any.load(std::memory_order_relaxed)) break;
     // Apply removals between rounds (level-synchronous peel).
-    pool.parallel_for_ranges(n, 1024, [&](std::uint64_t b, std::uint64_t e) {
-      for (std::uint64_t vi = b; vi < e; ++vi) {
-        if (doomed[vi]) {
-          alive[vi] = 0;
-          doomed[vi] = 0;
-        }
+    bool removed_any = false;
+    for (auto& s : stage) {
+      for (const vid_t v : s) {
+        alive[v] = 0;
+        removed_any = true;
       }
-    });
+      s.clear();
+    }
+    if (!removed_any) break;
   }
   std::vector<vid_t> members;
   for (vid_t v = 0; v < n; ++v) {
@@ -257,6 +462,9 @@ std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
   const vid_t n = g.num_vertices();
   if (source >= n) throw std::out_of_range("native::sssp: bad source");
 
+  host::Arena local_arena;
+  host::Arena& arena = arena_or(opt.arena, local_arena);
+
   double delta = opt.delta;
   if (delta <= 0.0) {
     // Auto bucket width: the maximum edge weight. Light phases then relax
@@ -269,20 +477,19 @@ std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
     }
   }
 
-  auto dist = std::make_unique<std::atomic<double>[]>(n);
-  for (vid_t v = 0; v < n; ++v) {
-    dist[v].store(std::numeric_limits<double>::infinity(),
-                  std::memory_order_relaxed);
-  }
+  auto* dist = atomic_scratch<double>(
+      arena, n, std::numeric_limits<double>::infinity());
   dist[source].store(0.0, std::memory_order_relaxed);
-  std::vector<std::uint8_t> settled(n, 0);
+  host::reusable_vector<std::uint8_t> settled(arena, n, std::uint8_t{0});
+  host::reusable_vector<std::uint8_t> queued(arena, n, std::uint8_t{0});
+  host::reusable_vector<std::uint8_t> collected(arena, n, std::uint8_t{0});
 
   const auto bucket_of = [&](double d) {
     return static_cast<std::uint64_t>(d / delta);
   };
 
-  // Relax `nbrs` of `v` (distance `dv`), keeping edges where `pred(w)`
-  // holds; CAS-min races settle to the bucket-level least fixed point.
+  // Relax the edges of `v` (distance `dv`) through `per_edge`; CAS-min
+  // races settle to the bucket-level least fixed point.
   const auto relax = [&](vid_t v, double dv, auto&& per_edge) {
     const auto nbrs = g.neighbors(v);
     const auto wts = g.weights(v);
@@ -292,127 +499,166 @@ std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
     }
   };
 
-  std::vector<vid_t> members;
-  std::vector<vid_t> active;
-  std::vector<vid_t> next;
-  std::vector<std::uint8_t> queued(n, 0);
-  std::mutex merge_mutex;
-  constexpr std::uint64_t kScanGrain = 4096;
-  const std::uint64_t scan_chunks = (n + kScanGrain - 1) / kScanGrain;
-  std::vector<std::uint64_t> chunk_min(scan_chunks);
+  // Explicit bucket bins replace the former per-bucket full-vertex
+  // rescans: a successful relaxation pushes its target into the bin of the
+  // target's new bucket, and draining bin k touches only what was pushed
+  // there. Entries go stale when their vertex improves further or settles;
+  // the drain skips those lazily (settled / collected / bucket-mismatch).
+  // Every push lands at or above the cursor (light in-bucket pushes stay,
+  // light overshoots have nd >= bucket_end, heavy pushes have
+  // nd > bucket_end since w > delta and dv >= bucket*delta), so a monotone
+  // cursor visits exactly the buckets the rescan formulation drained, and
+  // the final distances are the same least fixed point.
+  std::vector<host::reusable_vector<vid_t>> bins;
+  const auto bin_push = [&](std::uint64_t bucket, vid_t v) {
+    while (bins.size() <= bucket) bins.emplace_back(arena);
+    bins[bucket].push_back(v);
+  };
+  bin_push(0, source);
 
-  for (std::uint32_t round = 0;; ++round) {
-    gov::checkpoint(opt.governor, round);
+  // Relaxation pushes are staged per task and merged serially in task
+  // order (replacing the former mutex-guarded merges): bin contents and
+  // wave order are now identical at any thread count, not just the final
+  // distances.
+  struct Push {
+    vid_t v;
+    std::uint64_t bucket;
+  };
+  std::vector<host::reusable_vector<Push>> stages;
+  const auto ensure_stages = [&](std::uint64_t tasks) {
+    while (stages.size() < tasks) stages.emplace_back(arena);
+    for (std::uint64_t t = 0; t < tasks; ++t) stages[t].clear();
+  };
+  constexpr std::uint64_t kRelaxGrain = 64;
 
-    // Find the smallest non-empty bucket among unsettled vertices (min is
-    // order-independent, so the per-chunk reduce is deterministic).
-    constexpr std::uint64_t kNoBucket = ~0ull;
-    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
-                                                std::uint64_t e) {
-      std::uint64_t best = kNoBucket;
-      for (std::uint64_t vi = b; vi < e; ++vi) {
-        if (settled[vi]) continue;
-        const double d = dist[vi].load(std::memory_order_relaxed);
-        if (d == std::numeric_limits<double>::infinity()) continue;
-        best = std::min(best, bucket_of(d));
+  host::reusable_vector<vid_t> members(arena);
+  host::reusable_vector<vid_t> active(arena);
+  host::reusable_vector<vid_t> next_wave(arena);
+
+  std::uint32_t round = 0;
+  for (std::uint64_t cursor = 0; cursor < bins.size(); ++cursor) {
+    // Drain the cursor bin (serial; bins carry duplicates and stale
+    // entries, the flags filter them).
+    members.clear();
+    {
+      host::reusable_vector<vid_t>& bin = bins[cursor];
+      for (const vid_t v : bin) {
+        if (settled[v] || collected[v]) continue;
+        const double d = dist[v].load(std::memory_order_relaxed);
+        if (bucket_of(d) != cursor) continue;
+        collected[v] = 1;
+        members.push_back(v);
       }
-      chunk_min[b / kScanGrain] = best;
-    });
-    std::uint64_t bucket = kNoBucket;
-    for (const std::uint64_t b : chunk_min) bucket = std::min(bucket, b);
-    if (bucket == kNoBucket) break;
-    const double bucket_end = static_cast<double>(bucket + 1) * delta;
+      bin.clear();
+    }
+    // A bin whose entries were all superseded corresponds to a bucket the
+    // rescan formulation would never have seen — skip without counting a
+    // round, keeping the governance round sequence identical.
+    if (members.empty()) continue;
+    gov::checkpoint(opt.governor, round);
+    arena.set_rounds_hint(round);
+    ++round;
+    const double bucket_end = static_cast<double>(cursor + 1) * delta;
 
     // Light phases: relax light edges (w <= delta) from the bucket's
     // members until no relaxation lands in the bucket anymore. A member
     // whose own distance improves is re-queued by the improving CAS, so
     // its light edges are re-pushed with the smaller distance.
-    members.clear();
-    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
-                                                std::uint64_t e) {
-      std::vector<vid_t> local;
-      for (std::uint64_t vi = b; vi < e; ++vi) {
-        if (settled[vi]) continue;
-        const double d = dist[vi].load(std::memory_order_relaxed);
-        if (d < bucket_end) local.push_back(static_cast<vid_t>(vi));
-      }
-      if (!local.empty()) {
-        const std::lock_guard lock(merge_mutex);
-        members.insert(members.end(), local.begin(), local.end());
-      }
-    });
-    active = members;
+    active.clear();
+    active.append(members.begin(), members.end());
     while (!active.empty()) {
-      next.clear();
-      std::fill(queued.begin(), queued.end(), 0);
-      pool.parallel_for_ranges(
-          active.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
-            std::vector<vid_t> local;
-            for (std::uint64_t i = b; i < e; ++i) {
-              const vid_t v = active[i];
-              const double dv = dist[v].load(std::memory_order_relaxed);
-              relax(v, dv, [&](vid_t u, double nd, double w) {
-                if (w > delta) return;
-                double cur = dist[u].load(std::memory_order_relaxed);
-                bool improved = false;
-                while (nd < cur) {
-                  if (dist[u].compare_exchange_weak(
-                          cur, nd, std::memory_order_relaxed)) {
-                    improved = true;
-                    break;
-                  }
-                }
-                if (improved && nd < bucket_end && !settled[u] &&
-                    !__atomic_test_and_set(&queued[u], __ATOMIC_RELAXED)) {
-                  local.push_back(u);
-                }
-              });
+      const std::uint64_t tasks =
+          (active.size() + kRelaxGrain - 1) / kRelaxGrain;
+      ensure_stages(tasks);
+      pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+        const std::uint64_t b = t * kRelaxGrain;
+        const std::uint64_t e = std::min(b + kRelaxGrain, active.size());
+        host::reusable_vector<Push>& out = stages[t];
+        for (std::uint64_t i = b; i < e; ++i) {
+          const vid_t v = active[i];
+          const double dv = dist[v].load(std::memory_order_relaxed);
+          relax(v, dv, [&](vid_t u, double nd, double w) {
+            if (w > delta) return;
+            double cur = dist[u].load(std::memory_order_relaxed);
+            bool improved = false;
+            while (nd < cur) {
+              if (dist[u].compare_exchange_weak(cur, nd,
+                                                std::memory_order_relaxed)) {
+                improved = true;
+                break;
+              }
             }
-            if (!local.empty()) {
-              const std::lock_guard lock(merge_mutex);
-              next.insert(next.end(), local.begin(), local.end());
+            if (!improved) return;
+            if (nd < bucket_end) {
+              if (!settled[u] &&
+                  !__atomic_test_and_set(&queued[u], __ATOMIC_RELAXED)) {
+                out.push_back(Push{u, cursor});
+              }
+            } else {
+              out.push_back(Push{u, bucket_of(nd)});
             }
           });
-      active.swap(next);
+        }
+      });
+      next_wave.clear();
+      for (std::uint64_t t = 0; t < tasks; ++t) {
+        for (const Push& p : stages[t]) {
+          if (p.bucket == cursor) {
+            next_wave.push_back(p.v);
+          } else {
+            bin_push(p.bucket, p.v);
+          }
+        }
+      }
+      for (const vid_t v : next_wave) {
+        queued[v] = 0;
+        if (!collected[v]) {
+          collected[v] = 1;
+          members.push_back(v);
+        }
+      }
+      active.swap(next_wave);
     }
 
-    // The bucket is final: re-collect its members (light phases may have
-    // pulled new vertices in), relax their heavy edges once, and settle
-    // them. Heavy relaxations land strictly beyond bucket_end, so the
+    // The bucket is final: its members relax their heavy edges once and
+    // settle. Heavy relaxations land strictly beyond bucket_end, so the
     // bucket never reopens.
-    members.clear();
-    pool.parallel_for_ranges(n, kScanGrain, [&](std::uint64_t b,
-                                                std::uint64_t e) {
-      std::vector<vid_t> local;
-      for (std::uint64_t vi = b; vi < e; ++vi) {
-        if (settled[vi]) continue;
-        const double d = dist[vi].load(std::memory_order_relaxed);
-        if (d < bucket_end) local.push_back(static_cast<vid_t>(vi));
-      }
-      if (!local.empty()) {
-        const std::lock_guard lock(merge_mutex);
-        members.insert(members.end(), local.begin(), local.end());
-      }
-    });
-    pool.parallel_for_ranges(
-        members.size(), 64, [&](std::uint64_t b, std::uint64_t e) {
-          for (std::uint64_t i = b; i < e; ++i) {
-            const vid_t v = members[i];
-            const double dv = dist[v].load(std::memory_order_relaxed);
-            relax(v, dv, [&](vid_t u, double nd, double w) {
-              if (w <= delta) return;
-              double cur = dist[u].load(std::memory_order_relaxed);
-              while (nd < cur) {
-                if (dist[u].compare_exchange_weak(cur, nd,
-                                                  std::memory_order_relaxed)) {
-                  break;
-                }
+    {
+      const std::uint64_t tasks =
+          (members.size() + kRelaxGrain - 1) / kRelaxGrain;
+      ensure_stages(tasks);
+      pool.parallel_for_tasks(tasks, [&](std::uint64_t t) {
+        const std::uint64_t b = t * kRelaxGrain;
+        const std::uint64_t e = std::min(b + kRelaxGrain, members.size());
+        host::reusable_vector<Push>& out = stages[t];
+        for (std::uint64_t i = b; i < e; ++i) {
+          const vid_t v = members[i];
+          const double dv = dist[v].load(std::memory_order_relaxed);
+          relax(v, dv, [&](vid_t u, double nd, double w) {
+            if (w <= delta) return;
+            double cur = dist[u].load(std::memory_order_relaxed);
+            bool improved = false;
+            while (nd < cur) {
+              if (dist[u].compare_exchange_weak(cur, nd,
+                                                std::memory_order_relaxed)) {
+                improved = true;
+                break;
               }
-            });
-            settled[v] = 1;
-          }
-        });
+            }
+            if (improved) out.push_back(Push{u, bucket_of(nd)});
+          });
+          settled[v] = 1;  // owner-exclusive: members are unique
+        }
+      });
+      for (std::uint64_t t = 0; t < tasks; ++t) {
+        for (const Push& p : stages[t]) bin_push(p.bucket, p.v);
+      }
+    }
+    // `collected` is per-bucket state; only members were marked.
+    for (const vid_t v : members) collected[v] = 0;
   }
+  // Mirror the rescan formulation's final empty-scan checkpoint.
+  gov::checkpoint(opt.governor, round);
 
   std::vector<double> out(n);
   for (vid_t v = 0; v < n; ++v) out[v] = dist[v].load(std::memory_order_relaxed);

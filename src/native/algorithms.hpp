@@ -7,6 +7,10 @@
 #include "graph/csr.hpp"
 #include "host/thread_pool.hpp"
 
+namespace xg::host {
+class Arena;
+}  // namespace xg::host
+
 namespace xg::native {
 
 /// The native kernels run on the shared host runtime; the old
@@ -36,8 +40,14 @@ struct NativeBfsResult {
 /// serial point between the per-lane sweeps); a tripped limit throws
 /// gov::Stop before the next level starts. Source validation happens
 /// centrally in xg::run.
+///
+/// `arena`, when non-null, hosts every large scratch buffer (distance
+/// words, frontier storage, staging lanes); pass a Workspace's arena and a
+/// warm rerun touches the system allocator only for the returned vectors.
+/// nullptr falls back to a private arena. Results are identical either way.
 NativeBfsResult bfs(ThreadPool& pool, const graph::CSRGraph& g,
-                    graph::vid_t source, gov::Governor* governor = nullptr);
+                    graph::vid_t source, gov::Governor* governor = nullptr,
+                    host::Arena* arena = nullptr);
 
 /// Beamer-style direction-optimizing BFS (SC'12): top-down levels push the
 /// frontier through sliding queues exactly like bfs(); once the frontier's
@@ -56,6 +66,9 @@ struct HybridBfsOptions {
   /// Resource governance, checked at every level barrier regardless of
   /// direction. Throws gov::Stop. nullptr runs ungoverned; never owned.
   gov::Governor* governor = nullptr;
+  /// Reusable run arena for distances, queues, bitmaps and tallies; see
+  /// bfs(). nullptr uses a private arena. Never owned.
+  host::Arena* arena = nullptr;
 };
 NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
                            graph::vid_t source,
@@ -64,14 +77,42 @@ NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
 /// Label-propagation connected components with atomic-min label updates;
 /// labels are canonical minimum-member ids. A governed run is checked at
 /// every round barrier.
+///
+/// Sweep tasks are degree-aware: task boundaries are cut where accumulated
+/// `degree + 1` passes a fixed edge grain, so one hub vertex no longer
+/// serializes its whole 256-vertex chunk behind one worker and each task
+/// streams a comparable volume of adjacency memory. Boundaries depend only
+/// on the graph, preserving the determinism contract. `arena` hosts the
+/// label words and round scratch (nullptr: private arena).
 std::vector<graph::vid_t> connected_components(
     ThreadPool& pool, const graph::CSRGraph& g,
-    gov::Governor* governor = nullptr);
+    gov::Governor* governor = nullptr, host::Arena* arena = nullptr);
 
 /// Exact triangle count by parallel sorted-adjacency intersection. One
 /// parallel region: a governed run is checked at entry only.
 std::uint64_t count_triangles(ThreadPool& pool, const graph::CSRGraph& g,
                               gov::Governor* governor = nullptr);
+
+/// Sweep strategy for the native PageRank kernel. Both produce
+/// bit-identical ranks (same additions in the same order per vertex);
+/// they differ only in memory access pattern.
+enum class PageRankMode {
+  /// Pick kBlocked when the rank vectors outgrow the cache, kPull below.
+  kAuto,
+  /// Classic pull sweep: for each v, walk its in-neighbors. Destination
+  /// access is sequential but source reads scatter over the whole rank
+  /// vector — fine while `rank` fits in cache.
+  kPull,
+  /// Propagation-blocked sweep: arcs are regrouped once per run by
+  /// destination block (a cache-sized slice of `next`), and each block's
+  /// contributions are accumulated sequentially. Every write lands in the
+  /// resident block, converting the random-destination traffic of large
+  /// graphs into streaming reads + cached writes. Within a block arcs keep
+  /// (source, dest) ascending order, which is exactly the pull kernel's
+  /// per-vertex addition order on the default symmetric sorted-adjacency
+  /// build — hence bit-identical ranks.
+  kBlocked,
+};
 
 /// Power-iteration PageRank options (semantics match the reference oracle
 /// and bsp::PageRankProgram: ranks start at 1/n, degree-0 leakage is not
@@ -86,6 +127,11 @@ struct PageRankOptions {
   double epsilon = 0.0;
   /// Checked at every sweep boundary; throws gov::Stop. Never owned.
   gov::Governor* governor = nullptr;
+  /// Memory-access strategy; kAuto sizes against the destination block.
+  PageRankMode mode = PageRankMode::kAuto;
+  /// Reusable run arena for rank/next/contrib vectors, the per-chunk delta
+  /// accumulators, and the blocked-mode arc bins. nullptr: private arena.
+  host::Arena* arena = nullptr;
 };
 struct PageRankResult {
   std::vector<double> rank;      ///< empty for the empty graph
@@ -102,9 +148,14 @@ std::vector<double> pagerank(ThreadPool& pool, const graph::CSRGraph& g,
 
 /// k-core membership by parallel iterative peeling (level-synchronous
 /// rounds; removals apply between rounds). Returns the member vertex ids.
+/// Doomed vertices are staged per task and merged at the round barrier, so
+/// a round's cost is O(scanned + removed) rather than an extra O(n) sweep,
+/// and no shared flag is hammered from every worker. `arena` hosts the
+/// liveness bytes and staging lanes (nullptr: private arena).
 std::vector<graph::vid_t> kcore_members(ThreadPool& pool,
                                         const graph::CSRGraph& g,
-                                        std::uint32_t k);
+                                        std::uint32_t k,
+                                        host::Arena* arena = nullptr);
 
 /// Single-source shortest paths by delta-stepping (Meyer-Sanders, the
 /// Grappa formulation): distances are binned into buckets of width
@@ -121,6 +172,9 @@ struct SsspOptions {
   double delta = 0.0;
   /// Checked at every bucket boundary; throws gov::Stop. Never owned.
   gov::Governor* governor = nullptr;
+  /// Reusable run arena for the distance words, bucket bins and staging
+  /// lanes. nullptr: private arena. Never owned.
+  host::Arena* arena = nullptr;
 };
 std::vector<double> sssp(ThreadPool& pool, const graph::CSRGraph& g,
                          graph::vid_t source, const SsspOptions& opt = {});

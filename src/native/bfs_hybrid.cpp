@@ -20,8 +20,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "host/arena.hpp"
 #include "native/algorithms.hpp"
 #include "native/bitmap.hpp"
+#include "native/scratch.hpp"
 #include "native/sliding_queue.hpp"
 
 namespace xg::native {
@@ -50,19 +52,20 @@ NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
     throw std::invalid_argument("native::bfs_hybrid: alpha/beta must be > 0");
   }
 
-  auto dist = std::make_unique<std::atomic<std::uint32_t>[]>(n);
-  for (vid_t v = 0; v < n; ++v) {
-    dist[v].store(graph::kInfDist, std::memory_order_relaxed);
-  }
+  host::Arena local_arena;
+  host::Arena& arena =
+      opt.arena != nullptr ? *opt.arena : local_arena;
+
+  auto* dist = atomic_scratch<std::uint32_t>(arena, n, graph::kInfDist);
   dist[source].store(0, std::memory_order_relaxed);
 
   NativeBfsResult r;
-  SlidingQueue queue(n);
+  SlidingQueue queue(arena, n);
   queue.push_seed(source);
-  Bitmap front;  // frontier as bits (valid while running bottom-up)
-  Bitmap next;   // next frontier being built by a bottom-up level
+  Bitmap front(arena);  // frontier as bits (valid while running bottom-up)
+  Bitmap next(arena);   // next frontier being built by a bottom-up level
 
-  std::vector<LaneTally> tallies;
+  host::reusable_vector<LaneTally> tallies(arena);
   bool bottom_up = false;
   std::uint64_t nf = 1;                  // |frontier|
   std::uint64_t mf = g.degree(source);   // edges out of the frontier
@@ -74,6 +77,7 @@ NativeBfsResult bfs_hybrid(ThreadPool& pool, const graph::CSRGraph& g,
     // Level barrier: `level` levels fully committed regardless of the
     // direction each ran in.
     gov::checkpoint(opt.governor, level);
+    arena.set_rounds_hint(level);
     r.level_sizes.push_back(static_cast<vid_t>(nf));
 
     // Direction for this level (Beamer's two-threshold hysteresis). The

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "graph/types.hpp"
+#include "native/scratch.hpp"
 
 namespace xg::native {
 
@@ -18,16 +19,29 @@ namespace xg::native {
 /// the same 64-bit word being set by different workers — `fetch_or`
 /// handles that, and the result is order-independent (set-of-bits), which
 /// keeps the parallel phases deterministic.
+///
+/// Construct with a host::Arena to carve the word array from a reusable
+/// run arena instead of the heap (warm reruns then allocate nothing); the
+/// bitmap must not outlive the arena's next reset in that mode.
 class Bitmap {
  public:
   Bitmap() = default;
   explicit Bitmap(std::uint64_t bits) { reset(bits); }
+  explicit Bitmap(host::Arena& arena) : arena_(&arena) {}
+  Bitmap(host::Arena& arena, std::uint64_t bits) : arena_(&arena) {
+    reset(bits);
+  }
 
   /// Resize to `bits` and clear. Reallocates only when growing.
   void reset(std::uint64_t bits) {
     const std::uint64_t need = words_for(bits);
     if (need > words_capacity_) {
-      words_ = std::make_unique<std::atomic<std::uint64_t>[]>(need);
+      if (arena_ != nullptr) {
+        words_ = atomic_scratch<std::uint64_t>(*arena_, need, 0);
+      } else {
+        heap_ = std::make_unique<std::atomic<std::uint64_t>[]>(need);
+        words_ = heap_.get();
+      }
       words_capacity_ = need;
     }
     bits_ = bits;
@@ -75,7 +89,9 @@ class Bitmap {
   }
 
   void swap(Bitmap& other) {
-    words_.swap(other.words_);
+    heap_.swap(other.heap_);
+    std::swap(words_, other.words_);
+    std::swap(arena_, other.arena_);
     std::swap(bits_, other.bits_);
     std::swap(num_words_, other.num_words_);
     std::swap(words_capacity_, other.words_capacity_);
@@ -86,7 +102,9 @@ class Bitmap {
   }
 
  private:
-  std::unique_ptr<std::atomic<std::uint64_t>[]> words_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> heap_;  ///< heap mode only
+  std::atomic<std::uint64_t>* words_ = nullptr;
+  host::Arena* arena_ = nullptr;
   std::uint64_t bits_ = 0;
   std::uint64_t num_words_ = 0;
   std::uint64_t words_capacity_ = 0;

@@ -1,0 +1,30 @@
+#pragma once
+
+// Arena-backed scratch helpers for the native kernels. std::atomic is not
+// trivially copyable, so atomic arrays bypass host::reusable_vector: the
+// span is carved from the arena and each element placement-initialized
+// (what the kernels' init loops did anyway). Atomics are trivially
+// destructible, so the span is simply abandoned at the next arena reset.
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+#include "host/arena.hpp"
+
+namespace xg::native {
+
+template <typename T>
+std::atomic<T>* atomic_scratch(host::Arena& arena, std::size_t count,
+                               T init) {
+  static_assert(std::is_trivially_destructible_v<std::atomic<T>>);
+  auto* p = static_cast<std::atomic<T>*>(
+      arena.allocate(count * sizeof(std::atomic<T>)));
+  for (std::size_t i = 0; i < count; ++i) {
+    new (p + i) std::atomic<T>(init);
+  }
+  return p;
+}
+
+}  // namespace xg::native

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "host/arena.hpp"
 #include "host/thread_pool.hpp"
 
 namespace xg::native {
@@ -17,11 +19,23 @@ namespace xg::native {
 /// Task indices are stable under the pool's determinism contract, so the
 /// next window's contents and order are identical at any thread count —
 /// the same idiom the BSP engine uses for message staging.
+///
+/// Storage lives on a host::Arena: pass one (a Workspace's, typically) and
+/// a warm run's frontier traffic allocates nothing; the default constructor
+/// brings its own private arena, so standalone use needs no setup.
 class SlidingQueue {
  public:
   using vid_t = graph::vid_t;
 
-  explicit SlidingQueue(std::uint64_t capacity_hint = 0) {
+  explicit SlidingQueue(std::uint64_t capacity_hint = 0)
+      : own_(std::make_unique<host::Arena>()),
+        arena_(own_.get()),
+        storage_(*arena_) {
+    storage_.reserve(capacity_hint);
+  }
+
+  SlidingQueue(host::Arena& arena, std::uint64_t capacity_hint)
+      : arena_(&arena), storage_(arena) {
     storage_.reserve(capacity_hint);
   }
 
@@ -36,7 +50,7 @@ class SlidingQueue {
   /// Prepare `n` private staging lanes for the next parallel phase. Lane
   /// buffers persist across levels, so steady-state appends never allocate.
   void resize_lanes(std::uint64_t n) {
-    if (lanes_.size() < n) lanes_.resize(n);
+    while (lanes_.size() < n) lanes_.emplace_back(*arena_);
     for (std::uint64_t i = 0; i < n; ++i) lanes_[i].clear();
     active_lanes_ = n;
   }
@@ -49,7 +63,7 @@ class SlidingQueue {
   void slide() {
     begin_ = storage_.size();
     for (std::uint64_t i = 0; i < active_lanes_; ++i) {
-      storage_.insert(storage_.end(), lanes_[i].begin(), lanes_[i].end());
+      storage_.append(lanes_[i].begin(), lanes_[i].end());
     }
   }
 
@@ -68,9 +82,11 @@ class SlidingQueue {
   std::uint64_t total_pushed() const { return storage_.size(); }
 
  private:
-  std::vector<vid_t> storage_;
+  std::unique_ptr<host::Arena> own_;  ///< default-constructed queues only
+  host::Arena* arena_ = nullptr;
+  host::reusable_vector<vid_t> storage_;
   std::uint64_t begin_ = 0;
-  std::vector<std::vector<vid_t>> lanes_;
+  std::vector<host::reusable_vector<vid_t>> lanes_;
   std::uint64_t active_lanes_ = 0;
 };
 

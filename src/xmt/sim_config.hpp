@@ -72,6 +72,10 @@ struct SimConfig {
   /// Keep a per-region statistics log on the engine (cheap; benches use it).
   bool record_regions = true;
 
+  /// Configuration identity — the engine cache in host::Workspace reuses a
+  /// simulator only when the requested machine matches it exactly.
+  friend bool operator==(const SimConfig&, const SimConfig&) = default;
+
   /// Throws std::invalid_argument when a field is out of range.
   void validate() const {
     auto fail = [](const std::string& what) {

@@ -1,0 +1,195 @@
+// RunOptions::workspace differential suite: warm reruns on a shared
+// Workspace are bit-identical to fresh runs on every backend, algorithm
+// and thread count; warm native runs perform zero arena system
+// allocations; the cached XMT engine revalidates its SimConfig; a governed
+// stop does not poison the workspace; and the propagation-blocked native
+// PageRank sweep is bit-identical to the pull sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/run.hpp"
+#include "graph/csr.hpp"
+#include "graph/rmat.hpp"
+#include "host/arena.hpp"
+#include "host/thread_pool.hpp"
+#include "native/algorithms.hpp"
+
+namespace xg {
+namespace {
+
+graph::CSRGraph weighted_rmat(std::uint32_t scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = 7;
+  p.weighted = true;
+  return graph::CSRGraph::build(graph::rmat_edges(p), {},
+                                /*keep_weights=*/true);
+}
+
+/// Every field that makes up the deterministic result contract, compared
+/// exactly (double payloads bitwise via ==).
+void expect_same_report(const RunReport& a, const RunReport& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.status, b.status) << what;
+  EXPECT_EQ(a.rounds_completed, b.rounds_completed) << what;
+  EXPECT_EQ(a.components, b.components) << what;
+  EXPECT_EQ(a.num_components, b.num_components) << what;
+  EXPECT_EQ(a.distance, b.distance) << what;
+  EXPECT_EQ(a.reached, b.reached) << what;
+  EXPECT_EQ(a.triangles, b.triangles) << what;
+  EXPECT_EQ(a.sssp_distance, b.sssp_distance) << what;
+  EXPECT_EQ(a.pagerank_scores, b.pagerank_scores) << what;
+  EXPECT_EQ(a.converged, b.converged) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.seconds, b.seconds) << what;
+  EXPECT_EQ(a.messages, b.messages) << what;
+  EXPECT_EQ(a.writes, b.writes) << what;
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << what;
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].index, b.rounds[i].index) << what;
+    EXPECT_EQ(a.rounds[i].active, b.rounds[i].active) << what;
+    EXPECT_EQ(a.rounds[i].messages, b.rounds[i].messages) << what;
+    EXPECT_EQ(a.rounds[i].cycles, b.rounds[i].cycles) << what;
+    EXPECT_EQ(a.rounds[i].seconds, b.rounds[i].seconds) << what;
+  }
+}
+
+// One Workspace shared across every (backend, algorithm, thread-count)
+// cell — deliberately, so cross-run contamination (a stale message buffer,
+// an unreset engine table, a dirty arena span) shows up as a diff against
+// the fresh, workspace-less run.
+TEST(Workspace, WarmRunsBitIdenticalToFreshEverywhere) {
+  const auto g = weighted_rmat(6);
+  host::Workspace ws;
+  for (const auto backend : all_backends()) {
+    for (const auto algorithm : all_algorithms()) {
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        RunOptions opt;
+        opt.sim.processors = 16;
+        opt.threads = threads;
+        const auto fresh = run(algorithm, backend, g, opt);
+        ASSERT_TRUE(fresh.ok()) << backend_name(backend) << "/"
+                                << algorithm_name(algorithm);
+        opt.workspace = &ws;
+        for (int repeat = 0; repeat < 2; ++repeat) {
+          const auto warm = run(algorithm, backend, g, opt);
+          expect_same_report(
+              fresh, warm,
+              backend_name(backend) + "/" + algorithm_name(algorithm) +
+                  "/t" + std::to_string(threads) + "/r" +
+                  std::to_string(repeat));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(ws.runs_begun(),
+            all_backends().size() * all_algorithms().size() * 3 * 2);
+}
+
+// The tentpole acceptance hook: once a Workspace has served an algorithm,
+// serving it again must carve every kernel buffer from retained arena
+// blocks — zero system allocations through the arena.
+TEST(Workspace, WarmNativeRunsPerformZeroArenaAllocations) {
+  const auto g = weighted_rmat(8);
+  host::Workspace ws;
+  for (const auto algorithm : all_algorithms()) {
+    RunOptions opt;
+    opt.threads = 2;
+    opt.workspace = &ws;
+    const auto cold = run(algorithm, BackendId::kNative, g, opt);
+    ASSERT_TRUE(cold.ok()) << algorithm_name(algorithm);
+    const std::uint64_t primed = ws.arena().system_allocations();
+    const auto warm = run(algorithm, BackendId::kNative, g, opt);
+    ASSERT_TRUE(warm.ok()) << algorithm_name(algorithm);
+    EXPECT_EQ(ws.arena().system_allocations(), primed)
+        << "warm " << algorithm_name(algorithm)
+        << " grew the arena";
+  }
+}
+
+// The cached XMT engine is keyed on its SimConfig: changing the simulated
+// machine mid-workspace rebuilds instead of reusing a mismatched engine.
+TEST(Workspace, CachedEngineRevalidatesSimConfig) {
+  const auto g = weighted_rmat(6);
+  host::Workspace ws;
+  RunOptions opt;
+  opt.workspace = &ws;
+  opt.sim.processors = 16;
+  const auto p16 = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+  opt.sim.processors = 64;
+  const auto p64 = run(AlgorithmId::kBfs, BackendId::kGraphct, g, opt);
+  ASSERT_TRUE(p16.ok());
+  ASSERT_TRUE(p64.ok());
+  // Same answers, different simulated machine -> different cycle price.
+  EXPECT_EQ(p16.distance, p64.distance);
+  EXPECT_NE(p16.cycles, p64.cycles);
+
+  // And each must equal its fresh equivalent.
+  RunOptions fresh_opt;
+  fresh_opt.sim.processors = 64;
+  const auto fresh64 =
+      run(AlgorithmId::kBfs, BackendId::kGraphct, g, fresh_opt);
+  expect_same_report(fresh64, p64, "p64 vs fresh");
+}
+
+// A governed stop mid-run leaves the workspace reusable: the next run on
+// it still matches a fresh run exactly.
+TEST(Workspace, GovernedStopDoesNotPoisonWorkspace) {
+  const auto g = weighted_rmat(6);
+  host::Workspace ws;
+  RunOptions opt;
+  opt.workspace = &ws;
+  opt.max_rounds = 1;
+  const auto stopped =
+      run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, opt);
+  EXPECT_EQ(stopped.status, RunStatus::kRoundLimit);
+  EXPECT_TRUE(stopped.components.empty());
+
+  RunOptions clean;
+  const auto fresh =
+      run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, clean);
+  clean.workspace = &ws;
+  const auto warm =
+      run(AlgorithmId::kConnectedComponents, BackendId::kNative, g, clean);
+  expect_same_report(fresh, warm, "after governed stop");
+}
+
+// The cache-blocked PageRank sweep regroups the arc traversal but keeps
+// every per-destination addition in pull order — the ranks must be the
+// same doubles, not merely close.
+TEST(Workspace, BlockedPagerankBitIdenticalToPull) {
+  graph::RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  p.seed = 21;
+  const auto g = graph::CSRGraph::build(graph::rmat_edges(p), {});
+  auto& pool = host::pool();
+
+  native::PageRankOptions pull;
+  pull.mode = native::PageRankMode::kPull;
+  native::PageRankOptions blocked;
+  blocked.mode = native::PageRankMode::kBlocked;
+  const auto a = native::pagerank(pool, g, pull);
+  const auto b = native::pagerank(pool, g, blocked);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.rank, b.rank);  // element-wise ==, no epsilon
+
+  // Epsilon mode: the stop decision reduces the same per-chunk deltas, so
+  // the sweep counts agree too.
+  pull.epsilon = 1e-8;
+  blocked.epsilon = 1e-8;
+  pull.iterations = 200;
+  blocked.iterations = 200;
+  const auto ae = native::pagerank(pool, g, pull);
+  const auto be = native::pagerank(pool, g, blocked);
+  EXPECT_TRUE(ae.converged);
+  EXPECT_EQ(ae.iterations, be.iterations);
+  EXPECT_EQ(ae.rank, be.rank);
+}
+
+}  // namespace
+}  // namespace xg

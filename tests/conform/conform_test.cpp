@@ -86,6 +86,9 @@ TEST(EnumerateChecks, CoversEveryKindAndRespectsFlags) {
         dup = true;
         EXPECT_NE(s.algorithm, AlgorithmId::kTriangleCount) << s.describe();
         break;
+      case CheckSpec::Kind::kWorkspaceReuse:
+        FAIL() << "workspace reuse is opt-in: " << s.describe();
+        break;
     }
   }
   EXPECT_TRUE(pair && faulted && perm && dup && thread_variant);
@@ -96,6 +99,19 @@ TEST(EnumerateChecks, CoversEveryKindAndRespectsFlags) {
   for (const auto& s : enumerate_checks(bare)) {
     EXPECT_EQ(s.kind, CheckSpec::Kind::kBackendPair) << s.describe();
   }
+}
+
+TEST(EnumerateChecks, WorkspaceReuseIsOptInAndSkipsReference) {
+  HarnessOptions opt = fast_options();
+  opt.reuse_workspace = true;
+  bool reuse = false;
+  for (const auto& s : enumerate_checks(opt)) {
+    if (s.kind != CheckSpec::Kind::kWorkspaceReuse) continue;
+    reuse = true;
+    EXPECT_NE(s.a, BackendId::kReference) << s.describe();
+    EXPECT_EQ(s.a, s.b) << s.describe();
+  }
+  EXPECT_TRUE(reuse);
 }
 
 TEST(EnumerateChecks, DirectionModesDiffHybridAgainstTopDown) {

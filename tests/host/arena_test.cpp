@@ -1,0 +1,212 @@
+// Run-arena unit suite: span alignment, epoch reset block retention, the
+// system-allocation counter the warm-run assertions hook into, governed
+// block growth, reusable_vector semantics, and Workspace slot caching.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gov/governance.hpp"
+#include "host/arena.hpp"
+
+namespace xg::host {
+namespace {
+
+std::uintptr_t addr(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+TEST(Arena, SpansAreCacheAligned) {
+  Arena a;
+  EXPECT_EQ(addr(a.allocate(100)) % Arena::kAlignment, 0u);
+  // A misaligning bump (1 byte) still yields an aligned next span.
+  a.allocate(1, 1);
+  EXPECT_EQ(addr(a.allocate(8)) % Arena::kAlignment, 0u);
+  EXPECT_EQ(addr(a.allocate(3, 2)) % 2, 0u);
+}
+
+TEST(Arena, ZeroByteAllocationIsValid) {
+  Arena a;
+  EXPECT_NE(a.allocate(0), nullptr);
+}
+
+TEST(Arena, SmallSpansShareOneBlock) {
+  Arena a;
+  for (int i = 0; i < 100; ++i) a.allocate(256);
+  EXPECT_EQ(a.system_allocations(), 1u);
+}
+
+TEST(Arena, ResetRetainsBlocksForWarmReuse) {
+  Arena a;
+  // Force growth past the first block.
+  for (int i = 0; i < 8; ++i) a.allocate(std::size_t{1} << 19);
+  const std::uint64_t cold = a.system_allocations();
+  ASSERT_GE(cold, 2u);
+  const std::uint64_t epoch = a.epoch();
+
+  a.reset();
+  EXPECT_EQ(a.epoch(), epoch + 1);
+  EXPECT_EQ(a.bytes_used(), 0u);
+  // The warm epoch re-carves the same footprint from retained blocks.
+  for (int i = 0; i < 8; ++i) a.allocate(std::size_t{1} << 19);
+  EXPECT_EQ(a.system_allocations(), cold);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena a;
+  const std::size_t big = std::size_t{10} << 20;
+  EXPECT_NE(a.allocate(big), nullptr);
+  EXPECT_GE(a.bytes_reserved(), big);
+  a.reset();
+  const std::uint64_t cold = a.system_allocations();
+  EXPECT_NE(a.allocate(big), nullptr);
+  EXPECT_EQ(a.system_allocations(), cold);
+}
+
+TEST(Arena, ReleaseReturnsToColdState) {
+  Arena a;
+  a.allocate(1024);
+  a.release();
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+  // Allocating again grows from the system (the counter keeps history).
+  const std::uint64_t before = a.system_allocations();
+  a.allocate(1024);
+  EXPECT_EQ(a.system_allocations(), before + 1);
+}
+
+TEST(Arena, GovernedBudgetRefusesGrowthBeforeAllocating) {
+  gov::Limits limits;
+  limits.memory_budget_bytes = 1;  // any real RSS busts this
+  gov::Governor governor(limits);
+  Arena a;
+  a.set_governor(&governor);
+  a.set_rounds_hint(7);
+  try {
+    a.allocate(1024);
+    FAIL() << "expected gov::Stop";
+  } catch (const gov::Stop& stop) {
+    EXPECT_EQ(stop.code(), gov::StatusCode::kMemoryBudgetExceeded);
+    EXPECT_EQ(stop.rounds_completed(), 7u);
+  }
+  // Refused BEFORE the system allocation happened.
+  EXPECT_EQ(a.system_allocations(), 0u);
+
+  // Detached, the same request succeeds.
+  a.set_governor(nullptr);
+  EXPECT_NE(a.allocate(1024), nullptr);
+}
+
+TEST(Arena, UngovernedSpansFromRetainedBlocksAreFree) {
+  Arena a;
+  a.allocate(1024);  // grow once, ungoverned
+  gov::Limits limits;
+  limits.memory_budget_bytes = 1;
+  gov::Governor governor(limits);
+  a.set_governor(&governor);
+  // Carving from the retained block needs no growth, so the budget is
+  // never consulted.
+  EXPECT_NE(a.allocate(64), nullptr);
+}
+
+TEST(ReusableVector, PushGrowAndIndex) {
+  Arena a;
+  reusable_vector<int> v(a);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+  EXPECT_EQ(v.back(), 999);
+}
+
+TEST(ReusableVector, ClearKeepsCapacity) {
+  Arena a;
+  reusable_vector<int> v(a);
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  const std::uint64_t count = a.system_allocations();
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(a.system_allocations(), count);
+}
+
+TEST(ReusableVector, ResizeZeroFillsAndAssignRefills) {
+  Arena a;
+  reusable_vector<std::uint8_t> v(a);
+  v.resize(64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], 0);
+  v.assign(64, std::uint8_t{7});
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], 7);
+  v.resize_for_overwrite(128);
+  EXPECT_EQ(v.size(), 128u);
+  // The first 64 survive growth (memcpy'd into the fresh span).
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(v[i], 7);
+}
+
+TEST(ReusableVector, AppendAndMove) {
+  Arena a;
+  std::vector<int> src(50);
+  std::iota(src.begin(), src.end(), 0);
+  reusable_vector<int> v(a);
+  v.append(src.begin(), src.end());
+  ASSERT_EQ(v.size(), 50u);
+  EXPECT_EQ(v[49], 49);
+
+  reusable_vector<int> w(std::move(v));
+  ASSERT_EQ(w.size(), 50u);
+  EXPECT_EQ(w[0], 0);
+}
+
+TEST(ReusableVector, WarmEpochPerformsZeroSystemAllocations) {
+  Arena a;
+  {
+    reusable_vector<std::uint64_t> v(a);
+    for (std::uint64_t i = 0; i < 10000; ++i) v.push_back(i);
+  }
+  const std::uint64_t cold = a.system_allocations();
+  a.reset();
+  {
+    reusable_vector<std::uint64_t> v(a);
+    for (std::uint64_t i = 0; i < 10000; ++i) v.push_back(i);
+  }
+  EXPECT_EQ(a.system_allocations(), cold);
+}
+
+TEST(Workspace, SlotsCacheAcrossRuns) {
+  Workspace ws;
+  ws.begin_run(nullptr);
+  int& x = ws.slot<int>("engine", [] { return 41; });
+  x = 42;
+  ws.end_run();
+
+  ws.begin_run(nullptr);
+  EXPECT_EQ(ws.slot<int>("engine", [] { return -1; }), 42);
+  EXPECT_EQ(ws.runs_begun(), 2u);
+  EXPECT_EQ(ws.slot_count(), 1u);
+
+  // A differently typed occupant of the same key is rebuilt, not reused.
+  EXPECT_EQ(ws.try_slot<double>("engine"), nullptr);
+  EXPECT_EQ(ws.slot<double>("engine", [] { return 2.5; }), 2.5);
+
+  ws.erase_slot("engine");
+  EXPECT_EQ(ws.try_slot<double>("engine"), nullptr);
+  EXPECT_EQ(ws.slot_count(), 0u);
+}
+
+TEST(Workspace, BeginRunResetsArenaEpochAndAttachesGovernor) {
+  Workspace ws;
+  const std::uint64_t epoch = ws.arena().epoch();
+  gov::Limits limits;
+  limits.memory_budget_bytes = 1;
+  gov::Governor governor(limits);
+  ws.begin_run(&governor);
+  EXPECT_EQ(ws.arena().epoch(), epoch + 1);
+  EXPECT_THROW(ws.arena().allocate(1024), gov::Stop);
+  ws.end_run();
+  EXPECT_NE(ws.arena().allocate(1024), nullptr);  // governor detached
+}
+
+}  // namespace
+}  // namespace xg::host

@@ -69,6 +69,9 @@ int main(int argc, char** argv) try {
                      "  --schedules N        governance schedules per config (default 3)\n"
                      "  --no-faults          skip the faulted-cluster checks\n"
                      "  --no-metamorphic     skip permutation/duplicate-edge checks\n"
+                     "  --reuse-workspace    add the reused-workspace differential:\n"
+                     "                       fresh run vs warm reruns on one shared\n"
+                     "                       Workspace, compared bit for bit\n"
                      "  --no-minimize        keep failing graphs unminimized\n"
                      "  --inject NAME        none (default), cc, triangles,\n"
                      "                       sssp, pagerank\n"
@@ -94,6 +97,7 @@ int main(int argc, char** argv) try {
   opt.thread_counts = args.get_list("threads-list", {1, 2, 8});
   opt.faulted_cluster = !args.get_flag("no-faults");
   opt.metamorphic = !args.get_flag("no-metamorphic");
+  opt.reuse_workspace = args.get_flag("reuse-workspace");
   opt.minimize_failures = !args.get_flag("no-minimize");
   opt.inject = parse_inject(args.get("inject", "none"));
 
