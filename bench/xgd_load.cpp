@@ -1,0 +1,357 @@
+// xgd_load — seeded mixed-workload load generator for the xgd service
+// (docs/SERVICE.md, "Load testing").
+//
+// Simulates N closed-loop clients, each its own TCP connection, drawing
+// requests from the five algorithm classes {bfs, cc, sssp, pagerank,
+// triangles} with skewed graph and source popularity (hot sources repeat,
+// which is what exercises the result cache). Reports qps and p50 / p99 /
+// p99.9 latency per workload class.
+//
+// Two modes:
+//   * standalone (default): spins up an in-process daemon on an ephemeral
+//     loopback port and measures three configurations back to back on the
+//     identical request sequence — cache+batching, no-cache, and cold
+//     (no batching, no cache) — the contrast the BENCH_engine.json
+//     `xgd_load` record tracks;
+//   * --port N: drives an already-running daemon (the CI smoke job), one
+//     pass, and exits nonzero if any response is a protocol error.
+//
+// The sequence is fully seeded (--seed): two runs generate byte-identical
+// request streams.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/serde.hpp"
+#include "exp/args.hpp"
+#include "graph/rng.hpp"
+#include "svc/graph_loader.hpp"
+#include "svc/net.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+using namespace xg;
+
+constexpr const char* kDescription =
+    "xgd_load: closed-loop mixed-workload load generator for xgd.\n"
+    "\n"
+    "Options:\n"
+    "  --clients N     concurrent closed-loop clients (default 8)\n"
+    "  --requests N    requests per client (default 60)\n"
+    "  --seed N        workload seed (default 1)\n"
+    "  --scale S       R-MAT scale of the largest standalone graph\n"
+    "                  (default 12; standalone mode serves three graphs at\n"
+    "                  scale S, S-1, S-2 with 60/30/10 popularity)\n"
+    "  --port N        drive an already-running daemon on 127.0.0.1:N\n"
+    "                  instead of a standalone in-process one\n"
+    "  --graph NAME    graph names to query in --port mode (repeatable,\n"
+    "                  default g0 g1 g2; popularity 60/30/10 in order)\n"
+    "  --out PATH      JSON results file (default BENCH_xgd_load.json)";
+
+struct Sample {
+  double ms = 0.0;
+  std::uint8_t algorithm = 0;  // AlgorithmId
+  ServiceCode code = ServiceCode::kOk;
+  bool cache_hit = false;
+};
+
+struct ClassStats {
+  std::uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+ClassStats stats_of(const std::vector<Sample>& samples, int algorithm) {
+  std::vector<double> lat;
+  for (const Sample& s : samples) {
+    if (algorithm < 0 || s.algorithm == algorithm) lat.push_back(s.ms);
+  }
+  std::sort(lat.begin(), lat.end());
+  ClassStats out;
+  out.count = lat.size();
+  out.p50_ms = percentile(lat, 0.50);
+  out.p99_ms = percentile(lat, 0.99);
+  out.p999_ms = percentile(lat, 0.999);
+  return out;
+}
+
+/// The deterministic request stream: graph popularity 60/30/10, algorithm
+/// mix bfs 30% / cc 20% / sssp 20% / pagerank 20% / triangles 10%, and 80%
+/// of traversal sources drawn from a 16-vertex hot set.
+Request draw_request(graph::Rng& rng, const std::vector<std::string>& graphs,
+                     const std::vector<std::uint32_t>& vertex_counts,
+                     std::uint64_t id) {
+  Request req;
+  req.id = id;
+  const double g = rng.uniform01();
+  std::size_t gi = g < 0.6 ? 0 : (g < 0.9 ? 1 : 2);
+  gi = std::min(gi, graphs.size() - 1);
+  req.graph = graphs[gi];
+  const std::uint32_t n = std::max<std::uint32_t>(vertex_counts[gi], 1);
+
+  const double a = rng.uniform01();
+  req.backend = BackendId::kNative;
+  const auto pick_source = [&] {
+    const bool hot = rng.uniform01() < 0.8;
+    const auto span = hot ? std::min<std::uint32_t>(16, n) : n;
+    return static_cast<graph::vid_t>(rng.below(span));
+  };
+  if (a < 0.30) {
+    req.algorithm = AlgorithmId::kBfs;
+    req.options.source = pick_source();
+  } else if (a < 0.50) {
+    req.algorithm = AlgorithmId::kConnectedComponents;
+  } else if (a < 0.70) {
+    req.algorithm = AlgorithmId::kSssp;
+    req.options.sssp_source = pick_source();
+  } else if (a < 0.90) {
+    req.algorithm = AlgorithmId::kPageRank;
+    req.options.pagerank_iters = 10;
+  } else {
+    req.algorithm = AlgorithmId::kTriangleCount;
+  }
+  return req;
+}
+
+bool protocol_error(ServiceCode code) {
+  return code == ServiceCode::kBadRequest || code == ServiceCode::kNotFound ||
+         code == ServiceCode::kInternal ||
+         code == ServiceCode::kInvalidArgument;
+}
+
+struct PassResult {
+  std::vector<Sample> samples;
+  double wall_seconds = 0.0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+
+  double qps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(samples.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// One closed-loop run: `clients` threads, each its own connection and its
+/// own deterministic request stream (seed forked per client), each sending
+/// `requests` back-to-back queries.
+PassResult run_pass(std::uint16_t port, std::size_t clients,
+                    std::size_t requests, std::uint64_t seed,
+                    const std::vector<std::string>& graphs,
+                    const std::vector<std::uint32_t>& vertex_counts) {
+  std::vector<std::vector<Sample>> per_client(clients);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      graph::Rng rng(seed * 1000003 + c);
+      svc::TcpClient conn("127.0.0.1", port);
+      per_client[c].reserve(requests);
+      for (std::size_t i = 0; i < requests; ++i) {
+        const Request req =
+            draw_request(rng, graphs, vertex_counts, c * requests + i + 1);
+        const std::string line = api::serialize_request(req);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::string reply = conn.call(line);
+        const auto t1 = std::chrono::steady_clock::now();
+        Sample s;
+        s.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        s.algorithm = static_cast<std::uint8_t>(req.algorithm);
+        const Response resp = api::parse_response(reply);
+        s.code = resp.code;
+        s.cache_hit = resp.cache_hit;
+        per_client[c].push_back(s);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  PassResult out;
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& v : per_client) {
+    for (const Sample& s : v) {
+      out.samples.push_back(s);
+      if (protocol_error(s.code)) ++out.protocol_errors;
+      if (s.code == ServiceCode::kRejected) ++out.rejected;
+      if (s.cache_hit) ++out.cache_hits;
+    }
+  }
+  return out;
+}
+
+api::Json pass_to_json(const PassResult& pass) {
+  ClassStats all = stats_of(pass.samples, -1);
+  api::Json j = api::Json::object();
+  j.set("requests", std::uint64_t{all.count});
+  j.set("wall_seconds", pass.wall_seconds);
+  j.set("qps", pass.qps());
+  j.set("p50_ms", all.p50_ms);
+  j.set("p99_ms", all.p99_ms);
+  j.set("p999_ms", all.p999_ms);
+  j.set("cache_hits", pass.cache_hits);
+  j.set("rejected", pass.rejected);
+  j.set("protocol_errors", pass.protocol_errors);
+  return j;
+}
+
+api::Json classes_to_json(const PassResult& pass) {
+  api::Json j = api::Json::object();
+  for (const AlgorithmId a : all_algorithms()) {
+    const ClassStats s = stats_of(pass.samples, static_cast<int>(a));
+    api::Json c = api::Json::object();
+    c.set("count", std::uint64_t{s.count});
+    c.set("p50_ms", s.p50_ms);
+    c.set("p99_ms", s.p99_ms);
+    c.set("p999_ms", s.p999_ms);
+    j.set(algorithm_name(a), std::move(c));
+  }
+  return j;
+}
+
+void print_pass(const char* name, const PassResult& pass) {
+  const ClassStats s = stats_of(const_cast<PassResult&>(pass).samples, -1);
+  std::printf(
+      "%-10s %6zu req  %8.1f qps  p50 %7.3f ms  p99 %7.3f ms  "
+      "p99.9 %7.3f ms  %llu cache hits, %llu rejected, %llu errors\n",
+      name, pass.samples.size(), pass.qps(), s.p50_ms, s.p99_ms, s.p999_ms,
+      static_cast<unsigned long long>(pass.cache_hits),
+      static_cast<unsigned long long>(pass.rejected),
+      static_cast<unsigned long long>(pass.protocol_errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    exp::Args args(argc, argv, kDescription);
+    args.handle_help();
+
+    const auto clients = static_cast<std::size_t>(args.get_int("clients", 8));
+    const auto requests =
+        static_cast<std::size_t>(args.get_int("requests", 60));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto scale = static_cast<std::uint32_t>(args.get_int("scale", 12));
+    const auto external_port =
+        static_cast<std::uint16_t>(args.get_int("port", 0));
+    const std::string out_path = args.get("out", "BENCH_xgd_load.json");
+
+    api::Json result = api::Json::object();
+    result.set("bench", "xgd_load");
+    api::Json config = api::Json::object();
+    config.set("clients", std::uint64_t{clients});
+    config.set("requests_per_client", std::uint64_t{requests});
+    config.set("seed", seed);
+    result.set("config", std::move(config));
+
+    std::uint64_t total_errors = 0;
+
+    if (external_port != 0) {
+      // CI smoke mode: one pass against a daemon someone else started.
+      std::vector<std::string> graphs = args.get_all("graph");
+      if (graphs.empty()) graphs = {"g0", "g1", "g2"};
+      // Vertex counts are unknown here; keep sources inside any graph.
+      std::vector<std::uint32_t> counts(graphs.size(), 256);
+      PassResult pass = run_pass(external_port, clients, requests, seed,
+                                 graphs, counts);
+      print_pass("external", pass);
+      result.set("mode", "external");
+      api::Json passes = api::Json::object();
+      passes.set("external", pass_to_json(pass));
+      result.set("passes", std::move(passes));
+      result.set("workloads", classes_to_json(pass));
+      total_errors = pass.protocol_errors;
+    } else {
+      // Standalone: three graphs, 60/30/10 popular, three configurations
+      // over the identical seeded request sequence.
+      std::vector<std::string> names;
+      std::vector<std::uint32_t> counts;
+      std::vector<svc::GraphSpec> specs;
+      for (std::uint32_t i = 0; i < 3; ++i) {
+        const std::uint32_t s = scale > i + 6 ? scale - i : 6 + (2 - i);
+        std::string spec_text = "g";
+        spec_text += std::to_string(i);
+        spec_text += "=rmat:scale=";
+        spec_text += std::to_string(s);
+        spec_text += ",edgefactor=8,seed=";
+        spec_text += std::to_string(i + 1);
+        spec_text += ",weighted";
+        specs.push_back(svc::load_graph_spec(spec_text));
+        names.push_back(specs.back().name);
+        counts.push_back(specs.back().graph.num_vertices());
+        std::printf("graph %s: %u vertices, %zu arcs\n", names.back().c_str(),
+                    counts.back(),
+                    static_cast<std::size_t>(specs.back().graph.num_arcs()));
+      }
+
+      struct Config {
+        const char* name;
+        bool cache;
+        bool batching;
+      };
+      const Config configs[] = {
+          {"cached", true, true},
+          {"no_cache", false, true},
+          {"cold", false, false},
+      };
+      api::Json passes = api::Json::object();
+      api::Json workloads = api::Json::object();
+      for (const Config& cfg : configs) {
+        // Each pass gets a fresh server over copies of the same graphs so
+        // nothing warm carries over between configurations.
+        std::vector<svc::GraphSpec> pass_graphs;
+        for (const svc::GraphSpec& g : specs) {
+          pass_graphs.push_back(svc::GraphSpec{g.name, g.version, g.graph});
+        }
+        svc::ServerOptions opt;
+        opt.workers = 2;
+        opt.cache_budget_bytes = cfg.cache ? 64ull << 20 : 0;
+        opt.batching = cfg.batching;
+        svc::Server server(opt, std::move(pass_graphs));
+        svc::TcpServer tcp(server, {});
+        PassResult pass = run_pass(tcp.port(), clients, requests, seed,
+                                   names, counts);
+        print_pass(cfg.name, pass);
+        passes.set(cfg.name, pass_to_json(pass));
+        if (cfg.cache) workloads = classes_to_json(pass);
+        total_errors += pass.protocol_errors;
+        tcp.shutdown();
+      }
+      result.set("mode", "standalone");
+      result.set("passes", std::move(passes));
+      result.set("workloads", std::move(workloads));
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "xgd_load: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string text = result.dump();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("results written to %s\n", out_path.c_str());
+
+    return total_errors == 0 ? 0 : 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xgd_load: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,371 @@
+#include "api/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace xg::api {
+
+JsonError::JsonError(std::string message, std::size_t offset)
+    : message_("JSON parse error at byte " + std::to_string(offset) + ": " +
+               std::move(message)),
+      offset_(offset) {}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // The serde layer encodes infinities itself (null in distance arrays);
+    // a non-finite double reaching the raw dumper has no JSON spelling.
+    out += "null";
+    return;
+  }
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, r.ptr);
+  // Keep integral-valued doubles recognizably floating point so a reparse
+  // yields Type::kNumber again (dump/parse/dump stability for the cache
+  // keys): to_chars prints 2.0 as "2".
+  bool has_mark = false;
+  for (const char* p = buf; p != r.ptr; ++p) {
+    if (*p == '.' || *p == 'e' || *p == 'E' || *p == 'n' || *p == 'i') {
+      has_mark = true;
+      break;
+    }
+  }
+  if (!has_mark) out += ".0";
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw JsonError(msg, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 96 levels");
+    skip_ws();
+    const char c = peek();
+    Json out;
+    switch (c) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': out = Json(parse_string()); break;
+      case 't':
+        if (!consume("true")) fail("invalid literal");
+        out = Json(true);
+        break;
+      case 'f':
+        if (!consume("false")) fail("invalid literal");
+        out = Json(false);
+        break;
+      case 'n':
+        if (!consume("null")) fail("invalid literal");
+        break;
+      default: out = parse_number(); break;
+    }
+    --depth_;
+    return out;
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_ws();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return s;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': s += '"'; break;
+        case '\\': s += '\\'; break;
+        case '/': s += '/'; break;
+        case 'b': s += '\b'; break;
+        case 'f': s += '\f'; break;
+        case 'n': s += '\n'; break;
+        case 'r': s += '\r'; break;
+        case 't': s += '\t'; break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired UTF-16 surrogate");
+          }
+          append_utf8(s, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") fail("invalid number");
+    // Non-negative integer tokens stay exact in uint64; everything else
+    // (signs, fractions, exponents) goes through double.
+    const bool integral =
+        tok.find_first_not_of("0123456789") == std::string::npos;
+    if (integral) {
+      std::uint64_t u = 0;
+      const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+      if (r.ec == std::errc() && r.ptr == tok.data() + tok.size()) {
+        return Json(u);
+      }
+      // Fell out of uint64 range: report it rather than silently rounding
+      // through a double — serde's integer fields must stay exact.
+      pos_ = start;
+      fail("integer '" + tok + "' does not fit in 64 bits");
+    }
+    double d = 0.0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc() || r.ptr != tok.data() + tok.size()) {
+      pos_ = start;
+      fail("invalid number '" + tok + "'");
+    }
+    if (!std::isfinite(d)) {
+      pos_ = start;
+      fail("number '" + tok + "' overflows a double");
+    }
+    return Json(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; return;
+    case Type::kBool: out += bool_ ? "true" : "false"; return;
+    case Type::kUnsigned: {
+      char buf[24];
+      const auto r = std::to_chars(buf, buf + sizeof buf, uint_);
+      out.append(buf, r.ptr);
+      return;
+    }
+    case Type::kNumber: append_double(out, num_); return;
+    case Type::kString: append_escaped(out, str_); return;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        append_escaped(out, k);
+        out += ':';
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace xg::api

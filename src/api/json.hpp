@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xg::api {
+
+/// Minimal JSON document model for the serializable request API
+/// (src/api/serde.hpp and the xgd wire protocol, docs/SERVICE.md).
+///
+/// Design constraints, in order:
+///  * Numbers must round-trip *bit-exactly*: unsigned integers are kept as
+///    uint64 (never squeezed through a double), and doubles serialize via
+///    std::to_chars shortest form, which from_chars parses back to the
+///    identical bits. This is what lets every RunOptions field survive
+///    serialize -> parse unchanged (the serde acceptance invariant).
+///  * Object member order is preserved (vector of pairs, not a map), so a
+///    value serialized twice yields the same byte string — the property the
+///    result cache's canonicalized option keys rely on.
+///  * Parsing is strict: trailing garbage, duplicate keys, invalid escapes,
+///    unescaped control characters and over-deep nesting are all errors
+///    with a byte offset, so a malformed frame is rejected at the protocol
+///    edge instead of half-read.
+///
+/// exp::JsonWriter stays the streaming emitter for bench result files; this
+/// class is the two-way DOM the service layer needs.
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kUnsigned,  ///< non-negative integer token, exact in uint64
+    kNumber,    ///< any other numeric token, held as double
+    kString,
+    kArray,
+    kObject,
+  };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(std::uint64_t u) : type_(Type::kUnsigned), uint_(u) {}  // NOLINT
+  Json(std::uint32_t u) : Json(static_cast<std::uint64_t>(u)) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_unsigned() const { return type_ == Type::kUnsigned; }
+  /// Any numeric token (integer or not).
+  bool is_number() const {
+    return type_ == Type::kNumber || type_ == Type::kUnsigned;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  /// Exact only for Type::kUnsigned (asserted by callers via is_unsigned).
+  std::uint64_t as_uint() const {
+    return type_ == Type::kUnsigned ? uint_
+                                    : static_cast<std::uint64_t>(num_);
+  }
+  double as_double() const {
+    return type_ == Type::kUnsigned ? static_cast<double>(uint_) : num_;
+  }
+  const std::string& as_string() const { return str_; }
+
+  Array& items() { return array_; }
+  const Array& items() const { return array_; }
+  Object& members() { return object_; }
+  const Object& members() const { return object_; }
+
+  /// Object member by key, nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Append an object member (no duplicate check; serde emits fixed field
+  /// lists and the parser rejects duplicates on the way back in).
+  Json& set(const std::string& key, Json value) {
+    type_ = Type::kObject;
+    object_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  /// Append an array element.
+  Json& push(Json value) {
+    type_ = Type::kArray;
+    array_.push_back(std::move(value));
+    return *this;
+  }
+
+  /// Serialize compactly (no whitespace, one line — the NDJSON frame form).
+  /// Doubles use std::to_chars shortest round-trip form; non-finite doubles
+  /// are a logic error upstream and serialize as null (the serde layer maps
+  /// infinities explicitly before reaching here).
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON document. Throws api::JsonError with
+  /// a byte offset on any syntax problem, duplicate object key, invalid
+  /// escape, nesting deeper than 96, or trailing non-whitespace.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse failure: what() carries the byte offset and the problem.
+class JsonError : public std::exception {
+ public:
+  JsonError(std::string message, std::size_t offset);
+  const char* what() const noexcept override { return message_.c_str(); }
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::string message_;
+  std::size_t offset_;
+};
+
+}  // namespace xg::api

@@ -1,0 +1,93 @@
+#include "api/request.hpp"
+
+#include <stdexcept>
+
+namespace xg {
+
+const char* service_code_name(ServiceCode code) {
+  switch (code) {
+    case ServiceCode::kOk: return "ok";
+    case ServiceCode::kCancelled: return "cancelled";
+    case ServiceCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ServiceCode::kMemoryBudgetExceeded: return "memory_budget_exceeded";
+    case ServiceCode::kRoundLimit: return "round_limit";
+    case ServiceCode::kInvalidArgument: return "invalid_argument";
+    case ServiceCode::kInternal: return "internal";
+    case ServiceCode::kRejected: return "rejected";
+    case ServiceCode::kNotFound: return "not_found";
+    case ServiceCode::kBadRequest: return "bad_request";
+  }
+  return "?";
+}
+
+const std::vector<ServiceCode>& all_service_codes() {
+  static const std::vector<ServiceCode> kAll = {
+      ServiceCode::kOk,
+      ServiceCode::kCancelled,
+      ServiceCode::kDeadlineExceeded,
+      ServiceCode::kMemoryBudgetExceeded,
+      ServiceCode::kRoundLimit,
+      ServiceCode::kInvalidArgument,
+      ServiceCode::kInternal,
+      ServiceCode::kRejected,
+      ServiceCode::kNotFound,
+      ServiceCode::kBadRequest,
+  };
+  return kAll;
+}
+
+ServiceCode parse_service_code(const std::string& name) {
+  std::string all;
+  for (const ServiceCode c : all_service_codes()) {
+    if (name == service_code_name(c)) return c;
+    if (!all.empty()) all += ", ";
+    all += service_code_name(c);
+  }
+  throw std::invalid_argument("unknown service code '" + name +
+                              "' (valid: " + all + ")");
+}
+
+ServiceCode to_service_code(gov::StatusCode code) {
+  switch (code) {
+    case gov::StatusCode::kOk: return ServiceCode::kOk;
+    case gov::StatusCode::kCancelled: return ServiceCode::kCancelled;
+    case gov::StatusCode::kDeadlineExceeded:
+      return ServiceCode::kDeadlineExceeded;
+    case gov::StatusCode::kMemoryBudgetExceeded:
+      return ServiceCode::kMemoryBudgetExceeded;
+    case gov::StatusCode::kRoundLimit: return ServiceCode::kRoundLimit;
+    case gov::StatusCode::kInvalidArgument:
+      return ServiceCode::kInvalidArgument;
+    case gov::StatusCode::kInternal: return ServiceCode::kInternal;
+  }
+  return ServiceCode::kInternal;
+}
+
+bool service_code_retryable(ServiceCode code) {
+  switch (code) {
+    case ServiceCode::kRejected:
+    case ServiceCode::kCancelled:
+    case ServiceCode::kDeadlineExceeded:
+    case ServiceCode::kMemoryBudgetExceeded:
+      return true;
+    case ServiceCode::kOk:
+    case ServiceCode::kRoundLimit:
+    case ServiceCode::kInvalidArgument:
+    case ServiceCode::kInternal:
+    case ServiceCode::kNotFound:
+    case ServiceCode::kBadRequest:
+      return false;
+  }
+  return false;
+}
+
+Response run(const Request& request, const graph::CSRGraph& g) {
+  Response resp;
+  resp.id = request.id;
+  resp.report = run(request.algorithm, request.backend, g, request.options);
+  resp.code = to_service_code(resp.report.status);
+  resp.error = resp.report.status_detail;
+  return resp;
+}
+
+}  // namespace xg

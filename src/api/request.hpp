@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/run.hpp"
+
+namespace xg {
+
+/// The service-level status taxonomy — what crosses the wire in a Response
+/// frame's "code" field. The first seven values mirror gov::StatusCode
+/// one-to-one (to_service_code is the documented, exhaustive mapping; see
+/// docs/SERVICE.md, "Error codes"); the last three exist only at the
+/// service layer, where a request can fail before any run starts.
+///
+/// Routing rule for clients: kRejected means "the server shed load — the
+/// request never started, retry later"; kBadRequest / kNotFound /
+/// kInvalidArgument mean "your request is wrong — retrying verbatim cannot
+/// succeed"; the governed codes mean "the run started and was stopped at a
+/// clean boundary with no partial result".
+enum class ServiceCode : std::uint8_t {
+  kOk = 0,
+  kCancelled,             ///< gov: the run's CancelToken fired
+  kDeadlineExceeded,      ///< gov: deadline passed (in queue or mid-run)
+  kMemoryBudgetExceeded,  ///< gov: per-run memory budget exhausted
+  kRoundLimit,            ///< gov: max_rounds reached
+  kInvalidArgument,       ///< gov: options are well-formed JSON but invalid
+  kInternal,              ///< gov: engine bug, not a request problem
+  kRejected,              ///< admission control shed the request; retry
+  kNotFound,              ///< the named graph is not loaded on this server
+  kBadRequest,            ///< malformed frame: bad JSON, unknown/ill-typed
+                          ///< field, missing required member
+};
+
+/// Stable registry name ("ok", "cancelled", "deadline_exceeded",
+/// "memory_budget_exceeded", "round_limit", "invalid_argument", "internal",
+/// "rejected", "not_found", "bad_request").
+const char* service_code_name(ServiceCode code);
+
+/// All codes, for exhaustive iteration (tests, docs tables).
+const std::vector<ServiceCode>& all_service_codes();
+
+/// Parse a registry name; throws std::invalid_argument listing the valid
+/// names for anything unknown.
+ServiceCode parse_service_code(const std::string& name);
+
+/// The exhaustive gov::StatusCode -> ServiceCode mapping (identity on the
+/// shared taxonomy; there is no gov code without a service spelling).
+ServiceCode to_service_code(gov::StatusCode code);
+
+/// True when a client may retry the identical request and reasonably expect
+/// a different outcome (load was shed or a resource limit hit); false when
+/// the request itself is at fault or already succeeded.
+bool service_code_retryable(ServiceCode code);
+
+/// One graph query — the single client-facing unit: what a client frames
+/// onto the wire, what xgd admits, batches and executes, and what
+/// in-process callers can hand to xg::run(Request, graph) directly.
+/// `graph` names a server-loaded graph (ignored by the in-process
+/// overload, which is handed the CSRGraph explicitly).
+struct Request {
+  /// Client-chosen correlation id, echoed verbatim in the Response. The
+  /// server never interprets it.
+  std::uint64_t id = 0;
+  std::string graph;
+  AlgorithmId algorithm = AlgorithmId::kConnectedComponents;
+  BackendId backend = BackendId::kReference;
+  RunOptions options;
+};
+
+/// The single response shape, for every outcome. `report` is meaningful
+/// only when the run executed (code maps from the run's RunStatus);
+/// pre-execution refusals (kRejected / kNotFound / kBadRequest, or a
+/// deadline that expired while queued) carry an empty report — the
+/// all-or-nothing invariant extends through the service layer.
+struct Response {
+  std::uint64_t id = 0;
+  ServiceCode code = ServiceCode::kOk;
+  /// Human-readable cause for any non-ok code (mirrors
+  /// RunReport::status_detail for governed stops).
+  std::string error;
+  /// True when the payload was served from the result cache; the report
+  /// bytes are bit-identical to the run that populated the entry.
+  bool cache_hit = false;
+  /// Milliseconds the request waited in the admission queue.
+  double queue_ms = 0.0;
+  /// Milliseconds spent executing (0 on cache hits and refusals).
+  double run_ms = 0.0;
+  RunReport report;
+
+  bool ok() const { return code == ServiceCode::kOk; }
+};
+
+/// Run one Request against an explicitly provided graph — the in-process
+/// core xgd's workers call after admission; xg::run(algorithm, backend,
+/// graph, options) remains the thin wrapper callers already use. Never
+/// throws: every outcome is a coded Response (the Request's id is echoed,
+/// queue_ms stays 0 — queueing is the server's concern).
+Response run(const Request& request, const graph::CSRGraph& g);
+
+}  // namespace xg

@@ -1,0 +1,773 @@
+#include "api/serde.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace xg::api {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& msg) {
+  throw SerdeError(path + ": " + msg);
+}
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kUnsigned: return "number";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void fail_type(const std::string& path, const char* expected,
+                            const Json& got) {
+  fail(path, std::string("expected ") + expected + ", got " +
+                 type_name(got.type()));
+}
+
+bool get_bool(const Json& v, const std::string& path) {
+  if (!v.is_bool()) fail_type(path, "a bool", v);
+  return v.as_bool();
+}
+
+std::uint64_t get_u64(const Json& v, const std::string& path) {
+  if (!v.is_unsigned()) fail_type(path, "a non-negative integer", v);
+  return v.as_uint();
+}
+
+std::uint32_t get_u32(const Json& v, const std::string& path) {
+  const std::uint64_t u = get_u64(v, path);
+  if (u > std::numeric_limits<std::uint32_t>::max()) {
+    fail(path, "value " + std::to_string(u) + " does not fit in 32 bits");
+  }
+  return static_cast<std::uint32_t>(u);
+}
+
+double get_num(const Json& v, const std::string& path) {
+  if (!v.is_number()) fail_type(path, "a number", v);
+  return v.as_double();
+}
+
+const std::string& get_string(const Json& v, const std::string& path) {
+  if (!v.is_string()) fail_type(path, "a string", v);
+  return v.as_string();
+}
+
+const Json& get_object(const Json& v, const std::string& path) {
+  if (!v.is_object()) fail_type(path, "an object", v);
+  return v;
+}
+
+const Json& get_array(const Json& v, const std::string& path) {
+  if (!v.is_array()) fail_type(path, "an array", v);
+  return v;
+}
+
+/// Registry-name enum parse with the path folded into the error. The
+/// underlying parse_* throw std::invalid_argument with "did you mean"
+/// suggestions; we keep that text.
+template <typename Parse>
+auto get_enum(Parse&& parse, const Json& v, const std::string& path) {
+  const std::string& name = get_string(v, path);
+  try {
+    return parse(name);
+  } catch (const std::invalid_argument& e) {
+    fail(path, e.what());
+  }
+}
+
+// Registry names for the BSP enums (serde-local; the structs predate the
+// name registry and nothing else spells them).
+const char* combiner_name(bsp::Combiner c) {
+  switch (c) {
+    case bsp::Combiner::kNone: return "none";
+    case bsp::Combiner::kMin: return "min";
+    case bsp::Combiner::kSum: return "sum";
+  }
+  return "?";
+}
+
+bsp::Combiner parse_combiner(const std::string& name) {
+  if (name == "none") return bsp::Combiner::kNone;
+  if (name == "min") return bsp::Combiner::kMin;
+  if (name == "sum") return bsp::Combiner::kSum;
+  throw std::invalid_argument("unknown combiner '" + name +
+                              "' (valid: none, min, sum)");
+}
+
+const char* aggregator_op_name(bsp::Aggregator::Op op) {
+  switch (op) {
+    case bsp::Aggregator::Op::kSum: return "sum";
+    case bsp::Aggregator::Op::kMin: return "min";
+    case bsp::Aggregator::Op::kMax: return "max";
+  }
+  return "?";
+}
+
+bsp::Aggregator::Op parse_aggregator_op(const std::string& name) {
+  if (name == "sum") return bsp::Aggregator::Op::kSum;
+  if (name == "min") return bsp::Aggregator::Op::kMin;
+  if (name == "max") return bsp::Aggregator::Op::kMax;
+  throw std::invalid_argument("unknown aggregator op '" + name +
+                              "' (valid: sum, min, max)");
+}
+
+gov::StatusCode parse_status_code(const std::string& name) {
+  static constexpr gov::StatusCode kAll[] = {
+      gov::StatusCode::kOk,
+      gov::StatusCode::kCancelled,
+      gov::StatusCode::kDeadlineExceeded,
+      gov::StatusCode::kMemoryBudgetExceeded,
+      gov::StatusCode::kRoundLimit,
+      gov::StatusCode::kInvalidArgument,
+      gov::StatusCode::kInternal,
+  };
+  std::string all;
+  for (const gov::StatusCode c : kAll) {
+    if (name == gov::status_name(c)) return c;
+    if (!all.empty()) all += ", ";
+    all += gov::status_name(c);
+  }
+  throw std::invalid_argument("unknown status '" + name + "' (valid: " + all +
+                              ")");
+}
+
+// --- sub-struct serializers ------------------------------------------------
+
+Json sim_to_json(const xmt::SimConfig& s) {
+  Json j = Json::object();
+  j.set("processors", s.processors);
+  j.set("streams_per_processor", s.streams_per_processor);
+  j.set("clock_hz", s.clock_hz);
+  j.set("memory_latency", s.memory_latency);
+  j.set("faa_service_interval", s.faa_service_interval);
+  j.set("sync_service_interval", s.sync_service_interval);
+  j.set("loop_chunk", s.loop_chunk);
+  j.set("iteration_overhead", s.iteration_overhead);
+  j.set("region_overhead", s.region_overhead);
+  j.set("record_regions", s.record_regions);
+  return j;
+}
+
+xmt::SimConfig parse_sim(const Json& j, const std::string& path) {
+  xmt::SimConfig s;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "processors") {
+      s.processors = get_u32(v, p);
+    } else if (key == "streams_per_processor") {
+      s.streams_per_processor = get_u32(v, p);
+    } else if (key == "clock_hz") {
+      s.clock_hz = get_num(v, p);
+    } else if (key == "memory_latency") {
+      s.memory_latency = get_u32(v, p);
+    } else if (key == "faa_service_interval") {
+      s.faa_service_interval = get_u32(v, p);
+    } else if (key == "sync_service_interval") {
+      s.sync_service_interval = get_u32(v, p);
+    } else if (key == "loop_chunk") {
+      s.loop_chunk = get_u32(v, p);
+    } else if (key == "iteration_overhead") {
+      s.iteration_overhead = get_u32(v, p);
+    } else if (key == "region_overhead") {
+      s.region_overhead = get_u32(v, p);
+    } else if (key == "record_regions") {
+      s.record_regions = get_bool(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return s;
+}
+
+Json bsp_to_json(const bsp::BspOptions& b) {
+  Json j = Json::object();
+  j.set("scan_all_vertices", b.scan_all_vertices);
+  j.set("single_queue", b.single_queue);
+  j.set("max_supersteps", b.max_supersteps);
+  j.set("message_send_overhead", b.message_send_overhead);
+  j.set("message_receive_overhead", b.message_receive_overhead);
+  j.set("combiner", combiner_name(b.combiner));
+  Json aggs = Json::array();
+  for (const auto op : b.aggregators) aggs.push(aggregator_op_name(op));
+  j.set("aggregators", std::move(aggs));
+  j.set("checkpoint_interval", b.checkpoint_interval);
+  return j;
+}
+
+bsp::BspOptions parse_bsp(const Json& j, const std::string& path) {
+  bsp::BspOptions b;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "scan_all_vertices") {
+      b.scan_all_vertices = get_bool(v, p);
+    } else if (key == "single_queue") {
+      b.single_queue = get_bool(v, p);
+    } else if (key == "max_supersteps") {
+      b.max_supersteps = get_u32(v, p);
+    } else if (key == "message_send_overhead") {
+      b.message_send_overhead = get_u32(v, p);
+    } else if (key == "message_receive_overhead") {
+      b.message_receive_overhead = get_u32(v, p);
+    } else if (key == "combiner") {
+      b.combiner = get_enum(parse_combiner, v, p);
+    } else if (key == "aggregators") {
+      b.aggregators.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        b.aggregators.push_back(
+            get_enum(parse_aggregator_op, e, p + "[" + std::to_string(i) + "]"));
+        ++i;
+      }
+    } else if (key == "checkpoint_interval") {
+      b.checkpoint_interval = get_u32(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return b;
+}
+
+Json cluster_to_json(const cluster::ClusterConfig& c) {
+  Json j = Json::object();
+  j.set("machines", c.machines);
+  j.set("workers_per_machine", c.workers_per_machine);
+  j.set("worker_instr_per_sec", c.worker_instr_per_sec);
+  j.set("barrier_seconds", c.barrier_seconds);
+  j.set("nic_messages_per_sec", c.nic_messages_per_sec);
+  j.set("local_message_instr", c.local_message_instr);
+  j.set("remote_message_instr", c.remote_message_instr);
+  j.set("vertex_overhead_instr", c.vertex_overhead_instr);
+  j.set("checkpoint_interval", c.checkpoint_interval);
+  j.set("checkpoint_bytes_per_sec", c.checkpoint_bytes_per_sec);
+  j.set("checkpoint_latency_seconds", c.checkpoint_latency_seconds);
+  return j;
+}
+
+cluster::ClusterConfig parse_cluster(const Json& j, const std::string& path) {
+  cluster::ClusterConfig c;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "machines") {
+      c.machines = get_u32(v, p);
+    } else if (key == "workers_per_machine") {
+      c.workers_per_machine = get_u32(v, p);
+    } else if (key == "worker_instr_per_sec") {
+      c.worker_instr_per_sec = get_num(v, p);
+    } else if (key == "barrier_seconds") {
+      c.barrier_seconds = get_num(v, p);
+    } else if (key == "nic_messages_per_sec") {
+      c.nic_messages_per_sec = get_num(v, p);
+    } else if (key == "local_message_instr") {
+      c.local_message_instr = get_u32(v, p);
+    } else if (key == "remote_message_instr") {
+      c.remote_message_instr = get_u32(v, p);
+    } else if (key == "vertex_overhead_instr") {
+      c.vertex_overhead_instr = get_u32(v, p);
+    } else if (key == "checkpoint_interval") {
+      c.checkpoint_interval = get_u32(v, p);
+    } else if (key == "checkpoint_bytes_per_sec") {
+      c.checkpoint_bytes_per_sec = get_num(v, p);
+    } else if (key == "checkpoint_latency_seconds") {
+      c.checkpoint_latency_seconds = get_num(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return c;
+}
+
+Json faults_to_json(const cluster::FaultPlan& f) {
+  Json j = Json::object();
+  j.set("seed", f.seed);
+  Json crashes = Json::array();
+  for (const auto& c : f.crashes) {
+    Json e = Json::object();
+    e.set("superstep", c.superstep);
+    e.set("machine", c.machine);
+    crashes.push(std::move(e));
+  }
+  j.set("crashes", std::move(crashes));
+  Json stragglers = Json::array();
+  for (const double s : f.straggler_factor) stragglers.push(s);
+  j.set("straggler_factor", std::move(stragglers));
+  j.set("remote_drop_probability", f.remote_drop_probability);
+  j.set("max_retries", f.max_retries);
+  j.set("retry_backoff_seconds", f.retry_backoff_seconds);
+  j.set("failure_detection_seconds", f.failure_detection_seconds);
+  if (f.memory_spike_superstep.has_value()) {
+    j.set("memory_spike_superstep", *f.memory_spike_superstep);
+  }
+  j.set("memory_spike_bytes", f.memory_spike_bytes);
+  return j;
+}
+
+cluster::FaultPlan parse_faults(const Json& j, const std::string& path) {
+  cluster::FaultPlan f;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "seed") {
+      f.seed = get_u64(v, p);
+    } else if (key == "crashes") {
+      f.crashes.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        const std::string ep = p + "[" + std::to_string(i) + "]";
+        cluster::CrashEvent ev;
+        for (const auto& [ck, cv] : get_object(e, ep).members()) {
+          const std::string cp = ep + "." + ck;
+          if (ck == "superstep") {
+            ev.superstep = get_u32(cv, cp);
+          } else if (ck == "machine") {
+            ev.machine = get_u32(cv, cp);
+          } else {
+            fail(cp, "unknown field");
+          }
+        }
+        f.crashes.push_back(ev);
+        ++i;
+      }
+    } else if (key == "straggler_factor") {
+      f.straggler_factor.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        f.straggler_factor.push_back(
+            get_num(e, p + "[" + std::to_string(i) + "]"));
+        ++i;
+      }
+    } else if (key == "remote_drop_probability") {
+      f.remote_drop_probability = get_num(v, p);
+    } else if (key == "max_retries") {
+      f.max_retries = get_u32(v, p);
+    } else if (key == "retry_backoff_seconds") {
+      f.retry_backoff_seconds = get_num(v, p);
+    } else if (key == "failure_detection_seconds") {
+      f.failure_detection_seconds = get_num(v, p);
+    } else if (key == "memory_spike_superstep") {
+      f.memory_spike_superstep = get_u32(v, p);
+    } else if (key == "memory_spike_bytes") {
+      f.memory_spike_bytes = get_u64(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+// --- RunOptions ------------------------------------------------------------
+
+Json options_to_json(const RunOptions& opt) {
+  Json j = Json::object();
+  j.set("source", opt.source);
+  j.set("direction", direction_name(opt.direction));
+  j.set("sssp_source", opt.sssp_source);
+  j.set("pagerank_iters", opt.pagerank_iters);
+  j.set("pagerank_damping", opt.pagerank_damping);
+  j.set("pagerank_epsilon", opt.pagerank_epsilon);
+  j.set("threads", static_cast<std::uint64_t>(opt.threads));
+  j.set("max_supersteps", opt.max_supersteps);
+  if (opt.deadline_ms.has_value()) j.set("deadline_ms", *opt.deadline_ms);
+  if (opt.memory_budget_bytes.has_value()) {
+    j.set("memory_budget_bytes", *opt.memory_budget_bytes);
+  }
+  if (opt.max_rounds.has_value()) j.set("max_rounds", *opt.max_rounds);
+  j.set("sim", sim_to_json(opt.sim));
+  j.set("bsp", bsp_to_json(opt.bsp));
+  j.set("cluster", cluster_to_json(opt.cluster));
+  j.set("faults", faults_to_json(opt.faults));
+  return j;
+}
+
+std::string serialize_options(const RunOptions& opt) {
+  return options_to_json(opt).dump();
+}
+
+RunOptions parse_options(const Json& j, const std::string& path) {
+  RunOptions opt;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "source") {
+      opt.source = get_u32(v, p);
+    } else if (key == "direction") {
+      opt.direction = get_enum(parse_direction, v, p);
+    } else if (key == "sssp_source") {
+      opt.sssp_source = get_u32(v, p);
+    } else if (key == "pagerank_iters") {
+      opt.pagerank_iters = get_u32(v, p);
+    } else if (key == "pagerank_damping") {
+      opt.pagerank_damping = get_num(v, p);
+    } else if (key == "pagerank_epsilon") {
+      opt.pagerank_epsilon = get_num(v, p);
+    } else if (key == "threads") {
+      opt.threads = get_u32(v, p);
+    } else if (key == "max_supersteps") {
+      opt.max_supersteps = get_u32(v, p);
+    } else if (key == "deadline_ms") {
+      opt.deadline_ms = get_num(v, p);
+    } else if (key == "memory_budget_bytes") {
+      opt.memory_budget_bytes = get_u64(v, p);
+    } else if (key == "max_rounds") {
+      opt.max_rounds = get_u32(v, p);
+    } else if (key == "sim") {
+      opt.sim = parse_sim(v, p);
+    } else if (key == "bsp") {
+      opt.bsp = parse_bsp(v, p);
+    } else if (key == "cluster") {
+      opt.cluster = parse_cluster(v, p);
+    } else if (key == "faults") {
+      opt.faults = parse_faults(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return opt;
+}
+
+RunOptions parse_options(const std::string& text) {
+  try {
+    return parse_options(Json::parse(text));
+  } catch (const JsonError& e) {
+    throw SerdeError(std::string("RunOptions: ") + e.what());
+  }
+}
+
+// --- RunReport -------------------------------------------------------------
+
+Json report_to_json(const RunReport& rep) {
+  Json j = Json::object();
+  j.set("algorithm", algorithm_name(rep.algorithm));
+  j.set("backend", backend_name(rep.backend));
+  j.set("status", gov::status_name(rep.status));
+  j.set("status_detail", rep.status_detail);
+  j.set("rounds_completed", rep.rounds_completed);
+  j.set("governance_checks", rep.governance_checks);
+  j.set("converged", rep.converged);
+  j.set("cycles", static_cast<std::uint64_t>(rep.cycles));
+  j.set("seconds", rep.seconds);
+  j.set("messages", rep.messages);
+  j.set("writes", rep.writes);
+  j.set("num_components", rep.num_components);
+  j.set("reached", rep.reached);
+  j.set("triangles", rep.triangles);
+  Json components = Json::array();
+  for (const auto c : rep.components) components.push(c);
+  j.set("components", std::move(components));
+  Json distance = Json::array();
+  for (const auto d : rep.distance) distance.push(d);
+  j.set("distance", std::move(distance));
+  Json sssp = Json::array();
+  for (const double d : rep.sssp_distance) {
+    // +inf (unreached) has no JSON literal; null is its wire spelling.
+    if (std::isinf(d)) {
+      sssp.push(Json());
+    } else {
+      sssp.push(d);
+    }
+  }
+  j.set("sssp_distance", std::move(sssp));
+  Json scores = Json::array();
+  for (const double s : rep.pagerank_scores) scores.push(s);
+  j.set("pagerank_scores", std::move(scores));
+  Json rounds = Json::array();
+  for (const auto& r : rep.rounds) {
+    Json e = Json::object();
+    e.set("index", r.index);
+    e.set("active", r.active);
+    e.set("messages", r.messages);
+    e.set("cycles", static_cast<std::uint64_t>(r.cycles));
+    e.set("seconds", r.seconds);
+    rounds.push(std::move(e));
+  }
+  j.set("rounds", std::move(rounds));
+  Json rec = Json::object();
+  rec.set("checkpoints_written", rep.recovery.checkpoints_written);
+  rec.set("checkpoint_seconds", rep.recovery.checkpoint_seconds);
+  rec.set("crashes", rep.recovery.crashes);
+  rec.set("supersteps_replayed", rep.recovery.supersteps_replayed);
+  rec.set("recovery_seconds", rep.recovery.recovery_seconds);
+  rec.set("remote_retries", rep.recovery.remote_retries);
+  rec.set("retry_backoff_seconds", rep.recovery.retry_backoff_seconds);
+  j.set("recovery", std::move(rec));
+  return j;
+}
+
+std::string serialize_report(const RunReport& rep) {
+  return report_to_json(rep).dump();
+}
+
+RunReport parse_report(const Json& j, const std::string& path) {
+  RunReport rep;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "algorithm") {
+      rep.algorithm = get_enum(parse_algorithm, v, p);
+    } else if (key == "backend") {
+      rep.backend = get_enum(parse_backend, v, p);
+    } else if (key == "status") {
+      rep.status = get_enum(parse_status_code, v, p);
+    } else if (key == "status_detail") {
+      rep.status_detail = get_string(v, p);
+    } else if (key == "rounds_completed") {
+      rep.rounds_completed = get_u32(v, p);
+    } else if (key == "governance_checks") {
+      rep.governance_checks = get_u64(v, p);
+    } else if (key == "converged") {
+      rep.converged = get_bool(v, p);
+    } else if (key == "cycles") {
+      rep.cycles = get_u64(v, p);
+    } else if (key == "seconds") {
+      rep.seconds = get_num(v, p);
+    } else if (key == "messages") {
+      rep.messages = get_u64(v, p);
+    } else if (key == "writes") {
+      rep.writes = get_u64(v, p);
+    } else if (key == "num_components") {
+      rep.num_components = get_u32(v, p);
+    } else if (key == "reached") {
+      rep.reached = get_u32(v, p);
+    } else if (key == "triangles") {
+      rep.triangles = get_u64(v, p);
+    } else if (key == "components") {
+      rep.components.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        rep.components.push_back(
+            get_u32(e, p + "[" + std::to_string(i) + "]"));
+        ++i;
+      }
+    } else if (key == "distance") {
+      rep.distance.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        rep.distance.push_back(get_u32(e, p + "[" + std::to_string(i) + "]"));
+        ++i;
+      }
+    } else if (key == "sssp_distance") {
+      rep.sssp_distance.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        if (e.is_null()) {
+          rep.sssp_distance.push_back(
+              std::numeric_limits<double>::infinity());
+        } else {
+          rep.sssp_distance.push_back(
+              get_num(e, p + "[" + std::to_string(i) + "]"));
+        }
+        ++i;
+      }
+    } else if (key == "pagerank_scores") {
+      rep.pagerank_scores.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        rep.pagerank_scores.push_back(
+            get_num(e, p + "[" + std::to_string(i) + "]"));
+        ++i;
+      }
+    } else if (key == "rounds") {
+      rep.rounds.clear();
+      std::size_t i = 0;
+      for (const Json& e : get_array(v, p).items()) {
+        const std::string ep = p + "[" + std::to_string(i) + "]";
+        RoundRecord r;
+        for (const auto& [rk, rv] : get_object(e, ep).members()) {
+          const std::string rp = ep + "." + rk;
+          if (rk == "index") {
+            r.index = get_u32(rv, rp);
+          } else if (rk == "active") {
+            r.active = get_u64(rv, rp);
+          } else if (rk == "messages") {
+            r.messages = get_u64(rv, rp);
+          } else if (rk == "cycles") {
+            r.cycles = get_u64(rv, rp);
+          } else if (rk == "seconds") {
+            r.seconds = get_num(rv, rp);
+          } else {
+            fail(rp, "unknown field");
+          }
+        }
+        rep.rounds.push_back(r);
+        ++i;
+      }
+    } else if (key == "recovery") {
+      for (const auto& [rk, rv] : get_object(v, p).members()) {
+        const std::string rp = p + "." + rk;
+        if (rk == "checkpoints_written") {
+          rep.recovery.checkpoints_written = get_u64(rv, rp);
+        } else if (rk == "checkpoint_seconds") {
+          rep.recovery.checkpoint_seconds = get_num(rv, rp);
+        } else if (rk == "crashes") {
+          rep.recovery.crashes = get_u32(rv, rp);
+        } else if (rk == "supersteps_replayed") {
+          rep.recovery.supersteps_replayed = get_u64(rv, rp);
+        } else if (rk == "recovery_seconds") {
+          rep.recovery.recovery_seconds = get_num(rv, rp);
+        } else if (rk == "remote_retries") {
+          rep.recovery.remote_retries = get_u64(rv, rp);
+        } else if (rk == "retry_backoff_seconds") {
+          rep.recovery.retry_backoff_seconds = get_num(rv, rp);
+        } else {
+          fail(rp, "unknown field");
+        }
+      }
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return rep;
+}
+
+RunReport parse_report(const std::string& text) {
+  try {
+    return parse_report(Json::parse(text));
+  } catch (const JsonError& e) {
+    throw SerdeError(std::string("RunReport: ") + e.what());
+  }
+}
+
+// --- Request / Response ----------------------------------------------------
+
+Json request_to_json(const Request& req) {
+  Json j = Json::object();
+  j.set("id", req.id);
+  j.set("graph", req.graph);
+  j.set("algorithm", algorithm_name(req.algorithm));
+  j.set("backend", backend_name(req.backend));
+  j.set("options", options_to_json(req.options));
+  return j;
+}
+
+std::string serialize_request(const Request& req) {
+  return request_to_json(req).dump();
+}
+
+Request parse_request(const Json& j, const std::string& path) {
+  Request req;
+  bool have_graph = false, have_algorithm = false, have_backend = false;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "id") {
+      req.id = get_u64(v, p);
+    } else if (key == "graph") {
+      req.graph = get_string(v, p);
+      have_graph = true;
+    } else if (key == "algorithm") {
+      req.algorithm = get_enum(parse_algorithm, v, p);
+      have_algorithm = true;
+    } else if (key == "backend") {
+      req.backend = get_enum(parse_backend, v, p);
+      have_backend = true;
+    } else if (key == "options") {
+      req.options = parse_options(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  if (!have_graph) fail(path + ".graph", "required field is missing");
+  if (!have_algorithm) fail(path + ".algorithm", "required field is missing");
+  if (!have_backend) fail(path + ".backend", "required field is missing");
+  return req;
+}
+
+Request parse_request(const std::string& text) {
+  try {
+    return parse_request(Json::parse(text));
+  } catch (const JsonError& e) {
+    throw SerdeError(std::string("Request: ") + e.what());
+  }
+}
+
+bool response_carries_report(ServiceCode code) {
+  switch (code) {
+    case ServiceCode::kRejected:
+    case ServiceCode::kNotFound:
+    case ServiceCode::kBadRequest:
+      return false;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+/// The envelope members shared by both response serializers, minus the
+/// report. Field order is the frame contract (docs/SERVICE.md).
+Json response_envelope(const Response& resp) {
+  Json j = Json::object();
+  j.set("id", resp.id);
+  j.set("code", service_code_name(resp.code));
+  j.set("error", resp.error);
+  j.set("cache_hit", resp.cache_hit);
+  j.set("queue_ms", resp.queue_ms);
+  j.set("run_ms", resp.run_ms);
+  return j;
+}
+
+}  // namespace
+
+Json response_to_json(const Response& resp) {
+  Json j = response_envelope(resp);
+  if (response_carries_report(resp.code)) {
+    j.set("report", report_to_json(resp.report));
+  }
+  return j;
+}
+
+std::string serialize_response(const Response& resp) {
+  return response_to_json(resp).dump();
+}
+
+std::string serialize_response_envelope(const Response& resp,
+                                        const std::string* report_json) {
+  std::string out = response_envelope(resp).dump();
+  if (report_json != nullptr) {
+    // Splice the pre-serialized report in verbatim: ...,"report":<bytes>}
+    out.back() = ',';
+    out += "\"report\":";
+    out += *report_json;
+    out += '}';
+  }
+  return out;
+}
+
+Response parse_response(const Json& j, const std::string& path) {
+  Response resp;
+  for (const auto& [key, v] : get_object(j, path).members()) {
+    const std::string p = path + "." + key;
+    if (key == "id") {
+      resp.id = get_u64(v, p);
+    } else if (key == "code") {
+      resp.code = get_enum(parse_service_code, v, p);
+    } else if (key == "error") {
+      resp.error = get_string(v, p);
+    } else if (key == "cache_hit") {
+      resp.cache_hit = get_bool(v, p);
+    } else if (key == "queue_ms") {
+      resp.queue_ms = get_num(v, p);
+    } else if (key == "run_ms") {
+      resp.run_ms = get_num(v, p);
+    } else if (key == "report") {
+      resp.report = parse_report(v, p);
+    } else {
+      fail(p, "unknown field");
+    }
+  }
+  return resp;
+}
+
+Response parse_response(const std::string& text) {
+  try {
+    return parse_response(Json::parse(text));
+  } catch (const JsonError& e) {
+    throw SerdeError(std::string("Response: ") + e.what());
+  }
+}
+
+}  // namespace xg::api

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <exception>
+#include <string>
+
+#include "api/json.hpp"
+#include "api/request.hpp"
+#include "api/run.hpp"
+
+namespace xg::api {
+
+/// JSON serde for the run API — the client-facing contract xgd speaks
+/// (docs/SERVICE.md is the wire spec; tests/api/serde_test.cpp is the
+/// property suite).
+///
+/// Contract:
+///  * Field names are stable snake_case matching the existing registry
+///    strings (algorithm/backend/direction/status names serialize as their
+///    registry spellings, options fields as their RunOptions member names).
+///  * Serialization is canonical: fields are emitted in a fixed order with
+///    no whitespace, so equal values produce equal byte strings — the
+///    result cache keys on serialize_options' output directly.
+///  * Every RunOptions field survives serialize -> parse bit-exactly
+///    (doubles via shortest-round-trip to_chars, integers never squeezed
+///    through a double). The three process-local handles — trace,
+///    workspace, cancel — cannot cross a process boundary and are
+///    deliberately not part of the wire contract: they serialize as
+///    nothing and parse as their disengaged defaults.
+///  * Parsing is strict, mirroring xg::run's central validation style:
+///    unknown fields, ill-typed fields, out-of-range integers and
+///    malformed enum names are rejected with a SerdeError naming the full
+///    field path ("Request.options.sim.clock_hz: expected a number").
+///    Parsing checks *shape* only; semantic validation (source in range,
+///    damping in [0,1), ...) stays centralized in xg::run.
+///  * Unset std::optional fields are absent from the output and absent
+///    means unset on the way back in; `null` is rejected, not treated as
+///    unset, so a typo'd explicit value cannot silently disable a limit.
+///  * Infinite SSSP distances (unreached vertices) serialize as `null`
+///    array entries — JSON has no Infinity literal — and parse back to
+///    +infinity bit-exactly.
+
+/// Shape violation while parsing; what() leads with the offending field's
+/// full dotted path.
+class SerdeError : public std::exception {
+ public:
+  explicit SerdeError(std::string message) : message_(std::move(message)) {}
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  std::string message_;
+};
+
+// --- RunOptions ------------------------------------------------------------
+
+/// Every wire-representable field, fixed order, defaults included.
+Json options_to_json(const RunOptions& opt);
+/// Canonical one-line form of options_to_json (the cache-key form).
+std::string serialize_options(const RunOptions& opt);
+/// Throws SerdeError (field path in the message) on any shape problem;
+/// `path` prefixes the reported paths. Accepts a partial object: absent
+/// fields keep their RunOptions defaults, so clients send only what they
+/// change.
+RunOptions parse_options(const Json& j,
+                         const std::string& path = "RunOptions");
+RunOptions parse_options(const std::string& text);
+
+// --- RunReport -------------------------------------------------------------
+
+Json report_to_json(const RunReport& rep);
+std::string serialize_report(const RunReport& rep);
+RunReport parse_report(const Json& j, const std::string& path = "RunReport");
+RunReport parse_report(const std::string& text);
+
+// --- Request / Response frames (the NDJSON wire protocol) ------------------
+
+/// {"id":..,"graph":..,"algorithm":..,"backend":..,"options":{..}}
+Json request_to_json(const Request& req);
+std::string serialize_request(const Request& req);
+/// Requires graph/algorithm/backend; id defaults to 0 and options to the
+/// RunOptions defaults when absent.
+Request parse_request(const Json& j, const std::string& path = "Request");
+Request parse_request(const std::string& text);
+
+/// {"id":..,"code":..,"error":..,"cache_hit":..,"queue_ms":..,"run_ms":..,
+///  "report":{..}} — `report` is present iff the request reached execution
+/// (every code except rejected / not_found / bad_request).
+Json response_to_json(const Response& resp);
+std::string serialize_response(const Response& resp);
+/// Envelope serializer for the server's cache path: emits the same frame
+/// as serialize_response but splices `report_json` (a serialize_report
+/// output) in verbatim, so a cached payload is returned bit-identical to
+/// the run that produced it. nullptr omits the report member.
+std::string serialize_response_envelope(const Response& resp,
+                                        const std::string* report_json);
+Response parse_response(const Json& j, const std::string& path = "Response");
+Response parse_response(const std::string& text);
+
+/// True when a frame with this code carries a "report" member.
+bool response_carries_report(ServiceCode code);
+
+}  // namespace xg::api

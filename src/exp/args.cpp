@@ -17,14 +17,20 @@ Args::Args(int argc, char** argv, std::string description)
       throw std::invalid_argument("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
+    std::string key;
+    std::string value;
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      key = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "";  // bare flag
+      key = arg;  // bare flag
     }
+    values_[key] = value;
+    ordered_.emplace_back(std::move(key), std::move(value));
   }
   // Shared runtime knob: size the host worker pool before any engine runs.
   // An explicit --threads must be a positive integer; omitting the flag
@@ -97,6 +103,14 @@ std::vector<std::uint32_t> Args::get_list(
   }
   if (out.empty()) {
     throw std::invalid_argument("empty list for --" + key);
+  }
+  return out;
+}
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_) {
+    if (k == key) out.push_back(v);
   }
   return out;
 }

@@ -37,6 +37,12 @@ class Args {
   std::vector<std::uint32_t> get_list(const std::string& key,
                                       std::vector<std::uint32_t> def) const;
 
+  /// Every value passed for a repeatable key, in command-line order —
+  /// `--graph a --graph b` yields {"a", "b"} (the scalar getters see the
+  /// last occurrence, preserving the existing override-by-repeating
+  /// behavior). Empty when the key was never passed.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   /// Prints usage and exits when --help was passed; call after declaring
   /// options via the getters' defaults (usage text is the description).
   void handle_help() const;
@@ -47,6 +53,7 @@ class Args {
   std::string program_;
   std::string description_;
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;  ///< every occurrence
 };
 
 }  // namespace xg::exp

@@ -1,0 +1,69 @@
+#include "svc/cache.hpp"
+
+namespace xg::svc {
+
+ResultCache::Payload ResultCache::get(const std::string& key) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->payload;
+}
+
+void ResultCache::put(const std::string& key, Payload payload) {
+  if (!enabled() || payload == nullptr) return;
+  const std::uint64_t bytes = payload->payload_json.size() + key.size();
+  if (bytes > budget_bytes_) return;  // would evict the whole cache for one entry
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Refresh in place (identical requests produce identical payloads, so
+    // this only happens when two workers raced the same miss).
+    bytes_ -= it->second->bytes;
+    it->second->payload = std::move(payload);
+    it->second->bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  evict_until_fits_locked(bytes);
+  lru_.push_front(Entry{key, std::move(payload), bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void ResultCache::evict_until_fits_locked(std::uint64_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > budget_bytes_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace xg::svc

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "api/run.hpp"
+
+namespace xg::svc {
+
+/// One cached result: the canonical serialized payload (what goes back on
+/// the wire, byte-for-byte) plus the parsed report (what in-process
+/// callers get without paying a reparse). Immutable once inserted; shared
+/// across every hit.
+struct CachedResult {
+  std::string payload_json;  ///< api::serialize_report output
+  RunReport report;
+};
+
+/// Byte-budgeted LRU result cache. Keys are the canonical request identity
+/// — "(graph-id@version|algorithm|backend|canonical options JSON)" as the
+/// server composes it — and values are CachedResults, shared and immutable
+/// so a hit can be spliced into a response frame without copying under the
+/// lock. Byte accounting covers the serialized payload plus the key (the
+/// parsed-report copy roughly doubles resident bytes; the budget is a
+/// sizing knob, not an allocator).
+///
+/// Caching serialized bytes (not RunReport structs) is what delivers the
+/// service's bit-identical-repeat guarantee for free: the second identical
+/// query returns the *same bytes* the first run produced, marked
+/// cache_hit, with no re-serialization to drift.
+///
+/// Thread-safe; one mutex (the critical sections are map lookups and list
+/// splices, far below run costs). Entries larger than the whole budget are
+/// refused rather than evicting everything. A budget of 0 disables the
+/// cache (get always misses, put drops).
+class ResultCache {
+ public:
+  using Payload = std::shared_ptr<const CachedResult>;
+
+  explicit ResultCache(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// The payload under `key`, or nullptr on miss. A hit refreshes LRU
+  /// position.
+  Payload get(const std::string& key);
+
+  /// Insert (or refresh) `key` -> `payload`, evicting least-recently-used
+  /// entries until the sum of payload + key bytes fits the budget. No-op
+  /// when the cache is disabled or the entry alone exceeds the budget.
+  void put(const std::string& key, Payload payload);
+
+  /// Drop every entry (e.g. when a graph is reloaded under a new version;
+  /// version-tagged keys make this optional, but it bounds stale bytes).
+  void clear();
+
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+  bool enabled() const { return budget_bytes_ > 0; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;     ///< resident payload + key bytes
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Payload payload;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_until_fits_locked(std::uint64_t incoming);
+
+  const std::uint64_t budget_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace xg::svc

@@ -1,0 +1,113 @@
+#include "svc/graph_loader.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/rmat.hpp"
+#include "graph/rmat_csr.hpp"
+
+namespace xg::svc {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+graph::CSRGraph build_rmat(const std::string& spec, const std::string& params) {
+  graph::RmatParams p;
+  bool abc_touched = false;
+  for (const std::string& part : split(params, ',')) {
+    if (part.empty()) continue;
+    const auto eq = part.find('=');
+    const std::string key = part.substr(0, eq == std::string::npos ? part.size() : eq);
+    const std::string value = eq == std::string::npos ? "" : part.substr(eq + 1);
+    const auto as_u32 = [&](const char* what) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        throw std::invalid_argument("graph spec '" + spec + "': " + what +
+                                    " expects an integer, got '" + value + "'");
+      }
+      return static_cast<std::uint32_t>(v);
+    };
+    const auto as_double = [&](const char* what) {
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        throw std::invalid_argument("graph spec '" + spec + "': " + what +
+                                    " expects a number, got '" + value + "'");
+      }
+      return v;
+    };
+    if (key == "scale") {
+      p.scale = as_u32("scale");
+    } else if (key == "edgefactor") {
+      p.edgefactor = as_u32("edgefactor");
+    } else if (key == "seed") {
+      p.seed = as_u32("seed");
+    } else if (key == "weighted") {
+      p.weighted = value.empty() || value == "1" || value == "true";
+    } else if (key == "a") {
+      p.a = as_double("a");
+      abc_touched = true;
+    } else if (key == "b") {
+      p.b = as_double("b");
+      abc_touched = true;
+    } else if (key == "c") {
+      p.c = as_double("c");
+      abc_touched = true;
+    } else {
+      throw std::invalid_argument(
+          "graph spec '" + spec + "': unknown rmat parameter '" + key +
+          "' (valid: scale, edgefactor, seed, weighted, a, b, c)");
+    }
+  }
+  if (abc_touched) p.d = 1.0 - p.a - p.b - p.c;
+  return graph::rmat_csr(p);
+}
+
+graph::CSRGraph build_from_file(const std::string& path) {
+  const graph::EdgeList edges = graph::read_edge_list_file(path);
+  bool weighted = false;
+  for (const graph::Edge& e : edges) {
+    if (e.weight != 1.0) {
+      weighted = true;
+      break;
+    }
+  }
+  return graph::CSRGraph::build(edges, {}, weighted);
+}
+
+}  // namespace
+
+GraphSpec load_graph_spec(const std::string& text) {
+  const auto eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == text.size()) {
+    throw std::invalid_argument(
+        "graph spec '" + text +
+        "': expected NAME=PATH or NAME=rmat:scale=S,edgefactor=E,...");
+  }
+  GraphSpec spec;
+  spec.name = text.substr(0, eq);
+  std::string source = text.substr(eq + 1);
+  if (source.rfind("rmat:", 0) == 0) {
+    spec.graph = build_rmat(text, source.substr(5));
+  } else {
+    if (source.rfind("file:", 0) == 0) source = source.substr(5);
+    spec.graph = build_from_file(source);
+  }
+  return spec;
+}
+
+}  // namespace xg::svc

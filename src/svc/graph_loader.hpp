@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "svc/server.hpp"
+
+namespace xg::svc {
+
+/// Parse-and-build for xgd's `--graph NAME=SOURCE` command-line specs,
+/// shared with the load generator so both sides provision identical graphs.
+///
+/// SOURCE is either
+///   * an edge-list path (`file:` prefix optional): loaded with
+///     graph::read_edge_list_file; weights are kept when any line carries
+///     one, so SSSP queries see them;
+///   * `rmat:scale=S,edgefactor=E,seed=N[,weighted]`: the streamed
+///     graph::rmat_csr builder with the Graph500 quadrant defaults
+///     (`a=`, `b=`, `c=` accepted for non-default skew; `d` is the
+///     remainder). `weighted` generates the deterministic per-edge weights
+///     SSSP uses.
+///
+/// Throws std::invalid_argument (bad spec shape, bad R-MAT parameters) or
+/// std::runtime_error (unreadable file) with the offending spec named.
+GraphSpec load_graph_spec(const std::string& text);
+
+}  // namespace xg::svc

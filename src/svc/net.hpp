@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xg::svc {
+
+class Server;
+
+/// The NDJSON-over-TCP front of the xgd daemon: one line in, one line out,
+/// every framing concern here and every service concern in Server. The
+/// accept loop runs on its own thread and each connection gets a handler
+/// thread (the closed-loop clients of this service hold few connections;
+/// admission control — not connection count — is the load-shedding layer).
+///
+/// Framing rules (docs/SERVICE.md, "Wire protocol"):
+///  * requests are newline-terminated UTF-8 JSON objects; CRLF tolerated;
+///  * an empty line is ignored;
+///  * a line longer than max_frame_bytes is answered with a bad_request
+///    frame and the connection is closed (the stream may be desynced);
+///  * every response is exactly one newline-terminated line, and a frame
+///    that fails to parse still gets a structured bad_request reply rather
+///    than a dropped connection.
+class TcpServer {
+ public:
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read back
+    /// with port()).
+    std::uint16_t port = 0;
+    /// Refuse request lines longer than this (a malformed or malicious
+    /// frame must not buffer unbounded memory).
+    std::size_t max_frame_bytes = 16u << 20;
+    std::int32_t listen_backlog = 64;
+  };
+
+  /// Bind + listen + start the accept loop. Throws std::runtime_error with
+  /// errno detail when the socket cannot be bound.
+  TcpServer(Server& server, Options opt);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (the ephemeral one when Options::port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stop accepting, close every live connection, join all threads.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  std::uint64_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Server& server_;
+  const Options opt_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking NDJSON client: connect once, call() per request. Not
+/// thread-safe — one TcpClient per client thread (xgc holds one; the load
+/// generator holds one per simulated client).
+class TcpClient {
+ public:
+  /// Throws std::runtime_error with errno detail on connection failure.
+  TcpClient(const std::string& host, std::uint16_t port);
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Send one request line (newline appended here) and block for the
+  /// response line (returned without its newline). Throws
+  /// std::runtime_error if the connection drops mid-exchange.
+  std::string call(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace xg::svc

@@ -1,0 +1,397 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/serde.hpp"
+#include "host/arena.hpp"
+
+namespace xg::svc {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since,
+                  std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - since).count();
+}
+
+/// A report for a request that was stopped by the service before (or
+/// without) executing — same all-or-nothing shape as a governed in-run
+/// stop: non-ok status, detail, no payload.
+RunReport synthetic_report(const Request& req, gov::StatusCode status,
+                           const std::string& detail) {
+  RunReport rep;
+  rep.algorithm = req.algorithm;
+  rep.backend = req.backend;
+  rep.status = status;
+  rep.status_detail = detail;
+  return rep;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opt, std::vector<GraphSpec> graphs)
+    : opt_(opt),
+      graphs_(std::move(graphs)),
+      cache_(opt.cache_budget_bytes),
+      paused_(opt.start_paused),
+      start_(std::chrono::steady_clock::now()) {
+  names_.reserve(graphs_.size());
+  for (std::size_t i = 0; i < graphs_.size(); ++i) {
+    names_.push_back(graphs_[i].name);
+    by_name_.emplace(graphs_[i].name, i);
+  }
+  const std::size_t workers = opt_.workers == 0 ? 1 : opt_.workers;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Server::~Server() {
+  std::deque<PendingPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    orphans.swap(queue_);
+    for (const PendingPtr& p : orphans) inflight_bytes_ -= p->estimate_bytes;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  for (PendingPtr& p : orphans) {
+    Outcome out =
+        refuse(p->req, ServiceCode::kRejected, "server shutting down");
+    finish(std::move(p), std::move(out));
+  }
+}
+
+Response Server::call(Request req) { return submit_and_wait(std::move(req)).resp; }
+
+std::string Server::handle_line(const std::string& line) {
+  Request req;
+  try {
+    req = api::parse_request(line);
+  } catch (const std::exception& e) {
+    // Best-effort id echo so the client can still correlate the refusal.
+    Response resp;
+    resp.code = ServiceCode::kBadRequest;
+    resp.error = e.what();
+    try {
+      const api::Json j = api::Json::parse(line);
+      if (const api::Json* id = j.find("id"); id != nullptr && id->is_unsigned()) {
+        resp.id = id->as_uint();
+      }
+    } catch (const std::exception&) {
+    }
+    count("svc.requests.received");
+    count("svc.requests.bad_request");
+    count(std::string("svc.status.") + service_code_name(resp.code));
+    return api::serialize_response(resp);
+  }
+  Outcome out = submit_and_wait(std::move(req));
+  if (out.payload != nullptr && api::response_carries_report(out.resp.code)) {
+    return api::serialize_response_envelope(out.resp,
+                                            &out.payload->payload_json);
+  }
+  return api::serialize_response(out.resp);
+}
+
+Server::Outcome Server::submit_and_wait(Request req) {
+  count("svc.requests.received");
+  auto p = std::make_unique<Pending>();
+  p->req = std::move(req);
+  p->enqueued = std::chrono::steady_clock::now();
+  std::future<Outcome> fut = p->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_name_.find(p->req.graph);
+    if (it == by_name_.end()) {
+      count("svc.requests.not_found");
+      Outcome out = refuse(p->req, ServiceCode::kNotFound,
+                           "graph '" + p->req.graph +
+                               "' is not loaded on this server");
+      count(std::string("svc.status.") + service_code_name(out.resp.code));
+      return out;
+    }
+    if (stopping_ || queue_.size() >= opt_.queue_limit) {
+      count("svc.requests.rejected_queue");
+      Outcome out = refuse(
+          p->req, ServiceCode::kRejected,
+          stopping_ ? "server shutting down"
+                    : "admission queue full (" +
+                          std::to_string(opt_.queue_limit) + " waiting)");
+      count(std::string("svc.status.") + service_code_name(out.resp.code));
+      return out;
+    }
+    p->graph_index = it->second;
+    p->estimate_bytes = estimate_run_bytes(p->req.algorithm, p->req.backend,
+                                           graphs_[it->second].graph);
+    if (opt_.inflight_budget_bytes > 0 &&
+        inflight_bytes_ + p->estimate_bytes > opt_.inflight_budget_bytes) {
+      count("svc.requests.rejected_memory");
+      Outcome out = refuse(
+          p->req, ServiceCode::kRejected,
+          "in-flight memory budget exhausted (estimated " +
+              std::to_string(p->estimate_bytes) + " bytes over budget " +
+              std::to_string(opt_.inflight_budget_bytes) + ")");
+      count(std::string("svc.status.") + service_code_name(out.resp.code));
+      return out;
+    }
+    inflight_bytes_ += p->estimate_bytes;
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return fut.get();
+}
+
+void Server::worker_loop(std::size_t worker_index) {
+  (void)worker_index;
+  host::Workspace workspace;
+  host::Workspace* ws = opt_.batching ? &workspace : nullptr;
+  for (;;) {
+    std::vector<PendingPtr> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (opt_.batching && opt_.batch_limit > 1) {
+        // Claim queued requests for the same graph so the burst runs
+        // back-to-back on this worker's warm arena.
+        const std::size_t want = opt_.batch_limit - 1;
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch.size() <= want;) {
+          if ((*it)->graph_index == batch.front()->graph_index) {
+            batch.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(obs_mu_);
+      metrics_.counter("svc.batches") += 1;
+      metrics_.counter("svc.batched_requests") += batch.size();
+    }
+    for (PendingPtr& p : batch) {
+      Outcome out = process(*p, ws);
+      const std::uint64_t bytes = p->estimate_bytes;
+      finish(std::move(p), std::move(out));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        inflight_bytes_ -= bytes;
+      }
+    }
+  }
+}
+
+Server::Outcome Server::process(Pending& p, host::Workspace* ws) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  const double queue_ms = elapsed_ms(p.enqueued, dequeued);
+  const GraphSpec& spec = graphs_[p.graph_index];
+
+  // Deadlines cover the whole service round-trip: queue wait counts, and a
+  // request whose deadline expired while it waited is answered without
+  // executing — the same clean no-payload shape as an in-run stop.
+  double deadline_ms = p.req.options.deadline_ms.has_value()
+                           ? *p.req.options.deadline_ms
+                           : opt_.default_deadline_ms;
+  if (deadline_ms > 0.0 && queue_ms >= deadline_ms) {
+    count("svc.requests.expired_in_queue");
+    Outcome out;
+    out.resp.id = p.req.id;
+    out.resp.code = ServiceCode::kDeadlineExceeded;
+    out.resp.error = "deadline expired after " + std::to_string(queue_ms) +
+                     " ms in queue";
+    out.resp.queue_ms = queue_ms;
+    out.resp.report = synthetic_report(p.req, gov::StatusCode::kDeadlineExceeded,
+                                       out.resp.error);
+    observe("expired_in_queue", p.req, obs::Phase::kInstant, queue_ms, 0.0, 0);
+    return out;
+  }
+
+  const std::string key = cache_.enabled() ? cache_key(p.req, spec.version)
+                                           : std::string();
+  if (cache_.enabled()) {
+    if (ResultCache::Payload hit = cache_.get(key); hit != nullptr) {
+      count("svc.requests.cache_hits");
+      Outcome out;
+      out.resp.id = p.req.id;
+      out.resp.code = ServiceCode::kOk;
+      out.resp.cache_hit = true;
+      out.resp.queue_ms = queue_ms;
+      out.resp.report = hit->report;
+      out.payload = std::move(hit);
+      observe("cache_hit", p.req, obs::Phase::kInstant, queue_ms, 0.0,
+              out.payload->payload_json.size());
+      return out;
+    }
+  }
+
+  // The server owns execution policy: requests cannot reach into this
+  // process (workspace/trace stay server-side) or resize the shared thread
+  // pool; what remains of the deadline after queueing governs the run.
+  Request run_req = p.req;
+  run_req.options.workspace = ws;
+  run_req.options.trace = nullptr;
+  run_req.options.threads = 0;
+  if (deadline_ms > 0.0) run_req.options.deadline_ms = deadline_ms - queue_ms;
+
+  count("svc.runs.started");
+  const auto run_start = std::chrono::steady_clock::now();
+  Outcome out;
+  out.resp = xg::run(run_req, spec.graph);
+  const double run_ms =
+      elapsed_ms(run_start, std::chrono::steady_clock::now());
+  out.resp.queue_ms = queue_ms;
+  out.resp.run_ms = run_ms;
+  count("svc.runs.completed");
+
+  if (out.resp.ok() && cache_.enabled()) {
+    auto payload = std::make_shared<CachedResult>();
+    payload->payload_json = api::serialize_report(out.resp.report);
+    payload->report = out.resp.report;
+    out.payload = payload;
+    cache_.put(key, std::move(payload));
+  }
+  observe("run", p.req, obs::Phase::kSpan, queue_ms, run_ms,
+          out.payload == nullptr ? 0 : out.payload->payload_json.size());
+  return out;
+}
+
+Server::Outcome Server::refuse(const Request& req, ServiceCode code,
+                               std::string error) {
+  Outcome out;
+  out.resp.id = req.id;
+  out.resp.code = code;
+  out.resp.error = std::move(error);
+  observe(code == ServiceCode::kRejected ? "rejected" : "refused", req,
+          obs::Phase::kInstant, 0.0, 0.0, 0);
+  return out;
+}
+
+void Server::finish(PendingPtr p, Outcome outcome) {
+  const Response& resp = outcome.resp;
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    metrics_.counter(std::string("svc.status.") +
+                     service_code_name(resp.code)) += 1;
+    if (resp.ok()) metrics_.counter("svc.requests.ok") += 1;
+    metrics_.counter("svc.queue_wait_us") +=
+        static_cast<std::uint64_t>(resp.queue_ms * 1000.0);
+    metrics_.counter("svc.run_us") +=
+        static_cast<std::uint64_t>(resp.run_ms * 1000.0);
+    if (outcome.payload != nullptr) {
+      metrics_.counter("svc.payload_bytes") +=
+          outcome.payload->payload_json.size();
+    }
+  }
+  p->promise.set_value(std::move(outcome));
+}
+
+void Server::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Server::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+obs::MetricsRegistry Server::metrics() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return metrics_;
+}
+
+void Server::count(const std::string& name, std::uint64_t add) {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  metrics_.counter(name) += add;
+}
+
+void Server::observe(const char* event, const Request& req, obs::Phase phase,
+                     double queue_ms, double run_ms, std::uint64_t bytes) {
+  if (!obs::active(opt_.trace)) return;
+  obs::TraceEvent e;
+  e.name = event;
+  e.engine = "svc";
+  e.algorithm = backend_name(req.backend) + "/" + algorithm_name(req.algorithm);
+  e.phase = phase;
+  e.dur_us = run_ms * 1000.0;
+  e.bytes = bytes;
+  e.msgs = 1;
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  e.ts_us = now_us() - e.dur_us;
+  (void)queue_ms;
+  opt_.trace->record(std::move(e));
+}
+
+double Server::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::uint64_t Server::estimate_run_bytes(AlgorithmId algorithm,
+                                         BackendId backend,
+                                         const graph::CSRGraph& g) {
+  // Per-vertex payload + scratch coefficients (docs/SERVICE.md, "Admission
+  // control"): label/distance algorithms carry ~16 B/vertex of result and
+  // frontier state, the double-valued algorithms ~48 B/vertex, triangle
+  // counting only bitsets and counters. The simulated backends replicate
+  // state into machine tables and message buffers — charged as 4x.
+  const std::uint64_t n = g.num_vertices();
+  std::uint64_t per_vertex = 16;
+  switch (algorithm) {
+    case AlgorithmId::kConnectedComponents:
+    case AlgorithmId::kBfs: per_vertex = 16; break;
+    case AlgorithmId::kSssp:
+    case AlgorithmId::kPageRank: per_vertex = 48; break;
+    case AlgorithmId::kTriangleCount: per_vertex = 8; break;
+  }
+  std::uint64_t scale = 1;
+  switch (backend) {
+    case BackendId::kReference:
+    case BackendId::kNative: scale = 1; break;
+    case BackendId::kGraphct:
+    case BackendId::kBsp:
+    case BackendId::kCluster: scale = 4; break;
+  }
+  return per_vertex * n * scale + (std::uint64_t{1} << 20);
+}
+
+std::string Server::cache_key(const Request& req, std::uint64_t version) {
+  // Governance knobs and thread counts never change a successful payload
+  // (all-or-nothing + determinism at any thread count), so they are reset
+  // to defaults before canonical serialization — an identical query with a
+  // different deadline still hits. Cost-model options (sim/bsp/cluster/
+  // faults) stay: they change the report's cost fields, hence its bytes.
+  RunOptions canon = req.options;
+  canon.deadline_ms.reset();
+  canon.memory_budget_bytes.reset();
+  canon.max_rounds.reset();
+  canon.threads = 0;
+  canon.trace = nullptr;
+  canon.workspace = nullptr;
+  canon.cancel = CancelToken();
+  std::string key = req.graph;
+  key += '@';
+  key += std::to_string(version);
+  key += '|';
+  key += algorithm_name(req.algorithm);
+  key += '|';
+  key += backend_name(req.backend);
+  key += '|';
+  key += api::serialize_options(canon);
+  return key;
+}
+
+}  // namespace xg::svc

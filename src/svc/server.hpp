@@ -1,0 +1,191 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/request.hpp"
+#include "graph/csr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/cache.hpp"
+
+namespace xg::host {
+class Workspace;
+}
+
+namespace xg::svc {
+
+/// One graph the server keeps warm in memory. Graphs are immutable for the
+/// server's lifetime; `version` tags cache keys so a future reload under
+/// the same name cannot serve stale bytes.
+struct GraphSpec {
+  std::string name;
+  std::uint64_t version = 1;
+  graph::CSRGraph graph;
+};
+
+struct ServerOptions {
+  /// Worker threads executing admitted requests, each with its own warm
+  /// host::Workspace.
+  std::size_t workers = 2;
+  /// Bounded admission queue: a request arriving while this many are
+  /// already waiting is shed with ServiceCode::kRejected instead of
+  /// stalling the connection (docs/SERVICE.md, "Admission control").
+  std::size_t queue_limit = 256;
+  /// Result-cache byte budget (serialized payload + key bytes); 0 disables
+  /// the cache entirely.
+  std::uint64_t cache_budget_bytes = 64ull << 20;
+  /// Global ceiling on the *estimated* scratch bytes of queued + running
+  /// requests (estimate_run_bytes). A request whose estimate does not fit
+  /// is rejected at admission — it never partially executes. 0 = unlimited.
+  std::uint64_t inflight_budget_bytes = 0;
+  /// Same-graph batching: a worker taking the queue head also claims up to
+  /// batch_limit - 1 further queued requests for the same graph and runs
+  /// the group back-to-back on its warm Workspace (PR 9's arenas), so only
+  /// the first run of a burst pays cold allocations.
+  std::size_t batch_limit = 16;
+  /// false = every request runs cold (no Workspace, one request per
+  /// dequeue) — the per-request-cold baseline bench/xgd_load contrasts.
+  bool batching = true;
+  /// Deadline applied to requests that do not carry their own, measured
+  /// from admission (queue wait counts). 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Construct with workers parked until resume() — lets tests fill the
+  /// queue deterministically.
+  bool start_paused = false;
+  /// Optional structured trace of every request (span per run, instants
+  /// for cache hits / rejections), exportable with obs::write_chrome_trace.
+  obs::TraceSink* trace = nullptr;
+};
+
+/// The xgd service core: admission control, result cache, same-graph
+/// batching and per-request metrics over xg::run(Request, graph). The TCP
+/// layer (svc/net.hpp) is a thin framing shim on handle_line(); tests and
+/// the in-process load generator call call()/handle_line() directly.
+///
+/// Guarantees (tests/svc/server_test.cpp):
+///  * All-or-nothing: a request refused by admission control — queue full,
+///    in-flight memory budget, unknown graph, malformed frame, or a
+///    deadline that expired while queued — never starts executing, and a
+///    governed in-run stop inherits xg::run's no-partial-result invariant.
+///  * Bit-identical repeats: an identical request served from the cache
+///    returns a payload byte-identical to the run that populated it,
+///    marked cache_hit.
+///  * Determinism: responses depend only on the request and the graph,
+///    never on which worker ran it or what was batched around it (the
+///    engines' determinism contract; Workspace warmth changes wall time
+///    only).
+class Server {
+ public:
+  Server(ServerOptions opt, std::vector<GraphSpec> graphs);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one request and block until its response — the closed-loop
+  /// client entry (each TCP connection handler and load-generator client
+  /// calls this from its own thread). Never throws.
+  Response call(Request req);
+
+  /// The wire path: one NDJSON request frame in, one response frame out
+  /// (no trailing newline). Malformed frames come back as kBadRequest with
+  /// the parse error naming the offending field; the client's id is echoed
+  /// whenever it could be recovered.
+  std::string handle_line(const std::string& line);
+
+  /// Park / release the worker pool (admission keeps running, so the
+  /// queue fills while paused — how tests exercise shedding and queue-wait
+  /// deadlines deterministically, and how an operator would drain).
+  void pause();
+  void resume();
+
+  const std::vector<std::string>& graph_names() const { return names_; }
+
+  /// Requests currently waiting for a worker (admitted, not yet dequeued) —
+  /// the operator's drain signal, and how tests wait for a paused server to
+  /// reach a known queue state without racing admission.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Copy of the server's metrics registry (svc.* counters: received, ok,
+  /// cache_hits, rejected_queue, rejected_memory, not_found, bad_request,
+  /// expired_in_queue, runs_started, runs_completed, batches, batched_requests,
+  /// queue_wait_us, run_us, payload_bytes, plus per-status svc.status.*).
+  obs::MetricsRegistry metrics() const;
+
+  ResultCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Admission-control scratch estimate for one run, in bytes — a simple
+  /// documented model (payload vectors + backend scratch coefficients), not
+  /// a measurement; deterministic so admission decisions are testable.
+  static std::uint64_t estimate_run_bytes(AlgorithmId algorithm,
+                                          BackendId backend,
+                                          const graph::CSRGraph& g);
+
+  /// The canonical cache key for a request against graph version
+  /// `version`: governance knobs (deadline/memory budget/round cap) and
+  /// `threads` are stripped before serializing the options, because they
+  /// never change a successful payload (all-or-nothing + thread-count
+  /// determinism) — only fields that alter report bytes fragment the cache.
+  static std::string cache_key(const Request& req, std::uint64_t version);
+
+ private:
+  /// A response plus the cached serialized payload it came from (or
+  /// populated), when one exists — the wire path splices those bytes
+  /// verbatim so cache hits are bit-identical to the run that filled the
+  /// entry; in-process callers just take .resp.
+  struct Outcome {
+    Response resp;
+    ResultCache::Payload payload;
+  };
+
+  struct Pending {
+    Request req;
+    std::size_t graph_index = 0;
+    std::uint64_t estimate_bytes = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<Outcome> promise;
+  };
+  using PendingPtr = std::unique_ptr<Pending>;
+
+  Outcome submit_and_wait(Request req);
+  void worker_loop(std::size_t worker_index);
+  Outcome process(Pending& p, host::Workspace* ws);
+  Outcome refuse(const Request& req, ServiceCode code, std::string error);
+  void finish(PendingPtr p, Outcome outcome);
+  void count(const std::string& name, std::uint64_t add = 1);
+  void observe(const char* event, const Request& req, obs::Phase phase,
+               double queue_ms, double run_ms, std::uint64_t bytes);
+  double now_us() const;
+
+  const ServerOptions opt_;
+  std::vector<GraphSpec> graphs_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingPtr> queue_;
+  std::uint64_t inflight_bytes_ = 0;  ///< queued + running estimates
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex obs_mu_;
+  obs::MetricsRegistry metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace xg::svc

@@ -1,0 +1,129 @@
+// Tests for the api::Json DOM (src/api/json.hpp) — the two-way document
+// model under the serializable request API. The properties that matter
+// downstream: numbers round-trip bit-exactly, object member order is
+// preserved (canonical bytes), and parsing is strict enough to reject a
+// malformed frame at the protocol edge.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "api/json.hpp"
+#include "graph/rng.hpp"
+
+namespace xg::api {
+namespace {
+
+TEST(Json, DumpsScalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::uint64_t{0}).dump(), "0");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(Json, IntegralDoublesKeepAMark) {
+  // A double that happens to be integral must not serialize as an integer
+  // token: dump -> parse -> dump has to be a fixed point (cache keys).
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+  EXPECT_EQ(Json(-3.0).dump(), "-3.0");
+  const Json back = Json::parse(Json(2.0).dump());
+  EXPECT_FALSE(back.is_unsigned());
+  EXPECT_TRUE(back.is_number());
+  EXPECT_EQ(back.dump(), "2.0");
+}
+
+TEST(Json, PreservesObjectOrderAndNesting) {
+  Json j = Json::object();
+  j.set("z", std::uint64_t{1});
+  j.set("a", Json::array().push("x").push(Json::object().set("k", true)));
+  EXPECT_EQ(j.dump(), R"({"z":1,"a":["x",{"k":true}]})");
+  const Json p = Json::parse(j.dump());
+  EXPECT_EQ(p.dump(), j.dump());
+  ASSERT_NE(p.find("a"), nullptr);
+  EXPECT_EQ(p.find("a")->items().size(), 2u);
+}
+
+TEST(Json, UnsignedIntegersAreExact) {
+  // 2^53 + 1 is not representable as a double; the DOM must keep it.
+  const std::string text = "9007199254740993";
+  const Json j = Json::parse(text);
+  ASSERT_TRUE(j.is_unsigned());
+  EXPECT_EQ(j.as_uint(), 9007199254740993ull);
+  EXPECT_EQ(j.dump(), text);
+}
+
+TEST(Json, IntegerOverflowIsAnError) {
+  EXPECT_THROW(Json::parse("18446744073709551616"), JsonError);  // 2^64
+}
+
+TEST(Json, RandomDoublesRoundTripBitExactly) {
+  graph::Rng rng(7);
+  int checked = 0;
+  while (checked < 2000) {
+    const std::uint64_t bits = rng.next();
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    if (!std::isfinite(d)) continue;
+    ++checked;
+    const Json back = Json::parse(Json(d).dump());
+    ASSERT_TRUE(back.is_number());
+    const double r = back.as_double();
+    EXPECT_EQ(std::memcmp(&r, &d, sizeof(d)), 0)
+        << "double " << d << " did not survive " << Json(d).dump();
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\n\t\x01z";
+  const Json j(raw);
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.as_string(), raw);
+  // \u escapes, including a surrogate pair, decode to UTF-8.
+  EXPECT_EQ(Json::parse("\"A\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), JsonError);  // lone surrogate
+}
+
+TEST(Json, StrictParsing) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("{} trailing"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), JsonError);  // duplicate key
+  EXPECT_THROW(Json::parse("'single'"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("Infinity"), JsonError);
+  EXPECT_THROW(Json::parse("nan"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("\"bad \x01 control\""), JsonError);
+}
+
+TEST(Json, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_THROW(Json::parse(deep), JsonError);
+  // 40 levels is fine.
+  std::string ok(40, '[');
+  ok += std::string(40, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(Json, ErrorsCarryOffsets) {
+  try {
+    Json::parse("{\"a\": nope}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xg::api

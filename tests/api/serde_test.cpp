@@ -1,0 +1,418 @@
+// Serde suite for the serializable request API (src/api/serde.hpp):
+//  * property test — randomized RunOptions / RunReport / Request /
+//    Response values survive serialize -> parse -> serialize with
+//    byte-identical output (which implies every double and integer is
+//    bit-exact, since the canonical serializer is injective on values);
+//  * conformance corpus — hand-written canonical frames parse and
+//    re-serialize to themselves, and malformed frames are rejected with
+//    the offending field named;
+//  * the ServiceCode registry — exhaustive name round-trip and the
+//    documented gov::StatusCode mapping (docs/SERVICE.md, "Error codes").
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/serde.hpp"
+#include "graph/rng.hpp"
+
+namespace xg::api {
+namespace {
+
+double finite_double(graph::Rng& rng) {
+  for (;;) {
+    const std::uint64_t bits = rng.next();
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    if (std::isfinite(d)) return d;
+  }
+}
+
+std::uint32_t u32(graph::Rng& rng) {
+  return static_cast<std::uint32_t>(rng.next());
+}
+
+RunOptions random_options(graph::Rng& rng) {
+  RunOptions o;
+  o.source = u32(rng);
+  o.direction = all_directions()[rng.below(all_directions().size())];
+  o.sssp_source = u32(rng);
+  o.pagerank_iters = u32(rng);
+  o.pagerank_damping = finite_double(rng);
+  o.pagerank_epsilon = finite_double(rng);
+  o.threads = static_cast<unsigned>(rng.below(1u << 16));
+  o.max_supersteps = u32(rng);
+  if (rng.below(2) != 0) o.deadline_ms = finite_double(rng);
+  if (rng.below(2) != 0) o.memory_budget_bytes = rng.next();
+  if (rng.below(2) != 0) o.max_rounds = u32(rng);
+
+  o.sim.processors = u32(rng);
+  o.sim.streams_per_processor = u32(rng);
+  o.sim.clock_hz = finite_double(rng);
+  o.sim.memory_latency = u32(rng);
+  o.sim.faa_service_interval = u32(rng);
+  o.sim.sync_service_interval = u32(rng);
+  o.sim.loop_chunk = u32(rng);
+  o.sim.iteration_overhead = u32(rng);
+  o.sim.region_overhead = u32(rng);
+  o.sim.record_regions = rng.below(2) != 0;
+
+  o.bsp.scan_all_vertices = rng.below(2) != 0;
+  o.bsp.single_queue = rng.below(2) != 0;
+  o.bsp.max_supersteps = u32(rng);
+  o.bsp.message_send_overhead = u32(rng);
+  o.bsp.message_receive_overhead = u32(rng);
+  o.bsp.combiner = static_cast<bsp::Combiner>(rng.below(3));
+  o.bsp.aggregators.clear();
+  for (std::uint64_t i = rng.below(4); i > 0; --i) {
+    o.bsp.aggregators.push_back(
+        static_cast<bsp::Aggregator::Op>(rng.below(3)));
+  }
+  o.bsp.checkpoint_interval = u32(rng);
+
+  o.cluster.machines = u32(rng);
+  o.cluster.workers_per_machine = u32(rng);
+  o.cluster.worker_instr_per_sec = finite_double(rng);
+  o.cluster.barrier_seconds = finite_double(rng);
+  o.cluster.nic_messages_per_sec = finite_double(rng);
+  o.cluster.local_message_instr = u32(rng);
+  o.cluster.remote_message_instr = u32(rng);
+  o.cluster.vertex_overhead_instr = u32(rng);
+  o.cluster.checkpoint_interval = u32(rng);
+  o.cluster.checkpoint_bytes_per_sec = finite_double(rng);
+  o.cluster.checkpoint_latency_seconds = finite_double(rng);
+
+  o.faults.seed = rng.next();
+  o.faults.crashes.clear();
+  for (std::uint64_t i = rng.below(3); i > 0; --i) {
+    o.faults.crashes.push_back({u32(rng), u32(rng)});
+  }
+  o.faults.straggler_factor.clear();
+  for (std::uint64_t i = rng.below(3); i > 0; --i) {
+    o.faults.straggler_factor.push_back(finite_double(rng));
+  }
+  o.faults.remote_drop_probability = finite_double(rng);
+  o.faults.max_retries = u32(rng);
+  o.faults.retry_backoff_seconds = finite_double(rng);
+  o.faults.failure_detection_seconds = finite_double(rng);
+  if (rng.below(2) != 0) o.faults.memory_spike_superstep = u32(rng);
+  o.faults.memory_spike_bytes = rng.next();
+  return o;
+}
+
+RunReport random_report(graph::Rng& rng) {
+  RunReport r;
+  r.algorithm = all_algorithms()[rng.below(all_algorithms().size())];
+  r.backend = all_backends()[rng.below(all_backends().size())];
+  r.status = static_cast<gov::StatusCode>(rng.below(7));
+  r.status_detail = rng.below(2) != 0 ? "some \"quoted\" detail\n" : "";
+  r.rounds_completed = u32(rng);
+  r.governance_checks = rng.next();
+  r.converged = rng.below(2) != 0;
+  r.cycles = rng.next();
+  r.seconds = finite_double(rng);
+  r.messages = rng.next();
+  r.writes = rng.next();
+  r.num_components = u32(rng);
+  r.reached = u32(rng);
+  r.triangles = rng.next();
+  for (std::uint64_t i = rng.below(8); i > 0; --i) {
+    r.components.push_back(u32(rng));
+    r.distance.push_back(u32(rng));
+    // Mix of finite distances and unreached (+inf, the null spelling).
+    r.sssp_distance.push_back(rng.below(3) == 0
+                                  ? std::numeric_limits<double>::infinity()
+                                  : std::abs(finite_double(rng)));
+    r.pagerank_scores.push_back(finite_double(rng));
+  }
+  for (std::uint64_t i = rng.below(4); i > 0; --i) {
+    RoundRecord round;
+    round.index = u32(rng);
+    round.active = rng.next();
+    round.messages = rng.next();
+    round.cycles = rng.next();
+    round.seconds = finite_double(rng);
+    r.rounds.push_back(round);
+  }
+  r.recovery.checkpoints_written = rng.next();
+  r.recovery.checkpoint_seconds = finite_double(rng);
+  r.recovery.crashes = u32(rng);
+  r.recovery.supersteps_replayed = rng.next();
+  r.recovery.recovery_seconds = finite_double(rng);
+  r.recovery.remote_retries = rng.next();
+  r.recovery.retry_backoff_seconds = finite_double(rng);
+  return r;
+}
+
+// --- property tests --------------------------------------------------------
+
+TEST(SerdeProperty, RandomOptionsRoundTripByteIdentically) {
+  graph::Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const RunOptions o = random_options(rng);
+    const std::string first = serialize_options(o);
+    const RunOptions parsed = parse_options(first);
+    EXPECT_EQ(serialize_options(parsed), first) << "iteration " << i;
+  }
+}
+
+TEST(SerdeProperty, OptionDoublesAreBitExact) {
+  graph::Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const RunOptions o = random_options(rng);
+    const RunOptions p = parse_options(serialize_options(o));
+    EXPECT_EQ(std::memcmp(&p.pagerank_damping, &o.pagerank_damping, 8), 0);
+    EXPECT_EQ(std::memcmp(&p.sim.clock_hz, &o.sim.clock_hz, 8), 0);
+    EXPECT_EQ(std::memcmp(&p.cluster.barrier_seconds,
+                          &o.cluster.barrier_seconds, 8),
+              0);
+    ASSERT_EQ(p.deadline_ms.has_value(), o.deadline_ms.has_value());
+    if (o.deadline_ms) {
+      EXPECT_EQ(std::memcmp(&*p.deadline_ms, &*o.deadline_ms, 8), 0);
+    }
+    EXPECT_EQ(p.memory_budget_bytes, o.memory_budget_bytes);
+    EXPECT_EQ(p.max_rounds, o.max_rounds);
+    EXPECT_EQ(p.source, o.source);
+    EXPECT_EQ(p.threads, o.threads);
+    EXPECT_EQ(p.faults.seed, o.faults.seed);
+  }
+}
+
+TEST(SerdeProperty, RandomReportsRoundTripByteIdentically) {
+  graph::Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const RunReport r = random_report(rng);
+    const std::string first = serialize_report(r);
+    const RunReport parsed = parse_report(first);
+    EXPECT_EQ(serialize_report(parsed), first) << "iteration " << i;
+  }
+}
+
+TEST(SerdeProperty, InfiniteSsspDistancesCrossAsNull) {
+  RunReport r;
+  r.sssp_distance = {1.5, std::numeric_limits<double>::infinity(), 0.25};
+  const std::string text = serialize_report(r);
+  EXPECT_NE(text.find("\"sssp_distance\":[1.5,null,0.25]"),
+            std::string::npos);
+  const RunReport back = parse_report(text);
+  ASSERT_EQ(back.sssp_distance.size(), 3u);
+  EXPECT_TRUE(std::isinf(back.sssp_distance[1]));
+  EXPECT_EQ(back.sssp_distance[0], 1.5);
+}
+
+TEST(SerdeProperty, RandomRequestsAndResponsesRoundTrip) {
+  graph::Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    Request req;
+    req.id = rng.next();
+    req.graph = "graph-" + std::to_string(rng.below(100));
+    req.algorithm = all_algorithms()[rng.below(all_algorithms().size())];
+    req.backend = all_backends()[rng.below(all_backends().size())];
+    req.options = random_options(rng);
+    const std::string first = serialize_request(req);
+    EXPECT_EQ(serialize_request(parse_request(first)), first);
+
+    Response resp;
+    resp.id = rng.next();
+    resp.code = static_cast<ServiceCode>(rng.below(10));
+    resp.error = resp.code == ServiceCode::kOk ? "" : "why it failed";
+    resp.cache_hit = rng.below(2) != 0;
+    resp.queue_ms = std::abs(finite_double(rng));
+    resp.run_ms = std::abs(finite_double(rng));
+    if (response_carries_report(resp.code)) resp.report = random_report(rng);
+    const std::string rfirst = serialize_response(resp);
+    EXPECT_EQ(serialize_response(parse_response(rfirst)), rfirst);
+  }
+}
+
+TEST(SerdeProperty, SerializationIsDeterministic) {
+  graph::Rng a(23), b(23);
+  EXPECT_EQ(serialize_options(random_options(a)),
+            serialize_options(random_options(b)));
+  EXPECT_EQ(serialize_options(RunOptions{}), serialize_options(RunOptions{}));
+}
+
+TEST(Serde, EnvelopeSpliceMatchesDirectSerialization) {
+  // The server's cache path splices pre-serialized report bytes into the
+  // envelope; the result must equal serializing the whole response.
+  graph::Rng rng(29);
+  Response resp;
+  resp.id = 42;
+  resp.code = ServiceCode::kOk;
+  resp.cache_hit = true;
+  resp.queue_ms = 0.25;
+  resp.report = random_report(rng);
+  const std::string report_json = serialize_report(resp.report);
+  EXPECT_EQ(serialize_response_envelope(resp, &report_json),
+            serialize_response(resp));
+  // nullptr omits the member entirely.
+  Response bare;
+  bare.code = ServiceCode::kRejected;
+  bare.error = "queue full";
+  EXPECT_EQ(serialize_response_envelope(bare, nullptr),
+            serialize_response(bare));
+}
+
+// --- conformance corpus ----------------------------------------------------
+
+TEST(SerdeCorpus, PartialOptionsKeepDefaults) {
+  const RunOptions o =
+      parse_options(std::string(R"({"source":7,"pagerank_iters":3})"));
+  EXPECT_EQ(o.source, 7u);
+  EXPECT_EQ(o.pagerank_iters, 3u);
+  EXPECT_EQ(o.pagerank_damping, 0.85);        // untouched default
+  EXPECT_EQ(o.direction, BfsDirection::kAuto);
+  EXPECT_FALSE(o.deadline_ms.has_value());
+  EXPECT_EQ(o.max_supersteps, 100000u);
+}
+
+TEST(SerdeCorpus, MinimalRequestParses) {
+  const Request req = parse_request(
+      std::string(R"({"graph":"g","algorithm":"bfs","backend":"native"})"));
+  EXPECT_EQ(req.id, 0u);
+  EXPECT_EQ(req.graph, "g");
+  EXPECT_EQ(req.algorithm, AlgorithmId::kBfs);
+  EXPECT_EQ(req.backend, BackendId::kNative);
+}
+
+TEST(SerdeCorpus, CanonicalFramesAreFixedPoints) {
+  // Hand-written canonical frames: parse -> serialize must reproduce them
+  // byte for byte (wire stability — these strings are the contract).
+  const std::string frames[] = {
+      R"({"source":3,"direction":"hybrid","sssp_source":0,"pagerank_iters":20,)"
+      R"("pagerank_damping":0.85,"pagerank_epsilon":0.0,"threads":0,)"
+      R"("max_supersteps":100000,"deadline_ms":250.0,)"
+      R"("memory_budget_bytes":1048576,"max_rounds":8,)"
+      R"("sim":{"processors":128,"streams_per_processor":100,)"
+      R"("clock_hz":5e+08,"memory_latency":68,"faa_service_interval":2,)"
+      R"("sync_service_interval":2,"loop_chunk":64,"iteration_overhead":1,)"
+      R"("region_overhead":200,"record_regions":false},)"
+      R"("bsp":{"scan_all_vertices":false,"single_queue":false,)"
+      R"("max_supersteps":1000,"message_send_overhead":4,)"
+      R"("message_receive_overhead":4,"combiner":"min","aggregators":["sum"],)"
+      R"("checkpoint_interval":0},)"
+      R"("cluster":{"machines":16,"workers_per_machine":8,)"
+      R"("worker_instr_per_sec":1e+09,"barrier_seconds":0.001,)"
+      R"("nic_messages_per_sec":1e+06,"local_message_instr":250,)"
+      R"("remote_message_instr":2500,"vertex_overhead_instr":150,)"
+      R"("checkpoint_interval":0,"checkpoint_bytes_per_sec":1e+08,)"
+      R"("checkpoint_latency_seconds":0.05},)"
+      R"("faults":{"seed":1,"crashes":[{"superstep":3,"machine":2}],)"
+      R"("straggler_factor":[1.0,2.5],"remote_drop_probability":0.0,)"
+      R"("max_retries":3,"retry_backoff_seconds":0.01,)"
+      R"("failure_detection_seconds":0.5,"memory_spike_bytes":0}})",
+  };
+  for (const std::string& frame : frames) {
+    EXPECT_EQ(serialize_options(parse_options(frame)), frame);
+  }
+}
+
+TEST(SerdeCorpus, RejectionsNameTheField) {
+  const auto expect_error = [](const char* text, const char* needle) {
+    try {
+      parse_options(std::string(text));
+      FAIL() << "expected SerdeError for " << text;
+    } catch (const SerdeError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "error '" << e.what() << "' does not mention '" << needle << "'";
+    }
+  };
+  expect_error(R"({"bogus":1})", "RunOptions.bogus");
+  expect_error(R"({"source":"three"})", "RunOptions.source");
+  expect_error(R"({"source":-1})", "RunOptions.source");
+  expect_error(R"({"source":4294967296})", "does not fit in 32 bits");
+  expect_error(R"({"deadline_ms":null})", "RunOptions.deadline_ms");
+  expect_error(R"({"direction":"sideways"})", "RunOptions.direction");
+  expect_error(R"({"sim":{"clock_hz":"fast"}})", "RunOptions.sim.clock_hz");
+  expect_error(R"({"sim":{"warp":9}})", "RunOptions.sim.warp");
+  expect_error(R"({"bsp":{"combiner":"max"}})", "RunOptions.bsp.combiner");
+  expect_error(R"({"faults":{"crashes":[{"superstep":1,"when":2}]}})",
+               "RunOptions.faults.crashes[0].when");
+
+  try {
+    parse_request(std::string(R"({"algorithm":"bfs","backend":"native"})"));
+    FAIL() << "expected SerdeError";
+  } catch (const SerdeError& e) {
+    EXPECT_NE(std::string(e.what()).find("Request.graph"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("missing"), std::string::npos);
+  }
+  try {
+    parse_request(
+        std::string(R"({"graph":"g","algorithm":"bfz","backend":"native"})"));
+    FAIL() << "expected SerdeError";
+  } catch (const SerdeError& e) {
+    EXPECT_NE(std::string(e.what()).find("Request.algorithm"),
+              std::string::npos);
+  }
+}
+
+TEST(SerdeCorpus, ProcessLocalHandlesStayOffTheWire) {
+  RunOptions o;
+  o.trace = reinterpret_cast<obs::TraceSink*>(0x1);  // never dereferenced
+  o.workspace = reinterpret_cast<host::Workspace*>(0x1);
+  o.cancel = CancelToken::make();
+  const std::string text = serialize_options(o);
+  EXPECT_EQ(text.find("trace"), std::string::npos);
+  EXPECT_EQ(text.find("workspace"), std::string::npos);
+  EXPECT_EQ(text.find("cancel"), std::string::npos);
+  const RunOptions back = parse_options(text);
+  EXPECT_EQ(back.trace, nullptr);
+  EXPECT_EQ(back.workspace, nullptr);
+}
+
+// --- the ServiceCode registry ----------------------------------------------
+
+TEST(ServiceCode, NamesRoundTripExhaustively) {
+  ASSERT_EQ(all_service_codes().size(), 10u);
+  for (const ServiceCode c : all_service_codes()) {
+    EXPECT_EQ(parse_service_code(service_code_name(c)), c);
+  }
+  EXPECT_THROW(parse_service_code("nope"), std::invalid_argument);
+}
+
+TEST(ServiceCode, GovMappingIsIdentityOnSharedTaxonomy) {
+  // The documented table (docs/SERVICE.md): every gov::StatusCode maps to
+  // the service code with the identical registry name.
+  const gov::StatusCode all_gov[] = {
+      gov::StatusCode::kOk,
+      gov::StatusCode::kCancelled,
+      gov::StatusCode::kDeadlineExceeded,
+      gov::StatusCode::kMemoryBudgetExceeded,
+      gov::StatusCode::kRoundLimit,
+      gov::StatusCode::kInvalidArgument,
+      gov::StatusCode::kInternal,
+  };
+  for (const gov::StatusCode g : all_gov) {
+    EXPECT_STREQ(service_code_name(to_service_code(g)), gov::status_name(g));
+  }
+}
+
+TEST(ServiceCode, RetryabilityMatchesTheDocumentedTable) {
+  EXPECT_TRUE(service_code_retryable(ServiceCode::kRejected));
+  EXPECT_TRUE(service_code_retryable(ServiceCode::kCancelled));
+  EXPECT_TRUE(service_code_retryable(ServiceCode::kDeadlineExceeded));
+  EXPECT_TRUE(service_code_retryable(ServiceCode::kMemoryBudgetExceeded));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kOk));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kRoundLimit));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kInvalidArgument));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kInternal));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kNotFound));
+  EXPECT_FALSE(service_code_retryable(ServiceCode::kBadRequest));
+}
+
+TEST(ServiceCode, ReportPresenceRule) {
+  for (const ServiceCode c : all_service_codes()) {
+    const bool carries = response_carries_report(c);
+    const bool service_only = c == ServiceCode::kRejected ||
+                              c == ServiceCode::kNotFound ||
+                              c == ServiceCode::kBadRequest;
+    EXPECT_EQ(carries, !service_only) << service_code_name(c);
+  }
+}
+
+}  // namespace
+}  // namespace xg::api

@@ -1,0 +1,317 @@
+// End-to-end tests for the xgd service core (src/svc/server.hpp) run
+// in-process: the result cache's bit-identical repeat guarantee, admission
+// control (queue shedding, in-flight memory budget, queue-wait deadlines —
+// each refusing *before* any execution), same-graph batching, and the
+// cache-key canonicalization that keeps governance knobs from fragmenting
+// the cache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/serde.hpp"
+#include "graph/rmat_csr.hpp"
+#include "svc/server.hpp"
+
+namespace xg::svc {
+namespace {
+
+std::vector<GraphSpec> test_graphs() {
+  graph::RmatParams p;
+  p.scale = 8;
+  p.edgefactor = 8;
+  p.seed = 5;
+  p.weighted = true;
+  std::vector<GraphSpec> graphs;
+  graphs.push_back({"g0", 1, graph::rmat_csr(p)});
+  p.seed = 6;
+  p.scale = 7;
+  graphs.push_back({"g1", 1, graph::rmat_csr(p)});
+  return graphs;
+}
+
+Request bfs_request(std::uint64_t id, const std::string& graph,
+                    std::uint32_t source = 3) {
+  Request req;
+  req.id = id;
+  req.graph = graph;
+  req.algorithm = AlgorithmId::kBfs;
+  req.backend = BackendId::kNative;
+  req.options.source = source;
+  return req;
+}
+
+TEST(Server, ServesAndEchoesIds) {
+  Server server(ServerOptions{}, test_graphs());
+  const Response resp = server.call(bfs_request(77, "g0"));
+  EXPECT_EQ(resp.code, ServiceCode::kOk);
+  EXPECT_EQ(resp.id, 77u);
+  EXPECT_FALSE(resp.cache_hit);
+  EXPECT_GT(resp.report.reached, 0u);
+  EXPECT_EQ(resp.report.algorithm, AlgorithmId::kBfs);
+}
+
+TEST(Server, RepeatedQueryIsBitIdenticalAndMarkedCacheHit) {
+  Server server(ServerOptions{}, test_graphs());
+  const std::string frame =
+      api::serialize_request(bfs_request(9, "g0", 11));
+  const std::string first = server.handle_line(frame);
+  const std::string second = server.handle_line(frame);
+
+  const Response r1 = api::parse_response(first);
+  const Response r2 = api::parse_response(second);
+  EXPECT_EQ(r1.code, ServiceCode::kOk);
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.run_ms, 0.0);
+
+  // The payload bytes — everything from "report": on — must be identical
+  // between the populating run and the hit.
+  const auto tail = [](const std::string& s) {
+    const auto pos = s.find("\"report\":");
+    EXPECT_NE(pos, std::string::npos);
+    return s.substr(pos);
+  };
+  EXPECT_EQ(tail(first), tail(second));
+
+  const auto m = server.metrics();
+  EXPECT_EQ(m.counter_value("svc.requests.cache_hits"), 1u);
+  EXPECT_EQ(m.counter_value("svc.runs.started"), 1u);
+  EXPECT_EQ(server.cache_stats().hits, 1u);
+}
+
+TEST(Server, CacheSurvivesDifferentTransportsAndIds) {
+  // The correlation id and transport (call vs handle_line) are not part of
+  // the cache key; only (graph, algorithm, backend, options) is.
+  Server server(ServerOptions{}, test_graphs());
+  const Response r1 = server.call(bfs_request(1, "g0", 4));
+  const Response r2 = api::parse_response(
+      server.handle_line(api::serialize_request(bfs_request(2, "g0", 4))));
+  EXPECT_FALSE(r1.cache_hit);
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(r2.id, 2u);
+  EXPECT_EQ(r2.report.reached, r1.report.reached);
+}
+
+TEST(Server, CacheKeyStripsGovernanceKnobs) {
+  // A deadline / memory budget / thread count never changes a successful
+  // payload, so requests differing only there must share a cache entry.
+  Server server(ServerOptions{}, test_graphs());
+  Request with_gov = bfs_request(1, "g0", 7);
+  with_gov.options.deadline_ms = 60000.0;
+  with_gov.options.memory_budget_bytes = 1ull << 30;
+  with_gov.options.threads = 2;
+  Request without = bfs_request(2, "g0", 7);
+  EXPECT_EQ(Server::cache_key(with_gov, 1), Server::cache_key(without, 1));
+
+  EXPECT_FALSE(server.call(with_gov).cache_hit);
+  EXPECT_TRUE(server.call(without).cache_hit);
+
+  // Fields that do change the payload (source) or the cost model (backend)
+  // must not collide, and neither may graph versions.
+  Request other_source = bfs_request(3, "g0", 8);
+  EXPECT_NE(Server::cache_key(without, 1), Server::cache_key(other_source, 1));
+  EXPECT_NE(Server::cache_key(without, 1), Server::cache_key(without, 2));
+  Request bsp = without;
+  bsp.backend = BackendId::kBsp;
+  EXPECT_NE(Server::cache_key(without, 1), Server::cache_key(bsp, 1));
+}
+
+TEST(Server, CacheDisabledAtZeroBudget) {
+  ServerOptions opt;
+  opt.cache_budget_bytes = 0;
+  Server server(opt, test_graphs());
+  EXPECT_FALSE(server.call(bfs_request(1, "g0")).cache_hit);
+  EXPECT_FALSE(server.call(bfs_request(2, "g0")).cache_hit);
+  EXPECT_EQ(server.metrics().counter_value("svc.runs.started"), 2u);
+}
+
+TEST(Server, UnknownGraphIsNotFoundAndNeverExecutes) {
+  Server server(ServerOptions{}, test_graphs());
+  const Response resp = server.call(bfs_request(5, "nope"));
+  EXPECT_EQ(resp.code, ServiceCode::kNotFound);
+  EXPECT_NE(resp.error.find("nope"), std::string::npos);
+  const auto m = server.metrics();
+  EXPECT_EQ(m.counter_value("svc.requests.not_found"), 1u);
+  EXPECT_EQ(m.counter_value("svc.runs.started"), 0u);
+}
+
+TEST(Server, MalformedFramesComeBackAsBadRequest) {
+  Server server(ServerOptions{}, test_graphs());
+  const Response bad = api::parse_response(server.handle_line("not json"));
+  EXPECT_EQ(bad.code, ServiceCode::kBadRequest);
+  EXPECT_FALSE(bad.error.empty());
+
+  // A parseable frame with a bad field names the field and echoes the id.
+  const Response typed = api::parse_response(server.handle_line(
+      R"({"id":31,"graph":"g0","algorithm":"bfs","backend":"native",)"
+      R"("options":{"source":"three"}})"));
+  EXPECT_EQ(typed.code, ServiceCode::kBadRequest);
+  EXPECT_EQ(typed.id, 31u);
+  EXPECT_NE(typed.error.find("source"), std::string::npos);
+  EXPECT_EQ(server.metrics().counter_value("svc.runs.started"), 0u);
+}
+
+TEST(Server, QueueOverflowShedsWithRejected) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_limit = 2;
+  opt.start_paused = true;
+  Server server(opt, test_graphs());
+
+  // Fill the queue while the worker pool is parked...
+  std::vector<std::thread> waiters;
+  std::vector<Response> queued(2);
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&server, &queued, i] {
+      queued[static_cast<std::size_t>(i)] =
+          server.call(bfs_request(static_cast<std::uint64_t>(i), "g0",
+                                  static_cast<std::uint32_t>(i)));
+    });
+  }
+  while (server.queue_depth() < 2) std::this_thread::yield();
+
+  // ...the third arrival is shed without executing.
+  const Response shed = server.call(bfs_request(99, "g0", 99));
+  EXPECT_EQ(shed.code, ServiceCode::kRejected);
+  EXPECT_TRUE(service_code_retryable(shed.code));
+  EXPECT_EQ(server.metrics().counter_value("svc.requests.rejected_queue"), 1u);
+
+  server.resume();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(queued[0].code, ServiceCode::kOk);
+  EXPECT_EQ(queued[1].code, ServiceCode::kOk);
+  EXPECT_EQ(server.metrics().counter_value("svc.runs.started"), 2u);
+}
+
+TEST(Server, InflightMemoryBudgetRejectsBeforeExecution) {
+  ServerOptions opt;
+  opt.inflight_budget_bytes = 1;  // nothing fits
+  Server server(opt, test_graphs());
+  const Response resp = server.call(bfs_request(1, "g0"));
+  EXPECT_EQ(resp.code, ServiceCode::kRejected);
+  EXPECT_NE(resp.error.find("budget"), std::string::npos);
+  const auto m = server.metrics();
+  EXPECT_EQ(m.counter_value("svc.requests.rejected_memory"), 1u);
+  EXPECT_EQ(m.counter_value("svc.runs.started"), 0u);
+
+  // A budget that covers the estimate admits the same request.
+  ServerOptions roomy;
+  roomy.inflight_budget_bytes =
+      2 * Server::estimate_run_bytes(AlgorithmId::kBfs, BackendId::kNative,
+                                     test_graphs()[0].graph);
+  Server ok_server(roomy, test_graphs());
+  EXPECT_EQ(ok_server.call(bfs_request(1, "g0")).code, ServiceCode::kOk);
+}
+
+TEST(Server, DeadlineExpiredInQueueNeverExecutes) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.start_paused = true;
+  Server server(opt, test_graphs());
+
+  Request req = bfs_request(21, "g0");
+  req.options.deadline_ms = 1.0;  // expires while the pool is parked
+  Response resp;
+  std::thread waiter([&] { resp = server.call(req); });
+  while (server.queue_depth() < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.resume();
+  waiter.join();
+
+  EXPECT_EQ(resp.code, ServiceCode::kDeadlineExceeded);
+  EXPECT_GE(resp.queue_ms, 1.0);
+  const auto m = server.metrics();
+  EXPECT_EQ(m.counter_value("svc.requests.expired_in_queue"), 1u);
+  EXPECT_EQ(m.counter_value("svc.runs.started"), 0u);
+}
+
+TEST(Server, SameGraphRequestsBatchOntoOneWorkerPass) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.start_paused = true;
+  opt.cache_budget_bytes = 0;  // force every request to actually run
+  Server server(opt, test_graphs());
+
+  // Queue A, B, A, A while parked: the worker should take [A] then — after
+  // the claim scan — batch contiguous same-graph work. With claiming over
+  // the whole queue, g0's three requests form one batch and g1's one forms
+  // another.
+  const char* graphs[] = {"g0", "g1", "g0", "g0"};
+  std::vector<std::thread> waiters;
+  std::vector<Response> out(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    waiters.emplace_back([&server, &out, &graphs, i] {
+      out[i] = server.call(bfs_request(i, graphs[i],
+                                       static_cast<std::uint32_t>(i)));
+    });
+  }
+  while (server.queue_depth() < 4) std::this_thread::yield();
+  server.resume();
+  for (auto& t : waiters) t.join();
+
+  for (const Response& r : out) EXPECT_EQ(r.code, ServiceCode::kOk);
+  const auto m = server.metrics();
+  EXPECT_EQ(m.counter_value("svc.batched_requests"), 4u);
+  EXPECT_EQ(m.counter_value("svc.batches"), 2u);  // {g0,g0,g0} and {g1}
+  EXPECT_EQ(m.counter_value("svc.runs.started"), 4u);
+}
+
+TEST(Server, ShutdownRefusesQueuedRequests) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.start_paused = true;
+  Response resp;
+  std::thread waiter;
+  {
+    Server server(opt, test_graphs());
+    waiter = std::thread([&server, &resp] {
+      resp = server.call(bfs_request(1, "g0"));
+    });
+    while (server.queue_depth() < 1) std::this_thread::yield();
+    // Destructor runs with the request still queued (pool parked).
+  }
+  waiter.join();
+  EXPECT_EQ(resp.code, ServiceCode::kRejected);
+  EXPECT_NE(resp.error.find("shutting down"), std::string::npos);
+}
+
+TEST(Server, EstimateIsDeterministicAndScalesWithTheModel) {
+  const auto& g = test_graphs()[0].graph;
+  const auto bfs_native =
+      Server::estimate_run_bytes(AlgorithmId::kBfs, BackendId::kNative, g);
+  EXPECT_EQ(bfs_native, Server::estimate_run_bytes(AlgorithmId::kBfs,
+                                                   BackendId::kNative, g));
+  // Simulated backends model more scratch than native; SSSP more than BFS.
+  EXPECT_GT(Server::estimate_run_bytes(AlgorithmId::kBfs, BackendId::kBsp, g),
+            bfs_native);
+  EXPECT_GT(Server::estimate_run_bytes(AlgorithmId::kSssp,
+                                       BackendId::kNative, g),
+            bfs_native);
+}
+
+TEST(Server, GovernedStopsCrossTheServiceBoundary) {
+  // An in-run governance stop (round limit) surfaces as its service code
+  // with the detail preserved and no payload cached.
+  Server server(ServerOptions{}, test_graphs());
+  Request req;
+  req.id = 4;
+  req.graph = "g0";
+  req.algorithm = AlgorithmId::kPageRank;
+  req.backend = BackendId::kBsp;
+  req.options.pagerank_iters = 50;
+  req.options.max_rounds = 2;
+  const Response resp = server.call(req);
+  EXPECT_EQ(resp.code, ServiceCode::kRoundLimit);
+  EXPECT_FALSE(resp.error.empty());
+  EXPECT_EQ(server.cache_stats().entries, 0u);
+  EXPECT_EQ(server.metrics().counter_value(
+                std::string("svc.status.") +
+                service_code_name(ServiceCode::kRoundLimit)),
+            1u);
+}
+
+}  // namespace
+}  // namespace xg::svc

@@ -1,0 +1,197 @@
+// xgd — the long-lived graph query daemon (docs/SERVICE.md).
+//
+// Loads one or more graphs into immutable in-memory CSR form and serves
+// concurrent queries over the newline-delimited-JSON TCP protocol on
+// loopback. Each request names {graph, algorithm, backend, options} and
+// runs through xg::run under the service layer's admission control, result
+// cache, same-graph batching and per-request observability.
+//
+//   ./xgd --graph r14=rmat:scale=14,edgefactor=8,seed=1,weighted
+//         --graph web=file:edges.el --port 7420
+//
+// The daemon serves until stdin reaches EOF, SIGINT/SIGTERM arrives, or
+// --run-seconds elapses (whichever comes first), then shuts down cleanly
+// and writes the requested trace/metrics files.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exp/args.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+#include "svc/graph_loader.hpp"
+#include "svc/net.hpp"
+#include "svc/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+constexpr const char* kDescription =
+    "xgd: serve graph queries over newline-delimited JSON on loopback TCP.\n"
+    "\n"
+    "Options:\n"
+    "  --graph NAME=SOURCE    load a graph (repeatable). SOURCE is an\n"
+    "                         edge-list path or rmat:scale=S,edgefactor=E,\n"
+    "                         seed=N[,weighted]\n"
+    "  --port N               TCP port on 127.0.0.1 (default 7420; 0 picks\n"
+    "                         an ephemeral port, printed on startup)\n"
+    "  --workers N            executor threads (default 2)\n"
+    "  --queue-limit N        admission queue bound (default 256)\n"
+    "  --cache-mb N           result-cache budget in MiB (default 64)\n"
+    "  --no-cache             disable the result cache\n"
+    "  --inflight-mb N        in-flight memory admission budget in MiB\n"
+    "                         (default 0 = unlimited)\n"
+    "  --batch-limit N        max same-graph requests per warm batch\n"
+    "                         (default 16)\n"
+    "  --no-batching          run every request cold (no shared workspace)\n"
+    "  --deadline-ms X        default per-request deadline when the client\n"
+    "                         sends none (default 0 = none)\n"
+    "  --run-seconds S        exit after S seconds (default 0 = until stdin\n"
+    "                         EOF or SIGINT/SIGTERM)\n"
+    "  --trace PATH           write a Chrome trace of served requests on exit\n"
+    "  --metrics PATH         write the service metrics registry (JSON) on exit";
+
+bool stdin_eof_poll() {
+  pollfd pfd{};
+  pfd.fd = STDIN_FILENO;
+  pfd.events = POLLIN;
+  if (::poll(&pfd, 1, 200) <= 0) return false;
+  if ((pfd.revents & (POLLERR | POLLHUP)) != 0 && (pfd.revents & POLLIN) == 0) {
+    return true;
+  }
+  if ((pfd.revents & POLLIN) != 0) {
+    char buf[256];
+    return ::read(STDIN_FILENO, buf, sizeof(buf)) <= 0;  // EOF drains to exit
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xg;
+  try {
+    exp::Args args(argc, argv, kDescription);
+    args.handle_help();
+
+    const std::vector<std::string> specs = args.get_all("graph");
+    if (specs.empty()) {
+      std::fprintf(stderr,
+                   "xgd: no graphs to serve; pass at least one "
+                   "--graph NAME=SOURCE (see --help)\n");
+      return 2;
+    }
+
+    svc::ServerOptions opt;
+    opt.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+    opt.queue_limit =
+        static_cast<std::size_t>(args.get_int("queue-limit", 256));
+    opt.cache_budget_bytes =
+        args.has("no-cache")
+            ? 0
+            : static_cast<std::uint64_t>(args.get_int("cache-mb", 64)) << 20;
+    opt.inflight_budget_bytes =
+        static_cast<std::uint64_t>(args.get_int("inflight-mb", 0)) << 20;
+    opt.batch_limit =
+        static_cast<std::size_t>(args.get_int("batch-limit", 16));
+    opt.batching = !args.has("no-batching");
+    opt.default_deadline_ms = args.get_double("deadline-ms", 0.0);
+
+    obs::TraceSink trace;
+    const std::string trace_path = args.get("trace", "");
+    if (!trace_path.empty()) opt.trace = &trace;
+
+    std::vector<svc::GraphSpec> graphs;
+    for (const std::string& spec : specs) {
+      graphs.push_back(svc::load_graph_spec(spec));
+      const svc::GraphSpec& g = graphs.back();
+      std::printf("xgd: loaded %s: %u vertices, %zu arcs, %.1f MiB%s\n",
+                  g.name.c_str(), g.graph.num_vertices(),
+                  static_cast<std::size_t>(g.graph.num_arcs()),
+                  static_cast<double>(g.graph.memory_footprint_bytes()) /
+                      (1 << 20),
+                  g.graph.has_weights() ? " (weighted)" : "");
+    }
+
+    svc::Server server(opt, std::move(graphs));
+    svc::TcpServer::Options net;
+    net.port = static_cast<std::uint16_t>(args.get_int("port", 7420));
+    svc::TcpServer tcp(server, net);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::printf("xgd: listening on 127.0.0.1:%u (%zu workers, cache %s, "
+                "batching %s)\n",
+                tcp.port(), opt.workers,
+                opt.cache_budget_bytes > 0 ? "on" : "off",
+                opt.batching ? "on" : "off");
+    std::fflush(stdout);
+
+    const double run_seconds = args.get_double("run-seconds", 0.0);
+    const auto started = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+      if (run_seconds > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        if (elapsed >= run_seconds) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      } else if (stdin_eof_poll()) {
+        break;
+      }
+    }
+
+    tcp.shutdown();
+    const obs::MetricsRegistry metrics = server.metrics();
+    std::printf("xgd: served %llu requests (%llu ok, %llu cache hits, "
+                "%llu rejected), %llu connections\n",
+                static_cast<unsigned long long>(
+                    metrics.counter_value("svc.requests.received")),
+                static_cast<unsigned long long>(
+                    metrics.counter_value("svc.requests.ok")),
+                static_cast<unsigned long long>(
+                    metrics.counter_value("svc.requests.cache_hits")),
+                static_cast<unsigned long long>(
+                    metrics.counter_value("svc.status.rejected")),
+                static_cast<unsigned long long>(tcp.connections_accepted()));
+
+    const std::string metrics_path = args.get("metrics", "");
+    if (!metrics_path.empty()) {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "xgd: cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      obs::write_metrics_json(f, metrics);
+      std::fclose(f);
+      std::printf("xgd: metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::FILE* f = std::fopen(trace_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "xgd: cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      obs::write_chrome_trace(f, trace, {{"tool", "xgd"}});
+      std::fclose(f);
+      std::printf("xgd: trace written to %s\n", trace_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xgd: %s\n", e.what());
+    return 2;
+  }
+}
